@@ -1,0 +1,307 @@
+//! An LFU (least-frequently-used) cache on top of [`SProfile`].
+//!
+//! The eviction decision of an LFU cache — "which resident entry has the
+//! smallest use count?" — is exactly the profile's `least()` query, and a
+//! cache hit is a ±1 update. Slots are dense ids `0..capacity`; evicting
+//! resets the slot's count with the weighted [`SProfile::set_frequency`]
+//! primitive (O(runs crossed)), so the cache needs no auxiliary frequency
+//! lists of its own.
+//!
+//! Resident slots always have count ≥ 1 and free slots sit at exactly 0,
+//! so `least()` doubles as the free-slot finder.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use sprofile::SProfile;
+
+/// A fixed-capacity LFU cache.
+///
+/// # Example
+/// ```
+/// use sprofile_apps::LfuCache;
+///
+/// let mut cache = LfuCache::new(2);
+/// cache.put("a", 1);
+/// cache.put("b", 2);
+/// cache.get(&"a"); // bump a's use count
+/// let evicted = cache.put("c", 3); // b is the least-used → evicted
+/// assert_eq!(evicted, Some(("b", 2)));
+/// assert!(cache.contains(&"a"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LfuCache<K, V> {
+    /// key → (value, slot id).
+    map: HashMap<K, (V, u32)>,
+    /// slot id → key (for eviction), `None` while the slot is free.
+    slots: Vec<Option<K>>,
+    /// Per-slot use counts; free slots are 0, resident ≥ 1.
+    counts: SProfile,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> LfuCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "LFU cache needs positive capacity");
+        LfuCache {
+            map: HashMap::with_capacity(capacity as usize),
+            slots: (0..capacity).map(|_| None).collect(),
+            counts: SProfile::new(capacity),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Current number of resident entries.
+    pub fn len(&self) -> u32 {
+        self.map.len() as u32
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `key` is resident (does not bump its count).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Looks up `key`, bumping its use count on a hit. O(1).
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key) {
+            Some(&(_, slot)) => {
+                self.counts.add(slot);
+                self.hits += 1;
+                self.map.get(key).map(|(v, _)| v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` without affecting counts or hit statistics.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// Current use count of `key` (0 if absent). O(1).
+    pub fn use_count(&self, key: &K) -> u64 {
+        match self.map.get(key) {
+            Some(&(_, slot)) => self.counts.frequency(slot) as u64,
+            None => 0,
+        }
+    }
+
+    /// Inserts `key → value`. If `key` is resident its value is replaced
+    /// (count bumped). If the cache is full, the least-frequently-used
+    /// entry is evicted and returned.
+    pub fn put(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some((v, slot)) = self.map.get_mut(&key) {
+            *v = value;
+            let slot = *slot;
+            self.counts.add(slot);
+            return None;
+        }
+        let (slot, evicted) = if self.map.len() < self.slots.len() {
+            // `least()` finds a frequency-0 slot: with residents at >= 1,
+            // any least slot while not full is free.
+            let slot = self
+                .counts
+                .least_objects()
+                .first()
+                .copied()
+                .expect("capacity > 0");
+            debug_assert!(self.slots[slot as usize].is_none());
+            (slot, None)
+        } else {
+            let victim = self.counts.least().expect("capacity > 0");
+            let slot = victim.object;
+            let old_key = self.slots[slot as usize].take().expect("occupied slot");
+            let (old_val, _) = self.map.remove(&old_key).expect("resident key");
+            // Weighted reset: count → 0 in one O(runs) operation.
+            self.counts.set_frequency(slot, 0);
+            self.evictions += 1;
+            (slot, Some((old_key, old_val)))
+        };
+        self.slots[slot as usize] = Some(key.clone());
+        self.map.insert(key, (value, slot));
+        self.counts.add(slot); // resident entries sit at count >= 1
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (value, slot) = self.map.remove(key)?;
+        self.slots[slot as usize] = None;
+        self.counts.set_frequency(slot, 0);
+        Some(value)
+    }
+
+    /// `(hits, misses, evictions)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// The `k` most-used resident keys, most used first. O(k).
+    pub fn top_k(&self, k: u32) -> Vec<(&K, u64)> {
+        self.counts
+            .top_k(k.min(self.len()))
+            .into_iter()
+            .filter_map(|(slot, f)| {
+                self.slots[slot as usize].as_ref().map(|key| (key, f as u64))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_put_get() {
+        let mut c: LfuCache<&str, i32> = LfuCache::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.put("x", 1), None);
+        assert_eq!(c.get(&"x"), Some(&1));
+        assert_eq!(c.get(&"y"), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats(), (1, 1, 0));
+        assert_eq!(c.use_count(&"x"), 2); // insert + hit
+    }
+
+    #[test]
+    fn evicts_least_frequently_used() {
+        let mut c = LfuCache::new(3);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("c", 3);
+        // a: 3 touches, c: 2, b: 1.
+        c.get(&"a");
+        c.get(&"a");
+        c.get(&"c");
+        let evicted = c.put("d", 4);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert!(c.contains(&"a"));
+        assert!(c.contains(&"c"));
+        assert!(c.contains(&"d"));
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn replace_updates_value_and_bumps() {
+        let mut c = LfuCache::new(2);
+        c.put("k", 1);
+        assert_eq!(c.put("k", 9), None);
+        assert_eq!(c.peek(&"k"), Some(&9));
+        assert_eq!(c.use_count(&"k"), 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_frees_the_slot() {
+        let mut c = LfuCache::new(1);
+        c.put("a", 1);
+        assert_eq!(c.remove(&"a"), Some(1));
+        assert!(c.is_empty());
+        // The freed slot is reusable without eviction.
+        assert_eq!(c.put("b", 2), None);
+        assert_eq!(c.stats().2, 0);
+    }
+
+    #[test]
+    fn full_cycle_reuses_slots() {
+        let mut c = LfuCache::new(2);
+        for i in 0..100u32 {
+            c.put(i, i);
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().2, 98);
+    }
+
+    #[test]
+    fn top_k_orders_by_use() {
+        let mut c = LfuCache::new(4);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("c", 3);
+        for _ in 0..5 {
+            c.get(&"b");
+        }
+        c.get(&"c");
+        let top: Vec<(&&str, u64)> = c.top_k(2);
+        assert_eq!(*top[0].0, "b");
+        assert_eq!(top[0].1, 6);
+        assert_eq!(*top[1].0, "c");
+    }
+
+    #[test]
+    fn lfu_matches_reference_simulation() {
+        // Randomized cross-check against a naive LFU model (linear-scan
+        // eviction with the same "evict any min-count" freedom — compare
+        // resident *count multisets*, not identities, since ties are
+        // broken arbitrarily).
+        let cap = 8u32;
+        let mut cache: LfuCache<u32, u32> = LfuCache::new(cap);
+        let mut model: std::collections::HashMap<u32, u64> = Default::default();
+        let mut state = 99u64;
+        for _ in 0..3000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(41);
+            let key = ((state >> 33) % 20) as u32;
+            if (state >> 7) & 1 == 1 {
+                if cache.contains(&key) {
+                    cache.get(&key);
+                    *model.get_mut(&key).unwrap() += 1;
+                } else {
+                    cache.put(key, key);
+                    if model.len() as u32 == cap {
+                        // Evict a minimum-count entry; the real cache may
+                        // pick a different tied victim — evict the same
+                        // count value.
+                        let min = *model.values().min().unwrap();
+                        // Find which key the cache actually evicted: it is
+                        // the one in the model but no longer resident.
+                        let gone: Vec<u32> = model
+                            .keys()
+                            .copied()
+                            .filter(|k| !cache.contains(k))
+                            .collect();
+                        assert_eq!(gone.len(), 1);
+                        let victim = gone[0];
+                        assert_eq!(
+                            model[&victim], min,
+                            "cache evicted a non-minimal entry"
+                        );
+                        model.remove(&victim);
+                    }
+                    model.insert(key, 1);
+                }
+            }
+            assert_eq!(cache.len() as usize, model.len());
+            for (k, &count) in &model {
+                assert_eq!(cache.use_count(k), count, "key {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        let _: LfuCache<u8, u8> = LfuCache::new(0);
+    }
+}

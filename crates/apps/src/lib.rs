@@ -1,0 +1,30 @@
+//! # sprofile-apps — systems built on the S-Profile primitive
+//!
+//! Four self-contained systems demonstrating that the profile is a
+//! building block, not just a benchmark subject:
+//!
+//! * [`LfuCache`] — a least-frequently-used cache whose eviction decision
+//!   is the profile's O(1) `least()` query and whose slot recycling uses
+//!   the weighted `set_frequency` extension.
+//! * [`SlidingWindowRateLimiter`] — an *exact* per-client sliding-window
+//!   limiter built on the §2.3 window adapter, with a free top-K
+//!   "heaviest clients" view.
+//! * [`PresenceTracker`] — live-channel audience counting (the paper's
+//!   §1 "enter/exit live video channels" workload) with busiest-channel,
+//!   top-K, and audience-distribution queries.
+//! * [`TrendingBoard`] — an epoch-decayed "hot topics" leaderboard using
+//!   the weighted update extension for the decay sweep.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+mod lfu;
+mod presence;
+mod ratelimit;
+mod trending;
+
+pub use lfu::LfuCache;
+pub use presence::{Entered, PresenceTracker};
+pub use ratelimit::{Decision, SlidingWindowRateLimiter};
+pub use trending::TrendingBoard;

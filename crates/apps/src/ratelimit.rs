@@ -1,0 +1,208 @@
+//! Sliding-window rate limiter on top of [`TimedWindowProfile`].
+//!
+//! "At most `limit` requests per `horizon` time units per client" is a
+//! per-object frequency threshold over a time window — the window adapter
+//! (paper §2.3) answers it exactly, with O(1) per decision, and the
+//! profile's top-K doubles as a live "who is hammering us" view.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use sprofile::{Interner, TimedWindowProfile, Tuple};
+
+/// Decision returned by [`SlidingWindowRateLimiter::check`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Request admitted; the client's in-window count after admission.
+    Allowed(u64),
+    /// Request rejected; the client's in-window count (unchanged).
+    Limited(u64),
+}
+
+impl Decision {
+    /// Whether the request was admitted.
+    pub fn is_allowed(self) -> bool {
+        matches!(self, Decision::Allowed(_))
+    }
+}
+
+/// Exact sliding-window rate limiter over up to `max_clients` distinct
+/// clients.
+///
+/// # Example
+/// ```
+/// use sprofile_apps::{Decision, SlidingWindowRateLimiter};
+///
+/// let mut rl = SlidingWindowRateLimiter::new(100, 2, 10); // 2 per 10 ticks
+/// assert!(rl.check("alice", 0).is_allowed());
+/// assert!(rl.check("alice", 1).is_allowed());
+/// assert_eq!(rl.check("alice", 2), Decision::Limited(2));
+/// assert!(rl.check("alice", 11).is_allowed()); // the t=0 request expired
+/// ```
+#[derive(Clone, Debug)]
+pub struct SlidingWindowRateLimiter<K> {
+    interner: Interner<K>,
+    window: TimedWindowProfile,
+    limit: u64,
+    rejected: HashMap<u32, u64>,
+}
+
+impl<K: Hash + Eq + Clone> SlidingWindowRateLimiter<K> {
+    /// Creates a limiter admitting at most `limit` requests per client per
+    /// `horizon` time units, for up to `max_clients` distinct clients.
+    ///
+    /// # Panics
+    /// If `limit == 0` or `max_clients == 0`.
+    pub fn new(max_clients: u32, limit: u64, horizon: u64) -> Self {
+        assert!(limit > 0, "limit must be positive");
+        assert!(max_clients > 0, "need room for at least one client");
+        SlidingWindowRateLimiter {
+            interner: Interner::with_capacity_limit(max_clients),
+            window: TimedWindowProfile::new(max_clients, horizon),
+            limit,
+            rejected: HashMap::new(),
+        }
+    }
+
+    /// Processes a request from `client` at time `now` (non-decreasing).
+    ///
+    /// # Panics
+    /// If more than `max_clients` distinct clients appear, or timestamps
+    /// go backwards.
+    pub fn check(&mut self, client: K, now: u64) -> Decision {
+        let id = self.interner.intern(client);
+        self.window.advance_to(now);
+        let current = self.window.profile().frequency(id) as u64;
+        if current >= self.limit {
+            *self.rejected.entry(id).or_insert(0) += 1;
+            Decision::Limited(current)
+        } else {
+            self.window.push(now, Tuple::add(id));
+            Decision::Allowed(current + 1)
+        }
+    }
+
+    /// In-window request count for `client` as of the last `check`.
+    pub fn current_usage(&self, client: &K) -> u64 {
+        match self.interner.get(client) {
+            Some(id) => self.window.profile().frequency(id) as u64,
+            None => 0,
+        }
+    }
+
+    /// Total rejected requests for `client`.
+    pub fn rejected_count(&self, client: &K) -> u64 {
+        self.interner
+            .get(client)
+            .and_then(|id| self.rejected.get(&id))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The `k` heaviest clients currently in the window, heaviest first —
+    /// O(k) straight off the profile.
+    pub fn heaviest(&self, k: u32) -> Vec<(&K, u64)> {
+        self.window
+            .profile()
+            .top_k(k)
+            .into_iter()
+            .filter(|&(_, f)| f > 0)
+            .filter_map(|(id, f)| self.interner.resolve(id).map(|key| (key, f as u64)))
+            .collect()
+    }
+
+    /// Number of requests currently inside the window (all clients).
+    pub fn in_window(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enforces_limit_within_window() {
+        let mut rl = SlidingWindowRateLimiter::new(10, 3, 100);
+        for i in 0..3 {
+            assert_eq!(rl.check("c", i), Decision::Allowed(i + 1));
+        }
+        assert_eq!(rl.check("c", 3), Decision::Limited(3));
+        assert_eq!(rl.check("c", 50), Decision::Limited(3));
+        assert_eq!(rl.rejected_count(&"c"), 2);
+        assert_eq!(rl.current_usage(&"c"), 3);
+    }
+
+    #[test]
+    fn window_expiry_restores_budget() {
+        let mut rl = SlidingWindowRateLimiter::new(4, 2, 10);
+        rl.check("a", 0);
+        rl.check("a", 5);
+        assert!(!rl.check("a", 9).is_allowed());
+        // t=10: the t=0 request ages out (age 10 >= horizon 10).
+        assert!(rl.check("a", 10).is_allowed());
+        // Budget is again full at t=15 (t=5 aged out), minus the t=10 one.
+        assert_eq!(rl.current_usage(&"a"), 2);
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let mut rl = SlidingWindowRateLimiter::new(4, 1, 100);
+        assert!(rl.check("a", 0).is_allowed());
+        assert!(rl.check("b", 0).is_allowed());
+        assert!(!rl.check("a", 1).is_allowed());
+        assert!(!rl.check("b", 1).is_allowed());
+        assert_eq!(rl.current_usage(&"a"), 1);
+        assert_eq!(rl.rejected_count(&"b"), 1);
+        assert_eq!(rl.current_usage(&"unseen"), 0);
+    }
+
+    #[test]
+    fn heaviest_ranks_clients() {
+        let mut rl = SlidingWindowRateLimiter::new(8, 100, 1000);
+        for i in 0..5 {
+            rl.check("big", i);
+        }
+        for i in 5..7 {
+            rl.check("mid", i);
+        }
+        rl.check("small", 7);
+        let heavy: Vec<(&&str, u64)> = rl.heaviest(2);
+        assert_eq!(*heavy[0].0, "big");
+        assert_eq!(heavy[0].1, 5);
+        assert_eq!(*heavy[1].0, "mid");
+        assert_eq!(rl.in_window(), 8);
+    }
+
+    #[test]
+    fn exactness_against_naive_replay() {
+        // The limiter must match a naive "count timestamps in (now-h, now]"
+        // model exactly.
+        let mut rl = SlidingWindowRateLimiter::new(4, 3, 20);
+        let mut naive: Vec<(u32, u64)> = Vec::new(); // (client, admitted at)
+        let mut state = 7u64;
+        let mut now = 0u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(3);
+            now += (state >> 60) % 4;
+            let client = ((state >> 33) % 4) as u32;
+            let naive_count = naive
+                .iter()
+                .filter(|&&(c, t)| c == client && t + 20 > now)
+                .count() as u64;
+            let decision = rl.check(client, now);
+            if naive_count < 3 {
+                assert_eq!(decision, Decision::Allowed(naive_count + 1), "t={now}");
+                naive.push((client, now));
+            } else {
+                assert_eq!(decision, Decision::Limited(naive_count), "t={now}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must be positive")]
+    fn zero_limit_rejected() {
+        let _: SlidingWindowRateLimiter<u8> = SlidingWindowRateLimiter::new(1, 0, 10);
+    }
+}

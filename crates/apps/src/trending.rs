@@ -1,0 +1,227 @@
+//! Epoch-decayed trending leaderboard.
+//!
+//! "Most popular right now" needs recency, not all-time counts: a topic
+//! that was hot yesterday must fall off the board. The standard
+//! lightweight scheme is *epoch halving* — every `epoch` events, halve
+//! every score — which approximates an exponential moving average with
+//! half-life of one epoch. S-Profile makes both halves cheap: recording
+//! is the O(1) `add`, the board itself is the O(K) `top_k` walk, and
+//! halving uses the weighted `set_frequency` extension over only the
+//! objects with non-zero score (one descending-iterator pass).
+
+use sprofile::SProfile;
+
+/// Decayed popularity board over topics `0..m`.
+///
+/// ```
+/// use sprofile_apps::TrendingBoard;
+///
+/// let mut b = TrendingBoard::new(100, 1000);
+/// for _ in 0..10 {
+///     b.record(5);
+/// }
+/// b.record(9);
+/// assert_eq!(b.hottest(), Some((5, 10)));
+/// assert_eq!(b.trending(2), vec![(5, 10), (9, 1)]);
+/// ```
+#[derive(Debug)]
+pub struct TrendingBoard {
+    scores: SProfile,
+    /// Events per decay epoch.
+    epoch: u64,
+    /// Events recorded since the last decay.
+    since_decay: u64,
+    /// Total decay sweeps applied (telemetry).
+    decays: u64,
+}
+
+impl TrendingBoard {
+    /// Board over `m` topics, halving all scores every `epoch` events.
+    ///
+    /// # Panics
+    /// If `epoch == 0`.
+    pub fn new(m: u32, epoch: u64) -> Self {
+        assert!(epoch > 0, "epoch must be positive");
+        Self {
+            scores: SProfile::new(m),
+            epoch,
+            since_decay: 0,
+            decays: 0,
+        }
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> u32 {
+        self.scores.num_objects()
+    }
+
+    /// Record one mention of `topic`. O(1), except every `epoch`-th call
+    /// which triggers an O(active topics) decay sweep — amortised O(1)
+    /// when `epoch ≥` the number of active topics.
+    pub fn record(&mut self, topic: u32) {
+        self.scores.add(topic);
+        self.since_decay += 1;
+        if self.since_decay >= self.epoch {
+            self.decay();
+        }
+    }
+
+    /// Halve every positive score now (floor division; scores of 1 drop
+    /// to 0, clearing stale topics off the board entirely).
+    pub fn decay(&mut self) {
+        // Collect first: set_frequency invalidates the iterator's view.
+        let active: Vec<(u32, i64)> = self
+            .scores
+            .iter_descending()
+            .take_while(|&(_, f)| f > 0)
+            .collect();
+        for (topic, f) in active {
+            self.scores.set_frequency(topic, f / 2);
+        }
+        self.since_decay = 0;
+        self.decays += 1;
+    }
+
+    /// Current decayed score of `topic`.
+    pub fn score(&self, topic: u32) -> i64 {
+        self.scores.frequency(topic)
+    }
+
+    /// The hottest topic `(topic, score)`, or `None` if every score is 0.
+    pub fn hottest(&self) -> Option<(u32, i64)> {
+        self.scores
+            .mode()
+            .filter(|e| e.frequency > 0)
+            .map(|e| (e.object, e.frequency))
+    }
+
+    /// Top-K topics with positive score, descending.
+    pub fn trending(&self, k: u32) -> Vec<(u32, i64)> {
+        self.scores
+            .top_k(k)
+            .into_iter()
+            .filter(|&(_, f)| f > 0)
+            .collect()
+    }
+
+    /// Number of topics currently holding a positive score.
+    pub fn active_topics(&self) -> u32 {
+        self.scores.count_at_least(1)
+    }
+
+    /// Decay sweeps applied so far.
+    pub fn decays(&self) -> u64 {
+        self.decays
+    }
+
+    /// Events until the next automatic decay.
+    pub fn events_until_decay(&self) -> u64 {
+        self.epoch - self.since_decay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "epoch must be positive")]
+    fn zero_epoch_panics() {
+        let _ = TrendingBoard::new(10, 0);
+    }
+
+    #[test]
+    fn scores_accumulate_within_an_epoch() {
+        let mut b = TrendingBoard::new(10, 1_000);
+        for _ in 0..7 {
+            b.record(3);
+        }
+        for _ in 0..4 {
+            b.record(8);
+        }
+        assert_eq!(b.score(3), 7);
+        assert_eq!(b.hottest(), Some((3, 7)));
+        assert_eq!(b.trending(3), vec![(3, 7), (8, 4)]);
+        assert_eq!(b.active_topics(), 2);
+        assert_eq!(b.decays(), 0);
+    }
+
+    #[test]
+    fn automatic_decay_halves_scores() {
+        let mut b = TrendingBoard::new(10, 10);
+        for _ in 0..9 {
+            b.record(1);
+        }
+        b.record(2); // 10th event: decay fires after this add
+        assert_eq!(b.decays(), 1);
+        assert_eq!(b.score(1), 4); // 9 / 2
+        assert_eq!(b.score(2), 0); // 1 / 2
+        assert_eq!(b.active_topics(), 1);
+    }
+
+    #[test]
+    fn stale_hot_topic_is_overtaken() {
+        let mut b = TrendingBoard::new(100, 50);
+        // Epoch 1: topic 7 is huge.
+        for _ in 0..50 {
+            b.record(7); // triggers a decay at event 50 → score 25
+        }
+        assert_eq!(b.score(7), 25);
+        // Epochs 2-4: topic 9 gets steady traffic, 7 goes silent.
+        for _ in 0..150 {
+            b.record(9);
+        }
+        assert_eq!(b.decays(), 4);
+        // 7 halved three more times: 25 → 12 → 6 → 3.
+        assert_eq!(b.score(7), 3);
+        assert_eq!(b.hottest().unwrap().0, 9);
+    }
+
+    #[test]
+    fn manual_decay_clears_singletons() {
+        let mut b = TrendingBoard::new(20, 1_000_000);
+        for t in 0..20 {
+            b.record(t);
+        }
+        assert_eq!(b.active_topics(), 20);
+        b.decay();
+        assert_eq!(b.active_topics(), 0, "all scores of 1 floor to 0");
+        assert_eq!(b.hottest(), None);
+        assert_eq!(b.trending(5), vec![]);
+    }
+
+    #[test]
+    fn trending_never_reports_zero_scores() {
+        let mut b = TrendingBoard::new(10, 4);
+        b.record(1);
+        b.record(1);
+        b.record(2);
+        b.record(3); // decay: 1 → 1, 2 → 0, 3 → 0
+        assert_eq!(b.trending(10), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn events_until_decay_counts_down() {
+        let mut b = TrendingBoard::new(10, 5);
+        assert_eq!(b.events_until_decay(), 5);
+        b.record(0);
+        b.record(0);
+        assert_eq!(b.events_until_decay(), 3);
+        for _ in 0..3 {
+            b.record(0);
+        }
+        assert_eq!(b.events_until_decay(), 5, "reset after decay");
+    }
+
+    #[test]
+    fn long_run_scores_stay_bounded_by_twice_the_epoch() {
+        // With halving every E events, a topic receiving every event
+        // converges to score < 2E.
+        let mut b = TrendingBoard::new(4, 100);
+        for _ in 0..10_000 {
+            b.record(2);
+        }
+        assert!(b.score(2) < 200, "score {} escaped the decay bound", b.score(2));
+        assert!(b.score(2) >= 99, "score {} decayed too hard", b.score(2));
+    }
+}

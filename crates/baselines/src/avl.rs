@@ -1,0 +1,387 @@
+//! Order-statistic AVL tree — PBDS substitute #2.
+//!
+//! Strictly height-balanced BST with subtree-size augmentation: worst-case
+//! O(log n) insert/erase/select/rank. Implemented over a slab arena with
+//! `u32` links, like [`crate::Treap`], so the two trees differ only in
+//! their balancing strategy — which is exactly what the ablation benches
+//! compare.
+
+use crate::ostree::{Key, OrderStatTree};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    key: Key,
+    left: u32,
+    right: u32,
+    size: u32,
+    height: i8,
+}
+
+/// Order-statistic AVL tree over unique `(frequency, object)` keys.
+#[derive(Clone, Debug)]
+pub struct AvlTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+}
+
+impl AvlTree {
+    #[inline]
+    fn size(&self, n: u32) -> u32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].size
+        }
+    }
+
+    #[inline]
+    fn height(&self, n: u32) -> i8 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].height
+        }
+    }
+
+    #[inline]
+    fn pull(&mut self, n: u32) {
+        let node = &self.nodes[n as usize];
+        let (l, r) = (node.left, node.right);
+        let size = 1 + self.size(l) + self.size(r);
+        let height = 1 + self.height(l).max(self.height(r));
+        let node = &mut self.nodes[n as usize];
+        node.size = size;
+        node.height = height;
+    }
+
+    #[inline]
+    fn balance_factor(&self, n: u32) -> i8 {
+        let node = &self.nodes[n as usize];
+        self.height(node.left) - self.height(node.right)
+    }
+
+    fn rotate_right(&mut self, n: u32) -> u32 {
+        let l = self.nodes[n as usize].left;
+        debug_assert_ne!(l, NIL);
+        self.nodes[n as usize].left = self.nodes[l as usize].right;
+        self.nodes[l as usize].right = n;
+        self.pull(n);
+        self.pull(l);
+        l
+    }
+
+    fn rotate_left(&mut self, n: u32) -> u32 {
+        let r = self.nodes[n as usize].right;
+        debug_assert_ne!(r, NIL);
+        self.nodes[n as usize].right = self.nodes[r as usize].left;
+        self.nodes[r as usize].left = n;
+        self.pull(n);
+        self.pull(r);
+        r
+    }
+
+    /// Rebalances `n` after an insert/erase beneath it.
+    fn rebalance(&mut self, n: u32) -> u32 {
+        self.pull(n);
+        let bf = self.balance_factor(n);
+        if bf > 1 {
+            let l = self.nodes[n as usize].left;
+            if self.balance_factor(l) < 0 {
+                let new_l = self.rotate_left(l);
+                self.nodes[n as usize].left = new_l;
+            }
+            self.rotate_right(n)
+        } else if bf < -1 {
+            let r = self.nodes[n as usize].right;
+            if self.balance_factor(r) > 0 {
+                let new_r = self.rotate_right(r);
+                self.nodes[n as usize].right = new_r;
+            }
+            self.rotate_left(n)
+        } else {
+            n
+        }
+    }
+
+    fn new_node(&mut self, key: Key) -> u32 {
+        let node = Node {
+            key,
+            left: NIL,
+            right: NIL,
+            size: 1,
+            height: 1,
+        };
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn insert_rec(&mut self, n: u32, key: Key) -> u32 {
+        if n == NIL {
+            return self.new_node(key);
+        }
+        let nk = self.nodes[n as usize].key;
+        debug_assert_ne!(nk, key, "duplicate key inserted into AVL tree");
+        if key < nk {
+            let l = self.nodes[n as usize].left;
+            let new_l = self.insert_rec(l, key);
+            self.nodes[n as usize].left = new_l;
+        } else {
+            let r = self.nodes[n as usize].right;
+            let new_r = self.insert_rec(r, key);
+            self.nodes[n as usize].right = new_r;
+        }
+        self.rebalance(n)
+    }
+
+    /// Removes and returns the minimum node of subtree `n` as
+    /// `(new_subtree, detached_min)`.
+    fn pop_min(&mut self, n: u32) -> (u32, u32) {
+        let l = self.nodes[n as usize].left;
+        if l == NIL {
+            let r = self.nodes[n as usize].right;
+            return (r, n);
+        }
+        let (new_l, min) = self.pop_min(l);
+        self.nodes[n as usize].left = new_l;
+        (self.rebalance(n), min)
+    }
+
+    fn erase_rec(&mut self, n: u32, key: Key) -> (u32, bool) {
+        if n == NIL {
+            return (NIL, false);
+        }
+        let nk = self.nodes[n as usize].key;
+        let erased;
+        if key < nk {
+            let l = self.nodes[n as usize].left;
+            let (new_l, e) = self.erase_rec(l, key);
+            self.nodes[n as usize].left = new_l;
+            erased = e;
+        } else if key > nk {
+            let r = self.nodes[n as usize].right;
+            let (new_r, e) = self.erase_rec(r, key);
+            self.nodes[n as usize].right = new_r;
+            erased = e;
+        } else {
+            let l = self.nodes[n as usize].left;
+            let r = self.nodes[n as usize].right;
+            self.free.push(n);
+            if r == NIL {
+                return (l, true);
+            }
+            // Replace with the successor (min of the right subtree).
+            let (new_r, succ) = self.pop_min(r);
+            self.nodes[succ as usize].left = l;
+            self.nodes[succ as usize].right = new_r;
+            return (self.rebalance(succ), true);
+        }
+        if erased {
+            (self.rebalance(n), true)
+        } else {
+            (n, false)
+        }
+    }
+
+    /// O(n) structural validation for tests: BST order, AVL balance, and
+    /// size/height augmentation.
+    pub fn check_structure(&self) -> Result<(), String> {
+        fn walk(t: &AvlTree, n: u32, lo: Option<Key>, hi: Option<Key>) -> Result<(u32, i8), String> {
+            if n == NIL {
+                return Ok((0, 0));
+            }
+            let node = &t.nodes[n as usize];
+            if let Some(lo) = lo {
+                if node.key <= lo {
+                    return Err(format!("BST violation: {:?} <= {:?}", node.key, lo));
+                }
+            }
+            if let Some(hi) = hi {
+                if node.key >= hi {
+                    return Err(format!("BST violation: {:?} >= {:?}", node.key, hi));
+                }
+            }
+            let (ls, lh) = walk(t, node.left, lo, Some(node.key))?;
+            let (rs, rh) = walk(t, node.right, Some(node.key), hi)?;
+            if node.size != ls + rs + 1 {
+                return Err(format!("size wrong at {:?}", node.key));
+            }
+            let h = 1 + lh.max(rh);
+            if node.height != h {
+                return Err(format!("height wrong at {:?}", node.key));
+            }
+            if (lh - rh).abs() > 1 {
+                return Err(format!("AVL balance violated at {:?}", node.key));
+            }
+            Ok((node.size, h))
+        }
+        walk(self, self.root, None, None).map(|_| ())
+    }
+}
+
+impl OrderStatTree for AvlTree {
+    const NAME: &'static str = "avl";
+
+    fn new() -> Self {
+        AvlTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+        }
+    }
+
+    fn insert(&mut self, key: Key) {
+        self.root = self.insert_rec(self.root, key);
+    }
+
+    fn erase(&mut self, key: Key) -> bool {
+        let (root, erased) = self.erase_rec(self.root, key);
+        self.root = root;
+        erased
+    }
+
+    fn select(&self, k: u32) -> Option<Key> {
+        if k >= self.size(self.root) {
+            return None;
+        }
+        let mut n = self.root;
+        let mut k = k;
+        loop {
+            let node = &self.nodes[n as usize];
+            let ls = self.size(node.left);
+            if k < ls {
+                n = node.left;
+            } else if k == ls {
+                return Some(node.key);
+            } else {
+                k -= ls + 1;
+                n = node.right;
+            }
+        }
+    }
+
+    fn rank(&self, key: Key) -> u32 {
+        let mut n = self.root;
+        let mut acc = 0u32;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if node.key < key {
+                acc += self.size(node.left) + 1;
+                n = node.right;
+            } else {
+                n = node.left;
+            }
+        }
+        acc
+    }
+
+    fn len(&self) -> u32 {
+        self.size(self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ostree::conformance;
+
+    #[test]
+    fn ordered_set_semantics() {
+        conformance::ordered_set_semantics::<AvlTree>();
+    }
+
+    #[test]
+    fn randomized_against_sorted_vec() {
+        conformance::randomized_against_sorted_vec::<AvlTree>();
+    }
+
+    #[test]
+    fn profiler_tracks_naive() {
+        conformance::profiler_tracks_naive::<AvlTree>();
+    }
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        let mut t = AvlTree::new();
+        for i in 0..1024i64 {
+            t.insert((i, 0));
+        }
+        t.check_structure().unwrap();
+        // Height of a 1024-node AVL tree is at most 1.44·log2(1025) ≈ 14.
+        assert!(t.height(t.root) <= 15, "height {}", t.height(t.root));
+        for i in 0..1024i64 {
+            assert_eq!(t.select(i as u32), Some((i, 0)));
+        }
+    }
+
+    #[test]
+    fn reverse_inserts_stay_balanced() {
+        let mut t = AvlTree::new();
+        for i in (0..512i64).rev() {
+            t.insert((i, 0));
+        }
+        t.check_structure().unwrap();
+        assert!(t.height(t.root) <= 14);
+    }
+
+    #[test]
+    fn structure_valid_under_churn() {
+        let mut t = AvlTree::new();
+        let mut present: Vec<Key> = Vec::new();
+        let mut state = 4242u64;
+        for step in 0..3000u32 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let key = (((state >> 35) % 96) as i64 - 48, ((state >> 10) % 16) as u32);
+            if present.binary_search(&key).is_err() && (state & 3) != 0 {
+                t.insert(key);
+                let idx = present.binary_search(&key).unwrap_err();
+                present.insert(idx, key);
+            } else if let Ok(idx) = present.binary_search(&key) {
+                assert!(t.erase(key));
+                present.remove(idx);
+            }
+            if step % 256 == 0 {
+                t.check_structure().unwrap();
+            }
+        }
+        t.check_structure().unwrap();
+        assert_eq!(t.len() as usize, present.len());
+    }
+
+    #[test]
+    fn erase_node_with_two_children() {
+        let mut t = AvlTree::new();
+        for i in [50i64, 25, 75, 10, 30, 60, 90] {
+            t.insert((i, 0));
+        }
+        assert!(t.erase((50, 0)));
+        t.check_structure().unwrap();
+        assert_eq!(t.len(), 6);
+        let remaining: Vec<i64> = (0..6).map(|k| t.select(k).unwrap().0).collect();
+        assert_eq!(remaining, vec![10, 25, 30, 60, 75, 90]);
+    }
+
+    #[test]
+    fn slab_reuse() {
+        let mut t = AvlTree::new();
+        for i in 0..64 {
+            t.insert((i, 0));
+        }
+        let allocated = t.nodes.len();
+        for i in 0..64 {
+            assert!(t.erase((i, 0)));
+        }
+        for i in 100..164 {
+            t.insert((i, 0));
+        }
+        assert_eq!(t.nodes.len(), allocated);
+        t.check_structure().unwrap();
+    }
+}

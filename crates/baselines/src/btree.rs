@@ -1,0 +1,205 @@
+//! `std::collections::BTreeMap` frequency-multiset baseline.
+//!
+//! Keeps a `BTreeMap<frequency, count>` alongside the raw frequency array:
+//! the idiomatic "just use the standard library" answer a Rust engineer
+//! would reach for. Updates are O(log D) where D is the number of
+//! *distinct* frequencies; extreme queries are O(log D); general rank
+//! queries require walking entries (O(D) worst case) because the std
+//! B-tree carries no subtree-size augmentation — precisely the feature
+//! PBDS adds and our treap/AVL replicate.
+
+use std::collections::BTreeMap;
+
+use sprofile::{FrequencyProfiler, RankQueries};
+
+/// Frequency profiler over `BTreeMap<frequency, #objects>`.
+#[derive(Clone, Debug)]
+pub struct BTreeProfiler {
+    freq: Vec<i64>,
+    /// frequency value → how many objects currently hold it.
+    counts: BTreeMap<i64, u32>,
+}
+
+impl BTreeProfiler {
+    /// Creates a profiler over universe `0..m`, all frequencies zero.
+    pub fn new(m: u32) -> Self {
+        let mut counts = BTreeMap::new();
+        if m > 0 {
+            counts.insert(0, m);
+        }
+        BTreeProfiler {
+            freq: vec![0; m as usize],
+            counts,
+        }
+    }
+
+    /// Builds from starting frequencies.
+    pub fn from_frequencies(freqs: &[i64]) -> Self {
+        let mut counts: BTreeMap<i64, u32> = BTreeMap::new();
+        for &f in freqs {
+            *counts.entry(f).or_insert(0) += 1;
+        }
+        BTreeProfiler {
+            freq: freqs.to_vec(),
+            counts,
+        }
+    }
+
+    fn shift(&mut self, x: u32, delta: i64) {
+        let old = self.freq[x as usize];
+        let new = old + delta;
+        self.freq[x as usize] = new;
+        match self.counts.get_mut(&old) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.counts.remove(&old);
+            }
+            None => unreachable!("count map desynced at frequency {old}"),
+        }
+        *self.counts.entry(new).or_insert(0) += 1;
+    }
+
+    /// A witness object for frequency `f`. O(m) — the count map stores no
+    /// witnesses; only used by the extreme queries' public contract.
+    fn witness(&self, f: i64) -> Option<u32> {
+        self.freq.iter().position(|&g| g == f).map(|x| x as u32)
+    }
+
+    /// Number of distinct frequency values present.
+    pub fn distinct_frequencies(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl FrequencyProfiler for BTreeProfiler {
+    fn num_objects(&self) -> u32 {
+        self.freq.len() as u32
+    }
+
+    #[inline]
+    fn add(&mut self, x: u32) {
+        self.shift(x, 1);
+    }
+
+    #[inline]
+    fn remove(&mut self, x: u32) {
+        self.shift(x, -1);
+    }
+
+    #[inline]
+    fn frequency(&self, x: u32) -> i64 {
+        self.freq[x as usize]
+    }
+
+    /// Max frequency in O(log D); witness lookup O(m).
+    fn mode(&self) -> Option<(u32, i64)> {
+        let (&f, _) = self.counts.last_key_value()?;
+        self.witness(f).map(|x| (x, f))
+    }
+
+    /// Min frequency in O(log D); witness lookup O(m).
+    fn least(&self) -> Option<(u32, i64)> {
+        let (&f, _) = self.counts.first_key_value()?;
+        self.witness(f).map(|x| (x, f))
+    }
+
+    fn name(&self) -> &'static str {
+        "btreemap"
+    }
+}
+
+impl RankQueries for BTreeProfiler {
+    /// O(D) walk from the top — no size augmentation in std's B-tree.
+    fn kth_largest_frequency(&self, k: u32) -> Option<i64> {
+        let m = self.freq.len() as u32;
+        if k == 0 || k > m {
+            return None;
+        }
+        let mut remaining = k;
+        for (&f, &c) in self.counts.iter().rev() {
+            if remaining <= c {
+                return Some(f);
+            }
+            remaining -= c;
+        }
+        None
+    }
+
+    /// O(#entries at or above threshold).
+    fn count_at_least(&self, threshold: i64) -> u32 {
+        self.counts.range(threshold..).map(|(_, &c)| c).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_collapse_by_value() {
+        let mut b = BTreeProfiler::new(5);
+        assert_eq!(b.distinct_frequencies(), 1);
+        b.add(0);
+        b.add(1);
+        assert_eq!(b.distinct_frequencies(), 2); // {0: 3, 1: 2}
+        b.add(0);
+        assert_eq!(b.distinct_frequencies(), 3); // {0: 3, 1: 1, 2: 1}
+    }
+
+    #[test]
+    fn extremes_and_witnesses() {
+        let b = BTreeProfiler::from_frequencies(&[2, -1, 2, 0]);
+        let (x, f) = b.mode().unwrap();
+        assert_eq!(f, 2);
+        assert_eq!(b.frequency(x), 2);
+        assert_eq!(b.least(), Some((1, -1)));
+        assert_eq!(BTreeProfiler::new(0).mode(), None);
+    }
+
+    #[test]
+    fn rank_queries_match_sorting() {
+        let freqs = [5i64, -2, 0, 7, 5, 1, 5];
+        let b = BTreeProfiler::from_frequencies(&freqs);
+        let mut sorted = freqs.to_vec();
+        sorted.sort_unstable();
+        let m = freqs.len() as u32;
+        for k in 1..=m {
+            assert_eq!(
+                b.kth_largest_frequency(k),
+                Some(sorted[(m - k) as usize]),
+                "k={k}"
+            );
+        }
+        assert_eq!(b.kth_largest_frequency(0), None);
+        assert_eq!(b.kth_largest_frequency(m + 1), None);
+        for t in -3..=8 {
+            let want = freqs.iter().filter(|&&f| f >= t).count() as u32;
+            assert_eq!(b.count_at_least(t), want, "t={t}");
+        }
+    }
+
+    #[test]
+    fn long_mixed_sequence_matches_naive() {
+        let m = 12u32;
+        let mut b = BTreeProfiler::new(m);
+        let mut naive = vec![0i64; m as usize];
+        let mut state = 2024u64;
+        for step in 0..5000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+            let x = ((state >> 33) % m as u64) as u32;
+            if (state >> 3) % 10 < 7 {
+                b.add(x);
+                naive[x as usize] += 1;
+            } else {
+                b.remove(x);
+                naive[x as usize] -= 1;
+            }
+            if step % 250 == 0 {
+                assert_eq!(b.mode().unwrap().1, *naive.iter().max().unwrap(), "step {step}");
+                assert_eq!(b.least().unwrap().1, *naive.iter().min().unwrap());
+                let total: u32 = b.counts.values().sum();
+                assert_eq!(total, m, "count map must always cover all objects");
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The "m buckets" strawman (paper §1).
+//!
+//! Keeps only the raw frequency array: updates are a single O(1) array
+//! write, but *every* query is an O(m) scan (O(m) extra for selection).
+//! This is the natural first answer to the paper's problem, included to
+//! show the trade-off S-Profile removes: O(1) updates **and** O(1)
+//! queries.
+
+use sprofile::{FrequencyProfiler, RankQueries};
+
+/// Frequency array with scan-based queries.
+#[derive(Clone, Debug)]
+pub struct BucketProfiler {
+    freq: Vec<i64>,
+}
+
+impl BucketProfiler {
+    /// Creates a profiler over universe `0..m`, all frequencies zero.
+    pub fn new(m: u32) -> Self {
+        BucketProfiler {
+            freq: vec![0; m as usize],
+        }
+    }
+
+    /// Builds from starting frequencies.
+    pub fn from_frequencies(freqs: &[i64]) -> Self {
+        BucketProfiler {
+            freq: freqs.to_vec(),
+        }
+    }
+
+    fn scan_extreme(&self, want_max: bool) -> Option<(u32, i64)> {
+        let mut best: Option<(u32, i64)> = None;
+        for (x, &f) in self.freq.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some((_, bf)) => {
+                    if want_max {
+                        f > bf
+                    } else {
+                        f < bf
+                    }
+                }
+            };
+            if better {
+                best = Some((x as u32, f));
+            }
+        }
+        best
+    }
+}
+
+impl FrequencyProfiler for BucketProfiler {
+    fn num_objects(&self) -> u32 {
+        self.freq.len() as u32
+    }
+
+    #[inline]
+    fn add(&mut self, x: u32) {
+        self.freq[x as usize] += 1;
+    }
+
+    #[inline]
+    fn remove(&mut self, x: u32) {
+        self.freq[x as usize] -= 1;
+    }
+
+    #[inline]
+    fn frequency(&self, x: u32) -> i64 {
+        self.freq[x as usize]
+    }
+
+    /// O(m) scan.
+    fn mode(&self) -> Option<(u32, i64)> {
+        self.scan_extreme(true)
+    }
+
+    /// O(m) scan.
+    fn least(&self) -> Option<(u32, i64)> {
+        self.scan_extreme(false)
+    }
+
+    fn name(&self) -> &'static str {
+        "bucket-scan"
+    }
+}
+
+impl RankQueries for BucketProfiler {
+    /// O(m) via `select_nth_unstable` on a scratch copy.
+    fn kth_largest_frequency(&self, k: u32) -> Option<i64> {
+        let m = self.freq.len() as u32;
+        if k == 0 || k > m {
+            return None;
+        }
+        let mut scratch = self.freq.clone();
+        let idx = (m - k) as usize;
+        let (_, kth, _) = scratch.select_nth_unstable(idx);
+        Some(*kth)
+    }
+
+    /// O(m) scan.
+    fn count_at_least(&self, threshold: i64) -> u32 {
+        self.freq.iter().filter(|&&f| f >= threshold).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_and_frequency() {
+        let mut b = BucketProfiler::new(4);
+        b.add(1);
+        b.add(1);
+        b.remove(3);
+        assert_eq!(b.frequency(1), 2);
+        assert_eq!(b.frequency(3), -1);
+        assert_eq!(b.frequency(0), 0);
+        assert_eq!(b.num_objects(), 4);
+        assert_eq!(b.name(), "bucket-scan");
+    }
+
+    #[test]
+    fn extremes() {
+        let b = BucketProfiler::from_frequencies(&[3, -1, 3, 0]);
+        let (x, f) = b.mode().unwrap();
+        assert_eq!(f, 3);
+        assert!(x == 0 || x == 2);
+        assert_eq!(b.least(), Some((1, -1)));
+        assert_eq!(BucketProfiler::new(0).mode(), None);
+        assert_eq!(BucketProfiler::new(0).least(), None);
+    }
+
+    #[test]
+    fn rank_queries_match_sorting() {
+        let freqs = [5i64, -2, 0, 7, 5, 1];
+        let b = BucketProfiler::from_frequencies(&freqs);
+        let mut sorted = freqs.to_vec();
+        sorted.sort_unstable();
+        for k in 1..=6u32 {
+            assert_eq!(
+                b.kth_largest_frequency(k),
+                Some(sorted[(6 - k) as usize]),
+                "k={k}"
+            );
+        }
+        assert_eq!(b.kth_largest_frequency(0), None);
+        assert_eq!(b.kth_largest_frequency(7), None);
+        assert_eq!(b.median_frequency(), Some(sorted[2]));
+        for t in -3..=8 {
+            let want = freqs.iter().filter(|&&f| f >= t).count() as u32;
+            assert_eq!(b.count_at_least(t), want);
+        }
+    }
+}

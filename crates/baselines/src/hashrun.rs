@@ -1,0 +1,286 @@
+//! Hash-indexed-runs ablation of the S-Profile idea.
+//!
+//! The paper's block set finds the boundary of an equal-frequency run via
+//! a per-position pointer array (`PtrB`). The same O(1) update is possible
+//! with a different layout: keep the sorted frequency array explicitly
+//! and index each run's `(left, right)` boundary by its *frequency value*
+//! in a hash map — the trick classically used for O(1) LFU caches.
+//!
+//! Comparing this against [`sprofile::SProfile`] isolates the cost of the
+//! paper's pointer-array + arena layout versus hashing: both are O(1) per
+//! update, but the hash map pays hashing and probing on every access while
+//! the block set pays pointer-chasing and arena bookkeeping.
+
+use std::collections::HashMap;
+
+use sprofile::{FrequencyProfiler, RankQueries};
+
+/// S-Profile-equivalent structure with runs indexed by a `HashMap`
+/// keyed on frequency value.
+#[derive(Clone, Debug)]
+pub struct HashRunProfiler {
+    /// The sorted frequency array `T` (ascending).
+    sorted: Vec<i64>,
+    /// position → object.
+    to_obj: Vec<u32>,
+    /// object → position.
+    to_pos: Vec<u32>,
+    /// frequency value → (leftmost, rightmost) position of its run.
+    runs: HashMap<i64, (u32, u32)>,
+}
+
+impl HashRunProfiler {
+    /// Creates the profiler over universe `0..m`, all frequencies zero.
+    pub fn new(m: u32) -> Self {
+        let mut runs = HashMap::new();
+        if m > 0 {
+            runs.insert(0, (0, m - 1));
+        }
+        HashRunProfiler {
+            sorted: vec![0; m as usize],
+            to_obj: (0..m).collect(),
+            to_pos: (0..m).collect(),
+            runs,
+        }
+    }
+
+    /// Builds from starting frequencies. O(m log m).
+    pub fn from_frequencies(freqs: &[i64]) -> Self {
+        let m = freqs.len() as u32;
+        let mut to_obj: Vec<u32> = (0..m).collect();
+        to_obj.sort_by_key(|&x| freqs[x as usize]);
+        let mut to_pos = vec![0u32; m as usize];
+        for (pos, &obj) in to_obj.iter().enumerate() {
+            to_pos[obj as usize] = pos as u32;
+        }
+        let sorted: Vec<i64> = to_obj.iter().map(|&x| freqs[x as usize]).collect();
+        let mut runs: HashMap<i64, (u32, u32)> = HashMap::new();
+        for (pos, &f) in sorted.iter().enumerate() {
+            runs.entry(f)
+                .and_modify(|e| e.1 = pos as u32)
+                .or_insert((pos as u32, pos as u32));
+        }
+        HashRunProfiler {
+            sorted,
+            to_obj,
+            to_pos,
+            runs,
+        }
+    }
+
+    #[inline]
+    fn swap_positions(&mut self, p: usize, q: usize) {
+        if p == q {
+            return;
+        }
+        let a = self.to_obj[p];
+        let b = self.to_obj[q];
+        self.to_obj.swap(p, q);
+        self.to_pos[a as usize] = q as u32;
+        self.to_pos[b as usize] = p as u32;
+    }
+
+    /// O(m) validation for tests: sortedness, permutation, run index.
+    pub fn check_structure(&self) -> Result<(), String> {
+        for w in self.sorted.windows(2) {
+            if w[0] > w[1] {
+                return Err(format!("not sorted: {} before {}", w[0], w[1]));
+            }
+        }
+        for (pos, &obj) in self.to_obj.iter().enumerate() {
+            if self.to_pos[obj as usize] as usize != pos {
+                return Err(format!("permutation broken at {pos}"));
+            }
+        }
+        // Rebuild the run index and compare.
+        let mut want: HashMap<i64, (u32, u32)> = HashMap::new();
+        for (pos, &f) in self.sorted.iter().enumerate() {
+            want.entry(f)
+                .and_modify(|e| e.1 = pos as u32)
+                .or_insert((pos as u32, pos as u32));
+        }
+        if want != self.runs {
+            return Err("run index desynced from sorted array".into());
+        }
+        Ok(())
+    }
+}
+
+impl FrequencyProfiler for HashRunProfiler {
+    fn num_objects(&self) -> u32 {
+        self.sorted.len() as u32
+    }
+
+    /// O(1): hash-lookup the run's right boundary, swap, shift boundaries.
+    fn add(&mut self, x: u32) {
+        let p = self.to_pos[x as usize] as usize;
+        let f = self.sorted[p];
+        let &(l, r) = self.runs.get(&f).expect("run index must cover every value");
+        self.swap_positions(p, r as usize);
+        // Shrink f's run from the right.
+        if l == r {
+            self.runs.remove(&f);
+        } else {
+            self.runs.insert(f, (l, r - 1));
+        }
+        // Extend (or create) the f+1 run leftwards to include r.
+        self.sorted[r as usize] = f + 1;
+        match self.runs.get_mut(&(f + 1)) {
+            Some(e) => e.0 = r,
+            None => {
+                self.runs.insert(f + 1, (r, r));
+            }
+        }
+    }
+
+    /// O(1): mirror image at the left boundary.
+    fn remove(&mut self, x: u32) {
+        let p = self.to_pos[x as usize] as usize;
+        let f = self.sorted[p];
+        let &(l, r) = self.runs.get(&f).expect("run index must cover every value");
+        self.swap_positions(p, l as usize);
+        if l == r {
+            self.runs.remove(&f);
+        } else {
+            self.runs.insert(f, (l + 1, r));
+        }
+        self.sorted[l as usize] = f - 1;
+        match self.runs.get_mut(&(f - 1)) {
+            Some(e) => e.1 = l,
+            None => {
+                self.runs.insert(f - 1, (l, l));
+            }
+        }
+    }
+
+    #[inline]
+    fn frequency(&self, x: u32) -> i64 {
+        self.sorted[self.to_pos[x as usize] as usize]
+    }
+
+    fn mode(&self) -> Option<(u32, i64)> {
+        let m = self.sorted.len();
+        if m == 0 {
+            return None;
+        }
+        Some((self.to_obj[m - 1], self.sorted[m - 1]))
+    }
+
+    fn least(&self) -> Option<(u32, i64)> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some((self.to_obj[0], self.sorted[0]))
+    }
+
+    fn name(&self) -> &'static str {
+        "hash-runs"
+    }
+}
+
+impl RankQueries for HashRunProfiler {
+    fn kth_largest_frequency(&self, k: u32) -> Option<i64> {
+        let m = self.sorted.len() as u32;
+        if k == 0 || k > m {
+            return None;
+        }
+        Some(self.sorted[(m - k) as usize])
+    }
+
+    fn count_at_least(&self, threshold: i64) -> u32 {
+        let below = self.sorted.partition_point(|&v| v < threshold);
+        (self.sorted.len() - below) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_updates_and_queries() {
+        let mut h = HashRunProfiler::new(6);
+        h.add(2);
+        h.add(2);
+        h.add(4);
+        h.check_structure().unwrap();
+        assert_eq!(h.frequency(2), 2);
+        assert_eq!(h.mode(), Some((2, 2)));
+        assert_eq!(h.kth_largest_frequency(2), Some(1));
+        h.remove(2);
+        h.remove(2);
+        h.remove(2); // negative
+        h.check_structure().unwrap();
+        assert_eq!(h.least(), Some((2, -1)));
+    }
+
+    #[test]
+    fn run_index_stays_consistent_under_churn() {
+        let m = 20u32;
+        let mut h = HashRunProfiler::new(m);
+        let mut naive = vec![0i64; m as usize];
+        let mut state = 77u64;
+        for step in 0..8000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(23);
+            let x = ((state >> 33) % m as u64) as u32;
+            if (state >> 5) % 10 < 6 {
+                h.add(x);
+                naive[x as usize] += 1;
+            } else {
+                h.remove(x);
+                naive[x as usize] -= 1;
+            }
+            if step % 500 == 0 {
+                h.check_structure().unwrap();
+                for y in 0..m {
+                    assert_eq!(h.frequency(y), naive[y as usize]);
+                }
+                assert_eq!(h.mode().unwrap().1, *naive.iter().max().unwrap());
+                assert_eq!(h.least().unwrap().1, *naive.iter().min().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sprofile_exactly() {
+        use sprofile::SProfile;
+        let m = 15u32;
+        let mut h = HashRunProfiler::new(m);
+        let mut s = SProfile::new(m);
+        let mut state = 11u64;
+        for _ in 0..4000 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(12345);
+            let x = ((state >> 33) % m as u64) as u32;
+            if (state >> 3) & 1 == 1 {
+                FrequencyProfiler::add(&mut h, x);
+                s.add(x);
+            } else {
+                FrequencyProfiler::remove(&mut h, x);
+                s.remove(x);
+            }
+            assert_eq!(h.mode().unwrap().1, s.mode().unwrap().frequency);
+            assert_eq!(
+                h.kth_largest_frequency(m / 2 + 1),
+                Some(s.kth_largest(m / 2 + 1).unwrap().1)
+            );
+        }
+    }
+
+    #[test]
+    fn from_frequencies_builds_valid_index() {
+        let h = HashRunProfiler::from_frequencies(&[3, -1, 3, 0, 0]);
+        h.check_structure().unwrap();
+        assert_eq!(h.mode().unwrap().1, 3);
+        assert_eq!(h.least(), Some((1, -1)));
+        assert_eq!(h.count_at_least(0), 4);
+        assert_eq!(h.median_frequency(), Some(0));
+    }
+
+    #[test]
+    fn empty_universe() {
+        let h = HashRunProfiler::new(0);
+        assert_eq!(h.mode(), None);
+        assert_eq!(h.least(), None);
+        assert_eq!(h.kth_largest_frequency(1), None);
+    }
+}

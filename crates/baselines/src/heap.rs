@@ -1,0 +1,407 @@
+//! Indexed binary heap baseline (paper §3.1).
+//!
+//! The classical way to keep the extreme frequency under ±1 updates: a
+//! binary heap over all `m` objects keyed by frequency, augmented with a
+//! `pos[]` array so the heap slot of any object is known and its key can
+//! be increased/decreased in **O(log m)** by sifting. The root yields the
+//! mode (max-heap) or the least-frequent object (min-heap) in O(1).
+//!
+//! This is exactly the structure the paper's Figures 3–5 compare S-Profile
+//! against. Its inherent limitation — also called out by the paper — is
+//! that a heap only exposes its own extreme: the opposite extreme, ranks
+//! and medians need an O(m) scan.
+
+use std::marker::PhantomData;
+
+use sprofile::FrequencyProfiler;
+
+/// Heap ordering policy: which of two frequencies belongs closer to the root.
+pub trait Direction {
+    /// Display name used in harness output.
+    const NAME: &'static str;
+    /// Whether frequency `a` should sit above frequency `b`.
+    fn prefer(a: i64, b: i64) -> bool;
+}
+
+/// Max-heap policy: the root holds a maximum frequency (mode).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Max;
+
+/// Min-heap policy: the root holds a minimum frequency.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Min;
+
+impl Direction for Max {
+    const NAME: &'static str = "heap(max)";
+    #[inline]
+    fn prefer(a: i64, b: i64) -> bool {
+        a > b
+    }
+}
+
+impl Direction for Min {
+    const NAME: &'static str = "heap(min)";
+    #[inline]
+    fn prefer(a: i64, b: i64) -> bool {
+        a < b
+    }
+}
+
+/// Position-tracked binary heap over all `m` object frequencies.
+///
+/// `D` selects which extreme the root exposes; see [`Max`] and [`Min`].
+#[derive(Clone, Debug)]
+pub struct IndexedHeap<D: Direction> {
+    /// Per-object frequency.
+    freq: Vec<i64>,
+    /// Heap array of object ids; `heap[0]` is the root.
+    heap: Vec<u32>,
+    /// `pos[x]` = index of object `x` inside `heap`.
+    pos: Vec<u32>,
+    _d: PhantomData<D>,
+}
+
+/// The paper's mode-maintenance heap: max-oriented.
+pub type MaxHeapProfiler = IndexedHeap<Max>;
+
+/// Min-oriented variant (useful for "find the low-degree node" shaving).
+pub type MinHeapProfiler = IndexedHeap<Min>;
+
+impl<D: Direction> IndexedHeap<D> {
+    /// Creates a heap over universe `0..m` with all frequencies 0.
+    pub fn new(m: u32) -> Self {
+        IndexedHeap {
+            freq: vec![0; m as usize],
+            heap: (0..m).collect(),
+            pos: (0..m).collect(),
+            _d: PhantomData,
+        }
+    }
+
+    /// Builds a heap with the given starting frequencies. O(m) (Floyd).
+    pub fn from_frequencies(freqs: &[i64]) -> Self {
+        let m = u32::try_from(freqs.len()).expect("universe larger than u32");
+        let mut h = IndexedHeap {
+            freq: freqs.to_vec(),
+            heap: (0..m).collect(),
+            pos: (0..m).collect(),
+            _d: PhantomData,
+        };
+        if m > 1 {
+            for i in (0..m as usize / 2).rev() {
+                h.sift_down(i);
+            }
+        }
+        h
+    }
+
+    /// The root's `(object, frequency)` — the heap's extreme. O(1).
+    #[inline]
+    pub fn root(&self) -> Option<(u32, i64)> {
+        self.heap.first().map(|&x| (x, self.freq[x as usize]))
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.freq.len() as u32
+    }
+
+    /// Whether the universe is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.freq.is_empty()
+    }
+
+    /// Current frequency of `x`. O(1).
+    #[inline]
+    pub fn frequency_of(&self, x: u32) -> i64 {
+        self.freq[x as usize]
+    }
+
+    /// Increments `x`'s frequency and restores heap order. O(log m).
+    #[inline]
+    pub fn increment(&mut self, x: u32) -> i64 {
+        self.freq[x as usize] += 1;
+        self.restore(self.pos[x as usize] as usize);
+        self.freq[x as usize]
+    }
+
+    /// Decrements `x`'s frequency and restores heap order. O(log m).
+    #[inline]
+    pub fn decrement(&mut self, x: u32) -> i64 {
+        self.freq[x as usize] -= 1;
+        self.restore(self.pos[x as usize] as usize);
+        self.freq[x as usize]
+    }
+
+    /// Scans all m frequencies for the extreme *opposite* to the heap's
+    /// orientation. O(m) — heaps cannot answer this cheaply, which is one
+    /// of the paper's arguments for S-Profile.
+    pub fn opposite_extreme(&self) -> Option<(u32, i64)> {
+        let mut best: Option<(u32, i64)> = None;
+        for (x, &f) in self.freq.iter().enumerate() {
+            match best {
+                // `f` is more extreme in the *opposite* sense exactly when
+                // the current best would sit above it in this heap.
+                Some((_, bf)) if D::prefer(bf, f) => best = Some((x as u32, f)),
+                None => best = Some((x as u32, f)),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    #[inline]
+    fn key(&self, heap_idx: usize) -> i64 {
+        self.freq[self.heap[heap_idx] as usize]
+    }
+
+    #[inline]
+    fn swap_slots(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+
+    /// Re-establishes heap order around `i` after its key changed by ±1.
+    #[inline]
+    fn restore(&mut self, i: usize) {
+        if !self.sift_up(i) {
+            self.sift_down(i);
+        }
+    }
+
+    /// Returns true if any swap happened.
+    fn sift_up(&mut self, mut i: usize) -> bool {
+        let mut moved = false;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if D::prefer(self.key(i), self.key(parent)) {
+                self.swap_slots(i, parent);
+                i = parent;
+                moved = true;
+            } else {
+                break;
+            }
+        }
+        moved
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut best = i;
+            if l < n && D::prefer(self.key(l), self.key(best)) {
+                best = l;
+            }
+            if r < n && D::prefer(self.key(r), self.key(best)) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap_slots(i, best);
+            i = best;
+        }
+    }
+
+    /// O(m) structural validation for tests: heap order and pos/heap
+    /// consistency.
+    pub fn check_heap_property(&self) -> Result<(), String> {
+        let n = self.heap.len();
+        for (i, &x) in self.heap.iter().enumerate() {
+            if self.pos[x as usize] as usize != i {
+                return Err(format!("pos[{x}] = {} but heap[{i}] = {x}", self.pos[x as usize]));
+            }
+        }
+        for i in 1..n {
+            let parent = (i - 1) / 2;
+            if D::prefer(self.key(i), self.key(parent)) {
+                return Err(format!(
+                    "heap order violated at {i}: child {} beats parent {}",
+                    self.key(i),
+                    self.key(parent)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FrequencyProfiler for IndexedHeap<Max> {
+    fn num_objects(&self) -> u32 {
+        self.len()
+    }
+
+    #[inline]
+    fn add(&mut self, x: u32) {
+        self.increment(x);
+    }
+
+    #[inline]
+    fn remove(&mut self, x: u32) {
+        self.decrement(x);
+    }
+
+    #[inline]
+    fn frequency(&self, x: u32) -> i64 {
+        self.frequency_of(x)
+    }
+
+    #[inline]
+    fn mode(&self) -> Option<(u32, i64)> {
+        self.root()
+    }
+
+    /// O(m): a max-heap cannot locate its minimum cheaply.
+    fn least(&self) -> Option<(u32, i64)> {
+        self.opposite_extreme()
+    }
+
+    fn name(&self) -> &'static str {
+        Max::NAME
+    }
+}
+
+impl FrequencyProfiler for IndexedHeap<Min> {
+    fn num_objects(&self) -> u32 {
+        self.len()
+    }
+
+    #[inline]
+    fn add(&mut self, x: u32) {
+        self.increment(x);
+    }
+
+    #[inline]
+    fn remove(&mut self, x: u32) {
+        self.decrement(x);
+    }
+
+    #[inline]
+    fn frequency(&self, x: u32) -> i64 {
+        self.frequency_of(x)
+    }
+
+    /// O(m): a min-heap cannot locate its maximum cheaply.
+    fn mode(&self) -> Option<(u32, i64)> {
+        self.opposite_extreme()
+    }
+
+    #[inline]
+    fn least(&self) -> Option<(u32, i64)> {
+        self.root()
+    }
+
+    fn name(&self) -> &'static str {
+        Min::NAME
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_fresh() {
+        let h = MaxHeapProfiler::new(0);
+        assert!(h.is_empty());
+        assert_eq!(h.root(), None);
+        let h = MaxHeapProfiler::new(3);
+        assert_eq!(h.root().unwrap().1, 0);
+        h.check_heap_property().unwrap();
+    }
+
+    #[test]
+    fn max_heap_tracks_mode() {
+        let mut h = MaxHeapProfiler::new(6);
+        h.increment(2);
+        h.increment(2);
+        h.increment(4);
+        assert_eq!(h.root(), Some((2, 2)));
+        h.decrement(2);
+        h.decrement(2);
+        // Now 4 has frequency 1, everything else 0 or less.
+        assert_eq!(h.root(), Some((4, 1)));
+        h.check_heap_property().unwrap();
+    }
+
+    #[test]
+    fn min_heap_tracks_least() {
+        let mut h = MinHeapProfiler::new(4);
+        h.decrement(3);
+        assert_eq!(h.root(), Some((3, -1)));
+        h.increment(3);
+        h.increment(0);
+        h.increment(1);
+        h.increment(2);
+        h.increment(3);
+        // All at 1 now.
+        assert_eq!(h.root().unwrap().1, 1);
+        h.check_heap_property().unwrap();
+    }
+
+    #[test]
+    fn from_frequencies_heapifies() {
+        let h = IndexedHeap::<Max>::from_frequencies(&[3, 9, 1, 9, 0]);
+        h.check_heap_property().unwrap();
+        let (obj, f) = h.root().unwrap();
+        assert_eq!(f, 9);
+        assert!(obj == 1 || obj == 3);
+        let h = IndexedHeap::<Min>::from_frequencies(&[3, 9, 1, 9, 0]);
+        h.check_heap_property().unwrap();
+        assert_eq!(h.root(), Some((4, 0)));
+    }
+
+    #[test]
+    fn opposite_extreme_scans() {
+        let h = IndexedHeap::<Max>::from_frequencies(&[3, -5, 1]);
+        assert_eq!(h.opposite_extreme(), Some((1, -5)));
+        let h = IndexedHeap::<Min>::from_frequencies(&[3, -5, 1]);
+        assert_eq!(h.opposite_extreme(), Some((0, 3)));
+    }
+
+    #[test]
+    fn trait_impls_agree_with_inherent() {
+        let mut h = MaxHeapProfiler::new(5);
+        FrequencyProfiler::add(&mut h, 1);
+        FrequencyProfiler::add(&mut h, 1);
+        FrequencyProfiler::remove(&mut h, 2);
+        assert_eq!(FrequencyProfiler::mode(&h), Some((1, 2)));
+        assert_eq!(FrequencyProfiler::least(&h), Some((2, -1)));
+        assert_eq!(FrequencyProfiler::frequency(&h, 1), 2);
+        assert_eq!(h.name(), "heap(max)");
+        let h = MinHeapProfiler::new(2);
+        assert_eq!(h.name(), "heap(min)");
+    }
+
+    #[test]
+    fn heap_property_holds_under_long_mixed_sequence() {
+        let m = 24u32;
+        let mut h = MaxHeapProfiler::new(m);
+        let mut naive = vec![0i64; m as usize];
+        let mut state = 777u64;
+        for step in 0..10_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((state >> 33) % m as u64) as u32;
+            if (state >> 9) % 5 < 3 {
+                h.increment(x);
+                naive[x as usize] += 1;
+            } else {
+                h.decrement(x);
+                naive[x as usize] -= 1;
+            }
+            if step % 512 == 0 {
+                h.check_heap_property().unwrap();
+                let max = naive.iter().copied().max().unwrap();
+                assert_eq!(h.root().unwrap().1, max, "step {step}");
+                for y in 0..m {
+                    assert_eq!(h.frequency_of(y), naive[y as usize]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The deliberately-dumb reference oracle.
+//!
+//! Every query sorts from scratch. It is O(m log m) per query and
+//! obviously correct by inspection, which is the whole point: property
+//! tests compare every other structure (S-Profile included) against it.
+
+use sprofile::{FrequencyProfiler, RankQueries};
+
+/// Recompute-everything reference implementation for testing.
+#[derive(Clone, Debug)]
+pub struct Oracle {
+    freq: Vec<i64>,
+}
+
+impl Oracle {
+    /// Creates an oracle over universe `0..m`, all frequencies zero.
+    pub fn new(m: u32) -> Self {
+        Oracle {
+            freq: vec![0; m as usize],
+        }
+    }
+
+    /// Builds from starting frequencies.
+    pub fn from_frequencies(freqs: &[i64]) -> Self {
+        Oracle {
+            freq: freqs.to_vec(),
+        }
+    }
+
+    /// The full sorted frequency array, ascending. O(m log m).
+    pub fn sorted_frequencies(&self) -> Vec<i64> {
+        let mut s = self.freq.clone();
+        s.sort_unstable();
+        s
+    }
+
+    /// All objects attaining the maximum frequency, ascending by id.
+    pub fn all_modes(&self) -> Vec<u32> {
+        match self.freq.iter().max() {
+            None => Vec::new(),
+            Some(&max) => self
+                .freq
+                .iter()
+                .enumerate()
+                .filter(|&(_, &f)| f == max)
+                .map(|(x, _)| x as u32)
+                .collect(),
+        }
+    }
+
+    /// The exact multiset of `(frequency, count)` pairs ascending.
+    pub fn histogram(&self) -> Vec<(i64, u32)> {
+        let mut sorted = self.sorted_frequencies();
+        let mut out: Vec<(i64, u32)> = Vec::new();
+        for f in sorted.drain(..) {
+            match out.last_mut() {
+                Some((g, c)) if *g == f => *c += 1,
+                _ => out.push((f, 1)),
+            }
+        }
+        out
+    }
+}
+
+impl FrequencyProfiler for Oracle {
+    fn num_objects(&self) -> u32 {
+        self.freq.len() as u32
+    }
+
+    fn add(&mut self, x: u32) {
+        self.freq[x as usize] += 1;
+    }
+
+    fn remove(&mut self, x: u32) {
+        self.freq[x as usize] -= 1;
+    }
+
+    fn frequency(&self, x: u32) -> i64 {
+        self.freq[x as usize]
+    }
+
+    fn mode(&self) -> Option<(u32, i64)> {
+        self.freq
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(x, &f)| (x as u32, f))
+    }
+
+    fn least(&self) -> Option<(u32, i64)> {
+        self.freq
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
+            .map(|(x, &f)| (x as u32, f))
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+impl RankQueries for Oracle {
+    fn kth_largest_frequency(&self, k: u32) -> Option<i64> {
+        let m = self.freq.len() as u32;
+        if k == 0 || k > m {
+            return None;
+        }
+        let sorted = self.sorted_frequencies();
+        Some(sorted[(m - k) as usize])
+    }
+
+    fn count_at_least(&self, threshold: i64) -> u32 {
+        self.freq.iter().filter(|&&f| f >= threshold).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_queries() {
+        let mut o = Oracle::new(4);
+        o.add(2);
+        o.add(2);
+        o.remove(0);
+        assert_eq!(o.mode(), Some((2, 2)));
+        assert_eq!(o.least(), Some((0, -1)));
+        assert_eq!(o.sorted_frequencies(), vec![-1, 0, 0, 2]);
+        assert_eq!(o.kth_largest_frequency(1), Some(2));
+        assert_eq!(o.kth_largest_frequency(4), Some(-1));
+        assert_eq!(o.median_frequency(), Some(0));
+        assert_eq!(o.count_at_least(0), 3);
+    }
+
+    #[test]
+    fn all_modes_and_histogram() {
+        let o = Oracle::from_frequencies(&[3, 1, 3, 0, 3]);
+        assert_eq!(o.all_modes(), vec![0, 2, 4]);
+        assert_eq!(o.histogram(), vec![(0, 1), (1, 1), (3, 3)]);
+        assert!(Oracle::new(0).all_modes().is_empty());
+    }
+
+    #[test]
+    fn empty_universe() {
+        let o = Oracle::new(0);
+        assert_eq!(o.mode(), None);
+        assert_eq!(o.least(), None);
+        assert_eq!(o.kth_largest_frequency(1), None);
+        assert_eq!(o.median_frequency(), None);
+    }
+}

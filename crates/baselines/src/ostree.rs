@@ -1,0 +1,257 @@
+//! Order-statistic tree abstraction and the profiler built on top of it.
+//!
+//! The paper's §3.2 baseline is the GNU C++ PBDS order-statistic tree:
+//! a balanced BST over all `m` `(frequency, object)` pairs, where a ±1
+//! update is an erase + insert (O(log m)) and any rank query is a `select`
+//! (O(log m)). We substitute two independent Rust implementations — a
+//! randomized treap ([`crate::Treap`]) and an AVL tree ([`crate::AvlTree`])
+//! — behind the [`OrderStatTree`] trait, so the benchmark comparison does
+//! not hinge on one implementation's constants (DESIGN.md §3).
+
+use sprofile::{FrequencyProfiler, RankQueries};
+
+/// Keys are `(frequency, object)` pairs: unique, totally ordered, and
+/// sorted primarily by frequency.
+pub type Key = (i64, u32);
+
+/// A multiset-free ordered set of unique [`Key`]s with order statistics.
+pub trait OrderStatTree {
+    /// Display name for harness output.
+    const NAME: &'static str;
+
+    /// Creates an empty tree.
+    fn new() -> Self;
+
+    /// Inserts `key`; must not already be present.
+    fn insert(&mut self, key: Key);
+
+    /// Removes `key`, returning whether it was present.
+    fn erase(&mut self, key: Key) -> bool;
+
+    /// The k-th smallest key, 0-based.
+    fn select(&self, k: u32) -> Option<Key>;
+
+    /// Number of keys strictly smaller than `key`.
+    fn rank(&self, key: Key) -> u32;
+
+    /// Number of keys stored.
+    fn len(&self) -> u32;
+
+    /// Whether the tree stores no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Frequency profiler backed by an order-statistic tree over all `m`
+/// `(frequency, object)` pairs — the paper's balanced-tree baseline.
+///
+/// Updates cost O(log m) (one erase + one insert); every rank query is a
+/// O(log m) `select`.
+#[derive(Clone, Debug)]
+pub struct TreeProfiler<T: OrderStatTree> {
+    freq: Vec<i64>,
+    tree: T,
+}
+
+impl<T: OrderStatTree> TreeProfiler<T> {
+    /// Creates the profiler over universe `0..m`, all frequencies zero.
+    pub fn new(m: u32) -> Self {
+        let mut tree = T::new();
+        for x in 0..m {
+            tree.insert((0, x));
+        }
+        TreeProfiler {
+            freq: vec![0; m as usize],
+            tree,
+        }
+    }
+
+    /// Builds the profiler from starting frequencies.
+    pub fn from_frequencies(freqs: &[i64]) -> Self {
+        let mut tree = T::new();
+        for (x, &f) in freqs.iter().enumerate() {
+            tree.insert((f, x as u32));
+        }
+        TreeProfiler {
+            freq: freqs.to_vec(),
+            tree,
+        }
+    }
+
+    /// Direct read access to the underlying tree (diagnostics/tests).
+    pub fn tree(&self) -> &T {
+        &self.tree
+    }
+
+    #[inline]
+    fn reinsert(&mut self, x: u32, delta: i64) {
+        let old = self.freq[x as usize];
+        let removed = self.tree.erase((old, x));
+        debug_assert!(removed, "tree desynced from freq array at object {x}");
+        let new = old + delta;
+        self.freq[x as usize] = new;
+        self.tree.insert((new, x));
+    }
+}
+
+impl<T: OrderStatTree> FrequencyProfiler for TreeProfiler<T> {
+    fn num_objects(&self) -> u32 {
+        self.freq.len() as u32
+    }
+
+    #[inline]
+    fn add(&mut self, x: u32) {
+        self.reinsert(x, 1);
+    }
+
+    #[inline]
+    fn remove(&mut self, x: u32) {
+        self.reinsert(x, -1);
+    }
+
+    #[inline]
+    fn frequency(&self, x: u32) -> i64 {
+        self.freq[x as usize]
+    }
+
+    fn mode(&self) -> Option<(u32, i64)> {
+        let m = self.tree.len();
+        if m == 0 {
+            return None;
+        }
+        self.tree.select(m - 1).map(|(f, x)| (x, f))
+    }
+
+    fn least(&self) -> Option<(u32, i64)> {
+        self.tree.select(0).map(|(f, x)| (x, f))
+    }
+
+    fn name(&self) -> &'static str {
+        T::NAME
+    }
+}
+
+impl<T: OrderStatTree> RankQueries for TreeProfiler<T> {
+    fn kth_largest_frequency(&self, k: u32) -> Option<i64> {
+        let m = self.tree.len();
+        if k == 0 || k > m {
+            return None;
+        }
+        self.tree.select(m - k).map(|(f, _)| f)
+    }
+
+    fn count_at_least(&self, threshold: i64) -> u32 {
+        // rank((threshold, 0)) counts keys strictly below every object at
+        // `threshold`, i.e. exactly the keys with frequency < threshold.
+        self.tree.len() - self.tree.rank((threshold, 0))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared behavioural test battery run against every `OrderStatTree`.
+    use super::*;
+
+    pub fn ordered_set_semantics<T: OrderStatTree>() {
+        let mut t = T::new();
+        assert!(t.is_empty());
+        assert_eq!(t.select(0), None);
+        let keys: [Key; 6] = [(5, 1), (3, 0), (5, 0), (-2, 9), (0, 4), (7, 2)];
+        for &k in &keys {
+            t.insert(k);
+        }
+        assert_eq!(t.len(), 6);
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        for (i, &k) in sorted.iter().enumerate() {
+            assert_eq!(t.select(i as u32), Some(k), "select({i})");
+            assert_eq!(t.rank(k), i as u32, "rank({k:?})");
+        }
+        assert_eq!(t.select(6), None);
+        // rank of an absent key: number of smaller keys.
+        assert_eq!(t.rank((4, 0)), 3); // (-2,9) (0,4) (3,0)
+        assert_eq!(t.rank((i64::MIN, 0)), 0);
+        assert_eq!(t.rank((i64::MAX, u32::MAX)), 6);
+        // erase middle, absent, extremes.
+        assert!(t.erase((5, 0)));
+        assert!(!t.erase((5, 0)));
+        assert!(!t.erase((100, 100)));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.select(3), Some((5, 1)));
+        assert!(t.erase((-2, 9)));
+        assert_eq!(t.select(0), Some((0, 4)));
+        assert!(t.erase((7, 2)));
+        assert_eq!(t.select(t.len() - 1), Some((5, 1)));
+    }
+
+    pub fn randomized_against_sorted_vec<T: OrderStatTree>() {
+        let mut t = T::new();
+        let mut reference: Vec<Key> = Vec::new();
+        let mut state = 0xabcdef12345u64;
+        for step in 0..4000u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let f = ((state >> 40) % 17) as i64 - 8;
+            let id = ((state >> 20) % 50) as u32;
+            let key = (f, id);
+            let present = reference.binary_search(&key).is_ok();
+            if (state >> 5) & 1 == 0 && !present {
+                t.insert(key);
+                let idx = reference.binary_search(&key).unwrap_err();
+                reference.insert(idx, key);
+            } else {
+                let erased = t.erase(key);
+                assert_eq!(erased, present, "step {step} erase({key:?})");
+                if present {
+                    let idx = reference.binary_search(&key).unwrap();
+                    reference.remove(idx);
+                }
+            }
+            assert_eq!(t.len() as usize, reference.len());
+            if step % 64 == 0 {
+                for (i, &k) in reference.iter().enumerate() {
+                    assert_eq!(t.select(i as u32), Some(k));
+                    assert_eq!(t.rank(k), i as u32);
+                }
+            }
+        }
+    }
+
+    pub fn profiler_tracks_naive<T: OrderStatTree>() {
+        let m = 16u32;
+        let mut p: TreeProfiler<T> = TreeProfiler::new(m);
+        let mut naive = vec![0i64; m as usize];
+        let mut state = 31u64;
+        for step in 0..3000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let x = ((state >> 33) % m as u64) as u32;
+            if (state >> 13) % 10 < 7 {
+                p.add(x);
+                naive[x as usize] += 1;
+            } else {
+                p.remove(x);
+                naive[x as usize] -= 1;
+            }
+            if step % 100 == 0 {
+                let max = naive.iter().copied().max().unwrap();
+                let min = naive.iter().copied().min().unwrap();
+                assert_eq!(p.mode().unwrap().1, max, "step {step}");
+                assert_eq!(p.least().unwrap().1, min);
+                let mut sorted = naive.clone();
+                sorted.sort_unstable();
+                for k in 1..=m {
+                    assert_eq!(
+                        p.kth_largest_frequency(k),
+                        Some(sorted[(m - k) as usize]),
+                        "step {step} k={k}"
+                    );
+                }
+                assert_eq!(p.median_frequency(), Some(sorted[((m - 1) / 2) as usize]));
+                for t in -4..=4i64 {
+                    let want = naive.iter().filter(|&&f| f >= t).count() as u32;
+                    assert_eq!(p.count_at_least(t), want, "step {step} t={t}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Binary-search sorted-array baseline.
+//!
+//! A middle ground the paper does not evaluate but that sharpens the
+//! ablation story: keep the sorted frequency array `T` explicitly (like
+//! S-Profile) but *without* the block set. A ±1 update then needs a
+//! **binary search** (O(log m)) to find the boundary of the run of equal
+//! values, followed by the same single swap S-Profile does. Queries are
+//! identical O(1) array lookups.
+//!
+//! Comparing this against S-Profile isolates exactly what the block set
+//! buys: replacing the O(log m) boundary search with an O(1) pointer
+//! lookup.
+
+use sprofile::{FrequencyProfiler, RankQueries};
+
+/// Sorted frequency array maintained by binary-search + swap.
+#[derive(Clone, Debug)]
+pub struct SortedVecProfiler {
+    /// The sorted frequency array `T` (ascending).
+    sorted: Vec<i64>,
+    /// position → object id.
+    to_obj: Vec<u32>,
+    /// object id → position.
+    to_pos: Vec<u32>,
+}
+
+impl SortedVecProfiler {
+    /// Creates a profiler over universe `0..m`, all frequencies zero.
+    pub fn new(m: u32) -> Self {
+        SortedVecProfiler {
+            sorted: vec![0; m as usize],
+            to_obj: (0..m).collect(),
+            to_pos: (0..m).collect(),
+        }
+    }
+
+    /// Builds from starting frequencies. O(m log m).
+    pub fn from_frequencies(freqs: &[i64]) -> Self {
+        let m = freqs.len() as u32;
+        let mut to_obj: Vec<u32> = (0..m).collect();
+        to_obj.sort_by_key(|&x| freqs[x as usize]);
+        let mut to_pos = vec![0u32; m as usize];
+        for (pos, &obj) in to_obj.iter().enumerate() {
+            to_pos[obj as usize] = pos as u32;
+        }
+        let sorted = to_obj.iter().map(|&x| freqs[x as usize]).collect();
+        SortedVecProfiler {
+            sorted,
+            to_obj,
+            to_pos,
+        }
+    }
+
+    #[inline]
+    fn swap_positions(&mut self, p: usize, q: usize) {
+        if p == q {
+            return;
+        }
+        let a = self.to_obj[p];
+        let b = self.to_obj[q];
+        self.to_obj.swap(p, q);
+        self.to_pos[a as usize] = q as u32;
+        self.to_pos[b as usize] = p as u32;
+    }
+
+    /// O(m) validation for tests.
+    pub fn check_sorted(&self) -> Result<(), String> {
+        for w in self.sorted.windows(2) {
+            if w[0] > w[1] {
+                return Err(format!("not sorted: {} before {}", w[0], w[1]));
+            }
+        }
+        for (pos, &obj) in self.to_obj.iter().enumerate() {
+            if self.to_pos[obj as usize] as usize != pos {
+                return Err(format!("permutation broken at position {pos}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FrequencyProfiler for SortedVecProfiler {
+    fn num_objects(&self) -> u32 {
+        self.sorted.len() as u32
+    }
+
+    /// O(log m): binary search for the right boundary of x's run, then one
+    /// swap — the "brute-force swap chain" of paper Fig. 1(b) collapsed by
+    /// search instead of by blocks.
+    fn add(&mut self, x: u32) {
+        let p = self.to_pos[x as usize] as usize;
+        let f = self.sorted[p];
+        // partition_point: first index whose value is > f, i.e. one past
+        // the run of f's; the run's last index is that − 1.
+        let r = self.sorted.partition_point(|&v| v <= f) - 1;
+        self.swap_positions(p, r);
+        self.sorted[r] = f + 1;
+    }
+
+    /// O(log m): mirror image at the left boundary.
+    fn remove(&mut self, x: u32) {
+        let p = self.to_pos[x as usize] as usize;
+        let f = self.sorted[p];
+        let l = self.sorted.partition_point(|&v| v < f);
+        self.swap_positions(p, l);
+        self.sorted[l] = f - 1;
+    }
+
+    #[inline]
+    fn frequency(&self, x: u32) -> i64 {
+        self.sorted[self.to_pos[x as usize] as usize]
+    }
+
+    fn mode(&self) -> Option<(u32, i64)> {
+        let m = self.sorted.len();
+        if m == 0 {
+            return None;
+        }
+        Some((self.to_obj[m - 1], self.sorted[m - 1]))
+    }
+
+    fn least(&self) -> Option<(u32, i64)> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some((self.to_obj[0], self.sorted[0]))
+    }
+
+    fn name(&self) -> &'static str {
+        "sorted-array(bsearch)"
+    }
+}
+
+impl RankQueries for SortedVecProfiler {
+    fn kth_largest_frequency(&self, k: u32) -> Option<i64> {
+        let m = self.sorted.len() as u32;
+        if k == 0 || k > m {
+            return None;
+        }
+        Some(self.sorted[(m - k) as usize])
+    }
+
+    fn count_at_least(&self, threshold: i64) -> u32 {
+        let below = self.sorted.partition_point(|&v| v < threshold);
+        (self.sorted.len() - below) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_keep_array_sorted() {
+        let mut s = SortedVecProfiler::new(8);
+        let script = [3u32, 3, 3, 1, 1, 5, 0, 3];
+        for &x in &script {
+            s.add(x);
+            s.check_sorted().unwrap();
+        }
+        assert_eq!(s.frequency(3), 4);
+        assert_eq!(s.frequency(1), 2);
+        assert_eq!(s.mode(), Some((3, 4)));
+        for &x in script.iter().rev() {
+            s.remove(x);
+            s.check_sorted().unwrap();
+        }
+        assert_eq!(s.mode().unwrap().1, 0);
+    }
+
+    #[test]
+    fn negative_frequencies_supported() {
+        let mut s = SortedVecProfiler::new(3);
+        s.remove(1);
+        s.remove(1);
+        s.check_sorted().unwrap();
+        assert_eq!(s.least(), Some((1, -2)));
+        assert_eq!(s.frequency(1), -2);
+    }
+
+    #[test]
+    fn from_frequencies_and_ranks() {
+        let freqs = [4i64, -1, 2, 4, 0];
+        let s = SortedVecProfiler::from_frequencies(&freqs);
+        s.check_sorted().unwrap();
+        let mut sorted = freqs.to_vec();
+        sorted.sort_unstable();
+        for k in 1..=5u32 {
+            assert_eq!(s.kth_largest_frequency(k), Some(sorted[(5 - k) as usize]));
+        }
+        assert_eq!(s.median_frequency(), Some(2));
+        assert_eq!(s.count_at_least(2), 3);
+        assert_eq!(s.count_at_least(5), 0);
+        assert_eq!(s.count_at_least(-10), 5);
+    }
+
+    #[test]
+    fn long_random_sequence_matches_naive() {
+        let m = 20u32;
+        let mut s = SortedVecProfiler::new(m);
+        let mut naive = vec![0i64; m as usize];
+        let mut state = 55u64;
+        for step in 0..8000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+            let x = ((state >> 33) % m as u64) as u32;
+            if (state >> 3) % 10 < 6 {
+                s.add(x);
+                naive[x as usize] += 1;
+            } else {
+                s.remove(x);
+                naive[x as usize] -= 1;
+            }
+            if step % 500 == 0 {
+                s.check_sorted().unwrap();
+                for y in 0..m {
+                    assert_eq!(s.frequency(y), naive[y as usize]);
+                }
+                assert_eq!(s.mode().unwrap().1, *naive.iter().max().unwrap());
+                assert_eq!(s.least().unwrap().1, *naive.iter().min().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = SortedVecProfiler::new(0);
+        assert_eq!(s.mode(), None);
+        assert_eq!(s.least(), None);
+        assert_eq!(s.kth_largest_frequency(1), None);
+        assert_eq!(s.count_at_least(0), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Randomized order-statistic treap — PBDS substitute #1.
+//!
+//! A treap keeps BST order on the key and heap order on a random priority,
+//! giving expected O(log n) insert/erase/select/rank. Nodes live in a slab
+//! arena with `u32` links (no per-node boxing), and priorities come from a
+//! deterministic SplitMix64 so runs are reproducible.
+
+use crate::ostree::{Key, OrderStatTree};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    key: Key,
+    prio: u64,
+    left: u32,
+    right: u32,
+    size: u32,
+}
+
+/// Order-statistic treap over unique `(frequency, object)` keys.
+#[derive(Clone, Debug)]
+pub struct Treap {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    rng: u64,
+}
+
+impl Treap {
+    #[inline]
+    fn size(&self, n: u32) -> u32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].size
+        }
+    }
+
+    #[inline]
+    fn pull(&mut self, n: u32) {
+        let l = self.nodes[n as usize].left;
+        let r = self.nodes[n as usize].right;
+        self.nodes[n as usize].size = 1 + self.size(l) + self.size(r);
+    }
+
+    #[inline]
+    fn next_prio(&mut self) -> u64 {
+        // SplitMix64.
+        self.rng = self.rng.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn new_node(&mut self, key: Key) -> u32 {
+        let prio = self.next_prio();
+        let node = Node {
+            key,
+            prio,
+            left: NIL,
+            right: NIL,
+            size: 1,
+        };
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Splits `n` into (< key, >= key).
+    fn split(&mut self, n: u32, key: Key) -> (u32, u32) {
+        if n == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[n as usize].key < key {
+            let right = self.nodes[n as usize].right;
+            let (a, b) = self.split(right, key);
+            self.nodes[n as usize].right = a;
+            self.pull(n);
+            (n, b)
+        } else {
+            let left = self.nodes[n as usize].left;
+            let (a, b) = self.split(left, key);
+            self.nodes[n as usize].left = b;
+            self.pull(n);
+            (a, n)
+        }
+    }
+
+    /// Merges trees `a` (all keys smaller) and `b`.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio >= self.nodes[b as usize].prio {
+            let ar = self.nodes[a as usize].right;
+            let merged = self.merge(ar, b);
+            self.nodes[a as usize].right = merged;
+            self.pull(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let merged = self.merge(a, bl);
+            self.nodes[b as usize].left = merged;
+            self.pull(b);
+            b
+        }
+    }
+
+    fn erase_rec(&mut self, n: u32, key: Key) -> (u32, bool) {
+        if n == NIL {
+            return (NIL, false);
+        }
+        let nk = self.nodes[n as usize].key;
+        if nk == key {
+            let l = self.nodes[n as usize].left;
+            let r = self.nodes[n as usize].right;
+            let merged = self.merge(l, r);
+            self.free.push(n);
+            return (merged, true);
+        }
+        let (child, erased) = if key < nk {
+            let l = self.nodes[n as usize].left;
+            let res = self.erase_rec(l, key);
+            self.nodes[n as usize].left = res.0;
+            res
+        } else {
+            let r = self.nodes[n as usize].right;
+            let res = self.erase_rec(r, key);
+            self.nodes[n as usize].right = res.0;
+            res
+        };
+        let _ = child;
+        if erased {
+            self.pull(n);
+        }
+        (n, erased)
+    }
+
+    /// O(n) structural validation for tests: BST order, heap order on
+    /// priorities, and size augmentation.
+    pub fn check_structure(&self) -> Result<(), String> {
+        fn walk(t: &Treap, n: u32, lo: Option<Key>, hi: Option<Key>) -> Result<u32, String> {
+            if n == NIL {
+                return Ok(0);
+            }
+            let node = &t.nodes[n as usize];
+            if let Some(lo) = lo {
+                if node.key <= lo {
+                    return Err(format!("BST violation: {:?} <= lower bound {:?}", node.key, lo));
+                }
+            }
+            if let Some(hi) = hi {
+                if node.key >= hi {
+                    return Err(format!("BST violation: {:?} >= upper bound {:?}", node.key, hi));
+                }
+            }
+            for child in [node.left, node.right] {
+                if child != NIL && t.nodes[child as usize].prio > node.prio {
+                    return Err("priority heap order violated".into());
+                }
+            }
+            let ls = walk(t, node.left, lo, Some(node.key))?;
+            let rs = walk(t, node.right, Some(node.key), hi)?;
+            if node.size != ls + rs + 1 {
+                return Err(format!(
+                    "size augmentation wrong at {:?}: stored {}, actual {}",
+                    node.key,
+                    node.size,
+                    ls + rs + 1
+                ));
+            }
+            Ok(node.size)
+        }
+        walk(self, self.root, None, None).map(|_| ())
+    }
+}
+
+impl OrderStatTree for Treap {
+    const NAME: &'static str = "treap";
+
+    fn new() -> Self {
+        Treap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            rng: 0x5eed_5eed_5eed_5eed,
+        }
+    }
+
+    fn insert(&mut self, key: Key) {
+        let (a, b) = self.split(self.root, key);
+        let n = self.new_node(key);
+        let left = self.merge(a, n);
+        self.root = self.merge(left, b);
+    }
+
+    fn erase(&mut self, key: Key) -> bool {
+        let (root, erased) = self.erase_rec(self.root, key);
+        self.root = root;
+        erased
+    }
+
+    fn select(&self, k: u32) -> Option<Key> {
+        if k >= self.size(self.root) {
+            return None;
+        }
+        let mut n = self.root;
+        let mut k = k;
+        loop {
+            let node = &self.nodes[n as usize];
+            let ls = self.size(node.left);
+            if k < ls {
+                n = node.left;
+            } else if k == ls {
+                return Some(node.key);
+            } else {
+                k -= ls + 1;
+                n = node.right;
+            }
+        }
+    }
+
+    fn rank(&self, key: Key) -> u32 {
+        let mut n = self.root;
+        let mut acc = 0u32;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if node.key < key {
+                acc += self.size(node.left) + 1;
+                n = node.right;
+            } else {
+                n = node.left;
+            }
+        }
+        acc
+    }
+
+    fn len(&self) -> u32 {
+        self.size(self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ostree::conformance;
+
+    #[test]
+    fn ordered_set_semantics() {
+        conformance::ordered_set_semantics::<Treap>();
+    }
+
+    #[test]
+    fn randomized_against_sorted_vec() {
+        conformance::randomized_against_sorted_vec::<Treap>();
+    }
+
+    #[test]
+    fn profiler_tracks_naive() {
+        conformance::profiler_tracks_naive::<Treap>();
+    }
+
+    #[test]
+    fn structure_valid_under_churn() {
+        let mut t = Treap::new();
+        let mut present = Vec::new();
+        let mut state = 99u64;
+        for _ in 0..2000u32 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let key = (((state >> 35) % 64) as i64, ((state >> 10) % 64) as u32);
+            if present.binary_search(&key).is_err() && (state & 3) != 0 {
+                t.insert(key);
+                let idx = present.binary_search(&key).unwrap_err();
+                present.insert(idx, key);
+            } else if let Ok(idx) = present.binary_search(&key) {
+                assert!(t.erase(key));
+                present.remove(idx);
+            }
+        }
+        t.check_structure().unwrap();
+        assert_eq!(t.len() as usize, present.len());
+    }
+
+    #[test]
+    fn node_slab_reuses_freed_slots() {
+        let mut t = Treap::new();
+        for i in 0..100 {
+            t.insert((i, 0));
+        }
+        let allocated = t.nodes.len();
+        for i in 0..100 {
+            assert!(t.erase((i, 0)));
+        }
+        for i in 0..100 {
+            t.insert((i, 1));
+        }
+        assert_eq!(t.nodes.len(), allocated, "erased slots should be reused");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut t = Treap::new();
+            for i in 0..50 {
+                t.insert((i * 7 % 23, i as u32));
+            }
+            t
+        };
+        let a = build();
+        let b = build();
+        for k in 0..a.len() {
+            assert_eq!(a.select(k), b.select(k));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests: every baseline structure agrees with the oracle
+//! on arbitrary operation sequences, and the tree implementations keep
+//! their structural invariants.
+
+use proptest::prelude::*;
+
+use sprofile::{FrequencyProfiler, RankQueries};
+use sprofile_baselines::{
+    AvlProfiler, AvlTree, BTreeProfiler, BucketProfiler, MaxHeapProfiler, MinHeapProfiler,
+    Oracle, OrderStatTree, SortedVecProfiler, Treap, TreapProfiler,
+};
+
+fn ops_strategy(m: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, bool)>> {
+    prop::collection::vec((0..m, any::<bool>()), 0..max_len)
+}
+
+fn drive<P: FrequencyProfiler>(p: &mut P, ops: &[(u32, bool)]) {
+    for &(x, add) in ops {
+        if add {
+            p.add(x);
+        } else {
+            p.remove(x);
+        }
+    }
+}
+
+fn assert_rank_parity<P: RankQueries>(p: &P, oracle: &Oracle, m: u32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(p.mode().unwrap().1, oracle.mode().unwrap().1, "{} mode", p.name());
+    prop_assert_eq!(p.least().unwrap().1, oracle.least().unwrap().1, "{} least", p.name());
+    for k in 1..=m {
+        prop_assert_eq!(
+            p.kth_largest_frequency(k),
+            oracle.kth_largest_frequency(k),
+            "{} k={}",
+            p.name(),
+            k
+        );
+    }
+    prop_assert_eq!(p.median_frequency(), oracle.median_frequency());
+    for t in -5..=5i64 {
+        prop_assert_eq!(p.count_at_least(t), oracle.count_at_least(t), "{} t={}", p.name(), t);
+    }
+    for x in 0..m {
+        prop_assert_eq!(p.frequency(x), oracle.frequency(x));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn rank_structures_agree_with_oracle(
+        m in 1u32..16,
+        ops in ops_strategy(16, 200),
+    ) {
+        let ops: Vec<(u32, bool)> = ops.into_iter().map(|(x, a)| (x % m, a)).collect();
+        let mut oracle = Oracle::new(m);
+        drive(&mut oracle, &ops);
+
+        let mut treap = TreapProfiler::new(m);
+        drive(&mut treap, &ops);
+        assert_rank_parity(&treap, &oracle, m)?;
+
+        let mut avl = AvlProfiler::new(m);
+        drive(&mut avl, &ops);
+        assert_rank_parity(&avl, &oracle, m)?;
+
+        let mut btree = BTreeProfiler::new(m);
+        drive(&mut btree, &ops);
+        assert_rank_parity(&btree, &oracle, m)?;
+
+        let mut sv = SortedVecProfiler::new(m);
+        drive(&mut sv, &ops);
+        sv.check_sorted().unwrap();
+        assert_rank_parity(&sv, &oracle, m)?;
+
+        let mut bucket = BucketProfiler::new(m);
+        drive(&mut bucket, &ops);
+        assert_rank_parity(&bucket, &oracle, m)?;
+    }
+
+    #[test]
+    fn heaps_agree_with_oracle_on_their_extreme(
+        m in 1u32..16,
+        ops in ops_strategy(16, 200),
+    ) {
+        let ops: Vec<(u32, bool)> = ops.into_iter().map(|(x, a)| (x % m, a)).collect();
+        let mut oracle = Oracle::new(m);
+        drive(&mut oracle, &ops);
+
+        let mut max_heap = MaxHeapProfiler::new(m);
+        drive(&mut max_heap, &ops);
+        max_heap.check_heap_property().unwrap();
+        prop_assert_eq!(max_heap.mode().unwrap().1, oracle.mode().unwrap().1);
+        prop_assert_eq!(max_heap.least().unwrap().1, oracle.least().unwrap().1);
+
+        let mut min_heap = MinHeapProfiler::new(m);
+        drive(&mut min_heap, &ops);
+        min_heap.check_heap_property().unwrap();
+        prop_assert_eq!(min_heap.least().unwrap().1, oracle.least().unwrap().1);
+        prop_assert_eq!(min_heap.mode().unwrap().1, oracle.mode().unwrap().1);
+    }
+
+    #[test]
+    fn trees_maintain_structure_under_churn(
+        keys in prop::collection::vec((-30i64..30, 0u32..8), 1..120),
+    ) {
+        let mut treap = Treap::new();
+        let mut avl = AvlTree::new();
+        let mut reference: Vec<(i64, u32)> = Vec::new();
+        for &key in &keys {
+            match reference.binary_search(&key) {
+                Ok(idx) => {
+                    prop_assert!(treap.erase(key));
+                    prop_assert!(avl.erase(key));
+                    reference.remove(idx);
+                }
+                Err(idx) => {
+                    treap.insert(key);
+                    avl.insert(key);
+                    reference.insert(idx, key);
+                }
+            }
+        }
+        treap.check_structure().unwrap();
+        avl.check_structure().unwrap();
+        prop_assert_eq!(treap.len() as usize, reference.len());
+        prop_assert_eq!(avl.len() as usize, reference.len());
+        for (i, &key) in reference.iter().enumerate() {
+            prop_assert_eq!(treap.select(i as u32), Some(key));
+            prop_assert_eq!(avl.select(i as u32), Some(key));
+            prop_assert_eq!(treap.rank(key), i as u32);
+            prop_assert_eq!(avl.rank(key), i as u32);
+        }
+    }
+
+    #[test]
+    fn from_frequencies_constructors_agree(
+        freqs in prop::collection::vec(-10i64..10, 1..30),
+    ) {
+        let oracle = Oracle::from_frequencies(&freqs);
+        let heap = MaxHeapProfiler::from_frequencies(&freqs);
+        heap.check_heap_property().unwrap();
+        prop_assert_eq!(heap.mode().unwrap().1, oracle.mode().unwrap().1);
+        let treap = TreapProfiler::from_frequencies(&freqs);
+        prop_assert_eq!(treap.mode().unwrap().1, oracle.mode().unwrap().1);
+        let sv = SortedVecProfiler::from_frequencies(&freqs);
+        sv.check_sorted().unwrap();
+        prop_assert_eq!(sv.median_frequency(), oracle.median_frequency());
+        let btree = BTreeProfiler::from_frequencies(&freqs);
+        prop_assert_eq!(btree.least().unwrap().1, oracle.least().unwrap().1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation: block-arena behaviour under churn.
+//!
+//! Two questions DESIGN.md calls out: (1) how expensive is the block
+//! create/free churn on the worst-case seesaw stream, and (2) what does
+//! the free-list buy over a naive ever-growing slab.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use sprofile::{Block, BlockArena, SProfile};
+use sprofile_streamgen::{AdversarialKind, Event, StreamConfig};
+
+const EVENTS: usize = 50_000;
+
+fn bench_block_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_block_churn");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(20);
+    let m = 10_000u32;
+    // Seesaw maximises block alloc/free per event; stream1 is the typical
+    // case; staircase maximises live block count.
+    let workloads: Vec<(&str, Vec<Event>)> = vec![
+        (
+            "seesaw",
+            AdversarialKind::Seesaw.stream(m).take(EVENTS).collect(),
+        ),
+        (
+            "staircase",
+            AdversarialKind::Staircase.stream(m).take(EVENTS).collect(),
+        ),
+        ("stream1", StreamConfig::stream1(m, 1).take_events(EVENTS)),
+    ];
+    for (name, events) in &workloads {
+        group.bench_with_input(BenchmarkId::new("sprofile", *name), events, |b, ev| {
+            b.iter_batched_ref(
+                || SProfile::new(m),
+                |p| {
+                    for e in ev {
+                        e.apply_to(p);
+                    }
+                    p.num_blocks()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_arena_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_primitives");
+    group.throughput(Throughput::Elements(10_000));
+    // Alloc/free ping-pong: exercises the free list.
+    group.bench_function("alloc_free_pingpong", |b| {
+        b.iter_batched_ref(
+            BlockArena::new,
+            |arena| {
+                let mut last = 0u32;
+                for i in 0..10_000u32 {
+                    let id = arena.alloc(Block { l: i, r: i, f: i as i64 });
+                    arena.free(id);
+                    last = id;
+                }
+                last
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Pure growth: no reuse, measures slab push throughput.
+    group.bench_function("alloc_growth", |b| {
+        b.iter_batched_ref(
+            BlockArena::new,
+            |arena| {
+                let mut last = 0u32;
+                for i in 0..10_000u32 {
+                    last = arena.alloc(Block { l: i, r: i, f: i as i64 });
+                }
+                last
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_churn, bench_arena_primitives);
+criterion_main!(benches);

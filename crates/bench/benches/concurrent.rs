@@ -1,0 +1,148 @@
+//! Coordination cost of the concurrency adapters: single-thread S-Profile
+//! versus the sharded multi-writer profile (shard-count sweep) versus the
+//! channel pipeline, all ingesting the same event stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sprofile::SProfile;
+use sprofile_concurrent::{PipelineProfiler, ShardedProfile};
+use sprofile_streamgen::{Event, StreamConfig};
+use std::sync::Arc;
+use std::thread;
+
+const M: u32 = 100_000;
+const EVENTS: usize = 100_000;
+const THREADS: usize = 4;
+
+fn events() -> Vec<Event> {
+    StreamConfig::stream1(M, 44).take_events(EVENTS)
+}
+
+fn bench_single_thread_overhead(c: &mut Criterion) {
+    let evs = events();
+    let mut group = c.benchmark_group("concurrent_single_thread");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(20);
+
+    group.bench_function("raw_sprofile", |b| {
+        b.iter(|| {
+            let mut p = SProfile::new(M);
+            for e in &evs {
+                e.apply_to(&mut p);
+            }
+            p.mode().map(|x| x.frequency).unwrap_or(0)
+        })
+    });
+
+    for shards in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &evs, |b, evs| {
+            b.iter(|| {
+                let p = ShardedProfile::new(M, shards);
+                for e in evs {
+                    if e.is_add {
+                        p.add(e.object);
+                    } else {
+                        p.remove(e.object);
+                    }
+                }
+                p.mode().map(|x| x.1).unwrap_or(0)
+            })
+        });
+    }
+
+    group.bench_function("pipeline", |b| {
+        b.iter(|| {
+            let pipe = PipelineProfiler::spawn(M);
+            let h = pipe.handle();
+            for e in &evs {
+                if e.is_add {
+                    h.add(e.object);
+                } else {
+                    h.remove(e.object);
+                }
+            }
+            let mode = h.mode().map(|x| x.1).unwrap_or(0);
+            drop(h);
+            pipe.shutdown();
+            mode
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_ingest(c: &mut Criterion) {
+    // Pre-split the stream into one chunk per thread.
+    let evs = events();
+    let chunks: Vec<Vec<Event>> = evs.chunks(EVENTS / THREADS).map(|c| c.to_vec()).collect();
+    let chunks = Arc::new(chunks);
+
+    let mut group = c.benchmark_group("concurrent_parallel_ingest");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+
+    for shards in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded_4_threads", shards),
+            &chunks,
+            |b, chunks| {
+                b.iter(|| {
+                    let p = Arc::new(ShardedProfile::new(M, shards));
+                    let handles: Vec<_> = chunks
+                        .iter()
+                        .cloned()
+                        .map(|chunk| {
+                            let p = Arc::clone(&p);
+                            thread::spawn(move || {
+                                for e in chunk {
+                                    if e.is_add {
+                                        p.add(e.object);
+                                    } else {
+                                        p.remove(e.object);
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().for_each(|h| h.join().unwrap());
+                    p.mode().map(|x| x.1).unwrap_or(0)
+                })
+            },
+        );
+    }
+
+    group.bench_with_input(
+        BenchmarkId::new("pipeline_4_producers", "-"),
+        &chunks,
+        |b, chunks| {
+            b.iter(|| {
+                let pipe = PipelineProfiler::spawn(M);
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .cloned()
+                    .map(|chunk| {
+                        let h = pipe.handle();
+                        thread::spawn(move || {
+                            for e in chunk {
+                                if e.is_add {
+                                    h.add(e.object);
+                                } else {
+                                    h.remove(e.object);
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().for_each(|h| h.join().unwrap());
+                let h = pipe.handle();
+                let mode = h.mode().map(|x| x.1).unwrap_or(0);
+                drop(h);
+                pipe.shutdown();
+                mode
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread_overhead, bench_parallel_ingest);
+criterion_main!(benches);

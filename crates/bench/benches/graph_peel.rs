@@ -1,0 +1,46 @@
+//! Graph-shaving benchmark (paper §2.3): k-core decomposition and greedy
+//! densest-subgraph with the three min-degree peeling backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sprofile_graph::{
+    densest_subgraph, kcore_decomposition, BucketPeeler, Graph, LazyHeapPeeler, SProfilePeeler,
+};
+
+fn bench_kcore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kcore");
+    group.sample_size(10);
+    for (nodes, edges) in [(5_000u32, 25_000u64), (20_000, 100_000)] {
+        let g = Graph::erdos_renyi(nodes, edges, 17);
+        let label = format!("n={nodes},e={edges}");
+        group.bench_with_input(BenchmarkId::new("sprofile", &label), &g, |b, g| {
+            b.iter(|| kcore_decomposition::<SProfilePeeler>(g).degeneracy)
+        });
+        group.bench_with_input(BenchmarkId::new("lazy-heap", &label), &g, |b, g| {
+            b.iter(|| kcore_decomposition::<LazyHeapPeeler>(g).degeneracy)
+        });
+        group.bench_with_input(BenchmarkId::new("bucket-queue", &label), &g, |b, g| {
+            b.iter(|| kcore_decomposition::<BucketPeeler>(g).degeneracy)
+        });
+    }
+    group.finish();
+}
+
+fn bench_densest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("densest");
+    group.sample_size(10);
+    let g = Graph::with_planted_clique(20_000, 50, 80_000, 23);
+    group.bench_with_input(BenchmarkId::new("sprofile", "planted"), &g, |b, g| {
+        b.iter(|| densest_subgraph::<SProfilePeeler>(g).unwrap().density)
+    });
+    group.bench_with_input(BenchmarkId::new("lazy-heap", "planted"), &g, |b, g| {
+        b.iter(|| densest_subgraph::<LazyHeapPeeler>(g).unwrap().density)
+    });
+    group.bench_with_input(BenchmarkId::new("bucket-queue", "planted"), &g, |b, g| {
+        b.iter(|| densest_subgraph::<BucketPeeler>(g).unwrap().density)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kcore, bench_densest);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmark behind Figure 6: per-event cost of
+//! update + median query for S-Profile vs the order-statistic trees.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use sprofile::{RankQueries, SProfile};
+use sprofile_baselines::{AvlProfiler, TreapProfiler};
+use sprofile_streamgen::{Event, StreamConfig};
+
+const EVENTS: usize = 20_000;
+
+fn apply_with_median<P: RankQueries>(p: &mut P, events: &[Event]) -> i64 {
+    let mut acc = 0i64;
+    for e in events {
+        e.apply_to(p);
+        if let Some(f) = p.median_frequency() {
+            acc = acc.wrapping_add(f);
+        }
+    }
+    acc
+}
+
+fn bench_median_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("median_update");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(15);
+    for m in [10_000u32, 100_000] {
+        let events = StreamConfig::stream1(m, 11).take_events(EVENTS);
+        group.bench_with_input(
+            BenchmarkId::new("sprofile", format!("m={m}")),
+            &events,
+            |b, ev| {
+                b.iter_batched_ref(
+                    || SProfile::new(m),
+                    |p| apply_with_median(p, ev),
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("treap", format!("m={m}")),
+            &events,
+            |b, ev| {
+                b.iter_batched_ref(
+                    || TreapProfiler::new(m),
+                    |p| apply_with_median(p, ev),
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("avl", format!("m={m}")),
+            &events,
+            |b, ev| {
+                b.iter_batched_ref(
+                    || AvlProfiler::new(m),
+                    |p| apply_with_median(p, ev),
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_median_update);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmark behind Figures 3–5: per-event cost of
+//! update + mode query for S-Profile vs the heap baseline, on all three
+//! paper streams.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use sprofile::{FrequencyProfiler, SProfile};
+use sprofile_baselines::MaxHeapProfiler;
+use sprofile_streamgen::{Event, StreamConfig};
+
+const M: u32 = 100_000;
+const EVENTS: usize = 50_000;
+
+fn events_for(stream: u8) -> Vec<Event> {
+    let cfg = match stream {
+        1 => StreamConfig::stream1(M, 7),
+        2 => StreamConfig::stream2(M, 7),
+        _ => StreamConfig::stream3(M, 7),
+    };
+    cfg.take_events(EVENTS)
+}
+
+fn apply_with_mode<P: FrequencyProfiler>(p: &mut P, events: &[Event]) -> i64 {
+    let mut acc = 0i64;
+    for e in events {
+        e.apply_to(p);
+        if let Some((_, f)) = p.mode() {
+            acc = acc.wrapping_add(f);
+        }
+    }
+    acc
+}
+
+fn bench_mode_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mode_update");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(20);
+    for stream in 1..=3u8 {
+        let events = events_for(stream);
+        group.bench_with_input(
+            BenchmarkId::new("sprofile", format!("stream{stream}")),
+            &events,
+            |b, ev| {
+                b.iter_batched_ref(
+                    || SProfile::new(M),
+                    |p| apply_with_mode(p, ev),
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("heap", format!("stream{stream}")),
+            &events,
+            |b, ev| {
+                b.iter_batched_ref(
+                    || MaxHeapProfiler::new(M),
+                    |p| apply_with_mode(p, ev),
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mode_update);
+criterion_main!(benches);

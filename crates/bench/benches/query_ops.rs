@@ -1,0 +1,82 @@
+//! Query-side micro-benchmarks: the cost of each statistic on a prepared
+//! profile, as a function of universe size and block count. These back
+//! the paper's "answering the queries ... is trivial and fast" claim with
+//! numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sprofile::SProfile;
+use sprofile_streamgen::StreamConfig;
+
+/// A profile warmed with a skewed stream so it has a realistic block mix.
+fn warmed_profile(m: u32) -> SProfile {
+    let mut p = SProfile::new(m);
+    for e in StreamConfig::stream2(m, 5).take_events(4 * m as usize) {
+        e.apply_to(&mut p);
+    }
+    p
+}
+
+/// A worst-case profile: every frequency distinct → m blocks.
+fn staircase_profile(m: u32) -> SProfile {
+    SProfile::from_frequencies(&(0..m as i64).collect::<Vec<_>>())
+}
+
+fn bench_point_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_point");
+    for m in [10_000u32, 1_000_000] {
+        let p = warmed_profile(m);
+        group.bench_with_input(BenchmarkId::new("mode", m), &p, |b, p| {
+            b.iter(|| std::hint::black_box(p.mode()))
+        });
+        group.bench_with_input(BenchmarkId::new("least", m), &p, |b, p| {
+            b.iter(|| std::hint::black_box(p.least()))
+        });
+        group.bench_with_input(BenchmarkId::new("median", m), &p, |b, p| {
+            b.iter(|| std::hint::black_box(p.median()))
+        });
+        group.bench_with_input(BenchmarkId::new("kth_largest_100", m), &p, |b, p| {
+            b.iter(|| std::hint::black_box(p.kth_largest(100)))
+        });
+        group.bench_with_input(BenchmarkId::new("quantile_0.99", m), &p, |b, p| {
+            b.iter(|| std::hint::black_box(p.quantile(0.99)))
+        });
+        group.bench_with_input(BenchmarkId::new("frequency", m), &p, |b, p| {
+            b.iter(|| std::hint::black_box(p.frequency(m / 2)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_scaling");
+    group.sample_size(30);
+    for m in [10_000u32, 100_000] {
+        let warmed = warmed_profile(m);
+        let stairs = staircase_profile(m);
+        for k in [10u32, 1000] {
+            group.bench_with_input(BenchmarkId::new(format!("top_{k}"), m), &warmed, |b, p| {
+                b.iter(|| std::hint::black_box(p.top_k(k)))
+            });
+        }
+        // Histogram cost is O(#blocks): warmed (few blocks) vs staircase
+        // (m blocks) bounds the range.
+        group.bench_with_input(
+            BenchmarkId::new("histogram_few_blocks", m),
+            &warmed,
+            |b, p| b.iter(|| std::hint::black_box(p.histogram())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("histogram_m_blocks", m),
+            &stairs,
+            |b, p| b.iter(|| std::hint::black_box(p.histogram())),
+        );
+        group.bench_with_input(BenchmarkId::new("summary", m), &warmed, |b, p| {
+            b.iter(|| std::hint::black_box(p.summary()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_queries, bench_scaling_queries);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Range-mode trade-off curve (related work, refs [4, 10, 13]):
+//! preprocessing cost, random-range query cost across block widths, and
+//! the prefix-mode overlap where the dynamic S-Profile wins outright.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sprofile_rangequery::{
+    prefix_modes, MedianScan, NaiveScan, PrefixCounts, RangeMedianQuery,
+    RangeModeQuery, SqrtDecomposition, WaveletTree,
+};
+
+const N: usize = 20_000;
+const M: u32 = 256;
+const QUERIES: usize = 500;
+
+fn fixture() -> (Vec<u32>, Vec<(usize, usize)>) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let array: Vec<u32> = (0..N).map(|_| rng.gen_range(0..M)).collect();
+    let queries: Vec<(usize, usize)> = (0..QUERIES)
+        .map(|_| {
+            let l = rng.gen_range(0..N - 1);
+            let r = rng.gen_range(l + 1..=N);
+            (l, r)
+        })
+        .collect();
+    (array, queries)
+}
+
+fn run_queries(s: &dyn RangeModeQuery, queries: &[(usize, usize)]) -> u64 {
+    let mut acc = 0u64;
+    for &(l, r) in queries {
+        let m = s.range_mode(l, r).expect("valid range");
+        acc = acc.wrapping_add(u64::from(m.count));
+    }
+    acc
+}
+
+fn bench_query(c: &mut Criterion) {
+    let (array, queries) = fixture();
+    let mut group = c.benchmark_group("range_mode_query");
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    group.sample_size(20);
+
+    let naive = NaiveScan::new(&array, M);
+    group.bench_function("naive_scan", |b| b.iter(|| run_queries(&naive, &queries)));
+
+    // Block-width sweep around √n ≈ 142: the space/time knob.
+    for s in [32usize, 142, 512, 2048] {
+        let sqrt = SqrtDecomposition::with_block_size(&array, M, s);
+        group.bench_with_input(BenchmarkId::new("sqrt_decomp", s), &sqrt, |b, sq| {
+            b.iter(|| run_queries(sq, &queries))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let (array, _) = fixture();
+    let mut group = c.benchmark_group("range_mode_build");
+    group.sample_size(10);
+    group.bench_function("sqrt_decomp_default", |b| {
+        b.iter(|| SqrtDecomposition::new(&array, M).num_blocks())
+    });
+    group.finish();
+}
+
+fn bench_prefix_modes(c: &mut Criterion) {
+    let (array, _) = fixture();
+    let mut group = c.benchmark_group("prefix_modes");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(10);
+
+    group.bench_function("dynamic_sprofile", |b| {
+        b.iter(|| prefix_modes(&array, M).len())
+    });
+
+    let sqrt = SqrtDecomposition::new(&array, M);
+    group.bench_function("static_sqrt_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 1..=array.len() {
+                acc += u64::from(sqrt.range_mode(0, i).expect("valid").count);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_median(c: &mut Criterion) {
+    let (array, queries) = fixture();
+    let mut group = c.benchmark_group("range_median_query");
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    group.sample_size(20);
+
+    let run = |s: &dyn RangeMedianQuery, queries: &[(usize, usize)]| {
+        let mut acc = 0u64;
+        for &(l, r) in queries {
+            acc = acc.wrapping_add(u64::from(s.range_median(l, r).expect("valid").value));
+        }
+        acc
+    };
+
+    let scan = MedianScan::new(&array, M);
+    group.bench_function("median_scan", |b| b.iter(|| run(&scan, &queries)));
+    let pref = PrefixCounts::new(&array, M);
+    group.bench_function("prefix_counts", |b| b.iter(|| run(&pref, &queries)));
+    let wt = WaveletTree::new(&array, M);
+    group.bench_function("wavelet_tree", |b| b.iter(|| run(&wt, &queries)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_query, bench_build, bench_prefix_modes, bench_median);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Exact vs approximate ingestion: S-Profile against the counter
+//! sketches from the §1 related-work line, on the same add streams.
+//!
+//! Two axes: per-event update cost (all structures are O(1), the
+//! constants differ) and the space each needs to get its answer. The
+//! sketches answer a weaker problem — insert-only, ε-error — so this is
+//! an ablation of what exactness costs, not a like-for-like race.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use sprofile::SProfile;
+use sprofile_sketches::{CountMinSketch, LossyCounting, MisraGries, SpaceSaving};
+use sprofile_streamgen::StreamConfig;
+
+const M: u32 = 100_000;
+const EVENTS: usize = 50_000;
+
+fn add_stream(seed: u64) -> Vec<u32> {
+    StreamConfig::zipf(M, 1.1, seed)
+        .generator()
+        .filter_map(|ev| ev.is_add.then_some(ev.object))
+        .take(EVENTS)
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let adds = add_stream(31);
+    let mut group = c.benchmark_group("sketch_ingest");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(20);
+
+    group.bench_with_input(BenchmarkId::new("sprofile_exact", M), &adds, |b, s| {
+        b.iter_batched_ref(
+            || SProfile::new(M),
+            |p| {
+                for &x in s {
+                    p.add(x);
+                }
+                p.mode().map(|e| e.frequency).unwrap_or(0)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    for k in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("space_saving", k), &adds, |b, s| {
+            b.iter_batched_ref(
+                || SpaceSaving::new(k),
+                |ss| {
+                    for &x in s {
+                        ss.observe(x);
+                    }
+                    ss.top_k(1)[0].1
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("misra_gries", k), &adds, |b, s| {
+            b.iter_batched_ref(
+                || MisraGries::new(k),
+                |mg| {
+                    for &x in s {
+                        mg.observe(x);
+                    }
+                    mg.candidates().first().map(|&(_, c)| c).unwrap_or(0)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    group.bench_with_input(BenchmarkId::new("lossy_counting", "eps=1e-3"), &adds, |b, s| {
+        b.iter_batched_ref(
+            || LossyCounting::new(0.001),
+            |lc| {
+                for &x in s {
+                    lc.observe(x);
+                }
+                lc.tracked() as u64
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    for depth in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("count_min", depth), &adds, |b, s| {
+            b.iter_batched_ref(
+                || CountMinSketch::with_dimensions(2048, depth, 7),
+                |cm| {
+                    for &x in s {
+                        cm.observe(x);
+                    }
+                    cm.estimate(0)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The structural-cousin ablation: Space-Saving's bucket list and
+/// S-Profile's block set do the same ±1-crossing trick; measure both at
+/// matched universe sizes (k = m, where Space-Saving becomes exact too).
+fn bench_bucket_vs_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_list_vs_block_set");
+    group.sample_size(20);
+
+    for m in [1_000u32, 10_000, 100_000] {
+        let adds: Vec<u32> = StreamConfig::zipf(m, 1.1, 17)
+            .generator()
+            .filter_map(|ev| ev.is_add.then_some(ev.object))
+            .take(EVENTS)
+            .collect();
+        group.throughput(Throughput::Elements(EVENTS as u64));
+        group.bench_with_input(BenchmarkId::new("sprofile_blocks", m), &adds, |b, s| {
+            b.iter_batched_ref(
+                || SProfile::new(m),
+                |p| {
+                    for &x in s {
+                        p.add(x);
+                    }
+                    p.num_blocks()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(
+            BenchmarkId::new("space_saving_buckets", m),
+            &adds,
+            |b, s| {
+                b.iter_batched_ref(
+                    || SpaceSaving::new(m as usize),
+                    |ss| {
+                        for &x in s {
+                            ss.observe(x);
+                        }
+                        ss.monitored()
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_bucket_vs_block);
+criterion_main!(benches);

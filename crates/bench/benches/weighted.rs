@@ -1,0 +1,111 @@
+//! Ablation: weighted updates (±k in one operation) vs k unit updates vs
+//! the order-statistic tree (which does ±k natively as erase+insert).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use sprofile::{FrequencyProfiler, SProfile};
+use sprofile_baselines::TreapProfiler;
+use sprofile_streamgen::{Pdf, Sampler};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const M: u32 = 50_000;
+const OPS: usize = 10_000;
+
+/// Pre-generated weighted ops: (object, signed delta).
+fn weighted_ops(max_abs: i64) -> Vec<(u32, i64)> {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut sampler = Sampler::new(Pdf::Zipf { exponent: 1.2 }, M);
+    (0..OPS)
+        .map(|_| {
+            let x = sampler.sample(&mut rng);
+            let k = rng.gen_range(1..=max_abs);
+            let k = if rng.gen_bool(0.7) { k } else { -k };
+            (x, k)
+        })
+        .collect()
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_update");
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.sample_size(15);
+    for max_abs in [4i64, 64, 1024] {
+        let ops = weighted_ops(max_abs);
+        group.bench_with_input(
+            BenchmarkId::new("sprofile_add_many", format!("k<={max_abs}")),
+            &ops,
+            |b, ops| {
+                b.iter_batched_ref(
+                    || SProfile::new(M),
+                    |p| {
+                        for &(x, k) in ops {
+                            if k >= 0 {
+                                p.add_many(x, k as u64);
+                            } else {
+                                p.remove_many(x, (-k) as u64);
+                            }
+                        }
+                        p.mode().map(|e| e.frequency).unwrap_or(0)
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sprofile_unit_loop", format!("k<={max_abs}")),
+            &ops,
+            |b, ops| {
+                b.iter_batched_ref(
+                    || SProfile::new(M),
+                    |p| {
+                        for &(x, k) in ops {
+                            for _ in 0..k.abs() {
+                                if k >= 0 {
+                                    p.add(x);
+                                } else {
+                                    p.remove(x);
+                                }
+                            }
+                        }
+                        p.mode().map(|e| e.frequency).unwrap_or(0)
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("treap_erase_insert", format!("k<={max_abs}")),
+            &ops,
+            |b, ops| {
+                b.iter_batched_ref(
+                    || TreapProfiler::new(M),
+                    |p| {
+                        // A tree does ±k natively: erase old key, insert new.
+                        for &(x, k) in ops {
+                            // TreeProfiler exposes only ±1 via the trait;
+                            // emulate the native re-key with one remove/add
+                            // pair per unit is unfair — instead use k loop
+                            // of trait ops only for |k| == the tree's
+                            // actual cost model: one erase+insert. We
+                            // approximate with a single add/remove, which
+                            // *under*-counts the tree's work for |k| > 1.
+                            if k >= 0 {
+                                p.add(x);
+                            } else {
+                                p.remove(x);
+                            }
+                        }
+                        p.mode().map(|e| e.1).unwrap_or(0)
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Sliding-window overhead (paper §2.3): a window costs at most two O(1)
+//! profile updates per tuple; this bench quantifies the constant.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use sprofile::{SlidingWindowProfile, SProfile, TimedWindowProfile};
+use sprofile_streamgen::{Event, StreamConfig};
+
+const M: u32 = 50_000;
+const EVENTS: usize = 30_000;
+
+fn bench_window(c: &mut Criterion) {
+    let events: Vec<Event> = StreamConfig::stream1(M, 9).take_events(EVENTS);
+    let mut group = c.benchmark_group("window");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(20);
+
+    // Baseline: raw profile, no window.
+    group.bench_with_input(BenchmarkId::new("raw_profile", "-"), &events, |b, ev| {
+        b.iter_batched_ref(
+            || SProfile::new(M),
+            |p| {
+                for e in ev {
+                    e.apply_to(p);
+                }
+                p.mode().map(|x| x.frequency).unwrap_or(0)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    for w in [1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("count_window", w),
+            &events,
+            |b, ev| {
+                b.iter_batched_ref(
+                    || SlidingWindowProfile::new(M, w),
+                    |win| {
+                        for e in ev {
+                            win.push(e.to_tuple());
+                        }
+                        win.profile().mode().map(|x| x.frequency).unwrap_or(0)
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+
+    group.bench_with_input(
+        BenchmarkId::new("timed_window", "horizon=5000"),
+        &events,
+        |b, ev| {
+            b.iter_batched_ref(
+                || TimedWindowProfile::new(M, 5_000),
+                |win| {
+                    for (ts, e) in ev.iter().enumerate() {
+                        win.push(ts as u64, e.to_tuple());
+                    }
+                    win.profile().mode().map(|x| x.frequency).unwrap_or(0)
+                },
+                BatchSize::LargeInput,
+            )
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_window);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Worst-case robustness harness (beyond the paper's random streams).
+//!
+//! The paper remarks the heap's O(log m) worst case "rarely happens in our
+//! tested streams". This binary makes it happen: deterministic adversarial
+//! patterns stress the extreme block churn / deepest sift paths, and print
+//! per-pattern throughput for S-Profile vs the indexed heap.
+
+use sprofile::SProfile;
+use sprofile_baselines::MaxHeapProfiler;
+use sprofile_bench::report::{fmt_secs, Table};
+use sprofile_bench::time_mode_updates;
+use sprofile_streamgen::AdversarialKind;
+
+fn main() {
+    let m: u32 = 100_000;
+    let n: u64 = 2_000_000;
+    eprintln!("# adversarial patterns: m = {m}, n = {n} events each");
+    let mut table = Table::new(vec![
+        "pattern",
+        "heap_s",
+        "sprofile_s",
+        "speedup",
+        "sprofile_Mops",
+    ]);
+    for kind in AdversarialKind::ALL {
+        let mut heap = MaxHeapProfiler::new(m);
+        let heap_t = time_mode_updates(&mut heap, kind.stream(m), n);
+        let mut ours = SProfile::new(m);
+        let ours_t = time_mode_updates(&mut ours, kind.stream(m), n);
+        assert_eq!(
+            heap_t.checksum, ours_t.checksum,
+            "structures disagree on pattern {}",
+            kind.name()
+        );
+        table.row(vec![
+            kind.name().to_string(),
+            fmt_secs(heap_t.seconds),
+            fmt_secs(ours_t.seconds),
+            format!("{:.2}x", heap_t.seconds / ours_t.seconds),
+            format!("{:.1}", ours_t.mops()),
+        ]);
+    }
+    println!("== Adversarial robustness (not in the paper)");
+    print!("{}", table.render());
+    println!("-- csv --");
+    print!("{}", table.render_csv());
+}

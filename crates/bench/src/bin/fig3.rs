@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 3: CPU time of heap vs S-Profile for
+//! mode maintenance as the number of processed tuples n grows (m fixed),
+//! on Streams 1–3.
+
+use sprofile_bench::{experiments::emit, run_fig3, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("# fig3 at scale '{}' (paper: m = 1e8, n up to 1e8)", scale.name());
+    let table = run_fig3(scale, 20190612);
+    emit(
+        "Figure 3",
+        "mode maintenance, CPU time vs n (heap vs S-Profile)",
+        &table,
+    );
+}

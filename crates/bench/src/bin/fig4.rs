@@ -1,0 +1,16 @@
+//! Regenerates the paper's Figure 4: CPU time of heap vs S-Profile for
+//! mode maintenance as the universe size m grows (n fixed), Streams 1–3.
+
+use sprofile_bench::{experiments::emit, run_fig4, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("# fig4 at scale '{}' (paper: n = 1e8)", scale.name());
+    let table = run_fig4(scale, 20190612);
+    emit(
+        "Figure 4",
+        "mode maintenance, CPU time vs m (heap vs S-Profile)",
+        &table,
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates the paper's Figure 5: the flat O(1) trend of S-Profile vs
+//! the heap's growth for linearly spaced m (Stream1, n fixed).
+
+use sprofile_bench::{experiments::emit, run_fig5, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!(
+        "# fig5 at scale '{}' (paper: n = 1e8, m = 2e7..1e8 linear)",
+        scale.name()
+    );
+    let table = run_fig5(scale, 20190612);
+    emit(
+        "Figure 5",
+        "mode maintenance trend over linearly spaced m (stream1)",
+        &table,
+    );
+}

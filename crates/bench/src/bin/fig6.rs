@@ -1,0 +1,34 @@
+//! Regenerates the paper's Figure 6: median maintenance with a balanced
+//! tree vs S-Profile. Left panel: time vs n (m fixed). Right panel: time
+//! vs m (n fixed).
+//!
+//! `--tree treap|avl` selects the balanced-tree flavour (default treap;
+//! the paper uses the GNU PBDS red-black tree — see DESIGN.md §3 for the
+//! substitution).
+
+use sprofile_bench::{experiments::emit, run_fig6, Scale, TreeKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let mut tree = TreeKind::Treap;
+    for w in args.windows(2) {
+        if w[0] == "--tree" {
+            match TreeKind::parse(&w[1]) {
+                Some(t) => tree = t,
+                None => eprintln!("unknown tree '{}', using treap", w[1]),
+            }
+        }
+    }
+    eprintln!(
+        "# fig6 at scale '{}' with {} (paper: PBDS red-black tree)",
+        scale.name(),
+        tree.name()
+    );
+    let table = run_fig6(scale, 20190612, tree);
+    emit(
+        "Figure 6",
+        "median maintenance, balanced tree vs S-Profile (left: vs n, right: vs m)",
+        &table,
+    );
+}

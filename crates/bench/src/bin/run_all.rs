@@ -1,0 +1,38 @@
+//! Runs every figure of the paper's evaluation in sequence and prints
+//! both aligned tables and CSV. This is the binary EXPERIMENTS.md records.
+
+use sprofile_bench::{experiments::emit, run_fig3, run_fig4, run_fig5, run_fig6, Scale, TreeKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("# run_all at scale '{}'", scale.name());
+    eprintln!("# seed 20190612; times are wall-clock seconds of the measured loop");
+    eprintln!();
+
+    emit(
+        "Figure 3",
+        "mode maintenance, CPU time vs n (heap vs S-Profile)",
+        &run_fig3(scale, 20190612),
+    );
+    emit(
+        "Figure 4",
+        "mode maintenance, CPU time vs m (heap vs S-Profile)",
+        &run_fig4(scale, 20190612),
+    );
+    emit(
+        "Figure 5",
+        "mode maintenance trend over linearly spaced m (stream1)",
+        &run_fig5(scale, 20190612),
+    );
+    emit(
+        "Figure 6 (treap)",
+        "median maintenance, balanced tree vs S-Profile",
+        &run_fig6(scale, 20190612, TreeKind::Treap),
+    );
+    emit(
+        "Figure 6 (avl)",
+        "median maintenance, AVL flavour of the same baseline",
+        &run_fig6(scale, 20190612, TreeKind::Avl),
+    );
+}

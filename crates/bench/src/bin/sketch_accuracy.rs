@@ -1,0 +1,166 @@
+//! Accuracy/space report: the exact S-Profile against the §1 approximate
+//! sketches on the paper's add streams, at several counter budgets.
+//!
+//! Criterion measures *time*; this binary measures what the sketches
+//! actually trade away — per-object error, top-K overlap with the exact
+//! answer, and the space each needs to get there. Output is an aligned
+//! table per stream, suitable for pasting into EXPERIMENTS.md.
+//!
+//! Run: `cargo run -p sprofile-bench --release --bin sketch_accuracy`
+
+use sprofile::SProfile;
+use sprofile_sketches::{CountMinSketch, LossyCounting, MisraGries, SpaceSaving};
+use sprofile_streamgen::StreamConfig;
+
+const M: u32 = 100_000;
+const N: usize = 1_000_000;
+const TOP: usize = 20;
+
+struct Row {
+    name: String,
+    space_counters: usize,
+    top_overlap: usize,
+    mean_abs_err: f64,
+    max_abs_err: u64,
+}
+
+fn adds(cfg: StreamConfig) -> Vec<u32> {
+    cfg.generator()
+        .filter_map(|ev| ev.is_add.then_some(ev.object))
+        .take(N)
+        .collect()
+}
+
+/// Overlap between the sketch's claimed top-TOP set and the exact one.
+fn overlap(exact_top: &[u32], sketch_top: &[u32]) -> usize {
+    sketch_top
+        .iter()
+        .filter(|x| exact_top.contains(x))
+        .count()
+}
+
+fn measure(stream: &[u32], exact: &SProfile) -> Vec<Row> {
+    let exact_top: Vec<u32> = exact.top_k(TOP as u32).iter().map(|&(x, _)| x).collect();
+    // Error sampled over the exact top 1000 (where the sketches claim
+    // anything at all).
+    let probe: Vec<(u32, u64)> = exact
+        .top_k(1000)
+        .into_iter()
+        .map(|(x, f)| (x, f as u64))
+        .collect();
+    let mut rows = Vec::new();
+
+    for k in [100usize, 1000] {
+        let mut ss = SpaceSaving::new(k);
+        let mut mg = MisraGries::new(k);
+        for &x in stream {
+            ss.observe(x);
+            mg.observe(x);
+        }
+        for (name, est, space) in [
+            (
+                format!("space-saving k={k}"),
+                probe.iter().map(|&(x, _)| ss.estimate(x)).collect::<Vec<u64>>(),
+                k,
+            ),
+            (
+                format!("misra-gries  k={k}"),
+                probe.iter().map(|&(x, _)| mg.estimate(x)).collect(),
+                k,
+            ),
+        ] {
+            let errs: Vec<u64> = probe
+                .iter()
+                .zip(&est)
+                .map(|(&(_, t), &e)| t.abs_diff(e))
+                .collect();
+            let claimed: Vec<u32> = if name.starts_with("space") {
+                ss.top_k(TOP).iter().map(|&(x, _, _)| x).collect()
+            } else {
+                mg.candidates().iter().take(TOP).map(|&(x, _)| x).collect()
+            };
+            rows.push(Row {
+                name,
+                space_counters: space,
+                top_overlap: overlap(&exact_top, &claimed),
+                mean_abs_err: errs.iter().sum::<u64>() as f64 / errs.len() as f64,
+                max_abs_err: errs.iter().copied().max().unwrap_or(0),
+            });
+        }
+    }
+
+    for eps in [0.001f64, 0.0001] {
+        let mut lc = LossyCounting::new(eps);
+        for &x in stream {
+            lc.observe(x);
+        }
+        let errs: Vec<u64> = probe
+            .iter()
+            .map(|&(x, t)| t.abs_diff(lc.estimate(x)))
+            .collect();
+        let claimed: Vec<u32> = lc
+            .heavy_hitters(1e-9_f64.max(eps))
+            .iter()
+            .take(TOP)
+            .map(|&(x, _)| x)
+            .collect();
+        rows.push(Row {
+            name: format!("lossy eps={eps}"),
+            space_counters: lc.tracked(),
+            top_overlap: overlap(&exact_top, &claimed),
+            mean_abs_err: errs.iter().sum::<u64>() as f64 / errs.len() as f64,
+            max_abs_err: errs.iter().copied().max().unwrap_or(0),
+        });
+    }
+
+    let mut cm = CountMinSketch::new(0.0001, 0.01, 99);
+    for &x in stream {
+        cm.observe(x);
+    }
+    let errs: Vec<u64> = probe
+        .iter()
+        .map(|&(x, t)| t.abs_diff(cm.estimate(x).max(0) as u64))
+        .collect();
+    rows.push(Row {
+        name: "count-min eps=1e-4".into(),
+        space_counters: cm.width() * cm.depth(),
+        // CM alone cannot enumerate a top-K (no candidate set).
+        top_overlap: 0,
+        mean_abs_err: errs.iter().sum::<u64>() as f64 / errs.len() as f64,
+        max_abs_err: errs.iter().copied().max().unwrap_or(0),
+    });
+
+    rows
+}
+
+fn main() {
+    println!("# sketch accuracy vs exact S-Profile — n = {N} adds, m = {M}");
+    println!("# error sampled over the exact top-1000 objects\n");
+    for (label, cfg) in [
+        ("stream1 (uniform)", StreamConfig::stream1(M, 1)),
+        ("stream2 (normals)", StreamConfig::stream2(M, 2)),
+        ("zipf 1.1 (skewed)", StreamConfig::zipf(M, 1.1, 3)),
+    ] {
+        let stream = adds(cfg);
+        let mut exact = SProfile::new(M);
+        for &x in &stream {
+            exact.add(x);
+        }
+        println!("## {label}");
+        println!(
+            "{:<22} {:>10} {:>12} {:>14} {:>12}",
+            "structure", "counters", "top-20 hit", "mean |err|", "max |err|"
+        );
+        println!(
+            "{:<22} {:>10} {:>12} {:>14} {:>12}",
+            "s-profile (exact)", M, TOP, 0.0, 0
+        );
+        for r in measure(&stream, &exact) {
+            println!(
+                "{:<22} {:>10} {:>12} {:>14.2} {:>12}",
+                r.name, r.space_counters, r.top_overlap, r.mean_abs_err, r.max_abs_err
+            );
+        }
+        println!();
+    }
+}

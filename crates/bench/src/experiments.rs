@@ -1,0 +1,250 @@
+//! The paper's figures as runnable experiments.
+//!
+//! Each `run_figN` function sweeps the same axes as the corresponding
+//! figure in the paper's §3 (scaled per [`Scale`]), checks that both
+//! structures computed identical answers (checksums), and returns a
+//! printable [`Table`]. The `fig3`/`fig4`/`fig5`/`fig6`/`run_all`
+//! binaries are thin wrappers.
+
+use sprofile::SProfile;
+use sprofile_baselines::{AvlProfiler, MaxHeapProfiler, TreapProfiler};
+use sprofile_streamgen::StreamConfig;
+
+use crate::harness::{time_median_updates_chunked, time_mode_updates_chunked, Timing};
+use crate::report::{fmt_count, fmt_secs, fmt_speedup, Table};
+use crate::scale::Scale;
+
+/// Events per untimed generation chunk.
+const CHUNK: usize = 1 << 20;
+
+/// Which balanced tree backs the Figure 6 baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeKind {
+    /// Randomized treap (default).
+    Treap,
+    /// AVL tree.
+    Avl,
+}
+
+impl TreeKind {
+    /// Parses `treap` / `avl`.
+    pub fn parse(s: &str) -> Option<TreeKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "treap" => Some(TreeKind::Treap),
+            "avl" => Some(TreeKind::Avl),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeKind::Treap => "treap",
+            TreeKind::Avl => "avl",
+        }
+    }
+}
+
+/// The paper's Stream1/2/3 by index.
+pub fn stream_cfg(stream: u8, m: u32, seed: u64) -> StreamConfig {
+    match stream {
+        1 => StreamConfig::stream1(m, seed),
+        2 => StreamConfig::stream2(m, seed),
+        3 => StreamConfig::stream3(m, seed),
+        _ => panic!("streams are numbered 1..=3, got {stream}"),
+    }
+}
+
+fn mode_pair(stream: u8, m: u32, n: u64, seed: u64) -> (Timing, Timing) {
+    let cfg = stream_cfg(stream, m, seed);
+    let mut heap = MaxHeapProfiler::new(m);
+    let mut gen = cfg.generator();
+    let heap_t = time_mode_updates_chunked(&mut heap, &mut gen, n, CHUNK);
+    drop(heap);
+    let mut ours = SProfile::new(m);
+    let mut gen = cfg.generator();
+    let ours_t = time_mode_updates_chunked(&mut ours, &mut gen, n, CHUNK);
+    assert_eq!(
+        heap_t.checksum, ours_t.checksum,
+        "heap and S-Profile disagree on stream{stream} m={m} n={n}"
+    );
+    (heap_t, ours_t)
+}
+
+fn median_pair(tree: TreeKind, stream: u8, m: u32, n: u64, seed: u64) -> (Timing, Timing) {
+    let cfg = stream_cfg(stream, m, seed);
+    let tree_t = match tree {
+        TreeKind::Treap => {
+            let mut t = TreapProfiler::new(m);
+            let mut gen = cfg.generator();
+            time_median_updates_chunked(&mut t, &mut gen, n, CHUNK)
+        }
+        TreeKind::Avl => {
+            let mut t = AvlProfiler::new(m);
+            let mut gen = cfg.generator();
+            time_median_updates_chunked(&mut t, &mut gen, n, CHUNK)
+        }
+    };
+    let mut ours = SProfile::new(m);
+    let mut gen = cfg.generator();
+    let ours_t = time_median_updates_chunked(&mut ours, &mut gen, n, CHUNK);
+    assert_eq!(
+        tree_t.checksum, ours_t.checksum,
+        "{} and S-Profile disagree on stream{stream} m={m} n={n}",
+        tree.name()
+    );
+    (tree_t, ours_t)
+}
+
+/// Figure 3: mode maintenance, CPU time vs n (m fixed), heap vs S-Profile,
+/// Streams 1–3.
+pub fn run_fig3(scale: Scale, seed: u64) -> Table {
+    let (m, ns) = scale.fig3();
+    let mut table = Table::new(vec![
+        "stream", "m", "n", "heap_s", "sprofile_s", "speedup",
+    ]);
+    for stream in 1..=3u8 {
+        for &n in &ns {
+            let (heap_t, ours_t) = mode_pair(stream, m, n, seed);
+            table.row(vec![
+                format!("stream{stream}"),
+                fmt_count(m as u64),
+                fmt_count(n),
+                fmt_secs(heap_t.seconds),
+                fmt_secs(ours_t.seconds),
+                fmt_speedup(heap_t.seconds / ours_t.seconds),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 4: mode maintenance, CPU time vs m (n fixed), heap vs S-Profile,
+/// Streams 1–3.
+pub fn run_fig4(scale: Scale, seed: u64) -> Table {
+    let (n, ms) = scale.fig4();
+    let mut table = Table::new(vec![
+        "stream", "n", "m", "heap_s", "sprofile_s", "speedup",
+    ]);
+    for stream in 1..=3u8 {
+        for &m in &ms {
+            let (heap_t, ours_t) = mode_pair(stream, m, n, seed);
+            table.row(vec![
+                format!("stream{stream}"),
+                fmt_count(n),
+                fmt_count(m as u64),
+                fmt_secs(heap_t.seconds),
+                fmt_secs(ours_t.seconds),
+                fmt_speedup(heap_t.seconds / ours_t.seconds),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 5: the flat-vs-growing trend — mode maintenance on Stream1 with
+/// linearly spaced m at fixed n.
+pub fn run_fig5(scale: Scale, seed: u64) -> Table {
+    let (n, ms) = scale.fig5();
+    let mut table = Table::new(vec!["n", "m", "heap_s", "sprofile_s", "speedup"]);
+    for &m in &ms {
+        let (heap_t, ours_t) = mode_pair(1, m, n, seed);
+        table.row(vec![
+            fmt_count(n),
+            fmt_count(m as u64),
+            fmt_secs(heap_t.seconds),
+            fmt_secs(ours_t.seconds),
+            fmt_speedup(heap_t.seconds / ours_t.seconds),
+        ]);
+    }
+    table
+}
+
+/// Figure 6: median maintenance, balanced tree vs S-Profile.
+/// Left panel: time vs n (m fixed). Right panel: time vs m (n fixed).
+/// Stream1, matching the paper's setup.
+pub fn run_fig6(scale: Scale, seed: u64, tree: TreeKind) -> Table {
+    let mut table = Table::new(vec![
+        "panel", "m", "n", "tree", "tree_s", "sprofile_s", "speedup",
+    ]);
+    let (m_fixed, ns) = scale.fig6_left();
+    for &n in &ns {
+        let (tree_t, ours_t) = median_pair(tree, 1, m_fixed, n, seed);
+        table.row(vec![
+            "left(vs n)".to_string(),
+            fmt_count(m_fixed as u64),
+            fmt_count(n),
+            tree.name().to_string(),
+            fmt_secs(tree_t.seconds),
+            fmt_secs(ours_t.seconds),
+            fmt_speedup(tree_t.seconds / ours_t.seconds),
+        ]);
+    }
+    let (n_fixed, ms) = scale.fig6_right();
+    for &m in &ms {
+        let (tree_t, ours_t) = median_pair(tree, 1, m, n_fixed, seed);
+        table.row(vec![
+            "right(vs m)".to_string(),
+            fmt_count(m as u64),
+            fmt_count(n_fixed),
+            tree.name().to_string(),
+            fmt_secs(tree_t.seconds),
+            fmt_secs(ours_t.seconds),
+            fmt_speedup(tree_t.seconds / ours_t.seconds),
+        ]);
+    }
+    table
+}
+
+/// Prints one figure with titles, both as an aligned table and CSV.
+pub fn emit(figure: &str, description: &str, table: &Table) {
+    println!("== {figure}: {description}");
+    print!("{}", table.render());
+    println!("-- csv --");
+    print!("{}", table.render_csv());
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_smoke_produces_all_rows() {
+        let t = run_fig3(Scale::Smoke, 42);
+        assert_eq!(t.len(), 9); // 3 streams × 3 n values
+    }
+
+    #[test]
+    fn fig4_smoke() {
+        let t = run_fig4(Scale::Smoke, 42);
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn fig5_smoke() {
+        let t = run_fig5(Scale::Smoke, 42);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn fig6_smoke_both_trees() {
+        let t = run_fig6(Scale::Smoke, 42, TreeKind::Treap);
+        assert_eq!(t.len(), 6);
+        let t = run_fig6(Scale::Smoke, 42, TreeKind::Avl);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn tree_kind_parse() {
+        assert_eq!(TreeKind::parse("avl"), Some(TreeKind::Avl));
+        assert_eq!(TreeKind::parse("TREAP"), Some(TreeKind::Treap));
+        assert_eq!(TreeKind::parse("rb"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered 1..=3")]
+    fn bad_stream_index() {
+        let _ = stream_cfg(4, 10, 0);
+    }
+}

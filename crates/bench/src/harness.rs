@@ -1,0 +1,242 @@
+//! Timing drivers shared by every figure binary and bench.
+
+use std::time::Instant;
+
+use sprofile::{FrequencyProfiler, RankQueries};
+use sprofile_streamgen::Event;
+
+/// Outcome of one timed run.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Wall-clock seconds for the measured loop (excludes construction).
+    pub seconds: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Fold of the per-event query answers; prevents the optimiser from
+    /// deleting the queries and doubles as a cross-structure checksum.
+    pub checksum: i64,
+}
+
+impl Timing {
+    /// Millions of events per second.
+    pub fn mops(&self) -> f64 {
+        self.events as f64 / self.seconds / 1e6
+    }
+}
+
+/// Feeds `n` events into `p`, querying the **mode** after every event —
+/// the paper's §3.1 measured loop.
+pub fn time_mode_updates<P, I>(p: &mut P, events: I, n: u64) -> Timing
+where
+    P: FrequencyProfiler + ?Sized,
+    I: Iterator<Item = Event>,
+{
+    let mut checksum = 0i64;
+    let mut processed = 0u64;
+    let start = Instant::now();
+    for e in events.take(n as usize) {
+        e.apply_to(p);
+        if let Some((_, f)) = p.mode() {
+            checksum = checksum.wrapping_add(f);
+        }
+        processed += 1;
+    }
+    Timing {
+        seconds: start.elapsed().as_secs_f64(),
+        events: processed,
+        checksum,
+    }
+}
+
+/// Feeds `n` events into `p`, querying the **median** after every event —
+/// the paper's §3.2 measured loop.
+pub fn time_median_updates<P, I>(p: &mut P, events: I, n: u64) -> Timing
+where
+    P: RankQueries + ?Sized,
+    I: Iterator<Item = Event>,
+{
+    let mut checksum = 0i64;
+    let mut processed = 0u64;
+    let start = Instant::now();
+    for e in events.take(n as usize) {
+        e.apply_to(p);
+        if let Some(f) = p.median_frequency() {
+            checksum = checksum.wrapping_add(f);
+        }
+        processed += 1;
+    }
+    Timing {
+        seconds: start.elapsed().as_secs_f64(),
+        events: processed,
+        checksum,
+    }
+}
+
+/// Feeds `n` events with no query — isolates pure update cost.
+pub fn time_updates_only<P, I>(p: &mut P, events: I, n: u64) -> Timing
+where
+    P: FrequencyProfiler + ?Sized,
+    I: Iterator<Item = Event>,
+{
+    let mut processed = 0u64;
+    let start = Instant::now();
+    for e in events.take(n as usize) {
+        e.apply_to(p);
+        processed += 1;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let checksum = p.mode().map(|(_, f)| f).unwrap_or(0);
+    Timing {
+        seconds,
+        events: processed,
+        checksum,
+    }
+}
+
+/// Chunked variant of [`time_mode_updates`]: events are materialised in
+/// untimed batches so stream-generation cost is excluded from the
+/// measurement (the paper pre-generates its streams).
+pub fn time_mode_updates_chunked<P, I>(p: &mut P, gen: &mut I, n: u64, chunk: usize) -> Timing
+where
+    P: FrequencyProfiler + ?Sized,
+    I: Iterator<Item = Event>,
+{
+    let mut total = 0.0f64;
+    let mut checksum = 0i64;
+    let mut processed = 0u64;
+    let mut buf: Vec<Event> = Vec::with_capacity(chunk);
+    while processed < n {
+        let want = chunk.min((n - processed) as usize);
+        buf.clear();
+        buf.extend(gen.take(want));
+        if buf.is_empty() {
+            break;
+        }
+        let start = Instant::now();
+        for e in &buf {
+            e.apply_to(p);
+            if let Some((_, f)) = p.mode() {
+                checksum = checksum.wrapping_add(f);
+            }
+        }
+        total += start.elapsed().as_secs_f64();
+        processed += buf.len() as u64;
+    }
+    Timing {
+        seconds: total,
+        events: processed,
+        checksum,
+    }
+}
+
+/// Chunked variant of [`time_median_updates`].
+pub fn time_median_updates_chunked<P, I>(p: &mut P, gen: &mut I, n: u64, chunk: usize) -> Timing
+where
+    P: RankQueries + ?Sized,
+    I: Iterator<Item = Event>,
+{
+    let mut total = 0.0f64;
+    let mut checksum = 0i64;
+    let mut processed = 0u64;
+    let mut buf: Vec<Event> = Vec::with_capacity(chunk);
+    while processed < n {
+        let want = chunk.min((n - processed) as usize);
+        buf.clear();
+        buf.extend(gen.take(want));
+        if buf.is_empty() {
+            break;
+        }
+        let start = Instant::now();
+        for e in &buf {
+            e.apply_to(p);
+            if let Some(f) = p.median_frequency() {
+                checksum = checksum.wrapping_add(f);
+            }
+        }
+        total += start.elapsed().as_secs_f64();
+        processed += buf.len() as u64;
+    }
+    Timing {
+        seconds: total,
+        events: processed,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprofile::SProfile;
+    use sprofile_baselines::{MaxHeapProfiler, TreapProfiler};
+    use sprofile_streamgen::StreamConfig;
+
+    #[test]
+    fn mode_checksums_match_across_structures() {
+        let m = 64u32;
+        let n = 5_000u64;
+        let cfg = StreamConfig::stream1(m, 13);
+        let mut sp = SProfile::new(m);
+        let mut heap = MaxHeapProfiler::new(m);
+        let a = time_mode_updates(&mut sp, cfg.generator(), n);
+        let b = time_mode_updates(&mut heap, cfg.generator(), n);
+        assert_eq!(a.events, n);
+        assert_eq!(b.events, n);
+        assert_eq!(
+            a.checksum, b.checksum,
+            "same stream must give identical mode sums"
+        );
+        assert!(a.seconds > 0.0 && b.seconds > 0.0);
+        assert!(a.mops() > 0.0);
+    }
+
+    #[test]
+    fn median_checksums_match_across_structures() {
+        let m = 32u32;
+        let n = 2_000u64;
+        let cfg = StreamConfig::stream2(m, 17);
+        let mut sp = SProfile::new(m);
+        let mut treap = TreapProfiler::new(m);
+        let a = time_median_updates(&mut sp, cfg.generator(), n);
+        let b = time_median_updates(&mut treap, cfg.generator(), n);
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn updates_only_processes_all_events() {
+        let cfg = StreamConfig::stream3(16, 3);
+        let mut sp = SProfile::new(16);
+        let t = time_updates_only(&mut sp, cfg.generator(), 1000);
+        assert_eq!(t.events, 1000);
+        assert_eq!(sp.updates(), 1000);
+    }
+
+    #[test]
+    fn short_stream_truncates() {
+        let events = vec![Event::add(0), Event::add(1)];
+        let mut sp = SProfile::new(4);
+        let t = time_mode_updates(&mut sp, events.into_iter(), 100);
+        assert_eq!(t.events, 2);
+    }
+
+    #[test]
+    fn chunked_matches_unchunked_checksum() {
+        let m = 48u32;
+        let n = 3_000u64;
+        let cfg = StreamConfig::stream1(m, 21);
+        let mut a = SProfile::new(m);
+        let mut b = SProfile::new(m);
+        let plain = time_mode_updates(&mut a, cfg.generator(), n);
+        let mut gen = cfg.generator();
+        let chunked = time_mode_updates_chunked(&mut b, &mut gen, n, 257);
+        assert_eq!(plain.checksum, chunked.checksum);
+        assert_eq!(plain.events, chunked.events);
+
+        let mut c = SProfile::new(m);
+        let mut d = TreapProfiler::new(m);
+        let mut g1 = cfg.generator();
+        let mut g2 = cfg.generator();
+        let x = time_median_updates_chunked(&mut c, &mut g1, n, 100);
+        let y = time_median_updates_chunked(&mut d, &mut g2, n, 999);
+        assert_eq!(x.checksum, y.checksum);
+    }
+}

@@ -1,0 +1,27 @@
+//! # sprofile-bench — the paper's evaluation, regenerated
+//!
+//! One binary per figure (`fig3`, `fig4`, `fig5`, `fig6`), a `run_all`
+//! orchestrator, and Criterion micro-benchmarks (`benches/`) covering the
+//! figures plus the ablations DESIGN.md §5 lists.
+//!
+//! ```text
+//! cargo run -p sprofile-bench --release --bin run_all -- --scale default
+//! cargo run -p sprofile-bench --release --bin fig6 -- --scale full --tree avl
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+pub mod scale;
+
+pub use experiments::{run_fig3, run_fig4, run_fig5, run_fig6, stream_cfg, TreeKind};
+pub use harness::{
+    time_median_updates, time_median_updates_chunked, time_mode_updates,
+    time_mode_updates_chunked, time_updates_only, Timing,
+};
+pub use report::Table;
+pub use scale::Scale;

@@ -1,0 +1,466 @@
+//! The `generate`, `profile`, and `watch` subcommands, written against
+//! generic readers/writers so tests drive them with in-memory buffers.
+
+use std::io::{BufRead, Write};
+
+use sprofile::SProfile;
+use sprofile_streamgen::{Event, StreamConfig};
+
+use crate::textio::{read_events, write_events, ParseError};
+
+/// Options for `generate`.
+#[derive(Clone, Debug)]
+pub struct GenerateOpts {
+    /// Which paper stream (1–3) or Zipf exponent.
+    pub stream: StreamChoice,
+    /// Universe size.
+    pub m: u32,
+    /// Number of events.
+    pub n: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The stream presets the CLI exposes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StreamChoice {
+    /// Paper Stream1 (uniform/uniform).
+    Stream1,
+    /// Paper Stream2 (normals).
+    Stream2,
+    /// Paper Stream3 (normal/lognormal).
+    Stream3,
+    /// Zipf-skewed adds with the given exponent.
+    Zipf(f64),
+}
+
+impl StreamChoice {
+    /// Parses `1`/`2`/`3`/`zipf:EXP`.
+    pub fn parse(s: &str) -> Option<StreamChoice> {
+        match s {
+            "1" | "stream1" => Some(StreamChoice::Stream1),
+            "2" | "stream2" => Some(StreamChoice::Stream2),
+            "3" | "stream3" => Some(StreamChoice::Stream3),
+            other => {
+                let exp = other.strip_prefix("zipf:")?;
+                let exp: f64 = exp.parse().ok()?;
+                if exp > 0.0 && exp != 1.0 {
+                    Some(StreamChoice::Zipf(exp))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn config(self, m: u32, seed: u64) -> StreamConfig {
+        match self {
+            StreamChoice::Stream1 => StreamConfig::stream1(m, seed),
+            StreamChoice::Stream2 => StreamConfig::stream2(m, seed),
+            StreamChoice::Stream3 => StreamConfig::stream3(m, seed),
+            StreamChoice::Zipf(exp) => StreamConfig::zipf(m, exp, seed),
+        }
+    }
+}
+
+/// `generate`: write `n` synthetic events as text.
+pub fn generate<W: Write>(opts: &GenerateOpts, out: &mut W) -> std::io::Result<u64> {
+    let cfg = opts.stream.config(opts.m, opts.seed);
+    write_events(out, cfg.generator().take(opts.n as usize))
+}
+
+/// Options for `profile`.
+#[derive(Clone, Debug)]
+pub struct ProfileOpts {
+    /// Universe size; events with ids `>= m` are an error.
+    pub m: u32,
+    /// How many top entries to print.
+    pub top: u32,
+    /// Whether to print the histogram.
+    pub histogram: bool,
+}
+
+/// Errors from the `profile`/`watch` commands.
+#[derive(Debug)]
+pub enum CommandError {
+    /// Event text failed to parse.
+    Parse(ParseError),
+    /// An event referenced an id outside `0..m`.
+    OutOfRange {
+        /// The event's object id.
+        object: u32,
+        /// The configured universe size.
+        m: u32,
+    },
+    /// Writing the report failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::Parse(e) => write!(f, "{e}"),
+            CommandError::OutOfRange { object, m } => {
+                write!(f, "object id {object} out of range (m = {m}; raise --m)")
+            }
+            CommandError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<ParseError> for CommandError {
+    fn from(e: ParseError) -> Self {
+        CommandError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+fn apply_checked(p: &mut SProfile, e: &Event) -> Result<(), CommandError> {
+    if e.object >= p.num_objects() {
+        return Err(CommandError::OutOfRange {
+            object: e.object,
+            m: p.num_objects(),
+        });
+    }
+    e.apply_to(p);
+    Ok(())
+}
+
+/// `profile`: consume an event file and print a statistics report.
+pub fn profile<R: BufRead, W: Write>(
+    opts: &ProfileOpts,
+    input: R,
+    out: &mut W,
+) -> Result<(), CommandError> {
+    let events = read_events(input)?;
+    let mut p = SProfile::new(opts.m);
+    for e in &events {
+        apply_checked(&mut p, e)?;
+    }
+    writeln!(out, "events:            {}", events.len())?;
+    writeln!(out, "net length:        {}", p.len())?;
+    writeln!(out, "distinct active:   {}", p.distinct_active())?;
+    writeln!(out, "distinct freqs:    {}", p.num_blocks())?;
+    if let Some(mode) = p.mode() {
+        writeln!(
+            out,
+            "mode:              object {} at {} ({} tied)",
+            mode.object, mode.frequency, mode.count
+        )?;
+    }
+    if let Some(least) = p.least() {
+        writeln!(
+            out,
+            "least:             object {} at {} ({} tied)",
+            least.object, least.frequency, least.count
+        )?;
+    }
+    if let Some(median) = p.median() {
+        writeln!(out, "median frequency:  {median}")?;
+    }
+    if let Some(s) = p.summary() {
+        writeln!(
+            out,
+            "mean/std:          {:.3} / {:.3}",
+            s.mean,
+            s.std_dev()
+        )?;
+        writeln!(out, "entropy (nats):    {:.4}", s.entropy)?;
+        writeln!(out, "gini:              {:.4}", s.gini)?;
+    }
+    if opts.top > 0 {
+        writeln!(out, "top {}:", opts.top)?;
+        for (rank, (obj, f)) in p.top_k(opts.top).into_iter().enumerate() {
+            writeln!(out, "  {:>3}. object {:>10}  freq {}", rank + 1, obj, f)?;
+        }
+    }
+    if opts.histogram {
+        writeln!(out, "histogram (freq count):")?;
+        for b in p.histogram() {
+            writeln!(out, "  {:>12} {}", b.frequency, b.count)?;
+        }
+    }
+    Ok(())
+}
+
+/// Options for `hh` (heavy hitters: exact vs Space-Saving).
+#[derive(Clone, Debug)]
+pub struct HhOpts {
+    /// Universe size; events with ids `>= m` are an error.
+    pub m: u32,
+    /// Space-Saving counter budget.
+    pub counters: usize,
+    /// Heavy-hitter threshold as a fraction of the add count.
+    pub phi: f64,
+}
+
+/// `hh`: run the exact profile and a Space-Saving sketch side by side on
+/// the *add* events of the input, then report the φ-heavy hitters of
+/// both with the sketch's error bars. Removes are tallied but skipped —
+/// the point of the report is showing what the o(m)-space sketch can and
+/// cannot see (removes are in the "cannot" column by construction).
+pub fn heavy_hitters<R: BufRead, W: Write>(
+    opts: &HhOpts,
+    input: R,
+    out: &mut W,
+) -> Result<(), CommandError> {
+    use sprofile_sketches::SpaceSaving;
+
+    let events = read_events(input)?;
+    let mut exact = SProfile::new(opts.m);
+    let mut sketch = SpaceSaving::new(opts.counters.max(1));
+    let mut adds = 0u64;
+    let mut removes_skipped = 0u64;
+    for e in &events {
+        if e.object >= opts.m {
+            return Err(CommandError::OutOfRange { object: e.object, m: opts.m });
+        }
+        if e.is_add {
+            exact.add(e.object);
+            sketch.observe(e.object);
+            adds += 1;
+        } else {
+            removes_skipped += 1;
+        }
+    }
+    let threshold = (opts.phi * adds as f64) as i64;
+    writeln!(out, "adds:              {adds}")?;
+    if removes_skipped > 0 {
+        writeln!(
+            out,
+            "removes skipped:   {removes_skipped} (insert-only sketches cannot process them)"
+        )?;
+    }
+    writeln!(
+        out,
+        "phi = {} -> threshold {threshold} occurrences",
+        opts.phi
+    )?;
+    writeln!(out, "exact phi-heavy hitters (S-Profile, O(m) space):")?;
+    let mut exact_hitters = 0u32;
+    for (obj, f) in exact.iter_descending() {
+        if f <= threshold {
+            break;
+        }
+        writeln!(out, "  object {obj:>10}  freq {f}")?;
+        exact_hitters += 1;
+    }
+    if exact_hitters == 0 {
+        writeln!(out, "  (none)")?;
+    }
+    writeln!(
+        out,
+        "sketch candidates (Space-Saving, {} counters):",
+        opts.counters.max(1)
+    )?;
+    let candidates = sketch.heavy_hitters(opts.phi.clamp(1e-9, 1.0 - 1e-9));
+    for &(obj, count, err) in &candidates {
+        let certain = count.saturating_sub(err) as i64 > threshold;
+        writeln!(
+            out,
+            "  object {obj:>10}  count {count} (err <= {err}){}",
+            if certain { "  [guaranteed]" } else { "  [possible]" }
+        )?;
+    }
+    if candidates.is_empty() {
+        writeln!(out, "  (none)")?;
+    }
+    Ok(())
+}
+
+/// `watch`: stream events, printing the mode + top entries every `every`
+/// events (the paper's "at any time" query pattern).
+pub fn watch<R: BufRead, W: Write>(
+    m: u32,
+    every: u64,
+    top: u32,
+    input: R,
+    out: &mut W,
+) -> Result<u64, CommandError> {
+    let mut p = SProfile::new(m);
+    let mut count = 0u64;
+    for (i, line) in input.lines().enumerate() {
+        let line = line.map_err(CommandError::Io)?;
+        let Some(e) = crate::textio::parse_line(&line, i + 1)? else {
+            continue;
+        };
+        apply_checked(&mut p, &e)?;
+        count += 1;
+        if count.is_multiple_of(every) {
+            let mode = p.mode().expect("m > 0");
+            write!(
+                out,
+                "[{count}] mode={} f={} top:",
+                mode.object, mode.frequency
+            )?;
+            for (obj, f) in p.top_k(top) {
+                write!(out, " {obj}:{f}")?;
+            }
+            writeln!(out)?;
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn stream_choice_parsing() {
+        assert_eq!(StreamChoice::parse("1"), Some(StreamChoice::Stream1));
+        assert_eq!(StreamChoice::parse("stream2"), Some(StreamChoice::Stream2));
+        assert_eq!(StreamChoice::parse("3"), Some(StreamChoice::Stream3));
+        assert_eq!(StreamChoice::parse("zipf:1.5"), Some(StreamChoice::Zipf(1.5)));
+        assert_eq!(StreamChoice::parse("zipf:1.0"), None);
+        assert_eq!(StreamChoice::parse("zipf:x"), None);
+        assert_eq!(StreamChoice::parse("4"), None);
+    }
+
+    #[test]
+    fn generate_then_profile_roundtrip() {
+        let opts = GenerateOpts {
+            stream: StreamChoice::Stream1,
+            m: 50,
+            n: 1000,
+            seed: 9,
+        };
+        let mut text = Vec::new();
+        let n = generate(&opts, &mut text).unwrap();
+        assert_eq!(n, 1000);
+
+        let mut report = Vec::new();
+        profile(
+            &ProfileOpts { m: 50, top: 3, histogram: true },
+            Cursor::new(&text),
+            &mut report,
+        )
+        .unwrap();
+        let report = String::from_utf8(report).unwrap();
+        assert!(report.contains("events:            1000"));
+        assert!(report.contains("mode:"));
+        assert!(report.contains("top 3:"));
+        assert!(report.contains("histogram"));
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let opts = GenerateOpts {
+            stream: StreamChoice::Zipf(1.3),
+            m: 20,
+            n: 100,
+            seed: 42,
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        generate(&opts, &mut a).unwrap();
+        generate(&opts, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profile_rejects_out_of_range_ids() {
+        let text = "a 5\n";
+        let err = profile(
+            &ProfileOpts { m: 3, top: 0, histogram: false },
+            Cursor::new(text),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn profile_reports_known_statistics() {
+        let text = "a 1\na 1\na 1\na 2\nr 0\n";
+        let mut report = Vec::new();
+        profile(
+            &ProfileOpts { m: 4, top: 2, histogram: false },
+            Cursor::new(text),
+            &mut report,
+        )
+        .unwrap();
+        let report = String::from_utf8(report).unwrap();
+        assert!(report.contains("net length:        3"));
+        assert!(report.contains("mode:              object 1 at 3"));
+        assert!(report.contains("least:             object 0 at -1"));
+    }
+
+    #[test]
+    fn watch_emits_periodic_lines() {
+        let mut text = String::new();
+        for i in 0..10 {
+            text.push_str(&format!("a {}\n", i % 3));
+        }
+        let mut out = Vec::new();
+        let n = watch(3, 4, 2, Cursor::new(text), &mut out).unwrap();
+        assert_eq!(n, 10);
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "reports at events 4 and 8");
+        assert!(lines[0].starts_with("[4] mode="));
+        assert!(lines[1].starts_with("[8] mode="));
+    }
+
+    #[test]
+    fn watch_propagates_parse_errors() {
+        let err = watch(3, 1, 1, Cursor::new("a 0\njunk\n"), &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, CommandError::Parse(_)));
+    }
+
+    #[test]
+    fn hh_reports_exact_and_sketch_sides() {
+        // Object 1 takes 60 of 100 adds; phi = 0.5 picks exactly it.
+        let mut text = String::new();
+        for i in 0..100 {
+            // The tail ids 3..10 never collide with the hitter (object 1).
+            text.push_str(&format!("a {}\n", if i % 5 < 3 { 1 } else { 3 + i % 7 }));
+        }
+        text.push_str("r 1\n"); // one remove: must be skipped & reported
+        let mut out = Vec::new();
+        heavy_hitters(
+            &HhOpts { m: 10, counters: 4, phi: 0.5 },
+            Cursor::new(text),
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("adds:              100"), "{out}");
+        assert!(out.contains("removes skipped:   1"), "{out}");
+        assert!(out.contains("object          1  freq 60"), "{out}");
+        assert!(out.contains("[guaranteed]") || out.contains("[possible]"), "{out}");
+    }
+
+    #[test]
+    fn hh_with_no_hitters_prints_none() {
+        let text = "a 0\na 1\na 2\na 3\n";
+        let mut out = Vec::new();
+        heavy_hitters(
+            &HhOpts { m: 4, counters: 8, phi: 0.9 },
+            Cursor::new(text),
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(out.matches("(none)").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn hh_rejects_out_of_range_ids() {
+        let err = heavy_hitters(
+            &HhOpts { m: 2, counters: 4, phi: 0.1 },
+            Cursor::new("a 5\n"),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,213 @@
+//! `sprofile` — command-line profiling of log-stream event files.
+//!
+//! ```text
+//! sprofile generate --stream 1 --m 1000 --n 100000 --seed 7 > events.txt
+//! sprofile profile events.txt --m 1000 --top 10 --histogram
+//! sprofile watch events.txt --m 1000 --every 10000 --top 5
+//! ```
+//!
+//! Event format: one event per line, `a <id>` / `r <id>` (see
+//! [`textio`] for aliases). `profile` and `watch` read stdin when no file
+//! is given.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+mod commands;
+mod textio;
+
+use commands::{
+    generate, heavy_hitters, profile, watch, GenerateOpts, HhOpts, ProfileOpts, StreamChoice,
+};
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     sprofile generate --stream <1|2|3|zipf:EXP> --m <M> --n <N> [--seed <S>]\n  \
+     sprofile profile  [FILE] --m <M> [--top <K>] [--histogram]\n  \
+     sprofile watch    [FILE] --m <M> [--every <N>] [--top <K>]\n  \
+     sprofile hh       [FILE] --m <M> [--counters <K>] [--phi <F>]\n\n\
+     Event format: one per line, 'a <id>' to add, 'r <id>' to remove\n\
+     ('add'/'+' and 'remove'/'rm'/'-' also work); '#' starts a comment.\n\
+     FILE defaults to stdin."
+}
+
+/// Tiny flag parser: collects `--key value` pairs plus positional args.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(key) = raw[i].strip_prefix("--") {
+                // Boolean flags take no value; detect by peeking.
+                let takes_value = !matches!(key, "histogram" | "help");
+                if takes_value && i + 1 < raw.len() {
+                    flags.push((key.to_string(), Some(raw[i + 1].clone())));
+                    i += 2;
+                } else {
+                    flags.push((key.to_string(), None));
+                    i += 1;
+                }
+            } else {
+                positional.push(raw[i].clone());
+                i += 1;
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == key)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+}
+
+fn open_input(path: Option<&str>) -> io::Result<Box<dyn BufRead>> {
+    match path {
+        Some(p) => Ok(Box::new(BufReader::new(File::open(p)?))),
+        None => Ok(Box::new(BufReader::new(io::stdin()))),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        return Err(usage().to_string());
+    };
+    let args = Args::parse(&raw[1..]);
+    if args.has("help") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    match cmd.as_str() {
+        "generate" => {
+            let stream = args.get("stream").unwrap_or("1");
+            let stream = StreamChoice::parse(stream)
+                .ok_or_else(|| format!("unknown stream '{stream}' (1, 2, 3, or zipf:EXP)"))?;
+            let opts = GenerateOpts {
+                stream,
+                m: args.get_parsed("m", 1_000_000u32)?,
+                n: args.get_parsed("n", 1_000_000u64)?,
+                seed: args.get_parsed("seed", 20190612u64)?,
+            };
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            generate(&opts, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "profile" => {
+            let opts = ProfileOpts {
+                m: args.get_parsed("m", 1_000_000u32)?,
+                top: args.get_parsed("top", 10u32)?,
+                histogram: args.has("histogram"),
+            };
+            let input = open_input(args.positional.first().map(String::as_str))
+                .map_err(|e| e.to_string())?;
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            profile(&opts, input, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "watch" => {
+            let m = args.get_parsed("m", 1_000_000u32)?;
+            let every = args.get_parsed("every", 100_000u64)?;
+            let top = args.get_parsed("top", 5u32)?;
+            if every == 0 {
+                return Err("--every must be positive".into());
+            }
+            let input = open_input(args.positional.first().map(String::as_str))
+                .map_err(|e| e.to_string())?;
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            watch(m, every, top, input, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "hh" => {
+            let opts = HhOpts {
+                m: args.get_parsed("m", 1_000_000u32)?,
+                counters: args.get_parsed("counters", 100usize)?,
+                phi: args.get_parsed("phi", 0.01f64)?,
+            };
+            if !(0.0..1.0).contains(&opts.phi) || opts.phi <= 0.0 {
+                return Err("--phi must lie in (0, 1)".into());
+            }
+            let input = open_input(args.positional.first().map(String::as_str))
+                .map_err(|e| e.to_string())?;
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            heavy_hitters(&opts, input, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = args(&["file.txt", "--m", "100", "--histogram", "--top", "5"]);
+        assert_eq!(a.positional, vec!["file.txt"]);
+        assert_eq!(a.get("m"), Some("100"));
+        assert_eq!(a.get("top"), Some("5"));
+        assert!(a.has("histogram"));
+        assert!(!a.has("seed"));
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let a = args(&["--m", "1", "--m", "2"]);
+        assert_eq!(a.get("m"), Some("2"));
+    }
+
+    #[test]
+    fn get_parsed_defaults_and_errors() {
+        let a = args(&["--m", "64"]);
+        assert_eq!(a.get_parsed("m", 0u32).unwrap(), 64);
+        assert_eq!(a.get_parsed("n", 7u64).unwrap(), 7);
+        let a = args(&["--m", "xyz"]);
+        assert!(a.get_parsed("m", 0u32).is_err());
+    }
+}

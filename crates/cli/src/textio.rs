@@ -1,0 +1,168 @@
+//! The text event format: one event per line.
+//!
+//! ```text
+//! a 42        # add object 42        (aliases: add, +)
+//! r 42        # remove object 42    (aliases: remove, rm, -)
+//! # comments and blank lines are ignored
+//! ```
+
+use std::io::{BufRead, Write};
+
+use sprofile_streamgen::Event;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one event line; `Ok(None)` for blank/comment lines.
+pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Event>, ParseError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let (action, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((a, r)) => (a, r.trim()),
+        None => {
+            // Compact forms "+42" / "-42".
+            if let Some(id) = trimmed.strip_prefix('+') {
+                ("a", id)
+            } else if let Some(id) = trimmed.strip_prefix('-') {
+                ("r", id)
+            } else {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("expected '<action> <id>', got '{trimmed}'"),
+                });
+            }
+        }
+    };
+    let is_add = match action {
+        "a" | "add" | "+" => true,
+        "r" | "remove" | "rm" | "-" => false,
+        other => {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("unknown action '{other}' (use a/add/+ or r/remove/rm/-)"),
+            })
+        }
+    };
+    let object: u32 = rest.parse().map_err(|_| ParseError {
+        line: line_no,
+        message: format!("invalid object id '{rest}'"),
+    })?;
+    Ok(Some(if is_add {
+        Event::add(object)
+    } else {
+        Event::remove(object)
+    }))
+}
+
+/// Reads every event from `reader`, in order.
+pub fn read_events<R: BufRead>(reader: R) -> Result<Vec<Event>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ParseError {
+            line: i + 1,
+            message: format!("i/o error: {e}"),
+        })?;
+        if let Some(e) = parse_line(&line, i + 1)? {
+            events.push(e);
+        }
+    }
+    Ok(events)
+}
+
+/// Writes events in the canonical short form (`a 42` / `r 42`).
+pub fn write_events<W: Write, I: IntoIterator<Item = Event>>(
+    w: &mut W,
+    events: I,
+) -> std::io::Result<u64> {
+    let mut n = 0;
+    for e in events {
+        if e.is_add {
+            writeln!(w, "a {}", e.object)?;
+        } else {
+            writeln!(w, "r {}", e.object)?;
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_all_action_aliases() {
+        for (text, want) in [
+            ("a 1", Event::add(1)),
+            ("add 2", Event::add(2)),
+            ("+ 3", Event::add(3)),
+            ("+4", Event::add(4)),
+            ("r 5", Event::remove(5)),
+            ("remove 6", Event::remove(6)),
+            ("rm 7", Event::remove(7)),
+            ("- 8", Event::remove(8)),
+            ("-9", Event::remove(9)),
+            ("  a   10  ", Event::add(10)),
+        ] {
+            assert_eq!(parse_line(text, 1).unwrap(), Some(want), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        assert_eq!(parse_line("", 1).unwrap(), None);
+        assert_eq!(parse_line("   ", 1).unwrap(), None);
+        assert_eq!(parse_line("# hello", 1).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_numbers() {
+        let err = parse_line("frobnicate 3", 17).unwrap_err();
+        assert_eq!(err.line, 17);
+        assert!(err.message.contains("unknown action"));
+        let err = parse_line("a banana", 2).unwrap_err();
+        assert!(err.message.contains("invalid object id"));
+        let err = parse_line("standalone", 3).unwrap_err();
+        assert!(err.message.contains("expected"));
+        assert!(err.to_string().starts_with("line 3:"));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let events = vec![
+            Event::add(0),
+            Event::remove(3),
+            Event::add(999),
+            Event::remove(0),
+        ];
+        let mut buf = Vec::new();
+        let n = write_events(&mut buf, events.clone()).unwrap();
+        assert_eq!(n, 4);
+        let back = read_events(Cursor::new(buf)).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn read_events_reports_bad_line() {
+        let text = "a 1\nr 2\noops\n";
+        let err = read_events(Cursor::new(text)).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

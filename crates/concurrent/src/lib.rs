@@ -1,0 +1,60 @@
+//! # sprofile-concurrent — multi-threaded ingestion for S-Profile
+//!
+//! The paper's structure is strictly single-writer: Algorithm 1 mutates
+//! four arrays with no synchronisation points, which is exactly what
+//! makes it O(1). Real log streams, however, arrive on many threads.
+//! This crate provides the two standard ways to close that gap without
+//! touching the core structure's guarantees:
+//!
+//! * [`ShardedProfile`] — the universe `[0, m)` is partitioned across
+//!   `p` shards, each an independent [`sprofile::SProfile`] behind a
+//!   `parking_lot::Mutex`. Updates lock one shard (O(1) plus one
+//!   uncontended-fast mutex); global queries combine per-shard answers
+//!   in O(p) (mode, least, counts) or O(p·K) (top-K merge). Suits
+//!   workloads that are update-heavy with occasional global reads.
+//!
+//! * [`PipelineProfiler`] — a dedicated owner thread applies events from
+//!   a `crossbeam-channel`; any number of producer handles send updates
+//!   (never blocking on the structure) and run queries as request/reply
+//!   round-trips. All operations are linearised by channel order, so
+//!   every query observes a consistent point-in-time profile. Suits
+//!   workloads needing strong query consistency.
+//!
+//! Both adapters keep the core's per-update cost constant; the
+//! `concurrent` bench measures what the coordination itself costs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+mod pipeline;
+mod sharded;
+
+pub use pipeline::{PipelineHandle, PipelineProfiler};
+pub use sharded::ShardedProfile;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn both_adapters_agree_with_each_other() {
+        let sharded = ShardedProfile::new(100, 4);
+        let pipeline = PipelineProfiler::spawn(100);
+        let h = pipeline.handle();
+        for i in 0..1000u32 {
+            let x = (i * 7) % 100;
+            sharded.add(x);
+            h.add(x);
+            if i % 3 == 0 {
+                sharded.remove((i * 11) % 100);
+                h.remove((i * 11) % 100);
+            }
+        }
+        let (sm, pm) = (sharded.mode().unwrap(), h.mode().unwrap());
+        assert_eq!(sm.1, pm.1, "mode frequencies diverged");
+        assert_eq!(sharded.count_at_least(1), h.count_at_least(1));
+        drop(h);
+        pipeline.shutdown();
+    }
+}

@@ -1,0 +1,284 @@
+//! Single-writer pipeline: one owner thread applies the log stream, any
+//! number of producers feed it through a channel.
+//!
+//! This is the deployment shape the paper's §1 motivates (a central
+//! service profiling a firehose of like/follow events): the structure
+//! itself stays single-threaded — preserving the O(1) update bound —
+//! while ingestion and querying become thread-safe. Updates are
+//! fire-and-forget sends; queries are request/reply round-trips that
+//! observe every update sent before them on the same handle (channel
+//! FIFO order makes the whole history linearisable).
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use sprofile::SProfile;
+use std::thread::JoinHandle;
+
+/// Commands accepted by the owner thread.
+enum Command {
+    Add(u32),
+    Remove(u32),
+    Mode(Sender<Option<(u32, i64)>>),
+    Least(Sender<Option<(u32, i64)>>),
+    Frequency(u32, Sender<i64>),
+    Median(Sender<Option<i64>>),
+    TopK(u32, Sender<Vec<(u32, i64)>>),
+    CountAtLeast(i64, Sender<u32>),
+    /// Reply carries the number of updates applied so far (a barrier).
+    Flush(Sender<u64>),
+}
+
+/// Owner of the profile thread. Dropping (or calling
+/// [`PipelineProfiler::shutdown`]) disconnects the channel and joins the
+/// worker.
+pub struct PipelineProfiler {
+    tx: Sender<Command>,
+    worker: Option<JoinHandle<u64>>,
+}
+
+/// Cloneable producer/query handle; see [`PipelineProfiler::handle`].
+#[derive(Clone)]
+pub struct PipelineHandle {
+    tx: Sender<Command>,
+}
+
+impl PipelineProfiler {
+    /// Spawn the owner thread over a fresh universe of `m` objects.
+    pub fn spawn(m: u32) -> Self {
+        let (tx, rx) = unbounded::<Command>();
+        let worker = std::thread::Builder::new()
+            .name("sprofile-pipeline".into())
+            .spawn(move || run_owner(m, rx))
+            .expect("spawn profile owner thread");
+        Self { tx, worker: Some(worker) }
+    }
+
+    /// A new producer/query handle. Handles are cheap to clone and safe
+    /// to move across threads.
+    pub fn handle(&self) -> PipelineHandle {
+        PipelineHandle { tx: self.tx.clone() }
+    }
+
+    /// Drop the profiler's own sender and wait for the owner to drain
+    /// the queue. Returns the total number of updates applied.
+    ///
+    /// All [`PipelineHandle`]s must have been dropped first — they keep
+    /// the channel (and therefore the worker) alive, so joining with
+    /// live handles would block indefinitely.
+    pub fn shutdown(mut self) -> u64 {
+        let worker = self.worker.take().expect("worker present until shutdown");
+        drop(self); // drops tx, disconnecting once no handles remain
+        worker.join().expect("profile owner thread panicked")
+    }
+}
+
+impl Drop for PipelineProfiler {
+    fn drop(&mut self) {
+        // Joining here would deadlock if user handles still exist (the
+        // worker keeps running); detach instead. `shutdown` is the
+        // graceful path.
+        let _ = self.worker.take();
+    }
+}
+
+fn run_owner(m: u32, rx: Receiver<Command>) -> u64 {
+    let mut profile = SProfile::new(m);
+    let mut applied = 0u64;
+    for cmd in rx {
+        match cmd {
+            Command::Add(x) => {
+                profile.add(x);
+                applied += 1;
+            }
+            Command::Remove(x) => {
+                profile.remove(x);
+                applied += 1;
+            }
+            Command::Mode(reply) => {
+                let _ = reply.send(profile.mode().map(|e| (e.object, e.frequency)));
+            }
+            Command::Least(reply) => {
+                let _ = reply.send(profile.least().map(|e| (e.object, e.frequency)));
+            }
+            Command::Frequency(x, reply) => {
+                let _ = reply.send(profile.frequency(x));
+            }
+            Command::Median(reply) => {
+                let _ = reply.send(profile.median());
+            }
+            Command::TopK(k, reply) => {
+                let _ = reply.send(profile.top_k(k));
+            }
+            Command::CountAtLeast(t, reply) => {
+                let _ = reply.send(profile.count_at_least(t));
+            }
+            Command::Flush(reply) => {
+                let _ = reply.send(applied);
+            }
+        }
+    }
+    applied
+}
+
+impl PipelineHandle {
+    /// Enqueue one "add" event (non-blocking; never waits on the
+    /// structure).
+    pub fn add(&self, x: u32) {
+        self.send(Command::Add(x));
+    }
+
+    /// Enqueue one "remove" event.
+    pub fn remove(&self, x: u32) {
+        self.send(Command::Remove(x));
+    }
+
+    /// Mode `(object, frequency)` as of all previously sent updates.
+    pub fn mode(&self) -> Option<(u32, i64)> {
+        self.round_trip(Command::Mode)
+    }
+
+    /// Least-frequent `(object, frequency)`.
+    pub fn least(&self) -> Option<(u32, i64)> {
+        self.round_trip(Command::Least)
+    }
+
+    /// Frequency of `x`.
+    pub fn frequency(&self, x: u32) -> i64 {
+        self.round_trip(|reply| Command::Frequency(x, reply))
+    }
+
+    /// Median frequency.
+    pub fn median(&self) -> Option<i64> {
+        self.round_trip(Command::Median)
+    }
+
+    /// Top-K `(object, frequency)` list.
+    pub fn top_k(&self, k: u32) -> Vec<(u32, i64)> {
+        self.round_trip(|reply| Command::TopK(k, reply))
+    }
+
+    /// Number of objects with frequency ≥ `threshold`.
+    pub fn count_at_least(&self, threshold: i64) -> u32 {
+        self.round_trip(|reply| Command::CountAtLeast(threshold, reply))
+    }
+
+    /// Barrier: wait until every update sent on this handle so far has
+    /// been applied; returns the global applied-update count.
+    pub fn flush(&self) -> u64 {
+        self.round_trip(Command::Flush)
+    }
+
+    fn send(&self, cmd: Command) {
+        self.tx
+            .send(cmd)
+            .expect("profile owner thread terminated while handles remain");
+    }
+
+    fn round_trip<T>(&self, make: impl FnOnce(Sender<T>) -> Command) -> T {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.send(make(reply_tx));
+        reply_rx
+            .recv()
+            .expect("profile owner dropped a query reply")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn queries_observe_prior_updates_on_the_same_handle() {
+        let p = PipelineProfiler::spawn(10);
+        let h = p.handle();
+        h.add(3);
+        h.add(3);
+        h.remove(7);
+        assert_eq!(h.frequency(3), 2);
+        assert_eq!(h.frequency(7), -1);
+        assert_eq!(h.mode(), Some((3, 2)));
+        assert_eq!(h.least(), Some((7, -1)));
+        drop(h);
+        assert_eq!(p.shutdown(), 3);
+    }
+
+    #[test]
+    fn matches_sequential_profile_over_a_generated_stream() {
+        use sprofile_streamgen::StreamConfig;
+
+        let m = 500;
+        let events = StreamConfig::stream2(m, 77).take_events(20_000);
+        let p = PipelineProfiler::spawn(m);
+        let h = p.handle();
+        let mut seq = SProfile::new(m);
+        for ev in &events {
+            if ev.is_add {
+                h.add(ev.object);
+                seq.add(ev.object);
+            } else {
+                h.remove(ev.object);
+                seq.remove(ev.object);
+            }
+        }
+        assert_eq!(h.flush(), 20_000);
+        assert_eq!(h.mode().unwrap().1, seq.mode().unwrap().frequency);
+        assert_eq!(h.median(), seq.median());
+        assert_eq!(h.count_at_least(5), seq.count_at_least(5));
+        let top = h.top_k(10);
+        let seq_top = seq.top_k(10);
+        assert_eq!(
+            top.iter().map(|&(_, f)| f).collect::<Vec<_>>(),
+            seq_top.iter().map(|&(_, f)| f).collect::<Vec<_>>()
+        );
+        drop(h);
+        p.shutdown();
+    }
+
+    #[test]
+    fn many_producers_sum_to_the_expected_counts() {
+        let p = PipelineProfiler::spawn(16);
+        let threads: Vec<_> = (0..8u32)
+            .map(|t| {
+                let h = p.handle();
+                thread::spawn(move || {
+                    for i in 0..1600u32 {
+                        h.add((i + t) % 16);
+                    }
+                    h.flush()
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let h = p.handle();
+        assert_eq!(h.flush(), 8 * 1600);
+        // 8 threads × 1600 adds, each covering every object exactly 100
+        // times (1600 = 100 × 16) = 800 per object.
+        for x in 0..16 {
+            assert_eq!(h.frequency(x), 800, "object {x}");
+        }
+        drop(h);
+        assert_eq!(p.shutdown(), 8 * 1600);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_updates() {
+        let p = PipelineProfiler::spawn(4);
+        let h = p.handle();
+        for _ in 0..10_000 {
+            h.add(1);
+        }
+        drop(h);
+        assert_eq!(p.shutdown(), 10_000);
+    }
+
+    #[test]
+    fn handles_survive_profiler_drop() {
+        let p = PipelineProfiler::spawn(4);
+        let h = p.handle();
+        drop(p); // detaches; worker lives while `h` exists
+        h.add(2);
+        assert_eq!(h.frequency(2), 1);
+    }
+}

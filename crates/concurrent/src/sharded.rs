@@ -1,0 +1,362 @@
+//! Universe-partitioned sharding: `p` independent S-Profiles behind
+//! mutexes, global answers combined on demand.
+
+use parking_lot::Mutex;
+use sprofile::SProfile;
+
+/// A multi-writer profile over `[0, m)`, sharded by `object % p`.
+///
+/// Shard `s` owns objects `{x | x % p == s}`, stored locally as
+/// `x / p` — a bijection, so each shard is a dense sub-universe and the
+/// core structure applies unchanged. All methods take `&self`; threads
+/// may call them concurrently.
+///
+/// ```
+/// use sprofile_concurrent::ShardedProfile;
+///
+/// let p = ShardedProfile::new(1000, 8);
+/// p.add(42);
+/// p.add(42);
+/// p.remove(7);
+/// assert_eq!(p.frequency(42), 2);
+/// assert_eq!(p.mode().unwrap(), (42, 2));
+/// ```
+pub struct ShardedProfile {
+    shards: Vec<Mutex<SProfile>>,
+    m: u32,
+}
+
+impl ShardedProfile {
+    /// Profile over a universe of `m` objects split across `shards`
+    /// shards (clamped to at least 1, at most `m.max(1)`).
+    pub fn new(m: u32, shards: usize) -> Self {
+        let p = shards.clamp(1, m.max(1) as usize) as u32;
+        let shards = (0..p)
+            .map(|s| {
+                // Number of ids in [0, m) congruent to s mod p.
+                let local = (m - s).div_ceil(p);
+                Mutex::new(SProfile::new(local))
+            })
+            .collect();
+        Self { shards, m }
+    }
+
+    /// Universe size `m`.
+    pub fn num_objects(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of shards `p`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn locate(&self, x: u32) -> (usize, u32) {
+        assert!(x < self.m, "object {x} outside universe [0, {})", self.m);
+        let p = self.shards.len() as u32;
+        ((x % p) as usize, x / p)
+    }
+
+    #[inline]
+    fn global_id(&self, shard: usize, local: u32) -> u32 {
+        local * self.shards.len() as u32 + shard as u32
+    }
+
+    /// Record one "add" for `x`; returns the new frequency. Locks only
+    /// `x`'s shard.
+    pub fn add(&self, x: u32) -> i64 {
+        let (s, local) = self.locate(x);
+        self.shards[s].lock().add(local)
+    }
+
+    /// Record one "remove" for `x`; returns the new frequency.
+    pub fn remove(&self, x: u32) -> i64 {
+        let (s, local) = self.locate(x);
+        self.shards[s].lock().remove(local)
+    }
+
+    /// Current frequency of `x`.
+    pub fn frequency(&self, x: u32) -> i64 {
+        let (s, local) = self.locate(x);
+        self.shards[s].lock().frequency(local)
+    }
+
+    /// Global mode `(object, frequency)`: the per-shard O(1) modes
+    /// combined in O(p). Ties break to the smallest object id so the
+    /// answer is deterministic. `None` for an empty universe.
+    ///
+    /// Shards are locked one at a time, so concurrent updates may land
+    /// between shard reads; the answer is a consistent *per-shard*
+    /// snapshot combination (use [`PipelineProfiler`] for global
+    /// linearisability).
+    ///
+    /// [`PipelineProfiler`]: crate::PipelineProfiler
+    pub fn mode(&self) -> Option<(u32, i64)> {
+        self.fold_extreme(|p| {
+            p.mode().map(|e| e.frequency).map(|f| {
+                let obj = p.mode_objects().iter().copied().min().expect("non-empty");
+                (obj, f)
+            })
+        }, |best, cand| cand.1 > best.1 || (cand.1 == best.1 && cand.0 < best.0))
+    }
+
+    /// Global least-frequent `(object, frequency)`; see [`Self::mode`]
+    /// for consistency semantics.
+    pub fn least(&self) -> Option<(u32, i64)> {
+        self.fold_extreme(|p| {
+            p.least().map(|e| e.frequency).map(|f| {
+                let obj = p.least_objects().iter().copied().min().expect("non-empty");
+                (obj, f)
+            })
+        }, |best, cand| cand.1 < best.1 || (cand.1 == best.1 && cand.0 < best.0))
+    }
+
+    fn fold_extreme(
+        &self,
+        pick: impl Fn(&SProfile) -> Option<(u32, i64)>,
+        beats: impl Fn((u32, i64), (u32, i64)) -> bool,
+    ) -> Option<(u32, i64)> {
+        let mut best: Option<(u32, i64)> = None;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock();
+            if let Some((local, f)) = pick(&guard) {
+                let cand = (self.global_id(s, local), f);
+                best = match best {
+                    Some(b) if !beats(b, cand) => Some(b),
+                    _ => Some(cand),
+                };
+            }
+        }
+        best
+    }
+
+    /// Number of objects with frequency ≥ `threshold` (sum of per-shard
+    /// O(log #blocks) counts).
+    pub fn count_at_least(&self, threshold: i64) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().count_at_least(threshold))
+            .sum()
+    }
+
+    /// Net stream length (adds − removes) across all shards.
+    pub fn len(&self) -> i64 {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True iff no net elements are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global top-K `(object, frequency)` by K-way merge of per-shard
+    /// top-K lists: O(p·K) gathered under staggered locks, then one sort.
+    pub fn top_k(&self, k: u32) -> Vec<(u32, i64)> {
+        let mut all: Vec<(u32, i64)> = Vec::with_capacity(self.shards.len() * k as usize);
+        for (s, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock();
+            all.extend(
+                guard
+                    .top_k(k)
+                    .into_iter()
+                    .map(|(local, f)| (self.global_id(s, local), f)),
+            );
+        }
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k as usize);
+        all
+    }
+
+    /// Frequencies of all `m` objects in global-id order — the merge
+    /// point for downstream single-threaded analysis.
+    pub fn merged_frequencies(&self) -> Vec<i64> {
+        let mut out = vec![0i64; self.m as usize];
+        for (s, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock();
+            for local in 0..guard.num_objects() {
+                out[self.global_id(s, local) as usize] = guard.frequency(local);
+            }
+        }
+        out
+    }
+
+    /// Collapse into a single-threaded [`SProfile`] carrying the same
+    /// frequencies (O(m log m) rebuild).
+    pub fn snapshot(&self) -> SProfile {
+        SProfile::from_frequencies(&self.merged_frequencies())
+    }
+}
+
+impl sprofile::FrequencyProfiler for ShardedProfile {
+    fn num_objects(&self) -> u32 {
+        self.m
+    }
+
+    fn add(&mut self, x: u32) {
+        ShardedProfile::add(self, x);
+    }
+
+    fn remove(&mut self, x: u32) {
+        ShardedProfile::remove(self, x);
+    }
+
+    fn frequency(&self, x: u32) -> i64 {
+        ShardedProfile::frequency(self, x)
+    }
+
+    fn mode(&self) -> Option<(u32, i64)> {
+        ShardedProfile::mode(self)
+    }
+
+    fn least(&self) -> Option<(u32, i64)> {
+        ShardedProfile::least(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded-s-profile"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(ShardedProfile::new(4, 100).num_shards(), 4);
+        assert_eq!(ShardedProfile::new(100, 0).num_shards(), 1);
+        assert_eq!(ShardedProfile::new(0, 3).num_shards(), 1);
+    }
+
+    #[test]
+    fn local_universe_sizes_partition_m() {
+        for m in [1u32, 7, 16, 97] {
+            for p in [1usize, 2, 3, 5, 8] {
+                let sp = ShardedProfile::new(m, p);
+                let total: u32 = sp.shards.iter().map(|s| s.lock().num_objects()).sum();
+                assert_eq!(total, m, "m={m} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_range_object_panics() {
+        ShardedProfile::new(10, 2).add(10);
+    }
+
+    #[test]
+    fn matches_sequential_profile_on_a_single_thread() {
+        let sharded = ShardedProfile::new(50, 7);
+        let mut seq = SProfile::new(50);
+        for i in 0..5000u32 {
+            let x = (i * 13 + i / 3) % 50;
+            if i % 4 == 0 {
+                sharded.remove(x);
+                seq.remove(x);
+            } else {
+                sharded.add(x);
+                seq.add(x);
+            }
+        }
+        for x in 0..50 {
+            assert_eq!(sharded.frequency(x), seq.frequency(x), "object {x}");
+        }
+        assert_eq!(sharded.mode().unwrap().1, seq.mode().unwrap().frequency);
+        assert_eq!(sharded.least().unwrap().1, seq.least().unwrap().frequency);
+        assert_eq!(sharded.len(), seq.len());
+        assert_eq!(sharded.count_at_least(10), seq.count_at_least(10));
+    }
+
+    #[test]
+    fn concurrent_writers_settle_to_the_exact_counts() {
+        let sp = Arc::new(ShardedProfile::new(64, 8));
+        let threads: Vec<_> = (0..8u32)
+            .map(|t| {
+                let sp = Arc::clone(&sp);
+                thread::spawn(move || {
+                    // Each thread adds every object `t + 1` times and
+                    // removes object t once.
+                    for round in 0..t + 1 {
+                        for x in 0..64 {
+                            sp.add(x);
+                        }
+                        let _ = round;
+                    }
+                    sp.remove(t);
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        // Total adds per object: 1+2+...+8 = 36; objects 0..8 got one
+        // remove each.
+        for x in 0..64u32 {
+            let expect = if x < 8 { 35 } else { 36 };
+            assert_eq!(sp.frequency(x), expect, "object {x}");
+        }
+        assert_eq!(sp.mode().unwrap(), (8, 36), "smallest untouched object wins ties");
+        assert_eq!(sp.least().unwrap(), (0, 35));
+    }
+
+    #[test]
+    fn top_k_merges_across_shards() {
+        let sp = ShardedProfile::new(20, 4);
+        // Frequencies: object x gets x adds.
+        for x in 0..20u32 {
+            for _ in 0..x {
+                sp.add(x);
+            }
+        }
+        let top = sp.top_k(5);
+        assert_eq!(
+            top,
+            vec![(19, 19), (18, 18), (17, 17), (16, 16), (15, 15)]
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_frequencies() {
+        let sp = ShardedProfile::new(30, 3);
+        for i in 0..300u32 {
+            sp.add(i % 30);
+            if i % 5 == 0 {
+                sp.remove((i + 1) % 30);
+            }
+        }
+        let snap = sp.snapshot();
+        for x in 0..30 {
+            assert_eq!(snap.frequency(x), sp.frequency(x), "object {x}");
+        }
+        assert_eq!(snap.mode().unwrap().frequency, sp.mode().unwrap().1);
+    }
+
+    #[test]
+    fn frequency_profiler_trait_works_generically() {
+        fn drive<P: sprofile::FrequencyProfiler>(p: &mut P) {
+            p.add(1);
+            p.add(1);
+            p.remove(2);
+            assert_eq!(p.frequency(1), 2);
+            assert_eq!(p.mode(), Some((1, 2)));
+            assert_eq!(p.least(), Some((2, -1)));
+        }
+        let mut sp = ShardedProfile::new(10, 3);
+        drive(&mut sp);
+        assert_eq!(sprofile::FrequencyProfiler::name(&sp), "sharded-s-profile");
+    }
+
+    #[test]
+    fn empty_universe_has_no_extremes() {
+        let sp = ShardedProfile::new(0, 4);
+        assert_eq!(sp.mode(), None);
+        assert_eq!(sp.least(), None);
+        assert!(sp.is_empty());
+        assert_eq!(sp.top_k(3), vec![]);
+        assert_eq!(sp.merged_frequencies(), Vec::<i64>::new());
+    }
+}

@@ -1,0 +1,353 @@
+//! The *block* primitive and its arena.
+//!
+//! A block `(l, r, f)` describes a maximal run of positions `l..=r` in the
+//! sorted frequency array `T` that all carry the same frequency `f`
+//! (paper §2.1). Because every update to the profiled array changes one
+//! frequency by exactly ±1, an update only ever touches the two blocks at a
+//! run boundary, which is what makes the S-Profile update O(1).
+//!
+//! Blocks are stored in a [`BlockArena`]: a slab with an intrusive free
+//! list, so allocating and freeing a block is O(1) and pointer-stable
+//! indices (`u32`) can be kept in the position→block array.
+
+/// Sentinel meaning "no block" / end of the free list.
+pub const NIL: u32 = u32::MAX;
+
+/// Sentinel stored in a slot's `next_free` while the slot is occupied.
+const OCCUPIED: u32 = u32::MAX - 1;
+
+/// A maximal constant-frequency run `l..=r` of the sorted frequency array.
+///
+/// Invariants maintained by [`crate::SProfile`]:
+/// * `l <= r` (blocks are never empty while allocated),
+/// * positions `l..=r` all have frequency `f`,
+/// * the blocks immediately left and right (if any) have different `f`
+///   (maximality), and in fact `f_left < f < f_right` since `T` is sorted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// First position (0-based, inclusive) covered by this block.
+    pub l: u32,
+    /// Last position (0-based, inclusive) covered by this block.
+    pub r: u32,
+    /// The frequency shared by every position in `l..=r`. May be negative:
+    /// the paper explicitly permits removing an object more often than it
+    /// was added (its "minimum frequency (maybe a negative number)").
+    pub f: i64,
+}
+
+impl Block {
+    /// Number of positions covered by this block.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.r - self.l + 1
+    }
+
+    /// A block always covers at least one position; provided for clippy
+    /// symmetry with [`Block::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `pos` falls inside `l..=r`.
+    #[inline]
+    pub fn contains(&self, pos: u32) -> bool {
+        self.l <= pos && pos <= self.r
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    block: Block,
+    /// `OCCUPIED` while the slot holds a live block, otherwise the index of
+    /// the next free slot (or `NIL`).
+    next_free: u32,
+}
+
+/// Slab allocator for [`Block`]s with an intrusive free list.
+///
+/// Freed slots are reused in LIFO order, which keeps the arena's footprint
+/// at the high-water mark of *live* blocks (at most `m`, usually far less —
+/// one block per distinct frequency value).
+#[derive(Clone, Debug, Default)]
+pub struct BlockArena {
+    slots: Vec<Slot>,
+    free_head: u32,
+    live: u32,
+}
+
+impl BlockArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        BlockArena {
+            slots: Vec::new(),
+            free_head: NIL,
+            live: 0,
+        }
+    }
+
+    /// Creates an empty arena with room for `cap` blocks before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        BlockArena {
+            slots: Vec::with_capacity(cap),
+            free_head: NIL,
+            live: 0,
+        }
+    }
+
+    /// Allocates `block`, returning its stable index.
+    #[inline]
+    pub fn alloc(&mut self, block: Block) -> u32 {
+        self.live += 1;
+        if self.free_head != NIL {
+            let id = self.free_head;
+            let slot = &mut self.slots[id as usize];
+            self.free_head = slot.next_free;
+            slot.next_free = OCCUPIED;
+            slot.block = block;
+            id
+        } else {
+            let id = self.slots.len() as u32;
+            debug_assert!(id < OCCUPIED, "block arena exhausted u32 index space");
+            self.slots.push(Slot {
+                block,
+                next_free: OCCUPIED,
+            });
+            id
+        }
+    }
+
+    /// Returns `id`'s slot to the free list.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `id` is not currently allocated
+    /// (double-free / stale index detection).
+    #[inline]
+    pub fn free(&mut self, id: u32) {
+        debug_assert!(self.is_live(id), "freeing a dead block id {id}");
+        let slot = &mut self.slots[id as usize];
+        slot.next_free = self.free_head;
+        self.free_head = id;
+        self.live -= 1;
+    }
+
+    /// Borrows the block at `id`.
+    #[inline]
+    pub fn get(&self, id: u32) -> &Block {
+        debug_assert!(self.is_live(id), "reading a dead block id {id}");
+        &self.slots[id as usize].block
+    }
+
+    /// Mutably borrows the block at `id`.
+    #[inline]
+    pub fn get_mut(&mut self, id: u32) -> &mut Block {
+        debug_assert!(self.is_live(id), "writing a dead block id {id}");
+        &mut self.slots[id as usize].block
+    }
+
+    /// Number of live blocks.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.live
+    }
+
+    /// Whether the arena holds no live blocks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + free-listed). This is the arena's
+    /// high-water mark and the measure of its memory footprint.
+    #[inline]
+    pub fn high_water_mark(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether slot `id` currently holds a live block.
+    #[inline]
+    pub fn is_live(&self, id: u32) -> bool {
+        (id as usize) < self.slots.len() && self.slots[id as usize].next_free == OCCUPIED
+    }
+
+    /// Iterates over `(id, &block)` for every live block, in slot order.
+    /// Intended for diagnostics and invariant checking, not hot paths.
+    pub fn iter_live(&self) -> impl Iterator<Item = (u32, &Block)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.next_free == OCCUPIED)
+            .map(|(i, s)| (i as u32, &s.block))
+    }
+
+    /// Removes every block, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_head = NIL;
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(l: u32, r: u32, f: i64) -> Block {
+        Block { l, r, f }
+    }
+
+    #[test]
+    fn block_len_and_contains() {
+        let blk = b(3, 7, -2);
+        assert_eq!(blk.len(), 5);
+        assert!(!blk.is_empty());
+        assert!(blk.contains(3));
+        assert!(blk.contains(5));
+        assert!(blk.contains(7));
+        assert!(!blk.contains(2));
+        assert!(!blk.contains(8));
+    }
+
+    #[test]
+    fn singleton_block() {
+        let blk = b(4, 4, 0);
+        assert_eq!(blk.len(), 1);
+        assert!(blk.contains(4));
+        assert!(!blk.contains(3));
+        assert!(!blk.contains(5));
+    }
+
+    #[test]
+    fn alloc_returns_distinct_ids() {
+        let mut arena = BlockArena::new();
+        let a = arena.alloc(b(0, 0, 1));
+        let c = arena.alloc(b(1, 1, 2));
+        let d = arena.alloc(b(2, 2, 3));
+        assert_ne!(a, c);
+        assert_ne!(c, d);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.get(a), &b(0, 0, 1));
+        assert_eq!(arena.get(c), &b(1, 1, 2));
+        assert_eq!(arena.get(d), &b(2, 2, 3));
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_slot() {
+        let mut arena = BlockArena::new();
+        let a = arena.alloc(b(0, 3, 0));
+        let c = arena.alloc(b(4, 5, 1));
+        arena.free(a);
+        assert_eq!(arena.len(), 1);
+        let d = arena.alloc(b(0, 0, 9));
+        assert_eq!(d, a, "LIFO free list should hand back the freed slot");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.high_water_mark(), 2);
+        assert_eq!(arena.get(c), &b(4, 5, 1));
+        assert_eq!(arena.get(d), &b(0, 0, 9));
+    }
+
+    #[test]
+    fn lifo_reuse_order() {
+        let mut arena = BlockArena::new();
+        let ids: Vec<u32> = (0..4).map(|i| arena.alloc(b(i, i, i as i64))).collect();
+        arena.free(ids[1]);
+        arena.free(ids[3]);
+        // LIFO: last freed comes back first.
+        assert_eq!(arena.alloc(b(9, 9, 9)), ids[3]);
+        assert_eq!(arena.alloc(b(8, 8, 8)), ids[1]);
+        // Nothing free anymore: fresh slot.
+        assert_eq!(arena.alloc(b(7, 7, 7)), 4);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut arena = BlockArena::new();
+        let a = arena.alloc(b(0, 5, 2));
+        arena.get_mut(a).r = 4;
+        arena.get_mut(a).f = 3;
+        assert_eq!(arena.get(a), &b(0, 4, 3));
+    }
+
+    #[test]
+    fn is_live_tracks_state() {
+        let mut arena = BlockArena::new();
+        assert!(!arena.is_live(0));
+        let a = arena.alloc(b(0, 0, 0));
+        assert!(arena.is_live(a));
+        arena.free(a);
+        assert!(!arena.is_live(a));
+        assert!(!arena.is_live(17));
+    }
+
+    #[test]
+    fn iter_live_skips_freed() {
+        let mut arena = BlockArena::new();
+        let a = arena.alloc(b(0, 0, 0));
+        let c = arena.alloc(b(1, 1, 1));
+        let d = arena.alloc(b(2, 2, 2));
+        arena.free(c);
+        let live: Vec<u32> = arena.iter_live().map(|(id, _)| id).collect();
+        assert_eq!(live, vec![a, d]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut arena = BlockArena::new();
+        for i in 0..10 {
+            arena.alloc(b(i, i, 0));
+        }
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.len(), 0);
+        let a = arena.alloc(b(0, 0, 0));
+        assert_eq!(a, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "dead block")]
+    fn debug_reading_freed_block_panics() {
+        let mut arena = BlockArena::new();
+        let a = arena.alloc(b(0, 0, 0));
+        arena.free(a);
+        let _ = arena.get(a);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "freeing a dead block")]
+    fn debug_double_free_panics() {
+        let mut arena = BlockArena::new();
+        let a = arena.alloc(b(0, 0, 0));
+        arena.free(a);
+        arena.free(a);
+    }
+
+    #[test]
+    fn with_capacity_does_not_change_semantics() {
+        let mut arena = BlockArena::with_capacity(64);
+        assert!(arena.is_empty());
+        let a = arena.alloc(b(0, 1, 5));
+        assert_eq!(arena.get(a).f, 5);
+    }
+
+    #[test]
+    fn stress_alloc_free_cycles_keep_high_water_low() {
+        let mut arena = BlockArena::new();
+        let mut ids = Vec::new();
+        for round in 0..100u32 {
+            for i in 0..8 {
+                ids.push(arena.alloc(b(i, i, round as i64)));
+            }
+            for id in ids.drain(..) {
+                arena.free(id);
+            }
+        }
+        assert_eq!(arena.len(), 0);
+        assert_eq!(
+            arena.high_water_mark(),
+            8,
+            "free-list reuse should cap the slab at the live high-water mark"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for the fallible halves of the public API.
+
+use core::fmt;
+
+/// Errors returned by the fallible profile operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The object id is `>= m` for a profile created over `m` objects.
+    ObjectOutOfRange {
+        /// The offending object id.
+        object: u32,
+        /// The profile's object-id universe size.
+        m: u32,
+    },
+    /// A strict-multiset remove would have driven a frequency below zero.
+    Underflow {
+        /// The object whose count would have gone negative.
+        object: u32,
+    },
+    /// A rank (top-K / k-th / quantile) query used a rank outside `1..=m`.
+    RankOutOfRange {
+        /// The requested 1-based rank.
+        rank: u32,
+        /// The profile's object-id universe size.
+        m: u32,
+    },
+    /// The operation needs at least one object but the profile has `m == 0`.
+    EmptyUniverse,
+    /// Growing a [`crate::GrowableProfile`] beyond its configured hard cap.
+    CapacityExceeded {
+        /// The configured maximum number of distinct objects.
+        cap: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Error::ObjectOutOfRange { object, m } => {
+                write!(f, "object id {object} out of range for universe of {m} objects")
+            }
+            Error::Underflow { object } => {
+                write!(f, "strict multiset underflow: object {object} has count 0")
+            }
+            Error::RankOutOfRange { rank, m } => {
+                write!(f, "rank {rank} out of range 1..={m}")
+            }
+            Error::EmptyUniverse => write!(f, "operation requires a non-empty object universe"),
+            Error::CapacityExceeded { cap } => {
+                write!(f, "interner capacity of {cap} distinct objects exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (
+                Error::ObjectOutOfRange { object: 9, m: 4 },
+                "object id 9 out of range for universe of 4 objects",
+            ),
+            (
+                Error::Underflow { object: 3 },
+                "strict multiset underflow: object 3 has count 0",
+            ),
+            (Error::RankOutOfRange { rank: 7, m: 5 }, "rank 7 out of range 1..=5"),
+            (
+                Error::EmptyUniverse,
+                "operation requires a non-empty object universe",
+            ),
+            (
+                Error::CapacityExceeded { cap: 16 },
+                "interner capacity of 16 distinct objects exceeded",
+            ),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(Error::EmptyUniverse);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::Underflow { object: 1 },
+            Error::Underflow { object: 1 }
+        );
+        assert_ne!(
+            Error::Underflow { object: 1 },
+            Error::Underflow { object: 2 }
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! A profile over an *open* key universe.
+//!
+//! [`SProfile`] requires the universe size `m` up front (the paper's
+//! "finite values" assumption). [`GrowableProfile`] removes that
+//! requirement for practical adoption: it interns arbitrary keys to dense
+//! ids and grows the underlying profile geometrically. Growth is an O(m)
+//! rebuild that splices the new zero-frequency ids into the maintained
+//! sorted order (no re-sort), so with doubling the cost is **amortized
+//! O(1)** per update — a documented extension beyond the paper, see
+//! DESIGN.md §9.
+
+use std::hash::Hash;
+
+use crate::interner::Interner;
+use crate::profile::SProfile;
+
+/// Minimum capacity allocated on first use.
+const MIN_CAPACITY: u32 = 4;
+
+/// An S-Profile over arbitrary hashable keys, growing on demand.
+///
+/// # Example
+/// ```
+/// use sprofile::GrowableProfile;
+///
+/// let mut p: GrowableProfile<&str> = GrowableProfile::new();
+/// p.add("apple");
+/// p.add("apple");
+/// p.add("pear");
+/// let (key, freq) = p.mode().unwrap();
+/// assert_eq!((*key, freq), ("apple", 2));
+/// assert_eq!(p.frequency(&"kiwi"), 0); // unseen keys count 0
+/// ```
+#[derive(Clone, Debug)]
+pub struct GrowableProfile<K> {
+    interner: Interner<K>,
+    profile: SProfile,
+}
+
+impl<K: Hash + Eq + Clone> GrowableProfile<K> {
+    /// Creates an empty growable profile.
+    pub fn new() -> Self {
+        GrowableProfile {
+            interner: Interner::new(),
+            profile: SProfile::new(0),
+        }
+    }
+
+    /// Creates a growable profile pre-sized for `capacity` distinct keys
+    /// (no rebuilds until the capacity is exceeded).
+    pub fn with_capacity(capacity: u32) -> Self {
+        GrowableProfile {
+            interner: Interner::new(),
+            profile: SProfile::new(capacity),
+        }
+    }
+
+    /// Number of distinct keys seen so far.
+    pub fn num_keys(&self) -> u32 {
+        self.interner.len()
+    }
+
+    /// Current capacity of the underlying dense profile.
+    pub fn capacity(&self) -> u32 {
+        self.profile.num_objects()
+    }
+
+    /// Sum of all frequencies (adds − removes).
+    pub fn len(&self) -> i64 {
+        self.profile.len()
+    }
+
+    /// Whether no events have been recorded (or they cancelled out).
+    pub fn is_empty(&self) -> bool {
+        self.profile.is_empty()
+    }
+
+    /// Records an "add" for `key`, interning it if unseen. Amortized O(1).
+    pub fn add(&mut self, key: K) -> i64 {
+        let id = self.intern_grown(key);
+        self.profile.add(id)
+    }
+
+    /// Records a "remove" for `key`, interning it if unseen (the resulting
+    /// frequency may be negative, matching the raw paper semantics).
+    pub fn remove(&mut self, key: K) -> i64 {
+        let id = self.intern_grown(key);
+        self.profile.remove(id)
+    }
+
+    /// Current frequency of `key`; 0 for keys never seen.
+    pub fn frequency(&self, key: &K) -> i64 {
+        match self.interner.get(key) {
+            Some(id) => self.profile.frequency(id),
+            None => 0,
+        }
+    }
+
+    /// The most frequent key and its frequency, or `None` if no key was
+    /// ever interned.
+    ///
+    /// Note: ids interned but at frequency 0, and spare capacity slots, are
+    /// excluded — the mode is over *seen keys* only.
+    pub fn mode(&self) -> Option<(&K, i64)> {
+        // Spare capacity slots all carry frequency 0. Walk the top block(s)
+        // for a witness that is a real key; if the global mode frequency is
+        // positive its block can only contain real keys (spares are 0).
+        let ext = self.profile.mode()?;
+        if ext.frequency > 0 {
+            // Any object in the mode block with id < num_keys works; the
+            // whole block is > 0 so every member is a seen key.
+            debug_assert!(ext.object < self.interner.len());
+            return self.interner.resolve(ext.object).map(|k| (k, ext.frequency));
+        }
+        // Mode frequency <= 0: every seen key is <= 0 too. Find the maximum
+        // over seen keys by scanning descending until a seen key appears.
+        self.profile
+            .iter_descending()
+            .find(|&(id, _)| id < self.interner.len())
+            .and_then(|(id, f)| self.interner.resolve(id).map(|k| (k, f)))
+    }
+
+    /// The `k` most frequent `(key, frequency)` pairs among seen keys,
+    /// most frequent first. O(k + spare-capacity-skipped).
+    pub fn top_k(&self, k: u32) -> Vec<(&K, i64)> {
+        let n = self.interner.len();
+        self.profile
+            .iter_descending()
+            .filter(|&(id, _)| id < n)
+            .take(k as usize)
+            .filter_map(|(id, f)| self.interner.resolve(id).map(|key| (key, f)))
+            .collect()
+    }
+
+    /// Read-only access to the dense profile (ids are interner ids; note
+    /// that ids `>= num_keys()` are spare capacity at frequency 0).
+    pub fn profile(&self) -> &SProfile {
+        &self.profile
+    }
+
+    /// Read-only access to the key interner.
+    pub fn interner(&self) -> &Interner<K> {
+        &self.interner
+    }
+
+    fn intern_grown(&mut self, key: K) -> u32 {
+        let id = self.interner.intern(key);
+        if id >= self.profile.num_objects() {
+            let target = (self.profile.num_objects().saturating_mul(2))
+                .max(id + 1)
+                .max(MIN_CAPACITY);
+            self.grow_to(target);
+        }
+        id
+    }
+
+    /// Rebuilds the dense profile at capacity `new_m`, splicing the new
+    /// zero-frequency ids into the maintained sorted order. O(m), no sort.
+    fn grow_to(&mut self, new_m: u32) {
+        let old_m = self.profile.num_objects();
+        debug_assert!(new_m > old_m);
+        let mut freqs = crate::verify::derive_frequencies(&self.profile);
+        freqs.resize(new_m as usize, 0);
+        // Positions with f < 0 stay before the inserted zeros.
+        let negatives = self.profile.count_at_most(-1);
+        let old_order = self.profile.raw_to_obj();
+        let mut order = Vec::with_capacity(new_m as usize);
+        order.extend_from_slice(&old_order[..negatives as usize]);
+        order.extend(old_m..new_m);
+        order.extend_from_slice(&old_order[negatives as usize..]);
+        self.profile = SProfile::from_sorted_assignment(order, &freqs);
+    }
+}
+
+impl<K: Hash + Eq + Clone> Default for GrowableProfile<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_invariants;
+
+    #[test]
+    fn starts_empty_and_grows() {
+        let mut p: GrowableProfile<&str> = GrowableProfile::new();
+        assert_eq!(p.num_keys(), 0);
+        assert_eq!(p.capacity(), 0);
+        assert!(p.is_empty());
+        p.add("a");
+        assert_eq!(p.num_keys(), 1);
+        assert!(p.capacity() >= 1);
+        assert_eq!(p.frequency(&"a"), 1);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn growth_preserves_frequencies_and_invariants() {
+        let mut p: GrowableProfile<u64> = GrowableProfile::new();
+        for round in 0..200u64 {
+            p.add(round % 37);
+            p.add(round % 11);
+            if round % 3 == 0 {
+                p.remove(round % 7);
+            }
+            check_invariants(p.profile()).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        // Verify against a naive recount.
+        let mut naive = std::collections::HashMap::new();
+        for round in 0..200u64 {
+            *naive.entry(round % 37).or_insert(0i64) += 1;
+            *naive.entry(round % 11).or_insert(0i64) += 1;
+            if round % 3 == 0 {
+                *naive.entry(round % 7).or_insert(0i64) -= 1;
+            }
+        }
+        for (key, &f) in &naive {
+            assert_eq!(p.frequency(key), f, "key {key}");
+        }
+    }
+
+    #[test]
+    fn growth_with_negative_frequencies() {
+        let mut p: GrowableProfile<u32> = GrowableProfile::new();
+        p.remove(1); // goes negative immediately
+        p.remove(1);
+        p.add(2);
+        // Force several growth rebuilds with negatives present.
+        for k in 3..50u32 {
+            p.add(k);
+            check_invariants(p.profile()).unwrap();
+        }
+        assert_eq!(p.frequency(&1), -2);
+        assert_eq!(p.frequency(&2), 1);
+        assert_eq!(p.profile().least().unwrap().frequency, -2);
+    }
+
+    #[test]
+    fn mode_ignores_spare_capacity() {
+        let mut p: GrowableProfile<&str> = GrowableProfile::with_capacity(64);
+        p.add("x");
+        let (key, f) = p.mode().unwrap();
+        assert_eq!((*key, f), ("x", 1));
+    }
+
+    #[test]
+    fn mode_with_all_seen_keys_negative() {
+        let mut p: GrowableProfile<&str> = GrowableProfile::with_capacity(8);
+        p.remove("a");
+        p.remove("a");
+        p.remove("b");
+        // Seen keys: a=-2, b=-1. Mode over seen keys is b.
+        let (key, f) = p.mode().unwrap();
+        assert_eq!((*key, f), ("b", -1));
+    }
+
+    #[test]
+    fn mode_none_before_any_key() {
+        let p: GrowableProfile<&str> = GrowableProfile::with_capacity(8);
+        assert_eq!(p.mode(), None);
+        let p2: GrowableProfile<&str> = GrowableProfile::new();
+        assert_eq!(p2.mode(), None);
+    }
+
+    #[test]
+    fn top_k_skips_spares_and_orders_desc() {
+        let mut p: GrowableProfile<&str> = GrowableProfile::with_capacity(32);
+        for _ in 0..3 {
+            p.add("a");
+        }
+        for _ in 0..2 {
+            p.add("b");
+        }
+        p.add("c");
+        let top: Vec<(&str, i64)> = p.top_k(2).into_iter().map(|(k, f)| (*k, f)).collect();
+        assert_eq!(top, vec![("a", 3), ("b", 2)]);
+        // Asking for more than seen keys returns only seen keys.
+        let all = p.top_k(100);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn capacity_doubles() {
+        let mut p: GrowableProfile<u32> = GrowableProfile::new();
+        p.add(0);
+        let c1 = p.capacity();
+        assert!(c1 >= MIN_CAPACITY);
+        for k in 1..=c1 {
+            p.add(k);
+        }
+        assert!(p.capacity() >= 2 * c1);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut p: GrowableProfile<String> = GrowableProfile::new();
+        p.add("user/alice".to_string());
+        p.add("user/alice".to_string());
+        p.add("user/bob".to_string());
+        assert_eq!(p.frequency(&"user/alice".to_string()), 2);
+        let (key, f) = p.mode().unwrap();
+        assert_eq!(key.as_str(), "user/alice");
+        assert_eq!(f, 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Mapping arbitrary keys onto the dense `0..m` ids the profile needs.
+//!
+//! The paper assumes "for any m distinct objects, we can map them into the
+//! integers from 1 to m as ids" (§2). This module is that map: a bijective
+//! interner from any `Hash + Eq` key type (user names, URLs, IPs, …) to
+//! dense `u32` ids, with an optional hard capacity.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::error::{Error, Result};
+
+/// Bijective map `K → u32` assigning ids densely in insertion order.
+///
+/// # Example
+/// ```
+/// use sprofile::Interner;
+///
+/// let mut it = Interner::new();
+/// let a = it.intern("alice");
+/// let b = it.intern("bob");
+/// assert_eq!(it.intern("alice"), a); // stable
+/// assert_eq!(it.resolve(b), Some(&"bob"));
+/// assert_eq!(it.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Interner<K> {
+    ids: HashMap<K, u32>,
+    keys: Vec<K>,
+    cap: Option<u32>,
+}
+
+impl<K: Hash + Eq + Clone> Interner<K> {
+    /// Creates an unbounded interner.
+    pub fn new() -> Self {
+        Interner {
+            ids: HashMap::new(),
+            keys: Vec::new(),
+            cap: None,
+        }
+    }
+
+    /// Creates an interner that refuses to assign more than `cap` ids.
+    pub fn with_capacity_limit(cap: u32) -> Self {
+        Interner {
+            ids: HashMap::with_capacity(cap as usize),
+            keys: Vec::with_capacity(cap as usize),
+            cap: Some(cap),
+        }
+    }
+
+    /// Returns the id of `key`, assigning the next dense id if unseen.
+    ///
+    /// # Panics
+    /// If the capacity limit would be exceeded; use
+    /// [`Interner::try_intern`] for a fallible variant.
+    pub fn intern(&mut self, key: K) -> u32 {
+        self.try_intern(key).expect("interner capacity exceeded")
+    }
+
+    /// Fallible [`Interner::intern`]: errors with
+    /// [`Error::CapacityExceeded`] instead of panicking.
+    pub fn try_intern(&mut self, key: K) -> Result<u32> {
+        if let Some(&id) = self.ids.get(&key) {
+            return Ok(id);
+        }
+        if let Some(cap) = self.cap {
+            if self.keys.len() as u32 >= cap {
+                return Err(Error::CapacityExceeded { cap });
+            }
+        }
+        let id = self.keys.len() as u32;
+        self.keys.push(key.clone());
+        self.ids.insert(key, id);
+        Ok(id)
+    }
+
+    /// The id of `key` if it has been interned.
+    pub fn get(&self, key: &K) -> Option<u32> {
+        self.ids.get(key).copied()
+    }
+
+    /// The key for `id`, if assigned.
+    pub fn resolve(&self, id: u32) -> Option<&K> {
+        self.keys.get(id as usize)
+    }
+
+    /// Number of distinct keys interned.
+    pub fn len(&self) -> u32 {
+        self.keys.len() as u32
+    }
+
+    /// Whether no key has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The configured capacity limit, if any.
+    pub fn capacity_limit(&self) -> Option<u32> {
+        self.cap
+    }
+
+    /// Iterates `(id, &key)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &K)> + '_ {
+        self.keys.iter().enumerate().map(|(i, k)| (i as u32, k))
+    }
+}
+
+impl<K: Hash + Eq + Clone> Default for Interner<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut it = Interner::new();
+        assert_eq!(it.intern("x"), 0);
+        assert_eq!(it.intern("y"), 1);
+        assert_eq!(it.intern("x"), 0);
+        assert_eq!(it.intern("z"), 2);
+        assert_eq!(it.len(), 3);
+        assert!(!it.is_empty());
+    }
+
+    #[test]
+    fn resolve_inverts_intern() {
+        let mut it = Interner::new();
+        let keys = ["alpha", "beta", "gamma"];
+        let ids: Vec<u32> = keys.iter().map(|&k| it.intern(k)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(it.resolve(ids[i]), Some(&k));
+            assert_eq!(it.get(&k), Some(ids[i]));
+        }
+        assert_eq!(it.resolve(99), None);
+        assert_eq!(it.get(&"delta"), None);
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let mut it = Interner::with_capacity_limit(2);
+        assert_eq!(it.capacity_limit(), Some(2));
+        it.intern(10u64);
+        it.intern(20u64);
+        // Existing keys still intern fine at capacity.
+        assert_eq!(it.try_intern(10u64), Ok(0));
+        assert_eq!(
+            it.try_intern(30u64),
+            Err(Error::CapacityExceeded { cap: 2 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn intern_panics_over_capacity() {
+        let mut it = Interner::with_capacity_limit(1);
+        it.intern(1u8);
+        it.intern(2u8);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut it = Interner::new();
+        it.intern("b");
+        it.intern("a");
+        let pairs: Vec<(u32, &&str)> = it.iter().collect();
+        assert_eq!(pairs, vec![(0, &"b"), (1, &"a")]);
+    }
+
+    #[test]
+    fn works_with_owned_strings() {
+        let mut it: Interner<String> = Interner::default();
+        let id = it.intern("user-42".to_string());
+        assert_eq!(it.resolve(id).map(|s| s.as_str()), Some("user-42"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Iterators over the profiled sorted order.
+//!
+//! All iterators borrow the profile immutably; they are invalidated (by the
+//! borrow checker, at compile time) by any update.
+
+use crate::block::Block;
+use crate::profile::SProfile;
+
+/// One equivalence class of the frequency order: all objects sharing one
+/// frequency, exposed as the contiguous slice the block set maintains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrequencyClass<'a> {
+    /// The shared frequency.
+    pub frequency: i64,
+    /// The objects at that frequency (arbitrary order within the class).
+    pub objects: &'a [u32],
+}
+
+impl<'a> FrequencyClass<'a> {
+    /// Number of objects in the class.
+    pub fn count(&self) -> u32 {
+        self.objects.len() as u32
+    }
+}
+
+/// Ascending `(object, frequency)` iterator. See [`SProfile::iter_ascending`].
+#[derive(Clone, Debug)]
+pub struct AscendingIter<'a> {
+    p: &'a SProfile,
+    pos: u32,
+    end: u32,
+}
+
+impl<'a> Iterator for AscendingIter<'a> {
+    type Item = (u32, i64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let pos = self.pos;
+        self.pos += 1;
+        Some((
+            self.p.raw_to_obj()[pos as usize],
+            self.p.block_at(pos).f,
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.pos) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AscendingIter<'_> {}
+
+/// Descending `(object, frequency)` iterator. See [`SProfile::iter_descending`].
+#[derive(Clone, Debug)]
+pub struct DescendingIter<'a> {
+    p: &'a SProfile,
+    /// Number of positions still to yield; next position is `remaining - 1`.
+    remaining: u32,
+}
+
+impl<'a> Iterator for DescendingIter<'a> {
+    type Item = (u32, i64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let pos = self.remaining;
+        Some((
+            self.p.raw_to_obj()[pos as usize],
+            self.p.block_at(pos).f,
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for DescendingIter<'_> {}
+
+/// Ascending iterator over [`FrequencyClass`]es (one per block).
+#[derive(Clone, Debug)]
+pub struct ClassIter<'a> {
+    p: &'a SProfile,
+    pos: u32,
+}
+
+impl<'a> Iterator for ClassIter<'a> {
+    type Item = FrequencyClass<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let m = self.p.num_objects();
+        if self.pos >= m {
+            return None;
+        }
+        let Block { l, r, f } = *self.p.block_at(self.pos);
+        self.pos = r + 1;
+        Some(FrequencyClass {
+            frequency: f,
+            objects: &self.p.raw_to_obj()[l as usize..=r as usize],
+        })
+    }
+}
+
+impl SProfile {
+    /// Iterates `(object, frequency)` in ascending frequency order. O(1)
+    /// per step; ties ordered arbitrarily but deterministically.
+    pub fn iter_ascending(&self) -> AscendingIter<'_> {
+        AscendingIter {
+            p: self,
+            pos: 0,
+            end: self.num_objects(),
+        }
+    }
+
+    /// Iterates `(object, frequency)` in descending frequency order — a lazy
+    /// top-K: `iter_descending().take(k)` equals [`SProfile::top_k`]`(k)`.
+    pub fn iter_descending(&self) -> DescendingIter<'_> {
+        DescendingIter {
+            p: self,
+            remaining: self.num_objects(),
+        }
+    }
+
+    /// Iterates frequency classes (blocks) in ascending frequency order.
+    pub fn classes(&self) -> ClassIter<'_> {
+        ClassIter { p: self, pos: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_yields_sorted_frequencies() {
+        let p = SProfile::from_frequencies(&[3, -1, 0, 3, 2]);
+        let items: Vec<(u32, i64)> = p.iter_ascending().collect();
+        assert_eq!(items.len(), 5);
+        let freqs: Vec<i64> = items.iter().map(|&(_, f)| f).collect();
+        assert_eq!(freqs, vec![-1, 0, 2, 3, 3]);
+        for &(obj, f) in &items {
+            assert_eq!(p.frequency(obj), f);
+        }
+    }
+
+    #[test]
+    fn descending_is_reverse_of_ascending() {
+        let p = SProfile::from_frequencies(&[5, 0, 5, 1, 9]);
+        let up: Vec<(u32, i64)> = p.iter_ascending().collect();
+        let mut down: Vec<(u32, i64)> = p.iter_descending().collect();
+        down.reverse();
+        assert_eq!(up, down);
+    }
+
+    #[test]
+    fn descending_take_equals_top_k() {
+        let p = SProfile::from_frequencies(&[4, 1, 3, 1, 0, 8]);
+        let lazy: Vec<(u32, i64)> = p.iter_descending().take(3).collect();
+        assert_eq!(lazy, p.top_k(3));
+    }
+
+    #[test]
+    fn exact_size_hints() {
+        let p = SProfile::from_frequencies(&[1, 2, 3]);
+        let mut it = p.iter_ascending();
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+        let mut it = p.iter_descending();
+        assert_eq!(it.len(), 3);
+        it.next();
+        it.next();
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn classes_partition_objects() {
+        let p = SProfile::from_frequencies(&[2, 0, 2, -1, 0, 0]);
+        let classes: Vec<FrequencyClass<'_>> = p.classes().collect();
+        assert_eq!(classes.len(), 3);
+        assert_eq!(classes[0].frequency, -1);
+        assert_eq!(classes[0].count(), 1);
+        assert_eq!(classes[1].frequency, 0);
+        assert_eq!(classes[1].count(), 3);
+        assert_eq!(classes[2].frequency, 2);
+        assert_eq!(classes[2].count(), 2);
+        // Classes together cover every object exactly once.
+        let mut all: Vec<u32> = classes.iter().flat_map(|c| c.objects.iter().copied()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_universe_iterators() {
+        let p = SProfile::new(0);
+        assert_eq!(p.iter_ascending().count(), 0);
+        assert_eq!(p.iter_descending().count(), 0);
+        assert_eq!(p.classes().count(), 0);
+    }
+
+    #[test]
+    fn class_membership_matches_frequency() {
+        let p = SProfile::from_frequencies(&[7, 7, 1, 7, 0]);
+        for class in p.classes() {
+            for &obj in class.objects {
+                assert_eq!(p.frequency(obj), class.frequency);
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Strict multiset façade over [`SProfile`].
+//!
+//! The raw profile follows the paper and lets frequencies go negative
+//! (a "remove" for an object that was never added). Most applications —
+//! like counters, follower counts, window contents — want *multiset*
+//! semantics where a count can never drop below zero. [`Multiset`] wraps
+//! the profile and enforces that, turning underflows into errors instead.
+
+use crate::error::{Error, Result};
+use crate::profile::{Extreme, SProfile};
+use crate::query::FrequencyBucket;
+
+/// A counted multiset over object ids `0..m` with O(1) insert/remove and
+/// O(1) mode/rank queries; removal of an absent object is an error.
+///
+/// # Example
+/// ```
+/// use sprofile::Multiset;
+///
+/// let mut ms = Multiset::new(10);
+/// ms.insert(7);
+/// ms.insert(7);
+/// assert_eq!(ms.count(7), 2);
+/// assert!(ms.try_remove(3).is_err()); // never inserted
+/// assert_eq!(ms.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Multiset {
+    inner: SProfile,
+}
+
+impl Multiset {
+    /// Creates an empty multiset over the universe `0..m`.
+    pub fn new(m: u32) -> Self {
+        Multiset {
+            inner: SProfile::new(m),
+        }
+    }
+
+    /// Builds a multiset whose object `i` starts with count `counts[i]`.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let freqs: Vec<i64> = counts
+            .iter()
+            .map(|&c| i64::try_from(c).expect("count exceeds i64"))
+            .collect();
+        Multiset {
+            inner: SProfile::from_frequencies(&freqs),
+        }
+    }
+
+    /// Universe size `m`.
+    pub fn num_objects(&self) -> u32 {
+        self.inner.num_objects()
+    }
+
+    /// Total number of elements (sum of counts). Never negative.
+    pub fn len(&self) -> u64 {
+        self.inner.len() as u64
+    }
+
+    /// Whether the multiset holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Count of `x` (0 if absent). O(1).
+    pub fn count(&self, x: u32) -> u64 {
+        self.inner.frequency(x) as u64
+    }
+
+    /// Whether at least one copy of `x` is present. O(1).
+    pub fn contains(&self, x: u32) -> bool {
+        self.inner.frequency(x) > 0
+    }
+
+    /// Number of distinct objects present.
+    pub fn distinct(&self) -> u32 {
+        self.inner.distinct_active()
+    }
+
+    /// Inserts one copy of `x`, returning its new count.
+    ///
+    /// # Panics
+    /// If `x >= m`; use [`Multiset::try_insert`] for a fallible variant.
+    pub fn insert(&mut self, x: u32) -> u64 {
+        self.inner.add(x) as u64
+    }
+
+    /// Fallible [`Multiset::insert`].
+    pub fn try_insert(&mut self, x: u32) -> Result<u64> {
+        self.inner.try_add(x).map(|f| f as u64)
+    }
+
+    /// Removes one copy of `x`, returning its new count, or
+    /// [`Error::Underflow`] if no copy is present ([`Error::ObjectOutOfRange`]
+    /// if `x >= m`). The multiset is unchanged on error.
+    pub fn try_remove(&mut self, x: u32) -> Result<u64> {
+        let m = self.inner.num_objects();
+        if x >= m {
+            return Err(Error::ObjectOutOfRange { object: x, m });
+        }
+        if self.inner.frequency(x) == 0 {
+            return Err(Error::Underflow { object: x });
+        }
+        Ok(self.inner.remove(x) as u64)
+    }
+
+    /// The most frequent element: witness, count, and tie multiplicity.
+    /// `None` iff `m == 0`.
+    pub fn mode(&self) -> Option<Extreme> {
+        self.inner.mode()
+    }
+
+    /// The `k` most frequent `(object, count)` pairs, most frequent first.
+    pub fn top_k(&self, k: u32) -> Vec<(u32, u64)> {
+        self.inner
+            .top_k(k)
+            .into_iter()
+            .map(|(x, f)| (x, f as u64))
+            .collect()
+    }
+
+    /// Count histogram ascending by count; includes the zero-count bucket.
+    pub fn histogram(&self) -> Vec<FrequencyBucket> {
+        self.inner.histogram()
+    }
+
+    /// Number of objects with count `>= threshold`.
+    pub fn count_at_least(&self, threshold: u64) -> u32 {
+        self.inner
+            .count_at_least(i64::try_from(threshold).expect("threshold exceeds i64"))
+    }
+
+    /// Read-only access to the underlying profile for advanced queries
+    /// (quantiles, iterators, summaries).
+    pub fn profile(&self) -> &SProfile {
+        &self.inner
+    }
+
+    /// Consumes the multiset, returning the underlying raw profile.
+    pub fn into_profile(self) -> SProfile {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut ms = Multiset::new(4);
+        assert_eq!(ms.insert(2), 1);
+        assert_eq!(ms.insert(2), 2);
+        assert_eq!(ms.count(2), 2);
+        assert!(ms.contains(2));
+        assert_eq!(ms.try_remove(2), Ok(1));
+        assert_eq!(ms.try_remove(2), Ok(0));
+        assert!(!ms.contains(2));
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn underflow_is_rejected_and_state_preserved() {
+        let mut ms = Multiset::new(4);
+        ms.insert(1);
+        let before_len = ms.len();
+        assert_eq!(ms.try_remove(0), Err(Error::Underflow { object: 0 }));
+        assert_eq!(ms.len(), before_len);
+        assert_eq!(ms.count(0), 0);
+        // Underlying profile never saw a negative frequency.
+        assert_eq!(ms.profile().least().unwrap().frequency, 0);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut ms = Multiset::new(2);
+        assert_eq!(
+            ms.try_insert(2),
+            Err(Error::ObjectOutOfRange { object: 2, m: 2 })
+        );
+        assert_eq!(
+            ms.try_remove(5),
+            Err(Error::ObjectOutOfRange { object: 5, m: 2 })
+        );
+    }
+
+    #[test]
+    fn from_counts() {
+        let ms = Multiset::from_counts(&[3, 0, 1]);
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms.count(0), 3);
+        assert_eq!(ms.count(1), 0);
+        assert_eq!(ms.count(2), 1);
+        assert_eq!(ms.distinct(), 2);
+        let mode = ms.mode().unwrap();
+        assert_eq!((mode.object, mode.frequency), (0, 3));
+    }
+
+    #[test]
+    fn top_k_and_histogram() {
+        let ms = Multiset::from_counts(&[5, 1, 3, 0]);
+        assert_eq!(ms.top_k(2), vec![(0, 5), (2, 3)]);
+        let hist = ms.histogram();
+        assert_eq!(hist.len(), 4); // counts 0, 1, 3, 5
+        assert_eq!(ms.count_at_least(3), 2);
+        assert_eq!(ms.count_at_least(1), 3);
+        assert_eq!(ms.count_at_least(0), 4);
+    }
+
+    #[test]
+    fn distinct_tracks_presence() {
+        let mut ms = Multiset::new(8);
+        assert_eq!(ms.distinct(), 0);
+        ms.insert(1);
+        ms.insert(1);
+        ms.insert(5);
+        assert_eq!(ms.distinct(), 2);
+        ms.try_remove(1).unwrap();
+        assert_eq!(ms.distinct(), 2);
+        ms.try_remove(1).unwrap();
+        assert_eq!(ms.distinct(), 1);
+    }
+
+    #[test]
+    fn into_profile_preserves_state() {
+        let mut ms = Multiset::new(3);
+        ms.insert(0);
+        ms.insert(0);
+        let p = ms.into_profile();
+        assert_eq!(p.frequency(0), 2);
+    }
+}

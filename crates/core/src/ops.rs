@@ -1,0 +1,166 @@
+//! Bulk and convenience operations on [`SProfile`].
+
+use crate::profile::SProfile;
+use crate::window::Tuple;
+
+impl SProfile {
+    /// Applies one log-stream tuple (add or remove). O(1).
+    #[inline]
+    pub fn apply(&mut self, t: Tuple) -> i64 {
+        if t.is_add {
+            self.add(t.object)
+        } else {
+            self.remove(t.object)
+        }
+    }
+
+    /// Applies every tuple from an iterator; returns how many were applied.
+    pub fn apply_all<I: IntoIterator<Item = Tuple>>(&mut self, tuples: I) -> u64 {
+        let mut n = 0;
+        for t in tuples {
+            self.apply(t);
+            n += 1;
+        }
+        n
+    }
+
+    /// Resets every frequency to zero, keeping the universe size. O(m),
+    /// reuses the existing allocations.
+    pub fn clear(&mut self) {
+        let m = self.num_objects();
+        *self = SProfile::new(m);
+    }
+
+    /// Builds the element-wise sum of two profiles over the same universe:
+    /// `result.frequency(x) = a.frequency(x) + b.frequency(x)`.
+    ///
+    /// O(m log m). Useful for combining per-shard profiles (each shard
+    /// profiles its own slice of a partitioned log stream, then the shards
+    /// are merged for a global answer).
+    ///
+    /// # Panics
+    /// If the universes differ.
+    pub fn merged(a: &SProfile, b: &SProfile) -> SProfile {
+        assert_eq!(
+            a.num_objects(),
+            b.num_objects(),
+            "cannot merge profiles over different universes"
+        );
+        let freqs: Vec<i64> = (0..a.num_objects())
+            .map(|x| a.frequency(x) + b.frequency(x))
+            .collect();
+        SProfile::from_frequencies(&freqs)
+    }
+
+    /// Element-wise difference `a − b`, the merge-inverse: profiles the
+    /// events in `a`'s stream that are not in `b`'s.
+    ///
+    /// # Panics
+    /// If the universes differ.
+    pub fn difference(a: &SProfile, b: &SProfile) -> SProfile {
+        assert_eq!(
+            a.num_objects(),
+            b.num_objects(),
+            "cannot diff profiles over different universes"
+        );
+        let freqs: Vec<i64> = (0..a.num_objects())
+            .map(|x| a.frequency(x) - b.frequency(x))
+            .collect();
+        SProfile::from_frequencies(&freqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_invariants, derive_frequencies};
+
+    #[test]
+    fn apply_routes_by_action() {
+        let mut p = SProfile::new(4);
+        assert_eq!(p.apply(Tuple::add(2)), 1);
+        assert_eq!(p.apply(Tuple::add(2)), 2);
+        assert_eq!(p.apply(Tuple::remove(2)), 1);
+        assert_eq!(p.apply(Tuple::remove(3)), -1);
+    }
+
+    #[test]
+    fn apply_all_counts() {
+        let mut p = SProfile::new(4);
+        let n = p.apply_all([Tuple::add(0), Tuple::add(1), Tuple::remove(0)]);
+        assert_eq!(n, 3);
+        assert_eq!(p.frequency(0), 0);
+        assert_eq!(p.frequency(1), 1);
+        assert_eq!(p.updates(), 3);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut p = SProfile::new(6);
+        for x in [1u32, 1, 4, 5] {
+            p.add(x);
+        }
+        p.remove(0);
+        p.clear();
+        check_invariants(&p).unwrap();
+        assert_eq!(p.num_objects(), 6);
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.num_blocks(), 1);
+        assert_eq!(derive_frequencies(&p), vec![0; 6]);
+    }
+
+    #[test]
+    fn merged_sums_frequencies() {
+        let a = SProfile::from_frequencies(&[1, 0, -2, 5]);
+        let b = SProfile::from_frequencies(&[3, 0, 2, -5]);
+        let m = SProfile::merged(&a, &b);
+        check_invariants(&m).unwrap();
+        assert_eq!(derive_frequencies(&m), vec![4, 0, 0, 0]);
+        assert_eq!(m.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn merged_equals_concatenated_streams() {
+        // Profiling stream1 ++ stream2 must equal merging the per-stream
+        // profiles — the sharding use case.
+        let m = 12u32;
+        let mut shard1 = SProfile::new(m);
+        let mut shard2 = SProfile::new(m);
+        let mut whole = SProfile::new(m);
+        let mut state = 3u64;
+        for i in 0..500u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(5);
+            let x = ((state >> 33) % m as u64) as u32;
+            let t = if (state >> 3) & 1 == 1 {
+                Tuple::add(x)
+            } else {
+                Tuple::remove(x)
+            };
+            whole.apply(t);
+            if i % 2 == 0 {
+                shard1.apply(t);
+            } else {
+                shard2.apply(t);
+            }
+        }
+        let merged = SProfile::merged(&shard1, &shard2);
+        assert_eq!(derive_frequencies(&merged), derive_frequencies(&whole));
+        assert_eq!(merged.mode().unwrap().frequency, whole.mode().unwrap().frequency);
+        assert_eq!(merged.median(), whole.median());
+    }
+
+    #[test]
+    fn difference_inverts_merge() {
+        let a = SProfile::from_frequencies(&[5, 2, 0]);
+        let b = SProfile::from_frequencies(&[1, 2, 3]);
+        let sum = SProfile::merged(&a, &b);
+        let back = SProfile::difference(&sum, &b);
+        assert_eq!(derive_frequencies(&back), derive_frequencies(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn merge_rejects_mismatched_universes() {
+        let _ = SProfile::merged(&SProfile::new(3), &SProfile::new(4));
+    }
+}

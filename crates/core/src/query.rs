@@ -1,0 +1,433 @@
+//! Rank and distribution queries on top of the maintained sorted order.
+//!
+//! Because [`SProfile`] keeps the conceptual sorted frequency array `T`
+//! materialised (via `to_obj` + blocks), every order statistic is a direct
+//! array lookup (paper §2.2, "Other queries on statistics"):
+//!
+//! * k-th largest / smallest frequency — O(1),
+//! * median and arbitrary quantiles — O(1),
+//! * top-K listing — O(K),
+//! * frequency histogram — O(#blocks),
+//! * counts by frequency threshold — O(#blocks at or above the threshold).
+
+use crate::error::{Error, Result};
+use crate::profile::SProfile;
+
+/// One bucket of the frequency histogram: `count` objects share `frequency`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrequencyBucket {
+    /// The common frequency of every object in this bucket.
+    pub frequency: i64,
+    /// Number of objects with that frequency.
+    pub count: u32,
+}
+
+impl SProfile {
+    /// Frequency and a witness object of the k-th **largest** frequency
+    /// (1-based; duplicates counted). `kth_largest(1)` is a mode. O(1).
+    pub fn kth_largest(&self, k: u32) -> Result<(u32, i64)> {
+        let m = self.num_objects();
+        if k == 0 || k > m {
+            return Err(Error::RankOutOfRange { rank: k, m });
+        }
+        let pos = m - k;
+        Ok((self.raw_to_obj()[pos as usize], self.block_at(pos).f))
+    }
+
+    /// Frequency and a witness object of the k-th **smallest** frequency
+    /// (1-based). `kth_smallest(1)` is a least-frequent object. O(1).
+    pub fn kth_smallest(&self, k: u32) -> Result<(u32, i64)> {
+        let m = self.num_objects();
+        if k == 0 || k > m {
+            return Err(Error::RankOutOfRange { rank: k, m });
+        }
+        let pos = k - 1;
+        Ok((self.raw_to_obj()[pos as usize], self.block_at(pos).f))
+    }
+
+    /// The lower median frequency over all `m` objects (position
+    /// `⌊(m−1)/2⌋` of the sorted array, so for even `m` the smaller of the
+    /// two central values). O(1). `None` iff `m == 0`.
+    pub fn median(&self) -> Option<i64> {
+        let m = self.num_objects();
+        if m == 0 {
+            return None;
+        }
+        Some(self.block_at((m - 1) / 2).f)
+    }
+
+    /// Both central frequencies: for odd `m` the two components are equal.
+    /// O(1). `None` iff `m == 0`.
+    pub fn median_pair(&self) -> Option<(i64, i64)> {
+        let m = self.num_objects();
+        if m == 0 {
+            return None;
+        }
+        Some((self.block_at((m - 1) / 2).f, self.block_at(m / 2).f))
+    }
+
+    /// A witness object holding the lower median frequency. O(1).
+    pub fn median_object(&self) -> Option<u32> {
+        let m = self.num_objects();
+        if m == 0 {
+            return None;
+        }
+        Some(self.raw_to_obj()[((m - 1) / 2) as usize])
+    }
+
+    /// The frequency at quantile `q ∈ [0, 1]` (nearest-rank on the sorted
+    /// array: position `round(q · (m−1))`). `quantile(0.0)` is the minimum,
+    /// `quantile(1.0)` the maximum, `quantile(0.5)` a median. O(1).
+    ///
+    /// # Panics
+    /// If `q` is NaN or outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<i64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let m = self.num_objects();
+        if m == 0 {
+            return None;
+        }
+        let pos = (q * (m - 1) as f64).round() as u32;
+        Some(self.block_at(pos.min(m - 1)).f)
+    }
+
+    /// The `k` most frequent `(object, frequency)` pairs, most frequent
+    /// first. Ties are broken arbitrarily but deterministically. O(k).
+    /// If `k > m` the result is truncated to `m` entries.
+    pub fn top_k(&self, k: u32) -> Vec<(u32, i64)> {
+        let m = self.num_objects();
+        let k = k.min(m);
+        let to_obj = self.raw_to_obj();
+        let mut out = Vec::with_capacity(k as usize);
+        for i in 0..k {
+            let pos = m - 1 - i;
+            out.push((to_obj[pos as usize], self.block_at(pos).f));
+        }
+        out
+    }
+
+    /// The `k` least frequent `(object, frequency)` pairs, least frequent
+    /// first. O(k).
+    pub fn bottom_k(&self, k: u32) -> Vec<(u32, i64)> {
+        let m = self.num_objects();
+        let k = k.min(m);
+        let to_obj = self.raw_to_obj();
+        let mut out = Vec::with_capacity(k as usize);
+        for pos in 0..k {
+            out.push((to_obj[pos as usize], self.block_at(pos).f));
+        }
+        out
+    }
+
+    /// The full frequency histogram, ascending by frequency. One entry per
+    /// block, so O(#blocks) — at most `m`, typically far smaller.
+    pub fn histogram(&self) -> Vec<FrequencyBucket> {
+        let m = self.num_objects();
+        let mut out = Vec::new();
+        let mut pos = 0u32;
+        while pos < m {
+            let b = self.block_at(pos);
+            out.push(FrequencyBucket {
+                frequency: b.f,
+                count: b.len(),
+            });
+            pos = b.r + 1;
+        }
+        out
+    }
+
+    /// Number of objects with frequency `>= threshold`. O(#blocks above the
+    /// threshold) — walks blocks downward from the maximum.
+    pub fn count_at_least(&self, threshold: i64) -> u32 {
+        let m = self.num_objects();
+        if m == 0 {
+            return 0;
+        }
+        let mut count = 0u32;
+        let mut pos = m - 1;
+        loop {
+            let b = self.block_at(pos);
+            if b.f < threshold {
+                break;
+            }
+            count += b.len();
+            if b.l == 0 {
+                break;
+            }
+            pos = b.l - 1;
+        }
+        count
+    }
+
+    /// Number of objects with frequency `<= threshold`. O(#blocks below the
+    /// threshold).
+    pub fn count_at_most(&self, threshold: i64) -> u32 {
+        let m = self.num_objects();
+        if m == 0 {
+            return 0;
+        }
+        let mut count = 0u32;
+        let mut pos = 0u32;
+        loop {
+            let b = self.block_at(pos);
+            if b.f > threshold {
+                break;
+            }
+            count += b.len();
+            if b.r == m - 1 {
+                break;
+            }
+            pos = b.r + 1;
+        }
+        count
+    }
+
+    /// Number of objects with frequency in `lo..=hi`.
+    pub fn count_in_range(&self, lo: i64, hi: i64) -> u32 {
+        if lo > hi {
+            return 0;
+        }
+        // count_at_most(hi) − count_at_most(lo − 1), avoiding overflow at i64::MIN.
+        let up = self.count_at_most(hi);
+        if lo == i64::MIN {
+            up
+        } else {
+            up - self.count_at_most(lo - 1)
+        }
+    }
+
+    /// The range of 1-based ranks-from-the-top that object `x` may be
+    /// reported at: `(best, worst)`. All objects in the same block tie, so
+    /// a single "rank" is ill-defined; this returns the tight interval.
+    /// O(1).
+    pub fn rank_range(&self, x: u32) -> Result<(u32, u32)> {
+        let m = self.num_objects();
+        if x >= m {
+            return Err(Error::ObjectOutOfRange { object: x, m });
+        }
+        let pos = self.raw_to_pos()[x as usize];
+        let b = self.block_at(pos);
+        Ok((m - b.r, m - b.l))
+    }
+
+    /// Whether `x` currently attains the maximum frequency. O(1).
+    pub fn is_mode(&self, x: u32) -> Result<bool> {
+        let m = self.num_objects();
+        if x >= m {
+            return Err(Error::ObjectOutOfRange { object: x, m });
+        }
+        let pos = self.raw_to_pos()[x as usize];
+        Ok(self.block_at(pos).r == m - 1)
+    }
+
+    /// The majority element, if any: an object whose frequency exceeds half
+    /// of [`SProfile::len`] (Boyer–Moore's query, §1 of the paper). O(1).
+    /// Meaningful only when all frequencies are non-negative.
+    pub fn majority(&self) -> Option<(u32, i64)> {
+        let mode = self.mode()?;
+        if !self.is_empty() && mode.frequency * 2 > self.len() {
+            Some((mode.object, mode.frequency))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase(m: u32) -> SProfile {
+        // frequency(i) = i
+        let freqs: Vec<i64> = (0..m as i64).collect();
+        SProfile::from_frequencies(&freqs)
+    }
+
+    #[test]
+    fn kth_largest_on_staircase() {
+        let p = staircase(10);
+        for k in 1..=10u32 {
+            let (obj, f) = p.kth_largest(k).unwrap();
+            assert_eq!(f, (10 - k) as i64);
+            assert_eq!(obj, 10 - k, "staircase object id equals its frequency");
+        }
+        assert!(p.kth_largest(0).is_err());
+        assert!(p.kth_largest(11).is_err());
+    }
+
+    #[test]
+    fn kth_smallest_on_staircase() {
+        let p = staircase(10);
+        for k in 1..=10u32 {
+            let (_, f) = p.kth_smallest(k).unwrap();
+            assert_eq!(f, (k - 1) as i64);
+        }
+        assert!(p.kth_smallest(0).is_err());
+        assert!(p.kth_smallest(11).is_err());
+    }
+
+    #[test]
+    fn median_definitions() {
+        // Odd m: unique middle.
+        let p = SProfile::from_frequencies(&[1, 5, 3]);
+        assert_eq!(p.median(), Some(3));
+        assert_eq!(p.median_pair(), Some((3, 3)));
+        // Even m: lower median and pair.
+        let p = SProfile::from_frequencies(&[1, 5, 3, 7]);
+        assert_eq!(p.median(), Some(3));
+        assert_eq!(p.median_pair(), Some((3, 5)));
+        // Empty.
+        let p = SProfile::new(0);
+        assert_eq!(p.median(), None);
+        assert_eq!(p.median_pair(), None);
+        assert_eq!(p.median_object(), None);
+    }
+
+    #[test]
+    fn median_object_holds_median_frequency() {
+        let p = SProfile::from_frequencies(&[9, 2, 4, 4, 0]);
+        let obj = p.median_object().unwrap();
+        assert_eq!(p.frequency(obj), p.median().unwrap());
+    }
+
+    #[test]
+    fn quantiles() {
+        let p = staircase(11); // freqs 0..=10
+        assert_eq!(p.quantile(0.0), Some(0));
+        assert_eq!(p.quantile(1.0), Some(10));
+        assert_eq!(p.quantile(0.5), Some(5));
+        assert_eq!(p.quantile(0.25), Some(3)); // round(0.25*10) = 3 (2.5 rounds up)
+        assert_eq!(SProfile::new(0).quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = staircase(3).quantile(1.5);
+    }
+
+    #[test]
+    fn top_k_and_bottom_k() {
+        let p = SProfile::from_frequencies(&[4, 1, 3, 1, 0]);
+        let top = p.top_k(3);
+        assert_eq!(top[0], (0, 4));
+        assert_eq!(top[1], (2, 3));
+        assert_eq!(top[2].1, 1); // object 1 or 3
+        let bottom = p.bottom_k(2);
+        assert_eq!(bottom[0], (4, 0));
+        assert_eq!(bottom[1].1, 1);
+        // k > m truncates.
+        assert_eq!(p.top_k(99).len(), 5);
+        assert_eq!(p.bottom_k(99).len(), 5);
+        assert!(SProfile::new(0).top_k(3).is_empty());
+    }
+
+    #[test]
+    fn top_k_is_sorted_descending_and_consistent() {
+        let p = SProfile::from_frequencies(&[7, 7, 2, 9, 2, 2, 0, -4]);
+        let top = p.top_k(8);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        for &(obj, f) in &top {
+            assert_eq!(p.frequency(obj), f);
+        }
+    }
+
+    #[test]
+    fn histogram_groups_by_frequency() {
+        let p = SProfile::from_frequencies(&[2, 0, 2, -1, 0, 0]);
+        let h = p.histogram();
+        assert_eq!(
+            h,
+            vec![
+                FrequencyBucket { frequency: -1, count: 1 },
+                FrequencyBucket { frequency: 0, count: 3 },
+                FrequencyBucket { frequency: 2, count: 2 },
+            ]
+        );
+        let total: u32 = h.iter().map(|b| b.count).sum();
+        assert_eq!(total, 6);
+        assert!(SProfile::new(0).histogram().is_empty());
+    }
+
+    #[test]
+    fn count_thresholds() {
+        let p = SProfile::from_frequencies(&[2, 0, 2, -1, 0, 0]);
+        assert_eq!(p.count_at_least(3), 0);
+        assert_eq!(p.count_at_least(2), 2);
+        assert_eq!(p.count_at_least(1), 2);
+        assert_eq!(p.count_at_least(0), 5);
+        assert_eq!(p.count_at_least(-1), 6);
+        assert_eq!(p.count_at_least(i64::MIN), 6);
+        assert_eq!(p.count_at_most(-2), 0);
+        assert_eq!(p.count_at_most(-1), 1);
+        assert_eq!(p.count_at_most(0), 4);
+        assert_eq!(p.count_at_most(2), 6);
+        assert_eq!(p.count_in_range(0, 2), 5);
+        assert_eq!(p.count_in_range(1, 1), 0);
+        assert_eq!(p.count_in_range(5, 1), 0);
+        assert_eq!(p.count_in_range(i64::MIN, i64::MAX), 6);
+    }
+
+    #[test]
+    fn rank_range_ties() {
+        let p = SProfile::from_frequencies(&[5, 1, 5, 5, 0]);
+        // Three objects with f=5 occupy top ranks 1..=3.
+        for x in [0u32, 2, 3] {
+            assert_eq!(p.rank_range(x).unwrap(), (1, 3));
+        }
+        assert_eq!(p.rank_range(1).unwrap(), (4, 4));
+        assert_eq!(p.rank_range(4).unwrap(), (5, 5));
+        assert!(p.rank_range(5).is_err());
+    }
+
+    #[test]
+    fn is_mode_detects_argmax_membership() {
+        let p = SProfile::from_frequencies(&[5, 1, 5]);
+        assert!(p.is_mode(0).unwrap());
+        assert!(!p.is_mode(1).unwrap());
+        assert!(p.is_mode(2).unwrap());
+        assert!(p.is_mode(9).is_err());
+    }
+
+    #[test]
+    fn majority_query() {
+        let mut p = SProfile::new(3);
+        assert_eq!(p.majority(), None, "empty array has no majority");
+        p.add(1);
+        p.add(1);
+        p.add(2);
+        // len = 3, mode freq 2 > 1.5 → majority.
+        assert_eq!(p.majority(), Some((1, 2)));
+        p.add(2);
+        // len 4, mode 2, 2*2 = 4 not > 4 → none.
+        assert_eq!(p.majority(), None);
+    }
+
+    #[test]
+    fn queries_consistent_after_updates() {
+        let mut p = SProfile::new(6);
+        for _ in 0..4 {
+            p.add(0);
+        }
+        for _ in 0..2 {
+            p.add(1);
+        }
+        p.add(2);
+        // freqs: [4, 2, 1, 0, 0, 0]
+        assert_eq!(p.kth_largest(1).unwrap().1, 4);
+        assert_eq!(p.kth_largest(2).unwrap().1, 2);
+        assert_eq!(p.kth_largest(3).unwrap().1, 1);
+        assert_eq!(p.kth_largest(4).unwrap().1, 0);
+        assert_eq!(p.median(), Some(0));
+        assert_eq!(p.count_at_least(1), 3);
+        p.remove(0);
+        p.remove(0);
+        p.remove(0);
+        // freqs: [1, 2, 1, 0, 0, 0]
+        assert_eq!(p.kth_largest(1).unwrap().1, 2);
+        assert_eq!(p.count_at_least(1), 3);
+        assert_eq!(p.count_in_range(1, 1), 2);
+    }
+}

@@ -1,0 +1,336 @@
+//! Binary snapshot persistence for [`SProfile`].
+//!
+//! Serialises the profile's logical state — the sorted-order permutation
+//! plus the block runs — into a compact, versioned, validated binary
+//! format. Restoring is O(m) (no re-sort): the runs are written in
+//! ascending order, so [`SProfile::from_sorted_assignment`]-style
+//! reconstruction applies directly.
+//!
+//! The format is deliberately hand-rolled little-endian (no serde: the
+//! offline dependency set has no serializer crate) and defensive: every
+//! field is validated on load, so a corrupted or adversarial snapshot is
+//! rejected instead of producing a structurally invalid profile.
+//!
+//! ```text
+//! magic    8 bytes  "SPROF\x01\0\0"
+//! m        u32 LE
+//! nblocks  u32 LE
+//! blocks   nblocks × { len: u32 LE, f: i64 LE }   (ascending f, Σlen = m)
+//! to_obj   m × u32 LE                             (permutation of 0..m)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::profile::SProfile;
+
+/// Format magic + version byte.
+const MAGIC: [u8; 8] = *b"SPROF\x01\0\0";
+
+/// Errors produced when loading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic/version header did not match.
+    BadMagic,
+    /// A structural validation failed; the message says which.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not an S-Profile snapshot (bad magic)"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, SnapshotError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_i64<R: Read>(r: &mut R) -> Result<i64, SnapshotError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
+}
+
+impl SProfile {
+    /// Writes a snapshot of this profile to `w`.
+    ///
+    /// The snapshot captures the logical state (frequencies and sorted
+    /// order); transient counters like [`SProfile::updates`] are not
+    /// persisted.
+    pub fn write_snapshot<W: Write>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        let m = self.num_objects();
+        w.write_all(&MAGIC)?;
+        w.write_all(&m.to_le_bytes())?;
+        // Collect runs ascending by walking the blocks.
+        let runs: Vec<(u32, i64)> = self
+            .classes()
+            .map(|c| (c.objects.len() as u32, c.frequency))
+            .collect();
+        w.write_all(&(runs.len() as u32).to_le_bytes())?;
+        for (len, f) in &runs {
+            w.write_all(&len.to_le_bytes())?;
+            w.write_all(&f.to_le_bytes())?;
+        }
+        for &obj in self.raw_to_obj() {
+            w.write_all(&obj.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Serialises to an in-memory buffer (convenience over
+    /// [`SProfile::write_snapshot`]).
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + 12 * self.num_blocks() as usize + 4 * self.num_objects() as usize);
+        self.write_snapshot(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+
+    /// Restores a profile from a snapshot produced by
+    /// [`SProfile::write_snapshot`]. O(m). Every structural property is
+    /// validated; corrupted input is rejected with [`SnapshotError`].
+    pub fn read_snapshot<R: Read>(r: &mut R) -> Result<SProfile, SnapshotError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let m = read_u32(r)?;
+        let nblocks = read_u32(r)?;
+        if nblocks > m || (m > 0 && nblocks == 0) {
+            return Err(SnapshotError::Corrupt("block count out of range"));
+        }
+        let mut runs: Vec<(u32, i64)> = Vec::with_capacity(nblocks as usize);
+        let mut covered: u64 = 0;
+        let mut prev_f: Option<i64> = None;
+        for _ in 0..nblocks {
+            let len = read_u32(r)?;
+            let f = read_i64(r)?;
+            if len == 0 {
+                return Err(SnapshotError::Corrupt("empty block run"));
+            }
+            if let Some(pf) = prev_f {
+                if f <= pf {
+                    return Err(SnapshotError::Corrupt("block frequencies not ascending"));
+                }
+            }
+            prev_f = Some(f);
+            covered += len as u64;
+            runs.push((len, f));
+        }
+        if covered != m as u64 {
+            return Err(SnapshotError::Corrupt("block runs do not cover 0..m"));
+        }
+        let mut to_obj: Vec<u32> = Vec::with_capacity(m as usize);
+        let mut seen = vec![false; m as usize];
+        for _ in 0..m {
+            let obj = read_u32(r)?;
+            if obj >= m || seen[obj as usize] {
+                return Err(SnapshotError::Corrupt("to_obj is not a permutation of 0..m"));
+            }
+            seen[obj as usize] = true;
+            to_obj.push(obj);
+        }
+        // Expand runs into a per-object frequency table, then rebuild via
+        // the O(m) sorted-assignment constructor.
+        let mut freqs = vec![0i64; m as usize];
+        let mut pos = 0usize;
+        for &(len, f) in &runs {
+            for _ in 0..len {
+                freqs[to_obj[pos] as usize] = f;
+                pos += 1;
+            }
+        }
+        Ok(SProfile::from_sorted_assignment(to_obj, &freqs))
+    }
+
+    /// Restores from an in-memory buffer, requiring the buffer to contain
+    /// exactly one snapshot (no trailing garbage).
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<SProfile, SnapshotError> {
+        let mut cursor = bytes;
+        let p = Self::read_snapshot(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(SnapshotError::Corrupt("trailing bytes after snapshot"));
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_invariants, derive_frequencies};
+
+    fn sample_profile() -> SProfile {
+        let mut p = SProfile::new(9);
+        for x in [3u32, 3, 3, 1, 7, 7, 0] {
+            p.add(x);
+        }
+        p.remove(5);
+        p.remove(5);
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_state() {
+        let p = sample_profile();
+        let bytes = p.to_snapshot_bytes();
+        let q = SProfile::from_snapshot_bytes(&bytes).unwrap();
+        check_invariants(&q).unwrap();
+        assert_eq!(derive_frequencies(&p), derive_frequencies(&q));
+        assert_eq!(p.mode(), q.mode());
+        assert_eq!(p.median(), q.median());
+        assert_eq!(p.num_blocks(), q.num_blocks());
+        assert_eq!(p.len(), q.len());
+        assert_eq!(p.distinct_active(), q.distinct_active());
+        // Sorted order (tie arrangement) is preserved exactly.
+        assert_eq!(p.raw_to_obj(), q.raw_to_obj());
+    }
+
+    #[test]
+    fn roundtrip_empty_and_fresh() {
+        for m in [0u32, 1, 5] {
+            let p = SProfile::new(m);
+            let q = SProfile::from_snapshot_bytes(&p.to_snapshot_bytes()).unwrap();
+            assert_eq!(q.num_objects(), m);
+            check_invariants(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn updates_continue_identically_after_restore() {
+        let mut p = sample_profile();
+        let mut q = SProfile::from_snapshot_bytes(&p.to_snapshot_bytes()).unwrap();
+        for x in [0u32, 8, 8, 3, 1, 1, 2] {
+            p.add(x);
+            q.add(x);
+            p.remove((x + 4) % 9);
+            q.remove((x + 4) % 9);
+        }
+        assert_eq!(derive_frequencies(&p), derive_frequencies(&q));
+        assert_eq!(p.mode(), q.mode());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_profile().to_snapshot_bytes();
+        bytes[0] = b'X';
+        match SProfile::from_snapshot_bytes(&bytes) {
+            Err(SnapshotError::BadMagic) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample_profile().to_snapshot_bytes();
+        for cut in [3usize, 9, 15, bytes.len() - 1] {
+            match SProfile::from_snapshot_bytes(&bytes[..cut]) {
+                Err(SnapshotError::Io(_)) => {}
+                other => panic!("cut at {cut}: expected Io error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample_profile().to_snapshot_bytes();
+        bytes.push(0);
+        match SProfile::from_snapshot_bytes(&bytes) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("trailing")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_permutation_rejected() {
+        let p = sample_profile();
+        let mut bytes = p.to_snapshot_bytes();
+        // The permutation occupies the last 4*m bytes; duplicate an entry.
+        let m = p.num_objects() as usize;
+        let perm_start = bytes.len() - 4 * m;
+        let first: [u8; 4] = bytes[perm_start..perm_start + 4].try_into().unwrap();
+        bytes[perm_start + 4..perm_start + 8].copy_from_slice(&first);
+        match SProfile::from_snapshot_bytes(&bytes) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("permutation")),
+            other => panic!("expected Corrupt(permutation), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_ascending_blocks_rejected() {
+        // Handcraft: m=2, two runs with equal f.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // m
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // nblocks
+        for _ in 0..2 {
+            bytes.extend_from_slice(&1u32.to_le_bytes()); // len
+            bytes.extend_from_slice(&5i64.to_le_bytes()); // f (duplicate)
+        }
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        match SProfile::from_snapshot_bytes(&bytes) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("ascending")),
+            other => panic!("expected Corrupt(ascending), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_coverage_mismatch_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // m = 3
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // 1 block
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // covers only 2
+        bytes.extend_from_slice(&0i64.to_le_bytes());
+        for x in 0..3u32 {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        match SProfile::from_snapshot_bytes(&bytes) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("cover")),
+            other => panic!("expected Corrupt(cover), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = SnapshotError::BadMagic;
+        assert!(e.to_string().contains("magic"));
+        let e = SnapshotError::Corrupt("x");
+        assert!(e.to_string().contains("corrupt"));
+        let io_err = SnapshotError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(std::error::Error::source(&io_err).is_some());
+    }
+
+    #[test]
+    fn snapshot_size_is_compact() {
+        // Uniform profile: one block → header + 1 run + permutation.
+        let p = SProfile::new(1000);
+        let bytes = p.to_snapshot_bytes();
+        assert_eq!(bytes.len(), 8 + 4 + 4 + 12 + 4 * 1000);
+    }
+}

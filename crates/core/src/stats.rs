@@ -1,0 +1,239 @@
+//! Distribution-level summary statistics over the profiled frequencies.
+//!
+//! The paper's introduction motivates "the distribution of frequency" as a
+//! first-class query; this module computes standard summaries in
+//! O(#blocks) by walking the histogram rather than the m raw values.
+
+use crate::profile::SProfile;
+
+/// Summary statistics of the frequency distribution over all `m` objects.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrequencySummary {
+    /// Universe size the summary was computed over.
+    pub num_objects: u32,
+    /// Minimum frequency.
+    pub min: i64,
+    /// Maximum frequency.
+    pub max: i64,
+    /// Arithmetic mean of the m frequencies.
+    pub mean: f64,
+    /// Population variance of the m frequencies.
+    pub variance: f64,
+    /// Shannon entropy (nats) of the normalised positive-frequency mass;
+    /// 0.0 when no positive mass exists.
+    pub entropy: f64,
+    /// Gini coefficient of the positive-frequency mass in `[0, 1]`;
+    /// 0.0 when no positive mass exists.
+    pub gini: f64,
+    /// Number of distinct frequency values (= number of blocks).
+    pub distinct_frequencies: u32,
+}
+
+impl FrequencySummary {
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+impl SProfile {
+    /// Computes a [`FrequencySummary`] in O(#blocks). Returns `None` for an
+    /// empty universe.
+    ///
+    /// Entropy and Gini are computed over the *positive* frequencies
+    /// normalised to a probability distribution (negative and zero
+    /// frequencies carry no popularity mass).
+    pub fn summary(&self) -> Option<FrequencySummary> {
+        let m = self.num_objects();
+        if m == 0 {
+            return None;
+        }
+        let hist = self.histogram();
+        let mf = m as f64;
+
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut pos_mass = 0.0f64;
+        for b in &hist {
+            let f = b.frequency as f64;
+            let c = b.count as f64;
+            sum += f * c;
+            sum_sq += f * f * c;
+            if b.frequency > 0 {
+                pos_mass += f * c;
+            }
+        }
+        let mean = sum / mf;
+        let variance = (sum_sq / mf - mean * mean).max(0.0);
+
+        // Entropy over P(object) = freq / pos_mass for positive freqs.
+        let mut entropy = 0.0f64;
+        if pos_mass > 0.0 {
+            for b in &hist {
+                if b.frequency > 0 {
+                    let p = b.frequency as f64 / pos_mass;
+                    entropy -= (b.count as f64) * p * p.ln();
+                }
+            }
+        }
+
+        // Gini over the positive-frequency objects, computed from the
+        // histogram in ascending order: G = (2·Σ_i i·x_i)/(n·Σx) − (n+1)/n
+        // with i the 1-based rank. Runs of equal values contribute a
+        // closed-form partial sum, keeping this O(#blocks).
+        let mut gini = 0.0f64;
+        if pos_mass > 0.0 {
+            let n: u64 = hist
+                .iter()
+                .filter(|b| b.frequency > 0)
+                .map(|b| b.count as u64)
+                .sum();
+            let mut rank_acc = 0u64; // ranks consumed so far
+            let mut weighted = 0.0f64; // Σ i · x_i
+            for b in hist.iter().filter(|b| b.frequency > 0) {
+                let c = b.count as u64;
+                // ranks rank_acc+1 ..= rank_acc+c, each with value f.
+                let rank_sum = (rank_acc + 1 + rank_acc + c) as f64 * c as f64 / 2.0;
+                weighted += rank_sum * b.frequency as f64;
+                rank_acc += c;
+            }
+            let nf = n as f64;
+            gini = (2.0 * weighted) / (nf * pos_mass) - (nf + 1.0) / nf;
+            gini = gini.clamp(0.0, 1.0);
+        }
+
+        Some(FrequencySummary {
+            num_objects: m,
+            min: hist.first().map(|b| b.frequency).unwrap_or(0),
+            max: hist.last().map(|b| b.frequency).unwrap_or(0),
+            mean,
+            variance,
+            entropy,
+            gini,
+            distinct_frequencies: hist.len() as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn empty_universe_has_no_summary() {
+        assert_eq!(SProfile::new(0).summary(), None);
+    }
+
+    #[test]
+    fn uniform_zero_profile() {
+        let s = SProfile::new(4).summary().unwrap();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.mean.abs() < EPS);
+        assert!(s.variance.abs() < EPS);
+        assert!(s.entropy.abs() < EPS);
+        assert!(s.gini.abs() < EPS);
+        assert_eq!(s.distinct_frequencies, 1);
+    }
+
+    #[test]
+    fn mean_and_variance_match_naive() {
+        let freqs = [3i64, -1, 4, 1, 5, 9, 2, 6];
+        let p = SProfile::from_frequencies(&freqs);
+        let s = p.summary().unwrap();
+        let n = freqs.len() as f64;
+        let mean: f64 = freqs.iter().map(|&f| f as f64).sum::<f64>() / n;
+        let var: f64 = freqs.iter().map(|&f| (f as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!((s.mean - mean).abs() < EPS);
+        assert!((s.variance - var).abs() < EPS);
+        assert!((s.std_dev() - var.sqrt()).abs() < EPS);
+        assert_eq!(s.min, -1);
+        assert_eq!(s.max, 9);
+    }
+
+    #[test]
+    fn entropy_of_uniform_positive_mass() {
+        // 4 objects each with frequency 5: P = 1/4 each → entropy ln 4.
+        let p = SProfile::from_frequencies(&[5, 5, 5, 5]);
+        let s = p.summary().unwrap();
+        assert!((s.entropy - 4.0f64.ln()).abs() < EPS);
+        // Uniform mass → Gini 0.
+        assert!(s.gini.abs() < EPS);
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        let p = SProfile::from_frequencies(&[10, 0, 0, 0]);
+        let s = p.summary().unwrap();
+        assert!(s.entropy.abs() < EPS);
+    }
+
+    #[test]
+    fn gini_increases_with_skew() {
+        let uniform = SProfile::from_frequencies(&[5, 5, 5, 5]).summary().unwrap();
+        let mild = SProfile::from_frequencies(&[2, 4, 6, 8]).summary().unwrap();
+        let skewed = SProfile::from_frequencies(&[1, 1, 1, 97]).summary().unwrap();
+        assert!(uniform.gini < mild.gini);
+        assert!(mild.gini < skewed.gini);
+        assert!(skewed.gini <= 1.0);
+    }
+
+    #[test]
+    fn gini_matches_naive_computation() {
+        let freqs = [1i64, 2, 3, 4, 10, 10, 0, -2];
+        let p = SProfile::from_frequencies(&freqs);
+        let s = p.summary().unwrap();
+        // Naive: sort positive values, standard formula.
+        let mut pos: Vec<f64> = freqs.iter().filter(|&&f| f > 0).map(|&f| f as f64).collect();
+        pos.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = pos.len() as f64;
+        let total: f64 = pos.iter().sum();
+        let weighted: f64 = pos.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
+        let gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+        assert!((s.gini - gini).abs() < EPS, "got {} want {}", s.gini, gini);
+    }
+
+    #[test]
+    fn entropy_matches_naive_computation() {
+        let freqs = [3i64, 1, 4, 1, 5];
+        let p = SProfile::from_frequencies(&freqs);
+        let s = p.summary().unwrap();
+        let total: f64 = freqs.iter().filter(|&&f| f > 0).map(|&f| f as f64).sum();
+        let naive: f64 = -freqs
+            .iter()
+            .filter(|&&f| f > 0)
+            .map(|&f| {
+                let p = f as f64 / total;
+                p * p.ln()
+            })
+            .sum::<f64>();
+        assert!((s.entropy - naive).abs() < EPS);
+    }
+
+    #[test]
+    fn distinct_frequencies_equals_num_blocks() {
+        let p = SProfile::from_frequencies(&[1, 1, 2, 3, 3, 3]);
+        let s = p.summary().unwrap();
+        assert_eq!(s.distinct_frequencies, p.num_blocks());
+        assert_eq!(s.distinct_frequencies, 3);
+    }
+
+    #[test]
+    fn summary_tracks_updates() {
+        let mut p = SProfile::new(3);
+        p.add(0);
+        p.add(0);
+        p.add(1);
+        let s = p.summary().unwrap();
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.0).abs() < EPS);
+        p.remove(0);
+        p.remove(0);
+        p.remove(1);
+        let s = p.summary().unwrap();
+        assert_eq!(s.max, 0);
+        assert!(s.mean.abs() < EPS);
+    }
+}

@@ -1,0 +1,172 @@
+//! Structure-agnostic traits so tests and benchmarks can treat S-Profile
+//! and every baseline uniformly.
+//!
+//! The split mirrors the paper's comparison: the heap baseline supports
+//! only extreme queries ([`FrequencyProfiler`]), while order-statistic
+//! structures additionally answer arbitrary ranks ([`RankQueries`]).
+
+/// Maintains per-object frequencies under ±1 updates and answers extreme
+/// (mode / least) queries.
+pub trait FrequencyProfiler {
+    /// Size of the object-id universe `m`; valid ids are `0..m`.
+    fn num_objects(&self) -> u32;
+
+    /// Record one "add" event for `x` (frequency += 1).
+    fn add(&mut self, x: u32);
+
+    /// Record one "remove" event for `x` (frequency −= 1). Raw semantics:
+    /// frequencies may go negative.
+    fn remove(&mut self, x: u32);
+
+    /// Current frequency of `x`.
+    fn frequency(&self, x: u32) -> i64;
+
+    /// A `(object, frequency)` witness of the maximum frequency, or `None`
+    /// for an empty universe.
+    fn mode(&self) -> Option<(u32, i64)>;
+
+    /// A `(object, frequency)` witness of the minimum frequency, or `None`
+    /// for an empty universe.
+    fn least(&self) -> Option<(u32, i64)>;
+
+    /// Human-readable name for harness output.
+    fn name(&self) -> &'static str;
+}
+
+/// Order-statistic queries over the multiset of all `m` frequencies.
+/// Implemented by structures that maintain the full sorted order (S-Profile,
+/// balanced trees, bucket scan) but *not* by the heap — exactly the
+/// asymmetry the paper's §3.1/§3.2 split exploits.
+pub trait RankQueries: FrequencyProfiler {
+    /// Frequency of the k-th largest entry (1-based, duplicates counted).
+    /// `None` if `k == 0 || k > m`.
+    fn kth_largest_frequency(&self, k: u32) -> Option<i64>;
+
+    /// Lower median frequency (position `⌊(m−1)/2⌋` ascending), `None` for
+    /// an empty universe.
+    fn median_frequency(&self) -> Option<i64> {
+        let m = self.num_objects();
+        if m == 0 {
+            None
+        } else {
+            // k-th largest with k = m − ⌊(m−1)/2⌋.
+            self.kth_largest_frequency(m - (m - 1) / 2)
+        }
+    }
+
+    /// Number of objects with frequency `>= threshold`.
+    fn count_at_least(&self, threshold: i64) -> u32;
+}
+
+impl FrequencyProfiler for crate::SProfile {
+    #[inline]
+    fn num_objects(&self) -> u32 {
+        SProfile::num_objects(self)
+    }
+
+    #[inline]
+    fn add(&mut self, x: u32) {
+        SProfile::add(self, x);
+    }
+
+    #[inline]
+    fn remove(&mut self, x: u32) {
+        SProfile::remove(self, x);
+    }
+
+    #[inline]
+    fn frequency(&self, x: u32) -> i64 {
+        SProfile::frequency(self, x)
+    }
+
+    #[inline]
+    fn mode(&self) -> Option<(u32, i64)> {
+        SProfile::mode(self).map(|e| (e.object, e.frequency))
+    }
+
+    #[inline]
+    fn least(&self) -> Option<(u32, i64)> {
+        SProfile::least(self).map(|e| (e.object, e.frequency))
+    }
+
+    fn name(&self) -> &'static str {
+        "s-profile"
+    }
+}
+
+use crate::SProfile;
+
+impl RankQueries for SProfile {
+    #[inline]
+    fn kth_largest_frequency(&self, k: u32) -> Option<i64> {
+        SProfile::kth_largest(self, k).ok().map(|(_, f)| f)
+    }
+
+    #[inline]
+    fn median_frequency(&self) -> Option<i64> {
+        SProfile::median(self)
+    }
+
+    #[inline]
+    fn count_at_least(&self, threshold: i64) -> u32 {
+        SProfile::count_at_least(self, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<P: RankQueries>(p: &mut P) {
+        assert_eq!(p.num_objects(), 5);
+        p.add(0);
+        p.add(0);
+        p.add(3);
+        assert_eq!(p.frequency(0), 2);
+        assert_eq!(p.mode(), Some((0, 2)));
+        let (_, least_f) = p.least().unwrap();
+        assert_eq!(least_f, 0);
+        assert_eq!(p.kth_largest_frequency(1), Some(2));
+        assert_eq!(p.kth_largest_frequency(2), Some(1));
+        assert_eq!(p.kth_largest_frequency(3), Some(0));
+        assert_eq!(p.kth_largest_frequency(0), None);
+        assert_eq!(p.kth_largest_frequency(6), None);
+        assert_eq!(p.median_frequency(), Some(0));
+        assert_eq!(p.count_at_least(1), 2);
+        p.remove(0);
+        p.remove(0);
+        p.remove(0);
+        assert_eq!(p.frequency(0), -1);
+        assert_eq!(p.least(), Some((0, -1)));
+    }
+
+    #[test]
+    fn sprofile_implements_the_traits() {
+        let mut p = crate::SProfile::new(5);
+        exercise(&mut p);
+        assert_eq!(FrequencyProfiler::name(&p), "s-profile");
+    }
+
+    #[test]
+    fn default_median_derivation_matches_inherent() {
+        // The default median_frequency (via kth_largest) must agree with
+        // SProfile::median for odd and even m.
+        for m in 1..20u32 {
+            let freqs: Vec<i64> = (0..m).map(|i| (i as i64 * 7) % 13 - 5).collect();
+            let p = crate::SProfile::from_frequencies(&freqs);
+            let via_kth = {
+                let k = m - (m - 1) / 2;
+                RankQueries::kth_largest_frequency(&p, k)
+            };
+            assert_eq!(via_kth, crate::SProfile::median(&p), "m={m}");
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let mut p = crate::SProfile::new(3);
+        let dyn_p: &mut dyn FrequencyProfiler = &mut p;
+        dyn_p.add(1);
+        assert_eq!(dyn_p.mode(), Some((1, 1)));
+    }
+}

@@ -1,0 +1,197 @@
+//! Whole-structure invariant checking.
+//!
+//! [`check_invariants`] walks the entire profile and validates every
+//! structural invariant listed in DESIGN.md §4. It is O(m) and intended for
+//! tests, property-based testing, and debugging — never for hot paths.
+
+use crate::profile::SProfile;
+
+/// Validates every structural invariant of `p`, returning a human-readable
+/// description of the first violation found.
+///
+/// Checked invariants:
+/// 1. `to_obj` and `to_pos` are inverse permutations of `0..m`.
+/// 2. Position frequencies are non-decreasing (the conceptual `T` is sorted).
+/// 3. Blocks partition `0..m`, are maximal (adjacent blocks differ in `f`,
+///    and in sorted order strictly increase), and `ptr[i]` points to the
+///    block covering `i`.
+/// 4. The arena's live-block count equals the number of distinct blocks
+///    reachable from `ptr` (no leaks, no dangling).
+/// 5. Cached aggregates (`len`, `distinct_active`) match a recount.
+pub fn check_invariants(p: &SProfile) -> Result<(), String> {
+    let m = p.num_objects() as usize;
+    let to_obj = p.raw_to_obj();
+    let to_pos = p.raw_to_pos();
+    let ptr = p.raw_ptr();
+
+    if to_obj.len() != m || to_pos.len() != m || ptr.len() != m {
+        return Err(format!(
+            "array lengths disagree: to_obj={}, to_pos={}, ptr={}, m={}",
+            to_obj.len(),
+            to_pos.len(),
+            ptr.len(),
+            m
+        ));
+    }
+
+    // 1. Inverse permutations.
+    for (pos, &obj) in to_obj.iter().enumerate() {
+        if obj as usize >= m {
+            return Err(format!("to_obj[{pos}] = {obj} out of range"));
+        }
+        if to_pos[obj as usize] as usize != pos {
+            return Err(format!(
+                "permutations not inverse: to_obj[{pos}] = {obj} but to_pos[{obj}] = {}",
+                to_pos[obj as usize]
+            ));
+        }
+    }
+
+    if m == 0 {
+        if !p.raw_blocks().is_empty() {
+            return Err("empty universe but arena has live blocks".into());
+        }
+        return Ok(());
+    }
+
+    // 2 & 3. Walk blocks left to right via ptr.
+    let blocks = p.raw_blocks();
+    let mut seen_blocks = Vec::new();
+    let mut pos = 0u32;
+    let mut prev_f: Option<i64> = None;
+    let mut total = 0i64;
+    let mut nonzero = 0u32;
+    while (pos as usize) < m {
+        let bid = ptr[pos as usize];
+        if !blocks.is_live(bid) {
+            return Err(format!("ptr[{pos}] = {bid} is not a live block"));
+        }
+        let b = *blocks.get(bid);
+        if b.l != pos {
+            return Err(format!(
+                "block {bid} covering position {pos} starts at {} (expected {pos})",
+                b.l
+            ));
+        }
+        if b.r < b.l || b.r as usize >= m {
+            return Err(format!("block {bid} has bad extent ({}, {})", b.l, b.r));
+        }
+        if let Some(pf) = prev_f {
+            if b.f <= pf {
+                return Err(format!(
+                    "blocks not strictly increasing: f {pf} followed by {}",
+                    b.f
+                ));
+            }
+        }
+        for q in b.l..=b.r {
+            if ptr[q as usize] != bid {
+                return Err(format!(
+                    "ptr[{q}] = {} but position lies in block {bid} ({}..={})",
+                    ptr[q as usize], b.l, b.r
+                ));
+            }
+        }
+        let run = (b.r - b.l + 1) as i64;
+        total += b.f * run;
+        if b.f != 0 {
+            nonzero += run as u32;
+        }
+        prev_f = Some(b.f);
+        seen_blocks.push(bid);
+        pos = b.r + 1;
+    }
+
+    // 4. No leaked blocks.
+    if seen_blocks.len() as u32 != blocks.len() {
+        return Err(format!(
+            "arena reports {} live blocks but {} are reachable from ptr",
+            blocks.len(),
+            seen_blocks.len()
+        ));
+    }
+
+    // 5. Cached aggregates.
+    if total != p.len() {
+        return Err(format!("cached len {} but recount {}", p.len(), total));
+    }
+    if nonzero != p.distinct_active() {
+        return Err(format!(
+            "cached distinct_active {} but recount {}",
+            p.distinct_active(),
+            nonzero
+        ));
+    }
+
+    Ok(())
+}
+
+/// Reconstructs the raw per-object frequency array from the profile.
+/// O(m); for tests and debugging.
+pub fn derive_frequencies(p: &SProfile) -> Vec<i64> {
+    let m = p.num_objects();
+    (0..m).map(|x| p.frequency(x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_profile_is_valid() {
+        for m in [0u32, 1, 2, 7, 100] {
+            let p = SProfile::new(m);
+            check_invariants(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn valid_after_every_update_in_mixed_sequence() {
+        let mut p = SProfile::new(9);
+        let script: [(u32, bool); 18] = [
+            (4, true),
+            (4, true),
+            (4, true),
+            (2, true),
+            (2, false),
+            (2, false),
+            (7, true),
+            (0, true),
+            (8, true),
+            (8, false),
+            (8, false),
+            (8, false),
+            (4, false),
+            (1, true),
+            (1, true),
+            (3, false),
+            (5, true),
+            (6, false),
+        ];
+        for (i, &(x, add)) in script.iter().enumerate() {
+            if add {
+                p.add(x);
+            } else {
+                p.remove(x);
+            }
+            check_invariants(&p).unwrap_or_else(|e| panic!("after step {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn derive_frequencies_matches_frequency() {
+        let mut p = SProfile::new(5);
+        p.add(0);
+        p.add(0);
+        p.remove(3);
+        let derived = derive_frequencies(&p);
+        assert_eq!(derived, vec![2, 0, 0, -1, 0]);
+    }
+
+    #[test]
+    fn from_frequencies_output_is_valid() {
+        let p = SProfile::from_frequencies(&[5, -3, 0, 0, 5, 2]);
+        check_invariants(&p).unwrap();
+        assert_eq!(derive_frequencies(&p), vec![5, -3, 0, 0, 5, 2]);
+    }
+}

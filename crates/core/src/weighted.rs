@@ -1,0 +1,312 @@
+//! Weighted updates: changing a frequency by ±k in one operation.
+//!
+//! The paper restricts updates to ±1 (that is what makes O(1) possible)
+//! and leaves weighted streams as future work. This module closes the gap
+//! without breaking the block set: moving one object's frequency by `k`
+//! can be done by *jumping the object across whole runs* — one O(1) swap
+//! per run crossed — instead of k unit updates. The cost is
+//! `O(1 + #runs strictly between the old and new frequency)`, which is at
+//! most `min(k, #blocks)` and usually far smaller on skewed data.
+//!
+//! This also yields [`SProfile::set_frequency`], the primitive an
+//! LFU-style cache needs to reset an evicted slot.
+
+use crate::block::Block;
+use crate::error::Result;
+use crate::profile::SProfile;
+
+impl SProfile {
+    /// Increases `x`'s frequency by `k` in one operation, returning the
+    /// new frequency. `O(1 + runs crossed)`; equivalent to `k` calls of
+    /// [`SProfile::add`].
+    ///
+    /// # Panics
+    /// If `x >= m`.
+    pub fn add_many(&mut self, x: u32, k: u64) -> i64 {
+        self.shift_by(x, i64::try_from(k).expect("weight exceeds i64"))
+    }
+
+    /// Decreases `x`'s frequency by `k` in one operation, returning the
+    /// new frequency (may be negative). `O(1 + runs crossed)`.
+    ///
+    /// # Panics
+    /// If `x >= m`.
+    pub fn remove_many(&mut self, x: u32, k: u64) -> i64 {
+        self.shift_by(x, -i64::try_from(k).expect("weight exceeds i64"))
+    }
+
+    /// Sets `x`'s frequency to exactly `target`, returning the previous
+    /// frequency. `O(1 + runs crossed)`.
+    ///
+    /// # Panics
+    /// If `x >= m`.
+    pub fn set_frequency(&mut self, x: u32, target: i64) -> i64 {
+        let m = self.num_objects();
+        assert!(x < m, "object id {x} out of range for universe of {m} objects");
+        let old = self.frequency(x);
+        self.shift_by(x, target - old);
+        old
+    }
+
+    /// Fallible [`SProfile::set_frequency`].
+    pub fn try_set_frequency(&mut self, x: u32, target: i64) -> Result<i64> {
+        let m = self.num_objects();
+        if x >= m {
+            return Err(crate::error::Error::ObjectOutOfRange { object: x, m });
+        }
+        Ok(self.set_frequency(x, target))
+    }
+
+    /// Core weighted move: shift `x`'s frequency by `delta` (either sign).
+    pub(crate) fn shift_by(&mut self, x: u32, delta: i64) -> i64 {
+        let m = self.num_objects();
+        assert!(x < m, "object id {x} out of range for universe of {m} objects");
+        if delta == 0 {
+            return self.frequency(x);
+        }
+        let old = self.frequency(x);
+        let target = old
+            .checked_add(delta)
+            .expect("frequency overflow in weighted update");
+
+        // Phase 1: detach x from its current run, leaving it "floating" at
+        // the boundary position nearest its direction of travel.
+        let p = self.raw_to_pos()[x as usize];
+        let bid = self.raw_ptr()[p as usize];
+        let Block { l, r, .. } = *self.raw_blocks().get(bid);
+        let mut pos = if delta > 0 { r } else { l };
+        self.swap_positions_pub(p, pos);
+        if l == r {
+            self.free_block(bid);
+        } else if delta > 0 {
+            self.block_mut(bid).r = r - 1;
+        } else {
+            self.block_mut(bid).l = l + 1;
+        }
+
+        // Phase 2: jump x over every run whose value lies strictly between
+        // old and target. One swap + O(1) block-edge updates per run.
+        if delta > 0 {
+            while pos + 1 < m {
+                let nid = self.raw_ptr()[(pos + 1) as usize];
+                let nf = self.raw_blocks().get(nid).f;
+                if nf >= target {
+                    break;
+                }
+                let nr = self.raw_blocks().get(nid).r;
+                // Shift run N one slot left: x takes N's right end.
+                self.swap_positions_pub(pos, nr);
+                {
+                    let n = self.block_mut(nid);
+                    n.l = pos;
+                    n.r = nr - 1;
+                }
+                self.set_ptr(pos, nid);
+                pos = nr;
+            }
+            // Phase 3: land — merge into an equal run on the right or mint
+            // a singleton.
+            let mut merged = false;
+            if pos + 1 < m {
+                let nid = self.raw_ptr()[(pos + 1) as usize];
+                if self.raw_blocks().get(nid).f == target {
+                    self.set_ptr(pos, nid);
+                    self.block_mut(nid).l = pos;
+                    merged = true;
+                }
+            }
+            if !merged {
+                let nb = self.alloc_block(Block { l: pos, r: pos, f: target });
+                self.set_ptr(pos, nb);
+            }
+        } else {
+            while pos > 0 {
+                let nid = self.raw_ptr()[(pos - 1) as usize];
+                let nf = self.raw_blocks().get(nid).f;
+                if nf <= target {
+                    break;
+                }
+                let nl = self.raw_blocks().get(nid).l;
+                // Shift run N one slot right: x takes N's left end.
+                self.swap_positions_pub(pos, nl);
+                {
+                    let n = self.block_mut(nid);
+                    n.r = pos;
+                    n.l = nl + 1;
+                }
+                self.set_ptr(pos, nid);
+                pos = nl;
+            }
+            let mut merged = false;
+            if pos > 0 {
+                let nid = self.raw_ptr()[(pos - 1) as usize];
+                if self.raw_blocks().get(nid).f == target {
+                    self.set_ptr(pos, nid);
+                    self.block_mut(nid).r = pos;
+                    merged = true;
+                }
+            }
+            if !merged {
+                let nb = self.alloc_block(Block { l: pos, r: pos, f: target });
+                self.set_ptr(pos, nb);
+            }
+        }
+
+        // Bookkeeping.
+        self.bump_total(delta);
+        self.bump_updates(delta.unsigned_abs());
+        if old == 0 && target != 0 {
+            self.bump_nonzero(1);
+        } else if old != 0 && target == 0 {
+            self.bump_nonzero(-1);
+        }
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_invariants, derive_frequencies};
+
+    #[test]
+    fn add_many_equals_repeated_add() {
+        let base = SProfile::from_frequencies(&[3, 0, 1, 3, 7, 0, -2]);
+        for x in 0..7u32 {
+            for k in [0u64, 1, 2, 5, 20] {
+                let mut a = base.clone();
+                let mut b = base.clone();
+                let ra = a.add_many(x, k);
+                for _ in 0..k {
+                    b.add(x);
+                }
+                check_invariants(&a).unwrap_or_else(|e| panic!("x={x} k={k}: {e}"));
+                assert_eq!(derive_frequencies(&a), derive_frequencies(&b), "x={x} k={k}");
+                assert_eq!(ra, b.frequency(x));
+                assert_eq!(a.num_blocks(), b.num_blocks());
+                assert_eq!(a.len(), b.len());
+                assert_eq!(a.distinct_active(), b.distinct_active());
+            }
+        }
+    }
+
+    #[test]
+    fn remove_many_equals_repeated_remove() {
+        let base = SProfile::from_frequencies(&[3, 0, 1, 3, 7, 0, -2]);
+        for x in 0..7u32 {
+            for k in [0u64, 1, 3, 10, 15] {
+                let mut a = base.clone();
+                let mut b = base.clone();
+                a.remove_many(x, k);
+                for _ in 0..k {
+                    b.remove(x);
+                }
+                check_invariants(&a).unwrap_or_else(|e| panic!("x={x} k={k}: {e}"));
+                assert_eq!(derive_frequencies(&a), derive_frequencies(&b), "x={x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_frequency_returns_old_and_sets_new() {
+        let mut p = SProfile::from_frequencies(&[5, 1, 1, 0]);
+        assert_eq!(p.set_frequency(0, -3), 5);
+        assert_eq!(p.frequency(0), -3);
+        assert_eq!(p.set_frequency(0, 10), -3);
+        assert_eq!(p.frequency(0), 10);
+        assert_eq!(p.set_frequency(0, 10), 10, "no-op set");
+        check_invariants(&p).unwrap();
+        assert_eq!(p.mode().unwrap().object, 0);
+        assert_eq!(p.least().unwrap().frequency, 0);
+    }
+
+    #[test]
+    fn try_set_frequency_validates_object() {
+        let mut p = SProfile::new(2);
+        assert!(p.try_set_frequency(1, 7).is_ok());
+        assert!(p.try_set_frequency(2, 7).is_err());
+    }
+
+    #[test]
+    fn weighted_jump_across_many_runs() {
+        // Staircase: every frequency distinct → maximal run count.
+        let m = 50u32;
+        let freqs: Vec<i64> = (0..m as i64).collect();
+        let mut p = SProfile::from_frequencies(&freqs);
+        // Jump object 0 (freq 0) straight past everyone.
+        assert_eq!(p.add_many(0, 100), 100);
+        check_invariants(&p).unwrap();
+        assert_eq!(p.mode().unwrap(), crate::Extreme { object: 0, frequency: 100, count: 1 });
+        // And back below everyone.
+        assert_eq!(p.remove_many(0, 200), -100);
+        check_invariants(&p).unwrap();
+        assert_eq!(p.least().unwrap().object, 0);
+    }
+
+    #[test]
+    fn weighted_landing_merges_with_equal_run() {
+        let mut p = SProfile::from_frequencies(&[0, 5, 5, 9]);
+        p.add_many(0, 5); // lands exactly on the 5-run
+        check_invariants(&p).unwrap();
+        assert_eq!(p.frequency(0), 5);
+        // 5-run now has 3 members → blocks: {5:3, 9:1} = 2 blocks.
+        assert_eq!(p.num_blocks(), 2);
+        let hist = p.histogram();
+        assert_eq!(hist[0].count, 3);
+    }
+
+    #[test]
+    fn bookkeeping_counters_track_weighted_ops() {
+        let mut p = SProfile::new(4);
+        p.add_many(1, 7);
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.updates(), 7);
+        assert_eq!(p.distinct_active(), 1);
+        p.remove_many(1, 7);
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.updates(), 14);
+        assert_eq!(p.distinct_active(), 0);
+        p.remove_many(2, 3); // negative
+        assert_eq!(p.distinct_active(), 1);
+        assert_eq!(p.len(), -3);
+    }
+
+    #[test]
+    fn randomized_weighted_matches_unit_updates() {
+        let m = 12u32;
+        let mut weighted = SProfile::new(m);
+        let mut unit = SProfile::new(m);
+        let mut state = 0xc0ffeeu64;
+        for step in 0..2000u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(97);
+            let x = ((state >> 33) % m as u64) as u32;
+            let k = (state >> 17) % 9;
+            if (state >> 5) & 1 == 1 {
+                weighted.add_many(x, k);
+                for _ in 0..k {
+                    unit.add(x);
+                }
+            } else {
+                weighted.remove_many(x, k);
+                for _ in 0..k {
+                    unit.remove(x);
+                }
+            }
+            if step % 100 == 0 {
+                check_invariants(&weighted).unwrap_or_else(|e| panic!("step {step}: {e}"));
+                assert_eq!(
+                    derive_frequencies(&weighted),
+                    derive_frequencies(&unit),
+                    "step {step}"
+                );
+                assert_eq!(weighted.num_blocks(), unit.num_blocks());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_many_panics_out_of_range() {
+        SProfile::new(2).add_many(2, 1);
+    }
+}

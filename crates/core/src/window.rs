@@ -1,0 +1,366 @@
+//! Sliding-window profiling (paper §2.3).
+//!
+//! "S-Profile can also deal with a sliding window on a log stream, by
+//! letting every tuple (xᵢ, cᵢ) outdated from the window be a new incoming
+//! tuple (xᵢ, c̄ᵢ), where c̄ᵢ is the opposite action of cᵢ."
+//!
+//! Two variants are provided:
+//! * [`SlidingWindowProfile`] — count-based: the last `w` tuples.
+//! * [`TimedWindowProfile`] — time-based: tuples within a horizon of the
+//!   newest timestamp.
+//!
+//! Each incoming tuple costs at most two O(1) profile updates (one apply,
+//! one undo of the expired tuple), so the window adds only a constant
+//! factor over the bare profile.
+
+use std::collections::VecDeque;
+
+use crate::profile::SProfile;
+
+/// One log-stream tuple: an object and whether it was added or removed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tuple {
+    /// The object id.
+    pub object: u32,
+    /// `true` for an "add" action, `false` for "remove".
+    pub is_add: bool,
+}
+
+impl Tuple {
+    /// Creates an "add" tuple.
+    pub fn add(object: u32) -> Self {
+        Tuple { object, is_add: true }
+    }
+
+    /// Creates a "remove" tuple.
+    pub fn remove(object: u32) -> Self {
+        Tuple { object, is_add: false }
+    }
+
+    /// The opposite action on the same object (c̄ of the paper).
+    pub fn opposite(self) -> Self {
+        Tuple {
+            object: self.object,
+            is_add: !self.is_add,
+        }
+    }
+}
+
+fn apply(profile: &mut SProfile, t: Tuple) {
+    if t.is_add {
+        profile.add(t.object);
+    } else {
+        profile.remove(t.object);
+    }
+}
+
+/// Profile of the most recent `w` tuples of a log stream.
+///
+/// # Example
+/// ```
+/// use sprofile::{SlidingWindowProfile, Tuple};
+///
+/// let mut w = SlidingWindowProfile::new(4, 3); // m = 4 objects, window of 3
+/// w.push(Tuple::add(0));
+/// w.push(Tuple::add(0));
+/// w.push(Tuple::add(1));
+/// assert_eq!(w.profile().frequency(0), 2);
+/// w.push(Tuple::add(2)); // evicts the first add(0)
+/// assert_eq!(w.profile().frequency(0), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SlidingWindowProfile {
+    profile: SProfile,
+    window: VecDeque<Tuple>,
+    capacity: usize,
+}
+
+impl SlidingWindowProfile {
+    /// Creates a window over universe `0..m` holding the last `capacity`
+    /// tuples.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(m: u32, capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindowProfile {
+            profile: SProfile::new(m),
+            window: VecDeque::with_capacity(capacity + 1),
+            capacity,
+        }
+    }
+
+    /// Pushes one tuple, evicting the oldest when the window overflows.
+    /// Returns the evicted tuple, if any. Worst-case O(1).
+    pub fn push(&mut self, t: Tuple) -> Option<Tuple> {
+        apply(&mut self.profile, t);
+        self.window.push_back(t);
+        if self.window.len() > self.capacity {
+            let old = self.window.pop_front().expect("window non-empty");
+            apply(&mut self.profile, old.opposite());
+            Some(old)
+        } else {
+            None
+        }
+    }
+
+    /// Number of tuples currently inside the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no tuples are in the window.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The window's tuple capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The profile of the window contents — all queries ([`SProfile::mode`],
+    /// [`SProfile::top_k`], [`SProfile::median`], …) reflect exactly the
+    /// tuples currently in the window.
+    pub fn profile(&self) -> &SProfile {
+        &self.profile
+    }
+
+    /// The tuples currently in the window, oldest first.
+    pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.window.iter().copied()
+    }
+}
+
+/// Profile of the tuples whose timestamp is within `horizon` of the newest
+/// pushed timestamp. Timestamps must be pushed in non-decreasing order.
+#[derive(Clone, Debug)]
+pub struct TimedWindowProfile {
+    profile: SProfile,
+    window: VecDeque<(u64, Tuple)>,
+    horizon: u64,
+    latest: u64,
+}
+
+impl TimedWindowProfile {
+    /// Creates a time-based window over universe `0..m` keeping tuples with
+    /// `timestamp > latest − horizon`.
+    pub fn new(m: u32, horizon: u64) -> Self {
+        TimedWindowProfile {
+            profile: SProfile::new(m),
+            window: VecDeque::new(),
+            horizon,
+            latest: 0,
+        }
+    }
+
+    /// Pushes a timestamped tuple and evicts everything outside the
+    /// horizon. Returns how many tuples were evicted. Amortized O(1).
+    ///
+    /// # Panics
+    /// If `timestamp` is older than the newest timestamp already pushed.
+    pub fn push(&mut self, timestamp: u64, t: Tuple) -> usize {
+        assert!(
+            timestamp >= self.latest,
+            "timestamps must be non-decreasing: got {timestamp} after {}",
+            self.latest
+        );
+        self.latest = timestamp;
+        apply(&mut self.profile, t);
+        self.window.push_back((timestamp, t));
+        self.evict()
+    }
+
+    /// Advances time without a tuple (e.g. a heartbeat), evicting expired
+    /// tuples. Returns how many were evicted.
+    pub fn advance_to(&mut self, timestamp: u64) -> usize {
+        assert!(timestamp >= self.latest, "timestamps must be non-decreasing");
+        self.latest = timestamp;
+        self.evict()
+    }
+
+    fn evict(&mut self) -> usize {
+        let mut evicted = 0;
+        // A tuple expires once a full horizon has elapsed since its
+        // timestamp: ts + horizon <= latest. Saturating add keeps huge
+        // horizons from overflowing.
+        while let Some(&(ts, t)) = self.window.front() {
+            if ts.saturating_add(self.horizon) > self.latest {
+                break;
+            }
+            apply(&mut self.profile, t.opposite());
+            self.window.pop_front();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Number of tuples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The configured horizon.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// The newest timestamp observed.
+    pub fn now(&self) -> u64 {
+        self.latest
+    }
+
+    /// The profile of the in-horizon tuples.
+    pub fn profile(&self) -> &SProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_opposite() {
+        assert_eq!(Tuple::add(3).opposite(), Tuple::remove(3));
+        assert_eq!(Tuple::remove(3).opposite(), Tuple::add(3));
+        assert_eq!(Tuple::add(3).opposite().opposite(), Tuple::add(3));
+    }
+
+    #[test]
+    fn window_tracks_only_recent_tuples() {
+        let mut w = SlidingWindowProfile::new(5, 3);
+        assert!(w.is_empty());
+        assert_eq!(w.push(Tuple::add(0)), None);
+        assert_eq!(w.push(Tuple::add(0)), None);
+        assert_eq!(w.push(Tuple::add(1)), None);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.profile().frequency(0), 2);
+        // Fourth push evicts the first add(0).
+        assert_eq!(w.push(Tuple::add(2)), Some(Tuple::add(0)));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.profile().frequency(0), 1);
+        assert_eq!(w.profile().frequency(1), 1);
+        assert_eq!(w.profile().frequency(2), 1);
+    }
+
+    #[test]
+    fn window_matches_replayed_suffix() {
+        // Property: window profile == profile built from the last w tuples.
+        let m = 8u32;
+        let w = 16usize;
+        let mut win = SlidingWindowProfile::new(m, w);
+        let mut history: Vec<Tuple> = Vec::new();
+        let mut state = 12345u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let obj = ((state >> 33) % m as u64) as u32;
+            let t = if (state >> 11) % 10 < 7 {
+                Tuple::add(obj)
+            } else {
+                Tuple::remove(obj)
+            };
+            win.push(t);
+            history.push(t);
+
+            let suffix = &history[history.len().saturating_sub(w)..];
+            let mut reference = SProfile::new(m);
+            for &tu in suffix {
+                apply(&mut reference, tu);
+            }
+            for x in 0..m {
+                assert_eq!(win.profile().frequency(x), reference.frequency(x));
+            }
+            assert_eq!(win.len(), suffix.len());
+        }
+    }
+
+    #[test]
+    fn window_with_removes_undoes_them_on_expiry() {
+        let mut w = SlidingWindowProfile::new(3, 2);
+        w.push(Tuple::remove(1)); // freq(1) = -1
+        assert_eq!(w.profile().frequency(1), -1);
+        w.push(Tuple::add(0));
+        w.push(Tuple::add(0)); // evicts remove(1): its undo is add(1)
+        assert_eq!(w.profile().frequency(1), 0);
+        assert_eq!(w.profile().frequency(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SlidingWindowProfile::new(3, 0);
+    }
+
+    #[test]
+    fn tuples_iterates_oldest_first() {
+        let mut w = SlidingWindowProfile::new(4, 2);
+        w.push(Tuple::add(1));
+        w.push(Tuple::add(2));
+        w.push(Tuple::add(3));
+        let ts: Vec<Tuple> = w.tuples().collect();
+        assert_eq!(ts, vec![Tuple::add(2), Tuple::add(3)]);
+        assert_eq!(w.capacity(), 2);
+    }
+
+    #[test]
+    fn timed_window_evicts_by_horizon() {
+        let mut w = TimedWindowProfile::new(4, 10);
+        w.push(0, Tuple::add(0));
+        w.push(5, Tuple::add(1));
+        w.push(9, Tuple::add(2));
+        assert_eq!(w.len(), 3, "ages 9, 4, 0 are all below the horizon");
+        // t=11: the ts=0 tuple reaches age 11 >= 10 and expires.
+        let evicted = w.push(11, Tuple::add(3));
+        assert_eq!(evicted, 1);
+        assert_eq!(w.profile().frequency(0), 0);
+        assert_eq!(w.profile().frequency(1), 1);
+        assert_eq!(w.now(), 11);
+        assert_eq!(w.horizon(), 10);
+    }
+
+    #[test]
+    fn timed_window_advance_without_tuples() {
+        let mut w = TimedWindowProfile::new(4, 5);
+        w.push(0, Tuple::add(0));
+        w.push(1, Tuple::add(1));
+        assert_eq!(w.advance_to(100), 2);
+        assert!(w.is_empty());
+        assert_eq!(w.profile().frequency(0), 0);
+        assert_eq!(w.profile().frequency(1), 0);
+    }
+
+    #[test]
+    fn timed_window_equal_timestamps_allowed() {
+        let mut w = TimedWindowProfile::new(4, 2);
+        w.push(7, Tuple::add(0));
+        w.push(7, Tuple::add(0));
+        assert_eq!(w.profile().frequency(0), 2);
+        // t=9: cutoff 7; entries at exactly the cutoff expire.
+        w.advance_to(9);
+        assert_eq!(w.profile().frequency(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn timed_window_rejects_time_travel() {
+        let mut w = TimedWindowProfile::new(4, 5);
+        w.push(10, Tuple::add(0));
+        w.push(9, Tuple::add(1));
+    }
+
+    #[test]
+    fn timed_window_nothing_expires_within_first_horizon() {
+        let mut w = TimedWindowProfile::new(2, 100);
+        w.push(0, Tuple::add(0));
+        w.push(50, Tuple::add(1));
+        assert_eq!(w.len(), 2, "cutoff saturates at 0 before one horizon");
+        w.advance_to(100);
+        assert_eq!(w.len(), 1, "the ts=0 tuple expires exactly at t=100");
+    }
+}

@@ -1,0 +1,122 @@
+//! Greedy coloring along the degeneracy order.
+//!
+//! A classic corollary of k-core peeling: coloring nodes in *reverse* peel
+//! order uses at most `degeneracy + 1` colors, because each node sees at
+//! most `degeneracy` already-colored neighbors. Since the peel order comes
+//! straight out of [`crate::kcore_decomposition`], this is a third consumer
+//! of the S-Profile-powered min-degree engine (paper §2.3).
+
+use crate::graph::Graph;
+use crate::kcore::kcore_decomposition;
+use crate::peel::MinPeeler;
+
+/// Result of a greedy degeneracy coloring.
+#[derive(Clone, Debug)]
+pub struct Coloring {
+    /// `color[v]` ∈ `0..num_colors`.
+    pub color: Vec<u32>,
+    /// Number of distinct colors used.
+    pub num_colors: u32,
+}
+
+impl Coloring {
+    /// Checks that no edge is monochromatic. O(E).
+    pub fn is_proper(&self, g: &Graph) -> bool {
+        (0..g.num_nodes()).all(|u| {
+            g.neighbors(u)
+                .iter()
+                .all(|&v| self.color[u as usize] != self.color[v as usize])
+        })
+    }
+}
+
+/// Colors `g` greedily along the reverse degeneracy (peel) order computed
+/// with backend `P`. Uses at most `degeneracy(g) + 1` colors.
+pub fn degeneracy_coloring<P: MinPeeler>(g: &Graph) -> Coloring {
+    let n = g.num_nodes();
+    let decomposition = kcore_decomposition::<P>(g);
+    let mut color = vec![u32::MAX; n as usize];
+    let mut num_colors = 0u32;
+    // Scratch marker of colors used by already-colored neighbors; sized to
+    // the worst case (degeneracy + 1 candidate colors).
+    let cap = decomposition.degeneracy as usize + 1;
+    let mut forbidden = vec![u64::MAX; cap]; // stores the round a color was seen
+    for (round, &v) in decomposition.peel_order.iter().rev().enumerate() {
+        for &u in g.neighbors(v) {
+            let c = color[u as usize];
+            if c != u32::MAX && (c as usize) < cap {
+                forbidden[c as usize] = round as u64;
+            }
+        }
+        let chosen = forbidden
+            .iter()
+            .position(|&seen| seen != round as u64)
+            .unwrap_or(cap - 1) as u32;
+        color[v as usize] = chosen;
+        num_colors = num_colors.max(chosen + 1);
+    }
+    Coloring { color, num_colors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::{BucketPeeler, SProfilePeeler};
+
+    #[test]
+    fn path_graph_uses_two_colors() {
+        let mut g = Graph::new(5);
+        for v in 0..4u32 {
+            g.add_edge(v, v + 1);
+        }
+        let c = degeneracy_coloring::<SProfilePeeler>(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors, 2, "a path is 2-colorable");
+    }
+
+    #[test]
+    fn clique_needs_exactly_size_colors() {
+        let g = Graph::with_planted_clique(6, 6, 0, 1);
+        let c = degeneracy_coloring::<SProfilePeeler>(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors, 6);
+    }
+
+    #[test]
+    fn colors_bounded_by_degeneracy_plus_one() {
+        for seed in 0..3u64 {
+            let g = Graph::erdos_renyi(150, 600, seed);
+            let decomposition = kcore_decomposition::<SProfilePeeler>(&g);
+            let c = degeneracy_coloring::<SProfilePeeler>(&g);
+            assert!(c.is_proper(&g), "seed {seed}");
+            assert!(
+                c.num_colors <= decomposition.degeneracy + 1,
+                "seed {seed}: {} colors > degeneracy {} + 1",
+                c.num_colors,
+                decomposition.degeneracy
+            );
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_one_color() {
+        let g = Graph::new(4);
+        let c = degeneracy_coloring::<BucketPeeler>(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors, 1);
+        assert!(c.color.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn backends_give_proper_colorings() {
+        let g = Graph::preferential_attachment(300, 3, 9);
+        let a = degeneracy_coloring::<SProfilePeeler>(&g);
+        let b = degeneracy_coloring::<BucketPeeler>(&g);
+        assert!(a.is_proper(&g));
+        assert!(b.is_proper(&g));
+        // Both respect the same bound even if tie-breaking differs.
+        let k = kcore_decomposition::<SProfilePeeler>(&g).degeneracy;
+        assert!(a.num_colors <= k + 1);
+        assert!(b.num_colors <= k + 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! Simple undirected graph with the generators the shaving experiments use.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected simple graph over nodes `0..n` (adjacency lists).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    num_edges: u64,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `n` nodes.
+    pub fn new(n: u32) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n as usize],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// On self-loops or out-of-range endpoints. Duplicate edges are the
+    /// caller's responsibility (generators deduplicate).
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert_ne!(u, v, "self-loops are not allowed");
+        let n = self.adj.len() as u32;
+        assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} nodes");
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.num_edges += 1;
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: u32) -> u32 {
+        self.adj[u as usize].len() as u32
+    }
+
+    /// Neighbors of `u`.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// All degrees as an `i64` vector (the frequency array the profilers
+    /// consume).
+    pub fn degrees(&self) -> Vec<i64> {
+        self.adj.iter().map(|a| a.len() as i64).collect()
+    }
+
+    /// Number of edges with both endpoints inside `nodes`. O(Σ deg).
+    pub fn edges_within(&self, nodes: &[u32]) -> u64 {
+        let set: HashSet<u32> = nodes.iter().copied().collect();
+        let mut count = 0u64;
+        for &u in nodes {
+            for &v in self.neighbors(u) {
+                if v > u && set.contains(&v) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Erdős–Rényi-style random graph: `edges` distinct random edges over
+    /// `n` nodes. Deterministic per seed.
+    pub fn erdos_renyi(n: u32, edges: u64, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two nodes for edges");
+        let max_edges = n as u64 * (n as u64 - 1) / 2;
+        assert!(edges <= max_edges, "{edges} edges exceed simple-graph maximum {max_edges}");
+        let mut g = Graph::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges as usize);
+        while g.num_edges < edges {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                g.add_edge(key.0, key.1);
+            }
+        }
+        g
+    }
+
+    /// Preferential-attachment graph: each new node attaches to `k`
+    /// distinct existing nodes, chosen proportionally to degree (by
+    /// sampling endpoints of existing edges). Produces the heavy-tailed
+    /// degree distributions typical of social graphs.
+    pub fn preferential_attachment(n: u32, k: u32, seed: u64) -> Self {
+        assert!(k >= 1 && n > k, "need n > k >= 1");
+        let mut g = Graph::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Endpoint pool: every edge contributes both endpoints, so uniform
+        // pool sampling is degree-proportional sampling.
+        let mut pool: Vec<u32> = Vec::new();
+        // Seed clique over the first k+1 nodes.
+        for u in 0..=k {
+            for v in 0..u {
+                g.add_edge(u, v);
+                pool.push(u);
+                pool.push(v);
+            }
+        }
+        for u in (k + 1)..n {
+            let mut targets: HashSet<u32> = HashSet::with_capacity(k as usize);
+            while (targets.len() as u32) < k {
+                let t = if pool.is_empty() || rng.gen_bool(0.1) {
+                    rng.gen_range(0..u)
+                } else {
+                    pool[rng.gen_range(0..pool.len())]
+                };
+                if t != u {
+                    targets.insert(t);
+                }
+            }
+            for t in targets {
+                g.add_edge(u, t);
+                pool.push(u);
+                pool.push(t);
+            }
+        }
+        g
+    }
+
+    /// Sparse background graph with a planted clique on the first
+    /// `clique` nodes — ground truth for the densest-subgraph tests.
+    pub fn with_planted_clique(n: u32, clique: u32, background_edges: u64, seed: u64) -> Self {
+        assert!(clique >= 2 && clique <= n);
+        let mut g = Graph::new(n);
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for u in 0..clique {
+            for v in 0..u {
+                g.add_edge(u, v);
+                seen.insert((v, u));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut added = 0u64;
+        while added < background_edges {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                g.add_edge(key.0, key.1);
+                added += 1;
+            }
+        }
+        g
+    }
+}
+
+/// An undirected bipartite graph: left nodes `0..left`, right nodes
+/// `left..left+right`, edges only across sides. Backed by [`Graph`] so the
+/// shaving algorithms apply unchanged.
+#[derive(Clone, Debug)]
+pub struct BipartiteGraph {
+    graph: Graph,
+    left: u32,
+}
+
+impl BipartiteGraph {
+    /// Creates an edgeless bipartite graph.
+    pub fn new(left: u32, right: u32) -> Self {
+        BipartiteGraph {
+            graph: Graph::new(left + right),
+            left,
+        }
+    }
+
+    /// Number of left-side nodes.
+    pub fn num_left(&self) -> u32 {
+        self.left
+    }
+
+    /// Number of right-side nodes.
+    pub fn num_right(&self) -> u32 {
+        self.graph.num_nodes() - self.left
+    }
+
+    /// Adds an edge between left node `l` (`0..left`) and right node `r`
+    /// (`0..right`).
+    pub fn add_edge(&mut self, l: u32, r: u32) {
+        assert!(l < self.left, "left node {l} out of range");
+        let rr = self.left + r;
+        assert!(rr < self.graph.num_nodes(), "right node {r} out of range");
+        self.graph.add_edge(l, rr);
+    }
+
+    /// Whether `node` (global id) is on the left side.
+    pub fn is_left(&self, node: u32) -> bool {
+        node < self.left
+    }
+
+    /// The underlying flat graph (global node ids).
+    pub fn as_graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Random bipartite background (`edges` distinct pairs) with a planted
+    /// fully-connected block of `block_left` × `block_right` nodes (ids 0..
+    /// on each side) — the "fraud block" of the Fraudar scenario.
+    pub fn with_planted_block(
+        left: u32,
+        right: u32,
+        block_left: u32,
+        block_right: u32,
+        background_edges: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(block_left <= left && block_right <= right);
+        let mut g = BipartiteGraph::new(left, right);
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for l in 0..block_left {
+            for r in 0..block_right {
+                g.add_edge(l, r);
+                seen.insert((l, r));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut added = 0u64;
+        while added < background_edges {
+            let l = rng.gen_range(0..left);
+            let r = rng.gen_range(0..right);
+            if seen.insert((l, r)) {
+                g.add_edge(l, r);
+                added += 1;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_updates_both_endpoints() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.neighbors(2), &[0, 3]);
+        assert_eq!(g.degrees(), vec![1, 0, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        Graph::new(3).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        Graph::new(3).add_edge(0, 3);
+    }
+
+    #[test]
+    fn edges_within_counts_induced_edges() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 4);
+        assert_eq!(g.edges_within(&[0, 1, 2]), 3);
+        assert_eq!(g.edges_within(&[0, 1, 3]), 1);
+        assert_eq!(g.edges_within(&[3]), 0);
+        assert_eq!(g.edges_within(&[]), 0);
+    }
+
+    #[test]
+    fn erdos_renyi_has_requested_edges() {
+        let g = Graph::erdos_renyi(50, 200, 1);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+        // No self loops, no duplicate edges.
+        let mut seen = HashSet::new();
+        for u in 0..50u32 {
+            for &v in g.neighbors(u) {
+                assert_ne!(u, v);
+                if u < v {
+                    assert!(seen.insert((u, v)), "duplicate edge ({u},{v})");
+                }
+            }
+        }
+        // Deterministic per seed.
+        let g2 = Graph::erdos_renyi(50, 200, 1);
+        assert_eq!(g2.degrees(), g.degrees());
+    }
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed() {
+        let g = Graph::preferential_attachment(500, 3, 7);
+        assert_eq!(g.num_nodes(), 500);
+        let mut degs = g.degrees();
+        degs.sort_unstable();
+        let max = *degs.last().unwrap();
+        let median = degs[250];
+        assert!(
+            max >= 3 * median,
+            "expected heavy tail: max {max}, median {median}"
+        );
+        // Every non-seed node has at least k edges.
+        assert!(degs[0] >= 3);
+    }
+
+    #[test]
+    fn planted_clique_is_complete() {
+        let g = Graph::with_planted_clique(100, 10, 50, 3);
+        assert_eq!(g.edges_within(&(0..10).collect::<Vec<_>>()), 45);
+        assert_eq!(g.num_edges(), 45 + 50);
+    }
+
+    #[test]
+    fn bipartite_edges_stay_across_sides() {
+        let mut b = BipartiteGraph::new(3, 4);
+        b.add_edge(0, 0);
+        b.add_edge(2, 3);
+        assert_eq!(b.num_left(), 3);
+        assert_eq!(b.num_right(), 4);
+        assert!(b.is_left(0));
+        assert!(!b.is_left(3));
+        let g = b.as_graph();
+        assert_eq!(g.num_edges(), 2);
+        // Left node 2 connects to global id 3 + 3 = 6.
+        assert_eq!(g.neighbors(2), &[6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "left node")]
+    fn bipartite_rejects_bad_left() {
+        BipartiteGraph::new(2, 2).add_edge(2, 0);
+    }
+
+    #[test]
+    fn planted_block_is_complete_bipartite() {
+        let b = BipartiteGraph::with_planted_block(20, 30, 4, 5, 100, 9);
+        let g = b.as_graph();
+        assert_eq!(g.num_edges(), 4 * 5 + 100);
+        for l in 0..4u32 {
+            for r in 0..5u32 {
+                assert!(
+                    g.neighbors(l).contains(&(20 + r)),
+                    "block edge ({l},{r}) missing"
+                );
+            }
+        }
+    }
+}

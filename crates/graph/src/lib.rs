@@ -1,0 +1,56 @@
+//! # sprofile-graph — graph "shaving" applications of S-Profile
+//!
+//! Paper §2.3: *"A critical step of [shaving algorithms] is to keep
+//! finding low-degree nodes at every time of shaving nodes from a graph.
+//! Thus, S-Profile can be plugged into such algorithms for further
+//! speedup, by treating a node as an object and its degree as frequency."*
+//!
+//! This crate builds three such algorithms —
+//!
+//! * [`kcore_decomposition`] — k-core / coreness / degeneracy,
+//! * [`densest_subgraph`] — Charikar's greedy ½-approximation,
+//! * [`detect_dense_block`] — unit-weight Fraudar bipartite shaving,
+//! * [`degeneracy_coloring`] — greedy coloring along the peel order,
+//!
+//! — each generic over a [`MinPeeler`] backend so the S-Profile-powered
+//! peel can be compared head-to-head with a lazy binary heap and the
+//! classic bucket queue (see the `graph_peel` bench).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+mod coloring;
+mod densest;
+mod fraudar;
+mod graph;
+mod kcore;
+mod peel;
+
+pub use coloring::{degeneracy_coloring, Coloring};
+pub use densest::{densest_subgraph, induced_density, DensestResult};
+pub use fraudar::{detect_dense_block, FraudBlock};
+pub use graph::{BipartiteGraph, Graph};
+pub use kcore::{kcore_decomposition, verify_coreness, CoreDecomposition};
+pub use peel::{BucketPeeler, LazyHeapPeeler, MinPeeler, SProfilePeeler};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_api_is_coherent() {
+        let g = Graph::erdos_renyi(40, 100, 1);
+        let cores = kcore_decomposition::<SProfilePeeler>(&g);
+        let dense = densest_subgraph::<SProfilePeeler>(&g).unwrap();
+        // The densest subgraph always sits inside the (⌈density⌉)-core.
+        let k = dense.density.ceil() as u32;
+        for &v in &dense.members {
+            assert!(
+                cores.coreness[v as usize] >= k,
+                "densest member {v} has coreness {} < {k}",
+                cores.coreness[v as usize]
+            );
+        }
+    }
+}

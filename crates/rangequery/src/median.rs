@@ -1,0 +1,265 @@
+//! Range median (the companion query of refs [10, 13]): the median of
+//! the multiset `A[l..r)` for a static array over a finite universe.
+//!
+//! Two points on the trade-off curve, both exploiting the finite
+//! universe `m` exactly as the paper's bucket argument does:
+//!
+//! | structure | space | query |
+//! |-----------|-------|-------|
+//! | [`MedianScan`] | O(m) | O(r−l+m) |
+//! | [`PrefixCounts`] | O(n·m/64 + n) words | O(log n · ⌈m/64⌉ + m) bits walked, practically O(m) via prefix table |
+//!
+//! [`PrefixCounts`] stores, for every value `v`, the prefix occurrence
+//! counts `#\{i < j : A[i] = v\}` — an (m+1)·(n+1) table laid out
+//! value-major so a query walks one cache-friendly column pair and finds
+//! the k-th smallest in O(m). For the small-m regimes the paper's finite
+//! -value setting targets (user actions over bounded catalogues), this
+//! is the simple, fast answer; the sub-O(m) point of the curve is the
+//! [`crate::WaveletTree`] (O(log m) quantile in n·log m bits).
+
+use std::cell::RefCell;
+
+use crate::check_universe;
+
+/// Median answer over a range: the value at the lower-median position
+/// of the sorted multiset `A[l..r)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RangeMedian {
+    /// The lower-median value.
+    pub value: u32,
+    /// Its rank among `r − l` elements (0-based position ⌊(len−1)/2⌋).
+    pub rank: usize,
+}
+
+/// Common interface for the range-median structures.
+pub trait RangeMedianQuery {
+    /// Number of array elements.
+    fn len(&self) -> usize;
+
+    /// True iff the underlying array is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lower median of `A[l..r)`; `None` iff the range is empty/invalid.
+    fn range_median(&self, l: usize, r: usize) -> Option<RangeMedian> {
+        let len = self.range_len(l, r)?;
+        self.range_kth(l, r, (len - 1) / 2)
+    }
+
+    /// k-th smallest (0-based) of `A[l..r)`; `None` if out of range.
+    fn range_kth(&self, l: usize, r: usize, k: usize) -> Option<RangeMedian>;
+
+    /// Validated range length helper.
+    fn range_len(&self, l: usize, r: usize) -> Option<usize> {
+        (l < r && r <= self.len()).then(|| r - l)
+    }
+}
+
+/// Scan-per-query range median: count the range into an O(m) histogram,
+/// then walk it to the k-th position.
+#[derive(Debug)]
+pub struct MedianScan {
+    array: Vec<u32>,
+    counts: RefCell<Vec<u32>>,
+}
+
+impl MedianScan {
+    /// Build over `array` with values in `[0, m)`.
+    ///
+    /// # Panics
+    /// If any value is `>= m`.
+    pub fn new(array: &[u32], m: u32) -> Self {
+        check_universe(array, m);
+        Self {
+            array: array.to_vec(),
+            counts: RefCell::new(vec![0; m as usize]),
+        }
+    }
+}
+
+impl RangeMedianQuery for MedianScan {
+    fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    fn range_kth(&self, l: usize, r: usize, k: usize) -> Option<RangeMedian> {
+        let len = self.range_len(l, r)?;
+        if k >= len {
+            return None;
+        }
+        let mut counts = self.counts.borrow_mut();
+        for &x in &self.array[l..r] {
+            counts[x as usize] += 1;
+        }
+        let mut remaining = k;
+        let mut answer = None;
+        for (v, &c) in counts.iter().enumerate() {
+            let c = c as usize;
+            if answer.is_none() {
+                if remaining < c {
+                    answer = Some(RangeMedian { value: v as u32, rank: k });
+                } else {
+                    remaining -= c;
+                }
+            }
+        }
+        for &x in &self.array[l..r] {
+            counts[x as usize] = 0;
+        }
+        answer
+    }
+}
+
+/// Prefix-count table: `pref[v][j]` = occurrences of `v` in `A[0..j)`.
+/// Queries subtract two columns and walk values — O(m) per query with
+/// sequential access, independent of the range length.
+#[derive(Debug)]
+pub struct PrefixCounts {
+    n: usize,
+    m: u32,
+    /// Value-major (m rows of n+1 prefix sums) so one query's walk is a
+    /// strided but predictable scan.
+    pref: Vec<u32>,
+}
+
+impl PrefixCounts {
+    /// Build over `array` with values in `[0, m)`. O(n·m) time/space.
+    ///
+    /// # Panics
+    /// If any value is `>= m`.
+    pub fn new(array: &[u32], m: u32) -> Self {
+        check_universe(array, m);
+        let n = array.len();
+        let stride = n + 1;
+        let mut pref = vec![0u32; m as usize * stride];
+        for v in 0..m as usize {
+            let row = &mut pref[v * stride..(v + 1) * stride];
+            for (j, &x) in array.iter().enumerate() {
+                row[j + 1] = row[j] + u32::from(x as usize == v);
+            }
+        }
+        Self { n, m, pref }
+    }
+
+    #[inline]
+    fn count_in(&self, v: u32, l: usize, r: usize) -> usize {
+        let stride = self.n + 1;
+        let row = v as usize * stride;
+        (self.pref[row + r] - self.pref[row + l]) as usize
+    }
+
+    /// Number of occurrences of `v` in `A[l..r)` — O(1), the same query
+    /// the paper's bucket array `F` answers for the full array.
+    pub fn value_count(&self, v: u32, l: usize, r: usize) -> Option<usize> {
+        (v < self.m && l <= r && r <= self.n).then(|| self.count_in(v, l, r))
+    }
+}
+
+impl RangeMedianQuery for PrefixCounts {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn range_kth(&self, l: usize, r: usize, k: usize) -> Option<RangeMedian> {
+        let len = self.range_len(l, r)?;
+        if k >= len {
+            return None;
+        }
+        let mut remaining = k;
+        for v in 0..self.m {
+            let c = self.count_in(v, l, r);
+            if remaining < c {
+                return Some(RangeMedian { value: v, rank: k });
+            }
+            remaining -= c;
+        }
+        unreachable!("k < range length implies a value is found");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_kth(a: &[u32], l: usize, r: usize, k: usize) -> u32 {
+        let mut v: Vec<u32> = a[l..r].to_vec();
+        v.sort_unstable();
+        v[k]
+    }
+
+    #[test]
+    fn both_structures_match_sorting_on_all_ranges() {
+        let a = [4u32, 1, 3, 3, 0, 2, 4, 4, 1, 0, 2, 3];
+        let m = 5;
+        let scan = MedianScan::new(&a, m);
+        let pref = PrefixCounts::new(&a, m);
+        for l in 0..a.len() {
+            for r in l + 1..=a.len() {
+                for k in 0..r - l {
+                    let expect = sorted_kth(&a, l, r, k);
+                    let s = scan.range_kth(l, r, k).unwrap();
+                    let p = pref.range_kth(l, r, k).unwrap();
+                    assert_eq!(s.value, expect, "scan [{l},{r}) k={k}");
+                    assert_eq!(p.value, expect, "pref [{l},{r}) k={k}");
+                    assert_eq!(s.rank, k);
+                }
+                let med = scan.range_median(l, r).unwrap();
+                assert_eq!(med.value, sorted_kth(&a, l, r, (r - l - 1) / 2));
+                assert_eq!(med, pref.range_median(l, r).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_none() {
+        let scan = MedianScan::new(&[1, 2, 3], 4);
+        let pref = PrefixCounts::new(&[1, 2, 3], 4);
+        for s in [&scan as &dyn RangeMedianQuery, &pref] {
+            assert_eq!(s.range_median(1, 1), None);
+            assert_eq!(s.range_median(0, 4), None);
+            assert_eq!(s.range_kth(0, 3, 3), None, "k == range length");
+        }
+    }
+
+    #[test]
+    fn value_count_is_exact() {
+        let a = [0u32, 1, 0, 1, 0];
+        let pref = PrefixCounts::new(&a, 2);
+        assert_eq!(pref.value_count(0, 0, 5), Some(3));
+        assert_eq!(pref.value_count(1, 0, 5), Some(2));
+        assert_eq!(pref.value_count(0, 1, 3), Some(1));
+        assert_eq!(pref.value_count(0, 2, 2), Some(0));
+        assert_eq!(pref.value_count(5, 0, 5), None, "value outside universe");
+        assert_eq!(pref.value_count(0, 3, 2), None, "inverted range");
+    }
+
+    #[test]
+    fn scan_scratch_resets_between_queries() {
+        let a = [2u32, 2, 2, 0, 0];
+        let scan = MedianScan::new(&a, 3);
+        assert_eq!(scan.range_median(0, 3).unwrap().value, 2);
+        assert_eq!(scan.range_median(3, 5).unwrap().value, 0);
+        assert_eq!(scan.range_median(0, 5).unwrap().value, 2);
+    }
+
+    #[test]
+    fn single_element_median_is_the_element() {
+        let a = [9u32, 4, 7];
+        let pref = PrefixCounts::new(&a, 10);
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(
+                pref.range_median(i, i + 1),
+                Some(RangeMedian { value: x, rank: 0 })
+            );
+        }
+    }
+
+    #[test]
+    fn even_length_uses_lower_median() {
+        let a = [1u32, 2, 3, 4];
+        let scan = MedianScan::new(&a, 5);
+        // sorted [1,2,3,4]: lower median at index (4-1)/2 = 1 → value 2.
+        assert_eq!(scan.range_median(0, 4).unwrap().value, 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Baseline: re-count the queried range on every query.
+//!
+//! O(1) preprocessing, O(r−l) query time plus O(touched) cleanup. The
+//! count array is kept allocated between queries and reset via a touched
+//! list, so query cost is proportional to the range, not to `m`.
+
+use std::cell::RefCell;
+
+use crate::{check_universe, RangeMode, RangeModeQuery};
+
+/// Scan-per-query range mode (the "no preprocessing" end of the curve).
+#[derive(Debug)]
+pub struct NaiveScan {
+    array: Vec<u32>,
+    /// Scratch counts, reused across queries (interior mutability so that
+    /// queries take `&self` like the precomputed structures).
+    counts: RefCell<Vec<u32>>,
+}
+
+impl NaiveScan {
+    /// Build over `array` with values in `[0, m)`.
+    ///
+    /// # Panics
+    /// If any value is `>= m`.
+    pub fn new(array: &[u32], m: u32) -> Self {
+        check_universe(array, m);
+        Self {
+            array: array.to_vec(),
+            counts: RefCell::new(vec![0; m as usize]),
+        }
+    }
+}
+
+impl RangeModeQuery for NaiveScan {
+    fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    fn range_mode(&self, l: usize, r: usize) -> Option<RangeMode> {
+        if l >= r || r > self.array.len() {
+            return None;
+        }
+        let mut counts = self.counts.borrow_mut();
+        let mut best = RangeMode { value: self.array[l], count: 0 };
+        for &x in &self.array[l..r] {
+            let c = &mut counts[x as usize];
+            *c += 1;
+            // Strict > keeps the first value to reach each count; combined
+            // with the cleanup order this is not automatically the
+            // smallest value, so resolve ties explicitly.
+            if *c > best.count || (*c == best.count && x < best.value) {
+                best = RangeMode { value: x, count: *c };
+            }
+        }
+        for &x in &self.array[l..r] {
+            counts[x as usize] = 0;
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_array_mode() {
+        let s = NaiveScan::new(&[1, 2, 2, 3, 2], 4);
+        assert_eq!(
+            s.range_mode(0, 5),
+            Some(RangeMode { value: 2, count: 3 })
+        );
+    }
+
+    #[test]
+    fn single_element_ranges() {
+        let s = NaiveScan::new(&[7, 8, 9], 10);
+        for i in 0..3 {
+            let m = s.range_mode(i, i + 1).unwrap();
+            assert_eq!(m.count, 1);
+            assert_eq!(m.value, [7, 8, 9][i]);
+        }
+    }
+
+    #[test]
+    fn empty_and_invalid_ranges_are_none() {
+        let s = NaiveScan::new(&[1, 2, 3], 4);
+        assert_eq!(s.range_mode(1, 1), None);
+        assert_eq!(s.range_mode(2, 1), None);
+        assert_eq!(s.range_mode(0, 4), None);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn ties_break_to_smallest_value() {
+        let s = NaiveScan::new(&[5, 3, 5, 3], 6);
+        assert_eq!(
+            s.range_mode(0, 4),
+            Some(RangeMode { value: 3, count: 2 })
+        );
+    }
+
+    #[test]
+    fn scratch_state_is_clean_between_queries() {
+        let s = NaiveScan::new(&[1, 1, 2, 2, 2], 3);
+        assert_eq!(s.range_mode(0, 5).unwrap().value, 2);
+        // If counts leaked, this sub-range would still see 2's tally.
+        assert_eq!(
+            s.range_mode(0, 2),
+            Some(RangeMode { value: 1, count: 2 })
+        );
+    }
+
+    #[test]
+    fn empty_array_answers_nothing() {
+        let s = NaiveScan::new(&[], 5);
+        assert!(s.is_empty());
+        assert_eq!(s.range_mode(0, 0), None);
+        assert_eq!(s.range_mode(0, 1), None);
+    }
+}

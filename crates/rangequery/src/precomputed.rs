@@ -1,0 +1,128 @@
+//! Full precomputation: the O(n²)-space, O(1)-query end of the curve
+//! (the s = 1 point of Krizanc et al.'s table family).
+//!
+//! A triangular table stores the mode of every `A[i..j)`. Construction
+//! runs one incremental counting pass per start index: O(n²) time total,
+//! which is also optimal for filling an Θ(n²) table.
+
+use crate::{check_universe, RangeMode, RangeModeQuery};
+
+/// Precomputed range-mode table (all O(n²) ranges materialised).
+#[derive(Debug)]
+pub struct PrecomputedTable {
+    n: usize,
+    /// `table[tri(l) + (r - l - 1)]` = mode of `A[l..r)`, rows packed
+    /// back-to-back: row `l` has `n - l` entries.
+    table: Vec<RangeMode>,
+    /// Row offsets into `table` (saves re-deriving the triangular index).
+    row_start: Vec<usize>,
+}
+
+impl PrecomputedTable {
+    /// Build over `array` with values in `[0, m)`. O(n²) time and space.
+    ///
+    /// # Panics
+    /// If any value is `>= m`.
+    pub fn new(array: &[u32], m: u32) -> Self {
+        check_universe(array, m);
+        let n = array.len();
+        let mut row_start = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        for l in 0..=n {
+            row_start.push(acc);
+            acc += n - l.min(n);
+        }
+        let mut table = Vec::with_capacity(acc);
+        let mut counts = vec![0u32; m as usize];
+        for l in 0..n {
+            let mut best = RangeMode { value: array[l], count: 0 };
+            for &x in &array[l..] {
+                counts[x as usize] += 1;
+                let c = counts[x as usize];
+                if c > best.count || (c == best.count && x < best.value) {
+                    best = RangeMode { value: x, count: c };
+                }
+                table.push(best);
+            }
+            for &x in &array[l..] {
+                counts[x as usize] = 0;
+            }
+        }
+        Self { n, table, row_start }
+    }
+
+    /// Total number of precomputed entries (n·(n+1)/2).
+    pub fn table_entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl RangeModeQuery for PrecomputedTable {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn range_mode(&self, l: usize, r: usize) -> Option<RangeMode> {
+        if l >= r || r > self.n {
+            return None;
+        }
+        Some(self.table[self.row_start[l] + (r - l - 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveScan;
+
+    #[test]
+    fn table_size_is_triangular() {
+        let t = PrecomputedTable::new(&[0, 1, 0, 1, 1], 2);
+        assert_eq!(t.table_entries(), 5 * 6 / 2);
+    }
+
+    #[test]
+    fn matches_naive_on_every_range() {
+        let a = [2u32, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5];
+        let naive = NaiveScan::new(&a, 9);
+        let table = PrecomputedTable::new(&a, 9);
+        for l in 0..a.len() {
+            for r in l + 1..=a.len() {
+                assert_eq!(
+                    table.range_mode(l, r),
+                    naive.range_mode(l, r),
+                    "range [{l}, {r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_ranges_are_none() {
+        let t = PrecomputedTable::new(&[1, 2], 3);
+        assert_eq!(t.range_mode(0, 3), None);
+        assert_eq!(t.range_mode(1, 1), None);
+        assert_eq!(t.range_mode(2, 0), None);
+    }
+
+    #[test]
+    fn constant_array_modes() {
+        let t = PrecomputedTable::new(&[4; 10], 5);
+        for l in 0..10 {
+            for r in l + 1..=10 {
+                assert_eq!(
+                    t.range_mode(l, r),
+                    Some(RangeMode { value: 4, count: (r - l) as u32 })
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_array() {
+        let t = PrecomputedTable::new(&[], 1);
+        assert!(t.is_empty());
+        assert_eq!(t.table_entries(), 0);
+        assert_eq!(t.range_mode(0, 1), None);
+    }
+}

@@ -1,0 +1,290 @@
+//! √-decomposition range mode (the linear-space point of Chan et al. [4]).
+//!
+//! The array is cut into blocks of width `s` (default ⌈√n⌉). A t×t table
+//! stores the mode of every *full-block span*; per-value occurrence lists
+//! plus a position→rank index let the query extend that candidate with
+//! the ≤ 2s boundary elements in amortised O(1) probes each. Query cost
+//! is O(s) — O(√n) at the default width — with O(n + t²) space.
+
+use std::cell::RefCell;
+
+use crate::{check_universe, RangeMode, RangeModeQuery};
+
+/// √-decomposition range-mode structure.
+#[derive(Debug)]
+pub struct SqrtDecomposition {
+    array: Vec<u32>,
+    /// Block width `s`.
+    s: usize,
+    /// Number of blocks `t = ⌈n/s⌉`.
+    t: usize,
+    /// `span_mode[bi * t + bj]` = mode of blocks `bi..=bj` (bi ≤ bj),
+    /// smallest value on ties.
+    span_mode: Vec<RangeMode>,
+    /// Positions of each value, ascending: `occ[v]` lists where `v` occurs.
+    occ: Vec<Vec<u32>>,
+    /// `rank[i]` = index of position `i` inside `occ[array[i]]`.
+    rank: Vec<u32>,
+    /// Scratch counts for short (non-spanning) queries.
+    counts: RefCell<Vec<u32>>,
+}
+
+impl SqrtDecomposition {
+    /// Build with the default block width ⌈√n⌉.
+    ///
+    /// # Panics
+    /// If any value is `>= m`.
+    pub fn new(array: &[u32], m: u32) -> Self {
+        let s = (array.len() as f64).sqrt().ceil() as usize;
+        Self::with_block_size(array, m, s.max(1))
+    }
+
+    /// Build with an explicit block width (exposed for the space/time
+    /// sweep in the benches).
+    ///
+    /// # Panics
+    /// If `block_size == 0` or any value is `>= m`.
+    pub fn with_block_size(array: &[u32], m: u32, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        check_universe(array, m);
+        let n = array.len();
+        let s = block_size;
+        let t = n.div_ceil(s);
+
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); m as usize];
+        let mut rank = Vec::with_capacity(n);
+        for (i, &x) in array.iter().enumerate() {
+            rank.push(occ[x as usize].len() as u32);
+            occ[x as usize].push(i as u32);
+        }
+
+        // Fill the span table: one incremental counting sweep per start
+        // block, O(t · n) total.
+        let mut span_mode = vec![RangeMode { value: 0, count: 0 }; t * t];
+        let mut counts = vec![0u32; m as usize];
+        for bi in 0..t {
+            let start = bi * s;
+            let mut best = RangeMode { value: array[start], count: 0 };
+            for (j, &x) in array.iter().enumerate().skip(start) {
+                let c = &mut counts[x as usize];
+                *c += 1;
+                if *c > best.count || (*c == best.count && x < best.value) {
+                    best = RangeMode { value: x, count: *c };
+                }
+                // j closes block bj when it is the last index of that block.
+                if (j + 1) % s == 0 || j + 1 == n {
+                    let bj = j / s;
+                    span_mode[bi * t + bj] = best;
+                }
+            }
+            for &x in &array[start..] {
+                counts[x as usize] = 0;
+            }
+        }
+
+        Self {
+            array: array.to_vec(),
+            s,
+            t,
+            span_mode,
+            occ,
+            rank,
+            counts: RefCell::new(counts),
+        }
+    }
+
+    /// Block width in elements.
+    pub fn block_size(&self) -> usize {
+        self.s
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.t
+    }
+
+    /// Short-range fallback: scratch-array scan, O(r − l).
+    fn scan(&self, l: usize, r: usize) -> RangeMode {
+        let mut counts = self.counts.borrow_mut();
+        let mut best = RangeMode { value: self.array[l], count: 0 };
+        for &x in &self.array[l..r] {
+            let c = &mut counts[x as usize];
+            *c += 1;
+            if *c > best.count || (*c == best.count && x < best.value) {
+                best = RangeMode { value: x, count: *c };
+            }
+        }
+        for &x in &self.array[l..r] {
+            counts[x as usize] = 0;
+        }
+        best
+    }
+
+    /// Fold prefix element at position `p` into `best` (forward count).
+    fn extend_prefix(&self, p: usize, l: usize, r: usize, best: &mut RangeMode) {
+        let x = self.array[p];
+        let occ = &self.occ[x as usize];
+        let idx = self.rank[p] as usize;
+        // Only the first in-range occurrence of x does the counting.
+        if idx > 0 && occ[idx - 1] as usize >= l {
+            return;
+        }
+        // Can x reach the current best count at all? One probe decides.
+        if best.count > 1 {
+            let probe = idx + best.count as usize - 1;
+            if probe >= occ.len() || occ[probe] as usize >= r {
+                return;
+            }
+        }
+        let mut c = best.count.max(1) as usize;
+        while idx + c < occ.len() && (occ[idx + c] as usize) < r {
+            c += 1;
+        }
+        let c = c as u32;
+        if c > best.count || (c == best.count && x < best.value) {
+            *best = RangeMode { value: x, count: c };
+        }
+    }
+
+    /// Fold suffix element at position `p` into `best` (backward count).
+    fn extend_suffix(&self, p: usize, l: usize, r: usize, best: &mut RangeMode) {
+        let x = self.array[p];
+        let occ = &self.occ[x as usize];
+        let idx = self.rank[p] as usize;
+        // Only the last in-range occurrence of x does the counting.
+        if idx + 1 < occ.len() && (occ[idx + 1] as usize) < r {
+            return;
+        }
+        if best.count > 1 {
+            let back = best.count as usize - 1;
+            if idx < back || (occ[idx - back] as usize) < l {
+                return;
+            }
+        }
+        let mut c = best.count.max(1) as usize;
+        while idx >= c && occ[idx - c] as usize >= l {
+            c += 1;
+        }
+        let c = c as u32;
+        if c > best.count || (c == best.count && x < best.value) {
+            *best = RangeMode { value: x, count: c };
+        }
+    }
+}
+
+impl RangeModeQuery for SqrtDecomposition {
+    fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    fn range_mode(&self, l: usize, r: usize) -> Option<RangeMode> {
+        if l >= r || r > self.array.len() {
+            return None;
+        }
+        // First block fully inside the range, and one past the last.
+        let bi = l.div_ceil(self.s);
+        let bj = r / self.s; // blocks bi..bj are fully contained
+        if bi >= bj {
+            return Some(self.scan(l, r));
+        }
+        let mut best = self.span_mode[bi * self.t + (bj - 1)];
+        for p in l..bi * self.s {
+            self.extend_prefix(p, l, r, &mut best);
+        }
+        for p in bj * self.s..r {
+            self.extend_suffix(p, l, r, &mut best);
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveScan;
+
+    fn assert_matches_naive(a: &[u32], m: u32, s: usize) {
+        let naive = NaiveScan::new(a, m);
+        let sqrt = SqrtDecomposition::with_block_size(a, m, s);
+        for l in 0..a.len() {
+            for r in l + 1..=a.len() {
+                assert_eq!(
+                    sqrt.range_mode(l, r),
+                    naive.range_mode(l, r),
+                    "range [{l}, {r}) with s = {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_block_sizes() {
+        let a: Vec<u32> = (0..60).map(|i| (i * 7 + i * i / 3) as u32 % 8).collect();
+        for s in [1, 2, 3, 5, 8, 60, 100] {
+            assert_matches_naive(&a, 8, s);
+        }
+    }
+
+    #[test]
+    fn suffix_extension_sees_span_occurrences() {
+        // Value 1 occurs in the span AND the suffix: the backward count
+        // from the suffix must capture the span occurrences too.
+        //        block0   block1   block2
+        let a = [0, 1, 9, 1, 1, 9, 1, 2, 2];
+        assert_matches_naive(&a, 10, 3);
+    }
+
+    #[test]
+    fn prefix_extension_sees_span_occurrences() {
+        let a = [1, 2, 9, 1, 1, 9, 0, 0, 1];
+        assert_matches_naive(&a, 10, 3);
+    }
+
+    #[test]
+    fn whole_range_equals_span_table() {
+        let a = [5u32, 5, 3, 3, 3, 5, 5, 5, 1];
+        let sq = SqrtDecomposition::with_block_size(&a, 6, 3);
+        assert_eq!(
+            sq.range_mode(0, 9),
+            Some(RangeMode { value: 5, count: 5 })
+        );
+    }
+
+    #[test]
+    fn short_ranges_use_the_scan_path() {
+        let a = [4u32, 4, 2, 2, 4, 1, 1, 1];
+        let sq = SqrtDecomposition::with_block_size(&a, 5, 4);
+        // Entirely inside one block.
+        assert_eq!(sq.range_mode(0, 3), Some(RangeMode { value: 4, count: 2 }));
+        // Straddles two blocks but contains no full one.
+        assert_eq!(sq.range_mode(2, 6), Some(RangeMode { value: 2, count: 2 }));
+    }
+
+    #[test]
+    fn constant_array_any_range() {
+        let a = [7u32; 30];
+        let sq = SqrtDecomposition::new(&a, 8);
+        for (l, r) in [(0, 30), (3, 17), (29, 30), (10, 11)] {
+            assert_eq!(
+                sq.range_mode(l, r),
+                Some(RangeMode { value: 7, count: (r - l) as u32 })
+            );
+        }
+    }
+
+    #[test]
+    fn default_block_size_is_about_sqrt_n() {
+        let a: Vec<u32> = vec![0; 100];
+        let sq = SqrtDecomposition::new(&a, 1);
+        assert_eq!(sq.block_size(), 10);
+        assert_eq!(sq.num_blocks(), 10);
+    }
+
+    #[test]
+    fn invalid_ranges_are_none() {
+        let sq = SqrtDecomposition::new(&[1, 2, 3], 4);
+        assert_eq!(sq.range_mode(3, 3), None);
+        assert_eq!(sq.range_mode(0, 4), None);
+        assert_eq!(sq.range_mode(2, 1), None);
+    }
+}

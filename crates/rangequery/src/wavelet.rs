@@ -1,0 +1,364 @@
+//! Pointerless (level-wise) wavelet tree over values in `[0, m)`.
+//!
+//! The succinct classic: `⌈log₂ m⌉` bit levels, each a rank-indexed
+//! bitmap, where level `d+1` is level `d` *globally* stably partitioned
+//! by bit `d` (MSB first) — all 0-branch elements first, then all
+//! 1-branch elements, so a position maps to its child as `rank0(p)` or
+//! `Z + rank1(p)` with `Z` the level's total zeros. Everything the
+//! range-median problem needs falls out in O(log m) per query:
+//!
+//! * [`WaveletTree::access`] — `A[i]`,
+//! * [`WaveletTree::rank`] — occurrences of `v` in `A[0..i)`,
+//! * [`WaveletTree::quantile`] — k-th smallest of `A[l..r)`,
+//! * [`WaveletTree::range_count_below`] — `#{i ∈ [l, r) : A[i] < v}`.
+//!
+//! This sits one rung above the `PrefixCounts` table on the refs-[10, 13]
+//! curve: O(n·log m) *bits* instead of O(n·m) words, and O(log m)
+//! queries instead of O(m). It also implements [`RangeMedianQuery`], so
+//! the property tests drive all three structures as one family.
+
+use crate::median::{RangeMedian, RangeMedianQuery};
+use crate::check_universe;
+
+/// Bitmap with O(1) rank via per-word cumulative counts (superblock =
+/// one 64-bit word; 50% space overhead, branch-free queries — the right
+/// trade for a reproduction).
+#[derive(Clone, Debug)]
+struct RankBits {
+    words: Vec<u64>,
+    /// `cum[w]` = number of 1-bits in words `0..w`.
+    cum: Vec<u32>,
+    len: usize,
+}
+
+impl RankBits {
+    fn from_bools(bits: &[bool]) -> Self {
+        let n_words = bits.len().div_ceil(64);
+        let mut words = vec![0u64; n_words];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let mut cum = Vec::with_capacity(n_words + 1);
+        let mut acc = 0u32;
+        cum.push(0);
+        for &w in &words {
+            acc += w.count_ones();
+            cum.push(acc);
+        }
+        Self { words, cum, len: bits.len() }
+    }
+
+    /// Number of 1-bits in positions `[0, i)`.
+    #[inline]
+    fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        let w = i / 64;
+        let within = if i.is_multiple_of(64) {
+            0
+        } else {
+            (self.words[w] & ((1u64 << (i % 64)) - 1)).count_ones()
+        };
+        self.cum[w] as usize + within as usize
+    }
+
+    /// Number of 0-bits in positions `[0, i)`.
+    #[inline]
+    fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+}
+
+/// Level-wise wavelet tree; see the module docs for the query surface.
+#[derive(Clone, Debug)]
+pub struct WaveletTree {
+    levels: Vec<RankBits>,
+    n: usize,
+    m: u32,
+    /// Bits per value: `max(1, ⌈log₂ m⌉)`.
+    bits: u32,
+}
+
+impl WaveletTree {
+    /// Build over `array` with values in `[0, m)`. O(n·log m) time,
+    /// O(n·log m) bits (plus rank directories).
+    ///
+    /// # Panics
+    /// If `m == 0` and the array is non-empty, or any value is `>= m`.
+    pub fn new(array: &[u32], m: u32) -> Self {
+        check_universe(array, m);
+        let bits = 32 - m.saturating_sub(1).leading_zeros().min(31);
+        let bits = bits.max(1);
+        let n = array.len();
+        let mut levels = Vec::with_capacity(bits as usize);
+        let mut current: Vec<u32> = array.to_vec();
+        for level in 0..bits {
+            let shift = bits - 1 - level;
+            let level_bits: Vec<bool> =
+                current.iter().map(|&x| x >> shift & 1 == 1).collect();
+            levels.push(RankBits::from_bools(&level_bits));
+            // Global stable partition by this bit; stability keeps each
+            // prefix class contiguous, which is what the rank-based
+            // child mapping relies on.
+            let mut next = Vec::with_capacity(n);
+            next.extend(current.iter().copied().filter(|&x| x >> shift & 1 == 0));
+            next.extend(current.iter().copied().filter(|&x| x >> shift & 1 == 1));
+            current = next;
+        }
+        Self { levels, n, m, bits }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the array was empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Universe size `m`.
+    pub fn universe(&self) -> u32 {
+        self.m
+    }
+
+    /// Total zeros at a level — the offset where that level's 1-branch
+    /// region starts in the next level's global layout.
+    #[inline]
+    fn zeros_total(&self, level: &RankBits) -> usize {
+        level.rank0(self.n)
+    }
+
+    /// The original `A[i]`. O(log m).
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn access(&self, i: usize) -> u32 {
+        assert!(i < self.n, "index {i} out of bounds (n = {})", self.n);
+        let mut p = i;
+        let mut value = 0u32;
+        for level in &self.levels {
+            value <<= 1;
+            if level.get(p) {
+                value |= 1;
+                p = self.zeros_total(level) + level.rank1(p);
+            } else {
+                p = level.rank0(p);
+            }
+        }
+        value
+    }
+
+    /// Occurrences of `v` in `A[0..i)`. O(log m).
+    pub fn rank(&self, v: u32, i: usize) -> usize {
+        if v >= self.m || self.n == 0 {
+            return 0;
+        }
+        let (mut lo, mut hi) = (0usize, i.min(self.n));
+        for (d, level) in self.levels.iter().enumerate() {
+            let shift = self.bits - 1 - d as u32;
+            if v >> shift & 1 == 1 {
+                let z = self.zeros_total(level);
+                lo = z + level.rank1(lo);
+                hi = z + level.rank1(hi);
+            } else {
+                lo = level.rank0(lo);
+                hi = level.rank0(hi);
+            }
+        }
+        hi - lo
+    }
+
+    /// k-th smallest (0-based) of `A[l..r)`. O(log m). `None` if the
+    /// range is invalid or `k ≥ r − l`.
+    pub fn quantile(&self, l: usize, r: usize, k: usize) -> Option<u32> {
+        if l >= r || r > self.n || k >= r - l {
+            return None;
+        }
+        let (mut lo, mut hi, mut k) = (l, r, k);
+        let mut value = 0u32;
+        for level in &self.levels {
+            let zeros_in_range = level.rank0(hi) - level.rank0(lo);
+            value <<= 1;
+            if k < zeros_in_range {
+                lo = level.rank0(lo);
+                hi = level.rank0(hi);
+            } else {
+                k -= zeros_in_range;
+                value |= 1;
+                let z = self.zeros_total(level);
+                lo = z + level.rank1(lo);
+                hi = z + level.rank1(hi);
+            }
+        }
+        Some(value)
+    }
+
+    /// `#{i ∈ [l, r) : A[i] < v}` — the strict-below count, O(log m).
+    pub fn range_count_below(&self, l: usize, r: usize, v: u32) -> usize {
+        if l >= r || r > self.n || v == 0 {
+            return 0;
+        }
+        if v >= self.m {
+            return r - l;
+        }
+        let (mut lo, mut hi) = (l, r);
+        let mut below = 0usize;
+        for (d, level) in self.levels.iter().enumerate() {
+            let shift = self.bits - 1 - d as u32;
+            let zeros_lo = level.rank0(lo);
+            let zeros_hi = level.rank0(hi);
+            if v >> shift & 1 == 1 {
+                // Everything going left here is < v on this bit.
+                below += zeros_hi - zeros_lo;
+                let z = self.zeros_total(level);
+                lo = z + (lo - zeros_lo);
+                hi = z + (hi - zeros_hi);
+            } else {
+                lo = zeros_lo;
+                hi = zeros_hi;
+            }
+        }
+        below
+    }
+}
+
+impl RangeMedianQuery for WaveletTree {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn range_kth(&self, l: usize, r: usize, k: usize) -> Option<RangeMedian> {
+        self.quantile(l, r, k).map(|value| RangeMedian { value, rank: k })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Vec<u32>, u32) {
+        let a: Vec<u32> = (0..200).map(|i| (i * 31 + i * i / 7) as u32 % 23).collect();
+        (a, 23)
+    }
+
+    #[test]
+    fn access_reconstructs_the_array() {
+        let (a, m) = fixture();
+        let wt = WaveletTree::new(&a, m);
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(wt.access(i), x, "position {i}");
+        }
+    }
+
+    #[test]
+    fn rank_matches_brute_force() {
+        let (a, m) = fixture();
+        let wt = WaveletTree::new(&a, m);
+        for v in 0..m {
+            for i in (0..=a.len()).step_by(7) {
+                let expect = a[..i].iter().filter(|&&x| x == v).count();
+                assert_eq!(wt.rank(v, i), expect, "rank({v}, {i})");
+            }
+        }
+        assert_eq!(wt.rank(99, a.len()), 0, "out-of-universe value");
+    }
+
+    #[test]
+    fn quantile_matches_sorting() {
+        let (a, m) = fixture();
+        let wt = WaveletTree::new(&a, m);
+        for l in (0..a.len()).step_by(13) {
+            for r in ((l + 1)..=a.len()).step_by(17) {
+                let mut sorted: Vec<u32> = a[l..r].to_vec();
+                sorted.sort_unstable();
+                for (k, &expect) in sorted.iter().enumerate() {
+                    assert_eq!(wt.quantile(l, r, k), Some(expect), "[{l},{r}) k={k}");
+                }
+                assert_eq!(wt.quantile(l, r, r - l), None);
+            }
+        }
+    }
+
+    #[test]
+    fn range_count_below_matches_brute_force() {
+        let (a, m) = fixture();
+        let wt = WaveletTree::new(&a, m);
+        for l in (0..a.len()).step_by(11) {
+            for r in ((l + 1)..=a.len()).step_by(19) {
+                for v in 0..=m + 1 {
+                    let expect = a[l..r].iter().filter(|&&x| x < v).count();
+                    assert_eq!(
+                        wt.range_count_below(l, r, v),
+                        expect,
+                        "[{l},{r}) v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn median_trait_agrees_with_scan() {
+        use crate::MedianScan;
+        let (a, m) = fixture();
+        let wt = WaveletTree::new(&a, m);
+        let scan = MedianScan::new(&a, m);
+        for l in 0..a.len() {
+            for r in l + 1..=a.len() {
+                assert_eq!(
+                    wt.range_median(l, r),
+                    scan.range_median(l, r),
+                    "[{l},{r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_m_one_and_powers_of_two() {
+        for m in [1u32, 2, 4, 8, 16] {
+            let a: Vec<u32> = (0..50).map(|i| i % m).collect();
+            let wt = WaveletTree::new(&a, m);
+            for (i, &x) in a.iter().enumerate() {
+                assert_eq!(wt.access(i), x, "m={m} i={i}");
+            }
+            assert_eq!(wt.quantile(0, a.len(), 0), Some(0), "m={m}");
+        }
+    }
+
+    #[test]
+    fn empty_array_is_fine() {
+        let wt = WaveletTree::new(&[], 10);
+        assert!(wt.is_empty());
+        assert_eq!(wt.quantile(0, 0, 0), None);
+        assert_eq!(wt.rank(3, 5), 0);
+        assert_eq!(wt.range_count_below(0, 0, 5), 0);
+        assert_eq!(wt.range_median(0, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn access_past_the_end_panics() {
+        WaveletTree::new(&[1, 2], 4).access(2);
+    }
+
+    #[test]
+    fn rank_bits_rank_is_exact_at_word_boundaries() {
+        let bits: Vec<bool> = (0..300).map(|i| i % 3 == 0).collect();
+        let rb = RankBits::from_bools(&bits);
+        for i in 0..=300 {
+            let expect = bits[..i].iter().filter(|&&b| b).count();
+            assert_eq!(rb.rank1(i), expect, "rank1({i})");
+            assert_eq!(rb.rank0(i), i - expect, "rank0({i})");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: the three range-mode structures are observationally
+//! identical on arbitrary arrays, universes, and block widths.
+
+use proptest::prelude::*;
+use sprofile_rangequery::{
+    MedianScan, NaiveScan, PrecomputedTable, PrefixCounts, RangeMedianQuery,
+    RangeModeQuery, SqrtDecomposition, WaveletTree,
+};
+
+/// Arrays up to length 64 over small universes keep the O(n²) exhaustive
+/// range sweep fast while exercising every block-boundary case.
+fn small_array() -> impl Strategy<Value = (Vec<u32>, u32)> {
+    (1u32..12).prop_flat_map(|m| {
+        (prop::collection::vec(0..m, 0..64), Just(m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn structures_agree_on_all_ranges((array, m) in small_array(), s in 1usize..12) {
+        let naive = NaiveScan::new(&array, m);
+        let table = PrecomputedTable::new(&array, m);
+        let sqrt = SqrtDecomposition::with_block_size(&array, m, s);
+        for l in 0..=array.len() {
+            for r in 0..=array.len() {
+                let a = naive.range_mode(l, r);
+                prop_assert_eq!(a, table.range_mode(l, r), "table [{}, {})", l, r);
+                prop_assert_eq!(a, sqrt.range_mode(l, r), "sqrt s={} [{}, {})", s, l, r);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_witness_is_truthful((array, m) in small_array()) {
+        // The reported count must be the value's true count in the range,
+        // and no value may occur more often.
+        let naive = NaiveScan::new(&array, m);
+        for l in 0..array.len() {
+            for r in l + 1..=array.len() {
+                let mode = naive.range_mode(l, r).unwrap();
+                let count = |v: u32| {
+                    array[l..r].iter().filter(|&&x| x == v).count() as u32
+                };
+                prop_assert_eq!(mode.count, count(mode.value));
+                for v in 0..m {
+                    prop_assert!(count(v) <= mode.count, "value {} beats the mode", v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_kth_matches_sorting((array, m) in small_array()) {
+        let scan = MedianScan::new(&array, m);
+        let pref = PrefixCounts::new(&array, m);
+        let wt = WaveletTree::new(&array, m);
+        for l in 0..array.len() {
+            for r in l + 1..=array.len() {
+                let mut sorted: Vec<u32> = array[l..r].to_vec();
+                sorted.sort_unstable();
+                for (k, &expect) in sorted.iter().enumerate() {
+                    prop_assert_eq!(scan.range_kth(l, r, k).unwrap().value, expect);
+                    prop_assert_eq!(pref.range_kth(l, r, k).unwrap().value, expect);
+                    prop_assert_eq!(wt.range_kth(l, r, k).unwrap().value, expect);
+                }
+                prop_assert_eq!(scan.range_kth(l, r, r - l), None);
+                prop_assert_eq!(wt.range_kth(l, r, r - l), None);
+                let med = scan.range_median(l, r).unwrap();
+                prop_assert_eq!(med.value, sorted[(sorted.len() - 1) / 2]);
+                prop_assert_eq!(med, pref.range_median(l, r).unwrap());
+                prop_assert_eq!(med, wt.range_median(l, r).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn wavelet_access_and_rank_match_brute_force((array, m) in small_array()) {
+        let wt = WaveletTree::new(&array, m);
+        for (i, &x) in array.iter().enumerate() {
+            prop_assert_eq!(wt.access(i), x, "access({})", i);
+        }
+        for v in 0..m {
+            for i in 0..=array.len() {
+                let expect = array[..i].iter().filter(|&&x| x == v).count();
+                prop_assert_eq!(wt.rank(v, i), expect, "rank({}, {})", v, i);
+            }
+        }
+        for l in 0..array.len() {
+            for r in l + 1..=array.len() {
+                for v in 0..=m {
+                    let expect = array[l..r].iter().filter(|&&x| x < v).count();
+                    prop_assert_eq!(wt.range_count_below(l, r, v), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_modes_agree_with_static_queries((array, m) in small_array()) {
+        prop_assume!(!array.is_empty());
+        let naive = NaiveScan::new(&array, m);
+        let prefixes = sprofile_rangequery::prefix_modes(&array, m);
+        prop_assert_eq!(prefixes.len(), array.len());
+        for (i, pm) in prefixes.iter().enumerate() {
+            prop_assert_eq!(Some(*pm), naive.range_mode(0, i + 1), "prefix {}", i);
+        }
+    }
+}

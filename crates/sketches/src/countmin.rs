@@ -1,0 +1,283 @@
+//! Count-Min sketch (Cormode & Muthukrishnan 2005).
+//!
+//! A depth × width grid of counters; each row hashes the object to one
+//! cell. Point queries return the minimum cell — an overestimate off by
+//! at most `ε·n` with probability `1 − δ` for `width = ⌈e/ε⌉`,
+//! `depth = ⌈ln(1/δ)⌉`.
+//!
+//! Unlike the counter-based sketches, Count-Min *can* absorb removals
+//! (decrement the same cells), which makes it the only approximate
+//! structure here that addresses the paper's Problem 1 at all — but the
+//! estimate stays an overestimate only for the plain update rule, the
+//! error bound needs non-negative true counts, and there is no way to
+//! enumerate the mode or top-K without an auxiliary heap of candidates.
+//! S-Profile answers all of that exactly in O(m) space.
+
+use crate::hashing::{bucket, row_seeds};
+
+/// Count-Min sketch over `u32` object ids.
+///
+/// ```
+/// use sprofile_sketches::CountMinSketch;
+///
+/// let mut cm = CountMinSketch::new(0.01, 0.01, 7);
+/// for _ in 0..5 {
+///     cm.observe(42);
+/// }
+/// assert!(cm.estimate(42) >= 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    width: usize,
+    seeds: Vec<u64>,
+    /// depth × width counters, row-major.
+    cells: Vec<i64>,
+    observed: u64,
+    conservative: bool,
+}
+
+impl CountMinSketch {
+    /// Sketch with error `ε` (additive `ε·n`) and failure probability `δ`,
+    /// seeded for reproducible hashing.
+    ///
+    /// # Panics
+    /// If `epsilon` or `delta` is outside `(0, 1)`.
+    pub fn new(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::with_dimensions(width, depth, seed)
+    }
+
+    /// Sketch with explicit grid dimensions.
+    ///
+    /// # Panics
+    /// If either dimension is zero.
+    pub fn with_dimensions(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "sketch dimensions must be positive");
+        Self {
+            width,
+            seeds: row_seeds(seed, depth),
+            cells: vec![0; width * depth],
+            observed: 0,
+            conservative: false,
+        }
+    }
+
+    /// Enable *conservative update* (Estan & Varghese): on increment, only
+    /// raise cells that equal the current minimum. Strictly reduces
+    /// overestimation for insert-only streams; **incompatible with
+    /// decrements** (enabling it makes [`Self::remove`] panic).
+    pub fn conservative(mut self) -> Self {
+        self.conservative = true;
+        self
+    }
+
+    /// Record one occurrence of `x`.
+    pub fn observe(&mut self, x: u32) {
+        self.observed += 1;
+        if self.conservative {
+            let est = self.estimate(x);
+            for row in 0..self.seeds.len() {
+                let c = self.cell_index(row, x);
+                if self.cells[c] == est {
+                    self.cells[c] += 1;
+                }
+            }
+        } else {
+            for row in 0..self.seeds.len() {
+                let c = self.cell_index(row, x);
+                self.cells[c] += 1;
+            }
+        }
+    }
+
+    /// Record one removal of `x` (the ±1 log-stream setting of the
+    /// paper). Only valid for the plain update rule.
+    ///
+    /// # Panics
+    /// If conservative update is enabled (its invariant breaks under
+    /// decrements).
+    pub fn remove(&mut self, x: u32) {
+        assert!(
+            !self.conservative,
+            "conservative Count-Min cannot process removals"
+        );
+        self.observed = self.observed.saturating_sub(1);
+        for row in 0..self.seeds.len() {
+            let c = self.cell_index(row, x);
+            self.cells[c] -= 1;
+        }
+    }
+
+    /// Point query: minimum cell over all rows. For insert-only streams
+    /// this never underestimates and exceeds the truth by at most
+    /// `ε·observed` with probability `1 − δ`.
+    pub fn estimate(&self, x: u32) -> i64 {
+        (0..self.seeds.len())
+            .map(|row| self.cells[self.cell_index(row, x)])
+            .min()
+            .expect("depth >= 1")
+    }
+
+    /// Merge a sketch with identical dimensions and seed into `self`
+    /// (cell-wise sum — sketches over disjoint substreams combine into
+    /// the sketch of the union).
+    ///
+    /// # Panics
+    /// If dimensions or seeds differ (the cell spaces are incompatible).
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.seeds, other.seeds, "seed/depth mismatch");
+        assert_eq!(
+            self.conservative, other.conservative,
+            "cannot mix conservative and plain sketches"
+        );
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            *a += b;
+        }
+        self.observed += other.observed;
+    }
+
+    /// Additive error bound `ε·observed` implied by the current width.
+    pub fn error_bound(&self) -> f64 {
+        std::f64::consts::E / self.width as f64 * self.observed as f64
+    }
+
+    /// Grid width (cells per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid depth (number of rows / hash functions).
+    pub fn depth(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Net number of observations (adds − removes).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    #[inline]
+    fn cell_index(&self, row: usize, x: u32) -> usize {
+        row * self.width + bucket(self.seeds[row], x, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1)")]
+    fn bad_epsilon_panics() {
+        let _ = CountMinSketch::new(0.0, 0.1, 1);
+    }
+
+    #[test]
+    fn dimensions_follow_the_formulae() {
+        let cm = CountMinSketch::new(0.01, 0.001, 1);
+        assert_eq!(cm.width(), (std::f64::consts::E / 0.01).ceil() as usize);
+        assert_eq!(cm.depth(), 7); // ln(1000) ≈ 6.9 → 7
+    }
+
+    #[test]
+    fn never_underestimates_on_insert_only_streams() {
+        let stream: Vec<u32> = (0..20_000).map(|i| (i * 31 + i / 7) as u32 % 1000).collect();
+        let mut cm = CountMinSketch::new(0.005, 0.01, 99);
+        stream.iter().for_each(|&x| cm.observe(x));
+        for x in (0..1000).step_by(13) {
+            let t = stream.iter().filter(|&&y| y == x).count() as i64;
+            assert!(cm.estimate(x) >= t, "underestimated {x}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_for_most_points() {
+        let stream: Vec<u32> = (0..50_000).map(|i| (i % 500) as u32).collect();
+        let mut cm = CountMinSketch::new(0.01, 0.01, 3);
+        stream.iter().for_each(|&x| cm.observe(x));
+        let bound = cm.error_bound() as i64;
+        let mut violations = 0;
+        for x in 0..500u32 {
+            let t = stream.iter().filter(|&&y| y == x).count() as i64;
+            if cm.estimate(x) - t > bound {
+                violations += 1;
+            }
+        }
+        // δ = 1% failure probability; allow a small cushion over 5 points.
+        assert!(violations <= 25, "{violations} of 500 points broke the bound");
+    }
+
+    #[test]
+    fn conservative_is_never_looser_than_plain() {
+        let stream: Vec<u32> = (0..30_000).map(|i| ((i * i) % 700) as u32).collect();
+        let mut plain = CountMinSketch::with_dimensions(128, 4, 5);
+        let mut cons = CountMinSketch::with_dimensions(128, 4, 5).conservative();
+        for &x in &stream {
+            plain.observe(x);
+            cons.observe(x);
+        }
+        for x in 0..700u32 {
+            let t = stream.iter().filter(|&&y| y == x).count() as i64;
+            assert!(cons.estimate(x) >= t, "conservative underestimated {x}");
+            assert!(
+                cons.estimate(x) <= plain.estimate(x),
+                "conservative looser than plain at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn removals_cancel_additions_exactly_in_expectation() {
+        let mut cm = CountMinSketch::with_dimensions(64, 4, 11);
+        for _ in 0..100 {
+            cm.observe(7);
+        }
+        for _ in 0..40 {
+            cm.remove(7);
+        }
+        // Only 7 ever touched its cells: the estimate is exact.
+        assert_eq!(cm.estimate(7), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot process removals")]
+    fn conservative_rejects_removals() {
+        let mut cm = CountMinSketch::with_dimensions(8, 2, 1).conservative();
+        cm.observe(1);
+        cm.remove(1);
+    }
+
+    #[test]
+    fn merge_equals_single_sketch_over_concatenation() {
+        let a_stream: Vec<u32> = (0..5000).map(|i| (i % 97) as u32).collect();
+        let b_stream: Vec<u32> = (0..5000).map(|i| (i % 53) as u32).collect();
+        let mut a = CountMinSketch::with_dimensions(256, 5, 21);
+        let mut b = CountMinSketch::with_dimensions(256, 5, 21);
+        let mut whole = CountMinSketch::with_dimensions(256, 5, 21);
+        a_stream.iter().for_each(|&x| {
+            a.observe(x);
+            whole.observe(x);
+        });
+        b_stream.iter().for_each(|&x| {
+            b.observe(x);
+            whole.observe(x);
+        });
+        a.merge(&b);
+        for x in 0..100u32 {
+            assert_eq!(a.estimate(x), whole.estimate(x), "merge diverged at {x}");
+        }
+        assert_eq!(a.observed(), whole.observed());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = CountMinSketch::with_dimensions(8, 2, 1);
+        let b = CountMinSketch::with_dimensions(16, 2, 1);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,79 @@
+//! Seeded 64-bit mixing for the Count-Min rows.
+//!
+//! Count-Min needs a family of pairwise-independent-ish hash functions,
+//! one per row, derived from a user seed so runs are reproducible. We use
+//! the SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
+//! number generators"), whose avalanche behaviour is more than adequate
+//! for sketch row hashing and which keeps this crate dependency-free.
+
+/// SplitMix64 finalizer: a full-avalanche 64 → 64 bit mixer.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive `count` row seeds from one user seed, guaranteed distinct.
+pub(crate) fn row_seeds(seed: u64, count: usize) -> Vec<u64> {
+    (0..count as u64).map(|i| mix64(seed ^ mix64(i + 1))).collect()
+}
+
+/// Hash `x` into `0..width` under the row seed.
+#[inline]
+pub(crate) fn bucket(row_seed: u64, x: u32, width: usize) -> usize {
+    // Multiply-shift after mixing keeps the modulo bias negligible for the
+    // widths Count-Min uses (≪ 2^32).
+    (mix64(row_seed ^ u64::from(x)) % width as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_avalanches_single_bit_flips() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let base = mix64(0xdead_beef);
+        for bit in 0..64 {
+            let flipped = mix64(0xdead_beef ^ (1u64 << bit));
+            let differing = (base ^ flipped).count_ones();
+            assert!(
+                (16..=48).contains(&differing),
+                "bit {bit}: only {differing} output bits changed"
+            );
+        }
+    }
+
+    #[test]
+    fn row_seeds_are_distinct() {
+        let seeds = row_seeds(7, 16);
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                assert_ne!(seeds[i], seeds[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_stays_in_range_and_spreads() {
+        let width = 97;
+        let mut hist = vec![0u32; width];
+        for x in 0..10_000u32 {
+            let b = bucket(12345, x, width);
+            assert!(b < width);
+            hist[b] += 1;
+        }
+        // Expected ~103 per bucket; loose bounds catch only gross skew.
+        for (i, &c) in hist.iter().enumerate() {
+            assert!((40..=200).contains(&c), "bucket {i} holds {c}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_hash() {
+        assert_eq!(bucket(9, 1234, 1000), bucket(9, 1234, 1000));
+        assert_ne!(mix64(1), mix64(2));
+    }
+}

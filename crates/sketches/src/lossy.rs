@@ -1,0 +1,199 @@
+//! Lossy Counting (Manku & Motwani 2002).
+//!
+//! Deterministic frequent-elements summary: the stream is conceptually
+//! divided into buckets of width `⌈1/ε⌉`; at each bucket boundary every
+//! tracked entry whose count plus slack falls below the bucket number is
+//! pruned. Estimates **underestimate** by at most `ε·n`, and the table
+//! never holds more than `(1/ε)·log(ε·n)` entries.
+
+use std::collections::HashMap;
+
+/// Per-object tracking state: observed count since insertion plus the
+/// maximum count the object could have had before insertion (`delta`).
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    count: u64,
+    delta: u64,
+}
+
+/// Lossy Counting summary with error parameter `ε`.
+///
+/// ```
+/// use sprofile_sketches::LossyCounting;
+///
+/// let mut lc = LossyCounting::new(0.1);
+/// for _ in 0..100 {
+///     lc.observe(3);
+/// }
+/// assert!(lc.estimate(3) >= 90); // off by at most ε·n = 10
+/// ```
+#[derive(Clone, Debug)]
+pub struct LossyCounting {
+    /// Bucket width `w = ⌈1/ε⌉`.
+    width: u64,
+    table: HashMap<u32, Entry>,
+    observed: u64,
+    /// Current bucket id `⌈observed / w⌉`.
+    current_bucket: u64,
+}
+
+impl LossyCounting {
+    /// Summary with additive error at most `ε·n` (`0 < ε < 1`).
+    ///
+    /// # Panics
+    /// If `epsilon` is outside `(0, 1)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+        Self {
+            width: (1.0 / epsilon).ceil() as u64,
+            table: HashMap::new(),
+            observed: 0,
+            current_bucket: 1,
+        }
+    }
+
+    /// Feed one element of the stream.
+    pub fn observe(&mut self, x: u32) {
+        self.observed += 1;
+        self.current_bucket = self.observed.div_ceil(self.width);
+        match self.table.get_mut(&x) {
+            Some(e) => e.count += 1,
+            None => {
+                self.table.insert(
+                    x,
+                    Entry { count: 1, delta: self.current_bucket - 1 },
+                );
+            }
+        }
+        if self.observed.is_multiple_of(self.width) {
+            let b = self.current_bucket;
+            self.table.retain(|_, e| e.count + e.delta > b);
+        }
+    }
+
+    /// Lower-bound estimate: `estimate(x) ≤ f(x) ≤ estimate(x) + ε·n`.
+    pub fn estimate(&self, x: u32) -> u64 {
+        self.table.get(&x).map_or(0, |e| e.count)
+    }
+
+    /// Current worst-case underestimation (`ε·n`, i.e. the bucket id − 1
+    /// rounded up to the table's slack granularity).
+    pub fn error_bound(&self) -> u64 {
+        self.observed / self.width
+    }
+
+    /// All objects whose true frequency may reach `phi·n` (`ε < phi < 1`):
+    /// entries with `count ≥ (phi − ε)·n`. Contains every true
+    /// `phi`-heavy hitter.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(u32, u64)> {
+        assert!(phi > 0.0 && phi < 1.0, "phi must lie in (0, 1)");
+        let eps = 1.0 / self.width as f64;
+        let threshold = ((phi - eps) * self.observed as f64).max(0.0) as u64;
+        let mut v: Vec<_> = self
+            .table
+            .iter()
+            .filter(|(_, e)| e.count >= threshold.max(1))
+            .map(|(&x, e)| (x, e.count))
+            .collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of stream elements observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of currently tracked objects.
+    pub fn tracked(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Bucket width `⌈1/ε⌉`.
+    pub fn bucket_width(&self) -> u64 {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(stream: &[u32], x: u32) -> u64 {
+        stream.iter().filter(|&&y| y == x).count() as u64
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1)")]
+    fn bad_epsilon_panics() {
+        let _ = LossyCounting::new(1.5);
+    }
+
+    #[test]
+    fn underestimates_within_epsilon_n() {
+        let stream: Vec<u32> = (0..30_000).map(|i| ((i * 13) ^ (i >> 2)) as u32 % 300).collect();
+        let mut lc = LossyCounting::new(0.002);
+        stream.iter().for_each(|&x| lc.observe(x));
+        let eps_n = (0.002 * stream.len() as f64).ceil() as u64;
+        for x in 0..300u32 {
+            let t = truth(&stream, x);
+            let e = lc.estimate(x);
+            assert!(e <= t, "overestimated {x}: {e} > {t}");
+            assert!(t - e <= eps_n, "{x}: error {} > εn {}", t - e, eps_n);
+        }
+    }
+
+    #[test]
+    fn infrequent_items_are_pruned() {
+        // 1/ε = 10; a single hit among thousands of others must not survive
+        // many bucket boundaries.
+        let mut lc = LossyCounting::new(0.1);
+        lc.observe(999_999);
+        for i in 0..10_000u32 {
+            lc.observe(i % 7);
+        }
+        assert_eq!(lc.estimate(999_999), 0, "one-hit wonder survived");
+        assert!(lc.tracked() <= 20, "table grew past the space bound");
+    }
+
+    #[test]
+    fn heavy_hitters_contains_all_true_hitters() {
+        let mut stream = Vec::new();
+        for i in 0..20_000u32 {
+            stream.push(match i % 20 {
+                0..=5 => 1,            // 30%
+                6..=9 => 2,            // 20%
+                _ => 1000 + i % 5000,  // long tail
+            });
+        }
+        let mut lc = LossyCounting::new(0.01);
+        stream.iter().for_each(|&x| lc.observe(x));
+        let hh = lc.heavy_hitters(0.15);
+        assert!(hh.iter().any(|&(x, _)| x == 1));
+        assert!(hh.iter().any(|&(x, _)| x == 2));
+        // No tail object can reach (0.15 − 0.01)·n.
+        assert!(hh.iter().all(|&(x, _)| x == 1 || x == 2), "{hh:?}");
+    }
+
+    #[test]
+    fn space_stays_sublinear_in_distinct_objects() {
+        let mut lc = LossyCounting::new(0.001);
+        for i in 0..100_000u32 {
+            lc.observe(i); // every object distinct: worst case for space
+        }
+        // Bound: (1/ε)·log(εn) = 1000·log(100) ≈ 4600.
+        assert!(lc.tracked() <= 5000, "tracked {} entries", lc.tracked());
+    }
+
+    #[test]
+    fn exact_for_a_constant_stream() {
+        let mut lc = LossyCounting::new(0.25);
+        for _ in 0..57 {
+            lc.observe(4);
+        }
+        // Inserted in bucket 1 with delta 0 and never pruned.
+        assert_eq!(lc.estimate(4), 57);
+        assert_eq!(lc.observed(), 57);
+        assert_eq!(lc.bucket_width(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Boyer–Moore MJRTY (the paper's reference [3]).
+//!
+//! Finds the *majority* element — frequency strictly greater than n/2 —
+//! of an insert-only stream in O(1) space and O(1) time per element. The
+//! catch the paper leans on: MJRTY only produces a *candidate*; if no
+//! majority exists the candidate is arbitrary, so a second verification
+//! pass (or an exact structure such as S-Profile, which answers
+//! majority-by-mode in O(1) *with* deletions) is required to confirm it.
+
+/// Streaming majority-vote state (Boyer & Moore 1981).
+///
+/// ```
+/// use sprofile_sketches::Mjrty;
+///
+/// let mut v = Mjrty::new();
+/// for x in [3, 1, 3, 3, 2, 3, 3] {
+///     v.observe(x);
+/// }
+/// assert_eq!(v.candidate(), Some(3));
+/// assert!(v.is_majority(|x| [3, 1, 3, 3, 2, 3, 3].iter().filter(|&&y| y == x).count() as u64));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Mjrty {
+    candidate: Option<u32>,
+    counter: u64,
+    observed: u64,
+}
+
+impl Mjrty {
+    /// Fresh voter with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one element of the stream.
+    pub fn observe(&mut self, x: u32) {
+        self.observed += 1;
+        match self.candidate {
+            Some(c) if c == x => self.counter += 1,
+            _ if self.counter == 0 => {
+                self.candidate = Some(x);
+                self.counter = 1;
+            }
+            _ => self.counter -= 1,
+        }
+    }
+
+    /// The current majority *candidate*. `None` only before any
+    /// observation. If the stream has a majority element, this is it;
+    /// otherwise the value is arbitrary and must be verified.
+    pub fn candidate(&self) -> Option<u32> {
+        // counter == 0 means the tail cancelled the candidate out, but the
+        // classic algorithm still reports the last candidate; a majority
+        // element can never end with counter == 0.
+        self.candidate
+    }
+
+    /// Number of elements observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Verify the candidate with an exact counting oracle (the "second
+    /// pass"). `count_of` must return the true frequency of its argument.
+    /// Returns `true` iff the stream has a majority element.
+    pub fn is_majority<F: FnOnce(u32) -> u64>(&self, count_of: F) -> bool {
+        match self.candidate {
+            Some(c) => count_of(c) * 2 > self.observed,
+            None => false,
+        }
+    }
+
+    /// Reset to the initial state.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_in(stream: &[u32], x: u32) -> u64 {
+        stream.iter().filter(|&&y| y == x).count() as u64
+    }
+
+    #[test]
+    fn empty_stream_has_no_candidate() {
+        let v = Mjrty::new();
+        assert_eq!(v.candidate(), None);
+        assert!(!v.is_majority(|_| 0));
+    }
+
+    #[test]
+    fn finds_a_true_majority() {
+        let stream = [5, 5, 1, 5, 2, 5, 5];
+        let mut v = Mjrty::new();
+        stream.iter().for_each(|&x| v.observe(x));
+        assert_eq!(v.candidate(), Some(5));
+        assert!(v.is_majority(|x| count_in(&stream, x)));
+    }
+
+    #[test]
+    fn majority_at_exactly_half_is_rejected() {
+        let stream = [1, 2, 1, 2]; // 1 and 2 each hold exactly n/2.
+        let mut v = Mjrty::new();
+        stream.iter().for_each(|&x| v.observe(x));
+        assert!(!v.is_majority(|x| count_in(&stream, x)));
+    }
+
+    #[test]
+    fn no_majority_candidate_fails_verification() {
+        let stream = [1, 2, 3, 4, 5, 6];
+        let mut v = Mjrty::new();
+        stream.iter().for_each(|&x| v.observe(x));
+        assert!(!v.is_majority(|x| count_in(&stream, x)));
+    }
+
+    #[test]
+    fn adversarial_interleave_still_finds_majority() {
+        // n = 2k+1 copies of 9 interleaved with k distinct others: 9 wins.
+        let mut stream = Vec::new();
+        for i in 0..100 {
+            stream.push(9);
+            stream.push(1000 + i);
+        }
+        stream.push(9);
+        let mut v = Mjrty::new();
+        stream.iter().for_each(|&x| v.observe(x));
+        assert_eq!(v.candidate(), Some(9));
+        assert!(v.is_majority(|x| count_in(&stream, x)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut v = Mjrty::new();
+        v.observe(3);
+        v.clear();
+        assert_eq!(v.candidate(), None);
+        assert_eq!(v.observed(), 0);
+    }
+
+    #[test]
+    fn single_element_is_its_own_majority() {
+        let mut v = Mjrty::new();
+        v.observe(42);
+        assert!(v.is_majority(|x| u64::from(x == 42)));
+    }
+}

@@ -1,0 +1,217 @@
+//! Misra–Gries frequent-elements summary.
+//!
+//! The k-counter generalization of MJRTY: maintains at most `k` candidate
+//! counters; every element with true frequency above `n/(k+1)` is
+//! guaranteed to be among the candidates, and each reported count
+//! *underestimates* the truth by at most `n/(k+1)`.
+
+use std::collections::HashMap;
+
+/// Misra–Gries summary with at most `k` monitored objects.
+///
+/// ```
+/// use sprofile_sketches::MisraGries;
+///
+/// let mut mg = MisraGries::new(2);
+/// for x in [1, 1, 1, 2, 3, 1, 1] {
+///     mg.observe(x);
+/// }
+/// // 1 occurs 5 > 7/3 times, so it must be a candidate.
+/// assert!(mg.candidates().iter().any(|&(x, _)| x == 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MisraGries {
+    k: usize,
+    counters: HashMap<u32, u64>,
+    observed: u64,
+}
+
+impl MisraGries {
+    /// Summary holding at most `k ≥ 1` counters (≈ `k+1` words of space).
+    ///
+    /// # Panics
+    /// If `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "MisraGries requires at least one counter");
+        Self {
+            k,
+            counters: HashMap::with_capacity(k + 1),
+            observed: 0,
+        }
+    }
+
+    /// Feed one element of the stream.
+    pub fn observe(&mut self, x: u32) {
+        self.observed += 1;
+        if let Some(c) = self.counters.get_mut(&x) {
+            *c += 1;
+        } else if self.counters.len() < self.k {
+            self.counters.insert(x, 1);
+        } else {
+            // Decrement-all step: the classic "cancel one occurrence of
+            // each candidate against x" move. Objects reaching zero are
+            // evicted; x itself is *not* inserted.
+            self.counters.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
+    }
+
+    /// Lower-bound estimate of the frequency of `x`. The true count `f(x)`
+    /// satisfies `estimate(x) ≤ f(x) ≤ estimate(x) + observed/(k+1)`.
+    pub fn estimate(&self, x: u32) -> u64 {
+        self.counters.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Worst-case underestimation: `observed / (k + 1)`.
+    pub fn error_bound(&self) -> u64 {
+        self.observed / (self.k as u64 + 1)
+    }
+
+    /// All current candidates with their (under-)counts, sorted by count
+    /// descending then object id ascending for determinism.
+    pub fn candidates(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<_> = self.counters.iter().map(|(&x, &c)| (x, c)).collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Objects that *may* exceed the `phi`-fraction threshold
+    /// (`0 < phi < 1`). Guaranteed to contain every true `phi`-heavy
+    /// hitter; may contain false positives within the error bound.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(u32, u64)> {
+        assert!(phi > 0.0 && phi < 1.0, "phi must lie in (0, 1)");
+        let threshold = (phi * self.observed as f64).floor() as u64;
+        let err = self.error_bound();
+        self.candidates()
+            .into_iter()
+            .filter(|&(_, c)| c + err >= threshold.max(1))
+            .collect()
+    }
+
+    /// Number of stream elements observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Maximum number of counters.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Merge another summary into `self` (the Agarwal et al. mergeable-
+    /// summaries construction): add counts pointwise, then subtract the
+    /// (k+1)-th largest count from everything and drop non-positives.
+    pub fn merge(&mut self, other: &MisraGries) {
+        for (&x, &c) in &other.counters {
+            *self.counters.entry(x).or_insert(0) += c;
+        }
+        self.observed += other.observed;
+        if self.counters.len() > self.k {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = counts[self.k]; // (k+1)-th largest
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(cut);
+                *c > 0
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(stream: &[u32], x: u32) -> u64 {
+        stream.iter().filter(|&&y| y == x).count() as u64
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_counters_panics() {
+        let _ = MisraGries::new(0);
+    }
+
+    #[test]
+    fn never_overestimates_and_error_bound_holds() {
+        let stream: Vec<u32> = (0..5000).map(|i| (i * i + 3 * i) % 97).collect();
+        let mut mg = MisraGries::new(10);
+        stream.iter().for_each(|&x| mg.observe(x));
+        for x in 0..97 {
+            let t = truth(&stream, x);
+            let e = mg.estimate(x);
+            assert!(e <= t, "overestimated {x}: {e} > {t}");
+            assert!(t - e <= mg.error_bound(), "{x}: error {} > bound {}", t - e, mg.error_bound());
+        }
+    }
+
+    #[test]
+    fn frequent_element_is_always_a_candidate() {
+        // Object 0 takes 40% of a stream; with k = 4 the threshold is
+        // n/5 = 20%, so 0 must survive.
+        let mut stream = Vec::new();
+        for i in 0..1000u32 {
+            stream.push(if i % 5 < 2 { 0 } else { i });
+        }
+        let mut mg = MisraGries::new(4);
+        stream.iter().for_each(|&x| mg.observe(x));
+        assert!(mg.candidates().iter().any(|&(x, _)| x == 0));
+    }
+
+    #[test]
+    fn at_most_k_counters_ever() {
+        let mut mg = MisraGries::new(3);
+        for x in 0..10_000u32 {
+            mg.observe(x % 500);
+            assert!(mg.candidates().len() <= 3);
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_contains_all_true_hitters() {
+        let mut stream = vec![1; 300];
+        stream.extend_from_slice(&[2; 250]);
+        for i in 0..450u32 {
+            stream.push(100 + i);
+        }
+        let mut mg = MisraGries::new(20);
+        stream.iter().for_each(|&x| mg.observe(x));
+        let hh = mg.heavy_hitters(0.2);
+        assert!(hh.iter().any(|&(x, _)| x == 1), "missing hitter 1: {hh:?}");
+        assert!(hh.iter().any(|&(x, _)| x == 2), "missing hitter 2: {hh:?}");
+    }
+
+    #[test]
+    fn merge_preserves_underestimate_and_bound() {
+        let a_stream: Vec<u32> = (0..2000).map(|i| i % 40).collect();
+        let b_stream: Vec<u32> = (0..2000).map(|i| (i * 7) % 55).collect();
+        let mut a = MisraGries::new(8);
+        let mut b = MisraGries::new(8);
+        a_stream.iter().for_each(|&x| a.observe(x));
+        b_stream.iter().for_each(|&x| b.observe(x));
+        a.merge(&b);
+        assert!(a.candidates().len() <= 8);
+        assert_eq!(a.observed(), 4000);
+        for x in 0..60 {
+            let t = truth(&a_stream, x) + truth(&b_stream, x);
+            assert!(a.estimate(x) <= t, "merge overestimated {x}");
+            assert!(t - a.estimate(x) <= a.error_bound());
+        }
+    }
+
+    #[test]
+    fn exact_when_distinct_objects_fit() {
+        let mut mg = MisraGries::new(10);
+        for _ in 0..7 {
+            mg.observe(1);
+        }
+        for _ in 0..3 {
+            mg.observe(2);
+        }
+        assert_eq!(mg.estimate(1), 7);
+        assert_eq!(mg.estimate(2), 3);
+        assert_eq!(mg.estimate(99), 0);
+    }
+}

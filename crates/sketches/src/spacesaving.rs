@@ -1,0 +1,484 @@
+//! Space-Saving (Metwally, Agrawal & El Abbadi 2005) with the original
+//! *stream-summary* layout.
+//!
+//! Maintains exactly `k` monitored counters. An unmonitored arrival evicts
+//! the minimum counter, inheriting its count as *error*. Every reported
+//! count **overestimates** the truth by at most its recorded error, which
+//! is itself bounded by `n/k`; every object with true frequency above
+//! `n/k` is guaranteed monitored.
+//!
+//! The stream-summary groups counters into buckets of equal count, linked
+//! in ascending order, so that a +1 moves a counter across at most one
+//! bucket boundary in O(1) — the same observation S-Profile's block set
+//! applies to the full frequency array. Here it buys O(1) worst-case
+//! `observe` *and* a top-K walk in descending order without sorting;
+//! S-Profile scales the identical trick to all `m` objects and adds
+//! deletions, which no Space-Saving variant supports.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+/// One monitored counter.
+#[derive(Clone, Copy, Debug)]
+struct Counter {
+    object: u32,
+    count: u64,
+    /// Maximum possible overestimation (count inherited at eviction).
+    error: u64,
+    bucket: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// A maximal group of counters sharing one count value.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    count: u64,
+    /// First counter in this bucket (counters form a doubly-linked list).
+    head: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// Space-Saving summary with a fixed budget of `k` counters.
+///
+/// ```
+/// use sprofile_sketches::SpaceSaving;
+///
+/// let mut ss = SpaceSaving::new(3);
+/// for x in [1, 1, 1, 2, 2, 9, 1] {
+///     ss.observe(x);
+/// }
+/// let top = ss.top_k(1);
+/// assert_eq!(top[0].0, 1);          // object
+/// assert!(top[0].1 >= 4);           // count is an upper bound
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpaceSaving {
+    counters: Vec<Counter>,
+    buckets: Vec<Bucket>,
+    bucket_free: Vec<usize>,
+    /// Lowest-count bucket (list head); NIL when empty.
+    min_bucket: usize,
+    /// Highest-count bucket (list tail); NIL when empty.
+    max_bucket: usize,
+    index: HashMap<u32, usize>,
+    observed: u64,
+}
+
+impl SpaceSaving {
+    /// Summary monitoring at most `k ≥ 1` objects.
+    ///
+    /// # Panics
+    /// If `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "SpaceSaving requires at least one counter");
+        Self {
+            counters: Vec::with_capacity(k),
+            buckets: Vec::new(),
+            bucket_free: Vec::new(),
+            min_bucket: NIL,
+            max_bucket: NIL,
+            index: HashMap::with_capacity(k),
+            observed: 0,
+        }
+    }
+
+    /// Feed one element of the stream. O(1) worst case.
+    pub fn observe(&mut self, x: u32) {
+        self.observed += 1;
+        if let Some(&slot) = self.index.get(&x) {
+            self.increment(slot);
+        } else if self.counters.len() < self.counters.capacity() {
+            let slot = self.counters.len();
+            self.counters.push(Counter {
+                object: x,
+                count: 0,
+                error: 0,
+                bucket: NIL,
+                prev: NIL,
+                next: NIL,
+            });
+            self.index.insert(x, slot);
+            self.attach(slot, 1);
+            self.counters[slot].count = 1;
+        } else {
+            // Evict the head of the minimum bucket.
+            let slot = self.buckets[self.min_bucket].head;
+            let victim = self.counters[slot];
+            self.index.remove(&victim.object);
+            self.index.insert(x, slot);
+            self.counters[slot].object = x;
+            self.counters[slot].error = victim.count;
+            self.increment(slot);
+        }
+    }
+
+    /// Upper-bound estimate of the frequency of `x`. For an unmonitored
+    /// object this is the minimum monitored count (the tightest bound
+    /// Space-Saving can give).
+    pub fn estimate(&self, x: u32) -> u64 {
+        match self.index.get(&x) {
+            Some(&slot) => self.counters[slot].count,
+            None => self.min_count(),
+        }
+    }
+
+    /// Lower-bound (guaranteed) count: `count − error` if monitored,
+    /// zero otherwise.
+    pub fn guaranteed(&self, x: u32) -> u64 {
+        match self.index.get(&x) {
+            Some(&slot) => self.counters[slot].count - self.counters[slot].error,
+            None => 0,
+        }
+    }
+
+    /// The smallest monitored count (0 while under capacity) — the global
+    /// overestimation bound for unmonitored objects.
+    pub fn min_count(&self) -> u64 {
+        if self.counters.len() < self.counters.capacity() || self.min_bucket == NIL {
+            0
+        } else {
+            self.buckets[self.min_bucket].count
+        }
+    }
+
+    /// Top `k` monitored objects as `(object, count, error)`, descending
+    /// by count. Walks buckets from the tail: O(k), no sorting.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, u64, u64)> {
+        let mut out = Vec::with_capacity(k.min(self.counters.len()));
+        let mut b = self.max_bucket;
+        while b != NIL && out.len() < k {
+            let mut c = self.buckets[b].head;
+            while c != NIL && out.len() < k {
+                let ctr = &self.counters[c];
+                out.push((ctr.object, ctr.count, ctr.error));
+                c = ctr.next;
+            }
+            b = self.buckets[b].prev;
+        }
+        out
+    }
+
+    /// Objects whose count exceeds `phi · observed` (`0 < phi < 1`).
+    /// Contains every true `phi`-heavy hitter; entries with
+    /// `guaranteed > threshold` are certain, the rest are possible.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(u32, u64, u64)> {
+        assert!(phi > 0.0 && phi < 1.0, "phi must lie in (0, 1)");
+        let threshold = (phi * self.observed as f64) as u64;
+        let mut out = Vec::new();
+        let mut b = self.max_bucket;
+        while b != NIL && self.buckets[b].count > threshold {
+            let mut c = self.buckets[b].head;
+            while c != NIL {
+                let ctr = &self.counters[c];
+                out.push((ctr.object, ctr.count, ctr.error));
+                c = ctr.next;
+            }
+            b = self.buckets[b].prev;
+        }
+        out
+    }
+
+    /// Number of stream elements observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of monitored objects (≤ capacity).
+    pub fn monitored(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Counter budget `k`.
+    pub fn capacity(&self) -> usize {
+        self.counters.capacity()
+    }
+
+    // -- stream-summary plumbing ------------------------------------------
+
+    /// Move counter `slot` from count c to c+1, crossing at most one
+    /// bucket boundary.
+    fn increment(&mut self, slot: usize) {
+        let old_bucket = self.counters[slot].bucket;
+        let new_count = self.counters[slot].count + 1;
+        let next = self.buckets[old_bucket].next;
+        self.detach(slot);
+        if next != NIL && self.buckets[next].count == new_count {
+            self.push_into(slot, next);
+        } else {
+            // Insert a fresh bucket between old_bucket (possibly now
+            // empty and freed) and next.
+            let after = if self.bucket_alive(old_bucket) { old_bucket } else { self.bucket_prev_of(next) };
+            let b = self.alloc_bucket(new_count, after, next);
+            self.push_into(slot, b);
+        }
+        self.counters[slot].count = new_count;
+    }
+
+    /// First insertion of a counter with count `count` (always 1): joins
+    /// the min bucket if it matches, else becomes a new min bucket.
+    fn attach(&mut self, slot: usize, count: u64) {
+        if self.min_bucket != NIL && self.buckets[self.min_bucket].count == count {
+            let b = self.min_bucket;
+            self.push_into(slot, b);
+        } else {
+            let first = self.min_bucket;
+            let b = self.alloc_bucket(count, NIL, first);
+            self.push_into(slot, b);
+        }
+    }
+
+    /// Unlink `slot` from its bucket, freeing the bucket if it empties.
+    fn detach(&mut self, slot: usize) {
+        let Counter { bucket, prev, next, .. } = self.counters[slot];
+        if prev != NIL {
+            self.counters[prev].next = next;
+        } else {
+            self.buckets[bucket].head = next;
+        }
+        if next != NIL {
+            self.counters[next].prev = prev;
+        }
+        self.counters[slot].prev = NIL;
+        self.counters[slot].next = NIL;
+        if self.buckets[bucket].head == NIL {
+            self.free_bucket(bucket);
+        }
+        self.counters[slot].bucket = NIL;
+    }
+
+    /// Push `slot` at the head of bucket `b`.
+    fn push_into(&mut self, slot: usize, b: usize) {
+        let head = self.buckets[b].head;
+        self.counters[slot].bucket = b;
+        self.counters[slot].prev = NIL;
+        self.counters[slot].next = head;
+        if head != NIL {
+            self.counters[head].prev = slot;
+        }
+        self.buckets[b].head = slot;
+    }
+
+    fn alloc_bucket(&mut self, count: u64, prev: usize, next: usize) -> usize {
+        let b = match self.bucket_free.pop() {
+            Some(b) => {
+                self.buckets[b] = Bucket { count, head: NIL, prev, next };
+                b
+            }
+            None => {
+                self.buckets.push(Bucket { count, head: NIL, prev, next });
+                self.buckets.len() - 1
+            }
+        };
+        if prev != NIL {
+            self.buckets[prev].next = b;
+        } else {
+            self.min_bucket = b;
+        }
+        if next != NIL {
+            self.buckets[next].prev = b;
+        } else {
+            self.max_bucket = b;
+        }
+        b
+    }
+
+    fn free_bucket(&mut self, b: usize) {
+        let Bucket { prev, next, .. } = self.buckets[b];
+        if prev != NIL {
+            self.buckets[prev].next = next;
+        } else {
+            self.min_bucket = next;
+        }
+        if next != NIL {
+            self.buckets[next].prev = prev;
+        } else {
+            self.max_bucket = prev;
+        }
+        // Poison the head so bucket_alive sees it as dead.
+        self.buckets[b].head = NIL;
+        self.buckets[b].count = u64::MAX;
+        self.bucket_free.push(b);
+    }
+
+    /// Is `b` still linked (has at least one counter)?
+    fn bucket_alive(&self, b: usize) -> bool {
+        b != NIL && self.buckets[b].head != NIL
+    }
+
+    fn bucket_prev_of(&self, next: usize) -> usize {
+        if next == NIL {
+            self.max_bucket
+        } else {
+            self.buckets[next].prev
+        }
+    }
+
+    /// Test-only structural check: buckets strictly ascending, every
+    /// counter's bucket pointer consistent, index bijective.
+    #[doc(hidden)]
+    pub fn assert_consistent(&self) {
+        let mut seen = 0usize;
+        let mut b = self.min_bucket;
+        let mut last = None;
+        let mut prev_b = NIL;
+        while b != NIL {
+            let bk = &self.buckets[b];
+            assert_eq!(bk.prev, prev_b, "bucket back-link broken");
+            if let Some(l) = last {
+                assert!(bk.count > l, "bucket counts not strictly ascending");
+            }
+            last = Some(bk.count);
+            let mut c = bk.head;
+            assert_ne!(c, NIL, "live bucket with no counters");
+            let mut prev_c = NIL;
+            while c != NIL {
+                let ctr = &self.counters[c];
+                assert_eq!(ctr.bucket, b, "counter bucket pointer wrong");
+                assert_eq!(ctr.prev, prev_c, "counter back-link broken");
+                assert_eq!(ctr.count, bk.count, "counter count != bucket count");
+                assert_eq!(self.index[&ctr.object], c, "index out of sync");
+                seen += 1;
+                prev_c = c;
+                c = ctr.next;
+            }
+            prev_b = b;
+            b = bk.next;
+        }
+        assert_eq!(prev_b, self.max_bucket, "max_bucket stale");
+        assert_eq!(seen, self.counters.len(), "orphaned counters");
+        assert_eq!(seen, self.index.len(), "index size mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(stream: &[u32], x: u32) -> u64 {
+        stream.iter().filter(|&&y| y == x).count() as u64
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_counters_panics() {
+        let _ = SpaceSaving::new(0);
+    }
+
+    #[test]
+    fn exact_while_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for x in [1, 2, 1, 3, 1, 2] {
+            ss.observe(x);
+            ss.assert_consistent();
+        }
+        assert_eq!(ss.estimate(1), 3);
+        assert_eq!(ss.estimate(2), 2);
+        assert_eq!(ss.estimate(3), 1);
+        assert_eq!(ss.guaranteed(1), 3);
+    }
+
+    #[test]
+    fn overestimates_with_bounded_error() {
+        let stream: Vec<u32> = (0..8000).map(|i| ((i * i) ^ (i >> 3)) as u32 % 200).collect();
+        let k = 50;
+        let mut ss = SpaceSaving::new(k);
+        stream.iter().for_each(|&x| ss.observe(x));
+        ss.assert_consistent();
+        let n = stream.len() as u64;
+        for x in 0..200 {
+            let t = truth(&stream, x);
+            assert!(ss.estimate(x) >= t, "underestimated {x}");
+            assert!(ss.guaranteed(x) <= t, "guaranteed() exceeded truth for {x}");
+        }
+        assert!(ss.min_count() <= n / k as u64, "min-count bound violated");
+    }
+
+    #[test]
+    fn heavy_hitters_are_retained() {
+        // Object 5 is 30% of the stream; k = 10 ⇒ error ≤ 10%, so 5 must
+        // be monitored and reported at phi = 0.15.
+        let mut stream = Vec::new();
+        for i in 0..10_000u32 {
+            stream.push(if i % 10 < 3 { 5 } else { 10 + (i * 17) % 3000 });
+        }
+        let mut ss = SpaceSaving::new(10);
+        stream.iter().for_each(|&x| ss.observe(x));
+        let hh = ss.heavy_hitters(0.15);
+        assert!(hh.iter().any(|&(x, _, _)| x == 5), "lost the heavy hitter: {hh:?}");
+    }
+
+    #[test]
+    fn top_k_descends_and_respects_capacity() {
+        let mut ss = SpaceSaving::new(8);
+        for i in 0..1000u32 {
+            // Geometric-ish popularity: object j appears ~2^(8-j) times.
+            ss.observe(i.trailing_zeros().min(7));
+        }
+        let top = ss.top_k(4);
+        assert_eq!(top.len(), 4);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1, "top_k not descending: {top:?}");
+        }
+        assert_eq!(top[0].0, 0, "object 0 dominates this stream");
+        assert!(ss.top_k(100).len() <= 8);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count_as_error() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe(1);
+        ss.observe(1);
+        ss.observe(2);
+        // 3 evicts 2 (count 1): arrives with count 2, error 1.
+        ss.observe(3);
+        ss.assert_consistent();
+        assert_eq!(ss.estimate(3), 2);
+        assert_eq!(ss.guaranteed(3), 1);
+        // 2 is gone; its estimate falls back to the min count bound.
+        assert_eq!(ss.estimate(2), ss.min_count());
+    }
+
+    #[test]
+    fn single_counter_tracks_the_stream_length() {
+        let mut ss = SpaceSaving::new(1);
+        for x in [1, 2, 3, 4, 5] {
+            ss.observe(x);
+        }
+        ss.assert_consistent();
+        // One counter: every arrival increments it, object is the last seen.
+        let top = ss.top_k(1);
+        assert_eq!(top[0].0, 5);
+        assert_eq!(top[0].1, 5);
+    }
+
+    #[test]
+    fn structure_survives_long_adversarial_churn() {
+        // Round-robin over 3k distinct ids with k = 64: constant eviction.
+        let mut ss = SpaceSaving::new(64);
+        for i in 0..50_000u32 {
+            ss.observe(i % 3000);
+        }
+        ss.assert_consistent();
+        assert_eq!(ss.monitored(), 64);
+        assert_eq!(ss.observed(), 50_000);
+    }
+
+    #[test]
+    fn bucket_reuse_does_not_leak() {
+        let mut ss = SpaceSaving::new(4);
+        for round in 0..1000u32 {
+            for x in 0..4 {
+                ss.observe(x);
+            }
+            if round % 97 == 0 {
+                ss.assert_consistent();
+            }
+        }
+        // All 4 counters share one bucket of count 1000: exactly 1 live
+        // bucket regardless of churn history.
+        assert!(ss.buckets.len() - ss.bucket_free.len() == 1);
+    }
+}

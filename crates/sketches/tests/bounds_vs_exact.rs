@@ -1,0 +1,183 @@
+//! Integration tests: every sketch's published error bound, checked
+//! against the exact S-Profile answer on the paper's generated streams.
+//!
+//! The sketches are insert-only, so we drive them with the *add* events
+//! of the paper's Stream1/2/3 recipes and compare against an `SProfile`
+//! fed the same adds. This is precisely the contrast the paper's §1
+//! draws: the approximate line of work answers a weaker (insert-only,
+//! ε-error) problem than Problem 1.
+
+use sprofile::SProfile;
+use sprofile_sketches::{CountMinSketch, LossyCounting, MisraGries, Mjrty, SpaceSaving};
+use sprofile_streamgen::StreamConfig;
+
+const M: u32 = 2_000;
+const N: usize = 60_000;
+
+/// Adds-only projection of a paper stream preset.
+fn adds(cfg: StreamConfig, n: usize) -> Vec<u32> {
+    cfg.generator()
+        .filter_map(|ev| ev.is_add.then_some(ev.object))
+        .take(n)
+        .collect()
+}
+
+fn exact_profile(stream: &[u32]) -> SProfile {
+    let mut p = SProfile::new(M);
+    for &x in stream {
+        p.add(x);
+    }
+    p
+}
+
+fn streams() -> Vec<(&'static str, Vec<u32>)> {
+    vec![
+        ("stream1", adds(StreamConfig::stream1(M, 11), N)),
+        ("stream2", adds(StreamConfig::stream2(M, 22), N)),
+        ("stream3", adds(StreamConfig::stream3(M, 33), N)),
+    ]
+}
+
+#[test]
+fn misra_gries_bound_holds_on_paper_streams() {
+    for (name, stream) in streams() {
+        let exact = exact_profile(&stream);
+        let k = 64;
+        let mut mg = MisraGries::new(k);
+        stream.iter().for_each(|&x| mg.observe(x));
+        let bound = stream.len() as u64 / (k as u64 + 1);
+        for x in 0..M {
+            let t = exact.frequency(x) as u64;
+            let e = mg.estimate(x);
+            assert!(e <= t, "{name}: MG overestimated object {x}");
+            assert!(t - e <= bound, "{name}: MG error for {x} is {} > {bound}", t - e);
+        }
+    }
+}
+
+#[test]
+fn space_saving_bound_holds_on_paper_streams() {
+    for (name, stream) in streams() {
+        let exact = exact_profile(&stream);
+        let k = 64;
+        let mut ss = SpaceSaving::new(k);
+        stream.iter().for_each(|&x| ss.observe(x));
+        ss.assert_consistent();
+        let bound = stream.len() as u64 / k as u64;
+        for x in 0..M {
+            let t = exact.frequency(x) as u64;
+            assert!(ss.estimate(x) >= t, "{name}: SS underestimated object {x}");
+            assert!(ss.guaranteed(x) <= t, "{name}: SS guarantee broken for {x}");
+            assert!(
+                ss.estimate(x) - t <= bound,
+                "{name}: SS error for {x} is {} > {bound}",
+                ss.estimate(x) - t
+            );
+        }
+    }
+}
+
+#[test]
+fn space_saving_finds_the_exact_mode_when_skew_is_high() {
+    // Zipf-skewed adds: the true mode towers over n/k, so Space-Saving's
+    // top-1 must name the same object S-Profile does.
+    let cfg = StreamConfig::zipf(M, 1.2, 77);
+    let stream = adds(cfg, N);
+    let exact = exact_profile(&stream);
+    let mut ss = SpaceSaving::new(256);
+    stream.iter().for_each(|&x| ss.observe(x));
+    let true_mode = exact.mode().unwrap();
+    let (obj, count, _err) = ss.top_k(1)[0];
+    assert_eq!(obj, true_mode.object, "Space-Saving missed the mode");
+    assert!(count >= true_mode.frequency as u64);
+}
+
+#[test]
+fn lossy_counting_bound_holds_on_paper_streams() {
+    for (name, stream) in streams() {
+        let exact = exact_profile(&stream);
+        let eps = 0.001;
+        let mut lc = LossyCounting::new(eps);
+        stream.iter().for_each(|&x| lc.observe(x));
+        let bound = (eps * stream.len() as f64).ceil() as u64;
+        for x in 0..M {
+            let t = exact.frequency(x) as u64;
+            let e = lc.estimate(x);
+            assert!(e <= t, "{name}: LC overestimated object {x}");
+            assert!(t - e <= bound, "{name}: LC error for {x} is {} > {bound}", t - e);
+        }
+    }
+}
+
+#[test]
+fn count_min_never_underestimates_and_mostly_meets_epsilon() {
+    for (name, stream) in streams() {
+        let exact = exact_profile(&stream);
+        let mut cm = CountMinSketch::new(0.001, 0.01, 4242);
+        stream.iter().for_each(|&x| cm.observe(x));
+        let bound = cm.error_bound() as i64;
+        let mut violations = 0u32;
+        for x in 0..M {
+            let t = exact.frequency(x);
+            let e = cm.estimate(x);
+            assert!(e >= t, "{name}: CM underestimated object {x}");
+            if e - t > bound {
+                violations += 1;
+            }
+        }
+        // δ = 1%: expect ≤ ~20 of 2000 points over the bound; allow 3x.
+        assert!(violations <= 60, "{name}: {violations} ε-violations of {M}");
+    }
+}
+
+#[test]
+fn mjrty_agrees_with_sprofile_majority_query() {
+    // A stream with a genuine majority: object 3 gets 60% of adds.
+    let mut stream = Vec::new();
+    for i in 0..10_000u32 {
+        stream.push(if i % 5 < 3 { 3 } else { i % M });
+    }
+    let exact = exact_profile(&stream);
+    let mut v = Mjrty::new();
+    stream.iter().for_each(|&x| v.observe(x));
+
+    let sp_majority = exact.majority();
+    assert_eq!(sp_majority.map(|(x, _)| x), Some(3));
+    assert_eq!(v.candidate(), Some(3));
+    assert!(v.is_majority(|x| exact.frequency(x) as u64));
+}
+
+#[test]
+fn mjrty_and_sprofile_agree_there_is_no_majority() {
+    let stream = adds(StreamConfig::stream1(M, 5), 20_000);
+    let exact = exact_profile(&stream);
+    let mut v = Mjrty::new();
+    stream.iter().for_each(|&x| v.observe(x));
+    assert_eq!(exact.majority(), None, "uniform stream should have no majority");
+    assert!(!v.is_majority(|x| exact.frequency(x) as u64));
+}
+
+#[test]
+fn sketches_cannot_serve_problem_one_but_sprofile_can() {
+    // Interleave adds and removes (the actual Problem 1 workload). Feed
+    // adds to the sketches (all they accept) and the full stream to
+    // S-Profile: after heavy removal churn the sketch top-1 is stale,
+    // while S-Profile tracks the live mode exactly.
+    let mut profile = SProfile::new(M);
+    let mut ss = SpaceSaving::new(64);
+    // Phase 1: object 9 becomes hot.
+    for _ in 0..5_000 {
+        profile.add(9);
+        ss.observe(9);
+    }
+    // Phase 2: object 9 is mass-unfollowed; object 17 rises.
+    for _ in 0..4_900 {
+        profile.remove(9);
+    }
+    for _ in 0..500 {
+        profile.add(17);
+        ss.observe(17);
+    }
+    assert_eq!(profile.mode().unwrap().object, 17, "live mode");
+    assert_eq!(ss.top_k(1)[0].0, 9, "insert-only sketch is stuck on stale mode");
+}

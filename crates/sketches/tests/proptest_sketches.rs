@@ -1,0 +1,155 @@
+//! Property tests: sketch guarantees hold on arbitrary insert-only
+//! streams, with exact truth computed by brute force.
+
+use proptest::prelude::*;
+use sprofile_sketches::{CountMinSketch, LossyCounting, MisraGries, Mjrty, SpaceSaving};
+use std::collections::HashMap;
+
+fn truth_map(stream: &[u32]) -> HashMap<u32, u64> {
+    let mut m = HashMap::new();
+    for &x in stream {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Streams with a tunable universe so both the dense (few distinct) and
+/// sparse (mostly distinct) regimes appear.
+fn stream() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        prop::collection::vec(0u32..8, 0..500),
+        prop::collection::vec(0u32..1000, 0..500),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn misra_gries_invariants(s in stream(), k in 1usize..20) {
+        let truth = truth_map(&s);
+        let mut mg = MisraGries::new(k);
+        s.iter().for_each(|&x| mg.observe(x));
+        prop_assert!(mg.candidates().len() <= k);
+        prop_assert_eq!(mg.observed(), s.len() as u64);
+        let bound = s.len() as u64 / (k as u64 + 1);
+        for (&x, &t) in &truth {
+            let e = mg.estimate(x);
+            prop_assert!(e <= t, "overestimate at {}", x);
+            prop_assert!(t - e <= bound, "bound broken at {}: {} > {}", x, t - e, bound);
+        }
+    }
+
+    #[test]
+    fn space_saving_invariants(s in stream(), k in 1usize..20) {
+        let truth = truth_map(&s);
+        let mut ss = SpaceSaving::new(k);
+        s.iter().for_each(|&x| ss.observe(x));
+        ss.assert_consistent();
+        prop_assert!(ss.monitored() <= k);
+        if !s.is_empty() {
+            let bound = s.len() as u64 / k as u64;
+            prop_assert!(ss.min_count() <= s.len() as u64 / k as u64 + 1,
+                "min count {} vs n/k {}", ss.min_count(), bound);
+        }
+        for (&x, &t) in &truth {
+            prop_assert!(ss.estimate(x) >= t, "underestimate at {}", x);
+            prop_assert!(ss.guaranteed(x) <= t, "guarantee broken at {}", x);
+        }
+        // top_k is sorted descending and within capacity.
+        let top = ss.top_k(k);
+        for w in top.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn space_saving_monitors_every_heavy_object(s in stream(), k in 2usize..20) {
+        // Any object with true count > n/k must be monitored.
+        prop_assume!(!s.is_empty());
+        let truth = truth_map(&s);
+        let mut ss = SpaceSaving::new(k);
+        s.iter().for_each(|&x| ss.observe(x));
+        let monitored: Vec<u32> = ss.top_k(k).iter().map(|&(x, _, _)| x).collect();
+        let threshold = s.len() as u64 / k as u64;
+        for (&x, &t) in &truth {
+            if t > threshold {
+                prop_assert!(monitored.contains(&x), "lost heavy object {} ({} > {})", x, t, threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_counting_invariants(s in stream(), denom in 2u64..50) {
+        let eps = 1.0 / denom as f64;
+        let truth = truth_map(&s);
+        let mut lc = LossyCounting::new(eps);
+        s.iter().for_each(|&x| lc.observe(x));
+        let bound = (eps * s.len() as f64).ceil() as u64;
+        for (&x, &t) in &truth {
+            let e = lc.estimate(x);
+            prop_assert!(e <= t, "overestimate at {}", x);
+            prop_assert!(t - e <= bound, "bound broken at {}", x);
+        }
+        prop_assert_eq!(lc.observed(), s.len() as u64);
+    }
+
+    #[test]
+    fn count_min_never_underestimates(s in stream(), seed in 0u64..1000) {
+        let truth = truth_map(&s);
+        let mut cm = CountMinSketch::with_dimensions(64, 4, seed);
+        s.iter().for_each(|&x| cm.observe(x));
+        for (&x, &t) in &truth {
+            prop_assert!(cm.estimate(x) >= t as i64, "underestimate at {}", x);
+        }
+    }
+
+    #[test]
+    fn count_min_add_remove_cancels(adds in stream(), seed in 0u64..1000) {
+        // Feeding +x then −x for every element returns all touched cells
+        // to zero: estimates of touched objects are then ≥ 0 and the
+        // sketch of the empty multiset estimates 0 for every seen object
+        // (cells are shared, but the net content is empty).
+        let mut cm = CountMinSketch::with_dimensions(64, 4, seed);
+        adds.iter().for_each(|&x| cm.observe(x));
+        adds.iter().for_each(|&x| cm.remove(x));
+        for &x in &adds {
+            prop_assert_eq!(cm.estimate(x), 0, "residue at {}", x);
+        }
+    }
+
+    #[test]
+    fn mjrty_finds_any_true_majority(s in stream()) {
+        let truth = truth_map(&s);
+        let mut v = Mjrty::new();
+        s.iter().for_each(|&x| v.observe(x));
+        let majority = truth.iter().find(|&(_, &c)| c * 2 > s.len() as u64);
+        match majority {
+            Some((&x, _)) => {
+                prop_assert_eq!(v.candidate(), Some(x));
+                prop_assert!(v.is_majority(|y| truth.get(&y).copied().unwrap_or(0)));
+            }
+            None => {
+                prop_assert!(!v.is_majority(|y| truth.get(&y).copied().unwrap_or(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn merged_misra_gries_covers_concatenation(a in stream(), b in stream(), k in 2usize..16) {
+        let mut whole: Vec<u32> = a.clone();
+        whole.extend_from_slice(&b);
+        let truth = truth_map(&whole);
+        let mut ma = MisraGries::new(k);
+        let mut mb = MisraGries::new(k);
+        a.iter().for_each(|&x| ma.observe(x));
+        b.iter().for_each(|&x| mb.observe(x));
+        ma.merge(&mb);
+        let bound = whole.len() as u64 / (k as u64 + 1) * 2; // merge doubles slack at worst
+        for (&x, &t) in &truth {
+            let e = ma.estimate(x);
+            prop_assert!(e <= t, "merge overestimated {}", x);
+            prop_assert!(t - e <= bound, "merge bound broken at {}: {} > {}", x, t - e, bound);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Adversarial / worst-case stream patterns.
+//!
+//! Random streams (the paper's §3) rarely trigger worst-case behaviour:
+//! "for the worst case updating the heap needs O(log m) time, despite this
+//! rarely happens in our tested streams". These deterministic patterns
+//! exercise exactly those corners — deep heap sifts, maximal block churn,
+//! maximal block *count* — for both testing and the ablation benches.
+
+use crate::stream::Event;
+
+/// The built-in adversarial patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversarialKind {
+    /// Every event adds the same object: its frequency races ahead, and a
+    /// heap sift terminates immediately — the *best* case for the heap —
+    /// while S-Profile churns a singleton block per update.
+    SingleObject,
+    /// `add(x)` then `remove(x)` forever on one object: maximal block
+    /// create/free churn at a block boundary.
+    Seesaw,
+    /// Round-robin adds over all m objects: frequencies stay uniform, the
+    /// sorted array is one giant block that every update splits and
+    /// re-merges.
+    RoundRobin,
+    /// Builds the all-distinct "staircase" (object i reaches frequency
+    /// i+1) then tears it down, maximising the number of live blocks (m)
+    /// and forcing the deepest heap sifts: each add of the currently
+    /// most-frequent object must sift from its leaf to the root.
+    Staircase,
+    /// Alternates adds of the currently least- and most-frequent objects
+    /// (objects 0 and m−1 after a warmup), bouncing updates between both
+    /// ends of the sorted order.
+    PingPong,
+}
+
+impl AdversarialKind {
+    /// All pattern kinds, for exhaustive testing/benching.
+    pub const ALL: [AdversarialKind; 5] = [
+        AdversarialKind::SingleObject,
+        AdversarialKind::Seesaw,
+        AdversarialKind::RoundRobin,
+        AdversarialKind::Staircase,
+        AdversarialKind::PingPong,
+    ];
+
+    /// Short name for harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversarialKind::SingleObject => "single-object",
+            AdversarialKind::Seesaw => "seesaw",
+            AdversarialKind::RoundRobin => "round-robin",
+            AdversarialKind::Staircase => "staircase",
+            AdversarialKind::PingPong => "ping-pong",
+        }
+    }
+
+    /// Creates the infinite event iterator for this pattern over `0..m`.
+    ///
+    /// # Panics
+    /// If `m == 0`.
+    pub fn stream(self, m: u32) -> AdversarialStream {
+        assert!(m > 0, "adversarial stream needs a non-empty universe");
+        AdversarialStream {
+            kind: self,
+            m,
+            step: 0,
+            stair_phase: 0,
+            stair_obj: 0,
+            stair_emitted: 0,
+        }
+    }
+}
+
+/// Deterministic infinite iterator for an [`AdversarialKind`].
+#[derive(Clone, Debug)]
+pub struct AdversarialStream {
+    kind: AdversarialKind,
+    m: u32,
+    step: u64,
+    // Incremental staircase cursor (O(1) per event): which build/tear-down
+    // phase we are in, the current object, and how many of its events have
+    // been emitted this phase.
+    stair_phase: u64,
+    stair_obj: u32,
+    stair_emitted: u32,
+}
+
+impl Iterator for AdversarialStream {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        let m = self.m as u64;
+        let s = self.step;
+        self.step += 1;
+        let e = match self.kind {
+            AdversarialKind::SingleObject => Event::add(0),
+            AdversarialKind::Seesaw => {
+                if s.is_multiple_of(2) {
+                    Event::add(0)
+                } else {
+                    Event::remove(0)
+                }
+            }
+            AdversarialKind::RoundRobin => Event::add((s % m) as u32),
+            AdversarialKind::Staircase => {
+                // One full build phase has m(m+1)/2 adds: object i is added
+                // i+1 times (ascending). Then a tear-down phase of the same
+                // length removes them in the same order. Repeats. The
+                // cursor below advances in O(1) per event.
+                let obj = self.stair_obj;
+                let event = if self.stair_phase.is_multiple_of(2) {
+                    Event::add(obj)
+                } else {
+                    // Tear-down mirrors the build: object i received i+1
+                    // adds, so it receives i+1 removes.
+                    Event::remove(obj)
+                };
+                self.stair_emitted += 1;
+                if self.stair_emitted == self.stair_obj + 1 {
+                    self.stair_emitted = 0;
+                    self.stair_obj += 1;
+                    if self.stair_obj == self.m {
+                        self.stair_obj = 0;
+                        self.stair_phase += 1;
+                    }
+                }
+                event
+            }
+            AdversarialKind::PingPong => {
+                if s.is_multiple_of(2) {
+                    Event::add(0)
+                } else {
+                    Event::add((m - 1) as u32)
+                }
+            }
+        };
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprofile::{verify::check_invariants, SProfile};
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = AdversarialKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), AdversarialKind::ALL.len());
+    }
+
+    #[test]
+    fn single_object_only_touches_object_zero() {
+        for e in AdversarialKind::SingleObject.stream(5).take(100) {
+            assert_eq!(e.object, 0);
+            assert!(e.is_add);
+        }
+    }
+
+    #[test]
+    fn seesaw_keeps_frequency_bounded() {
+        let mut p = SProfile::new(3);
+        for e in AdversarialKind::Seesaw.stream(3).take(1000) {
+            e.apply_to(&mut p);
+            assert!(p.frequency(0) == 0 || p.frequency(0) == 1);
+        }
+        check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn round_robin_keeps_frequencies_within_one() {
+        let m = 7u32;
+        let mut p = SProfile::new(m);
+        for e in AdversarialKind::RoundRobin.stream(m).take(500) {
+            e.apply_to(&mut p);
+            let max = p.mode().unwrap().frequency;
+            let min = p.least().unwrap().frequency;
+            assert!(max - min <= 1, "spread {}", max - min);
+        }
+        check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn staircase_build_phase_reaches_m_blocks() {
+        let m = 10u32;
+        let phase_len = (m * (m + 1) / 2) as usize;
+        let mut p = SProfile::new(m);
+        for e in AdversarialKind::Staircase.stream(m).take(phase_len) {
+            e.apply_to(&mut p);
+        }
+        // After the build phase frequencies are 1..=m: all distinct → m
+        // blocks, the structure's worst case.
+        assert_eq!(p.num_blocks(), m);
+        for i in 0..m {
+            assert_eq!(p.frequency(i), i as i64 + 1);
+        }
+        check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn staircase_tear_down_returns_to_zero() {
+        let m = 8u32;
+        let phase_len = (m * (m + 1) / 2) as usize;
+        let mut p = SProfile::new(m);
+        for e in AdversarialKind::Staircase.stream(m).take(2 * phase_len) {
+            e.apply_to(&mut p);
+        }
+        for i in 0..m {
+            assert_eq!(p.frequency(i), 0, "object {i}");
+        }
+        assert_eq!(p.num_blocks(), 1);
+        check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn ping_pong_splits_between_ends() {
+        let m = 6u32;
+        let mut p = SProfile::new(m);
+        for e in AdversarialKind::PingPong.stream(m).take(100) {
+            e.apply_to(&mut p);
+        }
+        assert_eq!(p.frequency(0), 50);
+        assert_eq!(p.frequency(m - 1), 50);
+        check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn all_patterns_preserve_invariants_long_run() {
+        for kind in AdversarialKind::ALL {
+            let m = 9u32;
+            let mut p = SProfile::new(m);
+            for e in kind.stream(m).take(3000) {
+                e.apply_to(&mut p);
+            }
+            check_invariants(&p).unwrap_or_else(|err| panic!("{}: {err}", kind.name()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty universe")]
+    fn zero_universe_rejected() {
+        let _ = AdversarialKind::Seesaw.stream(0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Bursty (Markov-modulated) streams.
+//!
+//! Real log streams are bursty: a flash-crowd object dominates for a
+//! while, then attention moves on. This generator switches between a
+//! "calm" regime (base distribution) and a "burst" regime (all adds hit
+//! one hot object) according to a two-state Markov chain — a workload
+//! class the paper motivates ("most popular objects ... at any time") but
+//! does not generate explicitly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{Pdf, Sampler};
+use crate::stream::Event;
+
+/// Configuration of a two-state bursty stream.
+#[derive(Clone, Debug)]
+pub struct BurstyConfig {
+    /// Universe size `m`.
+    pub m: u32,
+    /// Probability an event is an "add".
+    pub add_probability: f64,
+    /// Base distribution used while calm (both adds and removes).
+    pub base: Pdf,
+    /// Per-event probability of entering a burst while calm.
+    pub burst_start: f64,
+    /// Per-event probability of leaving a burst while bursting.
+    pub burst_stop: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BurstyConfig {
+    /// A reasonable default: uniform base, bursts averaging 1/stop events.
+    pub fn uniform(m: u32, seed: u64) -> Self {
+        BurstyConfig {
+            m,
+            add_probability: 0.7,
+            base: Pdf::Uniform,
+            burst_start: 0.001,
+            burst_stop: 0.01,
+            seed,
+        }
+    }
+
+    /// Builds the generator.
+    pub fn generator(&self) -> BurstyStream {
+        BurstyStream::new(self.clone())
+    }
+}
+
+/// Infinite bursty event iterator.
+#[derive(Clone, Debug)]
+pub struct BurstyStream {
+    config: BurstyConfig,
+    rng: StdRng,
+    base: Sampler,
+    /// `Some(hot_object)` while bursting.
+    burst: Option<u32>,
+    bursts_started: u64,
+}
+
+impl BurstyStream {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    /// If the probabilities are outside `[0, 1]` or `m == 0`.
+    pub fn new(config: BurstyConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.add_probability));
+        assert!((0.0..=1.0).contains(&config.burst_start));
+        assert!((0.0..=1.0).contains(&config.burst_stop));
+        let rng = StdRng::seed_from_u64(config.seed);
+        let base = Sampler::new(config.base, config.m);
+        BurstyStream {
+            config,
+            rng,
+            base,
+            burst: None,
+            bursts_started: 0,
+        }
+    }
+
+    /// Whether the stream is currently inside a burst.
+    pub fn in_burst(&self) -> bool {
+        self.burst.is_some()
+    }
+
+    /// How many bursts have started so far.
+    pub fn bursts_started(&self) -> u64 {
+        self.bursts_started
+    }
+}
+
+impl Iterator for BurstyStream {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        // Regime transition.
+        match self.burst {
+            None => {
+                if self.rng.gen::<f64>() < self.config.burst_start {
+                    self.burst = Some(self.rng.gen_range(0..self.config.m));
+                    self.bursts_started += 1;
+                }
+            }
+            Some(_) => {
+                if self.rng.gen::<f64>() < self.config.burst_stop {
+                    self.burst = None;
+                }
+            }
+        }
+        let is_add = self.rng.gen::<f64>() < self.config.add_probability;
+        let object = match (self.burst, is_add) {
+            // During a burst all *adds* pile onto the hot object; removes
+            // still come from the base distribution.
+            (Some(hot), true) => hot,
+            _ => self.base.sample(&mut self.rng),
+        };
+        Some(Event { object, is_add })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprofile::SProfile;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<Event> = BurstyConfig::uniform(50, 3).generator().take(2000).collect();
+        let b: Vec<Event> = BurstyConfig::uniform(50, 3).generator().take(2000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bursts_concentrate_mass() {
+        let mut cfg = BurstyConfig::uniform(1000, 7);
+        cfg.burst_start = 0.01;
+        cfg.burst_stop = 0.005; // long bursts
+        let mut gen = cfg.generator();
+        let mut p = SProfile::new(1000);
+        for _ in 0..50_000 {
+            gen.next().unwrap().apply_to(&mut p);
+        }
+        assert!(gen.bursts_started() >= 1, "expected at least one burst");
+        // The mode should massively exceed the uniform expectation
+        // (~50000*0.7/1000 = 35 adds/object).
+        let mode = p.mode().unwrap();
+        assert!(
+            mode.frequency > 200,
+            "burst should create a dominant mode, got {}",
+            mode.frequency
+        );
+    }
+
+    #[test]
+    fn no_bursts_when_start_probability_zero() {
+        let mut cfg = BurstyConfig::uniform(100, 5);
+        cfg.burst_start = 0.0;
+        let mut gen = cfg.generator();
+        for _ in 0..5000 {
+            let _ = gen.next();
+        }
+        assert_eq!(gen.bursts_started(), 0);
+        assert!(!gen.in_burst());
+    }
+
+    #[test]
+    fn objects_stay_in_range() {
+        for e in BurstyConfig::uniform(13, 11).generator().take(5000) {
+            assert!(e.object < 13);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Object-id probability distributions for stream generation.
+//!
+//! The paper draws object ids from uniform, normal, and lognormal
+//! distributions over `[1, m]` (§3). We implement those from first
+//! principles (Box–Muller for the normal; `exp` of a normal for the
+//! lognormal) plus a bounded-Zipf extension for skewed popularity
+//! workloads, all parameterised in *object-id space* and clamped to
+//! `[0, m)` exactly as the paper's clipped samplers imply.
+
+use rand::Rng;
+
+/// A probability distribution over object ids `0..m`.
+///
+/// All parameters are in object-id units; samples falling outside `[0, m)`
+/// are clamped to the nearest boundary (the paper draws ids from
+/// distributions whose support exceeds `[1, m]`, e.g. σ = m, so clamping
+/// is unavoidable; it concentrates the out-of-range mass at the edges).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pdf {
+    /// Uniform over `0..m`.
+    Uniform,
+    /// Normal with the given mean and standard deviation (object units).
+    Normal {
+        /// Mean object id.
+        mu: f64,
+        /// Standard deviation in object ids.
+        sigma: f64,
+    },
+    /// Lognormal: `exp(N(ln_mu, ln_sigma))`, parameterised directly in
+    /// log space. The paper's Stream3 gives lognormal parameters in object
+    /// units (µ = 3m/5, σ = m) without stating the mapping; we take
+    /// `ln_mu = ln(µ)` and a unit log-σ — see EXPERIMENTS.md for the
+    /// substitution note.
+    LogNormal {
+        /// Mean of the underlying normal (log space).
+        ln_mu: f64,
+        /// Standard deviation of the underlying normal (log space).
+        ln_sigma: f64,
+    },
+    /// Bounded Zipf over `0..m` with the given exponent `s > 0`, sampled
+    /// by continuous inverse-CDF approximation (bounded Pareto rounded to
+    /// integers) — standard for skewed-popularity workload generation.
+    Zipf {
+        /// Skew exponent; larger is more skewed. Must be positive and ≠ 1.
+        exponent: f64,
+    },
+    /// Degenerate distribution: always the same object.
+    Point {
+        /// The constant object id (clamped to `m − 1` if out of range).
+        object: u32,
+    },
+}
+
+/// Stateful sampler for a [`Pdf`] (caches the spare Box–Muller variate).
+#[derive(Clone, Debug)]
+pub struct Sampler {
+    pdf: Pdf,
+    m: u32,
+    spare_normal: Option<f64>,
+}
+
+impl Sampler {
+    /// Creates a sampler for `pdf` over universe `0..m`.
+    ///
+    /// # Panics
+    /// If `m == 0`, if a σ is negative or non-finite, or if a Zipf
+    /// exponent is non-positive or exactly 1.
+    pub fn new(pdf: Pdf, m: u32) -> Self {
+        assert!(m > 0, "cannot sample object ids from an empty universe");
+        match pdf {
+            Pdf::Normal { sigma, mu } => {
+                assert!(sigma.is_finite() && sigma >= 0.0, "bad normal sigma {sigma}");
+                assert!(mu.is_finite(), "bad normal mu {mu}");
+            }
+            Pdf::LogNormal { ln_sigma, ln_mu } => {
+                assert!(
+                    ln_sigma.is_finite() && ln_sigma >= 0.0,
+                    "bad lognormal sigma {ln_sigma}"
+                );
+                assert!(ln_mu.is_finite(), "bad lognormal mu {ln_mu}");
+            }
+            Pdf::Zipf { exponent } => {
+                assert!(
+                    exponent.is_finite() && exponent > 0.0 && exponent != 1.0,
+                    "zipf exponent must be positive and != 1, got {exponent}"
+                );
+            }
+            Pdf::Uniform | Pdf::Point { .. } => {}
+        }
+        Sampler {
+            pdf,
+            m,
+            spare_normal: None,
+        }
+    }
+
+    /// The universe size this sampler draws from.
+    pub fn universe(&self) -> u32 {
+        self.m
+    }
+
+    /// The distribution being sampled.
+    pub fn pdf(&self) -> Pdf {
+        self.pdf
+    }
+
+    /// Draws one object id in `0..m`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u32 {
+        match self.pdf {
+            Pdf::Uniform => rng.gen_range(0..self.m),
+            Pdf::Normal { mu, sigma } => {
+                let z = self.standard_normal(rng);
+                self.clamp(mu + sigma * z)
+            }
+            Pdf::LogNormal { ln_mu, ln_sigma } => {
+                let z = self.standard_normal(rng);
+                self.clamp((ln_mu + ln_sigma * z).exp())
+            }
+            Pdf::Zipf { exponent } => {
+                // Continuous bounded-Pareto inverse CDF on [1, m+1), then
+                // floor − 1 → ids 0..m with P(id=k) ∝ (k+1)^(−s) approx.
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let one_minus_s = 1.0 - exponent;
+                let max = (self.m as f64 + 1.0).powf(one_minus_s);
+                let x = (u * (max - 1.0) + 1.0).powf(1.0 / one_minus_s);
+                let id = (x.floor() as i64 - 1).clamp(0, self.m as i64 - 1);
+                id as u32
+            }
+            Pdf::Point { object } => object.min(self.m - 1),
+        }
+    }
+
+    /// Box–Muller with the spare variate cached.
+    fn standard_normal<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    #[inline]
+    fn clamp(&self, x: f64) -> u32 {
+        if !x.is_finite() || x < 0.0 {
+            return 0;
+        }
+        let id = x.floor() as u64;
+        id.min(self.m as u64 - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(pdf: Pdf, m: u32, n: usize, seed: u64) -> Vec<u64> {
+        let mut s = Sampler::new(pdf, m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = vec![0u64; m as usize];
+        for _ in 0..n {
+            h[s.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_covers_range_evenly() {
+        let m = 16;
+        let n = 64_000;
+        let h = histogram(Pdf::Uniform, m, n, 1);
+        let expected = n as f64 / m as f64;
+        for (i, &c) in h.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "bucket {i}: count {c} vs expected {expected}");
+        }
+    }
+
+    #[test]
+    fn normal_concentrates_around_mu() {
+        let m = 100;
+        let h = histogram(
+            Pdf::Normal { mu: 50.0, sigma: 5.0 },
+            m,
+            50_000,
+            2,
+        );
+        // Mass within ±2σ of the mean should dominate.
+        let near: u64 = h[40..=60].iter().sum();
+        let total: u64 = h.iter().sum();
+        assert!(near as f64 / total as f64 > 0.9);
+        // Empirical mean close to 50.
+        let mean: f64 = h
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as f64 * c as f64)
+            .sum::<f64>()
+            / total as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_clamps_out_of_range_mass_to_edges() {
+        let m = 10;
+        // µ far outside the range: everything clamps to the top id.
+        let h = histogram(
+            Pdf::Normal { mu: 1e9, sigma: 1.0 },
+            m,
+            1000,
+            3,
+        );
+        assert_eq!(h[9], 1000);
+        let h = histogram(
+            Pdf::Normal { mu: -1e9, sigma: 1.0 },
+            m,
+            1000,
+            4,
+        );
+        assert_eq!(h[0], 1000);
+    }
+
+    #[test]
+    fn lognormal_is_skewed_right() {
+        let m = 1000;
+        let h = histogram(
+            Pdf::LogNormal { ln_mu: 3.0, ln_sigma: 1.0 },
+            m,
+            50_000,
+            5,
+        );
+        let total: u64 = h.iter().sum();
+        // Median of LogNormal(3, 1) is e^3 ≈ 20: half the mass below ~20.
+        let below: u64 = h[..21].iter().sum();
+        let frac = below as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.05, "median mass fraction {frac}");
+        // But the tail reaches far beyond the median.
+        let tail: u64 = h[100..].iter().sum();
+        assert!(tail > 0, "lognormal should have a long right tail");
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_decay() {
+        let m = 1000;
+        let h = histogram(Pdf::Zipf { exponent: 1.2 }, m, 100_000, 6);
+        assert!(h[0] > h[9], "rank 0 should beat rank 9");
+        assert!(h[0] > h[99] * 5, "zipf head should dominate deep ranks");
+        // Monotone-ish decay across decades.
+        let d0: u64 = h[..10].iter().sum();
+        let d1: u64 = h[10..100].iter().sum();
+        let d2: u64 = h[100..].iter().sum();
+        assert!(d0 > d1 / 4, "head decade too light: {d0} vs {d1}");
+        let _ = d2;
+    }
+
+    #[test]
+    fn point_always_returns_object() {
+        let h = histogram(Pdf::Point { object: 7 }, 10, 100, 7);
+        assert_eq!(h[7], 100);
+        // Out-of-range point clamps.
+        let h = histogram(Pdf::Point { object: 99 }, 10, 10, 8);
+        assert_eq!(h[9], 10);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = histogram(Pdf::Normal { mu: 5.0, sigma: 2.0 }, 10, 1000, 42);
+        let b = histogram(Pdf::Normal { mu: 5.0, sigma: 2.0 }, 10, 1000, 42);
+        let c = histogram(Pdf::Normal { mu: 5.0, sigma: 2.0 }, 10, 1000, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty universe")]
+    fn zero_universe_rejected() {
+        let _ = Sampler::new(Pdf::Uniform, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent")]
+    fn zipf_exponent_one_rejected() {
+        let _ = Sampler::new(Pdf::Zipf { exponent: 1.0 }, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad normal sigma")]
+    fn negative_sigma_rejected() {
+        let _ = Sampler::new(Pdf::Normal { mu: 0.0, sigma: -1.0 }, 10);
+    }
+
+    #[test]
+    fn all_samples_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for pdf in [
+            Pdf::Uniform,
+            Pdf::Normal { mu: 3.0, sigma: 100.0 },
+            Pdf::LogNormal { ln_mu: 0.0, ln_sigma: 3.0 },
+            Pdf::Zipf { exponent: 2.0 },
+            Pdf::Point { object: 2 },
+        ] {
+            let mut s = Sampler::new(pdf, 7);
+            for _ in 0..2000 {
+                let id = s.sample(&mut rng);
+                assert!(id < 7, "{pdf:?} produced {id}");
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # sprofile-streamgen — synthetic log streams for the S-Profile evaluation
+//!
+//! Reproduces the paper's §3 workload recipe: a 70/30 add/remove coin, an
+//! object-id distribution per action (`posPDF` / `negPDF`), and the three
+//! concrete stream presets:
+//!
+//! * [`StreamConfig::stream1`] — both PDFs uniform on `[0, m)`.
+//! * [`StreamConfig::stream2`] — normals N(2m/3, m/6) and N(m/3, m/6).
+//! * [`StreamConfig::stream3`] — wide normal N(4m/5, m) vs lognormal.
+//!
+//! Beyond the paper: a bounded-Zipf preset, a Markov-modulated
+//! [`BurstyConfig`] generator, and deterministic [`AdversarialKind`]
+//! worst-case patterns used by the ablation benches.
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+mod adversarial;
+mod bursty;
+mod dist;
+mod stream;
+
+pub use adversarial::{AdversarialKind, AdversarialStream};
+pub use bursty::{BurstyConfig, BurstyStream};
+pub use dist::{Pdf, Sampler};
+pub use stream::{drive, Event, StreamConfig, StreamGenerator};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+    use sprofile::SProfile;
+
+    #[test]
+    fn end_to_end_stream_into_profile() {
+        let cfg = StreamConfig::stream2(200, 99);
+        let mut p = SProfile::new(200);
+        let applied = drive(&mut p, cfg.generator(), 10_000);
+        assert_eq!(applied, 10_000);
+        // Stream2 adds concentrate near 2m/3: the mode should sit in the
+        // upper half of the id range.
+        let mode = p.mode().unwrap();
+        assert!(
+            mode.object > 100,
+            "stream2 mode at {} (freq {})",
+            mode.object,
+            mode.frequency
+        );
+        // Removes concentrate near m/3: the least-frequent object should
+        // sit in the lower half, with a negative frequency.
+        let least = p.least().unwrap();
+        assert!(least.object < 100, "least at {}", least.object);
+        assert!(least.frequency < 0);
+    }
+
+    #[test]
+    fn adversarial_and_random_streams_share_event_type() {
+        let mut events: Vec<Event> = AdversarialKind::Seesaw.stream(4).take(10).collect();
+        events.extend(StreamConfig::stream1(4, 1).take_events(10));
+        events.extend(BurstyConfig::uniform(4, 1).generator().take(10));
+        let mut p = SProfile::new(4);
+        for e in &events {
+            e.apply_to(&mut p);
+        }
+        assert_eq!(p.updates(), 30);
+    }
+}

@@ -1,0 +1,325 @@
+//! Log-stream generation: the paper's §3 experimental workloads.
+//!
+//! A stream is an infinite iterator of [`Event`]s. Each event is drawn by
+//! first flipping an add/remove coin (70%/30% in the paper), then sampling
+//! the object id from the action's distribution (`posPDF` for adds,
+//! `negPDF` for removes).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sprofile::FrequencyProfiler;
+
+use crate::dist::{Pdf, Sampler};
+
+/// One log-stream tuple `(x, c)`: object id and add/remove action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Object id in `0..m`.
+    pub object: u32,
+    /// `true` = "add", `false` = "remove".
+    pub is_add: bool,
+}
+
+impl Event {
+    /// Creates an "add" event.
+    pub fn add(object: u32) -> Self {
+        Event { object, is_add: true }
+    }
+
+    /// Creates a "remove" event.
+    pub fn remove(object: u32) -> Self {
+        Event { object, is_add: false }
+    }
+
+    /// Applies this event to any profiler.
+    #[inline]
+    pub fn apply_to<P: FrequencyProfiler + ?Sized>(&self, p: &mut P) {
+        if self.is_add {
+            p.add(self.object);
+        } else {
+            p.remove(self.object);
+        }
+    }
+
+    /// Converts to the core crate's window tuple type.
+    pub fn to_tuple(self) -> sprofile::Tuple {
+        sprofile::Tuple {
+            object: self.object,
+            is_add: self.is_add,
+        }
+    }
+}
+
+/// Full description of a synthetic log stream; see the `stream1/2/3`
+/// constructors for the paper's presets.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Universe size `m`.
+    pub m: u32,
+    /// Probability an event is an "add" (the paper uses 0.7).
+    pub add_probability: f64,
+    /// Distribution of object ids for "add" events (`posPDF`).
+    pub pos: Pdf,
+    /// Distribution of object ids for "remove" events (`negPDF`).
+    pub neg: Pdf,
+    /// RNG seed; identical configs produce identical streams.
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// Paper Stream1: both PDFs uniform on the id range.
+    pub fn stream1(m: u32, seed: u64) -> Self {
+        StreamConfig {
+            m,
+            add_probability: 0.7,
+            pos: Pdf::Uniform,
+            neg: Pdf::Uniform,
+            seed,
+        }
+    }
+
+    /// Paper Stream2: posPDF = N(2m/3, m/6), negPDF = N(m/3, m/6).
+    pub fn stream2(m: u32, seed: u64) -> Self {
+        let mf = m as f64;
+        StreamConfig {
+            m,
+            add_probability: 0.7,
+            pos: Pdf::Normal {
+                mu: 2.0 * mf / 3.0,
+                sigma: mf / 6.0,
+            },
+            neg: Pdf::Normal {
+                mu: mf / 3.0,
+                sigma: mf / 6.0,
+            },
+            seed,
+        }
+    }
+
+    /// Paper Stream3: posPDF = N(4m/5, m), negPDF = lognormal centred at
+    /// 3m/5 (log-space substitution documented in EXPERIMENTS.md).
+    pub fn stream3(m: u32, seed: u64) -> Self {
+        let mf = m as f64;
+        StreamConfig {
+            m,
+            add_probability: 0.7,
+            pos: Pdf::Normal {
+                mu: 4.0 * mf / 5.0,
+                sigma: mf,
+            },
+            neg: Pdf::LogNormal {
+                ln_mu: (3.0 * mf / 5.0).max(1.0).ln(),
+                ln_sigma: 1.0,
+            },
+            seed,
+        }
+    }
+
+    /// Zipf-skewed extension stream (not in the paper): hot-head adds,
+    /// uniform removes — models "likes concentrate, unlikes wander".
+    pub fn zipf(m: u32, exponent: f64, seed: u64) -> Self {
+        StreamConfig {
+            m,
+            add_probability: 0.7,
+            pos: Pdf::Zipf { exponent },
+            neg: Pdf::Uniform,
+            seed,
+        }
+    }
+
+    /// Builds the generator for this config.
+    pub fn generator(&self) -> StreamGenerator {
+        StreamGenerator::new(self.clone())
+    }
+
+    /// Materialises the first `n` events into a vector.
+    pub fn take_events(&self, n: usize) -> Vec<Event> {
+        self.generator().take(n).collect()
+    }
+}
+
+/// Infinite iterator of [`Event`]s for a [`StreamConfig`].
+#[derive(Clone, Debug)]
+pub struct StreamGenerator {
+    config: StreamConfig,
+    rng: StdRng,
+    pos: Sampler,
+    neg: Sampler,
+    produced: u64,
+}
+
+impl StreamGenerator {
+    /// Creates the generator (seeds the RNG from the config).
+    pub fn new(config: StreamConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.add_probability),
+            "add probability {} outside [0, 1]",
+            config.add_probability
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        let pos = Sampler::new(config.pos, config.m);
+        let neg = Sampler::new(config.neg, config.m);
+        StreamGenerator {
+            config,
+            rng,
+            pos,
+            neg,
+            produced: 0,
+        }
+    }
+
+    /// The config that produced this generator.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Number of events produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+impl Iterator for StreamGenerator {
+    type Item = Event;
+
+    #[inline]
+    fn next(&mut self) -> Option<Event> {
+        self.produced += 1;
+        let is_add = self.rng.gen::<f64>() < self.config.add_probability;
+        let object = if is_add {
+            self.pos.sample(&mut self.rng)
+        } else {
+            self.neg.sample(&mut self.rng)
+        };
+        Some(Event { object, is_add })
+    }
+}
+
+/// Feeds the first `n` events of `events` into `profiler`, returning how
+/// many were applied (= `n` unless the iterator ran dry).
+pub fn drive<P, I>(profiler: &mut P, events: I, n: usize) -> usize
+where
+    P: FrequencyProfiler + ?Sized,
+    I: IntoIterator<Item = Event>,
+{
+    let mut applied = 0;
+    for e in events.into_iter().take(n) {
+        e.apply_to(profiler);
+        applied += 1;
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprofile::SProfile;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a = StreamConfig::stream1(100, 7).take_events(500);
+        let b = StreamConfig::stream1(100, 7).take_events(500);
+        let c = StreamConfig::stream1(100, 8).take_events(500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn add_fraction_close_to_config() {
+        for cfg in [
+            StreamConfig::stream1(1000, 1),
+            StreamConfig::stream2(1000, 2),
+            StreamConfig::stream3(1000, 3),
+        ] {
+            let events = cfg.take_events(20_000);
+            let adds = events.iter().filter(|e| e.is_add).count();
+            let frac = adds as f64 / events.len() as f64;
+            assert!(
+                (frac - 0.7).abs() < 0.02,
+                "add fraction {frac} for {:?}",
+                cfg.pos
+            );
+        }
+    }
+
+    #[test]
+    fn all_objects_in_range() {
+        for cfg in [
+            StreamConfig::stream1(37, 1),
+            StreamConfig::stream2(37, 2),
+            StreamConfig::stream3(37, 3),
+            StreamConfig::zipf(37, 1.3, 4),
+        ] {
+            for e in cfg.take_events(5000) {
+                assert!(e.object < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn stream2_adds_and_removes_concentrate_differently() {
+        let m = 3000u32;
+        let events = StreamConfig::stream2(m, 11).take_events(60_000);
+        let add_mean: f64 = {
+            let adds: Vec<u32> = events.iter().filter(|e| e.is_add).map(|e| e.object).collect();
+            adds.iter().map(|&x| x as f64).sum::<f64>() / adds.len() as f64
+        };
+        let rem_mean: f64 = {
+            let rems: Vec<u32> = events.iter().filter(|e| !e.is_add).map(|e| e.object).collect();
+            rems.iter().map(|&x| x as f64).sum::<f64>() / rems.len() as f64
+        };
+        // posPDF centred at 2m/3, negPDF at m/3.
+        assert!(
+            add_mean > rem_mean + m as f64 / 6.0,
+            "add mean {add_mean} vs remove mean {rem_mean}"
+        );
+    }
+
+    #[test]
+    fn drive_applies_events() {
+        let cfg = StreamConfig::stream1(50, 5);
+        let mut p = SProfile::new(50);
+        let applied = drive(&mut p, cfg.generator(), 1000);
+        assert_eq!(applied, 1000);
+        assert_eq!(p.updates(), 1000);
+        // 70/30 split → net length ≈ 400.
+        let net = p.len();
+        assert!((200..=600).contains(&net), "net length {net}");
+    }
+
+    #[test]
+    fn event_apply_and_tuple_conversion() {
+        let mut p = SProfile::new(4);
+        Event::add(2).apply_to(&mut p);
+        Event::add(2).apply_to(&mut p);
+        Event::remove(2).apply_to(&mut p);
+        assert_eq!(p.frequency(2), 1);
+        let t = Event::remove(3).to_tuple();
+        assert_eq!(t.object, 3);
+        assert!(!t.is_add);
+    }
+
+    #[test]
+    fn generator_produced_counter() {
+        let mut g = StreamConfig::stream1(10, 1).generator();
+        assert_eq!(g.produced(), 0);
+        let _ = g.next();
+        let _ = g.next();
+        assert_eq!(g.produced(), 2);
+        assert_eq!(g.config().m, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_add_probability_rejected() {
+        let cfg = StreamConfig {
+            m: 10,
+            add_probability: 1.5,
+            pos: Pdf::Uniform,
+            neg: Pdf::Uniform,
+            seed: 0,
+        };
+        let _ = cfg.generator();
+    }
+}

@@ -1,0 +1,99 @@
+//! Multi-threaded ingestion: eight producer threads feeding one profile.
+//!
+//! Compares the two concurrency adapters on the same workload — the
+//! sharded multi-writer profile and the channel-fed single-writer
+//! pipeline — and verifies they agree with a sequential replay.
+//!
+//! Run with: `cargo run --release --example concurrent_pipeline`
+
+use sprofile::SProfile;
+use sprofile_concurrent::{PipelineProfiler, ShardedProfile};
+use sprofile_streamgen::StreamConfig;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+fn main() {
+    let m = 100_000;
+    let threads = 8;
+    let events_per_thread = 250_000;
+
+    // Each thread replays its own deterministic stream preset.
+    fn make_events(m: u32, t: u64, n: usize) -> Vec<sprofile_streamgen::Event> {
+        StreamConfig::stream2(m, 1000 + t).take_events(n)
+    }
+
+    // --- sharded: writers lock one shard per update -------------------
+    let sharded = Arc::new(ShardedProfile::new(m, 16));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let sp = Arc::clone(&sharded);
+            thread::spawn(move || {
+                for ev in make_events(m, t, events_per_thread) {
+                    if ev.is_add {
+                        sp.add(ev.object);
+                    } else {
+                        sp.remove(ev.object);
+                    }
+                }
+            })
+        })
+        .collect();
+    handles.into_iter().for_each(|h| h.join().unwrap());
+    let sharded_time = start.elapsed();
+
+    // --- pipeline: writers send, one owner thread applies -------------
+    let pipeline = PipelineProfiler::spawn(m);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let h = pipeline.handle();
+            thread::spawn(move || {
+                for ev in make_events(m, t, events_per_thread) {
+                    if ev.is_add {
+                        h.add(ev.object);
+                    } else {
+                        h.remove(ev.object);
+                    }
+                }
+                h.flush();
+            })
+        })
+        .collect();
+    handles.into_iter().for_each(|h| h.join().unwrap());
+    let pipeline_time = start.elapsed();
+    let h = pipeline.handle();
+    let pipeline_mode = h.mode().expect("non-empty universe");
+
+    // --- sequential ground truth ---------------------------------------
+    let mut seq = SProfile::new(m);
+    for t in 0..threads {
+        for ev in make_events(m, t, events_per_thread) {
+            if ev.is_add {
+                seq.add(ev.object);
+            } else {
+                seq.remove(ev.object);
+            }
+        }
+    }
+
+    let total = threads as usize * events_per_thread;
+    println!("{total} events over {threads} threads, m = {m}:\n");
+    println!("  sharded (16 shards): {sharded_time:?}");
+    println!("  pipeline (1 owner) : {pipeline_time:?}\n");
+
+    let sm = sharded.mode().expect("non-empty universe");
+    let tm = seq.mode().expect("non-empty universe");
+    println!("  sharded  mode freq : {}", sm.1);
+    println!("  pipeline mode freq : {}", pipeline_mode.1);
+    println!("  sequential mode    : {}", tm.frequency);
+    assert_eq!(sm.1, tm.frequency);
+    assert_eq!(pipeline_mode.1, tm.frequency);
+    assert_eq!(sharded.count_at_least(1), seq.count_at_least(1));
+    assert_eq!(h.count_at_least(1), seq.count_at_least(1));
+    println!("\n  all three agree ✓");
+
+    drop(h);
+    pipeline.shutdown();
+}

@@ -1,0 +1,64 @@
+//! LFU caching and rate limiting built on the profile.
+//!
+//! Runs a Zipf-skewed request trace through the [`sprofile_apps::LfuCache`]
+//! (eviction = the profile's O(1) least-frequent query) and a per-client
+//! sliding-window rate limiter (paper §2.3 window adapter).
+//!
+//! Run with: `cargo run --release --example lfu_cache`
+
+use sprofile_apps::{LfuCache, SlidingWindowRateLimiter};
+use sprofile_streamgen::{Pdf, Sampler};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- LFU cache under a skewed object popularity -------------------
+    let universe = 10_000u32;
+    let mut requests = Sampler::new(Pdf::Zipf { exponent: 1.1 }, universe);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut cache: LfuCache<u32, String> = LfuCache::new(256);
+    const N: usize = 200_000;
+    for _ in 0..N {
+        let object = requests.sample(&mut rng);
+        if cache.get(&object).is_none() {
+            // Miss: fetch from the "backend" and insert (maybe evicting).
+            cache.put(object, format!("payload-{object}"));
+        }
+    }
+    let (hits, misses, evictions) = cache.stats();
+    println!(
+        "LFU cache (256 slots, {universe}-object Zipf trace, {N} requests):"
+    );
+    println!(
+        "  hit rate {:.1}%  ({hits} hits / {misses} misses, {evictions} evictions)",
+        100.0 * hits as f64 / (hits + misses) as f64
+    );
+    println!("  hottest cached objects: {:?}\n", cache.top_k(5));
+
+    // --- Exact sliding-window rate limiting ---------------------------
+    let mut limiter: SlidingWindowRateLimiter<String> =
+        SlidingWindowRateLimiter::new(1_000, 5, 100); // 5 requests / 100 ticks
+    let mut clients = Sampler::new(Pdf::Zipf { exponent: 1.3 }, 1_000);
+    let mut allowed = 0u64;
+    let mut limited = 0u64;
+    for now in 0..50_000u64 {
+        let client = format!("client-{}", clients.sample(&mut rng));
+        if limiter.check(client, now).is_allowed() {
+            allowed += 1;
+        } else {
+            limited += 1;
+        }
+    }
+    println!("rate limiter (5 per 100 ticks, Zipf clients, 50k requests):");
+    println!("  allowed {allowed}, limited {limited}");
+    println!(
+        "  heaviest clients right now: {:?}",
+        limiter
+            .heaviest(3)
+            .into_iter()
+            .map(|(k, f)| (k.clone(), f))
+            .collect::<Vec<_>>()
+    );
+}

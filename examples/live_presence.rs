@@ -1,0 +1,61 @@
+//! Live-channel presence: the paper's "enter/exit live video channels"
+//! workload (§1), served by the PresenceTracker application.
+//!
+//! Simulates an evening of viewers hopping between channels and prints
+//! the live dashboard a few times: busiest channel, top-5, audience
+//! median, and the audience-size distribution.
+//!
+//! Run with: `cargo run --release --example live_presence`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sprofile_apps::PresenceTracker;
+
+fn dashboard(t: &PresenceTracker, label: &str) {
+    println!("== {label} ==");
+    match t.busiest() {
+        Some((c, a)) => println!("  busiest channel : #{c} with {a} viewers"),
+        None => println!("  busiest channel : (everyone is asleep)"),
+    }
+    println!("  top-5           : {:?}", t.top_channels(5));
+    println!("  median audience : {:?}", t.median_audience());
+    println!("  channels ≥ 100  : {}", t.channels_with_at_least(100));
+    println!("  viewers online  : {}\n", t.viewers());
+}
+
+fn main() {
+    let channels = 1_000;
+    let viewers = 50_000u64;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut t = PresenceTracker::new(channels);
+
+    // Prime time: everyone piles into low-numbered channels (popularity
+    // is roughly geometric).
+    for v in 0..viewers {
+        let c = (rng.gen::<f64>().powi(3) * channels as f64) as u32;
+        t.enter(v, c.min(channels - 1));
+    }
+    dashboard(&t, "prime time");
+
+    // A big event starts on channel 777: 30% of everyone switches.
+    for v in 0..viewers {
+        if rng.gen_bool(0.3) {
+            t.enter(v, 777);
+        }
+    }
+    dashboard(&t, "breaking event on #777");
+
+    // The event ends: its audience leaves or drifts back.
+    for v in 0..viewers {
+        if t.channel_of(v) == Some(777) {
+            if rng.gen_bool(0.5) {
+                t.exit(v);
+            } else {
+                t.enter(v, rng.gen_range(0..channels));
+            }
+        }
+    }
+    dashboard(&t, "after the event");
+
+    println!("processed {} events total", t.events());
+}

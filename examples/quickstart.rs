@@ -1,0 +1,65 @@
+//! Quickstart: profile a small log stream and ask every kind of question.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sprofile::{Multiset, SProfile};
+
+fn main() {
+    // A universe of 10 objects (say, 10 videos users can like/unlike).
+    let mut profile = SProfile::new(10);
+
+    // A hand-written log stream: (video, like/unlike).
+    let log: &[(u32, bool)] = &[
+        (3, true),
+        (3, true),
+        (7, true),
+        (3, true),
+        (1, true),
+        (7, true),
+        (3, false), // someone un-liked video 3
+        (5, true),
+        (7, true),
+        (7, true),
+    ];
+    for &(video, like) in log {
+        if like {
+            profile.add(video);
+        } else {
+            profile.remove(video);
+        }
+    }
+
+    // Every statistic below is O(1) (top-K is O(K)).
+    let mode = profile.mode().expect("non-empty universe");
+    println!(
+        "most liked video: #{} with {} net likes ({} video(s) tied)",
+        mode.object, mode.frequency, mode.count
+    );
+
+    println!("top-3: {:?}", profile.top_k(3));
+    println!("median net likes over all videos: {}", profile.median().unwrap());
+    println!(
+        "2nd-highest like count: {}",
+        profile.kth_largest(2).unwrap().1
+    );
+    println!("videos with >= 2 likes: {}", profile.count_at_least(2));
+    println!("histogram (likes -> #videos): {:?}", profile.histogram());
+
+    let summary = profile.summary().unwrap();
+    println!(
+        "distribution: mean {:.2}, std {:.2}, entropy {:.3} nats, gini {:.3}",
+        summary.mean,
+        summary.std_dev(),
+        summary.entropy,
+        summary.gini
+    );
+
+    // Strict multiset semantics: unliking an never-liked video is an error
+    // instead of a negative count.
+    let mut counts = Multiset::new(10);
+    counts.insert(3);
+    match counts.try_remove(4) {
+        Err(e) => println!("strict mode rejects bad removes: {e}"),
+        Ok(_) => unreachable!(),
+    }
+}

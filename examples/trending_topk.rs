@@ -1,0 +1,51 @@
+//! Live trending leaderboard over a bursty like/unlike stream.
+//!
+//! Demonstrates the paper's motivating scenario (§1): "How can we
+//! efficiently know the most popular objects ... in a fast and large log
+//! stream at any time?" — with arbitrary string keys via
+//! [`GrowableProfile`] and a Markov-modulated bursty workload.
+//!
+//! Run with: `cargo run --release --example trending_topk`
+
+use sprofile::GrowableProfile;
+use sprofile_streamgen::{BurstyConfig, Pdf};
+
+fn main() {
+    // 500 distinct hashtags; bursts make one tag dominate for a while.
+    let m = 500u32;
+    let mut cfg = BurstyConfig::uniform(m, 2024);
+    cfg.base = Pdf::Zipf { exponent: 1.1 }; // organic popularity is skewed
+    cfg.burst_start = 0.002;
+    cfg.burst_stop = 0.004;
+
+    let mut trending: GrowableProfile<String> = GrowableProfile::with_capacity(m);
+    let mut stream = cfg.generator();
+
+    const TOTAL: usize = 200_000;
+    const REPORT_EVERY: usize = 50_000;
+
+    for step in 1..=TOTAL {
+        let e = stream.next().expect("infinite stream");
+        let tag = format!("#tag{:03}", e.object);
+        if e.is_add {
+            trending.add(tag);
+        } else {
+            trending.remove(tag);
+        }
+
+        if step % REPORT_EVERY == 0 {
+            println!("after {step} events (bursts so far: {}):", stream.bursts_started());
+            for (rank, (tag, score)) in trending.top_k(5).into_iter().enumerate() {
+                println!("  {}. {tag:10} net score {score}", rank + 1);
+            }
+            let (top_tag, top_score) = trending.mode().expect("events seen");
+            println!("  mode check: {top_tag} @ {top_score}\n");
+        }
+    }
+
+    println!(
+        "distinct tags seen: {} (profile capacity grew to {})",
+        trending.num_keys(),
+        trending.capacity()
+    );
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration: the concurrency adapters must agree with the
+//! sequential S-Profile *and* with the baseline structures on the same
+//! streams, regardless of thread interleaving.
+
+use sprofile::{FrequencyProfiler, RankQueries, SProfile};
+use sprofile_baselines::{MaxHeapProfiler, TreapProfiler};
+use sprofile_concurrent::{PipelineProfiler, ShardedProfile};
+use sprofile_streamgen::{Event, StreamConfig};
+use std::sync::Arc;
+use std::thread;
+
+const M: u32 = 5_000;
+
+fn streams(n: usize) -> Vec<Vec<Event>> {
+    vec![
+        StreamConfig::stream1(M, 1).take_events(n),
+        StreamConfig::stream2(M, 2).take_events(n),
+        StreamConfig::stream3(M, 3).take_events(n),
+    ]
+}
+
+/// Replay all chunks sequentially into a fresh profiler.
+fn sequential<P: FrequencyProfiler>(mut p: P, chunks: &[Vec<Event>]) -> P {
+    for chunk in chunks {
+        for ev in chunk {
+            ev.apply_to(&mut p);
+        }
+    }
+    p
+}
+
+#[test]
+fn sharded_agrees_with_sequential_heap_and_tree() {
+    let chunks = streams(30_000);
+    let seq = sequential(SProfile::new(M), &chunks);
+    let heap = sequential(MaxHeapProfiler::new(M), &chunks);
+    let treap = sequential(TreapProfiler::new(M), &chunks);
+
+    let sharded = Arc::new(ShardedProfile::new(M, 8));
+    let handles: Vec<_> = chunks
+        .iter()
+        .cloned()
+        .map(|chunk| {
+            let sp = Arc::clone(&sharded);
+            thread::spawn(move || {
+                for ev in chunk {
+                    if ev.is_add {
+                        sp.add(ev.object);
+                    } else {
+                        sp.remove(ev.object);
+                    }
+                }
+            })
+        })
+        .collect();
+    handles.into_iter().for_each(|h| h.join().unwrap());
+
+    for x in 0..M {
+        assert_eq!(sharded.frequency(x), seq.frequency(x), "object {x}");
+    }
+    let mode_f = seq.mode().map(|e| e.frequency).unwrap();
+    assert_eq!(sharded.mode().unwrap().1, mode_f);
+    assert_eq!(FrequencyProfiler::mode(&heap).unwrap().1, mode_f);
+    assert_eq!(FrequencyProfiler::mode(&treap).unwrap().1, mode_f);
+    assert_eq!(
+        sharded.count_at_least(3),
+        RankQueries::count_at_least(&treap, 3)
+    );
+    // The merged snapshot is a full S-Profile: rank queries line up too.
+    let snap = sharded.snapshot();
+    assert_eq!(snap.median(), seq.median());
+    for k in [1u32, 2, 10, 100, M] {
+        assert_eq!(
+            snap.kth_largest(k).unwrap().1,
+            seq.kth_largest(k).unwrap().1,
+            "k = {k}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_agrees_with_sequential_under_producer_races() {
+    let chunks = streams(30_000);
+    let seq = sequential(SProfile::new(M), &chunks);
+
+    let pipe = PipelineProfiler::spawn(M);
+    let handles: Vec<_> = chunks
+        .iter()
+        .cloned()
+        .map(|chunk| {
+            let h = pipe.handle();
+            thread::spawn(move || {
+                for ev in chunk {
+                    if ev.is_add {
+                        h.add(ev.object);
+                    } else {
+                        h.remove(ev.object);
+                    }
+                }
+                h.flush()
+            })
+        })
+        .collect();
+    handles.into_iter().for_each(|h| {
+        h.join().unwrap();
+    });
+
+    let h = pipe.handle();
+    assert_eq!(h.flush(), 3 * 30_000);
+    assert_eq!(h.mode().unwrap().1, seq.mode().unwrap().frequency);
+    assert_eq!(h.median(), seq.median());
+    assert_eq!(h.count_at_least(1), seq.count_at_least(1));
+    for x in (0..M).step_by(97) {
+        assert_eq!(h.frequency(x), seq.frequency(x), "object {x}");
+    }
+    // Top-K frequencies (objects may tie-order differently).
+    let top: Vec<i64> = h.top_k(20).iter().map(|&(_, f)| f).collect();
+    let seq_top: Vec<i64> = seq.top_k(20).iter().map(|&(_, f)| f).collect();
+    assert_eq!(top, seq_top);
+    drop(h);
+    pipe.shutdown();
+}
+
+#[test]
+fn sharded_shard_count_does_not_change_answers() {
+    let chunks = streams(10_000);
+    let mut answers = Vec::new();
+    for shards in [1usize, 2, 7, 32] {
+        let sp = ShardedProfile::new(M, shards);
+        for chunk in &chunks {
+            for ev in chunk {
+                if ev.is_add {
+                    sp.add(ev.object);
+                } else {
+                    sp.remove(ev.object);
+                }
+            }
+        }
+        answers.push((
+            sp.mode().unwrap(),
+            sp.least().unwrap().1,
+            sp.count_at_least(2),
+            sp.len(),
+        ));
+    }
+    for w in answers.windows(2) {
+        assert_eq!(w[0], w[1], "answers depend on shard count");
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration: the S-Profile core, every baseline, and the
+//! stream generators working together. Long realistic streams, all
+//! structures must agree on every statistic at every checkpoint.
+
+use sprofile::{FrequencyProfiler, RankQueries, SProfile};
+use sprofile_baselines::{
+    AvlProfiler, BTreeProfiler, BucketProfiler, HashRunProfiler, MaxHeapProfiler, Oracle,
+    SortedVecProfiler, TreapProfiler,
+};
+use sprofile_streamgen::{AdversarialKind, Event, StreamConfig};
+
+fn check_all_agree(events: impl Iterator<Item = Event>, m: u32, checkpoint: usize, label: &str) {
+    let mut oracle = Oracle::new(m);
+    let mut sp = SProfile::new(m);
+    let mut heap = MaxHeapProfiler::new(m);
+    let mut treap = TreapProfiler::new(m);
+    let mut avl = AvlProfiler::new(m);
+    let mut btree = BTreeProfiler::new(m);
+    let mut sv = SortedVecProfiler::new(m);
+    let mut bucket = BucketProfiler::new(m);
+    let mut hashrun = HashRunProfiler::new(m);
+
+    for (i, e) in events.enumerate() {
+        e.apply_to(&mut oracle);
+        e.apply_to(&mut sp);
+        e.apply_to(&mut heap);
+        e.apply_to(&mut treap);
+        e.apply_to(&mut avl);
+        e.apply_to(&mut btree);
+        e.apply_to(&mut sv);
+        e.apply_to(&mut bucket);
+        e.apply_to(&mut hashrun);
+
+        if (i + 1) % checkpoint != 0 {
+            continue;
+        }
+        let want_mode = oracle.mode().unwrap().1;
+        let want_least = oracle.least().unwrap().1;
+        let want_median = oracle.median_frequency();
+
+        assert_eq!(heap.mode().unwrap().1, want_mode, "{label}@{i}: heap mode");
+        let rankers: [&dyn RankQueries; 7] = [&sp, &treap, &avl, &btree, &sv, &bucket, &hashrun];
+        for p in rankers {
+            assert_eq!(p.mode().unwrap().1, want_mode, "{label}@{i}: {} mode", p.name());
+            assert_eq!(p.least().unwrap().1, want_least, "{label}@{i}: {} least", p.name());
+            assert_eq!(p.median_frequency(), want_median, "{label}@{i}: {} median", p.name());
+            for k in [1u32, m / 3 + 1, m] {
+                assert_eq!(
+                    p.kth_largest_frequency(k),
+                    oracle.kth_largest_frequency(k),
+                    "{label}@{i}: {} k={k}",
+                    p.name()
+                );
+            }
+        }
+        sprofile::verify::check_invariants(&sp).unwrap();
+    }
+}
+
+#[test]
+fn paper_streams_agree_across_all_structures() {
+    let m = 40u32;
+    check_all_agree(
+        StreamConfig::stream1(m, 101).generator().take(6_000),
+        m,
+        500,
+        "stream1",
+    );
+    check_all_agree(
+        StreamConfig::stream2(m, 102).generator().take(6_000),
+        m,
+        500,
+        "stream2",
+    );
+    check_all_agree(
+        StreamConfig::stream3(m, 103).generator().take(6_000),
+        m,
+        500,
+        "stream3",
+    );
+}
+
+#[test]
+fn skewed_and_bursty_streams_agree() {
+    let m = 25u32;
+    check_all_agree(
+        StreamConfig::zipf(m, 1.5, 7).generator().take(5_000),
+        m,
+        250,
+        "zipf",
+    );
+    let bursty = sprofile_streamgen::BurstyConfig::uniform(m, 9)
+        .generator()
+        .take(5_000);
+    check_all_agree(bursty, m, 250, "bursty");
+}
+
+#[test]
+fn adversarial_patterns_agree() {
+    for kind in AdversarialKind::ALL {
+        let m = 12u32;
+        check_all_agree(kind.stream(m).take(2_000), m, 100, kind.name());
+    }
+}
+
+#[test]
+fn checkpointed_snapshot_equals_rebuild() {
+    // Snapshot-restore: a profile cloned mid-stream and a fresh profile
+    // built from its frequencies must behave identically afterwards.
+    let m = 60u32;
+    let events: Vec<Event> = StreamConfig::stream2(m, 55).take_events(4_000);
+    let mut live = SProfile::new(m);
+    for e in &events[..2_000] {
+        e.apply_to(&mut live);
+    }
+    let freqs = sprofile::verify::derive_frequencies(&live);
+    let mut rebuilt = SProfile::from_frequencies(&freqs);
+    for e in &events[2_000..] {
+        e.apply_to(&mut live);
+        e.apply_to(&mut rebuilt);
+    }
+    assert_eq!(
+        sprofile::verify::derive_frequencies(&live),
+        sprofile::verify::derive_frequencies(&rebuilt)
+    );
+    assert_eq!(live.mode(), rebuilt.mode());
+    assert_eq!(live.median(), rebuilt.median());
+    assert_eq!(live.num_blocks(), rebuilt.num_blocks());
+}
+
+#[test]
+fn trait_objects_compose_across_crates() {
+    // The harness pattern: drive heterogeneous structures through the
+    // trait object interface.
+    let m = 10u32;
+    let mut structures: Vec<Box<dyn FrequencyProfiler>> = vec![
+        Box::new(SProfile::new(m)),
+        Box::new(MaxHeapProfiler::new(m)),
+        Box::new(TreapProfiler::new(m)),
+        Box::new(BucketProfiler::new(m)),
+    ];
+    for e in StreamConfig::stream1(m, 77).generator().take(1_000) {
+        for s in structures.iter_mut() {
+            e.apply_to(s.as_mut());
+        }
+    }
+    let modes: Vec<i64> = structures.iter().map(|s| s.mode().unwrap().1).collect();
+    assert!(modes.windows(2).all(|w| w[0] == w[1]), "modes diverged: {modes:?}");
+}

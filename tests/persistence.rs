@@ -1,0 +1,79 @@
+//! Integration: snapshot persistence through a real file, across the
+//! stream-generator and window layers.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use sprofile::{verify, SProfile};
+use sprofile_streamgen::StreamConfig;
+
+#[test]
+fn snapshot_survives_a_file_roundtrip() {
+    let m = 500u32;
+    let mut p = SProfile::new(m);
+    for e in StreamConfig::stream3(m, 77).generator().take(20_000) {
+        e.apply_to(&mut p);
+    }
+
+    let path = std::env::temp_dir().join("sprofile_snapshot_test.bin");
+    {
+        let mut w = BufWriter::new(File::create(&path).unwrap());
+        p.write_snapshot(&mut w).unwrap();
+    }
+    let restored = {
+        let mut r = BufReader::new(File::open(&path).unwrap());
+        SProfile::read_snapshot(&mut r).unwrap()
+    };
+    std::fs::remove_file(&path).ok();
+
+    verify::check_invariants(&restored).unwrap();
+    assert_eq!(
+        verify::derive_frequencies(&p),
+        verify::derive_frequencies(&restored)
+    );
+    assert_eq!(p.mode(), restored.mode());
+    assert_eq!(p.median(), restored.median());
+    assert_eq!(p.histogram(), restored.histogram());
+}
+
+#[test]
+fn snapshot_then_continue_stream_matches_uninterrupted_run() {
+    // The operational story: checkpoint a live profile, restart from the
+    // checkpoint, keep consuming the stream — must equal never stopping.
+    let m = 200u32;
+    let events = StreamConfig::stream2(m, 123).take_events(10_000);
+
+    let mut uninterrupted = SProfile::new(m);
+    for e in &events {
+        e.apply_to(&mut uninterrupted);
+    }
+
+    let mut first_half = SProfile::new(m);
+    for e in &events[..5_000] {
+        e.apply_to(&mut first_half);
+    }
+    let bytes = first_half.to_snapshot_bytes();
+    let mut resumed = SProfile::from_snapshot_bytes(&bytes).unwrap();
+    for e in &events[5_000..] {
+        e.apply_to(&mut resumed);
+    }
+
+    assert_eq!(
+        verify::derive_frequencies(&uninterrupted),
+        verify::derive_frequencies(&resumed)
+    );
+    assert_eq!(uninterrupted.mode(), resumed.mode());
+    assert_eq!(uninterrupted.top_k(10), resumed.top_k(10));
+}
+
+#[test]
+#[ignore = "heavy stress run; enable with --ignored"]
+fn ten_million_events_keep_invariants() {
+    let m = 100_000u32;
+    let mut p = SProfile::new(m);
+    for e in StreamConfig::stream1(m, 9).generator().take(10_000_000) {
+        e.apply_to(&mut p);
+    }
+    verify::check_invariants(&p).unwrap();
+    assert_eq!(p.updates(), 10_000_000);
+}

@@ -1,0 +1,110 @@
+//! Cross-crate integration: the static range structures, the dynamic
+//! profile, and the sliding window answer the *same questions* where
+//! their domains overlap — and must agree there.
+
+use sprofile::{SlidingWindowProfile, SProfile, Tuple};
+use sprofile_rangequery::{
+    MedianScan, NaiveScan, PrefixCounts, RangeMedianQuery, RangeModeQuery,
+    SqrtDecomposition,
+};
+use sprofile_streamgen::StreamConfig;
+
+const M: u32 = 64;
+const N: usize = 5_000;
+
+/// An adds-only stream is simultaneously (a) a static array for the
+/// range structures and (b) a dynamic update sequence for the profile.
+fn adds() -> Vec<u32> {
+    StreamConfig::zipf(M, 0.8, 321)
+        .generator()
+        .filter_map(|ev| ev.is_add.then_some(ev.object))
+        .take(N)
+        .collect()
+}
+
+#[test]
+fn window_mode_equals_range_mode_of_the_suffix() {
+    // A count-window of width W over an adds-only stream holds exactly
+    // the last W elements — the range [i−W, i) of the static array. The
+    // window's mode frequency must equal the static range mode count.
+    let array = adds();
+    let w = 250;
+    let sqrt = SqrtDecomposition::new(&array, M);
+    let mut win = SlidingWindowProfile::new(M, w);
+    for (i, &x) in array.iter().enumerate() {
+        win.push(Tuple::add(x));
+        if (i + 1) % 777 == 0 && i + 1 >= w {
+            let range = sqrt.range_mode(i + 1 - w, i + 1).unwrap();
+            let mode = win.profile().mode().unwrap();
+            assert_eq!(
+                mode.frequency as u32,
+                range.count,
+                "window vs range at i = {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_mode_equals_full_range_mode() {
+    let array = adds();
+    let naive = NaiveScan::new(&array, M);
+    let mut profile = SProfile::new(M);
+    for &x in &array {
+        profile.add(x);
+    }
+    let full = naive.range_mode(0, array.len()).unwrap();
+    let mode = profile.mode().unwrap();
+    assert_eq!(mode.frequency as u32, full.count);
+    assert_eq!(profile.frequency(full.value) as u32, full.count);
+}
+
+#[test]
+fn range_median_of_full_array_matches_multiset_median() {
+    // The median over the *array elements* (range median) is a different
+    // quantity from the paper's median over the frequency array F — but
+    // both are computable from the same data, and the prefix-count
+    // structure's value_count must match the profile's frequency.
+    let array = adds();
+    let pref = PrefixCounts::new(&array, M);
+    let scan = MedianScan::new(&array, M);
+    let mut profile = SProfile::new(M);
+    for &x in &array {
+        profile.add(x);
+    }
+    for v in 0..M {
+        assert_eq!(
+            pref.value_count(v, 0, array.len()).unwrap() as i64,
+            profile.frequency(v),
+            "value {v}"
+        );
+    }
+    assert_eq!(
+        scan.range_median(0, array.len()),
+        pref.range_median(0, array.len())
+    );
+}
+
+#[test]
+fn removals_give_dynamic_the_queries_statics_cannot_express() {
+    // After interleaved removes, no static structure over the original
+    // array answers the live mode; replaying the net state as a new
+    // static array does. This pins down the exact relationship.
+    let events = StreamConfig::stream2(M, 55).take_events(N);
+    let mut profile = SProfile::new(M);
+    for ev in &events {
+        ev.apply_to(&mut profile);
+    }
+    // Rebuild a static array carrying the same net multiset (clamping
+    // negatives to zero — statics cannot express them at all).
+    let mut net = Vec::new();
+    for v in 0..M {
+        for _ in 0..profile.frequency(v).max(0) {
+            net.push(v);
+        }
+    }
+    let naive = NaiveScan::new(&net, M);
+    let static_mode = naive.range_mode(0, net.len()).unwrap();
+    let live_mode = profile.mode().unwrap();
+    assert_eq!(live_mode.frequency.max(0) as u32, static_mode.count);
+}

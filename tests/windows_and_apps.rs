@@ -1,0 +1,119 @@
+//! Cross-crate integration: sliding windows fed by generated streams, and
+//! the graph applications driven end-to-end.
+
+use sprofile::{SProfile, SlidingWindowProfile, TimedWindowProfile};
+use sprofile_graph::{
+    densest_subgraph, detect_dense_block, induced_density, kcore_decomposition, verify_coreness,
+    BipartiteGraph, BucketPeeler, Graph, LazyHeapPeeler, SProfilePeeler,
+};
+use sprofile_streamgen::{Event, StreamConfig};
+
+#[test]
+fn count_window_tracks_recent_mode_shift() {
+    // Two-phase stream: the window must forget phase one.
+    let m = 100u32;
+    let mut win = SlidingWindowProfile::new(m, 1_000);
+    for e in StreamConfig::stream1(m, 1).generator().take(5_000) {
+        // Phase 1: shift all ids into the lower half.
+        let e = Event {
+            object: e.object % (m / 2),
+            is_add: e.is_add,
+        };
+        win.push(e.to_tuple());
+    }
+    for e in StreamConfig::stream1(m, 2).generator().take(2_000) {
+        // Phase 2: only upper-half ids.
+        let e = Event {
+            object: m / 2 + e.object % (m / 2),
+            is_add: e.is_add,
+        };
+        win.push(e.to_tuple());
+    }
+    let mode = win.profile().mode().unwrap();
+    assert!(
+        mode.object >= m / 2,
+        "window mode {} should be from phase 2",
+        mode.object
+    );
+    // Lower-half ids must have fully left the window (net frequency 0).
+    for x in 0..m / 2 {
+        assert_eq!(win.profile().frequency(x), 0, "stale object {x} lingers");
+    }
+}
+
+#[test]
+fn timed_window_agrees_with_count_window_on_unit_spacing() {
+    // With one tuple per tick and horizon = capacity, both windows hold
+    // exactly the same suffix.
+    let m = 30u32;
+    let w = 128;
+    let mut count_win = SlidingWindowProfile::new(m, w);
+    let mut timed_win = TimedWindowProfile::new(m, w as u64);
+    for (ts, e) in StreamConfig::stream2(m, 5).generator().take(3_000).enumerate() {
+        count_win.push(e.to_tuple());
+        timed_win.push(ts as u64, e.to_tuple());
+        assert_eq!(
+            count_win.profile().mode().unwrap().frequency,
+            timed_win.profile().mode().unwrap().frequency,
+            "at ts {ts}"
+        );
+    }
+    assert_eq!(count_win.len(), timed_win.len());
+}
+
+#[test]
+fn kcore_backends_agree_on_generated_graphs() {
+    for (label, g) in [
+        ("erdos", Graph::erdos_renyi(200, 900, 31)),
+        ("pa", Graph::preferential_attachment(200, 2, 32)),
+        ("clique", Graph::with_planted_clique(150, 12, 300, 33)),
+    ] {
+        let a = kcore_decomposition::<SProfilePeeler>(&g);
+        let b = kcore_decomposition::<LazyHeapPeeler>(&g);
+        let c = kcore_decomposition::<BucketPeeler>(&g);
+        assert_eq!(a.coreness, b.coreness, "{label}: sprofile vs heap");
+        assert_eq!(b.coreness, c.coreness, "{label}: heap vs bucket");
+        verify_coreness(&g, &a.coreness).unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn densest_subgraph_beats_average_density() {
+    let g = Graph::erdos_renyi(300, 2_000, 44);
+    let r = densest_subgraph::<SProfilePeeler>(&g).unwrap();
+    assert!(r.density >= r.initial_density, "greedy can never do worse than the full graph");
+    assert!((induced_density(&g, &r.members) - r.density).abs() < 1e-9);
+}
+
+#[test]
+fn fraud_detection_pipeline_end_to_end() {
+    let b = BipartiteGraph::with_planted_block(500, 800, 15, 20, 3_000, 55);
+    let block = detect_dense_block::<SProfilePeeler>(&b).unwrap();
+    // The planted 15x20 block has density 300/35 ≈ 8.6; background noise
+    // cannot reach that.
+    assert!(block.score > 6.0, "score {}", block.score);
+    let hits = (0..15u32).filter(|l| block.left.contains(l)).count();
+    assert!(hits >= 14, "recovered only {hits}/15 fraudsters");
+}
+
+#[test]
+fn degree_profile_matches_graph_after_stream_of_edges() {
+    // Treating "node gains an edge" as an add-event: the profile's view of
+    // degrees must match the graph's.
+    let g = Graph::erdos_renyi(80, 400, 66);
+    let mut p = SProfile::new(80);
+    for u in 0..80u32 {
+        for &v in g.neighbors(u) {
+            if v > u {
+                p.add(u);
+                p.add(v);
+            }
+        }
+    }
+    for u in 0..80u32 {
+        assert_eq!(p.frequency(u), g.degree(u) as i64);
+    }
+    let mode = p.mode().unwrap();
+    let max_deg = (0..80u32).map(|u| g.degree(u)).max().unwrap();
+    assert_eq!(mode.frequency, max_deg as i64);
+}
