@@ -163,7 +163,9 @@ impl<K: Hash + Eq + Clone, V> LfuCache<K, V> {
             .top_k(k.min(self.len()))
             .into_iter()
             .filter_map(|(slot, f)| {
-                self.slots[slot as usize].as_ref().map(|key| (key, f as u64))
+                self.slots[slot as usize]
+                    .as_ref()
+                    .map(|key| (key, f as u64))
             })
             .collect()
     }
@@ -283,10 +285,7 @@ mod tests {
                             .collect();
                         assert_eq!(gone.len(), 1);
                         let victim = gone[0];
-                        assert_eq!(
-                            model[&victim], min,
-                            "cache evicted a non-minimal entry"
-                        );
+                        assert_eq!(model[&victim], min, "cache evicted a non-minimal entry");
                         model.remove(&victim);
                     }
                     model.insert(key, 1);

@@ -111,7 +111,9 @@ impl PresenceTracker {
     /// The channel with the largest audience `(channel, audience)`;
     /// `None` when no channel exists. O(1).
     pub fn busiest(&self) -> Option<(u32, u64)> {
-        self.audiences.mode().map(|e| (e.object, e.frequency as u64))
+        self.audiences
+            .mode()
+            .map(|e| (e.object, e.frequency as u64))
     }
 
     /// Top-K channels by audience, descending. O(K).

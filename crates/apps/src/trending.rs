@@ -221,7 +221,11 @@ mod tests {
         for _ in 0..10_000 {
             b.record(2);
         }
-        assert!(b.score(2) < 200, "score {} escaped the decay bound", b.score(2));
+        assert!(
+            b.score(2) < 200,
+            "score {} escaped the decay bound",
+            b.score(2)
+        );
         assert!(b.score(2) >= 99, "score {} decayed too hard", b.score(2));
     }
 }

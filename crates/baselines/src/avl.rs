@@ -193,7 +193,12 @@ impl AvlTree {
     /// O(n) structural validation for tests: BST order, AVL balance, and
     /// size/height augmentation.
     pub fn check_structure(&self) -> Result<(), String> {
-        fn walk(t: &AvlTree, n: u32, lo: Option<Key>, hi: Option<Key>) -> Result<(u32, i8), String> {
+        fn walk(
+            t: &AvlTree,
+            n: u32,
+            lo: Option<Key>,
+            hi: Option<Key>,
+        ) -> Result<(u32, i8), String> {
             if n == NIL {
                 return Ok((0, 0));
             }
@@ -337,8 +342,13 @@ mod tests {
         let mut present: Vec<Key> = Vec::new();
         let mut state = 4242u64;
         for step in 0..3000u32 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-            let key = (((state >> 35) % 96) as i64 - 48, ((state >> 10) % 16) as u32);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            let key = (
+                ((state >> 35) % 96) as i64 - 48,
+                ((state >> 10) % 16) as u32,
+            );
             if present.binary_search(&key).is_err() && (state & 3) != 0 {
                 t.insert(key);
                 let idx = present.binary_search(&key).unwrap_err();

@@ -195,7 +195,11 @@ mod tests {
                 naive[x as usize] -= 1;
             }
             if step % 250 == 0 {
-                assert_eq!(b.mode().unwrap().1, *naive.iter().max().unwrap(), "step {step}");
+                assert_eq!(
+                    b.mode().unwrap().1,
+                    *naive.iter().max().unwrap(),
+                    "step {step}"
+                );
                 assert_eq!(b.least().unwrap().1, *naive.iter().min().unwrap());
                 let total: u32 = b.counts.values().sum();
                 assert_eq!(total, m, "count map must always cover all objects");

@@ -214,7 +214,10 @@ impl<D: Direction> IndexedHeap<D> {
         let n = self.heap.len();
         for (i, &x) in self.heap.iter().enumerate() {
             if self.pos[x as usize] as usize != i {
-                return Err(format!("pos[{x}] = {} but heap[{i}] = {x}", self.pos[x as usize]));
+                return Err(format!(
+                    "pos[{x}] = {} but heap[{i}] = {x}",
+                    self.pos[x as usize]
+                ));
             }
         }
         for i in 1..n {
@@ -385,7 +388,9 @@ mod tests {
         let mut naive = vec![0i64; m as usize];
         let mut state = 777u64;
         for step in 0..10_000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((state >> 33) % m as u64) as u32;
             if (state >> 9) % 5 < 3 {
                 h.increment(x);

@@ -77,7 +77,9 @@ mod cross_structure_tests {
 
         let mut state = 0xfeedu64;
         for step in 0..4000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((state >> 33) % m as u64) as u32;
             let is_add = (state >> 11) % 10 < 7;
             for p in [
@@ -116,8 +118,18 @@ mod cross_structure_tests {
                 &bucket,
                 &hashrun,
             ] {
-                assert_eq!(p.mode().unwrap().1, want_mode, "{} mode step {step}", p.name());
-                assert_eq!(p.least().unwrap().1, want_least, "{} least step {step}", p.name());
+                assert_eq!(
+                    p.mode().unwrap().1,
+                    want_mode,
+                    "{} mode step {step}",
+                    p.name()
+                );
+                assert_eq!(
+                    p.least().unwrap().1,
+                    want_least,
+                    "{} least step {step}",
+                    p.name()
+                );
                 for k in [1u32, 2, m / 2, m - 1, m] {
                     assert_eq!(
                         p.kth_largest_frequency(k),

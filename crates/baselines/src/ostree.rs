@@ -190,7 +190,9 @@ pub(crate) mod conformance {
         let mut reference: Vec<Key> = Vec::new();
         let mut state = 0xabcdef12345u64;
         for step in 0..4000u32 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let f = ((state >> 40) % 17) as i64 - 8;
             let id = ((state >> 20) % 50) as u32;
             let key = (f, id);

@@ -155,12 +155,18 @@ impl Treap {
             let node = &t.nodes[n as usize];
             if let Some(lo) = lo {
                 if node.key <= lo {
-                    return Err(format!("BST violation: {:?} <= lower bound {:?}", node.key, lo));
+                    return Err(format!(
+                        "BST violation: {:?} <= lower bound {:?}",
+                        node.key, lo
+                    ));
                 }
             }
             if let Some(hi) = hi {
                 if node.key >= hi {
-                    return Err(format!("BST violation: {:?} >= upper bound {:?}", node.key, hi));
+                    return Err(format!(
+                        "BST violation: {:?} >= upper bound {:?}",
+                        node.key, hi
+                    ));
                 }
             }
             for child in [node.left, node.right] {
@@ -275,7 +281,9 @@ mod tests {
         let mut present = Vec::new();
         let mut state = 99u64;
         for _ in 0..2000u32 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let key = (((state >> 35) % 64) as i64, ((state >> 10) % 64) as u32);
             if present.binary_search(&key).is_err() && (state & 3) != 0 {
                 t.insert(key);

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use sprofile::{FrequencyProfiler, RankQueries};
 use sprofile_baselines::{
-    AvlProfiler, AvlTree, BTreeProfiler, BucketProfiler, MaxHeapProfiler, MinHeapProfiler,
-    Oracle, OrderStatTree, SortedVecProfiler, Treap, TreapProfiler,
+    AvlProfiler, AvlTree, BTreeProfiler, BucketProfiler, MaxHeapProfiler, MinHeapProfiler, Oracle,
+    OrderStatTree, SortedVecProfiler, Treap, TreapProfiler,
 };
 
 fn ops_strategy(m: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, bool)>> {
@@ -25,8 +25,18 @@ fn drive<P: FrequencyProfiler>(p: &mut P, ops: &[(u32, bool)]) {
 }
 
 fn assert_rank_parity<P: RankQueries>(p: &P, oracle: &Oracle, m: u32) -> Result<(), TestCaseError> {
-    prop_assert_eq!(p.mode().unwrap().1, oracle.mode().unwrap().1, "{} mode", p.name());
-    prop_assert_eq!(p.least().unwrap().1, oracle.least().unwrap().1, "{} least", p.name());
+    prop_assert_eq!(
+        p.mode().unwrap().1,
+        oracle.mode().unwrap().1,
+        "{} mode",
+        p.name()
+    );
+    prop_assert_eq!(
+        p.least().unwrap().1,
+        oracle.least().unwrap().1,
+        "{} least",
+        p.name()
+    );
     for k in 1..=m {
         prop_assert_eq!(
             p.kth_largest_frequency(k),
@@ -38,7 +48,13 @@ fn assert_rank_parity<P: RankQueries>(p: &P, oracle: &Oracle, m: u32) -> Result<
     }
     prop_assert_eq!(p.median_frequency(), oracle.median_frequency());
     for t in -5..=5i64 {
-        prop_assert_eq!(p.count_at_least(t), oracle.count_at_least(t), "{} t={}", p.name(), t);
+        prop_assert_eq!(
+            p.count_at_least(t),
+            oracle.count_at_least(t),
+            "{} t={}",
+            p.name(),
+            t
+        );
     }
     for x in 0..m {
         prop_assert_eq!(p.frequency(x), oracle.frequency(x));

@@ -56,7 +56,11 @@ fn bench_arena_primitives(c: &mut Criterion) {
             |arena| {
                 let mut last = 0u32;
                 for i in 0..10_000u32 {
-                    let id = arena.alloc(Block { l: i, r: i, f: i as i64 });
+                    let id = arena.alloc(Block {
+                        l: i,
+                        r: i,
+                        f: i as i64,
+                    });
                     arena.free(id);
                     last = id;
                 }
@@ -72,7 +76,11 @@ fn bench_arena_primitives(c: &mut Criterion) {
             |arena| {
                 let mut last = 0u32;
                 for i in 0..10_000u32 {
-                    last = arena.alloc(Block { l: i, r: i, f: i as i64 });
+                    last = arena.alloc(Block {
+                        l: i,
+                        r: i,
+                        f: i as i64,
+                    });
                 }
                 last
             },

@@ -7,8 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 
 use sprofile::{FrequencyProfiler, SProfile};
 use sprofile_baselines::{
-    AvlProfiler, BTreeProfiler, HashRunProfiler, MaxHeapProfiler, SortedVecProfiler,
-    TreapProfiler,
+    AvlProfiler, BTreeProfiler, HashRunProfiler, MaxHeapProfiler, SortedVecProfiler, TreapProfiler,
 };
 use sprofile_streamgen::{AdversarialKind, Event, StreamConfig};
 
@@ -24,11 +23,23 @@ fn apply_all<P: FrequencyProfiler>(p: &mut P, events: &[Event]) -> i64 {
 
 fn workloads() -> Vec<(String, Vec<Event>)> {
     let mut out: Vec<(String, Vec<Event>)> = vec![
-        ("stream1".into(), StreamConfig::stream1(M, 3).take_events(EVENTS)),
-        ("stream2".into(), StreamConfig::stream2(M, 3).take_events(EVENTS)),
-        ("stream3".into(), StreamConfig::stream3(M, 3).take_events(EVENTS)),
+        (
+            "stream1".into(),
+            StreamConfig::stream1(M, 3).take_events(EVENTS),
+        ),
+        (
+            "stream2".into(),
+            StreamConfig::stream2(M, 3).take_events(EVENTS),
+        ),
+        (
+            "stream3".into(),
+            StreamConfig::stream3(M, 3).take_events(EVENTS),
+        ),
     ];
-    out.push(("zipf1.2".into(), StreamConfig::zipf(M, 1.2, 3).take_events(EVENTS)));
+    out.push((
+        "zipf1.2".into(),
+        StreamConfig::zipf(M, 1.2, 3).take_events(EVENTS),
+    ));
     out.push((
         "seesaw".into(),
         AdversarialKind::Seesaw.stream(M).take(EVENTS).collect(),
@@ -41,13 +52,13 @@ fn bench_matrix(c: &mut Criterion) {
     group.throughput(Throughput::Elements(EVENTS as u64));
     group.sample_size(15);
     for (wname, events) in workloads() {
-        group.bench_with_input(
-            BenchmarkId::new("sprofile", &wname),
-            &events,
-            |b, ev| {
-                b.iter_batched_ref(|| SProfile::new(M), |p| apply_all(p, ev), BatchSize::LargeInput)
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sprofile", &wname), &events, |b, ev| {
+            b.iter_batched_ref(
+                || SProfile::new(M),
+                |p| apply_all(p, ev),
+                BatchSize::LargeInput,
+            )
+        });
         group.bench_with_input(BenchmarkId::new("heap", &wname), &events, |b, ev| {
             b.iter_batched_ref(
                 || MaxHeapProfiler::new(M),
@@ -76,46 +87,34 @@ fn bench_matrix(c: &mut Criterion) {
                 BatchSize::LargeInput,
             )
         });
-        group.bench_with_input(
-            BenchmarkId::new("hash-runs", &wname),
-            &events,
-            |b, ev| {
-                b.iter_batched_ref(
-                    || HashRunProfiler::new(M),
-                    |p| apply_all(p, ev),
-                    BatchSize::LargeInput,
-                )
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sorted-vec", &wname),
-            &events,
-            |b, ev| {
-                b.iter_batched_ref(
-                    || SortedVecProfiler::new(M),
-                    |p| apply_all(p, ev),
-                    BatchSize::LargeInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("hash-runs", &wname), &events, |b, ev| {
+            b.iter_batched_ref(
+                || HashRunProfiler::new(M),
+                |p| apply_all(p, ev),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("sorted-vec", &wname), &events, |b, ev| {
+            b.iter_batched_ref(
+                || SortedVecProfiler::new(M),
+                |p| apply_all(p, ev),
+                BatchSize::LargeInput,
+            )
+        });
         // Bucket scan is O(m) per *query*; pure updates are O(1), so it
         // participates in the update matrix too (queries would drown it).
-        group.bench_with_input(
-            BenchmarkId::new("bucket", &wname),
-            &events,
-            |b, ev| {
-                b.iter_batched_ref(
-                    || sprofile_baselines::BucketProfiler::new(M),
-                    |p| {
-                        for e in ev {
-                            e.apply_to(p);
-                        }
-                        p.frequency(0)
-                    },
-                    BatchSize::LargeInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("bucket", &wname), &events, |b, ev| {
+            b.iter_batched_ref(
+                || sprofile_baselines::BucketProfiler::new(M),
+                |p| {
+                    for e in ev {
+                        e.apply_to(p);
+                    }
+                    p.frequency(0)
+                },
+                BatchSize::LargeInput,
+            )
+        });
     }
     group.finish();
 }

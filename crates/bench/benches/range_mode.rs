@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sprofile_rangequery::{
-    prefix_modes, MedianScan, NaiveScan, PrefixCounts, RangeMedianQuery,
-    RangeModeQuery, SqrtDecomposition, WaveletTree,
+    prefix_modes, MedianScan, NaiveScan, PrefixCounts, RangeMedianQuery, RangeModeQuery,
+    SqrtDecomposition, WaveletTree,
 };
 
 const N: usize = 20_000;
@@ -112,5 +112,11 @@ fn bench_median(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query, bench_build, bench_prefix_modes, bench_median);
+criterion_group!(
+    benches,
+    bench_query,
+    bench_build,
+    bench_prefix_modes,
+    bench_median
+);
 criterion_main!(benches);

@@ -69,18 +69,22 @@ fn bench_ingest(c: &mut Criterion) {
         });
     }
 
-    group.bench_with_input(BenchmarkId::new("lossy_counting", "eps=1e-3"), &adds, |b, s| {
-        b.iter_batched_ref(
-            || LossyCounting::new(0.001),
-            |lc| {
-                for &x in s {
-                    lc.observe(x);
-                }
-                lc.tracked() as u64
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench_with_input(
+        BenchmarkId::new("lossy_counting", "eps=1e-3"),
+        &adds,
+        |b, s| {
+            b.iter_batched_ref(
+                || LossyCounting::new(0.001),
+                |lc| {
+                    for &x in s {
+                        lc.observe(x);
+                    }
+                    lc.tracked() as u64
+                },
+                BatchSize::LargeInput,
+            )
+        },
+    );
 
     for depth in [4usize, 8] {
         group.bench_with_input(BenchmarkId::new("count_min", depth), &adds, |b, s| {

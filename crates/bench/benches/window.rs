@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 
-use sprofile::{SlidingWindowProfile, SProfile, TimedWindowProfile};
+use sprofile::{SProfile, SlidingWindowProfile, TimedWindowProfile};
 use sprofile_streamgen::{Event, StreamConfig};
 
 const M: u32 = 50_000;
@@ -30,22 +30,18 @@ fn bench_window(c: &mut Criterion) {
     });
 
     for w in [1_000usize, 10_000] {
-        group.bench_with_input(
-            BenchmarkId::new("count_window", w),
-            &events,
-            |b, ev| {
-                b.iter_batched_ref(
-                    || SlidingWindowProfile::new(M, w),
-                    |win| {
-                        for e in ev {
-                            win.push(e.to_tuple());
-                        }
-                        win.profile().mode().map(|x| x.frequency).unwrap_or(0)
-                    },
-                    BatchSize::LargeInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("count_window", w), &events, |b, ev| {
+            b.iter_batched_ref(
+                || SlidingWindowProfile::new(M, w),
+                |win| {
+                    for e in ev {
+                        win.push(e.to_tuple());
+                    }
+                    win.profile().mode().map(|x| x.frequency).unwrap_or(0)
+                },
+                BatchSize::LargeInput,
+            )
+        });
     }
 
     group.bench_with_input(

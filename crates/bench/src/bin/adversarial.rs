@@ -28,7 +28,8 @@ fn main() {
         let mut ours = SProfile::new(m);
         let ours_t = time_mode_updates(&mut ours, kind.stream(m), n);
         assert_eq!(
-            heap_t.checksum, ours_t.checksum,
+            heap_t.checksum,
+            ours_t.checksum,
             "structures disagree on pattern {}",
             kind.name()
         );

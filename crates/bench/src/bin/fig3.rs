@@ -7,7 +7,10 @@ use sprofile_bench::{experiments::emit, run_fig3, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = Scale::from_args(&args);
-    eprintln!("# fig3 at scale '{}' (paper: m = 1e8, n up to 1e8)", scale.name());
+    eprintln!(
+        "# fig3 at scale '{}' (paper: m = 1e8, n up to 1e8)",
+        scale.name()
+    );
     let table = run_fig3(scale, 20190612);
     emit(
         "Figure 3",

@@ -33,10 +33,7 @@ fn adds(cfg: StreamConfig) -> Vec<u32> {
 
 /// Overlap between the sketch's claimed top-TOP set and the exact one.
 fn overlap(exact_top: &[u32], sketch_top: &[u32]) -> usize {
-    sketch_top
-        .iter()
-        .filter(|x| exact_top.contains(x))
-        .count()
+    sketch_top.iter().filter(|x| exact_top.contains(x)).count()
 }
 
 fn measure(stream: &[u32], exact: &SProfile) -> Vec<Row> {
@@ -60,7 +57,10 @@ fn measure(stream: &[u32], exact: &SProfile) -> Vec<Row> {
         for (name, est, space) in [
             (
                 format!("space-saving k={k}"),
-                probe.iter().map(|&(x, _)| ss.estimate(x)).collect::<Vec<u64>>(),
+                probe
+                    .iter()
+                    .map(|&(x, _)| ss.estimate(x))
+                    .collect::<Vec<u64>>(),
                 k,
             ),
             (

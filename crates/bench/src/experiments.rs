@@ -89,7 +89,8 @@ fn median_pair(tree: TreeKind, stream: u8, m: u32, n: u64, seed: u64) -> (Timing
     let mut gen = cfg.generator();
     let ours_t = time_median_updates_chunked(&mut ours, &mut gen, n, CHUNK);
     assert_eq!(
-        tree_t.checksum, ours_t.checksum,
+        tree_t.checksum,
+        ours_t.checksum,
         "{} and S-Profile disagree on stream{stream} m={m} n={n}",
         tree.name()
     );
@@ -100,9 +101,7 @@ fn median_pair(tree: TreeKind, stream: u8, m: u32, n: u64, seed: u64) -> (Timing
 /// Streams 1–3.
 pub fn run_fig3(scale: Scale, seed: u64) -> Table {
     let (m, ns) = scale.fig3();
-    let mut table = Table::new(vec![
-        "stream", "m", "n", "heap_s", "sprofile_s", "speedup",
-    ]);
+    let mut table = Table::new(vec!["stream", "m", "n", "heap_s", "sprofile_s", "speedup"]);
     for stream in 1..=3u8 {
         for &n in &ns {
             let (heap_t, ours_t) = mode_pair(stream, m, n, seed);
@@ -123,9 +122,7 @@ pub fn run_fig3(scale: Scale, seed: u64) -> Table {
 /// Streams 1–3.
 pub fn run_fig4(scale: Scale, seed: u64) -> Table {
     let (n, ms) = scale.fig4();
-    let mut table = Table::new(vec![
-        "stream", "n", "m", "heap_s", "sprofile_s", "speedup",
-    ]);
+    let mut table = Table::new(vec!["stream", "n", "m", "heap_s", "sprofile_s", "speedup"]);
     for stream in 1..=3u8 {
         for &m in &ms {
             let (heap_t, ours_t) = mode_pair(stream, m, n, seed);
@@ -165,7 +162,13 @@ pub fn run_fig5(scale: Scale, seed: u64) -> Table {
 /// Stream1, matching the paper's setup.
 pub fn run_fig6(scale: Scale, seed: u64, tree: TreeKind) -> Table {
     let mut table = Table::new(vec![
-        "panel", "m", "n", "tree", "tree_s", "sprofile_s", "speedup",
+        "panel",
+        "m",
+        "n",
+        "tree",
+        "tree_s",
+        "sprofile_s",
+        "speedup",
     ]);
     let (m_fixed, ns) = scale.fig6_left();
     for &n in &ns {

@@ -20,8 +20,8 @@ pub mod scale;
 
 pub use experiments::{run_fig3, run_fig4, run_fig5, run_fig6, stream_cfg, TreeKind};
 pub use harness::{
-    time_median_updates, time_median_updates_chunked, time_mode_updates,
-    time_mode_updates_chunked, time_updates_only, Timing,
+    time_median_updates, time_median_updates_chunked, time_mode_updates, time_mode_updates_chunked,
+    time_updates_only, Timing,
 };
 pub use report::Table;
 pub use scale::Scale;

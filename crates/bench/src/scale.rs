@@ -54,7 +54,10 @@ impl Scale {
     pub fn fig3(self) -> (u32, Vec<u64>) {
         match self {
             Scale::Smoke => (10_000, vec![10_000, 30_000, 100_000]),
-            Scale::Default => (1_000_000, vec![100_000, 1_000_000, 3_000_000, 10_000_000, 30_000_000]),
+            Scale::Default => (
+                1_000_000,
+                vec![100_000, 1_000_000, 3_000_000, 10_000_000, 30_000_000],
+            ),
             Scale::Full => (
                 100_000_000,
                 vec![1_000_000, 10_000_000, 30_000_000, 100_000_000],
@@ -67,10 +70,7 @@ impl Scale {
         match self {
             Scale::Smoke => (100_000, vec![1_000, 10_000, 100_000]),
             Scale::Default => (10_000_000, vec![10_000, 100_000, 1_000_000, 10_000_000]),
-            Scale::Full => (
-                100_000_000,
-                vec![1_000_000, 10_000_000, 100_000_000],
-            ),
+            Scale::Full => (100_000_000, vec![1_000_000, 10_000_000, 100_000_000]),
         }
     }
 
@@ -96,10 +96,7 @@ impl Scale {
         match self {
             Scale::Smoke => (10_000, vec![1_000, 10_000, 100_000]),
             Scale::Default => (100_000, vec![10_000, 100_000, 1_000_000, 10_000_000]),
-            Scale::Full => (
-                1_000_000,
-                vec![100_000, 1_000_000, 10_000_000, 100_000_000],
-            ),
+            Scale::Full => (1_000_000, vec![100_000, 1_000_000, 10_000_000, 100_000_000]),
         }
     }
 
@@ -109,10 +106,7 @@ impl Scale {
         match self {
             Scale::Smoke => (10_000, vec![1_000, 10_000, 100_000]),
             Scale::Default => (1_000_000, vec![10_000, 100_000, 1_000_000, 10_000_000]),
-            Scale::Full => (
-                1_000_000,
-                vec![100_000, 1_000_000, 10_000_000, 100_000_000],
-            ),
+            Scale::Full => (1_000_000, vec![100_000, 1_000_000, 10_000_000, 100_000_000]),
         }
     }
 

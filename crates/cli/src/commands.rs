@@ -166,12 +166,7 @@ pub fn profile<R: BufRead, W: Write>(
         writeln!(out, "median frequency:  {median}")?;
     }
     if let Some(s) = p.summary() {
-        writeln!(
-            out,
-            "mean/std:          {:.3} / {:.3}",
-            s.mean,
-            s.std_dev()
-        )?;
+        writeln!(out, "mean/std:          {:.3} / {:.3}", s.mean, s.std_dev())?;
         writeln!(out, "entropy (nats):    {:.4}", s.entropy)?;
         writeln!(out, "gini:              {:.4}", s.gini)?;
     }
@@ -220,7 +215,10 @@ pub fn heavy_hitters<R: BufRead, W: Write>(
     let mut removes_skipped = 0u64;
     for e in &events {
         if e.object >= opts.m {
-            return Err(CommandError::OutOfRange { object: e.object, m: opts.m });
+            return Err(CommandError::OutOfRange {
+                object: e.object,
+                m: opts.m,
+            });
         }
         if e.is_add {
             exact.add(e.object);
@@ -266,7 +264,11 @@ pub fn heavy_hitters<R: BufRead, W: Write>(
         writeln!(
             out,
             "  object {obj:>10}  count {count} (err <= {err}){}",
-            if certain { "  [guaranteed]" } else { "  [possible]" }
+            if certain {
+                "  [guaranteed]"
+            } else {
+                "  [possible]"
+            }
         )?;
     }
     if candidates.is_empty() {
@@ -319,7 +321,10 @@ mod tests {
         assert_eq!(StreamChoice::parse("1"), Some(StreamChoice::Stream1));
         assert_eq!(StreamChoice::parse("stream2"), Some(StreamChoice::Stream2));
         assert_eq!(StreamChoice::parse("3"), Some(StreamChoice::Stream3));
-        assert_eq!(StreamChoice::parse("zipf:1.5"), Some(StreamChoice::Zipf(1.5)));
+        assert_eq!(
+            StreamChoice::parse("zipf:1.5"),
+            Some(StreamChoice::Zipf(1.5))
+        );
         assert_eq!(StreamChoice::parse("zipf:1.0"), None);
         assert_eq!(StreamChoice::parse("zipf:x"), None);
         assert_eq!(StreamChoice::parse("4"), None);
@@ -339,7 +344,11 @@ mod tests {
 
         let mut report = Vec::new();
         profile(
-            &ProfileOpts { m: 50, top: 3, histogram: true },
+            &ProfileOpts {
+                m: 50,
+                top: 3,
+                histogram: true,
+            },
             Cursor::new(&text),
             &mut report,
         )
@@ -370,7 +379,11 @@ mod tests {
     fn profile_rejects_out_of_range_ids() {
         let text = "a 5\n";
         let err = profile(
-            &ProfileOpts { m: 3, top: 0, histogram: false },
+            &ProfileOpts {
+                m: 3,
+                top: 0,
+                histogram: false,
+            },
             Cursor::new(text),
             &mut Vec::new(),
         )
@@ -383,7 +396,11 @@ mod tests {
         let text = "a 1\na 1\na 1\na 2\nr 0\n";
         let mut report = Vec::new();
         profile(
-            &ProfileOpts { m: 4, top: 2, histogram: false },
+            &ProfileOpts {
+                m: 4,
+                top: 2,
+                histogram: false,
+            },
             Cursor::new(text),
             &mut report,
         )
@@ -427,7 +444,11 @@ mod tests {
         text.push_str("r 1\n"); // one remove: must be skipped & reported
         let mut out = Vec::new();
         heavy_hitters(
-            &HhOpts { m: 10, counters: 4, phi: 0.5 },
+            &HhOpts {
+                m: 10,
+                counters: 4,
+                phi: 0.5,
+            },
             Cursor::new(text),
             &mut out,
         )
@@ -436,7 +457,10 @@ mod tests {
         assert!(out.contains("adds:              100"), "{out}");
         assert!(out.contains("removes skipped:   1"), "{out}");
         assert!(out.contains("object          1  freq 60"), "{out}");
-        assert!(out.contains("[guaranteed]") || out.contains("[possible]"), "{out}");
+        assert!(
+            out.contains("[guaranteed]") || out.contains("[possible]"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -444,7 +468,11 @@ mod tests {
         let text = "a 0\na 1\na 2\na 3\n";
         let mut out = Vec::new();
         heavy_hitters(
-            &HhOpts { m: 4, counters: 8, phi: 0.9 },
+            &HhOpts {
+                m: 4,
+                counters: 8,
+                phi: 0.9,
+            },
             Cursor::new(text),
             &mut out,
         )
@@ -456,7 +484,11 @@ mod tests {
     #[test]
     fn hh_rejects_out_of_range_ids() {
         let err = heavy_hitters(
-            &HhOpts { m: 2, counters: 4, phi: 0.1 },
+            &HhOpts {
+                m: 2,
+                counters: 4,
+                phi: 0.1,
+            },
             Cursor::new("a 5\n"),
             &mut Vec::new(),
         )

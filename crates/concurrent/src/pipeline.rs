@@ -49,13 +49,18 @@ impl PipelineProfiler {
             .name("sprofile-pipeline".into())
             .spawn(move || run_owner(m, rx))
             .expect("spawn profile owner thread");
-        Self { tx, worker: Some(worker) }
+        Self {
+            tx,
+            worker: Some(worker),
+        }
     }
 
     /// A new producer/query handle. Handles are cheap to clone and safe
     /// to move across threads.
     pub fn handle(&self) -> PipelineHandle {
-        PipelineHandle { tx: self.tx.clone() }
+        PipelineHandle {
+            tx: self.tx.clone(),
+        }
     }
 
     /// Drop the profiler's own sender and wait for the owner to drain

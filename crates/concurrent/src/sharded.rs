@@ -93,23 +93,29 @@ impl ShardedProfile {
     ///
     /// [`PipelineProfiler`]: crate::PipelineProfiler
     pub fn mode(&self) -> Option<(u32, i64)> {
-        self.fold_extreme(|p| {
-            p.mode().map(|e| e.frequency).map(|f| {
-                let obj = p.mode_objects().iter().copied().min().expect("non-empty");
-                (obj, f)
-            })
-        }, |best, cand| cand.1 > best.1 || (cand.1 == best.1 && cand.0 < best.0))
+        self.fold_extreme(
+            |p| {
+                p.mode().map(|e| e.frequency).map(|f| {
+                    let obj = p.mode_objects().iter().copied().min().expect("non-empty");
+                    (obj, f)
+                })
+            },
+            |best, cand| cand.1 > best.1 || (cand.1 == best.1 && cand.0 < best.0),
+        )
     }
 
     /// Global least-frequent `(object, frequency)`; see [`Self::mode`]
     /// for consistency semantics.
     pub fn least(&self) -> Option<(u32, i64)> {
-        self.fold_extreme(|p| {
-            p.least().map(|e| e.frequency).map(|f| {
-                let obj = p.least_objects().iter().copied().min().expect("non-empty");
-                (obj, f)
-            })
-        }, |best, cand| cand.1 < best.1 || (cand.1 == best.1 && cand.0 < best.0))
+        self.fold_extreme(
+            |p| {
+                p.least().map(|e| e.frequency).map(|f| {
+                    let obj = p.least_objects().iter().copied().min().expect("non-empty");
+                    (obj, f)
+                })
+            },
+            |best, cand| cand.1 < best.1 || (cand.1 == best.1 && cand.0 < best.0),
+        )
     }
 
     fn fold_extreme(
@@ -299,7 +305,11 @@ mod tests {
             let expect = if x < 8 { 35 } else { 36 };
             assert_eq!(sp.frequency(x), expect, "object {x}");
         }
-        assert_eq!(sp.mode().unwrap(), (8, 36), "smallest untouched object wins ties");
+        assert_eq!(
+            sp.mode().unwrap(),
+            (8, 36),
+            "smallest untouched object wins ties"
+        );
         assert_eq!(sp.least().unwrap(), (0, 35));
     }
 
@@ -313,10 +323,7 @@ mod tests {
             }
         }
         let top = sp.top_k(5);
-        assert_eq!(
-            top,
-            vec![(19, 19), (18, 18), (17, 17), (16, 16), (15, 15)]
-        );
+        assert_eq!(top, vec![(19, 19), (18, 18), (17, 17), (16, 16), (15, 15)]);
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             Error::ObjectOutOfRange { object, m } => {
-                write!(f, "object id {object} out of range for universe of {m} objects")
+                write!(
+                    f,
+                    "object id {object} out of range for universe of {m} objects"
+                )
             }
             Error::Underflow { object } => {
                 write!(f, "strict multiset underflow: object {object} has count 0")
@@ -73,7 +76,10 @@ mod tests {
                 Error::Underflow { object: 3 },
                 "strict multiset underflow: object 3 has count 0",
             ),
-            (Error::RankOutOfRange { rank: 7, m: 5 }, "rank 7 out of range 1..=5"),
+            (
+                Error::RankOutOfRange { rank: 7, m: 5 },
+                "rank 7 out of range 1..=5",
+            ),
             (
                 Error::EmptyUniverse,
                 "operation requires a non-empty object universe",

@@ -110,7 +110,10 @@ impl<K: Hash + Eq + Clone> GrowableProfile<K> {
             // Any object in the mode block with id < num_keys works; the
             // whole block is > 0 so every member is a seen key.
             debug_assert!(ext.object < self.interner.len());
-            return self.interner.resolve(ext.object).map(|k| (k, ext.frequency));
+            return self
+                .interner
+                .resolve(ext.object)
+                .map(|k| (k, ext.frequency));
         }
         // Mode frequency <= 0: every seen key is <= 0 too. Find the maximum
         // over seen keys by scanning descending until a seen key appears.

@@ -40,10 +40,7 @@ impl<'a> Iterator for AscendingIter<'a> {
         }
         let pos = self.pos;
         self.pos += 1;
-        Some((
-            self.p.raw_to_obj()[pos as usize],
-            self.p.block_at(pos).f,
-        ))
+        Some((self.p.raw_to_obj()[pos as usize], self.p.block_at(pos).f))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -71,10 +68,7 @@ impl<'a> Iterator for DescendingIter<'a> {
         }
         self.remaining -= 1;
         let pos = self.remaining;
-        Some((
-            self.p.raw_to_obj()[pos as usize],
-            self.p.block_at(pos).f,
-        ))
+        Some((self.p.raw_to_obj()[pos as usize], self.p.block_at(pos).f))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -192,7 +186,10 @@ mod tests {
         assert_eq!(classes[2].frequency, 2);
         assert_eq!(classes[2].count(), 2);
         // Classes together cover every object exactly once.
-        let mut all: Vec<u32> = classes.iter().flat_map(|c| c.objects.iter().copied()).collect();
+        let mut all: Vec<u32> = classes
+            .iter()
+            .flat_map(|c| c.objects.iter().copied())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
     }

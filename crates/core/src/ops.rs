@@ -145,7 +145,10 @@ mod tests {
         }
         let merged = SProfile::merged(&shard1, &shard2);
         assert_eq!(derive_frequencies(&merged), derive_frequencies(&whole));
-        assert_eq!(merged.mode().unwrap().frequency, whole.mode().unwrap().frequency);
+        assert_eq!(
+            merged.mode().unwrap().frequency,
+            whole.mode().unwrap().frequency
+        );
         assert_eq!(merged.median(), whole.median());
     }
 

@@ -79,7 +79,11 @@ impl SProfile {
         let mut blocks = BlockArena::with_capacity(16);
         let mut ptr = Vec::new();
         if m > 0 {
-            let b = blocks.alloc(Block { l: 0, r: m - 1, f: 0 });
+            let b = blocks.alloc(Block {
+                l: 0,
+                r: m - 1,
+                f: 0,
+            });
             ptr = vec![b; m as usize];
         }
         SProfile {
@@ -129,7 +133,11 @@ impl SProfile {
                 start == 0 || freqs[to_obj[(start - 1) as usize] as usize] < f,
                 "assignment not sorted ascending"
             );
-            let b = blocks.alloc(Block { l: start, r: end, f });
+            let b = blocks.alloc(Block {
+                l: start,
+                r: end,
+                f,
+            });
             for p in start..=end {
                 ptr[p as usize] = b;
             }
@@ -194,7 +202,9 @@ impl SProfile {
     /// If `x >= m`. Use [`SProfile::try_frequency`] for a fallible variant.
     #[inline]
     pub fn frequency(&self, x: u32) -> i64 {
-        self.blocks.get(self.ptr[self.to_pos[x as usize] as usize]).f
+        self.blocks
+            .get(self.ptr[self.to_pos[x as usize] as usize])
+            .f
     }
 
     /// Fallible [`SProfile::frequency`].
@@ -212,7 +222,10 @@ impl SProfile {
     #[inline]
     pub fn add(&mut self, x: u32) -> i64 {
         let m = self.to_obj.len() as u32;
-        assert!(x < m, "object id {x} out of range for universe of {m} objects");
+        assert!(
+            x < m,
+            "object id {x} out of range for universe of {m} objects"
+        );
         let p = self.to_pos[x as usize];
         let bid = self.ptr[p as usize];
         let Block { l, r, f } = *self.blocks.get(bid);
@@ -280,7 +293,10 @@ impl SProfile {
     #[inline]
     pub fn remove(&mut self, x: u32) -> i64 {
         let m = self.to_obj.len() as u32;
-        assert!(x < m, "object id {x} out of range for universe of {m} objects");
+        assert!(
+            x < m,
+            "object id {x} out of range for universe of {m} objects"
+        );
         let p = self.to_pos[x as usize];
         let bid = self.ptr[p as usize];
         let Block { l, r, f } = *self.blocks.get(bid);
@@ -771,7 +787,9 @@ mod tests {
         let mut naive = vec![0i64; m as usize];
         let mut state = 0x9e3779b97f4a7c15u64;
         for step in 0..20_000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((state >> 33) % m as u64) as u32;
             if (state >> 7) & 1 == 1 || step % 17 == 0 {
                 p.add(x);

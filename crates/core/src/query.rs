@@ -341,9 +341,18 @@ mod tests {
         assert_eq!(
             h,
             vec![
-                FrequencyBucket { frequency: -1, count: 1 },
-                FrequencyBucket { frequency: 0, count: 3 },
-                FrequencyBucket { frequency: 2, count: 2 },
+                FrequencyBucket {
+                    frequency: -1,
+                    count: 1
+                },
+                FrequencyBucket {
+                    frequency: 0,
+                    count: 3
+                },
+                FrequencyBucket {
+                    frequency: 2,
+                    count: 2
+                },
             ]
         );
         let total: u32 = h.iter().map(|b| b.count).sum();

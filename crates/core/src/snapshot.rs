@@ -103,7 +103,9 @@ impl SProfile {
     /// Serialises to an in-memory buffer (convenience over
     /// [`SProfile::write_snapshot`]).
     pub fn to_snapshot_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(16 + 12 * self.num_blocks() as usize + 4 * self.num_objects() as usize);
+        let mut buf = Vec::with_capacity(
+            16 + 12 * self.num_blocks() as usize + 4 * self.num_objects() as usize,
+        );
         self.write_snapshot(&mut buf)
             .expect("writing to a Vec cannot fail");
         buf
@@ -149,7 +151,9 @@ impl SProfile {
         for _ in 0..m {
             let obj = read_u32(r)?;
             if obj >= m || seen[obj as usize] {
-                return Err(SnapshotError::Corrupt("to_obj is not a permutation of 0..m"));
+                return Err(SnapshotError::Corrupt(
+                    "to_obj is not a permutation of 0..m",
+                ));
             }
             seen[obj as usize] = true;
             to_obj.push(obj);

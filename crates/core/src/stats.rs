@@ -145,7 +145,11 @@ mod tests {
         let s = p.summary().unwrap();
         let n = freqs.len() as f64;
         let mean: f64 = freqs.iter().map(|&f| f as f64).sum::<f64>() / n;
-        let var: f64 = freqs.iter().map(|&f| (f as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = freqs
+            .iter()
+            .map(|&f| (f as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!((s.mean - mean).abs() < EPS);
         assert!((s.variance - var).abs() < EPS);
         assert!((s.std_dev() - var.sqrt()).abs() < EPS);
@@ -174,7 +178,9 @@ mod tests {
     fn gini_increases_with_skew() {
         let uniform = SProfile::from_frequencies(&[5, 5, 5, 5]).summary().unwrap();
         let mild = SProfile::from_frequencies(&[2, 4, 6, 8]).summary().unwrap();
-        let skewed = SProfile::from_frequencies(&[1, 1, 1, 97]).summary().unwrap();
+        let skewed = SProfile::from_frequencies(&[1, 1, 1, 97])
+            .summary()
+            .unwrap();
         assert!(uniform.gini < mild.gini);
         assert!(mild.gini < skewed.gini);
         assert!(skewed.gini <= 1.0);
@@ -186,11 +192,19 @@ mod tests {
         let p = SProfile::from_frequencies(&freqs);
         let s = p.summary().unwrap();
         // Naive: sort positive values, standard formula.
-        let mut pos: Vec<f64> = freqs.iter().filter(|&&f| f > 0).map(|&f| f as f64).collect();
+        let mut pos: Vec<f64> = freqs
+            .iter()
+            .filter(|&&f| f > 0)
+            .map(|&f| f as f64)
+            .collect();
         pos.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = pos.len() as f64;
         let total: f64 = pos.iter().sum();
-        let weighted: f64 = pos.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
+        let weighted: f64 = pos
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (i as f64 + 1.0) * x)
+            .sum();
         let gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
         assert!((s.gini - gini).abs() < EPS, "got {} want {}", s.gini, gini);
     }

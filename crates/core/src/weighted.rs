@@ -42,7 +42,10 @@ impl SProfile {
     /// If `x >= m`.
     pub fn set_frequency(&mut self, x: u32, target: i64) -> i64 {
         let m = self.num_objects();
-        assert!(x < m, "object id {x} out of range for universe of {m} objects");
+        assert!(
+            x < m,
+            "object id {x} out of range for universe of {m} objects"
+        );
         let old = self.frequency(x);
         self.shift_by(x, target - old);
         old
@@ -60,7 +63,10 @@ impl SProfile {
     /// Core weighted move: shift `x`'s frequency by `delta` (either sign).
     pub(crate) fn shift_by(&mut self, x: u32, delta: i64) -> i64 {
         let m = self.num_objects();
-        assert!(x < m, "object id {x} out of range for universe of {m} objects");
+        assert!(
+            x < m,
+            "object id {x} out of range for universe of {m} objects"
+        );
         if delta == 0 {
             return self.frequency(x);
         }
@@ -116,7 +122,11 @@ impl SProfile {
                 }
             }
             if !merged {
-                let nb = self.alloc_block(Block { l: pos, r: pos, f: target });
+                let nb = self.alloc_block(Block {
+                    l: pos,
+                    r: pos,
+                    f: target,
+                });
                 self.set_ptr(pos, nb);
             }
         } else {
@@ -147,7 +157,11 @@ impl SProfile {
                 }
             }
             if !merged {
-                let nb = self.alloc_block(Block { l: pos, r: pos, f: target });
+                let nb = self.alloc_block(Block {
+                    l: pos,
+                    r: pos,
+                    f: target,
+                });
                 self.set_ptr(pos, nb);
             }
         }
@@ -181,7 +195,11 @@ mod tests {
                     b.add(x);
                 }
                 check_invariants(&a).unwrap_or_else(|e| panic!("x={x} k={k}: {e}"));
-                assert_eq!(derive_frequencies(&a), derive_frequencies(&b), "x={x} k={k}");
+                assert_eq!(
+                    derive_frequencies(&a),
+                    derive_frequencies(&b),
+                    "x={x} k={k}"
+                );
                 assert_eq!(ra, b.frequency(x));
                 assert_eq!(a.num_blocks(), b.num_blocks());
                 assert_eq!(a.len(), b.len());
@@ -202,7 +220,11 @@ mod tests {
                     b.remove(x);
                 }
                 check_invariants(&a).unwrap_or_else(|e| panic!("x={x} k={k}: {e}"));
-                assert_eq!(derive_frequencies(&a), derive_frequencies(&b), "x={x} k={k}");
+                assert_eq!(
+                    derive_frequencies(&a),
+                    derive_frequencies(&b),
+                    "x={x} k={k}"
+                );
             }
         }
     }
@@ -236,7 +258,14 @@ mod tests {
         // Jump object 0 (freq 0) straight past everyone.
         assert_eq!(p.add_many(0, 100), 100);
         check_invariants(&p).unwrap();
-        assert_eq!(p.mode().unwrap(), crate::Extreme { object: 0, frequency: 100, count: 1 });
+        assert_eq!(
+            p.mode().unwrap(),
+            crate::Extreme {
+                object: 0,
+                frequency: 100,
+                count: 1
+            }
+        );
         // And back below everyone.
         assert_eq!(p.remove_many(0, 200), -100);
         check_invariants(&p).unwrap();

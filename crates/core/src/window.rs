@@ -29,12 +29,18 @@ pub struct Tuple {
 impl Tuple {
     /// Creates an "add" tuple.
     pub fn add(object: u32) -> Self {
-        Tuple { object, is_add: true }
+        Tuple {
+            object,
+            is_add: true,
+        }
     }
 
     /// Creates a "remove" tuple.
     pub fn remove(object: u32) -> Self {
-        Tuple { object, is_add: false }
+        Tuple {
+            object,
+            is_add: false,
+        }
     }
 
     /// The opposite action on the same object (c̄ of the paper).
@@ -174,7 +180,10 @@ impl TimedWindowProfile {
     /// Advances time without a tuple (e.g. a heartbeat), evicting expired
     /// tuples. Returns how many were evicted.
     pub fn advance_to(&mut self, timestamp: u64) -> usize {
-        assert!(timestamp >= self.latest, "timestamps must be non-decreasing");
+        assert!(
+            timestamp >= self.latest,
+            "timestamps must be non-decreasing"
+        );
         self.latest = timestamp;
         self.evict()
     }

@@ -9,8 +9,8 @@
 //! the objective is exactly bipartite edge density `|E(S)| / |S|`, so the
 //! engine is the same min-degree peel the paper plugs S-Profile into.
 
-use crate::graph::BipartiteGraph;
 use crate::densest::densest_subgraph;
+use crate::graph::BipartiteGraph;
 use crate::peel::MinPeeler;
 
 /// A detected dense bipartite block.
@@ -62,7 +62,10 @@ mod tests {
         // background traffic. Block density: 150 edges / 25 nodes = 6.
         let b = BipartiteGraph::with_planted_block(200, 300, 10, 15, 800, 3);
         for (name, block) in [
-            ("sprofile", detect_dense_block::<SProfilePeeler>(&b).unwrap()),
+            (
+                "sprofile",
+                detect_dense_block::<SProfilePeeler>(&b).unwrap(),
+            ),
             ("heap", detect_dense_block::<LazyHeapPeeler>(&b).unwrap()),
             ("bucket", detect_dense_block::<BucketPeeler>(&b).unwrap()),
         ] {

@@ -80,7 +80,10 @@ impl Graph {
     pub fn erdos_renyi(n: u32, edges: u64, seed: u64) -> Self {
         assert!(n >= 2, "need at least two nodes for edges");
         let max_edges = n as u64 * (n as u64 - 1) / 2;
-        assert!(edges <= max_edges, "{edges} edges exceed simple-graph maximum {max_edges}");
+        assert!(
+            edges <= max_edges,
+            "{edges} edges exceed simple-graph maximum {max_edges}"
+        );
         let mut g = Graph::new(n);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges as usize);

@@ -82,11 +82,7 @@ pub fn verify_coreness(g: &Graph, coreness: &[u32]) -> Result<(), String> {
                 if !live[v as usize] {
                     continue;
                 }
-                let d = g
-                    .neighbors(v)
-                    .iter()
-                    .filter(|&&u| live[u as usize])
-                    .count() as u32;
+                let d = g.neighbors(v).iter().filter(|&&u| live[u as usize]).count() as u32;
                 if d < k {
                     live[v as usize] = false;
                     changed = true;

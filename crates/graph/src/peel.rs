@@ -51,7 +51,10 @@ impl MinPeeler for SProfilePeeler {
     const NAME: &'static str = "s-profile";
 
     fn new(degrees: &[i64]) -> Self {
-        debug_assert!(degrees.iter().all(|&d| d >= 0), "degrees must be non-negative");
+        debug_assert!(
+            degrees.iter().all(|&d| d >= 0),
+            "degrees must be non-negative"
+        );
         SProfilePeeler {
             profile: SProfile::from_frequencies(degrees),
             live: degrees.len() as u32,

@@ -91,7 +91,10 @@ pub fn prefix_modes(array: &[u32], m: u32) -> Vec<RangeMode> {
             .min()
             .expect("non-empty universe");
         debug_assert_eq!(profile.frequency(value), e.frequency);
-        out.push(RangeMode { value, count: e.frequency as u32 });
+        out.push(RangeMode {
+            value,
+            count: e.frequency as u32,
+        });
     }
     out
 }

@@ -98,7 +98,10 @@ impl RangeMedianQuery for MedianScan {
             let c = c as usize;
             if answer.is_none() {
                 if remaining < c {
-                    answer = Some(RangeMedian { value: v as u32, rank: k });
+                    answer = Some(RangeMedian {
+                        value: v as u32,
+                        rank: k,
+                    });
                 } else {
                     remaining -= c;
                 }

@@ -41,7 +41,10 @@ impl RangeModeQuery for NaiveScan {
             return None;
         }
         let mut counts = self.counts.borrow_mut();
-        let mut best = RangeMode { value: self.array[l], count: 0 };
+        let mut best = RangeMode {
+            value: self.array[l],
+            count: 0,
+        };
         for &x in &self.array[l..r] {
             let c = &mut counts[x as usize];
             *c += 1;
@@ -49,7 +52,10 @@ impl RangeModeQuery for NaiveScan {
             // with the cleanup order this is not automatically the
             // smallest value, so resolve ties explicitly.
             if *c > best.count || (*c == best.count && x < best.value) {
-                best = RangeMode { value: x, count: *c };
+                best = RangeMode {
+                    value: x,
+                    count: *c,
+                };
             }
         }
         for &x in &self.array[l..r] {
@@ -66,10 +72,7 @@ mod tests {
     #[test]
     fn whole_array_mode() {
         let s = NaiveScan::new(&[1, 2, 2, 3, 2], 4);
-        assert_eq!(
-            s.range_mode(0, 5),
-            Some(RangeMode { value: 2, count: 3 })
-        );
+        assert_eq!(s.range_mode(0, 5), Some(RangeMode { value: 2, count: 3 }));
     }
 
     #[test]
@@ -95,10 +98,7 @@ mod tests {
     #[test]
     fn ties_break_to_smallest_value() {
         let s = NaiveScan::new(&[5, 3, 5, 3], 6);
-        assert_eq!(
-            s.range_mode(0, 4),
-            Some(RangeMode { value: 3, count: 2 })
-        );
+        assert_eq!(s.range_mode(0, 4), Some(RangeMode { value: 3, count: 2 }));
     }
 
     #[test]
@@ -106,10 +106,7 @@ mod tests {
         let s = NaiveScan::new(&[1, 1, 2, 2, 2], 3);
         assert_eq!(s.range_mode(0, 5).unwrap().value, 2);
         // If counts leaked, this sub-range would still see 2's tally.
-        assert_eq!(
-            s.range_mode(0, 2),
-            Some(RangeMode { value: 1, count: 2 })
-        );
+        assert_eq!(s.range_mode(0, 2), Some(RangeMode { value: 1, count: 2 }));
     }
 
     #[test]

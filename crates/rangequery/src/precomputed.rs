@@ -35,7 +35,10 @@ impl PrecomputedTable {
         let mut table = Vec::with_capacity(acc);
         let mut counts = vec![0u32; m as usize];
         for l in 0..n {
-            let mut best = RangeMode { value: array[l], count: 0 };
+            let mut best = RangeMode {
+                value: array[l],
+                count: 0,
+            };
             for &x in &array[l..] {
                 counts[x as usize] += 1;
                 let c = counts[x as usize];
@@ -48,7 +51,11 @@ impl PrecomputedTable {
                 counts[x as usize] = 0;
             }
         }
-        Self { n, table, row_start }
+        Self {
+            n,
+            table,
+            row_start,
+        }
     }
 
     /// Total number of precomputed entries (n·(n+1)/2).
@@ -112,7 +119,10 @@ mod tests {
             for r in l + 1..=10 {
                 assert_eq!(
                     t.range_mode(l, r),
-                    Some(RangeMode { value: 4, count: (r - l) as u32 })
+                    Some(RangeMode {
+                        value: 4,
+                        count: (r - l) as u32
+                    })
                 );
             }
         }

@@ -64,12 +64,18 @@ impl SqrtDecomposition {
         let mut counts = vec![0u32; m as usize];
         for bi in 0..t {
             let start = bi * s;
-            let mut best = RangeMode { value: array[start], count: 0 };
+            let mut best = RangeMode {
+                value: array[start],
+                count: 0,
+            };
             for (j, &x) in array.iter().enumerate().skip(start) {
                 let c = &mut counts[x as usize];
                 *c += 1;
                 if *c > best.count || (*c == best.count && x < best.value) {
-                    best = RangeMode { value: x, count: *c };
+                    best = RangeMode {
+                        value: x,
+                        count: *c,
+                    };
                 }
                 // j closes block bj when it is the last index of that block.
                 if (j + 1) % s == 0 || j + 1 == n {
@@ -106,12 +112,18 @@ impl SqrtDecomposition {
     /// Short-range fallback: scratch-array scan, O(r − l).
     fn scan(&self, l: usize, r: usize) -> RangeMode {
         let mut counts = self.counts.borrow_mut();
-        let mut best = RangeMode { value: self.array[l], count: 0 };
+        let mut best = RangeMode {
+            value: self.array[l],
+            count: 0,
+        };
         for &x in &self.array[l..r] {
             let c = &mut counts[x as usize];
             *c += 1;
             if *c > best.count || (*c == best.count && x < best.value) {
-                best = RangeMode { value: x, count: *c };
+                best = RangeMode {
+                    value: x,
+                    count: *c,
+                };
             }
         }
         for &x in &self.array[l..r] {
@@ -244,10 +256,7 @@ mod tests {
     fn whole_range_equals_span_table() {
         let a = [5u32, 5, 3, 3, 3, 5, 5, 5, 1];
         let sq = SqrtDecomposition::with_block_size(&a, 6, 3);
-        assert_eq!(
-            sq.range_mode(0, 9),
-            Some(RangeMode { value: 5, count: 5 })
-        );
+        assert_eq!(sq.range_mode(0, 9), Some(RangeMode { value: 5, count: 5 }));
     }
 
     #[test]
@@ -267,7 +276,10 @@ mod tests {
         for (l, r) in [(0, 30), (3, 17), (29, 30), (10, 11)] {
             assert_eq!(
                 sq.range_mode(l, r),
-                Some(RangeMode { value: 7, count: (r - l) as u32 })
+                Some(RangeMode {
+                    value: 7,
+                    count: (r - l) as u32
+                })
             );
         }
     }

@@ -17,8 +17,8 @@
 //! queries instead of O(m). It also implements [`RangeMedianQuery`], so
 //! the property tests drive all three structures as one family.
 
-use crate::median::{RangeMedian, RangeMedianQuery};
 use crate::check_universe;
+use crate::median::{RangeMedian, RangeMedianQuery};
 
 /// Bitmap with O(1) rank via per-word cumulative counts (superblock =
 /// one 64-bit word; 50% space overhead, branch-free queries — the right
@@ -47,7 +47,11 @@ impl RankBits {
             acc += w.count_ones();
             cum.push(acc);
         }
-        Self { words, cum, len: bits.len() }
+        Self {
+            words,
+            cum,
+            len: bits.len(),
+        }
     }
 
     /// Number of 1-bits in positions `[0, i)`.
@@ -101,8 +105,7 @@ impl WaveletTree {
         let mut current: Vec<u32> = array.to_vec();
         for level in 0..bits {
             let shift = bits - 1 - level;
-            let level_bits: Vec<bool> =
-                current.iter().map(|&x| x >> shift & 1 == 1).collect();
+            let level_bits: Vec<bool> = current.iter().map(|&x| x >> shift & 1 == 1).collect();
             levels.push(RankBits::from_bools(&level_bits));
             // Global stable partition by this bit; stability keeps each
             // prefix class contiguous, which is what the rank-based
@@ -237,7 +240,8 @@ impl RangeMedianQuery for WaveletTree {
     }
 
     fn range_kth(&self, l: usize, r: usize, k: usize) -> Option<RangeMedian> {
-        self.quantile(l, r, k).map(|value| RangeMedian { value, rank: k })
+        self.quantile(l, r, k)
+            .map(|value| RangeMedian { value, rank: k })
     }
 }
 
@@ -296,11 +300,7 @@ mod tests {
             for r in ((l + 1)..=a.len()).step_by(19) {
                 for v in 0..=m + 1 {
                     let expect = a[l..r].iter().filter(|&&x| x < v).count();
-                    assert_eq!(
-                        wt.range_count_below(l, r, v),
-                        expect,
-                        "[{l},{r}) v={v}"
-                    );
+                    assert_eq!(wt.range_count_below(l, r, v), expect, "[{l},{r}) v={v}");
                 }
             }
         }
@@ -314,11 +314,7 @@ mod tests {
         let scan = MedianScan::new(&a, m);
         for l in 0..a.len() {
             for r in l + 1..=a.len() {
-                assert_eq!(
-                    wt.range_median(l, r),
-                    scan.range_median(l, r),
-                    "[{l},{r})"
-                );
+                assert_eq!(wt.range_median(l, r), scan.range_median(l, r), "[{l},{r})");
             }
         }
     }

@@ -3,16 +3,14 @@
 
 use proptest::prelude::*;
 use sprofile_rangequery::{
-    MedianScan, NaiveScan, PrecomputedTable, PrefixCounts, RangeMedianQuery,
-    RangeModeQuery, SqrtDecomposition, WaveletTree,
+    MedianScan, NaiveScan, PrecomputedTable, PrefixCounts, RangeMedianQuery, RangeModeQuery,
+    SqrtDecomposition, WaveletTree,
 };
 
 /// Arrays up to length 64 over small universes keep the O(n²) exhaustive
 /// range sweep fast while exercising every block-boundary case.
 fn small_array() -> impl Strategy<Value = (Vec<u32>, u32)> {
-    (1u32..12).prop_flat_map(|m| {
-        (prop::collection::vec(0..m, 0..64), Just(m))
-    })
+    (1u32..12).prop_flat_map(|m| (prop::collection::vec(0..m, 0..64), Just(m)))
 }
 
 proptest! {

@@ -185,7 +185,9 @@ mod tests {
 
     #[test]
     fn never_underestimates_on_insert_only_streams() {
-        let stream: Vec<u32> = (0..20_000).map(|i| (i * 31 + i / 7) as u32 % 1000).collect();
+        let stream: Vec<u32> = (0..20_000)
+            .map(|i| (i * 31 + i / 7) as u32 % 1000)
+            .collect();
         let mut cm = CountMinSketch::new(0.005, 0.01, 99);
         stream.iter().for_each(|&x| cm.observe(x));
         for x in (0..1000).step_by(13) {
@@ -208,7 +210,10 @@ mod tests {
             }
         }
         // δ = 1% failure probability; allow a small cushion over 5 points.
-        assert!(violations <= 25, "{violations} of 500 points broke the bound");
+        assert!(
+            violations <= 25,
+            "{violations} of 500 points broke the bound"
+        );
     }
 
     #[test]

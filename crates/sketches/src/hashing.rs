@@ -17,7 +17,9 @@ pub(crate) fn mix64(mut z: u64) -> u64 {
 
 /// Derive `count` row seeds from one user seed, guaranteed distinct.
 pub(crate) fn row_seeds(seed: u64, count: usize) -> Vec<u64> {
-    (0..count as u64).map(|i| mix64(seed ^ mix64(i + 1))).collect()
+    (0..count as u64)
+        .map(|i| mix64(seed ^ mix64(i + 1)))
+        .collect()
 }
 
 /// Hash `x` into `0..width` under the row seed.

@@ -54,7 +54,9 @@ mod crate_tests {
     /// mutually consistent with the documented over/under-estimate sides.
     #[test]
     fn estimate_sides_are_consistent() {
-        let stream: Vec<u32> = (0..1000).map(|i| if i % 3 == 0 { 7 } else { i % 50 }).collect();
+        let stream: Vec<u32> = (0..1000)
+            .map(|i| if i % 3 == 0 { 7 } else { i % 50 })
+            .collect();
         let truth = |x: u32| stream.iter().filter(|&&y| y == x).count() as u64;
 
         let mut mg = MisraGries::new(20);

@@ -61,7 +61,10 @@ impl LossyCounting {
             None => {
                 self.table.insert(
                     x,
-                    Entry { count: 1, delta: self.current_bucket - 1 },
+                    Entry {
+                        count: 1,
+                        delta: self.current_bucket - 1,
+                    },
                 );
             }
         }
@@ -131,7 +134,9 @@ mod tests {
 
     #[test]
     fn underestimates_within_epsilon_n() {
-        let stream: Vec<u32> = (0..30_000).map(|i| ((i * 13) ^ (i >> 2)) as u32 % 300).collect();
+        let stream: Vec<u32> = (0..30_000)
+            .map(|i| ((i * 13) ^ (i >> 2)) as u32 % 300)
+            .collect();
         let mut lc = LossyCounting::new(0.002);
         stream.iter().for_each(|&x| lc.observe(x));
         let eps_n = (0.002 * stream.len() as f64).ceil() as u64;
@@ -161,9 +166,9 @@ mod tests {
         let mut stream = Vec::new();
         for i in 0..20_000u32 {
             stream.push(match i % 20 {
-                0..=5 => 1,            // 30%
-                6..=9 => 2,            // 20%
-                _ => 1000 + i % 5000,  // long tail
+                0..=5 => 1,           // 30%
+                6..=9 => 2,           // 20%
+                _ => 1000 + i % 5000, // long tail
             });
         }
         let mut lc = LossyCounting::new(0.01);

@@ -143,7 +143,12 @@ mod tests {
             let t = truth(&stream, x);
             let e = mg.estimate(x);
             assert!(e <= t, "overestimated {x}: {e} > {t}");
-            assert!(t - e <= mg.error_bound(), "{x}: error {} > bound {}", t - e, mg.error_bound());
+            assert!(
+                t - e <= mg.error_bound(),
+                "{x}: error {} > bound {}",
+                t - e,
+                mg.error_bound()
+            );
         }
     }
 

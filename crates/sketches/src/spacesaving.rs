@@ -210,7 +210,11 @@ impl SpaceSaving {
         } else {
             // Insert a fresh bucket between old_bucket (possibly now
             // empty and freed) and next.
-            let after = if self.bucket_alive(old_bucket) { old_bucket } else { self.bucket_prev_of(next) };
+            let after = if self.bucket_alive(old_bucket) {
+                old_bucket
+            } else {
+                self.bucket_prev_of(next)
+            };
             let b = self.alloc_bucket(new_count, after, next);
             self.push_into(slot, b);
         }
@@ -232,7 +236,9 @@ impl SpaceSaving {
 
     /// Unlink `slot` from its bucket, freeing the bucket if it empties.
     fn detach(&mut self, slot: usize) {
-        let Counter { bucket, prev, next, .. } = self.counters[slot];
+        let Counter {
+            bucket, prev, next, ..
+        } = self.counters[slot];
         if prev != NIL {
             self.counters[prev].next = next;
         } else {
@@ -264,11 +270,21 @@ impl SpaceSaving {
     fn alloc_bucket(&mut self, count: u64, prev: usize, next: usize) -> usize {
         let b = match self.bucket_free.pop() {
             Some(b) => {
-                self.buckets[b] = Bucket { count, head: NIL, prev, next };
+                self.buckets[b] = Bucket {
+                    count,
+                    head: NIL,
+                    prev,
+                    next,
+                };
                 b
             }
             None => {
-                self.buckets.push(Bucket { count, head: NIL, prev, next });
+                self.buckets.push(Bucket {
+                    count,
+                    head: NIL,
+                    prev,
+                    next,
+                });
                 self.buckets.len() - 1
             }
         };
@@ -382,7 +398,9 @@ mod tests {
 
     #[test]
     fn overestimates_with_bounded_error() {
-        let stream: Vec<u32> = (0..8000).map(|i| ((i * i) ^ (i >> 3)) as u32 % 200).collect();
+        let stream: Vec<u32> = (0..8000)
+            .map(|i| ((i * i) ^ (i >> 3)) as u32 % 200)
+            .collect();
         let k = 50;
         let mut ss = SpaceSaving::new(k);
         stream.iter().for_each(|&x| ss.observe(x));
@@ -407,7 +425,10 @@ mod tests {
         let mut ss = SpaceSaving::new(10);
         stream.iter().for_each(|&x| ss.observe(x));
         let hh = ss.heavy_hitters(0.15);
-        assert!(hh.iter().any(|&(x, _, _)| x == 5), "lost the heavy hitter: {hh:?}");
+        assert!(
+            hh.iter().any(|&(x, _, _)| x == 5),
+            "lost the heavy hitter: {hh:?}"
+        );
     }
 
     #[test]

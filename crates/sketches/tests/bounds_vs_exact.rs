@@ -50,7 +50,11 @@ fn misra_gries_bound_holds_on_paper_streams() {
             let t = exact.frequency(x) as u64;
             let e = mg.estimate(x);
             assert!(e <= t, "{name}: MG overestimated object {x}");
-            assert!(t - e <= bound, "{name}: MG error for {x} is {} > {bound}", t - e);
+            assert!(
+                t - e <= bound,
+                "{name}: MG error for {x} is {} > {bound}",
+                t - e
+            );
         }
     }
 }
@@ -104,7 +108,11 @@ fn lossy_counting_bound_holds_on_paper_streams() {
             let t = exact.frequency(x) as u64;
             let e = lc.estimate(x);
             assert!(e <= t, "{name}: LC overestimated object {x}");
-            assert!(t - e <= bound, "{name}: LC error for {x} is {} > {bound}", t - e);
+            assert!(
+                t - e <= bound,
+                "{name}: LC error for {x} is {} > {bound}",
+                t - e
+            );
         }
     }
 }
@@ -153,7 +161,11 @@ fn mjrty_and_sprofile_agree_there_is_no_majority() {
     let exact = exact_profile(&stream);
     let mut v = Mjrty::new();
     stream.iter().for_each(|&x| v.observe(x));
-    assert_eq!(exact.majority(), None, "uniform stream should have no majority");
+    assert_eq!(
+        exact.majority(),
+        None,
+        "uniform stream should have no majority"
+    );
     assert!(!v.is_majority(|x| exact.frequency(x) as u64));
 }
 
@@ -179,5 +191,9 @@ fn sketches_cannot_serve_problem_one_but_sprofile_can() {
         ss.observe(17);
     }
     assert_eq!(profile.mode().unwrap().object, 17, "live mode");
-    assert_eq!(ss.top_k(1)[0].0, 9, "insert-only sketch is stuck on stale mode");
+    assert_eq!(
+        ss.top_k(1)[0].0,
+        9,
+        "insert-only sketch is stuck on stale mode"
+    );
 }

@@ -127,8 +127,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<Event> = BurstyConfig::uniform(50, 3).generator().take(2000).collect();
-        let b: Vec<Event> = BurstyConfig::uniform(50, 3).generator().take(2000).collect();
+        let a: Vec<Event> = BurstyConfig::uniform(50, 3)
+            .generator()
+            .take(2000)
+            .collect();
+        let b: Vec<Event> = BurstyConfig::uniform(50, 3)
+            .generator()
+            .take(2000)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -69,7 +69,10 @@ impl Sampler {
         assert!(m > 0, "cannot sample object ids from an empty universe");
         match pdf {
             Pdf::Normal { sigma, mu } => {
-                assert!(sigma.is_finite() && sigma >= 0.0, "bad normal sigma {sigma}");
+                assert!(
+                    sigma.is_finite() && sigma >= 0.0,
+                    "bad normal sigma {sigma}"
+                );
                 assert!(mu.is_finite(), "bad normal mu {mu}");
             }
             Pdf::LogNormal { ln_sigma, ln_mu } => {
@@ -186,7 +189,10 @@ mod tests {
     fn normal_concentrates_around_mu() {
         let m = 100;
         let h = histogram(
-            Pdf::Normal { mu: 50.0, sigma: 5.0 },
+            Pdf::Normal {
+                mu: 50.0,
+                sigma: 5.0,
+            },
             m,
             50_000,
             2,
@@ -210,14 +216,20 @@ mod tests {
         let m = 10;
         // µ far outside the range: everything clamps to the top id.
         let h = histogram(
-            Pdf::Normal { mu: 1e9, sigma: 1.0 },
+            Pdf::Normal {
+                mu: 1e9,
+                sigma: 1.0,
+            },
             m,
             1000,
             3,
         );
         assert_eq!(h[9], 1000);
         let h = histogram(
-            Pdf::Normal { mu: -1e9, sigma: 1.0 },
+            Pdf::Normal {
+                mu: -1e9,
+                sigma: 1.0,
+            },
             m,
             1000,
             4,
@@ -229,7 +241,10 @@ mod tests {
     fn lognormal_is_skewed_right() {
         let m = 1000;
         let h = histogram(
-            Pdf::LogNormal { ln_mu: 3.0, ln_sigma: 1.0 },
+            Pdf::LogNormal {
+                ln_mu: 3.0,
+                ln_sigma: 1.0,
+            },
             m,
             50_000,
             5,
@@ -269,9 +284,33 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let a = histogram(Pdf::Normal { mu: 5.0, sigma: 2.0 }, 10, 1000, 42);
-        let b = histogram(Pdf::Normal { mu: 5.0, sigma: 2.0 }, 10, 1000, 42);
-        let c = histogram(Pdf::Normal { mu: 5.0, sigma: 2.0 }, 10, 1000, 43);
+        let a = histogram(
+            Pdf::Normal {
+                mu: 5.0,
+                sigma: 2.0,
+            },
+            10,
+            1000,
+            42,
+        );
+        let b = histogram(
+            Pdf::Normal {
+                mu: 5.0,
+                sigma: 2.0,
+            },
+            10,
+            1000,
+            42,
+        );
+        let c = histogram(
+            Pdf::Normal {
+                mu: 5.0,
+                sigma: 2.0,
+            },
+            10,
+            1000,
+            43,
+        );
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -291,7 +330,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "bad normal sigma")]
     fn negative_sigma_rejected() {
-        let _ = Sampler::new(Pdf::Normal { mu: 0.0, sigma: -1.0 }, 10);
+        let _ = Sampler::new(
+            Pdf::Normal {
+                mu: 0.0,
+                sigma: -1.0,
+            },
+            10,
+        );
     }
 
     #[test]
@@ -299,8 +344,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for pdf in [
             Pdf::Uniform,
-            Pdf::Normal { mu: 3.0, sigma: 100.0 },
-            Pdf::LogNormal { ln_mu: 0.0, ln_sigma: 3.0 },
+            Pdf::Normal {
+                mu: 3.0,
+                sigma: 100.0,
+            },
+            Pdf::LogNormal {
+                ln_mu: 0.0,
+                ln_sigma: 3.0,
+            },
             Pdf::Zipf { exponent: 2.0 },
             Pdf::Point { object: 2 },
         ] {

@@ -24,12 +24,18 @@ pub struct Event {
 impl Event {
     /// Creates an "add" event.
     pub fn add(object: u32) -> Self {
-        Event { object, is_add: true }
+        Event {
+            object,
+            is_add: true,
+        }
     }
 
     /// Creates a "remove" event.
     pub fn remove(object: u32) -> Self {
-        Event { object, is_add: false }
+        Event {
+            object,
+            is_add: false,
+        }
     }
 
     /// Applies this event to any profiler.
@@ -262,11 +268,19 @@ mod tests {
         let m = 3000u32;
         let events = StreamConfig::stream2(m, 11).take_events(60_000);
         let add_mean: f64 = {
-            let adds: Vec<u32> = events.iter().filter(|e| e.is_add).map(|e| e.object).collect();
+            let adds: Vec<u32> = events
+                .iter()
+                .filter(|e| e.is_add)
+                .map(|e| e.object)
+                .collect();
             adds.iter().map(|&x| x as f64).sum::<f64>() / adds.len() as f64
         };
         let rem_mean: f64 = {
-            let rems: Vec<u32> = events.iter().filter(|e| !e.is_add).map(|e| e.object).collect();
+            let rems: Vec<u32> = events
+                .iter()
+                .filter(|e| !e.is_add)
+                .map(|e| e.object)
+                .collect();
             rems.iter().map(|&x| x as f64).sum::<f64>() / rems.len() as f64
         };
         // posPDF centred at 2m/3, negPDF at m/3.

@@ -8,8 +8,8 @@
 //! Run with: `cargo run --release --example graph_shaving`
 
 use sprofile_graph::{
-    densest_subgraph, detect_dense_block, kcore_decomposition, BipartiteGraph, BucketPeeler,
-    Graph, SProfilePeeler,
+    densest_subgraph, detect_dense_block, kcore_decomposition, BipartiteGraph, BucketPeeler, Graph,
+    SProfilePeeler,
 };
 
 fn main() {

@@ -35,7 +35,10 @@ fn main() {
     }
 
     println!("stream: {n} adds over m = {m} objects (zipf 1.1)\n");
-    println!("{:<24} {:>10} {:>10} {:>10} {:>10}", "top-5", "exact", "space-sav", "misra-g", "lossy");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10}",
+        "top-5", "exact", "space-sav", "misra-g", "lossy"
+    );
     for (obj, f) in exact.top_k(5) {
         println!(
             "object {obj:<16} {f:>10} {:>10} {:>10} {:>10}",

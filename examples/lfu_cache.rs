@@ -28,9 +28,7 @@ fn main() {
         }
     }
     let (hits, misses, evictions) = cache.stats();
-    println!(
-        "LFU cache (256 slots, {universe}-object Zipf trace, {N} requests):"
-    );
+    println!("LFU cache (256 slots, {universe}-object Zipf trace, {N} requests):");
     println!(
         "  hit rate {:.1}%  ({hits} hits / {misses} misses, {evictions} evictions)",
         100.0 * hits as f64 / (hits + misses) as f64

@@ -37,7 +37,10 @@ fn main() {
     );
 
     println!("top-3: {:?}", profile.top_k(3));
-    println!("median net likes over all videos: {}", profile.median().unwrap());
+    println!(
+        "median net likes over all videos: {}",
+        profile.median().unwrap()
+    );
     println!(
         "2nd-highest like count: {}",
         profile.kth_largest(2).unwrap().1

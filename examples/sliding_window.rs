@@ -23,7 +23,10 @@ fn main() {
     let phase1 = StreamConfig {
         m,
         add_probability: 0.8,
-        pos: Pdf::Normal { mu: 150.0, sigma: 60.0 },
+        pos: Pdf::Normal {
+            mu: 150.0,
+            sigma: 60.0,
+        },
         neg: Pdf::Uniform,
         seed: 1,
     };
@@ -35,7 +38,13 @@ fn main() {
 
     // Phase 2: attention shifts to the high ids.
     let mut rng = StdRng::seed_from_u64(2);
-    let mut hot = Sampler::new(Pdf::Normal { mu: 850.0, sigma: 40.0 }, m);
+    let mut hot = Sampler::new(
+        Pdf::Normal {
+            mu: 850.0,
+            sigma: 40.0,
+        },
+        m,
+    );
     for _ in 0..8_000 {
         let x = hot.sample(&mut rng);
         global.add(x);
@@ -62,8 +71,5 @@ fn report(label: &str, global: &SProfile, window: &SlidingWindowProfile) {
         "  windowed mode:   object {:4} (frequency {})",
         w.object, w.frequency
     );
-    println!(
-        "  windowed top-3:  {:?}\n",
-        window.profile().top_k(3)
-    );
+    println!("  windowed top-3:  {:?}\n", window.profile().top_k(3));
 }

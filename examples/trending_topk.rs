@@ -34,7 +34,10 @@ fn main() {
         }
 
         if step % REPORT_EVERY == 0 {
-            println!("after {step} events (bursts so far: {}):", stream.bursts_started());
+            println!(
+                "after {step} events (bursts so far: {}):",
+                stream.bursts_started()
+            );
             for (rank, (tag, score)) in trending.top_k(5).into_iter().enumerate() {
                 println!("  {}. {tag:10} net score {score}", rank + 1);
             }

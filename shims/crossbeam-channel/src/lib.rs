@@ -1,0 +1,161 @@
+//! Offline stand-in for
+//! [`crossbeam-channel`](https://crates.io/crates/crossbeam-channel),
+//! backed by `std::sync::mpsc`.
+//!
+//! Covers the subset this workspace uses: [`bounded`] / [`unbounded`]
+//! constructors, cloneable [`Sender`]s, blocking [`Receiver::recv`], and
+//! draining a receiver with a `for` loop. The std backend is MPSC, not
+//! MPMC — receivers are not cloneable — which matches every usage here
+//! (single-owner pipeline threads and one-shot reply channels).
+
+use std::fmt;
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like real crossbeam-channel, Debug does not require `T: Debug`.
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel is currently empty but senders remain.
+    Empty,
+    /// Channel is empty and all senders are gone.
+    Disconnected,
+}
+
+enum SenderInner<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+/// The sending half of a channel. Cheap to clone; safe to move across
+/// threads.
+pub struct Sender<T>(SenderInner<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self(match &self.0 {
+            SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+            SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+        })
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send `value`, blocking if the channel is bounded and full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            SenderInner::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            SenderInner::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Block until a value arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|mpsc::RecvError| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocking iterator over received values; ends when all senders are
+    /// dropped.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.0.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// An unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(SenderInner::Unbounded(tx)), Receiver(rx))
+}
+
+/// A bounded FIFO channel with capacity `cap`; sends block when full.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(SenderInner::Bounded(tx)), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn bounded_reply_round_trip() {
+        let (tx, rx) = bounded(1);
+        std::thread::spawn(move || tx.send(99).unwrap());
+        assert_eq!(rx.recv(), Ok(99));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.iter().count(), 2);
+    }
+}

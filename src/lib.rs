@@ -1,0 +1,7 @@
+//! Umbrella package for the S-Profile workspace.
+//!
+//! This crate intentionally exports nothing: it exists so the repo-root
+//! `tests/` (cross-crate integration suites) and `examples/` (runnable
+//! walkthroughs) participate in `cargo test` / `cargo build` at the
+//! workspace root. The library code lives in the `crates/` members —
+//! start with the `sprofile` crate (`crates/core`).

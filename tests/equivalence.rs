@@ -41,9 +41,24 @@ fn check_all_agree(events: impl Iterator<Item = Event>, m: u32, checkpoint: usiz
         assert_eq!(heap.mode().unwrap().1, want_mode, "{label}@{i}: heap mode");
         let rankers: [&dyn RankQueries; 7] = [&sp, &treap, &avl, &btree, &sv, &bucket, &hashrun];
         for p in rankers {
-            assert_eq!(p.mode().unwrap().1, want_mode, "{label}@{i}: {} mode", p.name());
-            assert_eq!(p.least().unwrap().1, want_least, "{label}@{i}: {} least", p.name());
-            assert_eq!(p.median_frequency(), want_median, "{label}@{i}: {} median", p.name());
+            assert_eq!(
+                p.mode().unwrap().1,
+                want_mode,
+                "{label}@{i}: {} mode",
+                p.name()
+            );
+            assert_eq!(
+                p.least().unwrap().1,
+                want_least,
+                "{label}@{i}: {} least",
+                p.name()
+            );
+            assert_eq!(
+                p.median_frequency(),
+                want_median,
+                "{label}@{i}: {} median",
+                p.name()
+            );
             for k in [1u32, m / 3 + 1, m] {
                 assert_eq!(
                     p.kth_largest_frequency(k),
@@ -145,5 +160,8 @@ fn trait_objects_compose_across_crates() {
         }
     }
     let modes: Vec<i64> = structures.iter().map(|s| s.mode().unwrap().1).collect();
-    assert!(modes.windows(2).all(|w| w[0] == w[1]), "modes diverged: {modes:?}");
+    assert!(
+        modes.windows(2).all(|w| w[0] == w[1]),
+        "modes diverged: {modes:?}"
+    );
 }

@@ -2,10 +2,9 @@
 //! profile, and the sliding window answer the *same questions* where
 //! their domains overlap — and must agree there.
 
-use sprofile::{SlidingWindowProfile, SProfile, Tuple};
+use sprofile::{SProfile, SlidingWindowProfile, Tuple};
 use sprofile_rangequery::{
-    MedianScan, NaiveScan, PrefixCounts, RangeMedianQuery, RangeModeQuery,
-    SqrtDecomposition,
+    MedianScan, NaiveScan, PrefixCounts, RangeMedianQuery, RangeModeQuery, SqrtDecomposition,
 };
 use sprofile_streamgen::StreamConfig;
 
@@ -37,8 +36,7 @@ fn window_mode_equals_range_mode_of_the_suffix() {
             let range = sqrt.range_mode(i + 1 - w, i + 1).unwrap();
             let mode = win.profile().mode().unwrap();
             assert_eq!(
-                mode.frequency as u32,
-                range.count,
+                mode.frequency as u32, range.count,
                 "window vs range at i = {i}"
             );
         }

@@ -27,7 +27,7 @@ fn sketch_tracks_exact_window_within_epsilon() {
 
     let mut now = 0u64;
     for step in 0..30_000u64 {
-        now += rng.gen_range(0..2);
+        now += rng.gen_range(0u64..2);
         let x = sampler.sample(&mut rng);
         exact.push(now, Tuple::add(x));
         if x == tracked {
@@ -69,8 +69,7 @@ fn tracking_every_object_with_sketches_costs_more_than_the_profile_for_small_m()
     // comparable or smaller, which is the regime the paper targets.
     let m = 32u32;
     let window = 256u64;
-    let mut sketches: Vec<ExpHistogram> =
-        (0..m).map(|_| ExpHistogram::new(window, 0.1)).collect();
+    let mut sketches: Vec<ExpHistogram> = (0..m).map(|_| ExpHistogram::new(window, 0.1)).collect();
     let mut exact = TimedWindowProfile::new(m, window);
     let mut rng = StdRng::seed_from_u64(5);
     for now in 0..5_000u64 {

@@ -49,7 +49,11 @@ fn timed_window_agrees_with_count_window_on_unit_spacing() {
     let w = 128;
     let mut count_win = SlidingWindowProfile::new(m, w);
     let mut timed_win = TimedWindowProfile::new(m, w as u64);
-    for (ts, e) in StreamConfig::stream2(m, 5).generator().take(3_000).enumerate() {
+    for (ts, e) in StreamConfig::stream2(m, 5)
+        .generator()
+        .take(3_000)
+        .enumerate()
+    {
         count_win.push(e.to_tuple());
         timed_win.push(ts as u64, e.to_tuple());
         assert_eq!(
@@ -81,7 +85,10 @@ fn kcore_backends_agree_on_generated_graphs() {
 fn densest_subgraph_beats_average_density() {
     let g = Graph::erdos_renyi(300, 2_000, 44);
     let r = densest_subgraph::<SProfilePeeler>(&g).unwrap();
-    assert!(r.density >= r.initial_density, "greedy can never do worse than the full graph");
+    assert!(
+        r.density >= r.initial_density,
+        "greedy can never do worse than the full graph"
+    );
     assert!((induced_density(&g, &r.members) - r.density).abs() < 1e-9);
 }
 
