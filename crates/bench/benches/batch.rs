@@ -1,0 +1,257 @@
+//! Batched vs per-op ingestion across the stack: `SProfile::apply_batch`
+//! (replay / counting-sort-rebuild crossover), `ShardedProfile::apply_batch`
+//! (one lock per shard per batch), and the pipeline's `Command::Batch`
+//! (one channel send per batch).
+//!
+//! Besides the criterion groups, `record_json` re-times the headline
+//! configurations with a plain best-of-N wall clock and writes
+//! `BENCH_batch.json` at the workspace root, so CI can upload the summary
+//! as an artifact and the perf trajectory accumulates across PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sprofile::{SProfile, Tuple};
+use sprofile_concurrent::{PipelineProfiler, ShardedProfile};
+use sprofile_streamgen::StreamConfig;
+use std::time::Instant;
+
+/// Universe size. The paper's firehose regime: a modest universe of hot
+/// entities under a stream that dwarfs it, so medium batches (4k ≈ 4·m)
+/// land beyond the bulk-rebuild crossover while small batches exercise
+/// the amortized-replay path.
+const M: u32 = 1_024;
+/// Events per measured ingestion run (= the largest batch size).
+const EVENTS: usize = 262_144;
+/// Batch sizes swept by the ISSUE: per-op equivalent, small, medium, huge.
+const BATCH_SIZES: [usize; 4] = [1, 64, 4_096, 262_144];
+const SHARD_COUNTS: [usize; 2] = [1, 8];
+
+fn tuples() -> Vec<Tuple> {
+    StreamConfig::stream1(M, 99)
+        .take_events(EVENTS)
+        .into_iter()
+        .map(|e| Tuple {
+            object: e.object,
+            is_add: e.is_add,
+        })
+        .collect()
+}
+
+fn bench_sprofile(c: &mut Criterion) {
+    let evs = tuples();
+    let mut group = c.benchmark_group("batch_sprofile");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+
+    group.bench_function("per_op", |b| {
+        b.iter(|| {
+            let mut p = SProfile::new(M);
+            for t in &evs {
+                p.apply(*t);
+            }
+            p.len()
+        })
+    });
+    for batch in BATCH_SIZES {
+        group.bench_with_input(BenchmarkId::new("batched", batch), &evs, |b, evs| {
+            b.iter(|| {
+                let mut p = SProfile::new(M);
+                for chunk in evs.chunks(batch) {
+                    p.apply_batch(chunk);
+                }
+                p.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let evs = tuples();
+    let mut group = c.benchmark_group("batch_sharded");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+
+    for shards in SHARD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("per_op", shards), &evs, |b, evs| {
+            b.iter(|| {
+                let p = ShardedProfile::new(M, shards);
+                for t in evs {
+                    if t.is_add {
+                        p.add(t.object);
+                    } else {
+                        p.remove(t.object);
+                    }
+                }
+                p.len()
+            })
+        });
+        for batch in BATCH_SIZES {
+            group.bench_with_input(
+                BenchmarkId::new(format!("batched_{shards}_shards"), batch),
+                &evs,
+                |b, evs| {
+                    b.iter(|| {
+                        let p = ShardedProfile::new(M, shards);
+                        for chunk in evs.chunks(batch) {
+                            p.apply_batch(chunk);
+                        }
+                        p.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let evs = tuples();
+    let mut group = c.benchmark_group("batch_pipeline");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(5);
+
+    group.bench_function("per_op", |b| {
+        b.iter(|| {
+            let pipe = PipelineProfiler::spawn(M);
+            let h = pipe.handle();
+            for t in &evs {
+                if t.is_add {
+                    h.add(t.object);
+                } else {
+                    h.remove(t.object);
+                }
+            }
+            drop(h);
+            pipe.shutdown()
+        })
+    });
+    for batch in [64usize, 4_096] {
+        group.bench_with_input(BenchmarkId::new("batched", batch), &evs, |b, evs| {
+            b.iter(|| {
+                let pipe = PipelineProfiler::spawn(M);
+                let h = pipe.handle();
+                for chunk in evs.chunks(batch) {
+                    h.apply_batch(chunk.to_vec());
+                }
+                drop(h);
+                pipe.shutdown()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Best-of-N wall clock per event for one full ingestion of the stream.
+fn ns_per_event(repeats: u32, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        run();
+        let ns = start.elapsed().as_nanos() as f64 / EVENTS as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+/// Times the headline configurations and writes `BENCH_batch.json` at the
+/// workspace root (override the path with `BENCH_BATCH_OUT`).
+fn record_json(_c: &mut Criterion) {
+    let evs = tuples();
+
+    let sp_per_op = ns_per_event(5, || {
+        let mut p = SProfile::new(M);
+        for t in &evs {
+            p.apply(*t);
+        }
+    });
+    let sp_batched: Vec<(usize, f64)> = BATCH_SIZES
+        .iter()
+        .map(|&batch| {
+            let ns = ns_per_event(5, || {
+                let mut p = SProfile::new(M);
+                for chunk in evs.chunks(batch) {
+                    p.apply_batch(chunk);
+                }
+            });
+            (batch, ns)
+        })
+        .collect();
+
+    let mut sharded = Vec::new();
+    for shards in SHARD_COUNTS {
+        let per_op = ns_per_event(5, || {
+            let p = ShardedProfile::new(M, shards);
+            for t in &evs {
+                if t.is_add {
+                    p.add(t.object);
+                } else {
+                    p.remove(t.object);
+                }
+            }
+        });
+        let batched: Vec<(usize, f64)> = BATCH_SIZES
+            .iter()
+            .map(|&batch| {
+                let ns = ns_per_event(5, || {
+                    let p = ShardedProfile::new(M, shards);
+                    for chunk in evs.chunks(batch) {
+                        p.apply_batch(chunk);
+                    }
+                });
+                (batch, ns)
+            })
+            .collect();
+        sharded.push((shards, per_op, batched));
+    }
+
+    let json_batches = |pairs: &[(usize, f64)]| -> String {
+        pairs
+            .iter()
+            .map(|(b, ns)| format!("\"{b}\": {ns:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut shard_sections = Vec::new();
+    let mut speedup_4k_8_shards = 0.0f64;
+    for (shards, per_op, batched) in &sharded {
+        let at_4k = batched
+            .iter()
+            .find(|(b, _)| *b == 4_096)
+            .map(|&(_, ns)| ns)
+            .unwrap_or(f64::NAN);
+        let speedup = per_op / at_4k;
+        if *shards == 8 {
+            speedup_4k_8_shards = speedup;
+        }
+        shard_sections.push(format!(
+            "    \"{shards}\": {{\"per_op_ns_per_event\": {per_op:.2}, \
+             \"batched_ns_per_event\": {{{}}}, \"speedup_at_4096\": {speedup:.2}}}",
+            json_batches(batched)
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"batch\",\n  \"m\": {M},\n  \"events\": {EVENTS},\n  \
+         \"sprofile\": {{\"per_op_ns_per_event\": {sp_per_op:.2}, \
+         \"batched_ns_per_event\": {{{}}}}},\n  \"sharded\": {{\n{}\n  }},\n  \
+         \"speedup_sharded8_batch4096\": {speedup_4k_8_shards:.2}\n}}\n",
+        json_batches(&sp_batched),
+        shard_sections.join(",\n"),
+    );
+
+    let path = std::env::var("BENCH_BATCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json").into());
+    std::fs::write(&path, &json).expect("write BENCH_batch.json");
+    println!("bench batch summary written to {path}");
+    println!("{json}");
+}
+
+criterion_group!(
+    benches,
+    bench_sprofile,
+    bench_sharded,
+    bench_pipeline,
+    record_json
+);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use std::io::{BufRead, Write};
 
-use sprofile::SProfile;
+use sprofile::{SProfile, Tuple};
 use sprofile_streamgen::{Event, StreamConfig};
 
 use crate::textio::{read_events, write_events, ParseError};
@@ -144,7 +144,56 @@ pub fn profile<R: BufRead, W: Write>(
     for e in &events {
         apply_checked(&mut p, e)?;
     }
-    writeln!(out, "events:            {}", events.len())?;
+    report(opts, &p, events.len() as u64, out)
+}
+
+/// `ingest`: like `profile`, but reads the input in chunks and applies
+/// each chunk through the batched ingestion fast path
+/// ([`SProfile::apply_batch`]) — the CLI shape of a firehose consumer.
+/// Lines are parsed and validated as they stream in; large chunks hit
+/// the counting-sort bulk-rebuild path instead of per-tuple updates.
+pub fn ingest<R: BufRead, W: Write>(
+    opts: &ProfileOpts,
+    chunk_size: usize,
+    input: R,
+    out: &mut W,
+) -> Result<(), CommandError> {
+    debug_assert!(chunk_size > 0, "caller validates --chunk");
+    let mut p = SProfile::new(opts.m);
+    let mut buffer: Vec<Tuple> = Vec::with_capacity(chunk_size);
+    let mut total = 0u64;
+    for (i, line) in input.lines().enumerate() {
+        let line = line.map_err(CommandError::Io)?;
+        let Some(e) = crate::textio::parse_line(&line, i + 1)? else {
+            continue;
+        };
+        if e.object >= opts.m {
+            return Err(CommandError::OutOfRange {
+                object: e.object,
+                m: opts.m,
+            });
+        }
+        buffer.push(Tuple {
+            object: e.object,
+            is_add: e.is_add,
+        });
+        if buffer.len() >= chunk_size {
+            total += p.apply_batch(&buffer);
+            buffer.clear();
+        }
+    }
+    total += p.apply_batch(&buffer);
+    report(opts, &p, total, out)
+}
+
+/// The shared statistics report of `profile` and `ingest`.
+fn report<W: Write>(
+    opts: &ProfileOpts,
+    p: &SProfile,
+    events: u64,
+    out: &mut W,
+) -> Result<(), CommandError> {
+    writeln!(out, "events:            {events}")?;
     writeln!(out, "net length:        {}", p.len())?;
     writeln!(out, "distinct active:   {}", p.distinct_active())?;
     writeln!(out, "distinct freqs:    {}", p.num_blocks())?;
@@ -373,6 +422,50 @@ mod tests {
         generate(&opts, &mut a).unwrap();
         generate(&opts, &mut b).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ingest_matches_profile_report_for_any_chunk_size() {
+        let opts = GenerateOpts {
+            stream: StreamChoice::Stream2,
+            m: 40,
+            n: 2_000,
+            seed: 31,
+        };
+        let mut text = Vec::new();
+        generate(&opts, &mut text).unwrap();
+        let popts = ProfileOpts {
+            m: 40,
+            top: 5,
+            histogram: true,
+        };
+        let mut reference = Vec::new();
+        profile(&popts, Cursor::new(&text), &mut reference).unwrap();
+        for chunk in [1usize, 7, 256, 100_000] {
+            let mut got = Vec::new();
+            ingest(&popts, chunk, Cursor::new(&text), &mut got).unwrap();
+            assert_eq!(
+                String::from_utf8(got).unwrap(),
+                String::from_utf8(reference.clone()).unwrap(),
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_rejects_out_of_range_before_applying() {
+        let err = ingest(
+            &ProfileOpts {
+                m: 3,
+                top: 0,
+                histogram: false,
+            },
+            64,
+            Cursor::new("a 0\na 9\n"),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! sprofile generate --stream 1 --m 1000 --n 100000 --seed 7 > events.txt
 //! sprofile profile events.txt --m 1000 --top 10 --histogram
+//! sprofile ingest events.txt --m 1000 --chunk 8192 --top 10
 //! sprofile watch events.txt --m 1000 --every 10000 --top 5
 //! ```
 //!
@@ -18,13 +19,15 @@ mod commands;
 mod textio;
 
 use commands::{
-    generate, heavy_hitters, profile, watch, GenerateOpts, HhOpts, ProfileOpts, StreamChoice,
+    generate, heavy_hitters, ingest, profile, watch, GenerateOpts, HhOpts, ProfileOpts,
+    StreamChoice,
 };
 
 fn usage() -> &'static str {
     "usage:\n  \
      sprofile generate --stream <1|2|3|zipf:EXP> --m <M> --n <N> [--seed <S>]\n  \
      sprofile profile  [FILE] --m <M> [--top <K>] [--histogram]\n  \
+     sprofile ingest   [FILE] --m <M> [--chunk <N>] [--top <K>] [--histogram]\n  \
      sprofile watch    [FILE] --m <M> [--every <N>] [--top <K>]\n  \
      sprofile hh       [FILE] --m <M> [--counters <K>] [--phi <F>]\n\n\
      Event format: one per line, 'a <id>' to add, 'r <id>' to remove\n\
@@ -129,6 +132,24 @@ fn run() -> Result<(), String> {
             let stdout = io::stdout();
             let mut out = BufWriter::new(stdout.lock());
             profile(&opts, input, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "ingest" => {
+            let opts = ProfileOpts {
+                m: args.get_parsed("m", 1_000_000u32)?,
+                top: args.get_parsed("top", 10u32)?,
+                histogram: args.has("histogram"),
+            };
+            let chunk = args.get_parsed("chunk", 8_192usize)?;
+            if chunk == 0 {
+                return Err("--chunk must be positive".into());
+            }
+            let input = open_input(args.positional.first().map(String::as_str))
+                .map_err(|e| e.to_string())?;
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            ingest(&opts, chunk, input, &mut out).map_err(|e| e.to_string())?;
             out.flush().map_err(|e| e.to_string())?;
             Ok(())
         }

@@ -10,13 +10,17 @@
 //! FIFO order makes the whole history linearisable).
 
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
-use sprofile::SProfile;
+use sprofile::{SProfile, Tuple};
 use std::thread::JoinHandle;
 
 /// Commands accepted by the owner thread.
 enum Command {
     Add(u32),
     Remove(u32),
+    /// A whole batch of updates in one channel send: producers amortize
+    /// the per-send synchronisation and the owner applies it through
+    /// [`SProfile::apply_batch`]'s fast path.
+    Batch(Vec<Tuple>),
     Mode(Sender<Option<(u32, i64)>>),
     Least(Sender<Option<(u32, i64)>>),
     Frequency(u32, Sender<i64>),
@@ -98,6 +102,9 @@ fn run_owner(m: u32, rx: Receiver<Command>) -> u64 {
                 profile.remove(x);
                 applied += 1;
             }
+            Command::Batch(batch) => {
+                applied += profile.apply_batch(&batch);
+            }
             Command::Mode(reply) => {
                 let _ = reply.send(profile.mode().map(|e| (e.object, e.frequency)));
             }
@@ -134,6 +141,30 @@ impl PipelineHandle {
     /// Enqueue one "remove" event.
     pub fn remove(&self, x: u32) {
         self.send(Command::Remove(x));
+    }
+
+    /// Enqueue a whole batch of updates in **one** channel send. The
+    /// owner applies it through the batched ingestion fast path, so a
+    /// firehose producer pays one send per batch instead of one per
+    /// tuple. Order is preserved relative to other commands on this
+    /// handle; an empty batch is a no-op.
+    ///
+    /// # Example
+    /// ```
+    /// use sprofile::Tuple;
+    /// use sprofile_concurrent::PipelineProfiler;
+    ///
+    /// let p = PipelineProfiler::spawn(100);
+    /// let h = p.handle();
+    /// h.apply_batch(vec![Tuple::add(5), Tuple::add(5), Tuple::remove(9)]);
+    /// assert_eq!(h.frequency(5), 2);
+    /// drop(h);
+    /// assert_eq!(p.shutdown(), 3);
+    /// ```
+    pub fn apply_batch(&self, batch: Vec<Tuple>) {
+        if !batch.is_empty() {
+            self.send(Command::Batch(batch));
+        }
     }
 
     /// Mode `(object, frequency)` as of all previously sent updates.
@@ -265,6 +296,51 @@ mod tests {
         }
         drop(h);
         assert_eq!(p.shutdown(), 8 * 1600);
+    }
+
+    #[test]
+    fn batched_sends_agree_with_per_op_sends() {
+        use sprofile_streamgen::StreamConfig;
+
+        let m = 200;
+        let events = StreamConfig::stream1(m, 5).take_events(10_000);
+        let tuples: Vec<Tuple> = events
+            .iter()
+            .map(|e| Tuple {
+                object: e.object,
+                is_add: e.is_add,
+            })
+            .collect();
+
+        let per_op = PipelineProfiler::spawn(m);
+        let hp = per_op.handle();
+        for t in &tuples {
+            if t.is_add {
+                hp.add(t.object);
+            } else {
+                hp.remove(t.object);
+            }
+        }
+
+        let batched = PipelineProfiler::spawn(m);
+        let hb = batched.handle();
+        for chunk in tuples.chunks(512) {
+            hb.apply_batch(chunk.to_vec());
+        }
+        hb.apply_batch(Vec::new()); // no-op
+
+        assert_eq!(hp.flush(), 10_000);
+        assert_eq!(hb.flush(), 10_000);
+        assert_eq!(hb.mode(), hp.mode());
+        assert_eq!(hb.median(), hp.median());
+        assert_eq!(hb.top_k(15), hp.top_k(15));
+        for x in (0..m).step_by(13) {
+            assert_eq!(hb.frequency(x), hp.frequency(x), "object {x}");
+        }
+        drop(hp);
+        drop(hb);
+        per_op.shutdown();
+        batched.shutdown();
     }
 
     #[test]

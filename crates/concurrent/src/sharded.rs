@@ -2,7 +2,7 @@
 //! mutexes, global answers combined on demand.
 
 use parking_lot::Mutex;
-use sprofile::SProfile;
+use sprofile::{SProfile, Tuple};
 
 /// A multi-writer profile over `[0, m)`, sharded by `object % p`.
 ///
@@ -74,6 +74,100 @@ impl ShardedProfile {
     pub fn remove(&self, x: u32) -> i64 {
         let (s, local) = self.locate(x);
         self.shards[s].lock().remove(local)
+    }
+
+    /// Record a whole batch of log-stream tuples (global ids); returns
+    /// how many were applied.
+    ///
+    /// The batch is partitioned once into per-shard sub-batches, and each
+    /// involved shard's lock is taken **exactly once** for one
+    /// [`SProfile::apply_batch`] call — so producers pay one lock
+    /// round-trip per shard instead of one per tuple, and large
+    /// sub-batches additionally hit the counting-sort bulk-rebuild path.
+    /// All ids are validated before any shard is touched; shards not
+    /// named in the batch are never locked.
+    ///
+    /// Concurrency note: tuples of one `apply_batch` land atomically *per
+    /// shard*, not globally — exactly like the equivalent per-op loop,
+    /// concurrent readers may observe a shard-consistent interleaving.
+    ///
+    /// # Panics
+    /// If any tuple's object id is `>= m`.
+    ///
+    /// # Example
+    /// ```
+    /// use sprofile::Tuple;
+    /// use sprofile_concurrent::ShardedProfile;
+    ///
+    /// let p = ShardedProfile::new(1000, 8);
+    /// p.apply_batch(&[Tuple::add(42), Tuple::add(42), Tuple::remove(7)]);
+    /// assert_eq!(p.frequency(42), 2);
+    /// assert_eq!(p.frequency(7), -1);
+    /// ```
+    pub fn apply_batch(&self, batch: &[Tuple]) -> u64 {
+        let p = self.shards.len() as u32;
+        let m = self.m;
+        // Validate everything up front so a panic touches no shard,
+        // whichever branch below applies the batch.
+        for t in batch {
+            assert!(
+                t.object < m,
+                "object {} outside universe [0, {m})",
+                t.object
+            );
+        }
+        if p == 1 {
+            // Shard 0 owns every id and local ids equal global ids: skip
+            // the partition entirely.
+            if !batch.is_empty() {
+                self.shards[0].lock().apply_batch(batch);
+            }
+            return batch.len() as u64;
+        }
+        if batch.len() < p as usize {
+            // Fewer tuples than shards: the partition scaffolding costs
+            // more than it saves — fall through to per-op updates.
+            for t in batch {
+                let shard = &self.shards[(t.object % p) as usize];
+                if t.is_add {
+                    shard.lock().add(t.object / p);
+                } else {
+                    shard.lock().remove(t.object / p);
+                }
+            }
+            return batch.len() as u64;
+        }
+        // One partition pass into pre-sized per-shard sub-batches, no
+        // per-tuple division when p is a power of two.
+        let shift = if p.is_power_of_two() {
+            p.trailing_zeros()
+        } else {
+            0
+        };
+        let split = |x: u32| -> (u32, u32) {
+            if shift != 0 {
+                (x & (p - 1), x >> shift)
+            } else {
+                (x % p, x / p)
+            }
+        };
+        // Sized for a uniform spread plus 50% skew headroom; heavier skew
+        // just grows the one hot sub-batch amortized.
+        let cap = batch.len() / p as usize + batch.len() / (2 * p as usize) + 4;
+        let mut parts: Vec<Vec<Tuple>> = (0..p).map(|_| Vec::with_capacity(cap)).collect();
+        for t in batch {
+            let (s, local) = split(t.object);
+            parts[s as usize].push(Tuple {
+                object: local,
+                is_add: t.is_add,
+            });
+        }
+        for (s, part) in parts.iter().enumerate() {
+            if !part.is_empty() {
+                self.shards[s].lock().apply_batch(part);
+            }
+        }
+        batch.len() as u64
     }
 
     /// Current frequency of `x`.
@@ -151,20 +245,39 @@ impl ShardedProfile {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
-    /// True iff no net elements are present.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// Number of objects with a non-zero frequency, across all shards.
+    pub fn distinct_active(&self) -> u32 {
+        self.shards.iter().map(|s| s.lock().distinct_active()).sum()
     }
 
-    /// Global top-K `(object, frequency)` by K-way merge of per-shard
-    /// top-K lists: O(p·K) gathered under staggered locks, then one sort.
+    /// True iff every object sits at frequency zero. Like
+    /// [`SProfile::is_empty`] this is based on the non-zero-object count,
+    /// *not* on the net length: `+x` followed by `−y` leaves two non-zero
+    /// objects and a net length of 0 — and is not empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Global top-K `(object, frequency)`, most frequent first, equal
+    /// frequencies ascending by object id — exactly the list
+    /// [`SProfile::top_k`] returns for the same frequencies, shard count
+    /// notwithstanding.
+    ///
+    /// Each shard is asked for its top-K **with ties over-fetched at the
+    /// cut** ([`SProfile::top_k_with_ties`]): arbitrarily truncating
+    /// per-shard lists at exactly `k` could drop a small-id object tied
+    /// at a shard's boundary while a larger-id tied object from another
+    /// shard survived, making the merged answer disagree with the
+    /// single-profile answer. At most `2k − 1` entries per shard are
+    /// gathered under staggered locks (each shard additionally pays a
+    /// scan of its cut-straddling frequency class), then one sort.
     pub fn top_k(&self, k: u32) -> Vec<(u32, i64)> {
         let mut all: Vec<(u32, i64)> = Vec::with_capacity(self.shards.len() * k as usize);
         for (s, shard) in self.shards.iter().enumerate() {
             let guard = shard.lock();
             all.extend(
                 guard
-                    .top_k(k)
+                    .top_k_with_ties(k)
                     .into_iter()
                     .map(|(local, f)| (self.global_id(s, local), f)),
             );
@@ -205,6 +318,10 @@ impl sprofile::FrequencyProfiler for ShardedProfile {
 
     fn remove(&mut self, x: u32) {
         ShardedProfile::remove(self, x);
+    }
+
+    fn apply_batch(&mut self, batch: &[Tuple]) -> u64 {
+        ShardedProfile::apply_batch(self, batch)
     }
 
     fn frequency(&self, x: u32) -> i64 {
@@ -324,6 +441,105 @@ mod tests {
         }
         let top = sp.top_k(5);
         assert_eq!(top, vec![(19, 19), (18, 18), (17, 17), (16, 16), (15, 15)]);
+    }
+
+    #[test]
+    fn apply_batch_matches_per_op_updates() {
+        for shards in [1usize, 3, 8] {
+            let batched = ShardedProfile::new(60, shards);
+            let per_op = ShardedProfile::new(60, shards);
+            let batch: Vec<Tuple> = (0..3000u32)
+                .map(|i| {
+                    let x = (i * 17 + i / 5) % 60;
+                    if i % 3 == 0 {
+                        Tuple::remove(x)
+                    } else {
+                        Tuple::add(x)
+                    }
+                })
+                .collect();
+            assert_eq!(batched.apply_batch(&batch), 3000);
+            for t in &batch {
+                if t.is_add {
+                    per_op.add(t.object);
+                } else {
+                    per_op.remove(t.object);
+                }
+            }
+            for x in 0..60 {
+                assert_eq!(
+                    batched.frequency(x),
+                    per_op.frequency(x),
+                    "shards {shards} object {x}"
+                );
+            }
+            assert_eq!(batched.mode(), per_op.mode());
+            assert_eq!(batched.len(), per_op.len());
+            assert_eq!(batched.top_k(10), per_op.top_k(10));
+        }
+    }
+
+    #[test]
+    fn apply_batch_empty_and_out_of_range() {
+        let sp = ShardedProfile::new(10, 3);
+        assert_eq!(sp.apply_batch(&[]), 0);
+        assert!(sp.is_empty());
+        // A valid tuple *ahead of* the bad one must not be applied —
+        // validation runs before any shard is touched, on every branch
+        // (this 2-tuple batch takes the fewer-tuples-than-shards path).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sp.apply_batch(&[Tuple::add(0), Tuple::add(10)])
+        }));
+        assert!(result.is_err(), "out-of-range id must panic");
+        assert!(sp.is_empty(), "nothing applied before the panic");
+        // Same guarantee on the partition path (batch >= shard count).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sp.apply_batch(&[Tuple::add(0), Tuple::add(1), Tuple::add(2), Tuple::add(10)])
+        }));
+        assert!(result.is_err());
+        assert!(sp.is_empty(), "nothing applied before the panic");
+    }
+
+    #[test]
+    fn is_empty_sees_cancelling_nonzero_objects() {
+        // Regression: +x then −y nets to length 0 while two objects hold
+        // non-zero (one negative) frequencies — that is NOT empty.
+        let sp = ShardedProfile::new(16, 4);
+        sp.add(3);
+        sp.remove(11);
+        assert_eq!(sp.len(), 0);
+        assert!(!sp.is_empty());
+        assert_eq!(sp.distinct_active(), 2);
+        // Undoing both really empties it.
+        sp.remove(3);
+        sp.add(11);
+        assert!(sp.is_empty());
+        assert_eq!(sp.distinct_active(), 0);
+    }
+
+    #[test]
+    fn top_k_ties_straddling_a_shard_cut_match_the_single_profile() {
+        // Regression: objects 0..8 all at frequency 1 in a 4-shard
+        // profile, k = 3. Per-shard truncation at k used to let each
+        // shard pick arbitrary tie witnesses; the merged answer must be
+        // the deterministic smallest-id tie-break the single profile
+        // reports.
+        let m = 16u32;
+        let sp = ShardedProfile::new(m, 4);
+        let mut seq = SProfile::new(m);
+        for x in 0..8u32 {
+            sp.add(x);
+            seq.add(x);
+        }
+        // A couple of higher-frequency objects so the tie class straddles
+        // the per-shard cut rather than starting at it.
+        for _ in 0..3 {
+            sp.add(9);
+            seq.add(9);
+        }
+        for k in 1..=m {
+            assert_eq!(sp.top_k(k), seq.top_k(k), "k = {k}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::hash::Hash;
 
 use crate::interner::Interner;
 use crate::profile::SProfile;
+use crate::window::Tuple;
 
 /// Minimum capacity allocated on first use.
 const MIN_CAPACITY: u32 = 4;
@@ -70,7 +71,8 @@ impl<K: Hash + Eq + Clone> GrowableProfile<K> {
         self.profile.len()
     }
 
-    /// Whether no events have been recorded (or they cancelled out).
+    /// Whether every key sits at frequency zero (no events recorded, or
+    /// each key's adds and removes cancelled out exactly).
     pub fn is_empty(&self) -> bool {
         self.profile.is_empty()
     }
@@ -86,6 +88,51 @@ impl<K: Hash + Eq + Clone> GrowableProfile<K> {
     pub fn remove(&mut self, key: K) -> i64 {
         let id = self.intern_grown(key);
         self.profile.remove(id)
+    }
+
+    /// Records an "add" for every key in one amortized pass: all keys are
+    /// interned first, the dense profile grows **at most once** (instead
+    /// of once per doubling inside a long per-op loop), and the updates
+    /// land through [`SProfile::apply_batch`]'s fast path. Returns the
+    /// number of events applied.
+    ///
+    /// # Example
+    /// ```
+    /// use sprofile::GrowableProfile;
+    ///
+    /// let mut p: GrowableProfile<&str> = GrowableProfile::new();
+    /// p.add_batch(["a", "b", "a", "a"]);
+    /// assert_eq!(p.frequency(&"a"), 3);
+    /// assert_eq!(p.mode().map(|(k, f)| (*k, f)), Some(("a", 3)));
+    /// ```
+    pub fn add_batch<I: IntoIterator<Item = K>>(&mut self, keys: I) -> u64 {
+        self.apply_batch(keys.into_iter().map(|k| (k, true)))
+    }
+
+    /// Applies a batch of `(key, is_add)` events in one amortized pass
+    /// (see [`GrowableProfile::add_batch`]); removes of unseen keys intern
+    /// them and drive their frequency negative, matching
+    /// [`GrowableProfile::remove`].
+    ///
+    /// # Example
+    /// ```
+    /// use sprofile::GrowableProfile;
+    ///
+    /// let mut p: GrowableProfile<&str> = GrowableProfile::new();
+    /// p.apply_batch([("x", true), ("x", true), ("y", false)]);
+    /// assert_eq!(p.frequency(&"x"), 2);
+    /// assert_eq!(p.frequency(&"y"), -1);
+    /// ```
+    pub fn apply_batch<I: IntoIterator<Item = (K, bool)>>(&mut self, events: I) -> u64 {
+        let tuples: Vec<Tuple> = events
+            .into_iter()
+            .map(|(key, is_add)| Tuple {
+                object: self.interner.intern(key),
+                is_add,
+            })
+            .collect();
+        self.reserve_for(self.interner.len());
+        self.profile.apply_batch(&tuples)
     }
 
     /// Current frequency of `key`; 0 for keys never seen.
@@ -148,13 +195,19 @@ impl<K: Hash + Eq + Clone> GrowableProfile<K> {
 
     fn intern_grown(&mut self, key: K) -> u32 {
         let id = self.interner.intern(key);
-        if id >= self.profile.num_objects() {
+        self.reserve_for(id + 1);
+        id
+    }
+
+    /// Grows the dense profile (geometrically, at least to `needed` ids)
+    /// if its capacity is below `needed`.
+    fn reserve_for(&mut self, needed: u32) {
+        if needed > self.profile.num_objects() {
             let target = (self.profile.num_objects().saturating_mul(2))
-                .max(id + 1)
+                .max(needed)
                 .max(MIN_CAPACITY);
             self.grow_to(target);
         }
-        id
     }
 
     /// Rebuilds the dense profile at capacity `new_m`, splicing the new
@@ -282,6 +335,41 @@ mod tests {
         // Asking for more than seen keys returns only seen keys.
         let all = p.top_k(100);
         assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn add_batch_matches_per_op_adds() {
+        let mut batched: GrowableProfile<u64> = GrowableProfile::new();
+        let mut per_op: GrowableProfile<u64> = GrowableProfile::new();
+        let keys: Vec<u64> = (0..400).map(|i| i % 93).collect();
+        assert_eq!(batched.add_batch(keys.iter().copied()), 400);
+        for &k in &keys {
+            per_op.add(k);
+        }
+        check_invariants(batched.profile()).unwrap();
+        assert_eq!(batched.num_keys(), per_op.num_keys());
+        assert_eq!(batched.len(), per_op.len());
+        for k in 0..93u64 {
+            assert_eq!(batched.frequency(&k), per_op.frequency(&k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn apply_batch_handles_mixed_events_and_growth() {
+        let mut p: GrowableProfile<String> = GrowableProfile::new();
+        let events: Vec<(String, bool)> = (0..200)
+            .map(|i| (format!("k{}", i % 70), i % 5 != 0))
+            .collect();
+        p.apply_batch(events.clone());
+        check_invariants(p.profile()).unwrap();
+        let mut naive = std::collections::HashMap::new();
+        for (k, is_add) in &events {
+            *naive.entry(k.clone()).or_insert(0i64) += if *is_add { 1 } else { -1 };
+        }
+        for (k, &f) in &naive {
+            assert_eq!(p.frequency(k), f, "key {k}");
+        }
+        assert_eq!(p.num_keys(), 70);
     }
 
     #[test]

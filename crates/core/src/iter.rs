@@ -114,7 +114,9 @@ impl SProfile {
     }
 
     /// Iterates `(object, frequency)` in descending frequency order — a lazy
-    /// top-K: `iter_descending().take(k)` equals [`SProfile::top_k`]`(k)`.
+    /// top-K: `iter_descending().take(k)` yields the same frequencies as
+    /// [`SProfile::top_k`]`(k)` (which additionally orders equal
+    /// frequencies ascending by object id).
     pub fn iter_descending(&self) -> DescendingIter<'_> {
         DescendingIter {
             p: self,

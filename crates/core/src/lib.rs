@@ -17,7 +17,7 @@
 //! | least-frequent object | O(1) |
 //! | k-th largest / smallest frequency | O(1) |
 //! | median / arbitrary quantile | O(1) |
-//! | top-K listing | O(K) |
+//! | top-K listing (deterministic tie order) | O(K log K + tie class at the cut) |
 //! | frequency histogram | O(#distinct frequencies) |
 //! | per-object frequency | O(1) |
 //!
@@ -45,7 +45,9 @@
 //!
 //! # Module map
 //!
-//! * [`SProfile`] — the core structure (paper Algorithm 1).
+//! * [`SProfile`] — the core structure (paper Algorithm 1), plus the
+//!   batched ingestion fast path ([`SProfile::apply_batch`] /
+//!   [`BatchStrategy`]).
 //! * [`Multiset`] — strict façade: counts never go below zero.
 //! * [`GrowableProfile`] + [`Interner`] — arbitrary keys, open universe.
 //! * [`SlidingWindowProfile`] / [`TimedWindowProfile`] — §2.3 windows.
@@ -64,6 +66,7 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+mod batch;
 mod block;
 mod error;
 mod growable;
@@ -80,6 +83,7 @@ pub mod verify;
 mod weighted;
 mod window;
 
+pub use batch::BatchStrategy;
 pub use block::{Block, BlockArena};
 pub use error::{Error, Result};
 pub use growable::GrowableProfile;

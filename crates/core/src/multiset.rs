@@ -9,6 +9,7 @@
 use crate::error::{Error, Result};
 use crate::profile::{Extreme, SProfile};
 use crate::query::FrequencyBucket;
+use crate::window::Tuple;
 
 /// A counted multiset over object ids `0..m` with O(1) insert/remove and
 /// O(1) mode/rank queries; removal of an absent object is an error.
@@ -89,6 +90,63 @@ impl Multiset {
     /// Fallible [`Multiset::insert`].
     pub fn try_insert(&mut self, x: u32) -> Result<u64> {
         self.inner.try_add(x).map(|f| f as u64)
+    }
+
+    /// Inserts one copy of every listed object in a single amortized pass
+    /// (the batched ingestion fast path of [`SProfile::apply_batch`]).
+    /// All-or-nothing: if any id is `>= m` the whole batch is rejected and
+    /// the multiset is unchanged. Inserts can never underflow, so this is
+    /// the safe bulk entry point. Returns the number inserted.
+    ///
+    /// # Example
+    /// ```
+    /// use sprofile::Multiset;
+    ///
+    /// let mut ms = Multiset::new(10);
+    /// assert_eq!(ms.insert_batch(&[7, 7, 3, 7]), Ok(4));
+    /// assert_eq!(ms.count(7), 3);
+    /// assert!(ms.insert_batch(&[0, 99]).is_err());
+    /// assert_eq!(ms.len(), 4, "rejected batch left no trace");
+    /// ```
+    pub fn insert_batch(&mut self, objects: &[u32]) -> Result<u64> {
+        let tuples: Vec<Tuple> = objects.iter().copied().map(Tuple::add).collect();
+        self.inner.try_apply_batch(&tuples)
+    }
+
+    /// Removes one copy of every listed object in a single amortized pass.
+    /// All-or-nothing: the batch is rejected — and the multiset left
+    /// unchanged — if any id is out of range or the batch would drive any
+    /// count below zero (counting multiplicities within the batch itself).
+    ///
+    /// # Example
+    /// ```
+    /// use sprofile::{Error, Multiset};
+    ///
+    /// let mut ms = Multiset::new(10);
+    /// ms.insert_batch(&[5, 5, 2]).unwrap();
+    /// assert_eq!(ms.remove_batch(&[5, 2]), Ok(2));
+    /// // Two removes of object 5 but only one copy left: rejected whole.
+    /// assert_eq!(
+    ///     ms.remove_batch(&[5, 5]),
+    ///     Err(Error::Underflow { object: 5 })
+    /// );
+    /// assert_eq!(ms.count(5), 1);
+    /// ```
+    pub fn remove_batch(&mut self, objects: &[u32]) -> Result<u64> {
+        let m = self.inner.num_objects();
+        let mut pending: std::collections::HashMap<u32, i64> = std::collections::HashMap::new();
+        for &x in objects {
+            if x >= m {
+                return Err(Error::ObjectOutOfRange { object: x, m });
+            }
+            let taken = pending.entry(x).or_insert(0);
+            *taken += 1;
+            if *taken > self.inner.frequency(x) {
+                return Err(Error::Underflow { object: x });
+            }
+        }
+        let tuples: Vec<Tuple> = objects.iter().copied().map(Tuple::remove).collect();
+        Ok(self.inner.apply_batch(&tuples))
     }
 
     /// Removes one copy of `x`, returning its new count, or
@@ -220,6 +278,50 @@ mod tests {
         assert_eq!(ms.distinct(), 2);
         ms.try_remove(1).unwrap();
         assert_eq!(ms.distinct(), 1);
+    }
+
+    #[test]
+    fn insert_batch_matches_per_op_inserts() {
+        let mut batched = Multiset::new(16);
+        let mut per_op = Multiset::new(16);
+        let objs: Vec<u32> = (0..500).map(|i| (i * 7) % 16).collect();
+        assert_eq!(batched.insert_batch(&objs), Ok(500));
+        for &x in &objs {
+            per_op.insert(x);
+        }
+        for x in 0..16 {
+            assert_eq!(batched.count(x), per_op.count(x), "object {x}");
+        }
+        assert_eq!(batched.len(), per_op.len());
+    }
+
+    #[test]
+    fn remove_batch_respects_intra_batch_multiplicity() {
+        let mut ms = Multiset::new(4);
+        ms.insert_batch(&[1, 1, 1, 2]).unwrap();
+        // Three removes of 1 are fine; a fourth inside the same batch is
+        // caught before anything is applied.
+        assert_eq!(
+            ms.remove_batch(&[1, 1, 1, 1]),
+            Err(Error::Underflow { object: 1 })
+        );
+        assert_eq!(ms.count(1), 3, "failed batch applied nothing");
+        assert_eq!(ms.remove_batch(&[1, 1, 1]), Ok(3));
+        assert_eq!(ms.count(1), 0);
+    }
+
+    #[test]
+    fn batch_ops_reject_out_of_range_without_side_effects() {
+        let mut ms = Multiset::new(3);
+        assert_eq!(
+            ms.insert_batch(&[0, 1, 3]),
+            Err(Error::ObjectOutOfRange { object: 3, m: 3 })
+        );
+        assert_eq!(
+            ms.remove_batch(&[9]),
+            Err(Error::ObjectOutOfRange { object: 9, m: 3 })
+        );
+        assert!(ms.is_empty());
     }
 
     #[test]

@@ -172,10 +172,16 @@ impl SProfile {
         self.total
     }
 
-    /// Whether the conceptual dynamic array is empty (`len() == 0`).
+    /// Whether every object currently sits at frequency zero.
+    ///
+    /// Note this is deliberately *not* `len() == 0`: with the paper's raw
+    /// semantics a remove can drive one object negative while an add holds
+    /// another positive, leaving the net length 0 with the profile clearly
+    /// non-empty. Emptiness is therefore based on the non-zero-object
+    /// count, so `is_empty()` implies `len() == 0` but not vice versa.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.total == 0
+        self.nonzero == 0
     }
 
     /// Number of objects with a non-zero frequency.
@@ -491,6 +497,28 @@ impl SProfile {
     #[inline]
     pub(crate) fn bump_nonzero(&mut self, delta: i32) {
         self.nonzero = (self.nonzero as i64 + delta as i64) as u32;
+    }
+
+    /// Mutable borrow of all four index structures at once, for the
+    /// in-place bulk rebuild in the batch module.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_mut(
+        &mut self,
+    ) -> (&mut Vec<u32>, &mut Vec<u32>, &mut Vec<u32>, &mut BlockArena) {
+        (
+            &mut self.to_obj,
+            &mut self.to_pos,
+            &mut self.ptr,
+            &mut self.blocks,
+        )
+    }
+
+    /// Overwrites the cached aggregates after an in-place bulk rebuild.
+    #[inline]
+    pub(crate) fn set_aggregates(&mut self, total: i64, nonzero: u32) {
+        self.total = total;
+        self.nonzero = nonzero;
     }
 
     // Crate-visible raw accessors for the query/iterator/verify modules.

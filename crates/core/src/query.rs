@@ -92,16 +92,89 @@ impl SProfile {
     }
 
     /// The `k` most frequent `(object, frequency)` pairs, most frequent
-    /// first. Ties are broken arbitrarily but deterministically. O(k).
-    /// If `k > m` the result is truncated to `m` entries.
+    /// first; equal frequencies are ordered ascending by object id, so the
+    /// answer is fully deterministic and independent of update history
+    /// (two profiles holding the same frequencies always return the same
+    /// list — the property the sharded merge in `sprofile-concurrent`
+    /// relies on). O(k log k + t) where t is the size of the frequency
+    /// class straddling the cut. If `k > m` the result is truncated to
+    /// `m` entries.
     pub fn top_k(&self, k: u32) -> Vec<(u32, i64)> {
         let m = self.num_objects();
-        let k = k.min(m);
+        let k = k.min(m) as usize;
+        let mut out = Vec::with_capacity(k);
+        if k == 0 {
+            return out;
+        }
         let to_obj = self.raw_to_obj();
-        let mut out = Vec::with_capacity(k as usize);
-        for i in 0..k {
-            let pos = m - 1 - i;
-            out.push((to_obj[pos as usize], self.block_at(pos).f));
+        let mut pos = m; // exclusive upper bound of the next block
+        while out.len() < k {
+            let b = self.block_at(pos - 1);
+            let mut members = to_obj[b.l as usize..=b.r as usize].to_vec();
+            let need = k - out.len();
+            if members.len() > need {
+                // Only the `need` smallest ids of the straddling class
+                // make the cut.
+                members.select_nth_unstable(need - 1);
+                members.truncate(need);
+            }
+            members.sort_unstable();
+            out.extend(members.into_iter().map(|x| (x, b.f)));
+            if b.l == 0 {
+                break;
+            }
+            pos = b.l;
+        }
+        out
+    }
+
+    /// Like [`SProfile::top_k`] but *over-fetches ties at the cut*: whole
+    /// frequency classes are returned until at least `k` entries are
+    /// collected, with the class straddling the cut truncated to its `k`
+    /// smallest ids — so the result holds between `k` and `2k − 1`
+    /// entries, most frequent first, ties ascending by id.
+    /// O(k log k + t) where `t` is the straddling class size.
+    ///
+    /// This is the building block for distributed top-K: fetching
+    /// `top_k_with_ties(k)` from each partition and merging by
+    /// `(frequency desc, id asc)` guarantees the merged top-K matches
+    /// the single-profile answer even when a tie straddles a partition's
+    /// cut. Truncating the tie class at `k` is lossless for that merge:
+    /// ties break ascending by id, so an excluded member has `k`
+    /// same-frequency, smaller-id objects in its own partition that every
+    /// merge would admit first.
+    ///
+    /// # Example
+    /// ```
+    /// use sprofile::SProfile;
+    ///
+    /// let p = SProfile::from_frequencies(&[5, 3, 3, 3, 0]);
+    /// assert_eq!(p.top_k(2), vec![(0, 5), (1, 3)]);
+    /// // The k smallest ids of the tied 3-class ride along with the cut.
+    /// assert_eq!(p.top_k_with_ties(2), vec![(0, 5), (1, 3), (2, 3)]);
+    /// ```
+    pub fn top_k_with_ties(&self, k: u32) -> Vec<(u32, i64)> {
+        let m = self.num_objects();
+        let k = k.min(m) as usize;
+        let mut out = Vec::with_capacity(k);
+        if k == 0 {
+            return out;
+        }
+        let to_obj = self.raw_to_obj();
+        let mut pos = m;
+        while out.len() < k {
+            let b = self.block_at(pos - 1);
+            let mut members = to_obj[b.l as usize..=b.r as usize].to_vec();
+            if members.len() > k {
+                members.select_nth_unstable(k - 1);
+                members.truncate(k);
+            }
+            members.sort_unstable();
+            out.extend(members.into_iter().map(|x| (x, b.f)));
+            if b.l == 0 {
+                break;
+            }
+            pos = b.l;
         }
         out
     }

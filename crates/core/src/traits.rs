@@ -5,6 +5,8 @@
 //! only extreme queries ([`FrequencyProfiler`]), while order-statistic
 //! structures additionally answer arbitrary ranks ([`RankQueries`]).
 
+use crate::window::Tuple;
+
 /// Maintains per-object frequencies under ±1 updates and answers extreme
 /// (mode / least) queries.
 pub trait FrequencyProfiler {
@@ -17,6 +19,22 @@ pub trait FrequencyProfiler {
     /// Record one "remove" event for `x` (frequency −= 1). Raw semantics:
     /// frequencies may go negative.
     fn remove(&mut self, x: u32);
+
+    /// Record a whole batch of log-stream tuples; returns how many were
+    /// applied. The default replays per-op; structures with a batched
+    /// ingestion fast path (S-Profile, the concurrent adapters) override
+    /// it, so benchmarks and harnesses get amortized ingestion through
+    /// the trait for free.
+    fn apply_batch(&mut self, batch: &[Tuple]) -> u64 {
+        for t in batch {
+            if t.is_add {
+                self.add(t.object);
+            } else {
+                self.remove(t.object);
+            }
+        }
+        batch.len() as u64
+    }
 
     /// Current frequency of `x`.
     fn frequency(&self, x: u32) -> i64;
@@ -72,6 +90,11 @@ impl FrequencyProfiler for crate::SProfile {
     #[inline]
     fn remove(&mut self, x: u32) {
         SProfile::remove(self, x);
+    }
+
+    #[inline]
+    fn apply_batch(&mut self, batch: &[Tuple]) -> u64 {
+        SProfile::apply_batch(self, batch)
     }
 
     #[inline]
@@ -159,6 +182,55 @@ mod tests {
                 RankQueries::kth_largest_frequency(&p, k)
             };
             assert_eq!(via_kth, crate::SProfile::median(&p), "m={m}");
+        }
+    }
+
+    #[test]
+    fn trait_apply_batch_default_and_override_agree() {
+        // Drive the default (per-op) implementation through a wrapper that
+        // hides SProfile's override, and compare with the override.
+        struct PerOpOnly(crate::SProfile);
+        impl FrequencyProfiler for PerOpOnly {
+            fn num_objects(&self) -> u32 {
+                self.0.num_objects()
+            }
+            fn add(&mut self, x: u32) {
+                self.0.add(x);
+            }
+            fn remove(&mut self, x: u32) {
+                self.0.remove(x);
+            }
+            fn frequency(&self, x: u32) -> i64 {
+                self.0.frequency(x)
+            }
+            fn mode(&self) -> Option<(u32, i64)> {
+                FrequencyProfiler::mode(&self.0)
+            }
+            fn least(&self) -> Option<(u32, i64)> {
+                FrequencyProfiler::least(&self.0)
+            }
+            fn name(&self) -> &'static str {
+                "per-op-only"
+            }
+        }
+        let batch: Vec<Tuple> = (0..300u32)
+            .map(|i| {
+                if i % 4 == 0 {
+                    Tuple::remove(i % 20)
+                } else {
+                    Tuple::add(i % 20)
+                }
+            })
+            .collect();
+        let mut default_path = PerOpOnly(crate::SProfile::new(20));
+        let mut override_path = crate::SProfile::new(20);
+        assert_eq!(default_path.apply_batch(&batch), 300);
+        assert_eq!(
+            FrequencyProfiler::apply_batch(&mut override_path, &batch),
+            300
+        );
+        for x in 0..20 {
+            assert_eq!(default_path.frequency(x), override_path.frequency(x));
         }
     }
 

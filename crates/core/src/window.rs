@@ -110,6 +110,65 @@ impl SlidingWindowProfile {
         }
     }
 
+    /// Pushes a whole batch of tuples in one amortized pass, evicting from
+    /// the front as needed; returns how many tuples were evicted.
+    ///
+    /// Equivalent to `for t in tuples { self.push(*t); }` but the profile
+    /// sees **one** [`SProfile::apply_batch`] call covering the pushed
+    /// tuples plus the undo of every evicted tuple, so a firehose producer
+    /// pays the batched ingestion cost instead of 2·b pointer-chasing
+    /// updates.
+    ///
+    /// # Example
+    /// ```
+    /// use sprofile::{SlidingWindowProfile, Tuple};
+    ///
+    /// let mut w = SlidingWindowProfile::new(8, 3);
+    /// let evicted = w.push_batch(&[
+    ///     Tuple::add(0),
+    ///     Tuple::add(1),
+    ///     Tuple::add(2),
+    ///     Tuple::add(3),
+    /// ]);
+    /// assert_eq!(evicted, 1); // add(0) fell out of the window
+    /// assert_eq!(w.profile().frequency(0), 0);
+    /// assert_eq!(w.len(), 3);
+    /// ```
+    pub fn push_batch(&mut self, tuples: &[Tuple]) -> usize {
+        let m = self.profile.num_objects();
+        for t in tuples {
+            assert!(
+                t.object < m,
+                "object id {} out of range for universe of {m} objects",
+                t.object
+            );
+        }
+        if tuples.len() >= self.capacity {
+            // Only the batch's tail survives: undo the entire current
+            // window and apply just the surviving suffix, skipping the
+            // push-then-evict churn for the batch prefix entirely.
+            let evicted = self.window.len() + tuples.len() - self.capacity;
+            let tail = &tuples[tuples.len() - self.capacity..];
+            let mut ops: Vec<Tuple> = self.window.iter().map(|t| t.opposite()).collect();
+            ops.extend_from_slice(tail);
+            self.window.clear();
+            self.window.extend(tail.iter().copied());
+            self.profile.apply_batch(&ops);
+            return evicted;
+        }
+        let mut ops = Vec::with_capacity(tuples.len() * 2);
+        ops.extend_from_slice(tuples);
+        self.window.extend(tuples.iter().copied());
+        let mut evicted = 0;
+        while self.window.len() > self.capacity {
+            let old = self.window.pop_front().expect("window non-empty");
+            ops.push(old.opposite());
+            evicted += 1;
+        }
+        self.profile.apply_batch(&ops);
+        evicted
+    }
+
     /// Number of tuples currently inside the window.
     pub fn len(&self) -> usize {
         self.window.len()
@@ -175,6 +234,58 @@ impl TimedWindowProfile {
         apply(&mut self.profile, t);
         self.window.push_back((timestamp, t));
         self.evict()
+    }
+
+    /// Pushes a batch of timestamped tuples in one amortized pass and
+    /// evicts everything outside the horizon of the batch's newest
+    /// timestamp; returns how many tuples were evicted (possibly
+    /// including tuples from the batch itself, if the batch spans more
+    /// than one horizon). The profile sees a single
+    /// [`SProfile::apply_batch`] call.
+    ///
+    /// # Panics
+    /// If timestamps are not non-decreasing (within the batch, and versus
+    /// the newest timestamp already pushed).
+    ///
+    /// # Example
+    /// ```
+    /// use sprofile::{TimedWindowProfile, Tuple};
+    ///
+    /// let mut w = TimedWindowProfile::new(4, 10);
+    /// let evicted = w.push_batch(&[(0, Tuple::add(0)), (5, Tuple::add(1)), (12, Tuple::add(2))]);
+    /// assert_eq!(evicted, 1); // the ts=0 tuple aged out at t=12
+    /// assert_eq!(w.profile().frequency(0), 0);
+    /// assert_eq!(w.profile().frequency(1), 1);
+    /// ```
+    pub fn push_batch(&mut self, batch: &[(u64, Tuple)]) -> usize {
+        let m = self.profile.num_objects();
+        let mut prev = self.latest;
+        for &(ts, t) in batch {
+            assert!(
+                t.object < m,
+                "object id {} out of range for universe of {m} objects",
+                t.object
+            );
+            assert!(
+                ts >= prev,
+                "timestamps must be non-decreasing: got {ts} after {prev}"
+            );
+            prev = ts;
+        }
+        let mut ops: Vec<Tuple> = batch.iter().map(|&(_, t)| t).collect();
+        self.window.extend(batch.iter().copied());
+        self.latest = prev;
+        let mut evicted = 0;
+        while let Some(&(ts, t)) = self.window.front() {
+            if ts.saturating_add(self.horizon) > self.latest {
+                break;
+            }
+            ops.push(t.opposite());
+            self.window.pop_front();
+            evicted += 1;
+        }
+        self.profile.apply_batch(&ops);
+        evicted
     }
 
     /// Advances time without a tuple (e.g. a heartbeat), evicting expired
@@ -315,6 +426,127 @@ mod tests {
         let ts: Vec<Tuple> = w.tuples().collect();
         assert_eq!(ts, vec![Tuple::add(2), Tuple::add(3)]);
         assert_eq!(w.capacity(), 2);
+    }
+
+    #[test]
+    fn push_batch_matches_per_op_pushes() {
+        let m = 10u32;
+        let cap = 25usize;
+        let mut state = 77u64;
+        let mut tuples = Vec::new();
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+            let obj = ((state >> 33) % m as u64) as u32;
+            tuples.push(if (state >> 5) & 1 == 1 {
+                Tuple::add(obj)
+            } else {
+                Tuple::remove(obj)
+            });
+        }
+        let mut batched = SlidingWindowProfile::new(m, cap);
+        let mut per_op = SlidingWindowProfile::new(m, cap);
+        let mut batched_evicted = 0;
+        let mut per_op_evicted = 0;
+        for chunk in tuples.chunks(40) {
+            batched_evicted += batched.push_batch(chunk);
+            for &t in chunk {
+                per_op_evicted += usize::from(per_op.push(t).is_some());
+            }
+            assert_eq!(batched.len(), per_op.len());
+            for x in 0..m {
+                assert_eq!(
+                    batched.profile().frequency(x),
+                    per_op.profile().frequency(x),
+                    "object {x}"
+                );
+            }
+        }
+        assert_eq!(batched_evicted, per_op_evicted);
+        assert_eq!(
+            batched.tuples().collect::<Vec<_>>(),
+            per_op.tuples().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn push_batch_larger_than_capacity_keeps_only_the_tail() {
+        let mut w = SlidingWindowProfile::new(5, 2);
+        let evicted = w.push_batch(&[
+            Tuple::add(0),
+            Tuple::add(1),
+            Tuple::add(2),
+            Tuple::add(3),
+            Tuple::add(4),
+        ]);
+        assert_eq!(evicted, 3);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.profile().frequency(3), 1);
+        assert_eq!(w.profile().frequency(4), 1);
+        assert_eq!(w.profile().frequency(0), 0);
+    }
+
+    #[test]
+    fn timed_push_batch_matches_per_op_pushes() {
+        let mut batched = TimedWindowProfile::new(6, 15);
+        let mut per_op = TimedWindowProfile::new(6, 15);
+        let events: Vec<(u64, Tuple)> = (0..120)
+            .map(|i| {
+                let t = if i % 3 == 0 {
+                    Tuple::remove((i % 6) as u32)
+                } else {
+                    Tuple::add((i % 6) as u32)
+                };
+                (i * 2, t)
+            })
+            .collect();
+        let mut batched_evicted = 0;
+        let mut per_op_evicted = 0;
+        for chunk in events.chunks(17) {
+            batched_evicted += batched.push_batch(chunk);
+            for &(ts, t) in chunk {
+                per_op_evicted += per_op.push(ts, t);
+            }
+            assert_eq!(batched.len(), per_op.len());
+            assert_eq!(batched.now(), per_op.now());
+            for x in 0..6 {
+                assert_eq!(
+                    batched.profile().frequency(x),
+                    per_op.profile().frequency(x),
+                    "object {x}"
+                );
+            }
+        }
+        assert_eq!(batched_evicted, per_op_evicted);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn timed_push_batch_rejects_unsorted_batches() {
+        let mut w = TimedWindowProfile::new(4, 5);
+        w.push_batch(&[(10, Tuple::add(0)), (9, Tuple::add(1))]);
+    }
+
+    #[test]
+    fn push_batch_rejects_bad_ids_without_mutating() {
+        // Validation precedes any deque/profile mutation on both windows.
+        let mut w = SlidingWindowProfile::new(4, 8);
+        w.push(Tuple::add(1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.push_batch(&[Tuple::add(2), Tuple::add(9)])
+        }));
+        assert!(result.is_err());
+        assert_eq!(w.len(), 1, "failed batch left the window unchanged");
+        assert_eq!(w.profile().frequency(2), 0);
+
+        let mut tw = TimedWindowProfile::new(4, 10);
+        tw.push(3, Tuple::add(1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tw.push_batch(&[(5, Tuple::add(2)), (6, Tuple::add(9))])
+        }));
+        assert!(result.is_err());
+        assert_eq!(tw.len(), 1, "failed batch left the window unchanged");
+        assert_eq!(tw.now(), 3, "latest timestamp not advanced");
+        assert_eq!(tw.profile().frequency(2), 0);
     }
 
     #[test]

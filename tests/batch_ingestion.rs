@@ -1,0 +1,197 @@
+//! Sharded/single-profile agreement under batched ingestion.
+//!
+//! Drives identical random add/remove batches into an [`SProfile`] and a
+//! [`ShardedProfile`] (several shard counts, including `shards > m` and
+//! `m = 0`) and asserts every query the two share agrees. Also pins the
+//! two bug scenarios this suite was introduced with: net-zero
+//! [`is_empty`] with non-zero objects, and top-K ties straddling a
+//! per-shard truncation boundary.
+//!
+//! [`is_empty`]: sprofile::SProfile::is_empty
+
+use proptest::prelude::*;
+
+use sprofile::{SProfile, Tuple};
+use sprofile_concurrent::ShardedProfile;
+
+const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 8, 64];
+
+/// Random (object, is_add) ops over a universe of at most 48 objects,
+/// split into batches of varying size by a second random stream.
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u32, bool)>> {
+    prop::collection::vec((0u32..48, any::<bool>()), 0..max_len)
+}
+
+fn to_tuples(m: u32, ops: &[(u32, bool)]) -> Vec<Tuple> {
+    ops.iter()
+        .map(|&(x, is_add)| Tuple {
+            object: x % m,
+            is_add,
+        })
+        .collect()
+}
+
+/// Assert every shared query of `sharded` agrees with `seq`.
+fn assert_agreement(seq: &SProfile, sharded: &ShardedProfile) -> Result<(), TestCaseError> {
+    let m = seq.num_objects();
+    prop_assert_eq!(sharded.num_objects(), m);
+    for x in 0..m {
+        prop_assert_eq!(sharded.frequency(x), seq.frequency(x), "object {}", x);
+    }
+    prop_assert_eq!(sharded.len(), seq.len());
+    prop_assert_eq!(sharded.is_empty(), seq.is_empty());
+    prop_assert_eq!(sharded.distinct_active(), seq.distinct_active());
+
+    // Extremes: frequencies must match exactly; the sharded witness is the
+    // smallest tied id, the single-profile witness is any tied object —
+    // check the witness really attains the extreme.
+    match (sharded.mode(), seq.mode()) {
+        (None, None) => {}
+        (Some((obj, f)), Some(extreme)) => {
+            prop_assert_eq!(f, extreme.frequency);
+            prop_assert_eq!(seq.frequency(obj), f);
+        }
+        (a, b) => {
+            return Err(TestCaseError::fail(format!(
+                "mode mismatch: {a:?} vs {b:?}"
+            )))
+        }
+    }
+    match (sharded.least(), seq.least()) {
+        (None, None) => {}
+        (Some((obj, f)), Some(extreme)) => {
+            prop_assert_eq!(f, extreme.frequency);
+            prop_assert_eq!(seq.frequency(obj), f);
+        }
+        (a, b) => {
+            return Err(TestCaseError::fail(format!(
+                "least mismatch: {a:?} vs {b:?}"
+            )))
+        }
+    }
+
+    for threshold in [-3i64, -1, 0, 1, 2, 5, i64::MIN] {
+        prop_assert_eq!(
+            sharded.count_at_least(threshold),
+            seq.count_at_least(threshold),
+            "threshold {}",
+            threshold
+        );
+    }
+
+    // top_k is deterministic on both sides (ties ascend by object id), so
+    // the lists must be identical — objects included.
+    for k in [0u32, 1, 2, 3, 7, m / 2, m, m + 5] {
+        prop_assert_eq!(sharded.top_k(k), seq.top_k(k), "k = {}", k);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    #[test]
+    fn sharded_and_single_profile_agree_on_random_batches(
+        m in 0u32..48,
+        ops in ops_strategy(160),
+        chunk in 1usize..64,
+    ) {
+        // m = 0 means an empty universe: no ops are applicable, but the
+        // profiles must still agree on every (vacuous) query.
+        let tuples = if m == 0 { Vec::new() } else { to_tuples(m, &ops) };
+        let mut seq = SProfile::new(m);
+        for batch in tuples.chunks(chunk.max(1)) {
+            seq.apply_batch(batch);
+        }
+        // Naive anchor so "agreement" can't mean "agree on garbage".
+        let mut naive = vec![0i64; m as usize];
+        for t in &tuples {
+            naive[t.object as usize] += if t.is_add { 1 } else { -1 };
+        }
+        for x in 0..m {
+            prop_assert_eq!(seq.frequency(x), naive[x as usize]);
+        }
+
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedProfile::new(m, shards);
+            for batch in tuples.chunks(chunk.max(1)) {
+                sharded.apply_batch(batch);
+            }
+            assert_agreement(&seq, &sharded)?;
+        }
+    }
+
+    #[test]
+    fn batched_and_per_op_sharded_ingestion_agree(
+        m in 1u32..48,
+        ops in ops_strategy(120),
+        shards in 1usize..12,
+    ) {
+        let tuples = to_tuples(m, &ops);
+        let batched = ShardedProfile::new(m, shards);
+        batched.apply_batch(&tuples);
+        let per_op = ShardedProfile::new(m, shards);
+        for t in &tuples {
+            if t.is_add {
+                per_op.add(t.object);
+            } else {
+                per_op.remove(t.object);
+            }
+        }
+        for x in 0..m {
+            prop_assert_eq!(batched.frequency(x), per_op.frequency(x), "object {}", x);
+        }
+        prop_assert_eq!(batched.top_k(m), per_op.top_k(m));
+        prop_assert_eq!(batched.mode(), per_op.mode());
+        prop_assert_eq!(batched.least(), per_op.least());
+    }
+}
+
+/// Bug scenario 1: `+x` then `−y` nets to length 0 while two objects hold
+/// non-zero frequencies. `is_empty` must report non-empty on every layer.
+#[test]
+fn regression_net_zero_profile_is_not_empty() {
+    let mut seq = SProfile::new(8);
+    seq.add(2);
+    seq.remove(5);
+    assert_eq!(seq.len(), 0);
+    assert!(!seq.is_empty());
+    assert_eq!(seq.distinct_active(), 2);
+
+    for shards in SHARD_COUNTS {
+        let sharded = ShardedProfile::new(8, shards);
+        sharded.apply_batch(&[Tuple::add(2), Tuple::remove(5)]);
+        assert_eq!(sharded.len(), 0, "shards = {shards}");
+        assert!(!sharded.is_empty(), "shards = {shards}");
+        assert_eq!(sharded.distinct_active(), 2, "shards = {shards}");
+        assert_eq!(sharded.is_empty(), seq.is_empty(), "shards = {shards}");
+    }
+}
+
+/// Bug scenario 2: equal frequencies straddling a per-shard top-K
+/// truncation boundary. The merged sharded answer must equal the
+/// single-profile answer, object ids included.
+#[test]
+fn regression_top_k_ties_across_shard_truncation() {
+    let m = 24u32;
+    // Twelve objects tied at frequency 2, spread over every shard, plus
+    // one clear winner — for small k the tie class straddles each
+    // shard's cut.
+    let mut batch = Vec::new();
+    for x in 0..12u32 {
+        batch.push(Tuple::add(x));
+        batch.push(Tuple::add(x));
+    }
+    for _ in 0..5 {
+        batch.push(Tuple::add(20));
+    }
+    let mut seq = SProfile::new(m);
+    seq.apply_batch(&batch);
+    for shards in SHARD_COUNTS {
+        let sharded = ShardedProfile::new(m, shards);
+        sharded.apply_batch(&batch);
+        for k in 0..=m {
+            assert_eq!(sharded.top_k(k), seq.top_k(k), "shards = {shards}, k = {k}");
+        }
+    }
+}
