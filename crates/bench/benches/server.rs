@@ -1,0 +1,99 @@
+//! TCP server ingestion throughput: the full wire path (connect →
+//! `BATCH`/`ADD` frames → per-connection write batching → backend) at
+//! two batch sizes × two backends, via the real load generator.
+//!
+//! Besides the criterion group, `record_json` re-times the matrix with a
+//! best-of-N wall clock and writes `BENCH_server.json` at the workspace
+//! root so CI uploads it next to `BENCH_batch.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sprofile_server::{loadgen, BackendKind, LoadgenConfig, Server, ServerConfig};
+
+/// Universe size (hot-entity regime: stream dwarfs the universe).
+const M: u32 = 4_096;
+/// Concurrent loadgen connections (= server accept pool).
+const THREADS: usize = 4;
+/// Tuples per thread per measured run.
+const EVENTS_PER_THREAD: usize = 16_384;
+/// `BATCH` frame sizes swept (the acceptance floor: ≥ 2).
+const BATCH_SIZES: [usize; 2] = [64, 4_096];
+
+const BACKENDS: [(&str, BackendKind); 2] = [
+    ("sharded8", BackendKind::Sharded { shards: 8 }),
+    ("pipeline", BackendKind::Pipeline),
+];
+
+/// One full ingestion run over loopback TCP; returns tuples/second.
+fn run_once(kind: BackendKind, batch: usize) -> f64 {
+    let server = Server::start(
+        ServerConfig {
+            m: M,
+            backend: kind,
+            accept_pool: THREADS,
+            flush_every: 512,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind bench server");
+    let cfg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        threads: THREADS,
+        events_per_thread: EVENTS_PER_THREAD,
+        batch,
+        m: M,
+        seed: 99,
+    };
+    let report = loadgen::run(&cfg).expect("loadgen");
+    let applied = server.shutdown();
+    assert_eq!(applied, (THREADS * EVENTS_PER_THREAD) as u64);
+    report.tuples_per_sec()
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_ingest");
+    group.throughput(Throughput::Elements((THREADS * EVENTS_PER_THREAD) as u64));
+    group.sample_size(5);
+    for (name, kind) in BACKENDS {
+        for batch in BATCH_SIZES {
+            group.bench_with_input(BenchmarkId::new(name, batch), &batch, |b, &batch| {
+                b.iter(|| run_once(kind, batch));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Times the matrix (best of N) and writes `BENCH_server.json` (path
+/// overridable with `BENCH_SERVER_OUT`).
+fn record_json(_c: &mut Criterion) {
+    const REPEATS: usize = 3;
+    let mut sections = Vec::new();
+    for (name, kind) in BACKENDS {
+        let cells: Vec<String> = BATCH_SIZES
+            .iter()
+            .map(|&batch| {
+                let best = (0..REPEATS)
+                    .map(|_| run_once(kind, batch))
+                    .fold(0.0f64, f64::max);
+                format!("\"{batch}\": {best:.0}")
+            })
+            .collect();
+        sections.push(format!("    \"{name}\": {{{}}}", cells.join(", ")));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"server\",\n  \"m\": {M},\n  \"threads\": {THREADS},\n  \
+         \"events_per_thread\": {EVENTS_PER_THREAD},\n  \
+         \"throughput_tuples_per_sec\": {{\n{}\n  }}\n}}\n",
+        sections.join(",\n"),
+    );
+    let path = std::env::var("BENCH_SERVER_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").into());
+    std::fs::write(&path, &json).expect("write BENCH_server.json");
+    println!("bench server summary written to {path}");
+    println!("{json}");
+}
+
+criterion_group!(benches, bench_server, record_json);
+criterion_main!(benches);

@@ -1,9 +1,12 @@
-//! The `generate`, `profile`, and `watch` subcommands, written against
-//! generic readers/writers so tests drive them with in-memory buffers.
+//! The `generate`, `profile`, `watch`, `serve`, and `loadgen`
+//! subcommands, written against generic readers/writers so tests drive
+//! them with in-memory buffers (the server ones bind ephemeral ports).
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
 
-use sprofile::{SProfile, Tuple};
+use sprofile::{SProfile, SnapshotError, Tuple};
+use sprofile_server::{BackendKind, Client, LoadgenConfig, Server, ServerConfig};
 use sprofile_streamgen::{Event, StreamConfig};
 
 use crate::textio::{read_events, write_events, ParseError};
@@ -94,6 +97,10 @@ pub enum CommandError {
     },
     /// Writing the report failed.
     Io(std::io::Error),
+    /// Snapshot (de)serialisation failed.
+    Snapshot(SnapshotError),
+    /// A server/client operation failed.
+    Server(String),
 }
 
 impl std::fmt::Display for CommandError {
@@ -104,6 +111,8 @@ impl std::fmt::Display for CommandError {
                 write!(f, "object id {object} out of range (m = {m}; raise --m)")
             }
             CommandError::Io(e) => write!(f, "i/o error: {e}"),
+            CommandError::Snapshot(e) => write!(f, "{e}"),
+            CommandError::Server(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -122,6 +131,12 @@ impl From<std::io::Error> for CommandError {
     }
 }
 
+impl From<SnapshotError> for CommandError {
+    fn from(e: SnapshotError) -> Self {
+        CommandError::Snapshot(e)
+    }
+}
+
 fn apply_checked(p: &mut SProfile, e: &Event) -> Result<(), CommandError> {
     if e.object >= p.num_objects() {
         return Err(CommandError::OutOfRange {
@@ -133,18 +148,62 @@ fn apply_checked(p: &mut SProfile, e: &Event) -> Result<(), CommandError> {
     Ok(())
 }
 
+/// Snapshot persistence flags for `profile`.
+#[derive(Clone, Debug, Default)]
+pub struct PersistOpts {
+    /// Seed the profile from this snapshot instead of a fresh universe
+    /// (the universe size then comes from the snapshot, not `--m`).
+    pub load: Option<String>,
+    /// After applying the input events, write a snapshot here.
+    pub save: Option<String>,
+}
+
 /// `profile`: consume an event file and print a statistics report.
+/// Equivalent to [`profile_persist`] without persistence (the binary
+/// always goes through the persisting variant; tests use this directly).
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn profile<R: BufRead, W: Write>(
     opts: &ProfileOpts,
     input: R,
     out: &mut W,
 ) -> Result<(), CommandError> {
+    profile_persist(opts, &PersistOpts::default(), input, out)
+}
+
+/// `profile` with snapshot persistence: `--load` restores the starting
+/// state through [`SProfile::read_snapshot`] (the same core code path
+/// the TCP server's `SNAPSHOT` command writes), events are applied on
+/// top, and `--save` persists the result.
+pub fn profile_persist<R: BufRead, W: Write>(
+    opts: &ProfileOpts,
+    persist: &PersistOpts,
+    input: R,
+    out: &mut W,
+) -> Result<(), CommandError> {
     let events = read_events(input)?;
-    let mut p = SProfile::new(opts.m);
+    let mut p = match &persist.load {
+        Some(path) => {
+            let file = std::fs::File::open(Path::new(path))?;
+            SProfile::read_snapshot(&mut BufReader::new(file))?
+        }
+        None => SProfile::new(opts.m),
+    };
     for e in &events {
         apply_checked(&mut p, e)?;
     }
-    report(opts, &p, events.len() as u64, out)
+    report(opts, &p, events.len() as u64, out)?;
+    if let Some(path) = &persist.save {
+        let file = std::fs::File::create(Path::new(path))?;
+        let mut w = BufWriter::new(file);
+        p.write_snapshot(&mut w)?;
+        w.flush()?;
+        writeln!(
+            out,
+            "snapshot:          {} objects -> {path}",
+            p.num_objects()
+        )?;
+    }
+    Ok(())
 }
 
 /// `ingest`: like `profile`, but reads the input in chunks and applies
@@ -322,6 +381,84 @@ pub fn heavy_hitters<R: BufRead, W: Write>(
     }
     if candidates.is_empty() {
         writeln!(out, "  (none)")?;
+    }
+    Ok(())
+}
+
+/// Options for `serve`.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Listen address, e.g. `127.0.0.1:7979` (`:0` for ephemeral).
+    pub addr: String,
+    /// Universe size.
+    pub m: u32,
+    /// Engine behind the socket.
+    pub backend: BackendKind,
+    /// Accept-pool size (max concurrent connections).
+    pub pool: usize,
+    /// Per-connection write-buffer flush threshold.
+    pub flush: usize,
+    /// Directory wire `SNAPSHOT` writes are confined to.
+    pub snapshot_dir: String,
+}
+
+/// `serve`: run the TCP server until a client sends `SHUTDOWN`. The
+/// listening line (with the resolved address) is flushed to `out` before
+/// blocking, so callers scripting against `:0` can scrape the port.
+pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError> {
+    let server = Server::start(
+        ServerConfig {
+            m: opts.m,
+            backend: opts.backend,
+            accept_pool: opts.pool,
+            flush_every: opts.flush,
+            snapshot_dir: opts.snapshot_dir.clone().into(),
+        },
+        opts.addr.as_str(),
+    )?;
+    let backend = match opts.backend {
+        BackendKind::Sharded { shards } => format!("sharded({shards})"),
+        BackendKind::Pipeline => "pipeline".to_string(),
+    };
+    writeln!(
+        out,
+        "listening on {} backend={backend} m={} pool={} flush={}",
+        server.local_addr(),
+        opts.m,
+        opts.pool,
+        opts.flush
+    )?;
+    out.flush()?;
+    let applied = server.wait();
+    writeln!(out, "shutdown: {applied} tuples applied")?;
+    Ok(())
+}
+
+/// `loadgen`: drive a running server with concurrent clients and report
+/// throughput; with `shutdown`, send `SHUTDOWN` afterwards (the CI smoke
+/// job uses that to stop the background `serve`).
+pub fn loadgen<W: Write>(
+    cfg: &LoadgenConfig,
+    shutdown: bool,
+    out: &mut W,
+) -> Result<(), CommandError> {
+    let report =
+        sprofile_server::loadgen::run(cfg).map_err(|e| CommandError::Server(e.to_string()))?;
+    writeln!(out, "threads:     {}", cfg.threads)?;
+    writeln!(out, "tuples sent: {}", report.tuples_sent)?;
+    writeln!(
+        out,
+        "frames:      {} batches (x{}) + {} singles",
+        report.batches_sent, cfg.batch, report.singles_sent
+    )?;
+    writeln!(out, "elapsed:     {:.3} s", report.elapsed.as_secs_f64())?;
+    writeln!(out, "throughput:  {:.0} tuples/s", report.tuples_per_sec())?;
+    writeln!(out, "server:      {}", report.final_stats)?;
+    if shutdown {
+        Client::connect(cfg.addr.as_str())
+            .and_then(Client::shutdown_server)
+            .map_err(|e| CommandError::Server(e.to_string()))?;
+        writeln!(out, "sent SHUTDOWN")?;
     }
     Ok(())
 }
@@ -572,6 +709,173 @@ mod tests {
         .unwrap();
         let out = String::from_utf8(out).unwrap();
         assert_eq!(out.matches("(none)").count(), 2, "{out}");
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sprofile-cli-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn profile_save_then_load_continues_identically() {
+        let snap = temp_path("roundtrip.snap");
+        let popts = ProfileOpts {
+            m: 30,
+            top: 3,
+            histogram: false,
+        };
+        // Phase 1: profile half the stream, saving a snapshot.
+        let mut out = Vec::new();
+        profile_persist(
+            &popts,
+            &PersistOpts {
+                load: None,
+                save: Some(snap.to_str().unwrap().to_string()),
+            },
+            Cursor::new("a 1\na 1\na 2\nr 5\n"),
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("snapshot:"), "{out}");
+        // Phase 2: load it and apply the second half; the report must
+        // equal profiling the whole stream at once.
+        let mut loaded = Vec::new();
+        profile_persist(
+            &popts,
+            &PersistOpts {
+                load: Some(snap.to_str().unwrap().to_string()),
+                save: None,
+            },
+            Cursor::new("a 1\na 7\n"),
+            &mut loaded,
+        )
+        .unwrap();
+        let loaded = String::from_utf8(loaded).unwrap();
+        let mut whole = Vec::new();
+        profile(
+            &popts,
+            Cursor::new("a 1\na 1\na 2\nr 5\na 1\na 7\n"),
+            &mut whole,
+        )
+        .unwrap();
+        let whole = String::from_utf8(whole).unwrap();
+        // Event counts differ (2 vs 6); every profile statistic agrees.
+        for (l, w) in loaded.lines().zip(whole.lines()).skip(1) {
+            assert_eq!(l, w);
+        }
+        assert!(
+            loaded.contains("mode:              object 1 at 3"),
+            "{loaded}"
+        );
+        std::fs::remove_file(&snap).ok();
+    }
+
+    #[test]
+    fn profile_load_rejects_garbage_snapshots() {
+        let path = temp_path("garbage.snap");
+        std::fs::write(&path, b"definitely not a snapshot").unwrap();
+        let err = profile_persist(
+            &ProfileOpts {
+                m: 10,
+                top: 0,
+                histogram: false,
+            },
+            &PersistOpts {
+                load: Some(path.to_str().unwrap().to_string()),
+                save: None,
+            },
+            Cursor::new(""),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loadgen_drives_a_live_server_and_shuts_it_down() {
+        let server = Server::start(
+            ServerConfig {
+                m: 128,
+                backend: BackendKind::Sharded { shards: 4 },
+                accept_pool: 4,
+                flush_every: 64,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let cfg = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            threads: 2,
+            events_per_thread: 1_000,
+            batch: 100,
+            m: 128,
+            seed: 3,
+        };
+        let mut out = Vec::new();
+        loadgen(&cfg, true, &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("tuples sent: 2000"), "{out}");
+        assert!(out.contains("applied=2000"), "{out}");
+        assert!(out.contains("sent SHUTDOWN"), "{out}");
+        assert_eq!(server.wait(), 2_000);
+    }
+
+    #[test]
+    fn serve_announces_and_stops_on_shutdown() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let opts = ServeOpts {
+            addr: "127.0.0.1:0".into(),
+            m: 64,
+            backend: BackendKind::Pipeline,
+            pool: 2,
+            flush: 16,
+            snapshot_dir: ".".into(),
+        };
+        let handle = {
+            let mut out = buf.clone();
+            std::thread::spawn(move || serve(&opts, &mut out))
+        };
+        // Scrape the resolved address off the listening line.
+        let addr = loop {
+            let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+                break line["listening on ".len()..]
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        let mut c = Client::connect(addr.as_str()).unwrap();
+        c.add(1).unwrap();
+        c.add(1).unwrap();
+        assert_eq!(c.freq(1).unwrap(), 2);
+        Client::connect(addr.as_str())
+            .unwrap()
+            .shutdown_server()
+            .unwrap();
+        drop(c);
+        handle.join().unwrap().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("backend=pipeline m=64"), "{text}");
+        assert!(text.contains("shutdown: 2 tuples applied"), "{text}");
     }
 
     #[test]

@@ -19,20 +19,26 @@ mod commands;
 mod textio;
 
 use commands::{
-    generate, heavy_hitters, ingest, profile, watch, GenerateOpts, HhOpts, ProfileOpts,
-    StreamChoice,
+    generate, heavy_hitters, ingest, loadgen, profile_persist, serve, watch, GenerateOpts, HhOpts,
+    PersistOpts, ProfileOpts, ServeOpts, StreamChoice,
 };
+use sprofile_server::{BackendKind, LoadgenConfig};
 
 fn usage() -> &'static str {
     "usage:\n  \
      sprofile generate --stream <1|2|3|zipf:EXP> --m <M> --n <N> [--seed <S>]\n  \
-     sprofile profile  [FILE] --m <M> [--top <K>] [--histogram]\n  \
+     sprofile profile  [FILE] --m <M> [--top <K>] [--histogram] [--save <PATH>] [--load <PATH>]\n  \
      sprofile ingest   [FILE] --m <M> [--chunk <N>] [--top <K>] [--histogram]\n  \
      sprofile watch    [FILE] --m <M> [--every <N>] [--top <K>]\n  \
-     sprofile hh       [FILE] --m <M> [--counters <K>] [--phi <F>]\n\n\
+     sprofile hh       [FILE] --m <M> [--counters <K>] [--phi <F>]\n  \
+     sprofile serve    --addr <HOST:PORT> --m <M> [--backend <sharded|pipeline>]\n                    \
+     [--shards <P>] [--pool <N>] [--flush <B>] [--snapshot-dir <DIR>]\n  \
+     sprofile loadgen  --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
+     [--batch <B>] [--seed <S>] [--shutdown]\n\n\
      Event format: one per line, 'a <id>' to add, 'r <id>' to remove\n\
      ('add'/'+' and 'remove'/'rm'/'-' also work); '#' starts a comment.\n\
-     FILE defaults to stdin."
+     FILE defaults to stdin. `serve` runs until a client sends SHUTDOWN\n\
+     (e.g. `sprofile loadgen --shutdown` or `printf 'SHUTDOWN\\n' | nc`)."
 }
 
 /// Tiny flag parser: collects `--key value` pairs plus positional args.
@@ -49,7 +55,7 @@ impl Args {
         while i < raw.len() {
             if let Some(key) = raw[i].strip_prefix("--") {
                 // Boolean flags take no value; detect by peeking.
-                let takes_value = !matches!(key, "histogram" | "help");
+                let takes_value = !matches!(key, "histogram" | "help" | "shutdown");
                 if takes_value && i + 1 < raw.len() {
                     flags.push((key.to_string(), Some(raw[i + 1].clone())));
                     i += 2;
@@ -85,6 +91,20 @@ impl Args {
                 .map_err(|_| format!("invalid value '{v}' for --{key}")),
         }
     }
+
+    /// Like [`Args::get_parsed`], but rejects zero — for flags where a
+    /// degenerate value would panic (`--m 0` on `watch`), divide by zero
+    /// (`--every 0`), or loop forever (`--chunk 0` never fills a batch).
+    fn get_parsed_positive<T>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T: std::str::FromStr + Default + PartialEq,
+    {
+        let v = self.get_parsed(key, default)?;
+        if v == T::default() {
+            return Err(format!("--{key} must be positive (0 is degenerate)"));
+        }
+        Ok(v)
+    }
 }
 
 fn open_input(path: Option<&str>) -> io::Result<Box<dyn BufRead>> {
@@ -111,7 +131,7 @@ fn run() -> Result<(), String> {
                 .ok_or_else(|| format!("unknown stream '{stream}' (1, 2, 3, or zipf:EXP)"))?;
             let opts = GenerateOpts {
                 stream,
-                m: args.get_parsed("m", 1_000_000u32)?,
+                m: args.get_parsed_positive("m", 1_000_000u32)?,
                 n: args.get_parsed("n", 1_000_000u64)?,
                 seed: args.get_parsed("seed", 20190612u64)?,
             };
@@ -122,8 +142,17 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "profile" => {
+            let persist = PersistOpts {
+                load: args.get("load").map(str::to_string),
+                save: args.get("save").map(str::to_string),
+            };
+            if persist.load.is_some() && args.get("m").is_some() {
+                return Err(
+                    "--m conflicts with --load (the universe size comes from the snapshot)".into(),
+                );
+            }
             let opts = ProfileOpts {
-                m: args.get_parsed("m", 1_000_000u32)?,
+                m: args.get_parsed_positive("m", 1_000_000u32)?,
                 top: args.get_parsed("top", 10u32)?,
                 histogram: args.has("histogram"),
             };
@@ -131,20 +160,17 @@ fn run() -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             let stdout = io::stdout();
             let mut out = BufWriter::new(stdout.lock());
-            profile(&opts, input, &mut out).map_err(|e| e.to_string())?;
+            profile_persist(&opts, &persist, input, &mut out).map_err(|e| e.to_string())?;
             out.flush().map_err(|e| e.to_string())?;
             Ok(())
         }
         "ingest" => {
             let opts = ProfileOpts {
-                m: args.get_parsed("m", 1_000_000u32)?,
+                m: args.get_parsed_positive("m", 1_000_000u32)?,
                 top: args.get_parsed("top", 10u32)?,
                 histogram: args.has("histogram"),
             };
-            let chunk = args.get_parsed("chunk", 8_192usize)?;
-            if chunk == 0 {
-                return Err("--chunk must be positive".into());
-            }
+            let chunk = args.get_parsed_positive("chunk", 8_192usize)?;
             let input = open_input(args.positional.first().map(String::as_str))
                 .map_err(|e| e.to_string())?;
             let stdout = io::stdout();
@@ -154,12 +180,9 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "watch" => {
-            let m = args.get_parsed("m", 1_000_000u32)?;
-            let every = args.get_parsed("every", 100_000u64)?;
+            let m = args.get_parsed_positive("m", 1_000_000u32)?;
+            let every = args.get_parsed_positive("every", 100_000u64)?;
             let top = args.get_parsed("top", 5u32)?;
-            if every == 0 {
-                return Err("--every must be positive".into());
-            }
             let input = open_input(args.positional.first().map(String::as_str))
                 .map_err(|e| e.to_string())?;
             let stdout = io::stdout();
@@ -168,10 +191,44 @@ fn run() -> Result<(), String> {
             out.flush().map_err(|e| e.to_string())?;
             Ok(())
         }
+        "serve" => {
+            let shards = args.get_parsed_positive("shards", 8usize)?;
+            let backend = args.get("backend").unwrap_or("sharded");
+            let backend = BackendKind::parse(backend, shards)
+                .ok_or_else(|| format!("unknown backend '{backend}' (sharded or pipeline)"))?;
+            let opts = ServeOpts {
+                addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
+                m: args.get_parsed_positive("m", 1_048_576u32)?,
+                backend,
+                pool: args.get_parsed_positive("pool", 4usize)?,
+                flush: args.get_parsed_positive("flush", 256usize)?,
+                snapshot_dir: args.get("snapshot-dir").unwrap_or(".").to_string(),
+            };
+            let stdout = io::stdout();
+            let mut out = stdout.lock();
+            serve(&opts, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "loadgen" => {
+            let cfg = LoadgenConfig {
+                addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
+                threads: args.get_parsed_positive("threads", 4usize)?,
+                events_per_thread: args.get_parsed_positive("n", 25_000usize)?,
+                batch: args.get_parsed_positive("batch", 512usize)?,
+                m: args.get_parsed_positive("m", 1_048_576u32)?,
+                seed: args.get_parsed("seed", 20190612u64)?,
+            };
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            loadgen(&cfg, args.has("shutdown"), &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
         "hh" => {
             let opts = HhOpts {
-                m: args.get_parsed("m", 1_000_000u32)?,
-                counters: args.get_parsed("counters", 100usize)?,
+                m: args.get_parsed_positive("m", 1_000_000u32)?,
+                counters: args.get_parsed_positive("counters", 100usize)?,
                 phi: args.get_parsed("phi", 0.01f64)?,
             };
             if !(0.0..1.0).contains(&opts.phi) || opts.phi <= 0.0 {
@@ -230,5 +287,36 @@ mod tests {
         assert_eq!(a.get_parsed("n", 7u64).unwrap(), 7);
         let a = args(&["--m", "xyz"]);
         assert!(a.get_parsed("m", 0u32).is_err());
+    }
+
+    #[test]
+    fn degenerate_zero_flags_are_rejected_with_a_clear_message() {
+        // `--m 0` used to reach `watch`'s `expect("m > 0")` and panic;
+        // `--every 0`/`--chunk 0` used to be per-command ad-hoc checks.
+        for key in ["m", "chunk", "every", "pool", "flush", "threads", "batch"] {
+            let a = args(&[&format!("--{key}"), "0"]);
+            let err = a.get_parsed_positive(key, 1u64).unwrap_err();
+            assert!(err.contains(&format!("--{key}")), "{err}");
+            assert!(err.contains("positive"), "{err}");
+        }
+    }
+
+    #[test]
+    fn positive_flags_accept_nonzero_and_defaults() {
+        let a = args(&["--m", "8"]);
+        assert_eq!(a.get_parsed_positive("m", 1u32).unwrap(), 8);
+        // Absent flag falls back to the (positive) default.
+        assert_eq!(a.get_parsed_positive("chunk", 512usize).unwrap(), 512);
+        // Garbage still reports a parse error, not a zero error.
+        let a = args(&["--m", "-3"]);
+        let err = a.get_parsed_positive("m", 1u32).unwrap_err();
+        assert!(err.contains("invalid value"), "{err}");
+    }
+
+    #[test]
+    fn shutdown_is_a_boolean_flag() {
+        let a = args(&["--shutdown", "--addr", "127.0.0.1:7979"]);
+        assert!(a.has("shutdown"));
+        assert_eq!(a.get("addr"), Some("127.0.0.1:7979"));
     }
 }

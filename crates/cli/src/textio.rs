@@ -28,45 +28,25 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Parses one event line; `Ok(None)` for blank/comment lines.
+///
+/// The grammar itself lives in [`sprofile_server::protocol`] — one
+/// definition for the event-file format and the server's `BATCH`
+/// bodies, so the two can never drift; this wrapper only adds the
+/// blank/comment handling and the line number.
 pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Event>, ParseError> {
     let trimmed = line.trim();
     if trimmed.is_empty() || trimmed.starts_with('#') {
         return Ok(None);
     }
-    let (action, rest) = match trimmed.split_once(char::is_whitespace) {
-        Some((a, r)) => (a, r.trim()),
-        None => {
-            // Compact forms "+42" / "-42".
-            if let Some(id) = trimmed.strip_prefix('+') {
-                ("a", id)
-            } else if let Some(id) = trimmed.strip_prefix('-') {
-                ("r", id)
-            } else {
-                return Err(ParseError {
-                    line: line_no,
-                    message: format!("expected '<action> <id>', got '{trimmed}'"),
-                });
-            }
-        }
-    };
-    let is_add = match action {
-        "a" | "add" | "+" => true,
-        "r" | "remove" | "rm" | "-" => false,
-        other => {
-            return Err(ParseError {
-                line: line_no,
-                message: format!("unknown action '{other}' (use a/add/+ or r/remove/rm/-)"),
-            })
-        }
-    };
-    let object: u32 = rest.parse().map_err(|_| ParseError {
-        line: line_no,
-        message: format!("invalid object id '{rest}'"),
-    })?;
-    Ok(Some(if is_add {
-        Event::add(object)
+    let tuple =
+        sprofile_server::protocol::parse_tuple_line(trimmed).map_err(|message| ParseError {
+            line: line_no,
+            message,
+        })?;
+    Ok(Some(if tuple.is_add {
+        Event::add(tuple.object)
     } else {
-        Event::remove(object)
+        Event::remove(tuple.object)
     }))
 }
 

@@ -29,6 +29,9 @@ enum Command {
     CountAtLeast(i64, Sender<u32>),
     /// Reply carries the number of updates applied so far (a barrier).
     Flush(Sender<u64>),
+    /// Reply carries a serialized snapshot of the profile (see
+    /// [`SProfile::write_snapshot`]) as of all previously sent updates.
+    Snapshot(Sender<Vec<u8>>),
 }
 
 /// Owner of the profile thread. Dropping (or calling
@@ -106,10 +109,29 @@ fn run_owner(m: u32, rx: Receiver<Command>) -> u64 {
                 applied += profile.apply_batch(&batch);
             }
             Command::Mode(reply) => {
-                let _ = reply.send(profile.mode().map(|e| (e.object, e.frequency)));
+                // Deterministic witness (smallest tied id) — the same
+                // convention as `ShardedProfile::mode`, so the two
+                // adapters are interchangeable behind the TCP server.
+                let _ = reply.send(profile.mode().map(|e| {
+                    let obj = profile
+                        .mode_objects()
+                        .iter()
+                        .copied()
+                        .min()
+                        .unwrap_or(e.object);
+                    (obj, e.frequency)
+                }));
             }
             Command::Least(reply) => {
-                let _ = reply.send(profile.least().map(|e| (e.object, e.frequency)));
+                let _ = reply.send(profile.least().map(|e| {
+                    let obj = profile
+                        .least_objects()
+                        .iter()
+                        .copied()
+                        .min()
+                        .unwrap_or(e.object);
+                    (obj, e.frequency)
+                }));
             }
             Command::Frequency(x, reply) => {
                 let _ = reply.send(profile.frequency(x));
@@ -125,6 +147,9 @@ fn run_owner(m: u32, rx: Receiver<Command>) -> u64 {
             }
             Command::Flush(reply) => {
                 let _ = reply.send(applied);
+            }
+            Command::Snapshot(reply) => {
+                let _ = reply.send(profile.to_snapshot_bytes());
             }
         }
     }
@@ -201,6 +226,14 @@ impl PipelineHandle {
     /// been applied; returns the global applied-update count.
     pub fn flush(&self) -> u64 {
         self.round_trip(Command::Flush)
+    }
+
+    /// Serialized snapshot ([`SProfile::write_snapshot`] format) of the
+    /// profile as of all previously sent updates — the persistence hook
+    /// the TCP server's `SNAPSHOT` command rides on. Like every query,
+    /// it acts as a barrier for updates sent earlier on this handle.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.round_trip(Command::Snapshot)
     }
 
     fn send(&self, cmd: Command) {
@@ -352,6 +385,25 @@ mod tests {
         }
         drop(h);
         assert_eq!(p.shutdown(), 10_000);
+    }
+
+    #[test]
+    fn snapshot_bytes_capture_prior_updates() {
+        let p = PipelineProfiler::spawn(12);
+        let h = p.handle();
+        for i in 0..240u32 {
+            h.add(i % 12);
+            if i % 4 == 0 {
+                h.remove((i + 1) % 12);
+            }
+        }
+        let restored = SProfile::from_snapshot_bytes(&h.snapshot_bytes()).unwrap();
+        for x in 0..12 {
+            assert_eq!(restored.frequency(x), h.frequency(x), "object {x}");
+        }
+        assert_eq!(restored.median(), h.median());
+        drop(h);
+        p.shutdown();
     }
 
     #[test]

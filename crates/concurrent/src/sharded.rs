@@ -231,6 +231,24 @@ impl ShardedProfile {
         best
     }
 
+    /// The lower median frequency over all `m` objects — the same
+    /// convention as [`SProfile::median`] (position `⌊(m−1)/2⌋` of the
+    /// ascending sorted array). `None` iff `m == 0`.
+    ///
+    /// Per-shard medians do not combine, so this materialises the merged
+    /// frequency vector and selects in O(m); it is a global read meant
+    /// for occasional queries, not the hot path. Consistency semantics
+    /// match [`Self::mode`] (per-shard snapshot combination).
+    pub fn median(&self) -> Option<i64> {
+        if self.m == 0 {
+            return None;
+        }
+        let mut freqs = self.merged_frequencies();
+        let mid = ((self.m - 1) / 2) as usize;
+        let (_, median, _) = freqs.select_nth_unstable(mid);
+        Some(*median)
+    }
+
     /// Number of objects with frequency ≥ `threshold` (sum of per-shard
     /// O(log #blocks) counts).
     pub fn count_at_least(&self, threshold: i64) -> u32 {
@@ -304,6 +322,14 @@ impl ShardedProfile {
     /// frequencies (O(m log m) rebuild).
     pub fn snapshot(&self) -> SProfile {
         SProfile::from_frequencies(&self.merged_frequencies())
+    }
+
+    /// Serialized snapshot in the [`SProfile::write_snapshot`] format —
+    /// the persistence hook the TCP server's `SNAPSHOT` command rides on.
+    /// Collapses via [`Self::snapshot`] first, so restoring yields a
+    /// single profile with the same frequencies.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.snapshot().to_snapshot_bytes()
     }
 }
 
@@ -540,6 +566,42 @@ mod tests {
         for k in 1..=m {
             assert_eq!(sp.top_k(k), seq.top_k(k), "k = {k}");
         }
+    }
+
+    #[test]
+    fn median_matches_the_single_profile() {
+        for (m, shards) in [(1u32, 1usize), (7, 3), (16, 4), (33, 8)] {
+            let sp = ShardedProfile::new(m, shards);
+            let mut seq = SProfile::new(m);
+            for i in 0..(m * 37) {
+                let x = (i * 13 + i / 7) % m;
+                if i % 5 == 0 {
+                    sp.remove(x);
+                    seq.remove(x);
+                } else {
+                    sp.add(x);
+                    seq.add(x);
+                }
+            }
+            assert_eq!(sp.median(), seq.median(), "m={m} shards={shards}");
+        }
+        assert_eq!(ShardedProfile::new(0, 4).median(), None);
+    }
+
+    #[test]
+    fn snapshot_bytes_restore_to_the_same_frequencies() {
+        let sp = ShardedProfile::new(25, 4);
+        for i in 0..500u32 {
+            sp.add(i % 25);
+            if i % 3 == 0 {
+                sp.remove((i + 2) % 25);
+            }
+        }
+        let restored = SProfile::from_snapshot_bytes(&sp.snapshot_bytes()).unwrap();
+        for x in 0..25 {
+            assert_eq!(restored.frequency(x), sp.frequency(x), "object {x}");
+        }
+        assert_eq!(restored.median(), sp.median());
     }
 
     #[test]

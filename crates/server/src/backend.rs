@@ -1,0 +1,224 @@
+//! Backend abstraction: one enum over the two deployment shapes in
+//! `sprofile-concurrent`, so the connection handler is written once.
+//!
+//! * [`BackendKind::Sharded`] — lock-per-shard [`ShardedProfile`];
+//!   queries combine per-shard snapshots.
+//! * [`BackendKind::Pipeline`] — single-writer [`PipelineProfiler`];
+//!   queries are linearised channel round-trips.
+
+use std::sync::Arc;
+
+use sprofile::Tuple;
+use sprofile_concurrent::{PipelineHandle, PipelineProfiler, ShardedProfile};
+
+/// Which engine a server should run, with its knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Universe-partitioned shards behind mutexes.
+    Sharded {
+        /// Number of shards.
+        shards: usize,
+    },
+    /// Single owner thread fed through a channel.
+    Pipeline,
+}
+
+impl BackendKind {
+    /// Parses `sharded` / `pipeline` (case-insensitive); `shards` is the
+    /// shard count a sharded backend should use.
+    pub fn parse(s: &str, shards: usize) -> Option<BackendKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "sharded" => Some(BackendKind::Sharded { shards }),
+            "pipeline" => Some(BackendKind::Pipeline),
+            _ => None,
+        }
+    }
+}
+
+/// A cloneable per-connection view of the engine. All methods validate
+/// nothing — the server validates ids against `m` before calling in, so
+/// the backends' out-of-range panics are unreachable from the wire.
+#[derive(Clone)]
+pub enum Backend {
+    /// Shared sharded profile.
+    Sharded(Arc<ShardedProfile>),
+    /// Producer/query handle onto the pipeline owner thread.
+    Pipeline(PipelineHandle),
+}
+
+/// The engine owner held by the server itself; dropped (and for the
+/// pipeline, joined) only after every connection worker has exited.
+pub enum BackendOwner {
+    /// Sharded: the same `Arc` the connections clone.
+    Sharded(Arc<ShardedProfile>),
+    /// Pipeline: the join handle for graceful shutdown.
+    Pipeline(PipelineProfiler),
+}
+
+impl BackendOwner {
+    /// Builds the engine for `kind` over a universe of `m` objects.
+    pub fn build(kind: BackendKind, m: u32) -> BackendOwner {
+        match kind {
+            BackendKind::Sharded { shards } => {
+                BackendOwner::Sharded(Arc::new(ShardedProfile::new(m, shards)))
+            }
+            BackendKind::Pipeline => BackendOwner::Pipeline(PipelineProfiler::spawn(m)),
+        }
+    }
+
+    /// A connection-facing view.
+    pub fn backend(&self) -> Backend {
+        match self {
+            BackendOwner::Sharded(p) => Backend::Sharded(Arc::clone(p)),
+            BackendOwner::Pipeline(p) => Backend::Pipeline(p.handle()),
+        }
+    }
+
+    /// Drains and tears the engine down. Requires every [`Backend`]
+    /// clone to be gone first (the pipeline join would otherwise wait on
+    /// live handles).
+    pub fn shutdown(self) {
+        match self {
+            BackendOwner::Sharded(_) => {}
+            BackendOwner::Pipeline(p) => {
+                p.shutdown();
+            }
+        }
+    }
+}
+
+impl Backend {
+    /// Engine name for `STATS`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Sharded(_) => "sharded",
+            Backend::Pipeline(_) => "pipeline",
+        }
+    }
+
+    /// Applies a batch of tuples. Sharded applies synchronously; the
+    /// pipeline enqueues in one send (later queries on this same backend
+    /// clone still observe it — channel FIFO).
+    pub fn apply_batch(&self, batch: &[Tuple]) {
+        if batch.is_empty() {
+            return;
+        }
+        match self {
+            Backend::Sharded(p) => {
+                p.apply_batch(batch);
+            }
+            Backend::Pipeline(h) => h.apply_batch(batch.to_vec()),
+        }
+    }
+
+    /// Barrier: wait until every update handed in so far is applied.
+    /// Sharded is synchronous, so this is a no-op there.
+    pub fn drain(&self) {
+        match self {
+            Backend::Sharded(_) => {}
+            Backend::Pipeline(h) => {
+                h.flush();
+            }
+        }
+    }
+
+    /// Mode `(object, frequency)`.
+    pub fn mode(&self) -> Option<(u32, i64)> {
+        match self {
+            Backend::Sharded(p) => p.mode(),
+            Backend::Pipeline(h) => h.mode(),
+        }
+    }
+
+    /// Least-frequent `(object, frequency)`.
+    pub fn least(&self) -> Option<(u32, i64)> {
+        match self {
+            Backend::Sharded(p) => p.least(),
+            Backend::Pipeline(h) => h.least(),
+        }
+    }
+
+    /// Frequency of `x`.
+    pub fn frequency(&self, x: u32) -> i64 {
+        match self {
+            Backend::Sharded(p) => p.frequency(x),
+            Backend::Pipeline(h) => h.frequency(x),
+        }
+    }
+
+    /// Lower median frequency.
+    pub fn median(&self) -> Option<i64> {
+        match self {
+            Backend::Sharded(p) => p.median(),
+            Backend::Pipeline(h) => h.median(),
+        }
+    }
+
+    /// Top-K list, deterministic tie order.
+    pub fn top_k(&self, k: u32) -> Vec<(u32, i64)> {
+        match self {
+            Backend::Sharded(p) => p.top_k(k),
+            Backend::Pipeline(h) => h.top_k(k),
+        }
+    }
+
+    /// Count of objects with frequency ≥ `threshold`.
+    pub fn count_at_least(&self, threshold: i64) -> u32 {
+        match self {
+            Backend::Sharded(p) => p.count_at_least(threshold),
+            Backend::Pipeline(h) => h.count_at_least(threshold),
+        }
+    }
+
+    /// Serialized [`sprofile::SProfile`] snapshot of the current state.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        match self {
+            Backend::Sharded(p) => p.snapshot_bytes(),
+            Backend::Pipeline(h) => h.snapshot_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parsing() {
+        assert_eq!(
+            BackendKind::parse("sharded", 4),
+            Some(BackendKind::Sharded { shards: 4 })
+        );
+        assert_eq!(
+            BackendKind::parse("PIPELINE", 4),
+            Some(BackendKind::Pipeline)
+        );
+        assert_eq!(BackendKind::parse("tokio", 4), None);
+    }
+
+    #[test]
+    fn both_backends_answer_the_same_queries() {
+        for kind in [BackendKind::Sharded { shards: 3 }, BackendKind::Pipeline] {
+            let owner = BackendOwner::build(kind, 20);
+            let b = owner.backend();
+            b.apply_batch(&[
+                Tuple::add(5),
+                Tuple::add(5),
+                Tuple::add(5),
+                Tuple::add(9),
+                Tuple::remove(1),
+            ]);
+            b.drain();
+            assert_eq!(b.frequency(5), 3, "{kind:?}");
+            assert_eq!(b.mode(), Some((5, 3)), "{kind:?}");
+            assert_eq!(b.least(), Some((1, -1)), "{kind:?}");
+            assert_eq!(b.median(), Some(0), "{kind:?}");
+            assert_eq!(b.top_k(2), vec![(5, 3), (9, 1)], "{kind:?}");
+            assert_eq!(b.count_at_least(1), 2, "{kind:?}");
+            let snap = sprofile::SProfile::from_snapshot_bytes(&b.snapshot_bytes()).unwrap();
+            assert_eq!(snap.frequency(5), 3, "{kind:?}");
+            drop(b);
+            owner.shutdown();
+        }
+    }
+}

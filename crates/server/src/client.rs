@@ -1,0 +1,261 @@
+//! A small synchronous client for the text protocol — the building
+//! block of the load generator, the CLI front end, and the test suites.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sprofile::Tuple;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered `ERR <message>`.
+    Server(String),
+    /// The server answered something the client cannot interpret.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// One connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn parse_field<T: std::str::FromStr>(field: &str, reply: &str) -> ClientResult<T> {
+    field
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("unparseable field '{field}' in '{reply}'")))
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one raw request line (no trailing newline) without reading
+    /// a reply. Exposed for protocol tests; pair with
+    /// [`Client::recv_line`].
+    pub fn send_line(&mut self, line: &str) -> ClientResult<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one raw reply line (newline stripped). Errors on EOF.
+    pub fn recv_line(&mut self) -> ClientResult<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("connection closed".into()));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    /// Reads a reply, turning `ERR …` into [`ClientError::Server`].
+    fn recv_ok(&mut self) -> ClientResult<String> {
+        let reply = self.recv_line()?;
+        match reply.strip_prefix("ERR ") {
+            Some(msg) => Err(ClientError::Server(msg.to_string())),
+            None => Ok(reply),
+        }
+    }
+
+    /// Round-trip: send `line`, then read one checked reply.
+    fn round_trip(&mut self, line: &str) -> ClientResult<String> {
+        self.send_line(line)?;
+        self.recv_ok()
+    }
+
+    fn expect_prefix<'r>(&self, reply: &'r str, prefix: &str) -> ClientResult<&'r str> {
+        reply
+            .strip_prefix(prefix)
+            .map(str::trim)
+            .ok_or_else(|| ClientError::Protocol(format!("expected '{prefix}…', got '{reply}'")))
+    }
+
+    fn opt_pair(&self, reply: &str, prefix: &str) -> ClientResult<Option<(u32, i64)>> {
+        if reply == "NONE" {
+            return Ok(None);
+        }
+        let rest = self.expect_prefix(reply, prefix)?;
+        let (obj, f) = rest
+            .split_once(' ')
+            .ok_or_else(|| ClientError::Protocol(format!("malformed pair in '{reply}'")))?;
+        Ok(Some((parse_field(obj, reply)?, parse_field(f, reply)?)))
+    }
+
+    /// `ADD id` (buffered server-side until the next flush or query).
+    pub fn add(&mut self, id: u32) -> ClientResult<()> {
+        let reply = self.round_trip(&format!("ADD {id}"))?;
+        if reply == "OK" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!("expected OK, got '{reply}'")))
+        }
+    }
+
+    /// `RM id`.
+    pub fn remove(&mut self, id: u32) -> ClientResult<()> {
+        let reply = self.round_trip(&format!("RM {id}"))?;
+        if reply == "OK" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!("expected OK, got '{reply}'")))
+        }
+    }
+
+    /// `BATCH n` + tuple lines, in one write; returns the acknowledged
+    /// tuple count.
+    pub fn batch(&mut self, tuples: &[Tuple]) -> ClientResult<u64> {
+        let mut frame = format!("BATCH {}\n", tuples.len());
+        for t in tuples {
+            frame.push(if t.is_add { 'a' } else { 'r' });
+            frame.push(' ');
+            frame.push_str(&t.object.to_string());
+            frame.push('\n');
+        }
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.flush()?;
+        let reply = self.recv_ok()?;
+        let n = self.expect_prefix(&reply, "OK")?;
+        parse_field(n, &reply)
+    }
+
+    /// `MODE` → `(object, frequency)` or `None` on an empty universe.
+    pub fn mode(&mut self) -> ClientResult<Option<(u32, i64)>> {
+        let reply = self.round_trip("MODE")?;
+        self.opt_pair(&reply, "MODE ")
+    }
+
+    /// `LEAST` → `(object, frequency)` or `None`.
+    pub fn least(&mut self) -> ClientResult<Option<(u32, i64)>> {
+        let reply = self.round_trip("LEAST")?;
+        self.opt_pair(&reply, "LEAST ")
+    }
+
+    /// `FREQ id` → the object's current frequency.
+    pub fn freq(&mut self, id: u32) -> ClientResult<i64> {
+        let reply = self.round_trip(&format!("FREQ {id}"))?;
+        let rest = self.expect_prefix(&reply, "FREQ ")?;
+        let (_, f) = rest
+            .split_once(' ')
+            .ok_or_else(|| ClientError::Protocol(format!("malformed FREQ reply '{reply}'")))?;
+        parse_field(f, &reply)
+    }
+
+    /// `MEDIAN` → the lower median frequency, `None` on an empty
+    /// universe.
+    pub fn median(&mut self) -> ClientResult<Option<i64>> {
+        let reply = self.round_trip("MEDIAN")?;
+        if reply == "NONE" {
+            return Ok(None);
+        }
+        let rest = self.expect_prefix(&reply, "MEDIAN ")?;
+        Ok(Some(parse_field(rest, &reply)?))
+    }
+
+    /// `TOPK k` → up to `k` `(object, frequency)` pairs, most frequent
+    /// first.
+    pub fn top_k(&mut self, k: u32) -> ClientResult<Vec<(u32, i64)>> {
+        self.send_line(&format!("TOPK {k}"))?;
+        let header = self.recv_ok()?;
+        let n: usize = parse_field(self.expect_prefix(&header, "TOPK")?, &header)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = self.recv_line()?;
+            let (obj, f) = line
+                .split_once(' ')
+                .ok_or_else(|| ClientError::Protocol(format!("malformed TOPK entry '{line}'")))?;
+            out.push((parse_field(obj, &line)?, parse_field(f, &line)?));
+        }
+        Ok(out)
+    }
+
+    /// `CAL f` → count of objects with frequency ≥ `threshold`.
+    pub fn count_at_least(&mut self, threshold: i64) -> ClientResult<u32> {
+        let reply = self.round_trip(&format!("CAL {threshold}"))?;
+        parse_field(self.expect_prefix(&reply, "CAL")?, &reply)
+    }
+
+    /// `STATS` → the raw `key=value` payload (after `STATS `).
+    pub fn stats(&mut self) -> ClientResult<String> {
+        let reply = self.round_trip("STATS")?;
+        Ok(self.expect_prefix(&reply, "STATS")?.to_string())
+    }
+
+    /// One `key=value` field out of a [`Client::stats`] payload.
+    pub fn stats_field(stats: &str, key: &str) -> Option<u64> {
+        stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// `SNAPSHOT path` → bytes written server-side.
+    pub fn snapshot(&mut self, path: &str) -> ClientResult<u64> {
+        let reply = self.round_trip(&format!("SNAPSHOT {path}"))?;
+        parse_field(self.expect_prefix(&reply, "OK")?, &reply)
+    }
+
+    /// `QUIT`: closes this connection politely.
+    pub fn quit(mut self) -> ClientResult<()> {
+        let reply = self.round_trip("QUIT")?;
+        if reply == "BYE" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "expected BYE, got '{reply}'"
+            )))
+        }
+    }
+
+    /// `SHUTDOWN`: asks the whole server to drain and stop.
+    pub fn shutdown_server(mut self) -> ClientResult<()> {
+        let reply = self.round_trip("SHUTDOWN")?;
+        if reply == "BYE" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "expected BYE, got '{reply}'"
+            )))
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! # sprofile-server — a TCP ingest/query front end for S-Profile
+//!
+//! The paper motivates S-Profile as the core of a central service
+//! profiling a firehose of like/follow events; this crate puts that
+//! service on a socket. A [`Server`] binds a TCP listener and serves a
+//! newline-delimited text protocol (see [`protocol`]) over either
+//! concurrent deployment shape from `sprofile-concurrent`:
+//!
+//! * `sharded` — a [`sprofile_concurrent::ShardedProfile`], one mutex
+//!   per universe shard;
+//! * `pipeline` — a [`sprofile_concurrent::PipelineProfiler`], one
+//!   owner thread fed through a channel.
+//!
+//! Everything is std-only (the offline build has no async runtime): a
+//! **bounded accept pool** of worker threads serves one connection each,
+//! **per-connection write batching** turns single `ADD`/`RM` requests
+//! into large [`Backend::apply_batch`] calls, and **graceful shutdown**
+//! drains every buffered batch before the backend is torn down.
+//!
+//! ```no_run
+//! use sprofile_server::{Client, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default(), "127.0.0.1:0").unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.add(42).unwrap();
+//! client.add(42).unwrap();
+//! assert_eq!(client.freq(42).unwrap(), 2);
+//! client.shutdown_server().unwrap();
+//! server.wait();
+//! ```
+//!
+//! [`Client`] is the canonical protocol speaker and [`loadgen`] drives
+//! many of them concurrently — both are reused by the `sprofile serve` /
+//! `sprofile loadgen` CLI subcommands and the benchmark that records
+//! `BENCH_server.json`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+mod backend;
+pub mod client;
+pub mod loadgen;
+mod metrics;
+pub mod protocol;
+mod server;
+
+pub use backend::{Backend, BackendKind, BackendOwner};
+pub use client::{Client, ClientError, ClientResult};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use metrics::{Counter, Metrics};
+pub use server::{Server, ServerConfig};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+    use sprofile::{SProfile, Tuple};
+
+    fn start(kind: BackendKind, m: u32) -> Server {
+        Server::start(
+            ServerConfig {
+                m,
+                backend: kind,
+                accept_pool: 3,
+                flush_every: 8,
+                // Wire SNAPSHOT paths are relative to this directory.
+                snapshot_dir: std::env::temp_dir(),
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn end_to_end_singles_and_batches() {
+        for kind in [BackendKind::Sharded { shards: 4 }, BackendKind::Pipeline] {
+            let server = start(kind, 100);
+            let mut c = Client::connect(server.local_addr()).unwrap();
+            c.add(7).unwrap();
+            c.add(7).unwrap();
+            c.remove(3).unwrap();
+            let n = c
+                .batch(&[Tuple::add(7), Tuple::add(9), Tuple::add(9), Tuple::add(9)])
+                .unwrap();
+            assert_eq!(n, 4);
+            assert_eq!(c.freq(7).unwrap(), 3, "{kind:?}");
+            assert_eq!(c.mode().unwrap(), Some((7, 3)), "{kind:?}");
+            assert_eq!(c.least().unwrap(), Some((3, -1)), "{kind:?}");
+            assert_eq!(c.median().unwrap(), Some(0), "{kind:?}");
+            assert_eq!(c.top_k(2).unwrap(), vec![(7, 3), (9, 3)], "{kind:?}");
+            assert_eq!(c.count_at_least(3).unwrap(), 2, "{kind:?}");
+            let stats = c.stats().unwrap();
+            assert_eq!(Client::stats_field(&stats, "applied"), Some(7), "{stats}");
+            c.quit().unwrap();
+            assert_eq!(server.shutdown(), 7, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn errors_do_not_desync_the_connection() {
+        let server = start(BackendKind::Sharded { shards: 2 }, 10);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // Unknown command.
+        c.send_line("NOPE 1").unwrap();
+        assert!(c.recv_line().unwrap().starts_with("ERR "));
+        // Out-of-range id.
+        c.send_line("ADD 10").unwrap();
+        assert!(c.recv_line().unwrap().contains("outside universe"));
+        // Bad tuple inside a batch: whole frame rejected, nothing applied.
+        c.send_line("BATCH 3").unwrap();
+        c.send_line("a 1").unwrap();
+        c.send_line("garbage").unwrap();
+        c.send_line("a 2").unwrap();
+        let reply = c.recv_line().unwrap();
+        assert!(reply.starts_with("ERR tuple 2"), "{reply}");
+        // The connection still answers correctly afterwards.
+        assert_eq!(c.freq(1).unwrap(), 0);
+        c.add(1).unwrap();
+        assert_eq!(c.freq(1).unwrap(), 1);
+        c.quit().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn truncated_batch_is_dropped_whole() {
+        let server = start(BackendKind::Pipeline, 10);
+        {
+            let mut c = Client::connect(server.local_addr()).unwrap();
+            c.add(5).unwrap(); // complete frame: must survive the drain
+            c.send_line("BATCH 5").unwrap();
+            c.send_line("a 1").unwrap();
+            c.send_line("a 2").unwrap();
+            // Drop the connection mid-body.
+        }
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // The dropped connection's EOF-drain races with this fresh
+        // connection; wait until the server reports the single applied.
+        for _ in 0..200 {
+            let stats = c.stats().unwrap();
+            if Client::stats_field(&stats, "applied") == Some(1) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(c.freq(5).unwrap(), 1, "complete single applied");
+        assert_eq!(c.freq(1).unwrap(), 0, "truncated batch dropped");
+        assert_eq!(c.freq(2).unwrap(), 0, "truncated batch dropped");
+        c.quit().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_buffered_singles() {
+        let server = start(BackendKind::Sharded { shards: 2 }, 10);
+        let addr = server.local_addr();
+        let mut c = Client::connect(addr).unwrap();
+        // flush_every is 8; three buffered adds sit in the write buffer.
+        c.add(4).unwrap();
+        c.add(4).unwrap();
+        c.add(4).unwrap();
+        // SHUTDOWN from a second connection; the first one's buffer must
+        // be drained into the backend before the server stops.
+        Client::connect(addr).unwrap().shutdown_server().unwrap();
+        drop(c);
+        assert_eq!(server.wait(), 3);
+    }
+
+    #[test]
+    fn snapshot_command_round_trips_through_core() {
+        // The server confines SNAPSHOT to its snapshot_dir (temp_dir in
+        // these tests); clients name relative paths inside it.
+        let rel_dir = format!("sprofile-server-test-{}", std::process::id());
+        let dir = std::env::temp_dir().join(&rel_dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (kind, name) in [
+            (BackendKind::Sharded { shards: 3 }, "sharded"),
+            (BackendKind::Pipeline, "pipeline"),
+        ] {
+            let server = start(kind, 50);
+            let mut c = Client::connect(server.local_addr()).unwrap();
+            let tuples: Vec<Tuple> = (0..200u32)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        Tuple::remove((i * 3) % 50)
+                    } else {
+                        Tuple::add((i * 7) % 50)
+                    }
+                })
+                .collect();
+            c.batch(&tuples).unwrap();
+            let bytes = c.snapshot(&format!("{rel_dir}/{name}.snap")).unwrap();
+            assert!(bytes > 0);
+            // Absolute and traversing paths are refused outright.
+            for bad in ["/tmp/abs.snap", "../escape.snap", ""] {
+                c.send_line(&format!("SNAPSHOT {bad}")).unwrap();
+                let reply = c.recv_line().unwrap();
+                assert!(reply.starts_with("ERR"), "{bad:?} -> {reply}");
+            }
+            // Restore offline and compare against the oracle.
+            let data = std::fs::read(dir.join(format!("{name}.snap"))).unwrap();
+            let restored = SProfile::from_snapshot_bytes(&data).unwrap();
+            let mut oracle = SProfile::new(50);
+            for t in &tuples {
+                oracle.apply(*t);
+            }
+            for x in 0..50 {
+                assert_eq!(restored.frequency(x), oracle.frequency(x), "{name} obj {x}");
+            }
+            c.quit().unwrap();
+            server.shutdown();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_clients_settle_to_exact_counts() {
+        let server = start(BackendKind::Sharded { shards: 4 }, 32);
+        let addr = server.local_addr();
+        let threads: Vec<_> = (0..6u32)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    for i in 0..320u32 {
+                        c.add((i + t) % 32).unwrap();
+                    }
+                    c.quit().unwrap();
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let mut c = Client::connect(addr).unwrap();
+        // 6 threads × 320 adds, each covering every object 10 times.
+        for x in 0..32 {
+            assert_eq!(c.freq(x).unwrap(), 60, "object {x}");
+        }
+        c.quit().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn loadgen_runs_against_a_live_server() {
+        let server = start(BackendKind::Pipeline, 256);
+        let cfg = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            threads: 3,
+            events_per_thread: 2_000,
+            batch: 128,
+            m: 256,
+            seed: 7,
+        };
+        let report = loadgen::run(&cfg).unwrap();
+        assert_eq!(report.tuples_sent, 6_000);
+        assert!(report.batches_sent > 0, "{report:?}");
+        assert!(report.singles_sent > 0, "{report:?}");
+        assert_eq!(
+            Client::stats_field(&report.final_stats, "applied"),
+            Some(6_000),
+            "{}",
+            report.final_stats
+        );
+        assert_eq!(server.shutdown(), 6_000);
+    }
+}

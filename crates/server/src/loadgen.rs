@@ -1,0 +1,158 @@
+//! Multi-threaded load generator: `threads` clients each replay a
+//! deterministic synthetic stream against a live server, mixing single
+//! `ADD`/`RM` requests with `BATCH` frames.
+//!
+//! Determinism is the point: [`thread_tuples`] exposes exactly the
+//! tuples thread `t` sends, so a test (or the CLI's final report) can
+//! feed the union to an offline [`sprofile::SProfile`] oracle and check
+//! the server's answers tuple-for-tuple.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sprofile::Tuple;
+use sprofile_streamgen::StreamConfig;
+
+use crate::client::{Client, ClientError, ClientResult};
+
+/// Load-generation knobs.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7979`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub threads: usize,
+    /// Tuples each thread sends.
+    pub events_per_thread: usize,
+    /// Tuples per `BATCH` frame (`1` sends everything as singles).
+    pub batch: usize,
+    /// Universe size the tuples are drawn from (must match the server).
+    pub m: u32,
+    /// Base RNG seed; thread `t` uses `seed + t`.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7979".into(),
+            threads: 4,
+            events_per_thread: 25_000,
+            batch: 512,
+            m: 1 << 20,
+            seed: 20190612,
+        }
+    }
+}
+
+/// What one run sent and how fast.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Tuples sent across all threads.
+    pub tuples_sent: u64,
+    /// `BATCH` frames sent.
+    pub batches_sent: u64,
+    /// Single `ADD`/`RM` requests sent.
+    pub singles_sent: u64,
+    /// Wall-clock duration of the send phase.
+    pub elapsed: Duration,
+    /// The server's `STATS` payload read after all threads finished.
+    pub final_stats: String,
+}
+
+impl LoadgenReport {
+    /// Tuples per second over the send phase.
+    pub fn tuples_per_sec(&self) -> f64 {
+        self.tuples_sent as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The deterministic tuple stream thread `t` sends (paper Stream1 shape:
+/// uniform adds/removes over `[0, m)`).
+pub fn thread_tuples(cfg: &LoadgenConfig, t: usize) -> Vec<Tuple> {
+    StreamConfig::stream1(cfg.m, cfg.seed.wrapping_add(t as u64))
+        .take_events(cfg.events_per_thread)
+        .into_iter()
+        .map(|e| Tuple {
+            object: e.object,
+            is_add: e.is_add,
+        })
+        .collect()
+}
+
+/// Sends one thread's stream: every 8th chunk as single `ADD`/`RM`
+/// round-trips (exercising the per-connection write buffer), the rest as
+/// `BATCH` frames. Returns `(batches, singles)` sent.
+fn drive_one(client: &mut Client, tuples: &[Tuple], batch: usize) -> ClientResult<(u64, u64)> {
+    let batch = batch.max(1);
+    let mut batches = 0u64;
+    let mut singles = 0u64;
+    for (i, chunk) in tuples.chunks(batch).enumerate() {
+        if batch > 1 && i % 8 == 7 {
+            for t in chunk {
+                if t.is_add {
+                    client.add(t.object)?;
+                } else {
+                    client.remove(t.object)?;
+                }
+                singles += 1;
+            }
+        } else if batch == 1 {
+            let t = &chunk[0];
+            if t.is_add {
+                client.add(t.object)?;
+            } else {
+                client.remove(t.object)?;
+            }
+            singles += 1;
+        } else {
+            client.batch(chunk)?;
+            batches += 1;
+        }
+    }
+    // Read barrier: force the server to flush this connection's buffer
+    // so `applied` in STATS reflects everything sent here.
+    if let Some(first) = tuples.first() {
+        client.freq(first.object)?;
+    }
+    Ok((batches, singles))
+}
+
+/// Runs the full load generation: spawn threads, send, join, then read
+/// the server's `STATS` over a fresh connection.
+pub fn run(cfg: &LoadgenConfig) -> ClientResult<LoadgenReport> {
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.threads);
+    for t in 0..cfg.threads.max(1) {
+        let cfg = cfg.clone();
+        handles.push(thread::spawn(move || -> ClientResult<(u64, u64, u64)> {
+            let tuples = thread_tuples(&cfg, t);
+            let mut client = Client::connect(&cfg.addr)?;
+            let (batches, singles) = drive_one(&mut client, &tuples, cfg.batch)?;
+            client.quit()?;
+            Ok((tuples.len() as u64, batches, singles))
+        }));
+    }
+    let mut tuples_sent = 0u64;
+    let mut batches_sent = 0u64;
+    let mut singles_sent = 0u64;
+    for h in handles {
+        let (tuples, batches, singles) = h
+            .join()
+            .map_err(|_| ClientError::Protocol("loadgen thread panicked".into()))??;
+        tuples_sent += tuples;
+        batches_sent += batches;
+        singles_sent += singles;
+    }
+    let elapsed = start.elapsed();
+    let mut probe = Client::connect(&cfg.addr)?;
+    let final_stats = probe.stats()?;
+    probe.quit()?;
+    Ok(LoadgenReport {
+        tuples_sent,
+        batches_sent,
+        singles_sent,
+        elapsed,
+        final_stats,
+    })
+}

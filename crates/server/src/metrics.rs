@@ -1,0 +1,130 @@
+//! Server-wide metrics: lock-free `AtomicU64` counters, rendered as the
+//! `STATS` reply's `key=value` list.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One monotonically increasing counter (relaxed ordering — counters are
+/// diagnostics, not synchronisation).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Decrement by one (for gauges like active connections).
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// All per-server counters. One instance is shared (via `Arc`) by every
+/// connection worker; `STATS` renders a point-in-time reading.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: Counter,
+    /// Connections currently open (gauge).
+    pub connections_active: Counter,
+    /// `ADD` requests received.
+    pub ops_add: Counter,
+    /// `RM` requests received.
+    pub ops_remove: Counter,
+    /// `BATCH` frames successfully applied.
+    pub ops_batch: Counter,
+    /// Tuples received inside successful `BATCH` frames.
+    pub batch_tuples: Counter,
+    /// Tuples actually handed to the backend (adds + removes + batch
+    /// tuples, after write-buffer flushes).
+    pub applied: Counter,
+    /// Write-buffer flushes performed.
+    pub flushes: Counter,
+    /// Read queries served (`MODE`/`LEAST`/`FREQ`/`MEDIAN`/`TOPK`/`CAL`).
+    pub queries: Counter,
+    /// Snapshots written.
+    pub snapshots: Counter,
+    /// `ERR` replies sent.
+    pub errors: Counter,
+}
+
+impl Metrics {
+    /// Renders the `STATS` payload: space-separated `key=value` pairs in
+    /// a fixed order (stable for tests and scrapers).
+    pub fn render(&self) -> String {
+        format!(
+            "accepted={} active={} adds={} removes={} batches={} batch_tuples={} \
+             applied={} flushes={} queries={} snapshots={} errors={}",
+            self.connections_accepted.get(),
+            self.connections_active.get(),
+            self.ops_add.get(),
+            self.ops_remove.get(),
+            self.ops_batch.get(),
+            self.batch_tuples.get(),
+            self.applied.get(),
+            self.flushes.get(),
+            self.queries.get(),
+            self.snapshots.get(),
+            self.errors.get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.dec();
+        assert_eq!(c.get(), 4);
+    }
+
+    #[test]
+    fn render_is_stable_and_complete() {
+        let m = Metrics::default();
+        m.connections_accepted.inc();
+        m.ops_add.add(3);
+        m.applied.add(3);
+        let s = m.render();
+        assert!(s.contains("accepted=1"), "{s}");
+        assert!(s.contains("adds=3"), "{s}");
+        assert!(s.contains("applied=3"), "{s}");
+        assert!(s.contains("errors=0"), "{s}");
+        // Every key present exactly once.
+        for key in [
+            "accepted=",
+            "active=",
+            "adds=",
+            "removes=",
+            "batches=",
+            "batch_tuples=",
+            "applied=",
+            "flushes=",
+            "queries=",
+            "snapshots=",
+            "errors=",
+        ] {
+            assert_eq!(s.matches(key).count(), 1, "{key} in {s}");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The newline-delimited text protocol.
+//!
+//! One request per line; the command word is case-insensitive. Replies
+//! are single lines too, except `TOPK` which returns a header line
+//! followed by one line per entry — a client always knows how many lines
+//! to read next, so the connection never desyncs.
+//!
+//! ```text
+//! request              reply
+//! -------              -----
+//! ADD <id>             OK                  (buffered; applied on flush)
+//! RM <id>              OK
+//! BATCH <n>            OK <n>              (after n tuple lines: a <id> / r <id> / +<id> / -<id>)
+//! MODE                 MODE <obj> <freq>   (or NONE on an empty universe)
+//! LEAST                LEAST <obj> <freq>  (or NONE)
+//! FREQ <id>            FREQ <id> <freq>
+//! MEDIAN               MEDIAN <freq>       (or NONE)
+//! TOPK <k>             TOPK <n>  then n lines "<obj> <freq>"
+//! CAL <f>              CAL <count>         (count of objects with freq ≥ f)
+//! STATS                STATS key=value ...
+//! SNAPSHOT <path>      OK <bytes>          (relative path, confined to the
+//!                                          server's snapshot directory)
+//! QUIT                 BYE                 (connection closes)
+//! SHUTDOWN             BYE                 (whole server drains and stops)
+//! ```
+//!
+//! Any malformed line gets an `ERR <reason>` reply and the connection
+//! stays usable. A `BATCH` whose tuple lines contain an error is
+//! consumed in full, answered with `ERR`, and **none** of its tuples are
+//! applied. Blank lines and `#` comments are ignored (no reply).
+
+use sprofile::Tuple;
+
+/// Upper bound on a `BATCH` header, so a hostile `BATCH 99999999999`
+/// cannot make the server buffer unbounded memory.
+pub const MAX_BATCH: usize = 1 << 20;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `ADD <id>` — buffer one add.
+    Add(u32),
+    /// `RM <id>` — buffer one remove.
+    Remove(u32),
+    /// `BATCH <n>` — `n` tuple lines follow.
+    Batch(usize),
+    /// `MODE` — most frequent object.
+    Mode,
+    /// `LEAST` — least frequent object.
+    Least,
+    /// `FREQ <id>` — one object's frequency.
+    Freq(u32),
+    /// `MEDIAN` — lower median frequency.
+    Median,
+    /// `TOPK <k>` — the k most frequent objects.
+    TopK(u32),
+    /// `CAL <f>` — count of objects at frequency ≥ f.
+    Cal(i64),
+    /// `STATS` — server metrics.
+    Stats,
+    /// `SNAPSHOT <path>` — persist a snapshot server-side. The server
+    /// only accepts relative paths without `..`, resolved inside its
+    /// configured snapshot directory.
+    Snapshot(String),
+    /// `QUIT` — close this connection.
+    Quit,
+    /// `SHUTDOWN` — drain and stop the whole server.
+    Shutdown,
+}
+
+fn parse_arg<T: std::str::FromStr>(cmd: &str, arg: Option<&str>) -> Result<T, String> {
+    let arg = arg.ok_or_else(|| format!("{cmd} needs an argument"))?;
+    arg.parse()
+        .map_err(|_| format!("invalid argument '{arg}' for {cmd}"))
+}
+
+/// Parses one request line. `Ok(None)` for blank/comment lines (which
+/// get no reply); `Err` carries the `ERR` message to send back.
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let (word, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((w, r)) => (w, Some(r.trim())),
+        None => (trimmed, None),
+    };
+    let upper = word.to_ascii_uppercase();
+    let req = match upper.as_str() {
+        "ADD" => Request::Add(parse_arg(&upper, rest)?),
+        "RM" => Request::Remove(parse_arg(&upper, rest)?),
+        "BATCH" => {
+            let n: usize = parse_arg(&upper, rest)?;
+            if n > MAX_BATCH {
+                return Err(format!("BATCH size {n} exceeds maximum {MAX_BATCH}"));
+            }
+            Request::Batch(n)
+        }
+        "MODE" => Request::Mode,
+        "LEAST" => Request::Least,
+        "FREQ" => Request::Freq(parse_arg(&upper, rest)?),
+        "MEDIAN" => Request::Median,
+        "TOPK" => Request::TopK(parse_arg(&upper, rest)?),
+        "CAL" => Request::Cal(parse_arg(&upper, rest)?),
+        "STATS" => Request::Stats,
+        "SNAPSHOT" => {
+            let path = rest.filter(|r| !r.is_empty());
+            Request::Snapshot(path.ok_or("SNAPSHOT needs a path")?.to_string())
+        }
+        "QUIT" => Request::Quit,
+        "SHUTDOWN" => Request::Shutdown,
+        other => return Err(format!("unknown command '{other}'")),
+    };
+    // Argument-less commands must really be argument-less.
+    if matches!(
+        req,
+        Request::Mode
+            | Request::Least
+            | Request::Median
+            | Request::Stats
+            | Request::Quit
+            | Request::Shutdown
+    ) && rest.is_some_and(|r| !r.is_empty())
+    {
+        return Err(format!("{upper} takes no argument"));
+    }
+    Ok(Some(req))
+}
+
+/// Parses one tuple line of a `BATCH` body: `a <id>` / `r <id>` (aliases
+/// `add`/`+` and `remove`/`rm`/`-`, plus compact `+<id>` / `-<id>`).
+pub fn parse_tuple_line(line: &str) -> Result<Tuple, String> {
+    let trimmed = line.trim();
+    let (action, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((a, r)) => (a, r.trim()),
+        None => {
+            if let Some(id) = trimmed.strip_prefix('+') {
+                ("a", id)
+            } else if let Some(id) = trimmed.strip_prefix('-') {
+                ("r", id)
+            } else {
+                return Err(format!("expected '<a|r> <id>', got '{trimmed}'"));
+            }
+        }
+    };
+    let is_add = match action {
+        "a" | "add" | "+" => true,
+        "r" | "remove" | "rm" | "-" => false,
+        other => {
+            return Err(format!(
+                "unknown action '{other}' (use a/add/+ or r/remove/rm/-)"
+            ))
+        }
+    };
+    let object: u32 = rest
+        .parse()
+        .map_err(|_| format!("invalid object id '{rest}'"))?;
+    Ok(Tuple { object, is_add })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        for (line, want) in [
+            ("ADD 7", Request::Add(7)),
+            ("add 7", Request::Add(7)),
+            ("RM 3", Request::Remove(3)),
+            ("BATCH 128", Request::Batch(128)),
+            ("MODE", Request::Mode),
+            ("LEAST", Request::Least),
+            ("FREQ 9", Request::Freq(9)),
+            ("MEDIAN", Request::Median),
+            ("TOPK 5", Request::TopK(5)),
+            ("CAL -2", Request::Cal(-2)),
+            ("STATS", Request::Stats),
+            (
+                "SNAPSHOT /tmp/x.snap",
+                Request::Snapshot("/tmp/x.snap".into()),
+            ),
+            ("QUIT", Request::Quit),
+            ("SHUTDOWN", Request::Shutdown),
+        ] {
+            assert_eq!(parse_request(line).unwrap(), Some(want), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_silent() {
+        assert_eq!(parse_request("").unwrap(), None);
+        assert_eq!(parse_request("   ").unwrap(), None);
+        assert_eq!(parse_request("# hi").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_requests_are_errors() {
+        for line in [
+            "ADD",
+            "ADD banana",
+            "ADD -1",
+            "FREQ",
+            "TOPK x",
+            "CAL",
+            "BATCH",
+            "BATCH -3",
+            "SNAPSHOT",
+            "MODE 3",
+            "QUIT now",
+            "frobnicate 1",
+        ] {
+            assert!(parse_request(line).is_err(), "{line:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn batch_header_is_bounded() {
+        assert!(parse_request(&format!("BATCH {}", MAX_BATCH)).is_ok());
+        let err = parse_request(&format!("BATCH {}", MAX_BATCH + 1)).unwrap_err();
+        assert!(err.contains("maximum"));
+    }
+
+    #[test]
+    fn tuple_lines_parse_all_aliases() {
+        for (line, object, is_add) in [
+            ("a 1", 1, true),
+            ("add 2", 2, true),
+            ("+ 3", 3, true),
+            ("+4", 4, true),
+            ("r 5", 5, false),
+            ("remove 6", 6, false),
+            ("rm 7", 7, false),
+            ("- 8", 8, false),
+            ("-9", 9, false),
+        ] {
+            assert_eq!(
+                parse_tuple_line(line).unwrap(),
+                Tuple { object, is_add },
+                "{line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tuple_lines_are_errors() {
+        for line in ["", "a", "a x", "x 1", "12"] {
+            assert!(parse_tuple_line(line).is_err(), "{line:?}");
+        }
+    }
+}

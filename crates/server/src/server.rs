@@ -1,0 +1,537 @@
+//! The TCP server: a bounded accept pool of worker threads, each serving
+//! one connection at a time (thread-per-connection, pool-bounded), over
+//! a shared [`Backend`].
+//!
+//! Design notes:
+//!
+//! * **No async runtime.** The offline dependency set has no tokio; the
+//!   server is std-only. The listener runs non-blocking and workers poll
+//!   it with a short sleep, which doubles as the graceful-shutdown wake
+//!   mechanism (no self-connect tricks needed).
+//! * **Per-connection write batching.** `ADD`/`RM` (and small `BATCH`
+//!   frames) accumulate in a per-connection buffer that is flushed into
+//!   [`Backend::apply_batch`] at `flush_every` tuples — so the backend
+//!   sees large batches (one lock round-trip per shard, or one channel
+//!   send) even when the client sends singles. Every read query flushes
+//!   first, so a connection always reads its own writes.
+//! * **Graceful shutdown.** `SHUTDOWN` (or [`Server::shutdown`]) flips a
+//!   flag; workers finish their current request, flush their pending
+//!   buffers (complete frames are never dropped; a `BATCH` cut off
+//!   mid-body is dropped whole), and exit. The pipeline backend is then
+//!   drained and joined.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sprofile::Tuple;
+
+use crate::backend::{Backend, BackendKind, BackendOwner};
+use crate::metrics::Metrics;
+use crate::protocol::{self, Request};
+
+/// How long a worker waits in one poll of the listener or an idle
+/// connection before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Universe size `m`; wire ids must lie in `[0, m)`.
+    pub m: u32,
+    /// Which engine serves the profile.
+    pub backend: BackendKind,
+    /// Worker threads in the accept pool — also the maximum number of
+    /// concurrently served connections.
+    pub accept_pool: usize,
+    /// Per-connection write-buffer flush threshold, in tuples.
+    pub flush_every: usize,
+    /// Directory `SNAPSHOT <path>` writes are confined to. Clients may
+    /// only name **relative** paths without `..`, resolved against this
+    /// directory — a remote peer must never gain an arbitrary-file-write
+    /// primitive.
+    pub snapshot_dir: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            m: 1 << 20,
+            backend: BackendKind::Sharded { shards: 8 },
+            accept_pool: 4,
+            flush_every: 256,
+            snapshot_dir: PathBuf::from("."),
+        }
+    }
+}
+
+/// Shared state between the server handle and its workers.
+struct Shared {
+    metrics: Metrics,
+    m: u32,
+    flush_every: usize,
+    snapshot_dir: PathBuf,
+    backend_name: &'static str,
+    stop: AtomicBool,
+    stop_lock: Mutex<bool>,
+    stop_cond: Condvar,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn trigger_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        *self.stop_lock.lock().expect("stop lock poisoned") = true;
+        self.stop_cond.notify_all();
+    }
+}
+
+/// A running server. Dropping it does **not** stop the workers; call
+/// [`Server::shutdown`] (or have a client send `SHUTDOWN`) and then
+/// [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    workers: Vec<JoinHandle<()>>,
+    owner: Option<BackendOwner>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// spawns the accept pool.
+    pub fn start<A: ToSocketAddrs>(config: ServerConfig, addr: A) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let owner = BackendOwner::build(config.backend, config.m);
+        let shared = Arc::new(Shared {
+            metrics: Metrics::default(),
+            m: config.m,
+            flush_every: config.flush_every.max(1),
+            snapshot_dir: config.snapshot_dir.clone(),
+            backend_name: owner.backend().name(),
+            stop: AtomicBool::new(false),
+            stop_lock: Mutex::new(false),
+            stop_cond: Condvar::new(),
+        });
+        let pool = config.accept_pool.max(1);
+        let mut workers = Vec::with_capacity(pool);
+        for i in 0..pool {
+            let listener = listener.try_clone()?;
+            let backend = owner.backend();
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sprofile-accept-{i}"))
+                    .spawn(move || accept_loop(listener, backend, shared))
+                    .expect("spawn accept worker"),
+            );
+        }
+        Ok(Server {
+            shared,
+            addr,
+            workers,
+            owner: Some(owner),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics (live view).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Asks the workers to stop (idempotent, non-blocking).
+    pub fn request_shutdown(&self) {
+        self.shared.trigger_stop();
+    }
+
+    /// Blocks until shutdown is requested (by [`Self::request_shutdown`]
+    /// or a client's `SHUTDOWN`), then joins every worker — each drains
+    /// its pending write buffer first — and tears the backend down.
+    /// Returns the total number of tuples applied over the server's
+    /// lifetime.
+    pub fn wait(mut self) -> u64 {
+        {
+            let mut stopped = self.shared.stop_lock.lock().expect("stop lock poisoned");
+            while !*stopped {
+                stopped = self
+                    .shared
+                    .stop_cond
+                    .wait(stopped)
+                    .expect("stop cond poisoned");
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // All workers (and their Backend clones) are gone: the pipeline
+        // owner can now drain its queue and join.
+        if let Some(owner) = self.owner.take() {
+            owner.shutdown();
+        }
+        self.shared.metrics.applied.get()
+    }
+
+    /// [`Self::request_shutdown`] + [`Self::wait`].
+    pub fn shutdown(self) -> u64 {
+        self.request_shutdown();
+        self.wait()
+    }
+}
+
+fn accept_loop(listener: TcpListener, backend: Backend, shared: Arc<Shared>) {
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.stopping() {
+                    break;
+                }
+                shared.metrics.connections_accepted.inc();
+                shared.metrics.connections_active.inc();
+                let _ = serve_connection(stream, &backend, &shared);
+                shared.metrics.connections_active.dec();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Transient accept failures (EMFILE under fd pressure,
+                // ECONNABORTED, …) must not kill the worker: a dead pool
+                // could never receive the SHUTDOWN that unblocks
+                // `Server::wait`. Back off and retry; the loop top still
+                // honours the stop flag.
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+/// Outcome of one buffered line read.
+enum LineRead {
+    /// A (possibly EOF-terminated) line is in the buffer.
+    Line,
+    /// Clean end of stream.
+    Eof,
+    /// The server is shutting down.
+    Stop,
+}
+
+/// Reads one line into `buf` (which must be cleared by the caller after
+/// processing). Read timeouts poll the shutdown flag; a partial line
+/// survives timeouts because `read_until` appends across calls.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    shared: &Shared,
+) -> io::Result<LineRead> {
+    loop {
+        match reader.read_until(b'\n', buf) {
+            Ok(0) => {
+                return Ok(if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    // EOF cut the final line short; hand it up as-is.
+                    LineRead::Line
+                });
+            }
+            Ok(_) => return Ok(LineRead::Line),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.stopping() {
+                    return Ok(LineRead::Stop);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn reply(writer: &mut BufWriter<TcpStream>, text: &str) -> io::Result<()> {
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Confines a client-supplied `SNAPSHOT` path to `dir`: only relative
+/// paths made of normal components (no `..`, no root, no drive prefix)
+/// are accepted, so a remote peer cannot write outside the configured
+/// snapshot directory. Returns the resolved target, or `None` when the
+/// path is rejected.
+fn resolve_snapshot_path(dir: &Path, client_path: &str) -> Option<PathBuf> {
+    let requested = Path::new(client_path);
+    if requested.components().count() == 0
+        || !requested
+            .components()
+            .all(|c| matches!(c, Component::Normal(_)))
+    {
+        return None;
+    }
+    Some(dir.join(requested))
+}
+
+/// Flushes the per-connection write buffer into the backend.
+fn flush_pending(pending: &mut Vec<Tuple>, backend: &Backend, shared: &Shared) {
+    if pending.is_empty() {
+        return;
+    }
+    backend.apply_batch(pending);
+    shared.metrics.applied.add(pending.len() as u64);
+    shared.metrics.flushes.inc();
+    pending.clear();
+}
+
+fn serve_connection(stream: TcpStream, backend: &Backend, shared: &Shared) -> io::Result<()> {
+    // Accepted streams may inherit the listener's non-blocking mode on
+    // some platforms; force blocking + a read timeout so idle reads poll
+    // the shutdown flag.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut pending: Vec<Tuple> = Vec::with_capacity(shared.flush_every);
+
+    let result = connection_loop(&mut reader, &mut writer, &mut pending, backend, shared);
+    // Drain unconditionally — including when the transport died (RST on
+    // read, EPIPE on reply): every tuple in `pending` was already
+    // acknowledged with OK, so it must reach the backend no matter how
+    // the connection ended. Only an incomplete BATCH body is dropped
+    // (it never made it into `pending`).
+    flush_pending(&mut pending, backend, shared);
+    result
+}
+
+fn connection_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    pending: &mut Vec<Tuple>,
+    backend: &Backend,
+    shared: &Shared,
+) -> io::Result<()> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut body: Vec<u8> = Vec::new();
+
+    'conn: loop {
+        if shared.stopping() {
+            break;
+        }
+        match read_line(reader, &mut line, shared)? {
+            LineRead::Eof | LineRead::Stop => break,
+            LineRead::Line => {}
+        }
+        // Borrow in place (no per-line heap copy on the ingest path);
+        // only genuinely invalid UTF-8 pays for the lossy conversion.
+        let text = String::from_utf8_lossy(&line);
+        let text = text.trim_end_matches(['\r', '\n']);
+        let req = match protocol::parse_request(text) {
+            Ok(None) => {
+                line.clear();
+                continue;
+            }
+            Ok(Some(req)) => req,
+            Err(msg) => {
+                shared.metrics.errors.inc();
+                reply(writer, &format!("ERR {msg}"))?;
+                line.clear();
+                continue;
+            }
+        };
+        line.clear();
+        match req {
+            Request::Add(id) | Request::Remove(id) => {
+                if id >= shared.m {
+                    shared.metrics.errors.inc();
+                    reply(
+                        writer,
+                        &format!("ERR object {id} outside universe [0, {})", shared.m),
+                    )?;
+                    continue;
+                }
+                let is_add = matches!(req, Request::Add(_));
+                if is_add {
+                    shared.metrics.ops_add.inc();
+                } else {
+                    shared.metrics.ops_remove.inc();
+                }
+                pending.push(Tuple { object: id, is_add });
+                if pending.len() >= shared.flush_every {
+                    flush_pending(pending, backend, shared);
+                }
+                reply(writer, "OK")?;
+            }
+            Request::Batch(n) => {
+                // Read exactly n tuple lines, remembering the first
+                // error but consuming the whole body so the connection
+                // stays in sync; a body cut off by EOF/shutdown is
+                // dropped whole (nothing applied, no reply).
+                let mut tuples: Vec<Tuple> = Vec::with_capacity(n.min(protocol::MAX_BATCH));
+                let mut error: Option<String> = None;
+                for i in 0..n {
+                    body.clear();
+                    match read_line(reader, &mut body, shared)? {
+                        LineRead::Eof | LineRead::Stop => break 'conn,
+                        LineRead::Line => {}
+                    }
+                    let tline = String::from_utf8_lossy(&body);
+                    let tline = tline.trim_end_matches(['\r', '\n']);
+                    if error.is_some() {
+                        continue;
+                    }
+                    match protocol::parse_tuple_line(tline) {
+                        Ok(t) if t.object >= shared.m => {
+                            error = Some(format!(
+                                "tuple {}: object {} outside universe [0, {})",
+                                i + 1,
+                                t.object,
+                                shared.m
+                            ));
+                        }
+                        Ok(t) => tuples.push(t),
+                        Err(msg) => error = Some(format!("tuple {}: {msg}", i + 1)),
+                    }
+                }
+                match error {
+                    Some(msg) => {
+                        shared.metrics.errors.inc();
+                        reply(writer, &format!("ERR {msg}"))?;
+                    }
+                    None => {
+                        shared.metrics.ops_batch.inc();
+                        shared.metrics.batch_tuples.add(n as u64);
+                        pending.extend_from_slice(&tuples);
+                        if pending.len() >= shared.flush_every {
+                            flush_pending(pending, backend, shared);
+                        }
+                        reply(writer, &format!("OK {n}"))?;
+                    }
+                }
+            }
+            Request::Mode => {
+                flush_pending(pending, backend, shared);
+                shared.metrics.queries.inc();
+                match backend.mode() {
+                    Some((obj, f)) => reply(writer, &format!("MODE {obj} {f}"))?,
+                    None => reply(writer, "NONE")?,
+                }
+            }
+            Request::Least => {
+                flush_pending(pending, backend, shared);
+                shared.metrics.queries.inc();
+                match backend.least() {
+                    Some((obj, f)) => reply(writer, &format!("LEAST {obj} {f}"))?,
+                    None => reply(writer, "NONE")?,
+                }
+            }
+            Request::Freq(id) => {
+                if id >= shared.m {
+                    shared.metrics.errors.inc();
+                    reply(
+                        writer,
+                        &format!("ERR object {id} outside universe [0, {})", shared.m),
+                    )?;
+                    continue;
+                }
+                flush_pending(pending, backend, shared);
+                shared.metrics.queries.inc();
+                let f = backend.frequency(id);
+                reply(writer, &format!("FREQ {id} {f}"))?;
+            }
+            Request::Median => {
+                flush_pending(pending, backend, shared);
+                shared.metrics.queries.inc();
+                match backend.median() {
+                    Some(f) => reply(writer, &format!("MEDIAN {f}"))?,
+                    None => reply(writer, "NONE")?,
+                }
+            }
+            Request::TopK(k) => {
+                flush_pending(pending, backend, shared);
+                shared.metrics.queries.inc();
+                // Clamp so a hostile k cannot force an over-allocation
+                // in the per-shard merge.
+                let entries = backend.top_k(k.min(shared.m));
+                writer.write_all(format!("TOPK {}\n", entries.len()).as_bytes())?;
+                for (obj, f) in entries {
+                    writer.write_all(format!("{obj} {f}\n").as_bytes())?;
+                }
+                writer.flush()?;
+            }
+            Request::Cal(threshold) => {
+                flush_pending(pending, backend, shared);
+                shared.metrics.queries.inc();
+                let count = backend.count_at_least(threshold);
+                reply(writer, &format!("CAL {count}"))?;
+            }
+            Request::Stats => {
+                flush_pending(pending, backend, shared);
+                reply(
+                    writer,
+                    &format!(
+                        "STATS backend={} m={} {}",
+                        shared.backend_name,
+                        shared.m,
+                        shared.metrics.render()
+                    ),
+                )?;
+            }
+            Request::Snapshot(path) => {
+                let Some(target) = resolve_snapshot_path(&shared.snapshot_dir, &path) else {
+                    shared.metrics.errors.inc();
+                    reply(
+                        writer,
+                        "ERR snapshot path must be relative, without '..' components",
+                    )?;
+                    continue;
+                };
+                flush_pending(pending, backend, shared);
+                backend.drain();
+                let bytes = backend.snapshot_bytes();
+                match std::fs::write(&target, &bytes) {
+                    Ok(()) => {
+                        shared.metrics.snapshots.inc();
+                        reply(writer, &format!("OK {}", bytes.len()))?;
+                    }
+                    Err(e) => {
+                        shared.metrics.errors.inc();
+                        reply(writer, &format!("ERR snapshot write failed: {e}"))?;
+                    }
+                }
+            }
+            Request::Quit => {
+                // Flush before BYE: a client that saw BYE may assume its
+                // writes are applied (the agreement tests rely on it).
+                flush_pending(pending, backend, shared);
+                reply(writer, "BYE")?;
+                break;
+            }
+            Request::Shutdown => {
+                flush_pending(pending, backend, shared);
+                reply(writer, "BYE")?;
+                shared.trigger_stop();
+                break;
+            }
+        }
+    }
+    Ok(())
+}
