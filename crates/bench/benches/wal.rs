@@ -1,0 +1,132 @@
+//! Durability cost over the full wire path: the `server` bench matrix,
+//! re-run with the write-ahead log on — tuples/s vs sync policy and
+//! `BATCH` size, against the no-WAL baseline.
+//!
+//! Besides the criterion group, `record_json` re-times the matrix with a
+//! best-of-N wall clock and writes `BENCH_wal.json` at the workspace
+//! root so CI uploads it next to `BENCH_server.json`.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sprofile_server::{
+    loadgen, BackendKind, DurabilityConfig, LoadgenConfig, Server, ServerConfig, SyncPolicy,
+};
+
+/// Universe size (hot-entity regime: stream dwarfs the universe).
+const M: u32 = 4_096;
+/// Concurrent loadgen connections (= server accept pool).
+const THREADS: usize = 4;
+/// Tuples per thread per measured run.
+const EVENTS_PER_THREAD: usize = 16_384;
+/// `BATCH` frame sizes swept.
+const BATCH_SIZES: [usize; 2] = [64, 4_096];
+
+/// The durability variants compared (JSON key, sync policy; `None` =
+/// WAL off entirely).
+fn variants() -> [(&'static str, Option<SyncPolicy>); 4] {
+    [
+        ("nowal", None),
+        ("wal_never", Some(SyncPolicy::Never)),
+        (
+            "wal_interval",
+            Some(SyncPolicy::Interval(std::time::Duration::from_millis(50))),
+        ),
+        ("wal_always", Some(SyncPolicy::Always)),
+    ]
+}
+
+fn wal_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sprofile-bench-wal-{}-{tag}", std::process::id()))
+}
+
+/// One full ingestion run over loopback TCP; returns tuples/second.
+fn run_once(sync: Option<SyncPolicy>, batch: usize) -> f64 {
+    let wal = sync.map(|sync| {
+        let dir = wal_dir(&format!("{}-{batch}", sync.name()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DurabilityConfig {
+            sync,
+            // Keep the background checkpointer out of the measurement:
+            // this matrix isolates the append/group-commit cost.
+            checkpoint_every: 0,
+            ..DurabilityConfig::new(&dir)
+        }
+    });
+    let cleanup = wal.as_ref().map(|w| w.dir.clone());
+    let server = Server::start(
+        ServerConfig {
+            m: M,
+            backend: BackendKind::Sharded { shards: 8 },
+            accept_pool: THREADS,
+            flush_every: 512,
+            wal,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind bench server");
+    let cfg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        threads: THREADS,
+        events_per_thread: EVENTS_PER_THREAD,
+        batch,
+        m: M,
+        seed: 99,
+    };
+    let report = loadgen::run(&cfg).expect("loadgen");
+    let applied = server.shutdown();
+    assert_eq!(applied, (THREADS * EVENTS_PER_THREAD) as u64);
+    if let Some(dir) = cleanup {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    report.tuples_per_sec()
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_ingest");
+    group.throughput(Throughput::Elements((THREADS * EVENTS_PER_THREAD) as u64));
+    group.sample_size(5);
+    for (name, sync) in variants() {
+        for batch in BATCH_SIZES {
+            group.bench_with_input(BenchmarkId::new(name, batch), &batch, |b, &batch| {
+                b.iter(|| run_once(sync, batch));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Times the matrix (best of N) and writes `BENCH_wal.json` (path
+/// overridable with `BENCH_WAL_OUT`).
+fn record_json(_c: &mut Criterion) {
+    const REPEATS: usize = 3;
+    let mut sections = Vec::new();
+    for (name, sync) in variants() {
+        let cells: Vec<String> = BATCH_SIZES
+            .iter()
+            .map(|&batch| {
+                let best = (0..REPEATS)
+                    .map(|_| run_once(sync, batch))
+                    .fold(0.0f64, f64::max);
+                format!("\"{batch}\": {best:.0}")
+            })
+            .collect();
+        sections.push(format!("    \"{name}\": {{{}}}", cells.join(", ")));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"wal\",\n  \"m\": {M},\n  \"threads\": {THREADS},\n  \
+         \"events_per_thread\": {EVENTS_PER_THREAD},\n  \"backend\": \"sharded8\",\n  \
+         \"throughput_tuples_per_sec\": {{\n{}\n  }}\n}}\n",
+        sections.join(",\n"),
+    );
+    let path = std::env::var("BENCH_WAL_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json").into());
+    std::fs::write(&path, &json).expect("write BENCH_wal.json");
+    println!("bench wal summary written to {path}");
+    println!("{json}");
+}
+
+criterion_group!(benches, bench_wal, record_json);
+criterion_main!(benches);

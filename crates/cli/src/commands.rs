@@ -6,7 +6,11 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use sprofile::{SProfile, SnapshotError, Tuple};
-use sprofile_server::{BackendKind, Client, LoadgenConfig, Server, ServerConfig};
+use sprofile_persist::PersistError;
+use sprofile_server::{
+    loadgen::thread_tuples, BackendKind, Client, DurabilityConfig, LoadgenConfig, Server,
+    ServerConfig,
+};
 use sprofile_streamgen::{Event, StreamConfig};
 
 use crate::textio::{read_events, write_events, ParseError};
@@ -99,8 +103,12 @@ pub enum CommandError {
     Io(std::io::Error),
     /// Snapshot (de)serialisation failed.
     Snapshot(SnapshotError),
+    /// The write-ahead log could not be read or written.
+    Persist(PersistError),
     /// A server/client operation failed.
     Server(String),
+    /// A verification found disagreements (the CLI exits non-zero).
+    VerifyFailed(u64),
 }
 
 impl std::fmt::Display for CommandError {
@@ -112,7 +120,9 @@ impl std::fmt::Display for CommandError {
             }
             CommandError::Io(e) => write!(f, "i/o error: {e}"),
             CommandError::Snapshot(e) => write!(f, "{e}"),
+            CommandError::Persist(e) => write!(f, "{e}"),
             CommandError::Server(msg) => write!(f, "{msg}"),
+            CommandError::VerifyFailed(n) => write!(f, "verification failed: {n} mismatch(es)"),
         }
     }
 }
@@ -134,6 +144,12 @@ impl From<std::io::Error> for CommandError {
 impl From<SnapshotError> for CommandError {
     fn from(e: SnapshotError) -> Self {
         CommandError::Snapshot(e)
+    }
+}
+
+impl From<PersistError> for CommandError {
+    fn from(e: PersistError) -> Self {
+        CommandError::Persist(e)
     }
 }
 
@@ -400,6 +416,8 @@ pub struct ServeOpts {
     pub flush: usize,
     /// Directory wire `SNAPSHOT` writes are confined to.
     pub snapshot_dir: String,
+    /// Durability: `--wal DIR` (plus sync/segment/checkpoint knobs).
+    pub wal: Option<DurabilityConfig>,
 }
 
 /// `serve`: run the TCP server until a client sends `SHUTDOWN`. The
@@ -413,6 +431,7 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
             accept_pool: opts.pool,
             flush_every: opts.flush,
             snapshot_dir: opts.snapshot_dir.clone().into(),
+            wal: opts.wal.clone(),
         },
         opts.addr.as_str(),
     )?;
@@ -420,9 +439,13 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
         BackendKind::Sharded { shards } => format!("sharded({shards})"),
         BackendKind::Pipeline => "pipeline".to_string(),
     };
+    let wal = match &opts.wal {
+        Some(w) => format!(" wal={} sync={}", w.dir.display(), w.sync.name()),
+        None => String::new(),
+    };
     writeln!(
         out,
-        "listening on {} backend={backend} m={} pool={} flush={}",
+        "listening on {} backend={backend} m={} pool={} flush={}{wal}",
         server.local_addr(),
         opts.m,
         opts.pool,
@@ -460,6 +483,156 @@ pub fn loadgen<W: Write>(
             .map_err(|e| CommandError::Server(e.to_string()))?;
         writeln!(out, "sent SHUTDOWN")?;
     }
+    Ok(())
+}
+
+/// `recover`: rebuild the profile a WAL directory persists (newest valid
+/// checkpoint + record tail) and print the same statistics report as
+/// `profile` — the offline answer to "what state would a `serve --wal`
+/// restart come back with?".
+pub fn recover_report<W: Write>(
+    dir: &Path,
+    m: u32,
+    top: u32,
+    out: &mut W,
+) -> Result<(), CommandError> {
+    let r = sprofile_persist::recover(dir, m)?;
+    writeln!(out, "wal dir:           {}", dir.display())?;
+    match r.checkpoint_lsn {
+        Some(lsn) => writeln!(out, "checkpoint:        lsn {lsn}")?,
+        None => writeln!(out, "checkpoint:        none (full replay)")?,
+    }
+    writeln!(
+        out,
+        "replayed:          {} record(s), {} tuple(s)",
+        r.replayed_records, r.replayed_tuples
+    )?;
+    writeln!(out, "next lsn:          {}", r.next_lsn)?;
+    if r.torn_tail {
+        writeln!(
+            out,
+            "torn tail:         yes (crash signature; tail record dropped)"
+        )?;
+    }
+    report(
+        &ProfileOpts {
+            m,
+            top,
+            histogram: false,
+        },
+        &r.profile,
+        r.replayed_tuples,
+        out,
+    )
+}
+
+/// `wal-dump`: print every record still present in the WAL directory's
+/// segments, one line per record (`lsn`, tuple count, then the tuples in
+/// event-file notation, elided past eight).
+pub fn wal_dump<W: Write>(dir: &Path, limit: usize, out: &mut W) -> Result<(), CommandError> {
+    let (records, torn) = sprofile_persist::dump_records(dir)?;
+    let total = records.len();
+    for r in records.into_iter().take(limit) {
+        write!(out, "{:>8}  {:>6} tuple(s) ", r.lsn, r.tuples.len())?;
+        for t in r.tuples.iter().take(8) {
+            write!(out, " {}{}", if t.is_add { 'a' } else { 'r' }, t.object)?;
+        }
+        if r.tuples.len() > 8 {
+            write!(out, " …")?;
+        }
+        writeln!(out)?;
+    }
+    if total > limit {
+        writeln!(out, "… {} more record(s) (raise --limit)", total - limit)?;
+    }
+    writeln!(
+        out,
+        "{total} record(s){}",
+        if torn { ", torn tail" } else { "" }
+    )?;
+    Ok(())
+}
+
+/// `checkpoint`: offline compaction — recover the WAL directory, write a
+/// fresh checkpoint at its head, and prune the segments it covers. The
+/// next `serve --wal`/`recover` then skips the replay.
+pub fn checkpoint_compact<W: Write>(dir: &Path, m: u32, out: &mut W) -> Result<(), CommandError> {
+    let r = sprofile_persist::recover(dir, m)?;
+    let mut wal = sprofile_persist::Wal::open(
+        sprofile_persist::WalOptions {
+            dir: dir.to_path_buf(),
+            ..Default::default()
+        },
+        r.next_lsn,
+    )?;
+    let lsn = wal.checkpoint(&r.profile.to_snapshot_bytes())?;
+    writeln!(
+        out,
+        "checkpoint written at lsn {lsn} ({} replayed record(s) folded in)",
+        r.replayed_records
+    )?;
+    Ok(())
+}
+
+/// `verify`: the client-side oracle check. Recomputes the deterministic
+/// tuple streams `loadgen` sends for `cfg` (same seed/threads/n/m),
+/// folds them into an offline [`SProfile`] oracle, then asks the live
+/// server for the frequency of every touched object plus the mode — the
+/// crash-recovery smoke test's way of proving a restarted `serve --wal`
+/// really recovered the acknowledged stream.
+pub fn verify_server<W: Write>(cfg: &LoadgenConfig, out: &mut W) -> Result<(), CommandError> {
+    let mut oracle = SProfile::new(cfg.m);
+    for t in 0..cfg.threads.max(1) {
+        for tuple in thread_tuples(cfg, t) {
+            oracle.apply(tuple);
+        }
+    }
+    let touched: Vec<u32> = (0..cfg.m).filter(|&x| oracle.frequency(x) != 0).collect();
+    // Also sample objects the oracle holds at zero (never touched, or
+    // adds/removes cancelled): a recovery bug that *invents* tuples
+    // would otherwise slip past a touched-only sweep.
+    let step = (cfg.m as usize / 1024).max(1);
+    let zeros: Vec<u32> = (0..cfg.m)
+        .step_by(step)
+        .filter(|&x| oracle.frequency(x) == 0)
+        .take(1024)
+        .collect();
+    let mut client =
+        Client::connect(cfg.addr.as_str()).map_err(|e| CommandError::Server(e.to_string()))?;
+    let mut mismatches = 0u64;
+    for &x in touched.iter().chain(&zeros) {
+        let got = client
+            .freq(x)
+            .map_err(|e| CommandError::Server(e.to_string()))?;
+        let want = oracle.frequency(x);
+        if got != want {
+            mismatches += 1;
+            if mismatches <= 10 {
+                writeln!(out, "MISMATCH object {x}: server {got}, oracle {want}")?;
+            }
+        }
+    }
+    let mode = client
+        .mode()
+        .map_err(|e| CommandError::Server(e.to_string()))?;
+    let oracle_mode = oracle.mode().map(|e| e.frequency);
+    if mode.map(|(_, f)| f) != oracle_mode {
+        mismatches += 1;
+        writeln!(
+            out,
+            "MISMATCH mode: server {mode:?}, oracle frequency {oracle_mode:?}"
+        )?;
+    }
+    client.quit().ok();
+    if mismatches > 0 {
+        return Err(CommandError::VerifyFailed(mismatches));
+    }
+    writeln!(
+        out,
+        "verify: OK ({} nonzero + {} zero object(s) checked against the oracle)",
+        touched.len(),
+        zeros.len()
+    )?;
     Ok(())
 }
 
@@ -846,6 +1019,7 @@ mod tests {
             pool: 2,
             flush: 16,
             snapshot_dir: ".".into(),
+            wal: None,
         };
         let handle = {
             let mut out = buf.clone();
@@ -876,6 +1050,118 @@ mod tests {
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert!(text.contains("backend=pipeline m=64"), "{text}");
         assert!(text.contains("shutdown: 2 tuples applied"), "{text}");
+    }
+
+    fn temp_wal(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sprofile-cli-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seed_wal(dir: &Path) {
+        let mut wal = sprofile_persist::Wal::open(
+            sprofile_persist::WalOptions {
+                dir: dir.to_path_buf(),
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        wal.append(&[Tuple::add(2), Tuple::add(2), Tuple::add(2)])
+            .unwrap();
+        wal.append(&[Tuple::remove(5)]).unwrap();
+        wal.sync().unwrap();
+    }
+
+    #[test]
+    fn recover_reports_the_replayed_state() {
+        let dir = temp_wal("recover");
+        seed_wal(&dir);
+        let mut out = Vec::new();
+        recover_report(&dir, 10, 3, &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(
+            out.contains("checkpoint:        none (full replay)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("replayed:          2 record(s), 4 tuple(s)"),
+            "{out}"
+        );
+        assert!(out.contains("next lsn:          3"), "{out}");
+        assert!(out.contains("mode:              object 2 at 3"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_dump_lists_records_and_honours_the_limit() {
+        let dir = temp_wal("dump");
+        seed_wal(&dir);
+        let mut out = Vec::new();
+        wal_dump(&dir, 1000, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("a2 a2 a2"), "{text}");
+        assert!(text.contains("r5"), "{text}");
+        assert!(text.contains("2 record(s)"), "{text}");
+        let mut out = Vec::new();
+        wal_dump(&dir, 1, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("1 more record(s)"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_compacts_then_recover_skips_replay() {
+        let dir = temp_wal("compact");
+        seed_wal(&dir);
+        let mut out = Vec::new();
+        checkpoint_compact(&dir, 10, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("checkpoint written at lsn 2"), "{text}");
+        let mut out = Vec::new();
+        recover_report(&dir, 10, 0, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("checkpoint:        lsn 2"), "{text}");
+        assert!(text.contains("replayed:          0 record(s)"), "{text}");
+        assert!(text.contains("mode:              object 2 at 3"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_passes_after_loadgen_and_fails_on_a_different_seed() {
+        let server = Server::start(
+            ServerConfig {
+                m: 256,
+                backend: BackendKind::Sharded { shards: 4 },
+                accept_pool: 3,
+                flush_every: 64,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let cfg = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            threads: 2,
+            events_per_thread: 2_000,
+            batch: 128,
+            m: 256,
+            seed: 41,
+        };
+        sprofile_server::loadgen::run(&cfg).unwrap();
+        let mut out = Vec::new();
+        verify_server(&cfg, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("verify: OK"));
+        // An oracle built from a different seed must disagree.
+        let wrong = LoadgenConfig { seed: 42, ..cfg };
+        let err = verify_server(&wrong, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, CommandError::VerifyFailed(_)), "{err}");
+        Client::connect(wrong.addr.as_str())
+            .unwrap()
+            .shutdown_server()
+            .unwrap();
+        server.wait();
     }
 
     #[test]

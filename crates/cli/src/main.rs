@@ -19,10 +19,11 @@ mod commands;
 mod textio;
 
 use commands::{
-    generate, heavy_hitters, ingest, loadgen, profile_persist, serve, watch, GenerateOpts, HhOpts,
-    PersistOpts, ProfileOpts, ServeOpts, StreamChoice,
+    checkpoint_compact, generate, heavy_hitters, ingest, loadgen, profile_persist, recover_report,
+    serve, verify_server, wal_dump, watch, GenerateOpts, HhOpts, PersistOpts, ProfileOpts,
+    ServeOpts, StreamChoice,
 };
-use sprofile_server::{BackendKind, LoadgenConfig};
+use sprofile_server::{BackendKind, DurabilityConfig, LoadgenConfig, SyncPolicy};
 
 fn usage() -> &'static str {
     "usage:\n  \
@@ -32,13 +33,21 @@ fn usage() -> &'static str {
      sprofile watch    [FILE] --m <M> [--every <N>] [--top <K>]\n  \
      sprofile hh       [FILE] --m <M> [--counters <K>] [--phi <F>]\n  \
      sprofile serve    --addr <HOST:PORT> --m <M> [--backend <sharded|pipeline>]\n                    \
-     [--shards <P>] [--pool <N>] [--flush <B>] [--snapshot-dir <DIR>]\n  \
+     [--shards <P>] [--pool <N>] [--flush <B>] [--snapshot-dir <DIR>]\n                    \
+     [--wal <DIR>] [--sync <always|interval|never>] [--sync-interval-ms <MS>]\n                    \
+     [--segment-bytes <B>] [--checkpoint-every <TUPLES>]\n  \
      sprofile loadgen  --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
-     [--batch <B>] [--seed <S>] [--shutdown]\n\n\
+     [--batch <B>] [--seed <S>] [--shutdown]\n  \
+     sprofile verify   --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
+     [--batch <B>] [--seed <S>]   (loadgen's client-side oracle check)\n  \
+     sprofile recover  --wal <DIR> --m <M> [--top <K>]\n  \
+     sprofile wal-dump --wal <DIR> [--limit <N>]\n  \
+     sprofile checkpoint --wal <DIR> --m <M>\n\n\
      Event format: one per line, 'a <id>' to add, 'r <id>' to remove\n\
      ('add'/'+' and 'remove'/'rm'/'-' also work); '#' starts a comment.\n\
      FILE defaults to stdin. `serve` runs until a client sends SHUTDOWN\n\
-     (e.g. `sprofile loadgen --shutdown` or `printf 'SHUTDOWN\\n' | nc`)."
+     (e.g. `sprofile loadgen --shutdown` or `printf 'SHUTDOWN\\n' | nc`);\n\
+     with --wal it recovers its state from the WAL directory first."
 }
 
 /// Tiny flag parser: collects `--key value` pairs plus positional args.
@@ -196,6 +205,36 @@ fn run() -> Result<(), String> {
             let backend = args.get("backend").unwrap_or("sharded");
             let backend = BackendKind::parse(backend, shards)
                 .ok_or_else(|| format!("unknown backend '{backend}' (sharded or pipeline)"))?;
+            let wal = match args.get("wal") {
+                None => {
+                    for key in [
+                        "sync",
+                        "sync-interval-ms",
+                        "segment-bytes",
+                        "checkpoint-every",
+                    ] {
+                        if args.has(key) {
+                            return Err(format!("--{key} requires --wal <DIR>"));
+                        }
+                    }
+                    None
+                }
+                Some(dir) => {
+                    let sync = args.get("sync").unwrap_or("interval");
+                    let interval_ms = args.get_parsed_positive("sync-interval-ms", 50u64)?;
+                    let sync = SyncPolicy::parse(sync, interval_ms).ok_or_else(|| {
+                        format!("unknown --sync '{sync}' (always, interval, never)")
+                    })?;
+                    Some(DurabilityConfig {
+                        sync,
+                        segment_bytes: args.get_parsed_positive("segment-bytes", 8u64 << 20)?,
+                        // 0 is meaningful here: it disables background
+                        // checkpointing (the shutdown one still runs).
+                        checkpoint_every: args.get_parsed("checkpoint-every", 1u64 << 16)?,
+                        ..DurabilityConfig::new(dir)
+                    })
+                }
+            };
             let opts = ServeOpts {
                 addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
                 m: args.get_parsed_positive("m", 1_048_576u32)?,
@@ -203,6 +242,7 @@ fn run() -> Result<(), String> {
                 pool: args.get_parsed_positive("pool", 4usize)?,
                 flush: args.get_parsed_positive("flush", 256usize)?,
                 snapshot_dir: args.get("snapshot-dir").unwrap_or(".").to_string(),
+                wal,
             };
             let stdout = io::stdout();
             let mut out = stdout.lock();
@@ -222,6 +262,60 @@ fn run() -> Result<(), String> {
             let stdout = io::stdout();
             let mut out = BufWriter::new(stdout.lock());
             loadgen(&cfg, args.has("shutdown"), &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "verify" => {
+            let cfg = LoadgenConfig {
+                addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
+                threads: args.get_parsed_positive("threads", 4usize)?,
+                events_per_thread: args.get_parsed_positive("n", 25_000usize)?,
+                batch: args.get_parsed_positive("batch", 512usize)?,
+                m: args.get_parsed_positive("m", 1_048_576u32)?,
+                seed: args.get_parsed("seed", 20190612u64)?,
+            };
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            let result = verify_server(&cfg, &mut out);
+            out.flush().map_err(|e| e.to_string())?;
+            result.map_err(|e| e.to_string())
+        }
+        "recover" => {
+            let dir = args
+                .get("wal")
+                .ok_or("recover needs --wal <DIR>")?
+                .to_string();
+            let m = args.get_parsed_positive("m", 1_048_576u32)?;
+            let top = args.get_parsed("top", 10u32)?;
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            recover_report(std::path::Path::new(&dir), m, top, &mut out)
+                .map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "wal-dump" => {
+            let dir = args
+                .get("wal")
+                .ok_or("wal-dump needs --wal <DIR>")?
+                .to_string();
+            let limit = args.get_parsed_positive("limit", 1_000usize)?;
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            wal_dump(std::path::Path::new(&dir), limit, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "checkpoint" => {
+            let dir = args
+                .get("wal")
+                .ok_or("checkpoint needs --wal <DIR>")?
+                .to_string();
+            let m = args.get_parsed_positive("m", 1_048_576u32)?;
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            checkpoint_compact(std::path::Path::new(&dir), m, &mut out)
+                .map_err(|e| e.to_string())?;
             out.flush().map_err(|e| e.to_string())?;
             Ok(())
         }

@@ -51,10 +51,18 @@ pub struct PipelineHandle {
 impl PipelineProfiler {
     /// Spawn the owner thread over a fresh universe of `m` objects.
     pub fn spawn(m: u32) -> Self {
+        Self::spawn_from(SProfile::new(m))
+    }
+
+    /// Spawn the owner thread over an existing profile — the hook crash
+    /// recovery uses to resume a pipeline backend from a restored
+    /// snapshot. The owner starts with `profile`'s state; the applied
+    /// counter starts at zero (it counts updates in *this* run).
+    pub fn spawn_from(profile: SProfile) -> Self {
         let (tx, rx) = unbounded::<Command>();
         let worker = std::thread::Builder::new()
             .name("sprofile-pipeline".into())
-            .spawn(move || run_owner(m, rx))
+            .spawn(move || run_owner(profile, rx))
             .expect("spawn profile owner thread");
         Self {
             tx,
@@ -92,8 +100,7 @@ impl Drop for PipelineProfiler {
     }
 }
 
-fn run_owner(m: u32, rx: Receiver<Command>) -> u64 {
-    let mut profile = SProfile::new(m);
+fn run_owner(mut profile: SProfile, rx: Receiver<Command>) -> u64 {
     let mut applied = 0u64;
     for cmd in rx {
         match cmd {
@@ -404,6 +411,27 @@ mod tests {
         assert_eq!(restored.median(), h.median());
         drop(h);
         p.shutdown();
+    }
+
+    #[test]
+    fn spawn_from_resumes_an_existing_profile() {
+        let mut seed = SProfile::new(9);
+        for x in [2u32, 2, 2, 5, 5, 7] {
+            seed.add(x);
+        }
+        seed.remove(0);
+        let expected_mode = seed.mode().map(|e| (e.object, e.frequency));
+        let p = PipelineProfiler::spawn_from(seed);
+        let h = p.handle();
+        assert_eq!(h.frequency(2), 3);
+        assert_eq!(h.frequency(0), -1);
+        assert_eq!(h.mode(), expected_mode);
+        // Updates continue on top of the seeded state; the applied
+        // counter only counts this run's updates.
+        h.add(2);
+        assert_eq!(h.frequency(2), 4);
+        drop(h);
+        assert_eq!(p.shutdown(), 1);
     }
 
     #[test]

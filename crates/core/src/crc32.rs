@@ -1,0 +1,114 @@
+//! CRC-32 (IEEE 802.3, the polynomial used by gzip/zlib/PNG), computed
+//! with a compile-time 256-entry table.
+//!
+//! Shared by the snapshot format (integrity footer) and the durability
+//! crate's write-ahead log (per-record checksums): the offline dependency
+//! set has no `crc32fast`, and 30 lines of table-driven CRC are all the
+//! two formats need. Detects every single-bit flip and every burst error
+//! up to 32 bits — exactly the corruption classes torn writes and bad
+//! sectors produce.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Streaming CRC-32 state. Feed bytes with [`Crc32::update`], read the
+/// checksum with [`Crc32::finish`].
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state (equivalent to hashing zero bytes).
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far. Does not consume the
+    /// state; more bytes may still be folded in afterwards.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot convenience: the CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_changes_the_checksum() {
+        let data = b"durability";
+        let base = crc32(data);
+        let mut copy = data.to_vec();
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip byte {byte} bit {bit}");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -68,6 +68,7 @@
 
 mod batch;
 mod block;
+pub mod crc32;
 mod error;
 mod growable;
 mod interner;

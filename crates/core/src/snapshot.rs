@@ -9,22 +9,35 @@
 //! The format is deliberately hand-rolled little-endian (no serde: the
 //! offline dependency set has no serializer crate) and defensive: every
 //! field is validated on load, so a corrupted or adversarial snapshot is
-//! rejected instead of producing a structurally invalid profile.
+//! rejected instead of producing a structurally invalid profile. Since
+//! format version 2 the payload is additionally sealed by a CRC-32
+//! footer over every preceding byte (magic included), so *any* bit flip
+//! — not just the structurally detectable ones — yields a typed
+//! [`SnapshotError`] instead of a silently different profile. That
+//! matters now that snapshots double as the durability subsystem's
+//! checkpoint format.
 //!
 //! ```text
-//! magic    8 bytes  "SPROF\x01\0\0"
+//! magic    8 bytes  "SPROF\x02\0\0"
 //! m        u32 LE
 //! nblocks  u32 LE
 //! blocks   nblocks × { len: u32 LE, f: i64 LE }   (ascending f, Σlen = m)
 //! to_obj   m × u32 LE                             (permutation of 0..m)
+//! crc      u32 LE   CRC-32 (IEEE) of all preceding bytes
 //! ```
 
 use std::io::{self, Read, Write};
 
+use crate::crc32::Crc32;
 use crate::profile::SProfile;
 
 /// Format magic + version byte.
-const MAGIC: [u8; 8] = *b"SPROF\x01\0\0";
+const MAGIC: [u8; 8] = *b"SPROF\x02\0\0";
+
+/// Upper bound on speculative `Vec` pre-allocation while parsing
+/// untrusted headers: growth beyond this is amortised by `push`, so a
+/// corrupt count cannot force a huge up-front allocation.
+const MAX_PREALLOC: usize = 1 << 16;
 
 /// Errors produced when loading a snapshot.
 #[derive(Debug)]
@@ -62,6 +75,38 @@ impl From<io::Error> for SnapshotError {
     }
 }
 
+/// `Write` adapter folding everything written into a running CRC-32.
+struct CrcWriter<'a, W: Write> {
+    inner: &'a mut W,
+    crc: Crc32,
+}
+
+impl<W: Write> Write for CrcWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// `Read` adapter folding everything read into a running CRC-32.
+struct CrcReader<'a, R: Read> {
+    inner: &'a mut R,
+    crc: Crc32,
+}
+
+impl<R: Read> Read for CrcReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
 fn read_u32<R: Read>(r: &mut R) -> Result<u32, SnapshotError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
@@ -82,6 +127,10 @@ impl SProfile {
     /// persisted.
     pub fn write_snapshot<W: Write>(&self, w: &mut W) -> Result<(), SnapshotError> {
         let m = self.num_objects();
+        let mut w = CrcWriter {
+            inner: w,
+            crc: Crc32::new(),
+        };
         w.write_all(&MAGIC)?;
         w.write_all(&m.to_le_bytes())?;
         // Collect runs ascending by walking the blocks.
@@ -97,6 +146,9 @@ impl SProfile {
         for &obj in self.raw_to_obj() {
             w.write_all(&obj.to_le_bytes())?;
         }
+        // Seal with the checksum of everything above (not itself hashed).
+        let crc = w.crc.finish();
+        w.inner.write_all(&crc.to_le_bytes())?;
         Ok(())
     }
 
@@ -104,7 +156,7 @@ impl SProfile {
     /// [`SProfile::write_snapshot`]).
     pub fn to_snapshot_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(
-            16 + 12 * self.num_blocks() as usize + 4 * self.num_objects() as usize,
+            20 + 12 * self.num_blocks() as usize + 4 * self.num_objects() as usize,
         );
         self.write_snapshot(&mut buf)
             .expect("writing to a Vec cannot fail");
@@ -115,6 +167,11 @@ impl SProfile {
     /// [`SProfile::write_snapshot`]. O(m). Every structural property is
     /// validated; corrupted input is rejected with [`SnapshotError`].
     pub fn read_snapshot<R: Read>(r: &mut R) -> Result<SProfile, SnapshotError> {
+        let mut hashed = CrcReader {
+            inner: r,
+            crc: Crc32::new(),
+        };
+        let r = &mut hashed;
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if magic != MAGIC {
@@ -125,7 +182,7 @@ impl SProfile {
         if nblocks > m || (m > 0 && nblocks == 0) {
             return Err(SnapshotError::Corrupt("block count out of range"));
         }
-        let mut runs: Vec<(u32, i64)> = Vec::with_capacity(nblocks as usize);
+        let mut runs: Vec<(u32, i64)> = Vec::with_capacity((nblocks as usize).min(MAX_PREALLOC));
         let mut covered: u64 = 0;
         let mut prev_f: Option<i64> = None;
         for _ in 0..nblocks {
@@ -146,7 +203,7 @@ impl SProfile {
         if covered != m as u64 {
             return Err(SnapshotError::Corrupt("block runs do not cover 0..m"));
         }
-        let mut to_obj: Vec<u32> = Vec::with_capacity(m as usize);
+        let mut to_obj: Vec<u32> = Vec::with_capacity((m as usize).min(MAX_PREALLOC));
         let mut seen = vec![false; m as usize];
         for _ in 0..m {
             let obj = read_u32(r)?;
@@ -157,6 +214,14 @@ impl SProfile {
             }
             seen[obj as usize] = true;
             to_obj.push(obj);
+        }
+        // The CRC footer seals everything hashed so far; it is read from
+        // the underlying stream so it does not hash itself.
+        let computed = r.crc.finish();
+        let mut footer = [0u8; 4];
+        hashed.inner.read_exact(&mut footer)?;
+        if u32::from_le_bytes(footer) != computed {
+            return Err(SnapshotError::Corrupt("checksum mismatch"));
         }
         // Expand runs into a per-object frequency table, then rebuild via
         // the O(m) sorted-assignment constructor.
@@ -332,9 +397,37 @@ mod tests {
 
     #[test]
     fn snapshot_size_is_compact() {
-        // Uniform profile: one block → header + 1 run + permutation.
+        // Uniform profile: one block → header + 1 run + permutation + crc.
         let p = SProfile::new(1000);
         let bytes = p.to_snapshot_bytes();
-        assert_eq!(bytes.len(), 8 + 4 + 4 + 12 + 4 * 1000);
+        assert_eq!(bytes.len(), 8 + 4 + 4 + 12 + 4 * 1000 + 4);
+    }
+
+    #[test]
+    fn structurally_silent_bit_flip_fails_the_checksum() {
+        // Flipping a low bit of a block's frequency keeps the runs
+        // ascending and the permutation intact — before the CRC footer
+        // this produced a *different valid profile*. Now it is typed
+        // corruption.
+        let p = sample_profile();
+        let mut bytes = p.to_snapshot_bytes();
+        // First run's frequency starts after magic(8) + m(4) + nblocks(4)
+        // + len(4).
+        bytes[20] ^= 1;
+        match SProfile::from_snapshot_bytes(&bytes) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected Corrupt(checksum), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_footer_is_rejected() {
+        let mut bytes = sample_profile().to_snapshot_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80;
+        match SProfile::from_snapshot_bytes(&bytes) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected Corrupt(checksum), got {other:?}"),
+        }
     }
 }

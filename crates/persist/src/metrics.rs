@@ -1,0 +1,113 @@
+//! WAL metrics: lock-free counters the server renders into `STATS`
+//! without taking the WAL mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing a [`Wal`](crate::Wal)'s lifetime activity. One
+/// instance is shared (`Arc`) between the writer and any observers; all
+/// loads/stores are relaxed — these are diagnostics, not
+/// synchronisation.
+#[derive(Debug, Default)]
+pub struct WalMetrics {
+    records: AtomicU64,
+    tuples: AtomicU64,
+    bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    segments: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+macro_rules! counter {
+    ($(#[$doc:meta])* $get:ident, $field:ident) => {
+        $(#[$doc])*
+        pub fn $get(&self) -> u64 {
+            self.$field.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl WalMetrics {
+    counter!(
+        /// Records appended.
+        records,
+        records
+    );
+    counter!(
+        /// Tuples inside appended records.
+        tuples,
+        tuples
+    );
+    counter!(
+        /// Bytes written to segments (headers + records).
+        bytes,
+        bytes
+    );
+    counter!(
+        /// `fsync` calls issued.
+        fsyncs,
+        fsyncs
+    );
+    counter!(
+        /// Live segment files (gauge).
+        segments,
+        segments
+    );
+    counter!(
+        /// Checkpoints written.
+        checkpoints,
+        checkpoints
+    );
+
+    pub(crate) fn on_append(&self, tuples: u64, bytes: u64) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.tuples.fetch_add(tuples, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_header(&self, bytes: u64) {
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_segments(&self, n: u64) {
+        self.segments.store(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_segments(&self, delta: i64) {
+        if delta >= 0 {
+            self.segments.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.segments.fetch_sub((-delta) as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = WalMetrics::default();
+        m.on_append(5, 33);
+        m.on_append(2, 18);
+        m.on_header(16);
+        m.on_fsync();
+        m.on_checkpoint();
+        m.set_segments(3);
+        m.add_segments(-2);
+        assert_eq!(m.records(), 2);
+        assert_eq!(m.tuples(), 7);
+        assert_eq!(m.bytes(), 67);
+        assert_eq!(m.fsyncs(), 1);
+        assert_eq!(m.segments(), 1);
+        assert_eq!(m.checkpoints(), 1);
+    }
+}

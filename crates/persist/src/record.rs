@@ -1,0 +1,193 @@
+//! The WAL record encoding: one record per applied batch.
+//!
+//! ```text
+//! len      u32 LE    payload length in bytes
+//! crc      u32 LE    CRC-32 (IEEE) of the payload
+//! payload  len bytes:
+//!   count  u32 LE    number of tuples
+//!   tuple  count × { op: u8 (1 = add, 0 = remove), object: u32 LE }
+//! ```
+//!
+//! The checksum covers the payload only; a corrupt `len` either fails
+//! the tuple-count cross-check, runs past the end of the segment
+//! (indistinguishable from a torn tail, handled identically), or lands
+//! on bytes whose CRC cannot match. Decoding is slice-based — segments
+//! are bounded by the rotation threshold, so a whole segment is read
+//! into memory at once during recovery.
+
+use sprofile::crc32::crc32;
+use sprofile::Tuple;
+
+/// Hard upper bound on tuples per record, so a corrupt header cannot
+/// make recovery allocate unbounded memory (mirrors the TCP protocol's
+/// `MAX_BATCH`).
+pub const MAX_RECORD_TUPLES: usize = 1 << 22;
+
+/// Record header size: `len` + `crc`.
+pub(crate) const RECORD_HEADER: usize = 8;
+
+/// Bytes one tuple occupies in a payload.
+pub(crate) const TUPLE_BYTES: usize = 5;
+
+/// Serialised size of a record holding `n` tuples.
+pub(crate) fn record_size(n: usize) -> usize {
+    RECORD_HEADER + 4 + n * TUPLE_BYTES
+}
+
+/// Appends the encoded record for `tuples` to `out`.
+pub(crate) fn encode_record(tuples: &[Tuple], out: &mut Vec<u8>) {
+    let payload_len = 4 + tuples.len() * TUPLE_BYTES;
+    out.reserve(RECORD_HEADER + payload_len);
+    let header_at = out.len();
+    out.extend_from_slice(&[0u8; RECORD_HEADER]); // patched below
+    out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+    for t in tuples {
+        out.push(u8::from(t.is_add));
+        out.extend_from_slice(&t.object.to_le_bytes());
+    }
+    let payload = &out[header_at + RECORD_HEADER..];
+    let crc = crc32(payload);
+    let len = payload.len() as u32;
+    out[header_at..header_at + 4].copy_from_slice(&len.to_le_bytes());
+    out[header_at + 4..header_at + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Outcome of decoding one record at the head of `bytes`.
+pub(crate) enum Decoded {
+    /// A complete, checksum-valid record: the tuples and the total bytes
+    /// consumed.
+    Record {
+        /// Decoded tuples.
+        tuples: Vec<Tuple>,
+        /// Bytes the record occupied (header + payload).
+        consumed: usize,
+    },
+    /// The slice is empty: clean end of segment.
+    End,
+    /// The record is cut short, fails its checksum, or has an internally
+    /// inconsistent header — a torn tail (or corruption; the caller
+    /// decides based on whether anything follows).
+    Torn(&'static str),
+}
+
+/// Decodes the record at the head of `bytes`.
+pub(crate) fn decode_record(bytes: &[u8]) -> Decoded {
+    if bytes.is_empty() {
+        return Decoded::End;
+    }
+    if bytes.len() < RECORD_HEADER {
+        return Decoded::Torn("record header cut short");
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if !(4..=4 + MAX_RECORD_TUPLES * TUPLE_BYTES).contains(&len) {
+        return Decoded::Torn("record length out of range");
+    }
+    let Some(payload) = bytes.get(RECORD_HEADER..RECORD_HEADER + len) else {
+        return Decoded::Torn("record payload cut short");
+    };
+    if crc32(payload) != crc {
+        return Decoded::Torn("record checksum mismatch");
+    }
+    let count = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
+    if payload.len() != 4 + count * TUPLE_BYTES {
+        return Decoded::Torn("record tuple count disagrees with length");
+    }
+    let mut tuples = Vec::with_capacity(count);
+    for chunk in payload[4..].chunks_exact(TUPLE_BYTES) {
+        tuples.push(Tuple {
+            object: u32::from_le_bytes(chunk[1..5].try_into().expect("4 bytes")),
+            is_add: chunk[0] != 0,
+        });
+    }
+    Decoded::Record {
+        tuples,
+        consumed: RECORD_HEADER + len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Tuple> {
+        vec![Tuple::add(7), Tuple::remove(0), Tuple::add(u32::MAX)]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        encode_record(&sample(), &mut buf);
+        assert_eq!(buf.len(), record_size(3));
+        match decode_record(&buf) {
+            Decoded::Record { tuples, consumed } => {
+                assert_eq!(tuples, sample());
+                assert_eq!(consumed, buf.len());
+            }
+            _ => panic!("expected a record"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let mut buf = Vec::new();
+        encode_record(&[], &mut buf);
+        match decode_record(&buf) {
+            Decoded::Record { tuples, consumed } => {
+                assert!(tuples.is_empty());
+                assert_eq!(consumed, buf.len());
+            }
+            _ => panic!("expected a record"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_torn_not_panic() {
+        let mut buf = Vec::new();
+        encode_record(&sample(), &mut buf);
+        for cut in 1..buf.len() {
+            match decode_record(&buf[..cut]) {
+                Decoded::Torn(_) => {}
+                Decoded::End => panic!("cut {cut}: End on non-empty slice"),
+                Decoded::Record { .. } => panic!("cut {cut}: decoded a truncated record"),
+            }
+        }
+        assert!(matches!(decode_record(&[]), Decoded::End));
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let mut buf = Vec::new();
+        encode_record(&sample(), &mut buf);
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                buf[byte] ^= 1 << bit;
+                match decode_record(&buf) {
+                    Decoded::Torn(_) => {}
+                    _ => panic!("flip byte {byte} bit {bit} went undetected"),
+                }
+                buf[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_records_decode_in_sequence() {
+        let mut buf = Vec::new();
+        encode_record(&[Tuple::add(1)], &mut buf);
+        encode_record(&[Tuple::remove(2), Tuple::add(3)], &mut buf);
+        let Decoded::Record { tuples, consumed } = decode_record(&buf) else {
+            panic!("first record");
+        };
+        assert_eq!(tuples, vec![Tuple::add(1)]);
+        let Decoded::Record {
+            tuples,
+            consumed: c2,
+        } = decode_record(&buf[consumed..])
+        else {
+            panic!("second record");
+        };
+        assert_eq!(tuples, vec![Tuple::remove(2), Tuple::add(3)]);
+        assert!(matches!(decode_record(&buf[consumed + c2..]), Decoded::End));
+    }
+}

@@ -1,0 +1,262 @@
+//! Crash recovery: newest valid checkpoint + WAL tail replay.
+//!
+//! The invariant recovery restores: **the recovered profile equals an
+//! oracle that replayed exactly the durable prefix of appended
+//! records.** A torn or truncated record at the very tail of the log —
+//! what a crash mid-append leaves behind — ends replay cleanly (those
+//! tuples were never durable). Like every append-only log, the "tail"
+//! is defined by the first invalid record in the **last** segment —
+//! everything after it is unreachable, because record boundaries cannot
+//! be re-synchronised past a bad length. Corruption in any *earlier*
+//! segment is a hard [`PersistError`]: the next segment's first LSN
+//! proves records went missing, and silently skipping acknowledged
+//! records is strictly worse than failing loudly.
+//!
+//! A torn tail mid-chain is still accepted in one specific shape: when
+//! the *next* segment picks up at exactly the LSN where the tear
+//! stopped. That is the signature of a previous crash-and-restart (the
+//! restarted writer opens a fresh segment at the recovered LSN and
+//! never appends to the torn one).
+
+use std::path::Path;
+
+use sprofile::{SProfile, Tuple};
+
+use crate::record::{decode_record, Decoded};
+use crate::segment::{list_checkpoints, list_segments, parse_checkpoint, parse_segment};
+use crate::PersistError;
+
+/// The outcome of [`recover`].
+#[derive(Debug)]
+pub struct Recovered {
+    /// The restored profile: checkpoint state plus the replayed tail.
+    pub profile: SProfile,
+    /// LSN of the checkpoint recovery started from (`None`: replayed
+    /// the whole log from scratch).
+    pub checkpoint_lsn: Option<u64>,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_records: u64,
+    /// Tuples inside those records.
+    pub replayed_tuples: u64,
+    /// The first LSN a resumed writer should assign.
+    pub next_lsn: u64,
+    /// Whether the log ended in a torn/corrupt record (crash signature).
+    pub torn_tail: bool,
+}
+
+/// One decoded WAL record, for `wal-dump`-style inspection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordInfo {
+    /// The record's log sequence number.
+    pub lsn: u64,
+    /// Its tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+/// How one pass over the segment chain ended.
+pub(crate) struct ScanEnd {
+    /// First unassigned LSN after the last good record.
+    pub next_lsn: u64,
+    /// Records passed to the callback (i.e. with `lsn > skip_upto`).
+    pub records: u64,
+    /// Tuples inside those records.
+    pub tuples: u64,
+    /// Whether the final segment ended in a torn record.
+    pub torn_tail: bool,
+}
+
+/// Walks every segment in `dir` in LSN order, invoking `apply` for each
+/// checksum-valid record with `lsn > skip_upto`, enforcing chain
+/// continuity, and tolerating exactly one torn tail per segment *iff*
+/// the following segment resumes at the torn LSN (or the segment is the
+/// last).
+pub(crate) fn scan_records(
+    dir: &Path,
+    skip_upto: u64,
+    mut apply: impl FnMut(u64, Vec<Tuple>) -> Result<(), PersistError>,
+) -> Result<ScanEnd, PersistError> {
+    let segments = list_segments(dir)?;
+    let mut end = ScanEnd {
+        next_lsn: skip_upto + 1,
+        records: 0,
+        tuples: 0,
+        torn_tail: false,
+    };
+    // Chain continuity: once a segment has been scanned, the next one
+    // must resume exactly where it stopped. `None` until the first
+    // scanned segment.
+    let mut expected: Option<u64> = None;
+    for (i, (first_lsn, path)) in segments.iter().enumerate() {
+        // A segment is skippable without scanning when its successor
+        // starts at or below skip_upto + 1 — every record in it is
+        // covered by the checkpoint.
+        if let Some((next_first, _)) = segments.get(i + 1) {
+            if *next_first <= skip_upto + 1 && expected.is_none() {
+                continue;
+            }
+        }
+        if let Some(exp) = expected {
+            if *first_lsn != exp {
+                return Err(PersistError::corrupt(
+                    "gap between segments (missing records)",
+                    Some(path),
+                ));
+            }
+        } else if *first_lsn > skip_upto + 1 {
+            return Err(PersistError::corrupt(
+                "gap between checkpoint and first segment",
+                Some(path),
+            ));
+        }
+        let bytes = std::fs::read(path)?;
+        // A crash can tear even the 16-byte header of a freshly created
+        // segment; if that segment is the last one it simply holds no
+        // durable records. Anywhere else it is corruption.
+        let mut rest = match parse_segment(&bytes, *first_lsn, path) {
+            Ok(rest) => rest,
+            Err(e) => {
+                // (Chain continuity against `expected` was already
+                // checked above, so only tail position matters here.)
+                if i == segments.len() - 1 {
+                    end.torn_tail = true;
+                    break;
+                }
+                return Err(e);
+            }
+        };
+        let mut lsn = *first_lsn;
+        let mut torn: Option<&'static str> = None;
+        loop {
+            match decode_record(rest) {
+                Decoded::End => break,
+                Decoded::Torn(why) => {
+                    torn = Some(why);
+                    break;
+                }
+                Decoded::Record { tuples, consumed } => {
+                    rest = &rest[consumed..];
+                    if lsn > skip_upto {
+                        end.records += 1;
+                        end.tuples += tuples.len() as u64;
+                        apply(lsn, tuples)?;
+                    }
+                    lsn += 1;
+                }
+            }
+        }
+        expected = Some(lsn);
+        end.next_lsn = end.next_lsn.max(lsn);
+        if let Some(why) = torn {
+            match segments.get(i + 1) {
+                // Crash-and-restart shape: the next segment resumes at
+                // the torn LSN, so nothing durable was lost.
+                Some((next_first, _)) if *next_first == lsn => {}
+                Some(_) => return Err(PersistError::corrupt(why, Some(path))),
+                None => end.torn_tail = true,
+            }
+        }
+    }
+    Ok(end)
+}
+
+/// Recovers the profile state persisted in `dir` for a universe of `m`
+/// objects: loads the newest valid checkpoint (falling back to the
+/// retained previous one if the newest fails validation, provided the
+/// WAL still covers the difference) and replays the record tail.
+///
+/// A directory with no checkpoint and no segments recovers to a fresh
+/// `SProfile::new(m)` with `next_lsn` 1 — so first boot and restart are
+/// the same code path.
+pub fn recover(dir: &Path, m: u32) -> Result<Recovered, PersistError> {
+    if !dir.exists() {
+        return Ok(Recovered {
+            profile: SProfile::new(m),
+            checkpoint_lsn: None,
+            replayed_records: 0,
+            replayed_tuples: 0,
+            next_lsn: 1,
+            torn_tail: false,
+        });
+    }
+    let mut checkpoints = list_checkpoints(dir)?;
+    checkpoints.reverse(); // newest first
+    let mut first_error: Option<PersistError> = None;
+    // Candidate starting points: each checkpoint newest-first, then
+    // "replay everything from scratch".
+    for candidate in checkpoints.iter().map(Some).chain(std::iter::once(None)) {
+        let (base_lsn, profile) = match candidate {
+            Some((lsn, path)) => {
+                let loaded = std::fs::read(path).map_err(PersistError::from).and_then(
+                    |bytes| -> Result<SProfile, PersistError> {
+                        let (_, snap) = parse_checkpoint(&bytes, *lsn, path)?;
+                        Ok(SProfile::from_snapshot_bytes(snap)?)
+                    },
+                );
+                match loaded {
+                    Ok(p) => (Some(*lsn), p),
+                    Err(e) => {
+                        first_error.get_or_insert(e);
+                        continue;
+                    }
+                }
+            }
+            None => (None, SProfile::new(m)),
+        };
+        if profile.num_objects() != m {
+            return Err(PersistError::UniverseMismatch {
+                wal_m: profile.num_objects(),
+                requested_m: m,
+            });
+        }
+        let skip = base_lsn.unwrap_or(0);
+        // Falling back past a checkpoint only works if the WAL still
+        // reaches back far enough; a gap error here tries the next
+        // candidate rather than failing outright.
+        let mut p = profile;
+        match scan_records(dir, skip, |_lsn, tuples| {
+            for t in &tuples {
+                if t.object >= m {
+                    return Err(PersistError::corrupt(
+                        "record object outside the universe",
+                        None,
+                    ));
+                }
+            }
+            p.apply_batch(&tuples);
+            Ok(())
+        }) {
+            Ok(end) => {
+                return Ok(Recovered {
+                    profile: p,
+                    checkpoint_lsn: base_lsn,
+                    replayed_records: end.records,
+                    replayed_tuples: end.tuples,
+                    next_lsn: end.next_lsn,
+                    torn_tail: end.torn_tail,
+                });
+            }
+            Err(e) => {
+                first_error.get_or_insert(e);
+                continue;
+            }
+        }
+    }
+    Err(first_error.expect("scan-from-scratch either succeeds or errors"))
+}
+
+/// Decodes every record still present in `dir`'s segments (regardless of
+/// checkpoints), for `wal-dump`. Returns the records and whether the log
+/// ends in a torn tail.
+pub fn dump_records(dir: &Path) -> Result<(Vec<RecordInfo>, bool), PersistError> {
+    // Start wherever the (possibly pruned) log starts, not at LSN 1.
+    let start = match list_segments(dir)?.first() {
+        Some((first_lsn, _)) => first_lsn.saturating_sub(1),
+        None => return Ok((Vec::new(), false)),
+    };
+    let mut out = Vec::new();
+    let end = scan_records(dir, start, |lsn, tuples| {
+        out.push(RecordInfo { lsn, tuples });
+        Ok(())
+    })?;
+    Ok((out, end.torn_tail))
+}

@@ -1,0 +1,232 @@
+//! Segment and checkpoint files: naming, headers, and directory scans.
+//!
+//! ```text
+//! wal-<first_lsn:020>.seg      segment: SEG_MAGIC, first_lsn u64 LE, records…
+//! ckpt-<lsn:020>.ck            checkpoint: CKPT_MAGIC, lsn u64 LE,
+//!                              snap_len u64 LE, header_crc u32 LE,
+//!                              snapshot (self-checksummed) bytes
+//! ```
+//!
+//! LSNs (log sequence numbers) number records from 1; a checkpoint at
+//! `lsn` covers records `1..=lsn` (`lsn` 0 = the empty prefix). File
+//! names embed the zero-padded LSN so a lexicographic directory sort is
+//! also the LSN sort.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use sprofile::crc32::crc32;
+
+use crate::PersistError;
+
+/// Segment file magic + format version.
+pub(crate) const SEG_MAGIC: [u8; 8] = *b"SPWAL\x01\0\0";
+
+/// Checkpoint file magic + format version.
+pub(crate) const CKPT_MAGIC: [u8; 8] = *b"SPCKP\x01\0\0";
+
+/// Segment header size: magic + first_lsn.
+pub(crate) const SEG_HEADER: usize = 16;
+
+/// Checkpoint header size: magic + lsn + snap_len + header crc.
+pub(crate) const CKPT_HEADER: usize = 28;
+
+/// Path of the segment whose first record is `first_lsn`.
+pub fn segment_path(dir: &Path, first_lsn: u64) -> PathBuf {
+    dir.join(format!("wal-{first_lsn:020}.seg"))
+}
+
+/// Path of the checkpoint covering records `1..=lsn`.
+pub fn checkpoint_path(dir: &Path, lsn: u64) -> PathBuf {
+    dir.join(format!("ckpt-{lsn:020}.ck"))
+}
+
+/// Whether `name` looks like a WAL segment file name; returns its LSN.
+pub fn is_segment_file(name: &str) -> Option<u64> {
+    parse_name(name, "wal-", ".seg")
+}
+
+/// Whether `name` looks like a checkpoint file name; returns its LSN.
+pub fn is_checkpoint_file(name: &str) -> Option<u64> {
+    parse_name(name, "ckpt-", ".ck")
+}
+
+fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let middle = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if middle.len() != 20 || !middle.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    middle.parse().ok()
+}
+
+/// The segment header bytes for a segment starting at `first_lsn`.
+pub(crate) fn encode_segment_header(first_lsn: u64) -> [u8; SEG_HEADER] {
+    let mut h = [0u8; SEG_HEADER];
+    h[..8].copy_from_slice(&SEG_MAGIC);
+    h[8..].copy_from_slice(&first_lsn.to_le_bytes());
+    h
+}
+
+/// Validates a segment's header against the LSN embedded in its file
+/// name; returns the record bytes (everything after the header).
+pub(crate) fn parse_segment<'a>(
+    bytes: &'a [u8],
+    name_lsn: u64,
+    path: &Path,
+) -> Result<&'a [u8], PersistError> {
+    if bytes.len() < SEG_HEADER || bytes[..8] != SEG_MAGIC {
+        return Err(PersistError::corrupt("bad segment header", Some(path)));
+    }
+    let first_lsn = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if first_lsn != name_lsn {
+        return Err(PersistError::corrupt(
+            "segment header lsn disagrees with file name",
+            Some(path),
+        ));
+    }
+    Ok(&bytes[SEG_HEADER..])
+}
+
+/// The checkpoint header for a snapshot of `snap_len` bytes at `lsn`.
+pub(crate) fn encode_checkpoint_header(lsn: u64, snap_len: u64) -> [u8; CKPT_HEADER] {
+    let mut h = [0u8; CKPT_HEADER];
+    h[..8].copy_from_slice(&CKPT_MAGIC);
+    h[8..16].copy_from_slice(&lsn.to_le_bytes());
+    h[16..24].copy_from_slice(&snap_len.to_le_bytes());
+    let crc = crc32(&h[..24]);
+    h[24..28].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Validates a checkpoint file's header; returns `(lsn, snapshot bytes)`.
+pub(crate) fn parse_checkpoint<'a>(
+    bytes: &'a [u8],
+    name_lsn: u64,
+    path: &Path,
+) -> Result<(u64, &'a [u8]), PersistError> {
+    if bytes.len() < CKPT_HEADER || bytes[..8] != CKPT_MAGIC {
+        return Err(PersistError::corrupt("bad checkpoint header", Some(path)));
+    }
+    let crc = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+    if crc32(&bytes[..24]) != crc {
+        return Err(PersistError::corrupt(
+            "checkpoint header checksum mismatch",
+            Some(path),
+        ));
+    }
+    let lsn = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let snap_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    if lsn != name_lsn {
+        return Err(PersistError::corrupt(
+            "checkpoint header lsn disagrees with file name",
+            Some(path),
+        ));
+    }
+    let body = &bytes[CKPT_HEADER..];
+    if body.len() as u64 != snap_len {
+        return Err(PersistError::corrupt(
+            "checkpoint snapshot length mismatch",
+            Some(path),
+        ));
+    }
+    Ok((lsn, body))
+}
+
+/// Sorted (by LSN, ascending) list of the segment files in `dir`.
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    list_by(dir, is_segment_file)
+}
+
+/// Sorted (by LSN, ascending) list of the checkpoint files in `dir`.
+pub(crate) fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    list_by(dir, is_checkpoint_file)
+}
+
+fn list_by(dir: &Path, matches: fn(&str) -> Option<u64>) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(lsn) = name.to_str().and_then(matches) {
+            out.push((lsn, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|&(lsn, _)| lsn);
+    Ok(out)
+}
+
+/// Best-effort directory fsync, so renames/creates survive power loss.
+/// Some filesystems/platforms refuse to sync directories; that only
+/// weakens the power-loss story, never process-crash recovery, so
+/// failures are ignored.
+pub(crate) fn fsync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_and_sort_lexicographically() {
+        let dir = Path::new("/x");
+        for lsn in [0u64, 1, 99, 10_000_000_007, u64::MAX] {
+            let seg = segment_path(dir, lsn);
+            let name = seg.file_name().unwrap().to_str().unwrap();
+            assert_eq!(is_segment_file(name), Some(lsn), "{name}");
+            let ck = checkpoint_path(dir, lsn);
+            let name = ck.file_name().unwrap().to_str().unwrap();
+            assert_eq!(is_checkpoint_file(name), Some(lsn), "{name}");
+        }
+        // Zero padding makes the string sort the numeric sort.
+        let a = segment_path(dir, 9);
+        let b = segment_path(dir, 10);
+        assert!(a.file_name().unwrap() < b.file_name().unwrap());
+    }
+
+    #[test]
+    fn foreign_names_are_ignored() {
+        for name in [
+            "wal-1.seg",
+            "wal-0000000000000000000x.seg",
+            "ckpt-00000000000000000001.seg",
+            "wal-00000000000000000001.ck",
+            "snapshot.bin",
+            "wal-.seg",
+        ] {
+            assert_eq!(is_segment_file(name), None, "{name}");
+            assert_eq!(is_checkpoint_file(name), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn segment_header_roundtrip_and_mismatch() {
+        let p = Path::new("/x/wal-00000000000000000007.seg");
+        let mut bytes = encode_segment_header(7).to_vec();
+        bytes.extend_from_slice(b"records");
+        assert_eq!(parse_segment(&bytes, 7, p).unwrap(), b"records");
+        assert!(parse_segment(&bytes, 8, p).is_err());
+        bytes[0] = b'X';
+        assert!(parse_segment(&bytes, 7, p).is_err());
+        assert!(parse_segment(&bytes[..10], 7, p).is_err());
+    }
+
+    #[test]
+    fn checkpoint_header_roundtrip_and_corruption() {
+        let p = Path::new("/x/ckpt-00000000000000000005.ck");
+        let snap = b"snapshot-bytes";
+        let mut bytes = encode_checkpoint_header(5, snap.len() as u64).to_vec();
+        bytes.extend_from_slice(snap);
+        let (lsn, body) = parse_checkpoint(&bytes, 5, p).unwrap();
+        assert_eq!((lsn, body), (5, &snap[..]));
+        // Name/lsn mismatch, header flip, truncation: all typed errors.
+        assert!(parse_checkpoint(&bytes, 6, p).is_err());
+        let mut flipped = bytes.clone();
+        flipped[9] ^= 1;
+        assert!(parse_checkpoint(&flipped, 5, p).is_err());
+        assert!(parse_checkpoint(&bytes[..bytes.len() - 1], 5, p).is_err());
+    }
+}

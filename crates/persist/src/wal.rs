@@ -1,0 +1,621 @@
+//! The WAL writer: append, group-commit, rotate, checkpoint, prune.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::WalMetrics;
+use crate::record::{encode_record, record_size};
+use crate::segment::{
+    checkpoint_path, encode_checkpoint_header, encode_segment_header, fsync_dir, list_checkpoints,
+    list_segments, segment_path, SEG_HEADER,
+};
+use crate::{PersistError, SyncPolicy};
+use sprofile::Tuple;
+
+/// Construction knobs for a [`Wal`].
+#[derive(Clone, Debug)]
+pub struct WalOptions {
+    /// Directory holding segments and checkpoints (created if absent).
+    pub dir: PathBuf,
+    /// fsync cadence; see [`SyncPolicy`].
+    pub sync: SyncPolicy,
+    /// Rotate to a fresh segment once the current one reaches this many
+    /// bytes.
+    pub segment_bytes: u64,
+    /// How many checkpoints to retain when pruning (at least 1; the
+    /// default of 2 keeps one fallback should the newest ever fail
+    /// validation).
+    pub keep_checkpoints: usize,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        Self {
+            dir: PathBuf::from("wal"),
+            sync: SyncPolicy::Interval(std::time::Duration::from_millis(50)),
+            segment_bytes: 8 << 20,
+            keep_checkpoints: 2,
+        }
+    }
+}
+
+/// An open, append-only write-ahead log.
+///
+/// Not internally synchronised: the server serialises appends (and the
+/// checkpointer) through a mutex, which is also what makes a checkpoint
+/// LSN and the profile state it captures atomic with respect to appends.
+pub struct Wal {
+    opts: WalOptions,
+    file: BufWriter<File>,
+    seg_bytes: u64,
+    next_lsn: u64,
+    last_sync: Instant,
+    metrics: Arc<WalMetrics>,
+    record_buf: Vec<u8>,
+    /// Set after an append-path I/O error. A partial record may sit at
+    /// the segment tail, and anything written after it would be
+    /// unreachable to recovery (replay stops at the first bad record) —
+    /// so the log fails stop: every later append/sync/checkpoint
+    /// returns an error instead of silently losing acknowledged data.
+    poisoned: bool,
+    /// Advisory exclusive lock on `<dir>/wal.lock`, held for the Wal's
+    /// lifetime so a second writer (another server, or an "offline"
+    /// `checkpoint` compaction) cannot truncate or prune a live log.
+    _lock: File,
+}
+
+impl Wal {
+    /// Opens `opts.dir` for appending, starting at `next_lsn` (use
+    /// [`recover`](crate::recover)'s `next_lsn`; `1` for a fresh log). A
+    /// fresh segment is always started: the previous tail segment — torn
+    /// or not — is never appended to, which is what keeps torn tails
+    /// strictly at segment ends.
+    ///
+    /// Takes an exclusive advisory lock on `<dir>/wal.lock` (released
+    /// on drop); a directory already locked by a live writer is
+    /// refused.
+    pub fn open(opts: WalOptions, next_lsn: u64) -> Result<Wal, PersistError> {
+        assert!(next_lsn >= 1, "LSNs start at 1");
+        fs::create_dir_all(&opts.dir)?;
+        let lock = File::options()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(opts.dir.join("wal.lock"))?;
+        if lock.try_lock().is_err() {
+            return Err(PersistError::Locked {
+                dir: opts.dir.clone(),
+            });
+        }
+        let metrics = Arc::new(WalMetrics::default());
+        // A segment file with this first LSN can already exist if a
+        // previous run opened it and crashed before appending anything
+        // durable; recovery assigned the same next_lsn precisely because
+        // it held no valid records, so truncating it is safe.
+        let path = segment_path(&opts.dir, next_lsn);
+        let mut file = BufWriter::new(File::create(&path)?);
+        file.write_all(&encode_segment_header(next_lsn))?;
+        file.flush()?;
+        file.get_ref().sync_all()?;
+        fsync_dir(&opts.dir);
+        metrics.on_header(SEG_HEADER as u64);
+        metrics.on_fsync();
+        metrics.set_segments(list_segments(&opts.dir)?.len() as u64);
+        Ok(Wal {
+            opts,
+            file,
+            seg_bytes: SEG_HEADER as u64,
+            next_lsn,
+            last_sync: Instant::now(),
+            metrics,
+            record_buf: Vec::new(),
+            poisoned: false,
+            _lock: lock,
+        })
+    }
+
+    /// The WAL directory.
+    pub fn dir(&self) -> &Path {
+        &self.opts.dir
+    }
+
+    /// The LSN the next append will be assigned.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Shared live counters (readable without holding the WAL lock).
+    pub fn metrics(&self) -> Arc<WalMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Appends one record holding `tuples` and commits it according to
+    /// the sync policy; returns the record's LSN. On return the record
+    /// bytes have always reached the kernel (`write`-flushed), so a
+    /// crashed *process* loses nothing; whether they survived power loss
+    /// is the [`SyncPolicy`]'s call.
+    pub fn append(&mut self, tuples: &[Tuple]) -> Result<u64, PersistError> {
+        self.check_poisoned()?;
+        let result = self.append_inner(tuples);
+        if result.is_err() {
+            // The failed write may have left a partial record at the
+            // tail; anything appended after it would be unreachable to
+            // replay. Fail stop instead of silently losing acked data.
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn append_inner(&mut self, tuples: &[Tuple]) -> Result<u64, PersistError> {
+        if self.seg_bytes + record_size(tuples.len()) as u64 > self.opts.segment_bytes
+            && self.seg_bytes > SEG_HEADER as u64
+        {
+            self.rotate()?;
+        }
+        self.record_buf.clear();
+        encode_record(tuples, &mut self.record_buf);
+        self.file.write_all(&self.record_buf)?;
+        self.seg_bytes += self.record_buf.len() as u64;
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.metrics
+            .on_append(tuples.len() as u64, self.record_buf.len() as u64);
+        self.file.flush()?;
+        match self.opts.sync {
+            SyncPolicy::Always => self.fsync()?,
+            SyncPolicy::Interval(every) => {
+                if self.last_sync.elapsed() >= every {
+                    self.fsync()?;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(lsn)
+    }
+
+    /// Whether the log has fail-stopped after an append error.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    #[cfg(test)]
+    fn poison_for_test(&mut self) {
+        self.poisoned = true;
+    }
+
+    fn check_poisoned(&self) -> Result<(), PersistError> {
+        if self.poisoned {
+            return Err(PersistError::corrupt(
+                "wal fail-stopped after an earlier append error",
+                Some(&self.opts.dir),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far onto stable storage.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.check_poisoned()?;
+        self.file.flush()?;
+        self.fsync()
+    }
+
+    fn fsync(&mut self) -> Result<(), PersistError> {
+        self.file.get_ref().sync_data()?;
+        self.metrics.on_fsync();
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Closes the current segment (fully synced) and starts the next one.
+    fn rotate(&mut self) -> Result<(), PersistError> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.metrics.on_fsync();
+        let path = segment_path(&self.opts.dir, self.next_lsn);
+        let mut file = BufWriter::new(File::create(&path)?);
+        file.write_all(&encode_segment_header(self.next_lsn))?;
+        file.flush()?;
+        file.get_ref().sync_all()?;
+        fsync_dir(&self.opts.dir);
+        self.metrics.on_header(SEG_HEADER as u64);
+        self.metrics.on_fsync();
+        self.metrics.add_segments(1);
+        self.file = file;
+        self.seg_bytes = SEG_HEADER as u64;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Writes a checkpoint covering every record appended so far (the
+    /// caller supplies `snapshot` — [`sprofile::SProfile`] snapshot
+    /// bytes capturing exactly that state), then prunes fully covered
+    /// segments and superseded checkpoints. Returns the checkpoint LSN.
+    ///
+    /// Crash-ordering: the WAL is fsynced first, the checkpoint is
+    /// written to a temp file, fsynced, renamed into place, and the
+    /// directory fsynced — only then is anything deleted. A crash at any
+    /// point leaves either the old state (checkpoint absent/ignored) or
+    /// the new one (checkpoint durable), never a hole.
+    pub fn checkpoint(&mut self, snapshot: &[u8]) -> Result<u64, PersistError> {
+        self.check_poisoned()?;
+        self.sync()?;
+        let lsn = self.next_lsn - 1;
+        let final_path = checkpoint_path(&self.opts.dir, lsn);
+        let tmp_path = final_path.with_extension("ck.tmp");
+        {
+            let mut f = BufWriter::new(File::create(&tmp_path)?);
+            f.write_all(&encode_checkpoint_header(lsn, snapshot.len() as u64))?;
+            f.write_all(snapshot)?;
+            f.flush()?;
+            f.get_ref().sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        fsync_dir(&self.opts.dir);
+        self.metrics.on_checkpoint();
+        self.prune()?;
+        Ok(lsn)
+    }
+
+    /// Deletes checkpoints beyond the newest `keep_checkpoints` and
+    /// every segment fully covered by the *oldest retained* checkpoint
+    /// (so falling back one checkpoint always finds the records it
+    /// needs). The current segment is never deleted.
+    fn prune(&mut self) -> Result<(), PersistError> {
+        let checkpoints = list_checkpoints(&self.opts.dir)?;
+        let keep = self.opts.keep_checkpoints.max(1);
+        let cut = checkpoints.len().saturating_sub(keep);
+        for (_, path) in &checkpoints[..cut] {
+            fs::remove_file(path)?;
+        }
+        let Some((floor, _)) = checkpoints.get(cut) else {
+            return Ok(());
+        };
+        let segments = list_segments(&self.opts.dir)?;
+        let mut deleted = 0i64;
+        for i in 0..segments.len() {
+            // Segment i's records all precede segment i+1's first LSN;
+            // the last segment (the live one) has no successor and is
+            // always kept.
+            let Some((next_first, _)) = segments.get(i + 1) else {
+                break;
+            };
+            if *next_first <= floor + 1 {
+                fs::remove_file(&segments[i].1)?;
+                deleted += 1;
+            }
+        }
+        if deleted > 0 {
+            self.metrics.add_segments(-deleted);
+            fsync_dir(&self.opts.dir);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::{dump_records, recover};
+    use sprofile::SProfile;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sprofile-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn opts(dir: &Path) -> WalOptions {
+        WalOptions {
+            dir: dir.to_path_buf(),
+            sync: SyncPolicy::Never,
+            ..WalOptions::default()
+        }
+    }
+
+    #[test]
+    fn append_then_recover_replays_everything() {
+        let dir = temp_dir("basic");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        assert_eq!(wal.append(&[Tuple::add(1), Tuple::add(1)]).unwrap(), 1);
+        assert_eq!(wal.append(&[Tuple::remove(4)]).unwrap(), 2);
+        wal.sync().unwrap();
+        assert_eq!(wal.next_lsn(), 3);
+        drop(wal);
+        let r = recover(&dir, 8).unwrap();
+        assert_eq!(r.profile.frequency(1), 2);
+        assert_eq!(r.profile.frequency(4), -1);
+        assert_eq!(r.checkpoint_lsn, None);
+        assert_eq!((r.replayed_records, r.replayed_tuples), (2, 3));
+        assert_eq!(r.next_lsn, 3);
+        assert!(!r.torn_tail);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_spreads_records_over_segments() {
+        let dir = temp_dir("rotate");
+        let mut o = opts(&dir);
+        o.segment_bytes = 64; // tiny: rotate every couple of records
+        let mut wal = Wal::open(o, 1).unwrap();
+        for i in 0..40u32 {
+            wal.append(&[Tuple::add(i % 8)]).unwrap();
+        }
+        wal.sync().unwrap();
+        let segs = list_segments(&dir).unwrap();
+        assert!(
+            segs.len() > 2,
+            "expected rotation, got {} segment(s)",
+            segs.len()
+        );
+        assert_eq!(wal.metrics().segments(), segs.len() as u64);
+        drop(wal);
+        let r = recover(&dir, 8).unwrap();
+        assert_eq!(r.replayed_records, 40);
+        for x in 0..8 {
+            assert_eq!(r.profile.frequency(x), 5, "object {x}");
+        }
+        // Dump agrees record-for-record.
+        let (records, torn) = dump_records(&dir).unwrap();
+        assert_eq!(records.len(), 40);
+        assert!(!torn);
+        assert_eq!(records[0].lsn, 1);
+        assert_eq!(records[39].lsn, 40);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_prunes_covered_segments_and_old_checkpoints() {
+        let dir = temp_dir("checkpoint");
+        let mut o = opts(&dir);
+        o.segment_bytes = 64;
+        o.keep_checkpoints = 2;
+        let mut wal = Wal::open(o, 1).unwrap();
+        let mut oracle = SProfile::new(8);
+        for round in 0..4 {
+            for i in 0..20u32 {
+                let t = Tuple::add((i + round) % 8);
+                oracle.apply(t);
+                wal.append(&[t]).unwrap();
+            }
+            wal.checkpoint(&oracle.to_snapshot_bytes()).unwrap();
+        }
+        let checkpoints = list_checkpoints(&dir).unwrap();
+        assert_eq!(checkpoints.len(), 2, "retains exactly keep_checkpoints");
+        assert_eq!(checkpoints.last().unwrap().0, 80);
+        let segments = list_segments(&dir).unwrap();
+        // Everything below the *older* retained checkpoint (lsn 60) is
+        // gone; the live segment survives.
+        assert!(
+            segments.iter().all(|&(first, _)| first > 40),
+            "{segments:?}"
+        );
+        drop(wal);
+        let r = recover(&dir, 8).unwrap();
+        assert_eq!(r.checkpoint_lsn, Some(80));
+        assert_eq!(r.replayed_records, 0);
+        assert_eq!(r.next_lsn, 81);
+        assert_eq!(
+            sprofile::verify::derive_frequencies(&r.profile),
+            sprofile::verify::derive_frequencies(&oracle)
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_falls_back_when_the_newest_checkpoint_is_corrupt() {
+        let dir = temp_dir("fallback");
+        let mut o = opts(&dir);
+        o.segment_bytes = 64;
+        let mut wal = Wal::open(o, 1).unwrap();
+        let mut oracle = SProfile::new(8);
+        for i in 0..30u32 {
+            let t = Tuple::add(i % 8);
+            oracle.apply(t);
+            wal.append(&[t]).unwrap();
+            if i == 9 || i == 19 {
+                wal.checkpoint(&oracle.to_snapshot_bytes()).unwrap();
+            }
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        // Corrupt the newest checkpoint's snapshot body.
+        let newest = list_checkpoints(&dir).unwrap().pop().unwrap().1;
+        let mut bytes = fs::read(&newest).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        // Recovery falls back to the lsn-10 checkpoint and replays 20
+        // records on top — ending in the exact same state.
+        let r = recover(&dir, 8).unwrap();
+        assert_eq!(r.checkpoint_lsn, Some(10));
+        assert_eq!(r.replayed_records, 20);
+        assert_eq!(
+            sprofile::verify::derive_frequencies(&r.profile),
+            sprofile::verify::derive_frequencies(&oracle)
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_but_cross_segment_corruption_is_fatal() {
+        let dir = temp_dir("torn");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        for i in 0..10u32 {
+            wal.append(&[Tuple::add(i % 4), Tuple::add((i + 1) % 4)])
+                .unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let seg = list_segments(&dir).unwrap().pop().unwrap().1;
+        let full = fs::read(&seg).unwrap();
+        // Truncate mid-final-record: a torn tail; the first 9 records
+        // survive.
+        fs::write(&seg, &full[..full.len() - 3]).unwrap();
+        let r = recover(&dir, 4).unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.replayed_records, 9);
+        assert_eq!(r.next_lsn, 10);
+        fs::remove_dir_all(&dir).ok();
+
+        // Now the multi-segment shape: corruption inside a *non-last*
+        // segment is fatal, because the next segment proves records were
+        // lost (its first LSN does not chain from the stop point).
+        let dir = temp_dir("torn-interior");
+        let mut o = opts(&dir);
+        o.segment_bytes = 80; // a few records per segment
+        let mut wal = Wal::open(o, 1).unwrap();
+        for i in 0..12u32 {
+            wal.append(&[Tuple::add(i % 4)]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 2, "{segments:?}");
+        let first_seg = &segments[0].1;
+        let mut bytes = fs::read(first_seg).unwrap();
+        let at = SEG_HEADER + 10; // inside the first record's payload
+        bytes[at] ^= 1;
+        fs::write(first_seg, &bytes).unwrap();
+        match recover(&dir, 4) {
+            Err(PersistError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_after_torn_tail_resumes_and_rerecovers() {
+        let dir = temp_dir("resume");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        for i in 0..6u32 {
+            wal.append(&[Tuple::add(i % 4)]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        // Tear the tail (lose record 6).
+        let seg = list_segments(&dir).unwrap().pop().unwrap().1;
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 2]).unwrap();
+        // Restart: recovery sees 5 records; the resumed writer continues
+        // at LSN 6 in a fresh segment.
+        let r = recover(&dir, 4).unwrap();
+        assert_eq!((r.replayed_records, r.next_lsn), (5, 6));
+        let mut wal = Wal::open(opts(&dir), r.next_lsn).unwrap();
+        assert_eq!(wal.append(&[Tuple::add(0)]).unwrap(), 6);
+        wal.sync().unwrap();
+        drop(wal);
+        // The second recovery chains across the torn boundary.
+        let r = recover(&dir, 4).unwrap();
+        assert_eq!(r.replayed_records, 6);
+        assert!(!r.torn_tail);
+        assert_eq!(r.profile.frequency(0), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn universe_mismatch_is_a_typed_error() {
+        let dir = temp_dir("mismatch");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        wal.append(&[Tuple::add(3)]).unwrap();
+        wal.checkpoint(&SProfile::new(8).to_snapshot_bytes())
+            .unwrap();
+        drop(wal);
+        match recover(&dir, 16) {
+            Err(PersistError::UniverseMismatch { wal_m, requested_m }) => {
+                assert_eq!((wal_m, requested_m), (8, 16));
+            }
+            other => panic!("expected UniverseMismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_range_record_object_is_corrupt() {
+        let dir = temp_dir("oor");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        wal.append(&[Tuple::add(100)]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        assert!(recover(&dir, 8).is_err());
+        assert!(recover(&dir, 128).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_policies_parse_and_always_fsyncs_per_append() {
+        assert_eq!(SyncPolicy::parse("ALWAYS", 0), Some(SyncPolicy::Always));
+        assert_eq!(SyncPolicy::parse("never", 0), Some(SyncPolicy::Never));
+        assert!(matches!(
+            SyncPolicy::parse("interval", 25),
+            Some(SyncPolicy::Interval(d)) if d.as_millis() == 25
+        ));
+        assert_eq!(SyncPolicy::parse("sometimes", 0), None);
+
+        let dir = temp_dir("sync-always");
+        let mut o = opts(&dir);
+        o.sync = SyncPolicy::Always;
+        let mut wal = Wal::open(o, 1).unwrap();
+        let before = wal.metrics().fsyncs();
+        wal.append(&[Tuple::add(1)]).unwrap();
+        wal.append(&[Tuple::add(2)]).unwrap();
+        assert_eq!(wal.metrics().fsyncs(), before + 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_locked_directory_refuses_a_second_writer() {
+        let dir = temp_dir("lock");
+        let first = Wal::open(opts(&dir), 1).unwrap();
+        match Wal::open(opts(&dir), 1) {
+            Err(e @ PersistError::Locked { .. }) => {
+                assert!(e.to_string().contains("locked"), "{e}")
+            }
+            Err(other) => panic!("expected a lock refusal, got {other:?}"),
+            Ok(_) => panic!("second writer must be refused"),
+        }
+        drop(first);
+        // Released on drop: the next writer gets in.
+        let _second = Wal::open(opts(&dir), 1).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_poisoned_wal_fails_stop_instead_of_writing_past_garbage() {
+        let dir = temp_dir("poison");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        wal.append(&[Tuple::add(1)]).unwrap();
+        wal.poison_for_test();
+        assert!(wal.is_poisoned());
+        assert!(wal.append(&[Tuple::add(2)]).is_err());
+        assert!(wal.sync().is_err());
+        assert!(wal
+            .checkpoint(&SProfile::new(4).to_snapshot_bytes())
+            .is_err());
+        drop(wal);
+        // Only the pre-poison record is recoverable — and nothing was
+        // ever written after the (simulated) bad bytes.
+        let r = recover(&dir, 4).unwrap();
+        assert_eq!(r.replayed_records, 1);
+        assert_eq!(r.profile.frequency(1), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_log_recovers_fresh_and_missing_dir_is_fresh() {
+        let dir = temp_dir("fresh");
+        // Missing directory entirely.
+        let r = recover(&dir, 5).unwrap();
+        assert_eq!((r.next_lsn, r.replayed_records), (1, 0));
+        assert!(r.profile.is_empty());
+        // Opened but never appended to.
+        let wal = Wal::open(opts(&dir), 1).unwrap();
+        drop(wal);
+        let r = recover(&dir, 5).unwrap();
+        assert_eq!((r.next_lsn, r.replayed_records), (1, 0));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use sprofile::Tuple;
+use sprofile::{SProfile, SnapshotError, Tuple};
 use sprofile_concurrent::{PipelineHandle, PipelineProfiler, ShardedProfile};
 
 /// Which engine a server should run, with its knobs.
@@ -63,6 +63,20 @@ impl BackendOwner {
                 BackendOwner::Sharded(Arc::new(ShardedProfile::new(m, shards)))
             }
             BackendKind::Pipeline => BackendOwner::Pipeline(PipelineProfiler::spawn(m)),
+        }
+    }
+
+    /// Builds the engine for `kind` seeded with `profile`'s state — the
+    /// crash-recovery path: WAL replay produces a single
+    /// [`SProfile`], and the chosen deployment shape resumes from it.
+    pub fn build_recovered(kind: BackendKind, profile: SProfile) -> BackendOwner {
+        match kind {
+            BackendKind::Sharded { shards } => {
+                let m = profile.num_objects();
+                let freqs: Vec<i64> = (0..m).map(|x| profile.frequency(x)).collect();
+                BackendOwner::Sharded(Arc::new(ShardedProfile::from_frequencies(&freqs, shards)))
+            }
+            BackendKind::Pipeline => BackendOwner::Pipeline(PipelineProfiler::spawn_from(profile)),
         }
     }
 
@@ -177,6 +191,18 @@ impl Backend {
             Backend::Pipeline(h) => h.snapshot_bytes(),
         }
     }
+
+    /// [`Self::snapshot_bytes`], round-trip-validated before anything is
+    /// persisted. The server's `SNAPSHOT` handler used to `unwrap()`
+    /// this round-trip in tests and trust it implicitly in production;
+    /// a backend bug (e.g. a bad sharded merge) would have panicked the
+    /// worker thread mid-connection. Now it surfaces as a typed error
+    /// the handler turns into a protocol `ERR`.
+    pub fn validated_snapshot_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
+        let bytes = self.snapshot_bytes();
+        SProfile::from_snapshot_bytes(&bytes)?;
+        Ok(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -215,8 +241,54 @@ mod tests {
             assert_eq!(b.median(), Some(0), "{kind:?}");
             assert_eq!(b.top_k(2), vec![(5, 3), (9, 1)], "{kind:?}");
             assert_eq!(b.count_at_least(1), 2, "{kind:?}");
-            let snap = sprofile::SProfile::from_snapshot_bytes(&b.snapshot_bytes()).unwrap();
+            // Regression: the snapshot round-trip is a fallible
+            // validation step now, not an `unwrap()` that could panic a
+            // worker thread.
+            let bytes = b.validated_snapshot_bytes().expect("valid snapshot");
+            let snap = sprofile::SProfile::from_snapshot_bytes(&bytes).unwrap();
             assert_eq!(snap.frequency(5), 3, "{kind:?}");
+            drop(b);
+            owner.shutdown();
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_bytes_fail_validation_instead_of_panicking() {
+        // The validation `validated_snapshot_bytes` performs is exactly
+        // this round-trip: feed it the kind of corruption a buggy merge
+        // could produce and require a typed error, not a panic.
+        let owner = BackendOwner::build(BackendKind::Sharded { shards: 2 }, 10);
+        let b = owner.backend();
+        b.apply_batch(&[Tuple::add(1), Tuple::add(1)]);
+        let mut bytes = b.validated_snapshot_bytes().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(sprofile::SProfile::from_snapshot_bytes(&bytes).is_err());
+        drop(b);
+        owner.shutdown();
+    }
+
+    #[test]
+    fn build_recovered_seeds_both_backends() {
+        let mut seed = sprofile::SProfile::new(12);
+        for t in [
+            Tuple::add(3),
+            Tuple::add(3),
+            Tuple::add(7),
+            Tuple::remove(0),
+        ] {
+            seed.apply(t);
+        }
+        for kind in [BackendKind::Sharded { shards: 3 }, BackendKind::Pipeline] {
+            let owner = BackendOwner::build_recovered(kind, seed.clone());
+            let b = owner.backend();
+            assert_eq!(b.frequency(3), 2, "{kind:?}");
+            assert_eq!(b.frequency(0), -1, "{kind:?}");
+            assert_eq!(b.mode(), Some((3, 2)), "{kind:?}");
+            // Updates continue on the recovered state.
+            b.apply_batch(&[Tuple::add(3)]);
+            b.drain();
+            assert_eq!(b.frequency(3), 3, "{kind:?}");
             drop(b);
             owner.shutdown();
         }

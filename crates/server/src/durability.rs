@@ -1,0 +1,250 @@
+//! Durability glue: the server's `--wal` mode, built on
+//! [`sprofile_persist`].
+//!
+//! The contract with the connection workers is *log before apply*:
+//! every batch leaving a per-connection write buffer is appended to the
+//! WAL (one record, group-committed per the [`SyncPolicy`]) and only
+//! then applied to the backend — both under one mutex, so a checkpoint
+//! can never capture backend state and a WAL position that disagree.
+//! Recovery therefore restores exactly the flushed (durable) prefix of
+//! acknowledged writes; what a crash can lose is bounded by the
+//! per-connection flush threshold plus the sync policy's window.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sprofile::Tuple;
+use sprofile_persist::{recover, PersistError, Recovered, SyncPolicy, Wal, WalMetrics, WalOptions};
+
+use crate::backend::Backend;
+
+/// `--wal` knobs.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// WAL directory (segments + checkpoints), created if absent.
+    pub dir: PathBuf,
+    /// fsync cadence for appended records.
+    pub sync: SyncPolicy,
+    /// Segment rotation threshold, in bytes.
+    pub segment_bytes: u64,
+    /// Background-checkpoint threshold, in *tuples* logged since the
+    /// last checkpoint (records vary wildly in size with batching, so
+    /// tuples are the meaningful unit of replay debt); `0` disables
+    /// background checkpointing (a final checkpoint is still written on
+    /// graceful shutdown).
+    pub checkpoint_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Defaults for a WAL rooted at `dir`: 50 ms interval sync, 8 MiB
+    /// segments, checkpoint every 65 536 records.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            sync: SyncPolicy::Interval(Duration::from_millis(50)),
+            segment_bytes: 8 << 20,
+            checkpoint_every: 1 << 16,
+        }
+    }
+}
+
+/// The live WAL shared by every connection worker and the checkpointer.
+pub(crate) struct Durability {
+    wal: Mutex<Wal>,
+    metrics: Arc<WalMetrics>,
+    /// WAL append/checkpoint failures (disk full, …). The service keeps
+    /// running degraded — in-memory state stays correct — and the count
+    /// surfaces in `STATS` as `wal_errors`.
+    errors: AtomicU64,
+    checkpoint_every: u64,
+    tuples_at_last_checkpoint: AtomicU64,
+}
+
+fn to_io(e: PersistError) -> io::Error {
+    match e {
+        PersistError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+impl Durability {
+    /// Recovers `cfg.dir` (checkpoint + WAL tail) and opens the log for
+    /// appending. Returns the recovered state so the caller can seed
+    /// the backend from it.
+    pub(crate) fn open(cfg: &DurabilityConfig, m: u32) -> io::Result<(Durability, Recovered)> {
+        let recovered = recover(&cfg.dir, m).map_err(to_io)?;
+        let wal = Wal::open(
+            WalOptions {
+                dir: cfg.dir.clone(),
+                sync: cfg.sync,
+                segment_bytes: cfg.segment_bytes,
+                keep_checkpoints: 2,
+            },
+            recovered.next_lsn,
+        )
+        .map_err(to_io)?;
+        let metrics = wal.metrics();
+        Ok((
+            Durability {
+                wal: Mutex::new(wal),
+                metrics,
+                errors: AtomicU64::new(0),
+                checkpoint_every: cfg.checkpoint_every,
+                tuples_at_last_checkpoint: AtomicU64::new(0),
+            },
+            recovered,
+        ))
+    }
+
+    /// Logs `batch` then applies it to `backend`, atomically with
+    /// respect to checkpoints. A failed append degrades durability (the
+    /// batch still reaches the backend, keeping acknowledged in-memory
+    /// state correct) and bumps `wal_errors`.
+    pub(crate) fn log_and_apply(&self, batch: &[Tuple], backend: &Backend) {
+        let mut wal = self.wal.lock().expect("wal lock poisoned");
+        if wal.append(batch).is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        backend.apply_batch(batch);
+    }
+
+    /// Whether background checkpointing is configured at all.
+    pub(crate) fn background_enabled(&self) -> bool {
+        self.checkpoint_every > 0
+    }
+
+    /// Whether enough records have accumulated for a background
+    /// checkpoint.
+    pub(crate) fn wants_checkpoint(&self) -> bool {
+        self.checkpoint_every > 0
+            && self.metrics.tuples() - self.tuples_at_last_checkpoint.load(Ordering::Relaxed)
+                >= self.checkpoint_every
+    }
+
+    /// Takes a checkpoint of `backend`'s current state: under the WAL
+    /// lock (no appends can interleave), drains the backend, snapshots
+    /// it with round-trip validation, writes the checkpoint, and prunes
+    /// covered segments. Errors bump `wal_errors` at the caller.
+    pub(crate) fn checkpoint_now(&self, backend: &Backend) -> Result<u64, PersistError> {
+        let mut wal = self.wal.lock().expect("wal lock poisoned");
+        backend.drain();
+        let bytes = backend.validated_snapshot_bytes()?;
+        let lsn = wal.checkpoint(&bytes)?;
+        self.tuples_at_last_checkpoint
+            .store(self.metrics.tuples(), Ordering::Relaxed);
+        Ok(lsn)
+    }
+
+    /// [`Self::checkpoint_now`], with failures counted instead of
+    /// propagated — the background checkpointer's shape. Returns whether
+    /// the checkpoint succeeded (the caller backs off on failure:
+    /// checkpointing is an O(m) drain + snapshot under the WAL lock, so
+    /// hot-retrying against a full disk would stall ingest).
+    pub(crate) fn checkpoint_counting_errors(&self, backend: &Backend) -> bool {
+        match self.checkpoint_now(backend) {
+            Ok(_) => true,
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// The `STATS` fragment for WAL mode.
+    pub(crate) fn render(&self) -> String {
+        format!(
+            "wal_records={} wal_tuples={} wal_bytes={} wal_segments={} wal_fsyncs={} \
+             wal_checkpoints={} wal_errors={}",
+            self.metrics.records(),
+            self.metrics.tuples(),
+            self.metrics.bytes(),
+            self.metrics.segments(),
+            self.metrics.fsyncs(),
+            self.metrics.checkpoints(),
+            self.errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendKind, BackendOwner};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sprofile-server-durability-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn log_apply_checkpoint_recover_cycle() {
+        for (kind, name) in [
+            (BackendKind::Sharded { shards: 3 }, "sharded"),
+            (BackendKind::Pipeline, "pipeline"),
+        ] {
+            let dir = temp_dir(&format!("cycle-{name}"));
+            let cfg = DurabilityConfig {
+                checkpoint_every: 0,
+                ..DurabilityConfig::new(&dir)
+            };
+            {
+                let (d, recovered) = Durability::open(&cfg, 16).unwrap();
+                let owner = BackendOwner::build_recovered(kind, recovered.profile);
+                let b = owner.backend();
+                d.log_and_apply(&[Tuple::add(2), Tuple::add(2)], &b);
+                d.log_and_apply(&[Tuple::remove(5)], &b);
+                b.drain();
+                assert_eq!(b.frequency(2), 2, "{kind:?}");
+                d.checkpoint_now(&b).unwrap();
+                drop(b);
+                owner.shutdown();
+            }
+            // The next boot of the same dir picks the state back up.
+            let (d, recovered) = Durability::open(&cfg, 16).unwrap();
+            assert_eq!(recovered.profile.frequency(2), 2, "{kind:?}");
+            assert_eq!(recovered.profile.frequency(5), -1, "{kind:?}");
+            let stats = d.render();
+            for key in [
+                "wal_records=",
+                "wal_tuples=",
+                "wal_bytes=",
+                "wal_segments=",
+                "wal_fsyncs=",
+                "wal_checkpoints=",
+                "wal_errors=",
+            ] {
+                assert_eq!(stats.matches(key).count(), 1, "{key} in {stats}");
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn wants_checkpoint_tracks_the_record_threshold() {
+        let dir = temp_dir("threshold");
+        let cfg = DurabilityConfig {
+            checkpoint_every: 3,
+            ..DurabilityConfig::new(&dir)
+        };
+        let (d, recovered) = Durability::open(&cfg, 8).unwrap();
+        let owner = BackendOwner::build_recovered(BackendKind::Pipeline, recovered.profile);
+        let b = owner.backend();
+        assert!(!d.wants_checkpoint());
+        for _ in 0..3 {
+            d.log_and_apply(&[Tuple::add(1)], &b);
+        }
+        assert!(d.wants_checkpoint());
+        d.checkpoint_counting_errors(&b);
+        assert!(!d.wants_checkpoint());
+        drop(b);
+        owner.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -40,6 +40,7 @@
 
 mod backend;
 pub mod client;
+mod durability;
 pub mod loadgen;
 mod metrics;
 pub mod protocol;
@@ -47,9 +48,11 @@ mod server;
 
 pub use backend::{Backend, BackendKind, BackendOwner};
 pub use client::{Client, ClientError, ClientResult};
+pub use durability::DurabilityConfig;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use metrics::{Counter, Metrics};
 pub use server::{Server, ServerConfig};
+pub use sprofile_persist::SyncPolicy;
 
 #[cfg(test)]
 mod crate_tests {
@@ -65,6 +68,7 @@ mod crate_tests {
                 flush_every: 8,
                 // Wire SNAPSHOT paths are relative to this directory.
                 snapshot_dir: std::env::temp_dir(),
+                wal: None,
             },
             "127.0.0.1:0",
         )
@@ -237,6 +241,98 @@ mod crate_tests {
         }
         c.quit().unwrap();
         server.shutdown();
+    }
+
+    #[test]
+    fn wal_mode_recovers_state_across_restarts() {
+        let dir = std::env::temp_dir().join(format!(
+            "sprofile-server-wal-restart-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = DurabilityConfig {
+            checkpoint_every: 8,
+            ..DurabilityConfig::new(&dir)
+        };
+        let config = |backend| ServerConfig {
+            m: 64,
+            backend,
+            accept_pool: 2,
+            flush_every: 4,
+            snapshot_dir: std::env::temp_dir(),
+            wal: Some(wal.clone()),
+        };
+        // Run 1 (sharded): write, then stop gracefully.
+        let server = Server::start(config(BackendKind::Sharded { shards: 4 }), "127.0.0.1:0")
+            .expect("start run 1");
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for _ in 0..5 {
+            c.add(9).unwrap();
+        }
+        c.batch(&[Tuple::add(2), Tuple::add(2), Tuple::remove(7)])
+            .unwrap();
+        let stats = c.stats().unwrap();
+        assert_eq!(Client::stats_field(&stats, "wal"), Some(1), "{stats}");
+        assert!(
+            Client::stats_field(&stats, "wal_records").unwrap_or(0) > 0,
+            "{stats}"
+        );
+        c.quit().unwrap();
+        server.shutdown();
+        // Run 2 (pipeline — recovery is backend-agnostic): state is back.
+        let server =
+            Server::start(config(BackendKind::Pipeline), "127.0.0.1:0").expect("start run 2");
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c.freq(9).unwrap(), 5);
+        assert_eq!(c.freq(2).unwrap(), 2);
+        assert_eq!(c.freq(7).unwrap(), -1);
+        // And keeps logging new writes on top of the recovered LSNs.
+        c.add(9).unwrap();
+        assert_eq!(c.freq(9).unwrap(), 6);
+        c.quit().unwrap();
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_startup_fails_loudly_on_a_corrupt_log() {
+        let dir = std::env::temp_dir().join(format!(
+            "sprofile-server-wal-corrupt-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A universe-mismatched checkpoint (written for m=8) must stop a
+        // m=64 server at startup, not at query time.
+        let mut wal = sprofile_persist::Wal::open(
+            sprofile_persist::WalOptions {
+                dir: dir.clone(),
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        wal.checkpoint(&SProfile::new(8).to_snapshot_bytes())
+            .unwrap();
+        drop(wal);
+        let result = Server::start(
+            ServerConfig {
+                m: 64,
+                wal: Some(DurabilityConfig::new(&dir)),
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        );
+        match result {
+            Err(err) => {
+                assert!(err.to_string().contains("universe mismatch"), "{err}")
+            }
+            Ok(server) => {
+                server.shutdown();
+                panic!("mismatched WAL must fail startup");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -28,6 +28,14 @@
 //! stays usable. A `BATCH` whose tuple lines contain an error is
 //! consumed in full, answered with `ERR`, and **none** of its tuples are
 //! applied. Blank lines and `#` comments are ignored (no reply).
+//!
+//! `STATS` always reports `wal=0|1`. When the server runs in `--wal`
+//! mode (`wal=1`) the payload additionally carries the durability
+//! counters `wal_records` (records appended), `wal_tuples` (tuples
+//! inside them), `wal_bytes` (bytes written to segments),
+//! `wal_segments` (live segment files), `wal_fsyncs` (fsyncs issued),
+//! `wal_checkpoints` (checkpoints written this run), and `wal_errors`
+//! (append/checkpoint failures — the server keeps serving degraded).
 
 use sprofile::Tuple;
 

@@ -31,6 +31,7 @@ use std::time::Duration;
 use sprofile::Tuple;
 
 use crate::backend::{Backend, BackendKind, BackendOwner};
+use crate::durability::{Durability, DurabilityConfig};
 use crate::metrics::Metrics;
 use crate::protocol::{self, Request};
 
@@ -55,6 +56,11 @@ pub struct ServerConfig {
     /// directory — a remote peer must never gain an arbitrary-file-write
     /// primitive.
     pub snapshot_dir: PathBuf,
+    /// Durability: when set, the server recovers its state from this
+    /// WAL directory at startup, logs every flushed batch before the
+    /// backend apply, and checkpoints in the background. `None` (the
+    /// default) keeps the pre-durability in-memory behaviour.
+    pub wal: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +71,7 @@ impl Default for ServerConfig {
             accept_pool: 4,
             flush_every: 256,
             snapshot_dir: PathBuf::from("."),
+            wal: None,
         }
     }
 }
@@ -76,6 +83,7 @@ struct Shared {
     flush_every: usize,
     snapshot_dir: PathBuf,
     backend_name: &'static str,
+    durability: Option<Arc<Durability>>,
     stop: AtomicBool,
     stop_lock: Mutex<bool>,
     stop_cond: Condvar,
@@ -100,23 +108,37 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     workers: Vec<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
     owner: Option<BackendOwner>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// spawns the accept pool.
+    /// spawns the accept pool. In WAL mode ([`ServerConfig::wal`]) the
+    /// backend first recovers the state persisted in the WAL directory
+    /// — a corrupt log fails startup here rather than serving wrong
+    /// answers.
     pub fn start<A: ToSocketAddrs>(config: ServerConfig, addr: A) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let owner = BackendOwner::build(config.backend, config.m);
+        let (durability, owner) = match &config.wal {
+            Some(wal_cfg) => {
+                let (d, recovered) = Durability::open(wal_cfg, config.m)?;
+                (
+                    Some(Arc::new(d)),
+                    BackendOwner::build_recovered(config.backend, recovered.profile),
+                )
+            }
+            None => (None, BackendOwner::build(config.backend, config.m)),
+        };
         let shared = Arc::new(Shared {
             metrics: Metrics::default(),
             m: config.m,
             flush_every: config.flush_every.max(1),
             snapshot_dir: config.snapshot_dir.clone(),
             backend_name: owner.backend().name(),
+            durability,
             stop: AtomicBool::new(false),
             stop_lock: Mutex::new(false),
             stop_cond: Condvar::new(),
@@ -134,10 +156,25 @@ impl Server {
                     .expect("spawn accept worker"),
             );
         }
+        let checkpointer = shared.durability.as_ref().and_then(|d| {
+            if !d.background_enabled() {
+                return None;
+            }
+            let d = Arc::clone(d);
+            let backend = owner.backend();
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("sprofile-checkpointer".into())
+                    .spawn(move || checkpoint_loop(d, backend, shared))
+                    .expect("spawn checkpointer"),
+            )
+        });
         Ok(Server {
             shared,
             addr,
             workers,
+            checkpointer,
             owner: Some(owner),
         })
     }
@@ -176,9 +213,18 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        // All workers (and their Backend clones) are gone: the pipeline
-        // owner can now drain its queue and join.
+        if let Some(cp) = self.checkpointer.take() {
+            let _ = cp.join();
+        }
         if let Some(owner) = self.owner.take() {
+            // Seal the log with a final checkpoint so the next boot is
+            // instant; a failure only costs restart-time replay.
+            if let Some(d) = &self.shared.durability {
+                let backend = owner.backend();
+                d.checkpoint_counting_errors(&backend);
+            }
+            // All workers (and their Backend clones) are gone: the
+            // pipeline owner can now drain its queue and join.
             owner.shutdown();
         }
         self.shared.metrics.applied.get()
@@ -188,6 +234,45 @@ impl Server {
     pub fn shutdown(self) -> u64 {
         self.request_shutdown();
         self.wait()
+    }
+}
+
+/// Background checkpointer: sleeps on the stop condvar, waking every
+/// poll interval to check whether the tuple threshold has been crossed.
+/// Exits when the server stops (the final checkpoint is `wait`'s job,
+/// after every worker has drained its buffers). A checkpoint is an
+/// O(m) drain + snapshot under the WAL lock, so failures (full disk)
+/// back off exponentially instead of hot-retrying against ingest.
+fn checkpoint_loop(d: Arc<Durability>, backend: Backend, shared: Arc<Shared>) {
+    const CHECK_EVERY: Duration = Duration::from_millis(100);
+    let mut failures: u32 = 0;
+    let mut cooldown: u32 = 0;
+    loop {
+        {
+            let stopped = shared.stop_lock.lock().expect("stop lock poisoned");
+            if *stopped {
+                return;
+            }
+            let (stopped, _) = shared
+                .stop_cond
+                .wait_timeout(stopped, CHECK_EVERY)
+                .expect("stop cond poisoned");
+            if *stopped {
+                return;
+            }
+        }
+        if cooldown > 0 {
+            cooldown -= 1;
+            continue;
+        }
+        if d.wants_checkpoint() {
+            if d.checkpoint_counting_errors(&backend) {
+                failures = 0;
+            } else {
+                failures = (failures + 1).min(8);
+                cooldown = 1 << failures; // 0.2 s doubling to ~25 s
+            }
+        }
     }
 }
 
@@ -290,12 +375,17 @@ fn resolve_snapshot_path(dir: &Path, client_path: &str) -> Option<PathBuf> {
     Some(dir.join(requested))
 }
 
-/// Flushes the per-connection write buffer into the backend.
+/// Flushes the per-connection write buffer into the backend — through
+/// the WAL first when durability is on (*log before apply*), so every
+/// tuple the backend ever sees is re-derivable from the log.
 fn flush_pending(pending: &mut Vec<Tuple>, backend: &Backend, shared: &Shared) {
     if pending.is_empty() {
         return;
     }
-    backend.apply_batch(pending);
+    match &shared.durability {
+        Some(d) => d.log_and_apply(pending, backend),
+        None => backend.apply_batch(pending),
+    }
     shared.metrics.applied.add(pending.len() as u64);
     shared.metrics.flushes.inc();
     pending.clear();
@@ -485,10 +575,14 @@ fn connection_loop(
             }
             Request::Stats => {
                 flush_pending(pending, backend, shared);
+                let wal = match &shared.durability {
+                    Some(d) => format!(" wal=1 {}", d.render()),
+                    None => " wal=0".to_string(),
+                };
                 reply(
                     writer,
                     &format!(
-                        "STATS backend={} m={} {}",
+                        "STATS backend={} m={} {}{wal}",
                         shared.backend_name,
                         shared.m,
                         shared.metrics.render()
@@ -506,7 +600,16 @@ fn connection_loop(
                 };
                 flush_pending(pending, backend, shared);
                 backend.drain();
-                let bytes = backend.snapshot_bytes();
+                // Round-trip-validated: a backend bug producing corrupt
+                // bytes is a protocol ERR, not a worker-thread panic.
+                let bytes = match backend.validated_snapshot_bytes() {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        shared.metrics.errors.inc();
+                        reply(writer, &format!("ERR snapshot validation failed: {e}"))?;
+                        continue;
+                    }
+                };
                 match std::fs::write(&target, &bytes) {
                     Ok(()) => {
                         shared.metrics.snapshots.inc();
