@@ -1,0 +1,207 @@
+//! Replication cost: (a) primary ingest throughput over loopback TCP
+//! with 0, 1, or 2 live replicas attached (what log shipping costs the
+//! write path), and (b) replica apply throughput (how fast a fresh
+//! replica drains a preloaded primary log).
+//!
+//! Besides the criterion group, `record_json` re-times the matrix with a
+//! best-of-N wall clock and writes `BENCH_repl.json` at the workspace
+//! root so CI uploads it next to the other summaries.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sprofile_server::{
+    loadgen, BackendKind, Client, DurabilityConfig, LoadgenConfig, Server, ServerConfig,
+};
+
+/// Universe size (hot-entity regime: stream dwarfs the universe).
+const M: u32 = 4_096;
+/// Concurrent loadgen connections.
+const THREADS: usize = 4;
+/// Tuples per thread per measured run.
+const EVENTS_PER_THREAD: usize = 16_384;
+/// `BATCH` frame size.
+const BATCH: usize = 512;
+/// Replica counts swept in the primary-overhead matrix.
+const REPLICA_COUNTS: [usize; 3] = [0, 1, 2];
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("sprofile-bench-repl-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn primary_config(dir: PathBuf, pool: usize) -> ServerConfig {
+    ServerConfig {
+        m: M,
+        backend: BackendKind::Sharded { shards: 8 },
+        accept_pool: pool,
+        flush_every: 512,
+        wal: Some(DurabilityConfig {
+            // Isolate shipping cost from checkpoint/fsync noise.
+            checkpoint_every: 0,
+            sync: sprofile_server::SyncPolicy::Never,
+            ..DurabilityConfig::new(dir)
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    for _ in 0..2_000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// One full ingestion run with `replicas` live replicas attached;
+/// returns primary-side tuples/second.
+fn primary_run(replicas: usize, tag: &str) -> f64 {
+    let pdir = bench_dir(&format!("{tag}-primary"));
+    let primary = Server::start(
+        primary_config(pdir.clone(), THREADS + replicas + 1),
+        "127.0.0.1:0",
+    )
+    .expect("bind primary");
+    let mut nodes = Vec::new();
+    for i in 0..replicas {
+        let rdir = bench_dir(&format!("{tag}-replica{i}"));
+        let replica = Server::start(
+            ServerConfig {
+                replica_of: Some(primary.local_addr().to_string()),
+                ..primary_config(rdir.clone(), 2)
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind replica");
+        nodes.push((replica, rdir));
+    }
+    if replicas > 0 {
+        // Only measure with the streams established.
+        let mut probe = Client::connect(primary.local_addr()).unwrap();
+        wait_for("replicas attached", || {
+            let stats = probe.stats().unwrap();
+            Client::stats_field(&stats, "repl_connected") == Some(replicas as u64)
+        });
+        probe.quit().unwrap();
+    }
+    let cfg = LoadgenConfig {
+        addr: primary.local_addr().to_string(),
+        threads: THREADS,
+        events_per_thread: EVENTS_PER_THREAD,
+        batch: BATCH,
+        m: M,
+        seed: 99,
+    };
+    let report = loadgen::run(&cfg).expect("loadgen");
+    let applied = primary.shutdown();
+    assert_eq!(applied, (THREADS * EVENTS_PER_THREAD) as u64);
+    for (replica, rdir) in nodes {
+        replica.shutdown();
+        let _ = std::fs::remove_dir_all(&rdir);
+    }
+    let _ = std::fs::remove_dir_all(&pdir);
+    report.tuples_per_sec()
+}
+
+/// Preloads a primary, then times a fresh replica draining its log;
+/// returns replica-side applied tuples/second.
+fn replica_apply_run(tag: &str) -> f64 {
+    let pdir = bench_dir(&format!("{tag}-primary"));
+    let primary =
+        Server::start(primary_config(pdir.clone(), 3), "127.0.0.1:0").expect("bind primary");
+    let cfg = LoadgenConfig {
+        addr: primary.local_addr().to_string(),
+        threads: THREADS,
+        events_per_thread: EVENTS_PER_THREAD,
+        batch: BATCH,
+        m: M,
+        seed: 7,
+    };
+    loadgen::run(&cfg).expect("preload");
+    let mut probe = Client::connect(primary.local_addr()).unwrap();
+    probe.freq(0).unwrap();
+    let head = Client::stats_field(&probe.stats().unwrap(), "repl_head_lsn").unwrap();
+    probe.quit().unwrap();
+
+    let rdir = bench_dir(&format!("{tag}-replica"));
+    let start = Instant::now();
+    let replica = Server::start(
+        ServerConfig {
+            replica_of: Some(primary.local_addr().to_string()),
+            ..primary_config(rdir.clone(), 2)
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind replica");
+    let mut rc = Client::connect(replica.local_addr()).unwrap();
+    wait_for("replica drain", || {
+        Client::stats_field(&rc.stats().unwrap(), "repl_applied_lsn") == Some(head)
+    });
+    let elapsed = start.elapsed();
+    rc.quit().unwrap();
+    replica.shutdown();
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+    (THREADS * EVENTS_PER_THREAD) as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn bench_repl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repl");
+    group.throughput(Throughput::Elements((THREADS * EVENTS_PER_THREAD) as u64));
+    group.sample_size(5);
+    for replicas in REPLICA_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("primary_ingest", replicas),
+            &replicas,
+            |b, &replicas| {
+                b.iter(|| primary_run(replicas, "crit"));
+            },
+        );
+    }
+    group.bench_function("replica_apply", |b| {
+        b.iter(|| replica_apply_run("crit-apply"));
+    });
+    group.finish();
+}
+
+/// Times the matrix (best of N) and writes `BENCH_repl.json` (path
+/// overridable with `BENCH_REPL_OUT`).
+fn record_json(_c: &mut Criterion) {
+    const REPEATS: usize = 3;
+    let cells: Vec<String> = REPLICA_COUNTS
+        .iter()
+        .map(|&replicas| {
+            let best = (0..REPEATS)
+                .map(|_| primary_run(replicas, "json"))
+                .fold(0.0f64, f64::max);
+            format!("\"{replicas}\": {best:.0}")
+        })
+        .collect();
+    let apply_best = (0..REPEATS)
+        .map(|_| replica_apply_run("json-apply"))
+        .fold(0.0f64, f64::max);
+    let json = format!(
+        "{{\n  \"bench\": \"repl\",\n  \"m\": {M},\n  \"threads\": {THREADS},\n  \
+         \"events_per_thread\": {EVENTS_PER_THREAD},\n  \"batch\": {BATCH},\n  \
+         \"backend\": \"sharded8+wal\",\n  \
+         \"primary_tuples_per_sec_by_replicas\": {{{}}},\n  \
+         \"replica_apply_tuples_per_sec\": {apply_best:.0}\n}}\n",
+        cells.join(", "),
+    );
+    let path = std::env::var("BENCH_REPL_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repl.json").into());
+    std::fs::write(&path, &json).expect("write BENCH_repl.json");
+    println!("bench repl summary written to {path}");
+    println!("{json}");
+}
+
+criterion_group!(benches, bench_repl, record_json);
+criterion_main!(benches);

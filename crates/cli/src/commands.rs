@@ -418,6 +418,9 @@ pub struct ServeOpts {
     pub snapshot_dir: String,
     /// Durability: `--wal DIR` (plus sync/segment/checkpoint knobs).
     pub wal: Option<DurabilityConfig>,
+    /// Replica mode: follow this primary (`--replica-of HOST:PORT`),
+    /// serving reads only until promoted.
+    pub replica_of: Option<String>,
 }
 
 /// `serve`: run the TCP server until a client sends `SHUTDOWN`. The
@@ -432,6 +435,7 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
             flush_every: opts.flush,
             snapshot_dir: opts.snapshot_dir.clone().into(),
             wal: opts.wal.clone(),
+            replica_of: opts.replica_of.clone(),
         },
         opts.addr.as_str(),
     )?;
@@ -443,9 +447,13 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
         Some(w) => format!(" wal={} sync={}", w.dir.display(), w.sync.name()),
         None => String::new(),
     };
+    let role = match &opts.replica_of {
+        Some(primary) => format!(" replica-of={primary} (readonly until PROMOTE)"),
+        None => String::new(),
+    };
     writeln!(
         out,
-        "listening on {} backend={backend} m={} pool={} flush={}{wal}",
+        "listening on {} backend={backend} m={} pool={} flush={}{wal}{role}",
         server.local_addr(),
         opts.m,
         opts.pool,
@@ -483,6 +491,19 @@ pub fn loadgen<W: Write>(
             .map_err(|e| CommandError::Server(e.to_string()))?;
         writeln!(out, "sent SHUTDOWN")?;
     }
+    Ok(())
+}
+
+/// `promote`: flip a running replica writable at its applied LSN — the
+/// failover step after the primary dies (pair with monitoring
+/// `repl_lag_lsn` in `STATS` if no acknowledged write may be lost).
+pub fn promote<W: Write>(addr: &str, out: &mut W) -> Result<(), CommandError> {
+    let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
+    let lsn = client
+        .promote()
+        .map_err(|e| CommandError::Server(e.to_string()))?;
+    client.quit().ok();
+    writeln!(out, "promoted at lsn {lsn}: {addr} now accepts writes")?;
     Ok(())
 }
 
@@ -1020,6 +1041,7 @@ mod tests {
             flush: 16,
             snapshot_dir: ".".into(),
             wal: None,
+            replica_of: None,
         };
         let handle = {
             let mut out = buf.clone();
@@ -1162,6 +1184,62 @@ mod tests {
             .shutdown_server()
             .unwrap();
         server.wait();
+    }
+
+    #[test]
+    fn promote_flips_a_replica_and_reports_the_lsn() {
+        let base =
+            std::env::temp_dir().join(format!("sprofile-cli-promote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let primary = Server::start(
+            ServerConfig {
+                m: 32,
+                accept_pool: 2,
+                flush_every: 2,
+                wal: Some(DurabilityConfig::new(base.join("primary"))),
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let replica = Server::start(
+            ServerConfig {
+                m: 32,
+                accept_pool: 2,
+                wal: Some(DurabilityConfig::new(base.join("replica"))),
+                replica_of: Some(primary.local_addr().to_string()),
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut pc = Client::connect(primary.local_addr()).unwrap();
+        pc.add(7).unwrap();
+        pc.freq(7).unwrap();
+        // Wait for the replica to apply, then promote it via the CLI
+        // path and check it reports the applied position.
+        let mut rc = Client::connect(replica.local_addr()).unwrap();
+        for _ in 0..500 {
+            if rc.freq(7).unwrap() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(rc.freq(7).unwrap(), 1);
+        let mut out = Vec::new();
+        promote(&replica.local_addr().to_string(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("promoted at lsn 1"), "{text}");
+        rc.add(7).unwrap();
+        assert_eq!(rc.freq(7).unwrap(), 2);
+        // On a non-replica the CLI surfaces the server's refusal.
+        let err = promote(&primary.local_addr().to_string(), &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("not a replica"), "{err}");
+        pc.quit().unwrap();
+        rc.quit().unwrap();
+        primary.shutdown();
+        replica.shutdown();
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

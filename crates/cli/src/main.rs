@@ -19,9 +19,9 @@ mod commands;
 mod textio;
 
 use commands::{
-    checkpoint_compact, generate, heavy_hitters, ingest, loadgen, profile_persist, recover_report,
-    serve, verify_server, wal_dump, watch, GenerateOpts, HhOpts, PersistOpts, ProfileOpts,
-    ServeOpts, StreamChoice,
+    checkpoint_compact, generate, heavy_hitters, ingest, loadgen, profile_persist, promote,
+    recover_report, serve, verify_server, wal_dump, watch, GenerateOpts, HhOpts, PersistOpts,
+    ProfileOpts, ServeOpts, StreamChoice,
 };
 use sprofile_server::{BackendKind, DurabilityConfig, LoadgenConfig, SyncPolicy};
 
@@ -35,7 +35,9 @@ fn usage() -> &'static str {
      sprofile serve    --addr <HOST:PORT> --m <M> [--backend <sharded|pipeline>]\n                    \
      [--shards <P>] [--pool <N>] [--flush <B>] [--snapshot-dir <DIR>]\n                    \
      [--wal <DIR>] [--sync <always|interval|never>] [--sync-interval-ms <MS>]\n                    \
-     [--segment-bytes <B>] [--checkpoint-every <TUPLES>]\n  \
+     [--segment-bytes <B>] [--checkpoint-every <TUPLES>]\n                    \
+     [--max-retain-bytes <B>] [--replica-of <HOST:PORT>]\n  \
+     sprofile promote  --addr <HOST:PORT>   (flip a replica writable)\n  \
      sprofile loadgen  --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
      [--batch <B>] [--seed <S>] [--shutdown]\n  \
      sprofile verify   --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
@@ -47,7 +49,9 @@ fn usage() -> &'static str {
      ('add'/'+' and 'remove'/'rm'/'-' also work); '#' starts a comment.\n\
      FILE defaults to stdin. `serve` runs until a client sends SHUTDOWN\n\
      (e.g. `sprofile loadgen --shutdown` or `printf 'SHUTDOWN\\n' | nc`);\n\
-     with --wal it recovers its state from the WAL directory first."
+     with --wal it recovers its state from the WAL directory first.\n\
+     With --replica-of it follows that primary read-only (writes get\n\
+     'ERR readonly') until `sprofile promote` flips it writable."
 }
 
 /// Tiny flag parser: collects `--key value` pairs plus positional args.
@@ -212,6 +216,7 @@ fn run() -> Result<(), String> {
                         "sync-interval-ms",
                         "segment-bytes",
                         "checkpoint-every",
+                        "max-retain-bytes",
                     ] {
                         if args.has(key) {
                             return Err(format!("--{key} requires --wal <DIR>"));
@@ -231,6 +236,9 @@ fn run() -> Result<(), String> {
                         // 0 is meaningful here: it disables background
                         // checkpointing (the shutdown one still runs).
                         checkpoint_every: args.get_parsed("checkpoint-every", 1u64 << 16)?,
+                        // Budget for segments retained only for lagging
+                        // replicas (they re-bootstrap once it is spent).
+                        max_retain_bytes: args.get_parsed_positive("max-retain-bytes", u64::MAX)?,
                         ..DurabilityConfig::new(dir)
                     })
                 }
@@ -243,10 +251,19 @@ fn run() -> Result<(), String> {
                 flush: args.get_parsed_positive("flush", 256usize)?,
                 snapshot_dir: args.get("snapshot-dir").unwrap_or(".").to_string(),
                 wal,
+                replica_of: args.get("replica-of").map(str::to_string),
             };
             let stdout = io::stdout();
             let mut out = stdout.lock();
             serve(&opts, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "promote" => {
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7979");
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            promote(addr, &mut out).map_err(|e| e.to_string())?;
             out.flush().map_err(|e| e.to_string())?;
             Ok(())
         }

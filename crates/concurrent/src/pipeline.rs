@@ -32,6 +32,9 @@ enum Command {
     /// Reply carries a serialized snapshot of the profile (see
     /// [`SProfile::write_snapshot`]) as of all previously sent updates.
     Snapshot(Sender<Vec<u8>>),
+    /// Replace the owner's profile wholesale (replica checkpoint
+    /// bootstrap); the reply acknowledges the swap.
+    Install(Box<SProfile>, Sender<()>),
 }
 
 /// Owner of the profile thread. Dropping (or calling
@@ -158,6 +161,10 @@ fn run_owner(mut profile: SProfile, rx: Receiver<Command>) -> u64 {
             Command::Snapshot(reply) => {
                 let _ = reply.send(profile.to_snapshot_bytes());
             }
+            Command::Install(new_profile, reply) => {
+                profile = *new_profile;
+                let _ = reply.send(());
+            }
         }
     }
     applied
@@ -241,6 +248,19 @@ impl PipelineHandle {
     /// it acts as a barrier for updates sent earlier on this handle.
     pub fn snapshot_bytes(&self) -> Vec<u8> {
         self.round_trip(Command::Snapshot)
+    }
+
+    /// Replaces the owner's profile wholesale with `profile`, returning
+    /// once the swap is done — the replica checkpoint-bootstrap hook
+    /// (O(1) beyond the profile move, vs. replaying the difference as
+    /// unit updates). Updates sent before this on the same handle are
+    /// applied first (channel FIFO), then superseded by the new state.
+    pub fn install(&self, profile: SProfile) {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.send(Command::Install(Box::new(profile), reply_tx));
+        reply_rx
+            .recv()
+            .expect("profile owner thread terminated mid-install");
     }
 
     fn send(&self, cmd: Command) {

@@ -48,17 +48,33 @@ impl ShardedProfile {
     /// [`SProfile`](sprofile::SProfile). O(m log m) overall (one
     /// [`SProfile::from_frequencies`] rebuild per shard).
     pub fn from_frequencies(freqs: &[i64], shards: usize) -> Self {
-        let m = freqs.len() as u32;
-        let sp = Self::new(m, shards);
-        let p = sp.shards.len() as u32;
-        for (s, shard) in sp.shards.iter().enumerate() {
+        let sp = Self::new(freqs.len() as u32, shards);
+        sp.install_frequencies(freqs);
+        sp
+    }
+
+    /// Replaces the *live* profile's state with `freqs` (global-id
+    /// order) in place — the replica checkpoint-bootstrap hook. Each
+    /// shard is rebuilt under its own lock, O(m log m) overall;
+    /// concurrent readers see a mix of old and new state until the last
+    /// shard swaps (same non-atomicity as any cross-shard write).
+    ///
+    /// # Panics
+    /// If `freqs.len()` differs from the universe size.
+    pub fn install_frequencies(&self, freqs: &[i64]) {
+        assert_eq!(
+            freqs.len() as u32,
+            self.m,
+            "frequency vector must cover the whole universe"
+        );
+        let p = self.shards.len() as u32;
+        for (s, shard) in self.shards.iter().enumerate() {
             let local_m = shard.lock().num_objects();
             let local: Vec<i64> = (0..local_m)
                 .map(|l| freqs[(l * p + s as u32) as usize])
                 .collect();
             *shard.lock() = SProfile::from_frequencies(&local);
         }
-        sp
     }
 
     /// Universe size `m`.

@@ -27,6 +27,18 @@
 //! no record is ever rewritten in place, so the only partially written
 //! bytes possible are at the tail of the newest segment.
 //!
+//! Since PR 5 the crate also carries the read-side hooks log shipping
+//! needs: [`SegmentReader`] (range reads of durable records without
+//! touching the in-flight tail), [`Wal::subscribe`] (a bounded live-tail
+//! broadcast of freshly committed records), [`ReplicaRegistry`] (a
+//! pruning floor at the slowest replica's acknowledged LSN, with a
+//! [`WalOptions::max_retain_bytes`] escape hatch), [`Wal::sync_if_stale`]
+//! (an idle timer bounding the crash-loss window of a quiescent
+//! interval-sync log), and [`Wal::reset_to_checkpoint`] (replica
+//! checkpoint bootstrap — checkpoint-first, so every crash point leaves
+//! a recoverable directory). A failed append *write* now rotates to a
+//! fresh segment and retries once before fail-stopping.
+//!
 //! ```
 //! use sprofile::Tuple;
 //! use sprofile_persist::{recover, SyncPolicy, Wal, WalOptions};
@@ -53,16 +65,20 @@
 #![deny(unsafe_code)]
 
 mod metrics;
+mod reader;
 mod record;
 mod recover;
+mod retention;
 mod segment;
 mod wal;
 
 pub use metrics::WalMetrics;
+pub use reader::SegmentReader;
 pub use record::MAX_RECORD_TUPLES;
-pub use recover::{dump_records, recover, RecordInfo, Recovered};
+pub use recover::{dump_records, newest_checkpoint, recover, RecordInfo, Recovered};
+pub use retention::{ReplicaRegistry, ReplicaSlot};
 pub use segment::{checkpoint_path, is_checkpoint_file, is_segment_file, segment_path};
-pub use wal::{Wal, WalOptions};
+pub use wal::{TailRecord, Wal, WalOptions, TAIL_CAPACITY};
 
 use std::fmt;
 use std::io;

@@ -15,6 +15,7 @@ pub struct WalMetrics {
     fsyncs: AtomicU64,
     segments: AtomicU64,
     checkpoints: AtomicU64,
+    head_lsn: AtomicU64,
 }
 
 macro_rules! counter {
@@ -57,6 +58,13 @@ impl WalMetrics {
         checkpoints,
         checkpoints
     );
+    counter!(
+        /// Newest committed LSN (gauge; 0 for an empty log). Mirrored
+        /// here so observers (`STATS`, replication lag) never take the
+        /// WAL mutex — a checkpoint holds it across an O(m) snapshot.
+        head_lsn,
+        head_lsn
+    );
 
     pub(crate) fn on_append(&self, tuples: u64, bytes: u64) {
         self.records.fetch_add(1, Ordering::Relaxed);
@@ -78,6 +86,10 @@ impl WalMetrics {
 
     pub(crate) fn set_segments(&self, n: u64) {
         self.segments.store(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_head_lsn(&self, lsn: u64) {
+        self.head_lsn.store(lsn, Ordering::Relaxed);
     }
 
     pub(crate) fn add_segments(&self, delta: i64) {

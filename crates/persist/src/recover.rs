@@ -244,6 +244,32 @@ pub fn recover(dir: &Path, m: u32) -> Result<Recovered, PersistError> {
     Err(first_error.expect("scan-from-scratch either succeeds or errors"))
 }
 
+/// The newest checkpoint in `dir` that passes full validation — header,
+/// structure, *and* snapshot round-trip — as `(lsn, snapshot bytes)`.
+/// Corrupt newer checkpoints are skipped (mirroring recovery's
+/// fallback); `None` when no valid checkpoint exists. The replication
+/// source bootstraps from this when a replica requests records the
+/// segment files no longer reach.
+pub fn newest_checkpoint(dir: &Path) -> Result<Option<(u64, Vec<u8>)>, PersistError> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut checkpoints = list_checkpoints(dir)?;
+    checkpoints.reverse(); // newest first
+    for (lsn, path) in checkpoints {
+        let Ok(bytes) = std::fs::read(&path) else {
+            continue;
+        };
+        let Ok((_, snap)) = parse_checkpoint(&bytes, lsn, &path) else {
+            continue;
+        };
+        if SProfile::from_snapshot_bytes(snap).is_ok() {
+            return Ok(Some((lsn, snap.to_vec())));
+        }
+    }
+    Ok(None)
+}
+
 /// Decodes every record still present in `dir`'s segments (regardless of
 /// checkpoints), for `wal-dump`. Returns the records and whether the log
 /// ends in a torn tail.

@@ -1,0 +1,140 @@
+//! Replica retention: a registry of attached replicas' acknowledged
+//! LSNs, consulted by segment pruning so log shipping never loses
+//! records a replica still needs.
+//!
+//! The WAL's normal pruning rule deletes every segment fully covered by
+//! the oldest retained checkpoint. With replicas attached, a segment may
+//! be checkpoint-covered on the primary yet still unread by a slow
+//! replica — deleting it would force that replica through a full
+//! checkpoint bootstrap. The registry therefore lowers the pruning floor
+//! to the slowest replica's acknowledged LSN, with one escape hatch: a
+//! byte budget ([`WalOptions::max_retain_bytes`]) beyond which a stalled
+//! replica stops pinning disk and will re-bootstrap instead.
+//!
+//! [`WalOptions::max_retain_bytes`]: crate::WalOptions::max_retain_bytes
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tracks, per attached replica, the highest LSN it has acknowledged as
+/// durably applied. Shared (`Arc`) between the WAL writer (which reads
+/// the [`floor`](ReplicaRegistry::floor) while pruning) and the
+/// replication source (which registers one slot per replica stream).
+#[derive(Debug, Default)]
+pub struct ReplicaRegistry {
+    acked: Mutex<HashMap<u64, u64>>,
+    next_id: AtomicU64,
+}
+
+impl ReplicaRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Arc<ReplicaRegistry> {
+        Arc::new(ReplicaRegistry::default())
+    }
+
+    /// Registers a replica that has acknowledged every record up to and
+    /// including `acked` (0: nothing yet). The returned slot deregisters
+    /// itself when dropped — a disconnected replica stops pinning
+    /// segments immediately.
+    pub fn register(self: &Arc<Self>, acked: u64) -> ReplicaSlot {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.acked
+            .lock()
+            .expect("registry lock poisoned")
+            .insert(id, acked);
+        ReplicaSlot {
+            registry: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// The slowest registered replica's acknowledged LSN (`None` when no
+    /// replica is attached). Records with LSN *greater* than the floor
+    /// are still needed by someone.
+    pub fn floor(&self) -> Option<u64> {
+        self.acked
+            .lock()
+            .expect("registry lock poisoned")
+            .values()
+            .min()
+            .copied()
+    }
+
+    /// Number of registered replicas.
+    pub fn len(&self) -> usize {
+        self.acked.lock().expect("registry lock poisoned").len()
+    }
+
+    /// Whether no replica is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One replica's registration; update it with [`ReplicaSlot::ack`] as
+/// acknowledgements arrive. Dropping it deregisters the replica.
+pub struct ReplicaSlot {
+    registry: Arc<ReplicaRegistry>,
+    id: u64,
+}
+
+impl ReplicaSlot {
+    /// Records that the replica has acknowledged every record up to and
+    /// including `lsn`. Acknowledgements are monotonic: a stale (lower)
+    /// value is ignored.
+    pub fn ack(&self, lsn: u64) {
+        let mut acked = self.registry.acked.lock().expect("registry lock poisoned");
+        let entry = acked.entry(self.id).or_insert(0);
+        *entry = (*entry).max(lsn);
+    }
+
+    /// The highest LSN this replica has acknowledged.
+    pub fn acked(&self) -> u64 {
+        self.registry
+            .acked
+            .lock()
+            .expect("registry lock poisoned")
+            .get(&self.id)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for ReplicaSlot {
+    fn drop(&mut self) {
+        self.registry
+            .acked
+            .lock()
+            .expect("registry lock poisoned")
+            .remove(&self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_tracks_the_slowest_replica() {
+        let registry = ReplicaRegistry::new();
+        assert_eq!(registry.floor(), None);
+        assert!(registry.is_empty());
+        let a = registry.register(10);
+        let b = registry.register(4);
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.floor(), Some(4));
+        b.ack(25);
+        assert_eq!(registry.floor(), Some(10));
+        // Stale acks never move a replica backwards.
+        b.ack(3);
+        assert_eq!(b.acked(), 25);
+        a.ack(12);
+        assert_eq!(registry.floor(), Some(12));
+        // Dropping a slot deregisters it.
+        drop(a);
+        assert_eq!(registry.floor(), Some(25));
+        drop(b);
+        assert_eq!(registry.floor(), None);
+    }
+}

@@ -1,19 +1,75 @@
-//! The WAL writer: append, group-commit, rotate, checkpoint, prune.
+//! The WAL writer: append, group-commit, rotate, checkpoint, prune —
+//! plus the read-side hooks log shipping needs (tail subscriptions and
+//! a replica-aware pruning floor).
 
 use std::fs::{self, File};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, sync_channel, Receiver, RecvTimeoutError, SyncSender, TryRecvError};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::metrics::WalMetrics;
 use crate::record::{encode_record, record_size};
+use crate::retention::ReplicaRegistry;
 use crate::segment::{
     checkpoint_path, encode_checkpoint_header, encode_segment_header, fsync_dir, list_checkpoints,
     list_segments, segment_path, SEG_HEADER,
 };
 use crate::{PersistError, SyncPolicy};
 use sprofile::Tuple;
+
+/// Bounded capacity of one tail subscription. A subscriber that falls
+/// this many records behind is dropped (its receiver disconnects) and
+/// must catch up from the segment files instead — appends never block
+/// on a slow replica.
+pub const TAIL_CAPACITY: usize = 1024;
+
+/// One freshly appended record, as delivered to tail subscribers. The
+/// tuples are shared (`Arc`), so fanning a record out to several
+/// replicas copies nothing.
+#[derive(Clone, Debug)]
+pub struct TailRecord {
+    /// The record's log sequence number.
+    pub lsn: u64,
+    /// Its tuples.
+    pub tuples: Arc<[Tuple]>,
+}
+
+/// A live tail subscription (from [`Wal::subscribe`]). Dropping it
+/// marks the subscriber dead so the writer prunes it on its next append
+/// *or* subscribe — an idle writer facing a reconnect-looping reader
+/// must not accumulate stale senders unboundedly.
+pub struct TailSubscription {
+    rx: Receiver<TailRecord>,
+    alive: Arc<AtomicBool>,
+}
+
+impl TailSubscription {
+    /// Non-blocking receive of the next committed record.
+    pub fn try_recv(&self) -> Result<TailRecord, TryRecvError> {
+        self.rx.try_recv()
+    }
+
+    /// Receive with a timeout. `Disconnected` means the writer dropped
+    /// this subscriber (it lagged past [`TAIL_CAPACITY`]); re-subscribe
+    /// and catch up from the files.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<TailRecord, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Blocking iterator over the remaining records (tests/tools).
+    pub fn iter(&self) -> mpsc::Iter<'_, TailRecord> {
+        self.rx.iter()
+    }
+}
+
+impl Drop for TailSubscription {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
 
 /// Construction knobs for a [`Wal`].
 #[derive(Clone, Debug)]
@@ -29,6 +85,17 @@ pub struct WalOptions {
     /// default of 2 keeps one fallback should the newest ever fail
     /// validation).
     pub keep_checkpoints: usize,
+    /// Attached-replica positions; pruning keeps every segment holding
+    /// records the slowest registered replica has not acknowledged
+    /// (subject to [`max_retain_bytes`](Self::max_retain_bytes)).
+    /// `None`: prune on checkpoints alone.
+    pub registry: Option<Arc<ReplicaRegistry>>,
+    /// Escape hatch for the replica floor: once the checkpoint-covered
+    /// segments pinned *only* by replicas exceed this many bytes, the
+    /// oldest are pruned anyway (a stalled replica re-bootstraps from a
+    /// checkpoint instead of pinning the disk forever). `u64::MAX`:
+    /// unlimited.
+    pub max_retain_bytes: u64,
 }
 
 impl Default for WalOptions {
@@ -38,6 +105,8 @@ impl Default for WalOptions {
             sync: SyncPolicy::Interval(std::time::Duration::from_millis(50)),
             segment_bytes: 8 << 20,
             keep_checkpoints: 2,
+            registry: None,
+            max_retain_bytes: u64::MAX,
         }
     }
 }
@@ -55,6 +124,18 @@ pub struct Wal {
     last_sync: Instant,
     metrics: Arc<WalMetrics>,
     record_buf: Vec<u8>,
+    /// Live tail subscriptions; pruned lazily on fan-out (send failed:
+    /// full channel or dropped receiver) and on every new subscribe
+    /// (dead `alive` flag).
+    subscribers: Vec<(SyncSender<TailRecord>, Arc<AtomicBool>)>,
+    /// Whether records were appended since the last fsync — drives the
+    /// idle-sync timer ([`Wal::sync_if_stale`]).
+    dirty: bool,
+    /// Test hook: fail this many upcoming append *writes* after leaving
+    /// a torn half-record on disk, to exercise the rotate-and-retry
+    /// path.
+    #[cfg(test)]
+    inject_write_failures: u32,
     /// Set after an append-path I/O error. A partial record may sit at
     /// the segment tail, and anything written after it would be
     /// unreachable to recovery (replay stops at the first bad record) —
@@ -104,6 +185,7 @@ impl Wal {
         metrics.on_header(SEG_HEADER as u64);
         metrics.on_fsync();
         metrics.set_segments(list_segments(&opts.dir)?.len() as u64);
+        metrics.set_head_lsn(next_lsn - 1);
         Ok(Wal {
             opts,
             file,
@@ -112,6 +194,10 @@ impl Wal {
             last_sync: Instant::now(),
             metrics,
             record_buf: Vec::new(),
+            subscribers: Vec::new(),
+            dirty: false,
+            #[cfg(test)]
+            inject_write_failures: 0,
             poisoned: false,
             _lock: lock,
         })
@@ -137,43 +223,177 @@ impl Wal {
     /// bytes have always reached the kernel (`write`-flushed), so a
     /// crashed *process* loses nothing; whether they survived power loss
     /// is the [`SyncPolicy`]'s call.
+    ///
+    /// A failed *write* (which may leave a torn record at the segment
+    /// tail) is retried once on a freshly created segment starting at
+    /// the same LSN — the exact chain shape recovery already accepts
+    /// after a crash-and-restart — so a transient I/O error resumes
+    /// durability without a server restart. If the retry (or an fsync,
+    /// whose failure leaves the record's durability unknowable) also
+    /// fails, the log fail-stops: every later call errors rather than
+    /// writing records recovery could never reach.
     pub fn append(&mut self, tuples: &[Tuple]) -> Result<u64, PersistError> {
         self.check_poisoned()?;
-        let result = self.append_inner(tuples);
-        if result.is_err() {
-            // The failed write may have left a partial record at the
-            // tail; anything appended after it would be unreachable to
-            // replay. Fail stop instead of silently losing acked data.
-            self.poisoned = true;
+        let result = match self.append_inner(tuples) {
+            Ok(lsn) => Ok(lsn),
+            Err(AppendError {
+                retriable: true, ..
+            }) => self
+                .reopen_segment()
+                .and_then(|()| self.append_inner(tuples).map_err(|e| e.error)),
+            Err(AppendError { error, .. }) => Err(error),
+        };
+        match result {
+            Ok(lsn) => {
+                self.fan_out(lsn, tuples);
+                Ok(lsn)
+            }
+            Err(e) => {
+                // A partial record may sit at the tail and the rotate
+                // retry is exhausted; anything appended after it would
+                // be unreachable to replay. Fail stop instead of
+                // silently losing acked data.
+                self.poisoned = true;
+                Err(e)
+            }
         }
-        result
     }
 
-    fn append_inner(&mut self, tuples: &[Tuple]) -> Result<u64, PersistError> {
+    fn append_inner(&mut self, tuples: &[Tuple]) -> Result<u64, AppendError> {
         if self.seg_bytes + record_size(tuples.len()) as u64 > self.opts.segment_bytes
             && self.seg_bytes > SEG_HEADER as u64
         {
-            self.rotate()?;
+            // Rotation failures are not retried by another rotation:
+            // nothing of the new record has been written yet.
+            self.rotate().map_err(AppendError::fatal)?;
         }
         self.record_buf.clear();
         encode_record(tuples, &mut self.record_buf);
-        self.file.write_all(&self.record_buf)?;
-        self.seg_bytes += self.record_buf.len() as u64;
+        #[cfg(test)]
+        if self.inject_write_failures > 0 {
+            self.inject_write_failures -= 1;
+            // Simulate a torn write: half the record reaches the file.
+            let _ = self
+                .file
+                .write_all(&self.record_buf[..self.record_buf.len() / 2]);
+            let _ = self.file.flush();
+            return Err(AppendError {
+                error: PersistError::Io(std::io::Error::other("injected write failure")),
+                retriable: true,
+            });
+        }
+        // Write phase: a failure here may tear the segment tail, which a
+        // fresh segment can recover from — retriable.
+        self.file
+            .write_all(&self.record_buf)
+            .and_then(|()| self.file.flush())
+            .map_err(|e| AppendError {
+                error: e.into(),
+                retriable: true,
+            })?;
+        // The record is fully in the kernel: commit the writer state.
         let lsn = self.next_lsn;
         self.next_lsn += 1;
+        self.seg_bytes += self.record_buf.len() as u64;
+        self.dirty = true;
         self.metrics
             .on_append(tuples.len() as u64, self.record_buf.len() as u64);
-        self.file.flush()?;
+        self.metrics.set_head_lsn(lsn);
+        // Sync phase: an fsync failure is *not* retriable — the record
+        // is already durably-queued, and appending it again would
+        // duplicate it.
         match self.opts.sync {
-            SyncPolicy::Always => self.fsync()?,
+            SyncPolicy::Always => self.fsync().map_err(AppendError::fatal)?,
             SyncPolicy::Interval(every) => {
                 if self.last_sync.elapsed() >= every {
-                    self.fsync()?;
+                    self.fsync().map_err(AppendError::fatal)?;
                 }
             }
             SyncPolicy::Never => {}
         }
         Ok(lsn)
+    }
+
+    /// Delivers a committed record to every live tail subscription,
+    /// dropping subscribers that are full (lagging past
+    /// [`TAIL_CAPACITY`]) or gone.
+    fn fan_out(&mut self, lsn: u64, tuples: &[Tuple]) {
+        if self.subscribers.is_empty() {
+            return;
+        }
+        let shared: Arc<[Tuple]> = tuples.into();
+        self.subscribers.retain(|(tx, alive)| {
+            alive.load(Ordering::Acquire)
+                && tx
+                    .try_send(TailRecord {
+                        lsn,
+                        tuples: Arc::clone(&shared),
+                    })
+                    .is_ok()
+        });
+    }
+
+    /// Subscribes to the live tail: every record committed from now on
+    /// is delivered on the returned channel. Also returns the current
+    /// `next_lsn` — every record *below* it is fully flushed to the
+    /// segment files (read them with
+    /// [`SegmentReader`](crate::SegmentReader)), every record at or
+    /// above it arrives on the channel, with no gap and no overlap. Call
+    /// this under whatever lock serialises appends to make that split
+    /// atomic.
+    ///
+    /// A subscriber that falls more than [`TAIL_CAPACITY`] records
+    /// behind is dropped (the receiver disconnects) and must
+    /// re-subscribe and catch up from the files.
+    pub fn subscribe(&mut self) -> (u64, TailSubscription) {
+        // Prune dropped subscriptions here too: fan-out only runs on
+        // append, so an *idle* log facing a reconnect-looping reader
+        // would otherwise grow this vector without bound.
+        self.subscribers
+            .retain(|(_, alive)| alive.load(Ordering::Acquire));
+        let (tx, rx) = sync_channel(TAIL_CAPACITY);
+        let alive = Arc::new(AtomicBool::new(true));
+        self.subscribers.push((tx, Arc::clone(&alive)));
+        (self.next_lsn, TailSubscription { rx, alive })
+    }
+
+    /// Fsyncs if records were appended since the last fsync and the
+    /// [`SyncPolicy::Interval`] cadence has elapsed — the idle-timer
+    /// companion to the append-piggybacked interval sync, bounding the
+    /// crash-loss window even when appends stop arriving. Returns
+    /// whether an fsync was issued. No-op under `Always` (never dirty)
+    /// and `Never` (never syncs).
+    ///
+    /// A failed fsync fail-stops the log, exactly like a failed
+    /// append-path fsync: the kernel may have dropped the dirty pages,
+    /// after which a later fsync would report success without the acked
+    /// records ever reaching disk — continuing would silently void the
+    /// durability contract.
+    pub fn sync_if_stale(&mut self) -> Result<bool, PersistError> {
+        // An already-poisoned log is a no-op, not an error: the failure
+        // is recorded once, and a periodic caller hammering this would
+        // otherwise inflate the error count forever.
+        if self.poisoned {
+            return Ok(false);
+        }
+        let SyncPolicy::Interval(every) = self.opts.sync else {
+            return Ok(false);
+        };
+        if !self.dirty || self.last_sync.elapsed() < every {
+            return Ok(false);
+        }
+        let result = self
+            .file
+            .flush()
+            .map_err(PersistError::from)
+            .and_then(|()| self.fsync());
+        match result {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
     }
 
     /// Whether the log has fail-stopped after an append error.
@@ -207,14 +427,15 @@ impl Wal {
         self.file.get_ref().sync_data()?;
         self.metrics.on_fsync();
         self.last_sync = Instant::now();
+        self.dirty = false;
         Ok(())
     }
 
-    /// Closes the current segment (fully synced) and starts the next one.
-    fn rotate(&mut self) -> Result<(), PersistError> {
-        self.file.flush()?;
-        self.file.get_ref().sync_data()?;
-        self.metrics.on_fsync();
+    /// Creates (truncating if present) the segment file for the current
+    /// `next_lsn` and makes it the live write target, without touching
+    /// the previous file. Updates the header/fsync metrics but not the
+    /// segment count — callers know whether the path is new.
+    fn start_segment(&mut self) -> Result<(), PersistError> {
         let path = segment_path(&self.opts.dir, self.next_lsn);
         let mut file = BufWriter::new(File::create(&path)?);
         file.write_all(&encode_segment_header(self.next_lsn))?;
@@ -223,10 +444,47 @@ impl Wal {
         fsync_dir(&self.opts.dir);
         self.metrics.on_header(SEG_HEADER as u64);
         self.metrics.on_fsync();
-        self.metrics.add_segments(1);
         self.file = file;
         self.seg_bytes = SEG_HEADER as u64;
         self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Closes the current segment (fully synced) and starts the next one.
+    fn rotate(&mut self) -> Result<(), PersistError> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.metrics.on_fsync();
+        self.dirty = false;
+        self.start_segment()?;
+        self.metrics.add_segments(1);
+        Ok(())
+    }
+
+    /// Abandons the current segment *without* flushing it (its tail may
+    /// hold the torn bytes of a failed write) and starts a fresh one at
+    /// the still-unassigned `next_lsn`. Recovery accepts the resulting
+    /// shape — a torn segment whose successor resumes at exactly the
+    /// torn LSN — as the crash-and-restart signature. When the current
+    /// segment holds no committed records, the fresh file truncates the
+    /// same path (the partial bytes are simply erased).
+    fn reopen_segment(&mut self) -> Result<(), PersistError> {
+        // Best-effort fsync of the abandoned segment first: its
+        // *committed* records (already write-flushed at their append)
+        // may not have been fsynced yet under an interval policy, and no
+        // future fsync will ever target this file again. The torn bytes
+        // of the failed write don't matter — recovery tolerates the
+        // tear. If this sync also fails, the interval loss window for
+        // those records widens; the record that triggered the retry is
+        // still protected by its own append-path sync.
+        if let Ok(()) = self.file.get_ref().sync_data() {
+            self.metrics.on_fsync();
+        }
+        let new_path = self.seg_bytes > SEG_HEADER as u64;
+        self.start_segment()?;
+        if new_path {
+            self.metrics.add_segments(1);
+        }
         Ok(())
     }
 
@@ -244,6 +502,14 @@ impl Wal {
         self.check_poisoned()?;
         self.sync()?;
         let lsn = self.next_lsn - 1;
+        self.write_checkpoint_file(lsn, snapshot)?;
+        self.prune()?;
+        Ok(lsn)
+    }
+
+    /// Durably writes the checkpoint file for `lsn` (temp + rename +
+    /// directory fsync).
+    fn write_checkpoint_file(&mut self, lsn: u64, snapshot: &[u8]) -> Result<(), PersistError> {
         let final_path = checkpoint_path(&self.opts.dir, lsn);
         let tmp_path = final_path.with_extension("ck.tmp");
         {
@@ -256,14 +522,55 @@ impl Wal {
         fs::rename(&tmp_path, &final_path)?;
         fsync_dir(&self.opts.dir);
         self.metrics.on_checkpoint();
-        self.prune()?;
-        Ok(lsn)
+        Ok(())
+    }
+
+    /// Replaces the *entire* log with an externally supplied checkpoint
+    /// covering `1..=lsn` — the replica bootstrap path, when the
+    /// primary's log no longer reaches back to this replica's position
+    /// (so `lsn` is always at or past the local head; anything else is
+    /// refused). Crash-ordering: the checkpoint is written durably
+    /// **first**, then the old segments and superseded checkpoints are
+    /// deleted, then a fresh live segment starts at `lsn + 1`. Every
+    /// crash point leaves a recoverable directory — before the
+    /// checkpoint lands, the old log is intact (the replica simply
+    /// re-bootstraps); after it, recovery loads the new checkpoint and
+    /// skips any old files still present (their LSNs all precede it).
+    /// Clears a poisoned flag: the torn tail it guarded is deleted with
+    /// everything else.
+    pub fn reset_to_checkpoint(&mut self, lsn: u64, snapshot: &[u8]) -> Result<(), PersistError> {
+        if lsn + 1 < self.next_lsn {
+            return Err(PersistError::corrupt(
+                "bootstrap checkpoint predates the local head",
+                Some(&self.opts.dir),
+            ));
+        }
+        self.write_checkpoint_file(lsn, snapshot)?;
+        for (_, path) in list_segments(&self.opts.dir)? {
+            fs::remove_file(path)?;
+        }
+        for (l, path) in list_checkpoints(&self.opts.dir)? {
+            if l != lsn {
+                fs::remove_file(path)?;
+            }
+        }
+        fsync_dir(&self.opts.dir);
+        self.next_lsn = lsn + 1;
+        self.start_segment()?;
+        self.metrics.set_segments(1);
+        self.metrics.set_head_lsn(lsn);
+        self.poisoned = false;
+        self.dirty = false;
+        Ok(())
     }
 
     /// Deletes checkpoints beyond the newest `keep_checkpoints` and
     /// every segment fully covered by the *oldest retained* checkpoint
     /// (so falling back one checkpoint always finds the records it
-    /// needs). The current segment is never deleted.
+    /// needs) — except segments a registered replica still needs: the
+    /// pruning floor drops to the slowest replica's acknowledged LSN,
+    /// subject to the `max_retain_bytes` budget on replica-pinned bytes.
+    /// The current segment is never deleted.
     fn prune(&mut self) -> Result<(), PersistError> {
         let checkpoints = list_checkpoints(&self.opts.dir)?;
         let keep = self.opts.keep_checkpoints.max(1);
@@ -271,11 +578,20 @@ impl Wal {
         for (_, path) in &checkpoints[..cut] {
             fs::remove_file(path)?;
         }
-        let Some((floor, _)) = checkpoints.get(cut) else {
+        let Some((ckpt_floor, _)) = checkpoints.get(cut) else {
             return Ok(());
         };
+        let replica_floor = self
+            .opts
+            .registry
+            .as_ref()
+            .and_then(|r| r.floor())
+            .unwrap_or(u64::MAX);
         let segments = list_segments(&self.opts.dir)?;
         let mut deleted = 0i64;
+        // Checkpoint-covered segments pinned only by replicas, oldest
+        // first — candidates for the byte-budget escape hatch.
+        let mut pinned: Vec<(&PathBuf, u64)> = Vec::new();
         for i in 0..segments.len() {
             // Segment i's records all precede segment i+1's first LSN;
             // the last segment (the live one) has no successor and is
@@ -283,16 +599,51 @@ impl Wal {
             let Some((next_first, _)) = segments.get(i + 1) else {
                 break;
             };
-            if *next_first <= floor + 1 {
+            if *next_first > ckpt_floor + 1 {
+                continue; // holds records past the checkpoint: kept
+            }
+            if *next_first <= replica_floor.saturating_add(1) {
                 fs::remove_file(&segments[i].1)?;
                 deleted += 1;
+            } else {
+                let bytes = fs::metadata(&segments[i].1).map(|m| m.len()).unwrap_or(0);
+                pinned.push((&segments[i].1, bytes));
             }
+        }
+        // Escape hatch: a stalled replica must not pin unbounded disk.
+        // Once the pinned bytes exceed the budget, prune oldest-first
+        // until back under it (the replica will bootstrap from a
+        // checkpoint when it next catches up).
+        let mut pinned_bytes: u64 = pinned.iter().map(|&(_, b)| b).sum();
+        for (path, bytes) in pinned {
+            if pinned_bytes <= self.opts.max_retain_bytes {
+                break;
+            }
+            fs::remove_file(path)?;
+            deleted += 1;
+            pinned_bytes -= bytes;
         }
         if deleted > 0 {
             self.metrics.add_segments(-deleted);
             fsync_dir(&self.opts.dir);
         }
         Ok(())
+    }
+}
+
+/// Internal append failure, tagged with whether rotating to a fresh
+/// segment and retrying can salvage it.
+struct AppendError {
+    error: PersistError,
+    retriable: bool,
+}
+
+impl AppendError {
+    fn fatal(error: PersistError) -> AppendError {
+        AppendError {
+            error,
+            retriable: false,
+        }
     }
 }
 
@@ -601,6 +952,295 @@ mod tests {
         let r = recover(&dir, 4).unwrap();
         assert_eq!(r.replayed_records, 1);
         assert_eq!(r.profile.frequency(1), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_failed_append_write_rotates_and_retries_once() {
+        let dir = temp_dir("retry");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        wal.append(&[Tuple::add(1)]).unwrap();
+        wal.append(&[Tuple::add(2)]).unwrap();
+        // The next append's write fails, leaving half a record at the
+        // tail; the retry lands it on a fresh segment at the same LSN.
+        wal.inject_write_failures = 1;
+        assert_eq!(wal.append(&[Tuple::add(3)]).unwrap(), 3);
+        assert!(!wal.is_poisoned());
+        // The log keeps going normally afterwards.
+        assert_eq!(wal.append(&[Tuple::add(3)]).unwrap(), 4);
+        wal.sync().unwrap();
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.len(), 2, "{segs:?}");
+        assert_eq!(segs[1].0, 3, "fresh segment resumes at the torn LSN");
+        assert_eq!(wal.metrics().segments(), 2);
+        drop(wal);
+        // Recovery chains across the abandoned torn tail: all four
+        // records survive.
+        let r = recover(&dir, 8).unwrap();
+        assert_eq!(r.replayed_records, 4);
+        assert!(!r.torn_tail);
+        assert_eq!(r.profile.frequency(3), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_failed_retry_fail_stops_with_only_durable_records_recoverable() {
+        let dir = temp_dir("retry-poison");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        wal.append(&[Tuple::add(1)]).unwrap();
+        // Both the append and its rotate-retry fail: fail stop.
+        wal.inject_write_failures = 2;
+        assert!(wal.append(&[Tuple::add(2)]).is_err());
+        assert!(wal.is_poisoned());
+        assert!(wal.append(&[Tuple::add(3)]).is_err());
+        drop(wal);
+        let r = recover(&dir, 8).unwrap();
+        assert_eq!(r.replayed_records, 1);
+        assert_eq!(r.profile.frequency(1), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn idle_sync_fires_only_when_dirty_and_stale() {
+        let dir = temp_dir("idle-sync");
+        let mut o = opts(&dir);
+        o.sync = SyncPolicy::Interval(std::time::Duration::from_millis(40));
+        let mut wal = Wal::open(o, 1).unwrap();
+        // Clean log: nothing to sync no matter how long it idles.
+        assert!(!wal.sync_if_stale().unwrap());
+        // An append inside the interval neither piggybacks an fsync nor
+        // trips the idle timer yet.
+        wal.append(&[Tuple::add(1)]).unwrap();
+        let fsyncs = wal.metrics().fsyncs();
+        assert!(!wal.sync_if_stale().unwrap());
+        assert_eq!(wal.metrics().fsyncs(), fsyncs);
+        // The idle timer catches the unsynced tail once the interval
+        // elapses — even though no further append ever arrives.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(wal.sync_if_stale().unwrap());
+        assert_eq!(wal.metrics().fsyncs(), fsyncs + 1);
+        // Now clean again: the timer stays quiet.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!wal.sync_if_stale().unwrap());
+
+        // Never / Always policies never idle-sync.
+        for sync in [SyncPolicy::Never, SyncPolicy::Always] {
+            let dir = temp_dir(&format!("idle-{}", sync.name()));
+            let mut o = opts(&dir);
+            o.sync = sync;
+            let mut wal = Wal::open(o, 1).unwrap();
+            wal.append(&[Tuple::add(1)]).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            assert!(!wal.sync_if_stale().unwrap(), "{sync:?}");
+            fs::remove_dir_all(&dir).ok();
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_subscription_sees_every_later_append_and_drops_laggards() {
+        let dir = temp_dir("tail");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        wal.append(&[Tuple::add(1)]).unwrap();
+        let (next, rx) = wal.subscribe();
+        assert_eq!(next, 2, "record 1 is on disk, not on the channel");
+        wal.append(&[Tuple::add(2), Tuple::add(3)]).unwrap();
+        wal.append(&[Tuple::remove(4)]).unwrap();
+        let rec = rx.try_recv().unwrap();
+        assert_eq!(rec.lsn, 2);
+        assert_eq!(&rec.tuples[..], &[Tuple::add(2), Tuple::add(3)]);
+        assert_eq!(rx.try_recv().unwrap().lsn, 3);
+        // A subscriber that stops draining is dropped once the channel
+        // fills; the sender side never blocks an append.
+        for i in 0..(TAIL_CAPACITY as u32 + 10) {
+            wal.append(&[Tuple::add(i % 8)]).unwrap();
+        }
+        let drained = rx.iter().count();
+        assert_eq!(drained, TAIL_CAPACITY, "channel held exactly its bound");
+        // A dropped receiver is pruned on the next fan-out.
+        let (_, rx2) = wal.subscribe();
+        drop(rx2);
+        wal.append(&[Tuple::add(0)]).unwrap();
+        assert!(wal.subscribers.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn idle_resubscribes_do_not_accumulate_dead_senders() {
+        let dir = temp_dir("sub-churn");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        // A reconnect-looping reader against an *idle* log: no appends
+        // ever run fan-out, so subscribe() itself must prune.
+        for _ in 0..100 {
+            let (_, sub) = wal.subscribe();
+            drop(sub);
+        }
+        assert!(
+            wal.subscribers.len() <= 1,
+            "{} stale subscribers retained",
+            wal.subscribers.len()
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_to_checkpoint_is_recoverable_at_every_crash_point() {
+        // The bootstrap write order is checkpoint-first; emulate the
+        // worst crash window — checkpoint landed, old files not yet
+        // deleted, no fresh segment — and require recovery to pick the
+        // new checkpoint and ignore the stale history.
+        let dir = temp_dir("reset-ckpt");
+        let mut o = opts(&dir);
+        o.segment_bytes = 64;
+        let mut wal = Wal::open(o, 1).unwrap();
+        for i in 0..20u32 {
+            wal.append(&[Tuple::add(i % 8)]).unwrap();
+        }
+        wal.sync().unwrap();
+        let mut target = SProfile::new(8);
+        for _ in 0..3 {
+            target.apply(Tuple::add(5));
+        }
+        // Hand-write the bootstrap checkpoint at lsn 100 next to the
+        // old segments, exactly what a crash mid-reset leaves behind.
+        let snap = target.to_snapshot_bytes();
+        let mut bytes = encode_checkpoint_header(100, snap.len() as u64).to_vec();
+        bytes.extend_from_slice(&snap);
+        fs::write(checkpoint_path(&dir, 100), &bytes).unwrap();
+        drop(wal);
+        let r = recover(&dir, 8).unwrap();
+        assert_eq!(r.checkpoint_lsn, Some(100));
+        assert_eq!(r.replayed_records, 0);
+        assert_eq!(r.next_lsn, 101);
+        assert_eq!(r.profile.frequency(5), 3);
+        fs::remove_dir_all(&dir).ok();
+
+        // The completed reset leaves the same recoverable state, with
+        // the old files gone and appends chaining at lsn 101.
+        let dir = temp_dir("reset-ckpt-done");
+        let mut o = opts(&dir);
+        o.segment_bytes = 64;
+        let mut wal = Wal::open(o, 1).unwrap();
+        for i in 0..20u32 {
+            wal.append(&[Tuple::add(i % 8)]).unwrap();
+        }
+        // A checkpoint below the local head is refused (divergence, not
+        // bootstrap).
+        assert!(wal.reset_to_checkpoint(3, &snap).is_err());
+        wal.reset_to_checkpoint(100, &snap).unwrap();
+        assert_eq!(wal.next_lsn(), 101);
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        assert_eq!(list_checkpoints(&dir).unwrap().len(), 1);
+        assert_eq!(wal.append(&[Tuple::add(0)]).unwrap(), 101);
+        wal.sync().unwrap();
+        drop(wal);
+        let r = recover(&dir, 8).unwrap();
+        assert_eq!(r.checkpoint_lsn, Some(100));
+        assert_eq!((r.replayed_records, r.next_lsn), (1, 102));
+        assert_eq!(r.profile.frequency(5), 3);
+        assert_eq!(r.profile.frequency(0), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keep_checkpoints_boundary_of_one_retains_exactly_the_newest() {
+        let dir = temp_dir("keep-one");
+        let mut o = opts(&dir);
+        o.segment_bytes = 64;
+        o.keep_checkpoints = 1;
+        let mut wal = Wal::open(o, 1).unwrap();
+        let mut state = SProfile::new(8);
+        for round in 0..3 {
+            for i in 0..20u32 {
+                let t = Tuple::add((i + round) % 8);
+                state.apply(t);
+                wal.append(&[t]).unwrap();
+            }
+            wal.checkpoint(&state.to_snapshot_bytes()).unwrap();
+        }
+        let checkpoints = list_checkpoints(&dir).unwrap();
+        assert_eq!(checkpoints.len(), 1);
+        assert_eq!(checkpoints[0].0, 60);
+        // Every non-live segment is covered by that checkpoint and gone.
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 1, "{segments:?}");
+        drop(wal);
+        let r = recover(&dir, 8).unwrap();
+        assert_eq!(r.checkpoint_lsn, Some(60));
+        assert_eq!(
+            sprofile::verify::derive_frequencies(&r.profile),
+            sprofile::verify::derive_frequencies(&state)
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_registered_replica_pins_segments_past_its_acked_lsn() {
+        let dir = temp_dir("replica-pin");
+        let registry = ReplicaRegistry::new();
+        let mut o = opts(&dir);
+        o.segment_bytes = 64;
+        o.registry = Some(Arc::clone(&registry));
+        let mut wal = Wal::open(o, 1).unwrap();
+        let slot = registry.register(4); // needs every record past lsn 4
+        let mut state = SProfile::new(8);
+        for i in 0..40u32 {
+            let t = Tuple::add(i % 8);
+            state.apply(t);
+            wal.append(&[t]).unwrap();
+        }
+        wal.checkpoint(&state.to_snapshot_bytes()).unwrap();
+        // The checkpoint covers everything, but the replica has only
+        // acked lsn 4: records 5.. (and the segments holding them) stay.
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() > 1, "{segments:?}");
+        assert!(
+            segments[0].0 <= 5,
+            "record 5 must still be on disk: {segments:?}"
+        );
+        let reader = crate::SegmentReader::new(&dir);
+        assert_eq!(reader.collect_range(5, 41).unwrap().len(), 36);
+        // Once the replica catches up, the next checkpoint prunes fully.
+        slot.ack(40);
+        wal.checkpoint(&state.to_snapshot_bytes()).unwrap();
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_retain_bytes_unpins_a_stalled_replica() {
+        let dir = temp_dir("retain-cap");
+        let registry = ReplicaRegistry::new();
+        let mut o = opts(&dir);
+        o.segment_bytes = 64;
+        o.registry = Some(Arc::clone(&registry));
+        o.max_retain_bytes = 200; // a couple of tiny segments
+        let mut wal = Wal::open(o, 1).unwrap();
+        let _slot = registry.register(0); // stalled: never acks anything
+        let mut state = SProfile::new(8);
+        for i in 0..80u32 {
+            let t = Tuple::add(i % 8);
+            state.apply(t);
+            wal.append(&[t]).unwrap();
+        }
+        wal.checkpoint(&state.to_snapshot_bytes()).unwrap();
+        // The stalled replica wanted everything retained, but the byte
+        // budget capped it: oldest pinned segments were pruned, and what
+        // remains (live segment excluded) fits the budget.
+        let segments = list_segments(&dir).unwrap();
+        let pinned_bytes: u64 = segments
+            .iter()
+            .take(segments.len() - 1)
+            .map(|(_, p)| fs::metadata(p).unwrap().len())
+            .sum();
+        assert!(
+            pinned_bytes <= 200,
+            "pinned {pinned_bytes} bytes over budget: {segments:?}"
+        );
+        assert!(
+            segments[0].0 > 1,
+            "oldest segments must be gone: {segments:?}"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,44 @@
+//! # sprofile-replicate — log shipping, read replicas, and promotion
+//!
+//! PR 4 made a single node durable; this crate makes it *redundant*. A
+//! **primary** (any server running with a WAL) streams its log to any
+//! number of **read replicas**, multiplying query throughput and giving
+//! the service its first availability story: when the primary dies, a
+//! replica is promoted in place and starts accepting writes at its
+//! applied LSN.
+//!
+//! The design is classic primary/replica log shipping, specialised to
+//! the segmented WAL from `sprofile-persist`:
+//!
+//! * [`ReplicationSource`] (primary side) serves each replica's
+//!   `REPLICATE <lsn>` request: **catch-up** reads of sealed segments
+//!   via [`sprofile_persist::SegmentReader`], then **live tailing** of
+//!   the open segment through the WAL's tail subscription — stitched
+//!   together under the WAL lock so no record is lost or duplicated.
+//!   When the requested LSN is already pruned, the stream opens with a
+//!   checkpoint bootstrap (`CKPT`) instead. Replica acknowledgements
+//!   feed a [`sprofile_persist::ReplicaRegistry`] so checkpoint pruning
+//!   retains whatever the slowest replica still needs.
+//! * [`Applier`] (replica side) connects with `REPLICATE`, applies
+//!   records in LSN order to an [`ApplySink`] (the server's sink logs to
+//!   the replica's *own* WAL before its backend, so restarts resume from
+//!   the durable position), acknowledges periodically, and reconnects
+//!   with exponential backoff.
+//! * [`frame`] defines the wire format: text headers (`REC`/`CKPT`/
+//!   `ACK`/`ERR`) with binary record payloads.
+//!
+//! Replication is asynchronous: an acknowledged write is durable on the
+//! primary but reaches replicas a channel-hop later. Promotion therefore
+//! serves exactly the *applied* prefix — wait for `repl_lag_lsn=0`
+//! before failing over if no write may be lost.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+mod applier;
+pub mod frame;
+mod source;
+
+pub use applier::{Applier, ApplierOptions, ApplierStats, ApplySink};
+pub use source::{read_acks, AckState, ReplicationSource, SourceMetrics};

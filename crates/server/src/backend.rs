@@ -184,6 +184,24 @@ impl Backend {
         }
     }
 
+    /// Replaces the live state wholesale with `profile` — the replica
+    /// checkpoint-bootstrap hook. O(m log m) (sharded per-shard rebuild)
+    /// or O(1) beyond the move (pipeline swap); never proportional to
+    /// the total event count the state encodes.
+    ///
+    /// # Panics
+    /// If `profile`'s universe size differs from this backend's.
+    pub fn install(&self, profile: &SProfile) {
+        match self {
+            Backend::Sharded(p) => {
+                let m = profile.num_objects();
+                let freqs: Vec<i64> = (0..m).map(|x| profile.frequency(x)).collect();
+                p.install_frequencies(&freqs);
+            }
+            Backend::Pipeline(h) => h.install(profile.clone()),
+        }
+    }
+
     /// Serialized [`sprofile::SProfile`] snapshot of the current state.
     pub fn snapshot_bytes(&self) -> Vec<u8> {
         match self {

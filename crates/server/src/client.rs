@@ -235,6 +235,13 @@ impl Client {
         parse_field(self.expect_prefix(&reply, "OK")?, &reply)
     }
 
+    /// `PROMOTE` → the LSN the (former) replica was promoted at. Errors
+    /// with `ERR not a replica` on other servers.
+    pub fn promote(&mut self) -> ClientResult<u64> {
+        let reply = self.round_trip("PROMOTE")?;
+        parse_field(self.expect_prefix(&reply, "OK")?, &reply)
+    }
+
     /// `QUIT`: closes this connection politely.
     pub fn quit(mut self) -> ClientResult<()> {
         let reply = self.round_trip("QUIT")?;

@@ -12,12 +12,14 @@
 
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sprofile::Tuple;
-use sprofile_persist::{recover, PersistError, Recovered, SyncPolicy, Wal, WalMetrics, WalOptions};
+use sprofile_persist::{
+    recover, PersistError, Recovered, ReplicaRegistry, SyncPolicy, Wal, WalMetrics, WalOptions,
+};
 
 use crate::backend::Backend;
 
@@ -36,29 +38,45 @@ pub struct DurabilityConfig {
     /// background checkpointing (a final checkpoint is still written on
     /// graceful shutdown).
     pub checkpoint_every: u64,
+    /// Byte budget for checkpoint-covered segments retained only
+    /// because a lagging replica still needs them; beyond it, the oldest
+    /// are pruned anyway and the replica re-bootstraps from a
+    /// checkpoint. `u64::MAX`: unlimited.
+    pub max_retain_bytes: u64,
 }
 
 impl DurabilityConfig {
     /// Defaults for a WAL rooted at `dir`: 50 ms interval sync, 8 MiB
-    /// segments, checkpoint every 65 536 records.
+    /// segments, checkpoint every 65 536 records, unlimited replica
+    /// retention.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             sync: SyncPolicy::Interval(Duration::from_millis(50)),
             segment_bytes: 8 << 20,
             checkpoint_every: 1 << 16,
+            max_retain_bytes: u64::MAX,
         }
     }
 }
 
-/// The live WAL shared by every connection worker and the checkpointer.
+/// The live WAL shared by every connection worker, the housekeeping
+/// thread, and (behind [`Durability::wal_handle`]) the replication
+/// source.
 pub(crate) struct Durability {
-    wal: Mutex<Wal>,
+    wal: Arc<Mutex<Wal>>,
+    dir: PathBuf,
+    registry: Arc<ReplicaRegistry>,
     metrics: Arc<WalMetrics>,
-    /// WAL append/checkpoint failures (disk full, …). The service keeps
-    /// running degraded — in-memory state stays correct — and the count
-    /// surfaces in `STATS` as `wal_errors`.
+    /// WAL append/checkpoint failures (disk full, …); surfaces in
+    /// `STATS` as `wal_errors`.
     errors: AtomicU64,
+    /// Set once an append fail-stops the log. From then on the server
+    /// refuses *new* writes (`ERR wal failed…`): acknowledging writes
+    /// that can never be logged would silently diverge from the durable
+    /// log — and from every replica tailing it, while `repl_lag_lsn`
+    /// still read 0. Reads keep serving; surfaces as `wal_failed=1`.
+    failed: AtomicBool,
     checkpoint_every: u64,
     tuples_at_last_checkpoint: AtomicU64,
 }
@@ -76,12 +94,15 @@ impl Durability {
     /// the backend from it.
     pub(crate) fn open(cfg: &DurabilityConfig, m: u32) -> io::Result<(Durability, Recovered)> {
         let recovered = recover(&cfg.dir, m).map_err(to_io)?;
+        let registry = ReplicaRegistry::new();
         let wal = Wal::open(
             WalOptions {
                 dir: cfg.dir.clone(),
                 sync: cfg.sync,
                 segment_bytes: cfg.segment_bytes,
                 keep_checkpoints: 2,
+                registry: Some(Arc::clone(&registry)),
+                max_retain_bytes: cfg.max_retain_bytes,
             },
             recovered.next_lsn,
         )
@@ -89,9 +110,12 @@ impl Durability {
         let metrics = wal.metrics();
         Ok((
             Durability {
-                wal: Mutex::new(wal),
+                wal: Arc::new(Mutex::new(wal)),
+                dir: cfg.dir.clone(),
+                registry,
                 metrics,
                 errors: AtomicU64::new(0),
+                failed: AtomicBool::new(false),
                 checkpoint_every: cfg.checkpoint_every,
                 tuples_at_last_checkpoint: AtomicU64::new(0),
             },
@@ -99,16 +123,131 @@ impl Durability {
         ))
     }
 
+    /// Whether the log has fail-stopped (an append error exhausted its
+    /// rotate-retry); the server refuses new writes from then on.
+    pub(crate) fn failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// The WAL mutex itself, for the replication source (which
+    /// subscribes to the tail under the same lock appends hold).
+    pub(crate) fn wal_handle(&self) -> Arc<Mutex<Wal>> {
+        Arc::clone(&self.wal)
+    }
+
+    /// The WAL directory.
+    pub(crate) fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+
+    /// The replica registry pruning consults.
+    pub(crate) fn registry(&self) -> Arc<ReplicaRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The LSN the next append will be assigned — a restarted replica's
+    /// resume position.
+    pub(crate) fn next_lsn(&self) -> u64 {
+        self.wal.lock().expect("wal lock poisoned").next_lsn()
+    }
+
     /// Logs `batch` then applies it to `backend`, atomically with
-    /// respect to checkpoints. A failed append degrades durability (the
-    /// batch still reaches the backend, keeping acknowledged in-memory
-    /// state correct) and bumps `wal_errors`.
+    /// respect to checkpoints. A failed append bumps `wal_errors`,
+    /// marks the log [`failed`](Self::failed), and still applies the
+    /// batch — every tuple in it was already acknowledged `OK`, so
+    /// keeping the acked in-memory state correct beats dropping it.
+    /// What stops is *new* acknowledgements: the server refuses further
+    /// writes once `failed` is set, bounding the divergence from the
+    /// durable log (and from replicas) to the in-flight flush buffers.
     pub(crate) fn log_and_apply(&self, batch: &[Tuple], backend: &Backend) {
         let mut wal = self.wal.lock().expect("wal lock poisoned");
         if wal.append(batch).is_err() {
             self.errors.fetch_add(1, Ordering::Relaxed);
+            self.failed.store(true, Ordering::Release);
         }
         backend.apply_batch(batch);
+    }
+
+    /// The replica-side apply: logs one *shipped* record at exactly its
+    /// primary-assigned LSN, then applies it to the backend. Unlike
+    /// [`Self::log_and_apply`], an append failure does **not** reach the
+    /// backend — the replica's invariant is backend == durable log, and
+    /// the record will simply be re-requested after the reconnect.
+    pub(crate) fn replicate_apply(
+        &self,
+        lsn: u64,
+        batch: &[Tuple],
+        backend: &Backend,
+    ) -> Result<(), String> {
+        let mut wal = self.wal.lock().expect("wal lock poisoned");
+        if wal.next_lsn() != lsn {
+            return Err(format!(
+                "replica log at lsn {}, record arrived at {lsn}",
+                wal.next_lsn()
+            ));
+        }
+        match wal.append(batch) {
+            Ok(_) => {
+                backend.apply_batch(batch);
+                Ok(())
+            }
+            Err(e) => {
+                // An append error means the log fail-stopped (the
+                // rotate-retry is inside `append`): surface it exactly
+                // like the primary path does, so `wal_failed=1` shows
+                // before an operator promotes this replica and the
+                // write path refuses new writes immediately afterwards.
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.failed.store(true, Ordering::Release);
+                Err(format!("replica wal append failed: {e}"))
+            }
+        }
+    }
+
+    /// The replica-side bootstrap, in **one** WAL-lock critical
+    /// section: install `target` into the backend, discard the local
+    /// log (it belongs to a history the primary has pruned past), and
+    /// restart it at the shipped checkpoint — which is immediately
+    /// written locally, so a restart recovers straight into the
+    /// bootstrapped state. Holding the lock throughout keeps the
+    /// housekeeping checkpointer (which snapshots under the same lock)
+    /// from persisting a half-installed backend against the old LSNs.
+    pub(crate) fn bootstrap_install(
+        &self,
+        lsn: u64,
+        snapshot: &[u8],
+        target: &sprofile::SProfile,
+        backend: &Backend,
+    ) -> Result<(), String> {
+        let mut wal = self.wal.lock().expect("wal lock poisoned");
+        backend.drain();
+        backend.install(target);
+        // Checkpoint-first reset: a crash at any point leaves either the
+        // old recoverable log (re-bootstrap on restart) or the new
+        // checkpoint — never a checkpointless log starting past LSN 1.
+        wal.reset_to_checkpoint(lsn, snapshot).map_err(|e| {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            format!("replica wal reset failed: {e}")
+        })?;
+        // The reset wiped whatever torn tail poisoned the old log, so a
+        // previous fail-stop no longer applies: the fresh log appends
+        // fine, and writes after a later PROMOTE must not stay refused.
+        self.failed.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// Idle-timer sync: fsyncs the unsynced tail once the interval
+    /// policy's cadence elapses without an append to piggyback on,
+    /// bounding the crash-loss window of a quiescent server. Called by
+    /// the housekeeping thread.
+    pub(crate) fn idle_sync(&self) {
+        let mut wal = self.wal.lock().expect("wal lock poisoned");
+        if wal.sync_if_stale().is_err() {
+            // A failed idle fsync fail-stops the log (the dirty pages'
+            // fate is unknowable) — same contract as the append path.
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.failed.store(true, Ordering::Release);
+        }
     }
 
     /// Whether background checkpointing is configured at all.
@@ -157,7 +296,7 @@ impl Durability {
     pub(crate) fn render(&self) -> String {
         format!(
             "wal_records={} wal_tuples={} wal_bytes={} wal_segments={} wal_fsyncs={} \
-             wal_checkpoints={} wal_errors={}",
+             wal_checkpoints={} wal_errors={} wal_failed={}",
             self.metrics.records(),
             self.metrics.tuples(),
             self.metrics.bytes(),
@@ -165,6 +304,7 @@ impl Durability {
             self.metrics.fsyncs(),
             self.metrics.checkpoints(),
             self.errors.load(Ordering::Relaxed),
+            u8::from(self.failed()),
         )
     }
 }

@@ -17,6 +17,15 @@
 //! into large [`Backend::apply_batch`] calls, and **graceful shutdown**
 //! drains every buffered batch before the backend is torn down.
 //!
+//! A server running with a WAL ([`ServerConfig::wal`]) is durable *and*
+//! a replication **primary**: `REPLICATE <lsn>` connections stream its
+//! log (via `sprofile-replicate`). With
+//! [`ServerConfig::replica_of`] it instead runs as a read-only
+//! **replica** of another server, applying the shipped log through its
+//! own WAL and backend until `PROMOTE` flips it writable — see the
+//! [`protocol`] docs for the replica-visible behaviour and the
+//! `repl_*` `STATS` fields.
+//!
 //! ```no_run
 //! use sprofile_server::{Client, Server, ServerConfig};
 //!
@@ -44,6 +53,7 @@ mod durability;
 pub mod loadgen;
 mod metrics;
 pub mod protocol;
+mod repl;
 mod server;
 
 pub use backend::{Backend, BackendKind, BackendOwner};
@@ -53,6 +63,7 @@ pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use metrics::{Counter, Metrics};
 pub use server::{Server, ServerConfig};
 pub use sprofile_persist::SyncPolicy;
+pub use sprofile_replicate::ApplierStats;
 
 #[cfg(test)]
 mod crate_tests {
@@ -69,6 +80,7 @@ mod crate_tests {
                 // Wire SNAPSHOT paths are relative to this directory.
                 snapshot_dir: std::env::temp_dir(),
                 wal: None,
+                replica_of: None,
             },
             "127.0.0.1:0",
         )
@@ -261,6 +273,7 @@ mod crate_tests {
             flush_every: 4,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal.clone()),
+            replica_of: None,
         };
         // Run 1 (sharded): write, then stop gracefully.
         let server = Server::start(config(BackendKind::Sharded { shards: 4 }), "127.0.0.1:0")
@@ -333,6 +346,212 @@ mod crate_tests {
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+        for _ in 0..500 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn replica_follows_the_primary_rejects_writes_and_promotes() {
+        let base =
+            std::env::temp_dir().join(format!("sprofile-server-repl-e2e-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let wal_at = |name: &str| DurabilityConfig {
+            checkpoint_every: 8,
+            ..DurabilityConfig::new(base.join(name))
+        };
+        let primary = Server::start(
+            ServerConfig {
+                m: 64,
+                backend: BackendKind::Sharded { shards: 4 },
+                accept_pool: 3,
+                flush_every: 4,
+                snapshot_dir: std::env::temp_dir(),
+                wal: Some(wal_at("primary")),
+                replica_of: None,
+            },
+            "127.0.0.1:0",
+        )
+        .expect("start primary");
+        let replica = Server::start(
+            ServerConfig {
+                m: 64,
+                backend: BackendKind::Pipeline,
+                accept_pool: 2,
+                flush_every: 4,
+                snapshot_dir: std::env::temp_dir(),
+                wal: Some(wal_at("replica")),
+                replica_of: Some(primary.local_addr().to_string()),
+            },
+            "127.0.0.1:0",
+        )
+        .expect("start replica");
+
+        // Write through the primary.
+        let mut pc = Client::connect(primary.local_addr()).unwrap();
+        for _ in 0..5 {
+            pc.add(9).unwrap();
+        }
+        pc.batch(&[Tuple::add(2), Tuple::add(2), Tuple::remove(7)])
+            .unwrap();
+        pc.freq(9).unwrap(); // read barrier: everything flushed + logged
+        let pstats = pc.stats().unwrap();
+        assert_eq!(Client::stats_field(&pstats, "repl_head_lsn"), Some(2));
+        let head = 2;
+
+        // The replica converges to the primary's head.
+        let mut rc = Client::connect(replica.local_addr()).unwrap();
+        wait_for("replica catch-up", || {
+            let stats = rc.stats().unwrap();
+            Client::stats_field(&stats, "repl_applied_lsn") == Some(head)
+        });
+        let rstats = rc.stats().unwrap();
+        assert!(rstats.contains("repl_role=replica"), "{rstats}");
+        assert!(rstats.contains("repl_connected=1"), "{rstats}");
+        assert!(rstats.contains("repl_lag_lsn=0"), "{rstats}");
+        assert_eq!(rc.freq(9).unwrap(), 5);
+        assert_eq!(rc.freq(2).unwrap(), 2);
+        assert_eq!(rc.freq(7).unwrap(), -1);
+        assert_eq!(rc.mode().unwrap(), Some((9, 5)));
+
+        // Writes are rejected while read-only — including BATCH, whose
+        // body must be consumed so the connection stays usable.
+        match rc.add(1) {
+            Err(ClientError::Server(msg)) => assert_eq!(msg, "readonly"),
+            other => panic!("expected ERR readonly, got {other:?}"),
+        }
+        match rc.batch(&[Tuple::add(1), Tuple::add(1)]) {
+            Err(ClientError::Server(msg)) => assert_eq!(msg, "readonly"),
+            other => panic!("expected ERR readonly, got {other:?}"),
+        }
+        assert_eq!(rc.freq(9).unwrap(), 5, "connection still in sync");
+
+        // The primary reports its side of the stream.
+        let pstats = pc.stats().unwrap();
+        assert!(pstats.contains("repl_role=primary"), "{pstats}");
+        assert!(pstats.contains("repl_connected=1"), "{pstats}");
+        assert!(
+            Client::stats_field(&pstats, "repl_records").unwrap_or(0) >= 2,
+            "{pstats}"
+        );
+
+        // PROMOTE on the primary is refused; on the replica it flips the
+        // write path open at the applied LSN.
+        match pc.promote() {
+            Err(ClientError::Server(msg)) => assert!(msg.contains("not a replica"), "{msg}"),
+            other => panic!("expected ERR not a replica, got {other:?}"),
+        }
+        assert_eq!(rc.promote().unwrap(), head);
+        rc.add(9).unwrap();
+        assert_eq!(rc.freq(9).unwrap(), 6);
+        let rstats = rc.stats().unwrap();
+        assert!(rstats.contains("repl_role=promoted"), "{rstats}");
+        // Idempotent: a second PROMOTE reports the same position.
+        assert_eq!(rc.promote().unwrap(), head);
+
+        pc.quit().unwrap();
+        rc.quit().unwrap();
+        primary.shutdown();
+        replica.shutdown();
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn a_pipelined_ack_behind_the_replicate_line_is_not_lost() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!(
+            "sprofile-server-repl-pipeline-ack-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::start(
+            ServerConfig {
+                m: 16,
+                accept_pool: 2,
+                wal: Some(DurabilityConfig::new(&dir)),
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut pc = Client::connect(server.local_addr()).unwrap();
+        for _ in 0..7 {
+            pc.add(1).unwrap();
+        }
+        pc.freq(1).unwrap(); // 1 record logged (head lsn >= 1)
+                             // One raw write carrying the handshake AND the first ack: the
+                             // ack may land in the server's line reader before the stream
+                             // handler takes over, and must still reach the retention floor.
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(b"REPLICATE 2\nACK 7\n").unwrap();
+        wait_for("pipelined ack reaches the floor", || {
+            let stats = pc.stats().unwrap();
+            Client::stats_field(&stats, "repl_applied_lsn") == Some(7)
+        });
+        drop(raw);
+        pc.quit().unwrap();
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_replica_without_wal_still_follows_and_a_plain_server_refuses_replicate() {
+        // Replication requires a WAL on the primary; a plain server says
+        // so instead of hanging the connection.
+        let server = start(BackendKind::Sharded { shards: 2 }, 16);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.send_line("REPLICATE 1").unwrap();
+        let reply = c.recv_line().unwrap();
+        assert!(reply.contains("requires --wal"), "{reply}");
+        let stats = c.stats().unwrap();
+        assert!(stats.contains("repl_role=none"), "{stats}");
+        c.quit().unwrap();
+        server.shutdown();
+
+        // A WAL-less replica follows in memory (restarts re-sync from
+        // scratch, which is fine for a pure read scale-out).
+        let base =
+            std::env::temp_dir().join(format!("sprofile-server-repl-nowal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let primary = Server::start(
+            ServerConfig {
+                m: 32,
+                accept_pool: 2,
+                flush_every: 2,
+                wal: Some(DurabilityConfig::new(base.join("primary"))),
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let replica = Server::start(
+            ServerConfig {
+                m: 32,
+                accept_pool: 2,
+                replica_of: Some(primary.local_addr().to_string()),
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut pc = Client::connect(primary.local_addr()).unwrap();
+        pc.add(3).unwrap();
+        pc.add(3).unwrap();
+        pc.freq(3).unwrap();
+        let mut rc = Client::connect(replica.local_addr()).unwrap();
+        wait_for("no-wal replica catch-up", || rc.freq(3).unwrap() == 2);
+        pc.quit().unwrap();
+        rc.quit().unwrap();
+        primary.shutdown();
+        replica.shutdown();
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

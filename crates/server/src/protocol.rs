@@ -20,6 +20,9 @@
 //! STATS                STATS key=value ...
 //! SNAPSHOT <path>      OK <bytes>          (relative path, confined to the
 //!                                          server's snapshot directory)
+//! REPLICATE <lsn>      frame stream        (replication handshake; see below)
+//! PROMOTE              OK <lsn>            (flip a replica writable at its
+//!                                          applied LSN; ERR on non-replicas)
 //! QUIT                 BYE                 (connection closes)
 //! SHUTDOWN             BYE                 (whole server drains and stops)
 //! ```
@@ -29,13 +32,39 @@
 //! consumed in full, answered with `ERR`, and **none** of its tuples are
 //! applied. Blank lines and `#` comments are ignored (no reply).
 //!
+//! On a **replica** (`serve --replica-of`), the write requests `ADD`,
+//! `RM`, and `BATCH` are answered with `ERR readonly` (a rejected
+//! `BATCH` still consumes its body so the connection stays in sync);
+//! every read query works normally. `PROMOTE` stops the replica's
+//! applier and flips it writable at its applied LSN.
+//!
+//! `REPLICATE <lsn>` turns the connection into a replication stream: the
+//! server (which must run with `--wal`, and must not itself be an
+//! unpromoted replica) ships WAL records from `lsn` onwards as framed
+//! `CKPT`/`REC` messages while reading `ACK <lsn>` lines back — see
+//! `sprofile_replicate::frame` for the exact format. The connection
+//! stays in streaming mode until either side closes it.
+//!
 //! `STATS` always reports `wal=0|1`. When the server runs in `--wal`
 //! mode (`wal=1`) the payload additionally carries the durability
 //! counters `wal_records` (records appended), `wal_tuples` (tuples
 //! inside them), `wal_bytes` (bytes written to segments),
 //! `wal_segments` (live segment files), `wal_fsyncs` (fsyncs issued),
-//! `wal_checkpoints` (checkpoints written this run), and `wal_errors`
-//! (append/checkpoint failures — the server keeps serving degraded).
+//! `wal_checkpoints` (checkpoints written this run), `wal_errors`
+//! (append/checkpoint failures), and `wal_failed` (0/1: the log has
+//! fail-stopped). After a fail-stop the server keeps serving reads but
+//! answers new writes with `ERR wal failed…` — acknowledging writes
+//! that can never be logged would silently diverge from the durable
+//! log and from every replica tailing it.
+//!
+//! `STATS` also always reports the replication fields: `repl_role`
+//! (`none` | `primary` | `replica` | `promoted`), `repl_connected`
+//! (attached replicas on a primary; 0/1 primary-link state on a
+//! replica), `repl_head_lsn` (newest local LSN on a primary; newest
+//! *reported* primary LSN on a replica), `repl_applied_lsn` (slowest
+//! replica's acked LSN on a primary; locally applied LSN on a replica),
+//! `repl_lag_lsn` (`head − applied`), and `repl_records` / `repl_bytes`
+//! (shipped on a primary, applied on a replica).
 
 use sprofile::Tuple;
 
@@ -70,6 +99,11 @@ pub enum Request {
     /// only accepts relative paths without `..`, resolved inside its
     /// configured snapshot directory.
     Snapshot(String),
+    /// `REPLICATE <lsn>` — turn this connection into a replication
+    /// stream shipping WAL records from `lsn` onwards.
+    Replicate(u64),
+    /// `PROMOTE` — flip a replica writable at its applied LSN.
+    Promote,
     /// `QUIT` — close this connection.
     Quit,
     /// `SHUTDOWN` — drain and stop the whole server.
@@ -115,6 +149,8 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             let path = rest.filter(|r| !r.is_empty());
             Request::Snapshot(path.ok_or("SNAPSHOT needs a path")?.to_string())
         }
+        "REPLICATE" => Request::Replicate(parse_arg(&upper, rest)?),
+        "PROMOTE" => Request::Promote,
         "QUIT" => Request::Quit,
         "SHUTDOWN" => Request::Shutdown,
         other => return Err(format!("unknown command '{other}'")),
@@ -126,6 +162,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             | Request::Least
             | Request::Median
             | Request::Stats
+            | Request::Promote
             | Request::Quit
             | Request::Shutdown
     ) && rest.is_some_and(|r| !r.is_empty())
@@ -188,6 +225,9 @@ mod tests {
                 "SNAPSHOT /tmp/x.snap",
                 Request::Snapshot("/tmp/x.snap".into()),
             ),
+            ("REPLICATE 512", Request::Replicate(512)),
+            ("replicate 1", Request::Replicate(1)),
+            ("PROMOTE", Request::Promote),
             ("QUIT", Request::Quit),
             ("SHUTDOWN", Request::Shutdown),
         ] {
@@ -216,6 +256,10 @@ mod tests {
             "SNAPSHOT",
             "MODE 3",
             "QUIT now",
+            "REPLICATE",
+            "REPLICATE x",
+            "REPLICATE -1",
+            "PROMOTE 3",
             "frobnicate 1",
         ] {
             assert!(parse_request(line).is_err(), "{line:?} should be rejected");

@@ -20,7 +20,7 @@
 //!   mid-body is dropped whole), and exit. The pipeline backend is then
 //!   drained and joined.
 
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -29,11 +29,15 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use sprofile::Tuple;
+use sprofile_replicate::{
+    read_acks, AckState, Applier, ApplierOptions, ApplierStats, ReplicationSource,
+};
 
 use crate::backend::{Backend, BackendKind, BackendOwner};
 use crate::durability::{Durability, DurabilityConfig};
 use crate::metrics::Metrics;
 use crate::protocol::{self, Request};
+use crate::repl::{BackendSink, ReplState, ReplicaState};
 
 /// How long a worker waits in one poll of the listener or an idle
 /// connection before re-checking the shutdown flag.
@@ -61,6 +65,12 @@ pub struct ServerConfig {
     /// backend apply, and checkpoints in the background. `None` (the
     /// default) keeps the pre-durability in-memory behaviour.
     pub wal: Option<DurabilityConfig>,
+    /// Replica mode: when set to a primary's `HOST:PORT`, the server
+    /// starts read-only, connects to the primary with `REPLICATE`, and
+    /// applies its log continuously (through the local WAL first when
+    /// [`ServerConfig::wal`] is also set, so restarts resume from the
+    /// durable position). `PROMOTE` flips it writable.
+    pub replica_of: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +82,7 @@ impl Default for ServerConfig {
             flush_every: 256,
             snapshot_dir: PathBuf::from("."),
             wal: None,
+            replica_of: None,
         }
     }
 }
@@ -84,6 +95,10 @@ struct Shared {
     snapshot_dir: PathBuf,
     backend_name: &'static str,
     durability: Option<Arc<Durability>>,
+    repl: ReplState,
+    /// Write requests answered `ERR readonly` while set (replica mode;
+    /// cleared by `PROMOTE`).
+    readonly: AtomicBool,
     stop: AtomicBool,
     stop_lock: Mutex<bool>,
     stop_cond: Condvar,
@@ -92,6 +107,17 @@ struct Shared {
 impl Shared {
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::Acquire)
+    }
+
+    fn readonly(&self) -> bool {
+        self.readonly.load(Ordering::Acquire)
+    }
+
+    /// Whether the WAL has fail-stopped: new writes are refused rather
+    /// than acknowledged into a state that can never be logged (and that
+    /// replicas would silently diverge from while reporting zero lag).
+    fn wal_failed(&self) -> bool {
+        self.durability.as_ref().is_some_and(|d| d.failed())
     }
 
     fn trigger_stop(&self) {
@@ -132,6 +158,29 @@ impl Server {
             }
             None => (None, BackendOwner::build(config.backend, config.m)),
         };
+        // Any durable server can feed replicas; a `--replica-of` server
+        // additionally runs the applier (and starts read-only).
+        let source = durability.as_ref().map(|d| {
+            Arc::new(ReplicationSource::new(
+                d.wal_handle(),
+                d.dir().clone(),
+                d.registry(),
+            ))
+        });
+        let replica = config.replica_of.as_ref().map(|primary| {
+            let stats = ApplierStats::new();
+            let sink = BackendSink::new(owner.backend(), durability.clone(), config.m);
+            let applier = Applier::spawn(
+                ApplierOptions::new(primary.clone()),
+                Box::new(sink),
+                Arc::clone(&stats),
+            );
+            ReplicaState {
+                stats,
+                applier: Mutex::new(Some(applier)),
+                promoted: AtomicBool::new(false),
+            }
+        });
         let shared = Arc::new(Shared {
             metrics: Metrics::default(),
             m: config.m,
@@ -139,6 +188,8 @@ impl Server {
             snapshot_dir: config.snapshot_dir.clone(),
             backend_name: owner.backend().name(),
             durability,
+            readonly: AtomicBool::new(replica.is_some()),
+            repl: ReplState { source, replica },
             stop: AtomicBool::new(false),
             stop_lock: Mutex::new(false),
             stop_cond: Condvar::new(),
@@ -156,19 +207,14 @@ impl Server {
                     .expect("spawn accept worker"),
             );
         }
-        let checkpointer = shared.durability.as_ref().and_then(|d| {
-            if !d.background_enabled() {
-                return None;
-            }
+        let checkpointer = shared.durability.as_ref().map(|d| {
             let d = Arc::clone(d);
             let backend = owner.backend();
             let shared = Arc::clone(&shared);
-            Some(
-                std::thread::Builder::new()
-                    .name("sprofile-checkpointer".into())
-                    .spawn(move || checkpoint_loop(d, backend, shared))
-                    .expect("spawn checkpointer"),
-            )
+            std::thread::Builder::new()
+                .name("sprofile-wal-housekeeping".into())
+                .spawn(move || housekeeping_loop(d, backend, shared))
+                .expect("spawn wal housekeeping")
         });
         Ok(Server {
             shared,
@@ -216,6 +262,11 @@ impl Server {
         if let Some(cp) = self.checkpointer.take() {
             let _ = cp.join();
         }
+        // Stop the replica applier (if any) before the final checkpoint
+        // and backend teardown, so everything it applied is captured.
+        if let Some(replica) = &self.shared.repl.replica {
+            replica.stop_applier();
+        }
         if let Some(owner) = self.owner.take() {
             // Seal the log with a final checkpoint so the next boot is
             // instant; a failure only costs restart-time replay.
@@ -237,13 +288,16 @@ impl Server {
     }
 }
 
-/// Background checkpointer: sleeps on the stop condvar, waking every
-/// poll interval to check whether the tuple threshold has been crossed.
-/// Exits when the server stops (the final checkpoint is `wait`'s job,
-/// after every worker has drained its buffers). A checkpoint is an
-/// O(m) drain + snapshot under the WAL lock, so failures (full disk)
-/// back off exponentially instead of hot-retrying against ingest.
-fn checkpoint_loop(d: Arc<Durability>, backend: Backend, shared: Arc<Shared>) {
+/// Background WAL housekeeping: sleeps on the stop condvar, waking every
+/// poll interval to (1) fire the idle-sync timer — the interval sync
+/// policy only fsyncs when appends arrive, so a quiescent server would
+/// otherwise hold an unbounded crash-loss window — and (2) check whether
+/// the background-checkpoint tuple threshold has been crossed. Exits
+/// when the server stops (the final checkpoint is `wait`'s job, after
+/// every worker has drained its buffers). A checkpoint is an O(m)
+/// drain + snapshot under the WAL lock, so failures (full disk) back
+/// off exponentially instead of hot-retrying against ingest.
+fn housekeeping_loop(d: Arc<Durability>, backend: Backend, shared: Arc<Shared>) {
     const CHECK_EVERY: Duration = Duration::from_millis(100);
     let mut failures: u32 = 0;
     let mut cooldown: u32 = 0;
@@ -260,6 +314,10 @@ fn checkpoint_loop(d: Arc<Durability>, backend: Backend, shared: Arc<Shared>) {
             if *stopped {
                 return;
             }
+        }
+        d.idle_sync();
+        if !d.background_enabled() {
+            continue;
         }
         if cooldown > 0 {
             cooldown -= 1;
@@ -391,7 +449,7 @@ fn flush_pending(pending: &mut Vec<Tuple>, backend: &Backend, shared: &Shared) {
     pending.clear();
 }
 
-fn serve_connection(stream: TcpStream, backend: &Backend, shared: &Shared) -> io::Result<()> {
+fn serve_connection(stream: TcpStream, backend: &Backend, shared: &Arc<Shared>) -> io::Result<()> {
     // Accepted streams may inherit the listener's non-blocking mode on
     // some platforms; force blocking + a read timeout so idle reads poll
     // the shutdown flag.
@@ -417,7 +475,7 @@ fn connection_loop(
     writer: &mut BufWriter<TcpStream>,
     pending: &mut Vec<Tuple>,
     backend: &Backend,
-    shared: &Shared,
+    shared: &Arc<Shared>,
 ) -> io::Result<()> {
     let mut line: Vec<u8> = Vec::new();
     let mut body: Vec<u8> = Vec::new();
@@ -450,6 +508,19 @@ fn connection_loop(
         line.clear();
         match req {
             Request::Add(id) | Request::Remove(id) => {
+                if shared.readonly() {
+                    shared.metrics.errors.inc();
+                    reply(writer, "ERR readonly")?;
+                    continue;
+                }
+                if shared.wal_failed() {
+                    shared.metrics.errors.inc();
+                    reply(
+                        writer,
+                        "ERR wal failed; writes refused (fail over or restart)",
+                    )?;
+                    continue;
+                }
                 if id >= shared.m {
                     shared.metrics.errors.inc();
                     reply(
@@ -474,7 +545,11 @@ fn connection_loop(
                 // Read exactly n tuple lines, remembering the first
                 // error but consuming the whole body so the connection
                 // stays in sync; a body cut off by EOF/shutdown is
-                // dropped whole (nothing applied, no reply).
+                // dropped whole (nothing applied, no reply). A readonly
+                // replica (or a fail-stopped WAL) consumes the body too,
+                // then rejects the frame.
+                let readonly = shared.readonly();
+                let wal_failed = shared.wal_failed();
                 let mut tuples: Vec<Tuple> = Vec::with_capacity(n.min(protocol::MAX_BATCH));
                 let mut error: Option<String> = None;
                 for i in 0..n {
@@ -485,7 +560,7 @@ fn connection_loop(
                     }
                     let tline = String::from_utf8_lossy(&body);
                     let tline = tline.trim_end_matches(['\r', '\n']);
-                    if error.is_some() {
+                    if error.is_some() || readonly || wal_failed {
                         continue;
                     }
                     match protocol::parse_tuple_line(tline) {
@@ -500,6 +575,19 @@ fn connection_loop(
                         Ok(t) => tuples.push(t),
                         Err(msg) => error = Some(format!("tuple {}: {msg}", i + 1)),
                     }
+                }
+                if readonly {
+                    shared.metrics.errors.inc();
+                    reply(writer, "ERR readonly")?;
+                    continue;
+                }
+                if wal_failed {
+                    shared.metrics.errors.inc();
+                    reply(
+                        writer,
+                        "ERR wal failed; writes refused (fail over or restart)",
+                    )?;
+                    continue;
                 }
                 match error {
                     Some(msg) => {
@@ -579,10 +667,11 @@ fn connection_loop(
                     Some(d) => format!(" wal=1 {}", d.render()),
                     None => " wal=0".to_string(),
                 };
+                let repl = shared.repl.render();
                 reply(
                     writer,
                     &format!(
-                        "STATS backend={} m={} {}{wal}",
+                        "STATS backend={} m={} {}{wal} {repl}",
                         shared.backend_name,
                         shared.m,
                         shared.metrics.render()
@@ -620,6 +709,74 @@ fn connection_loop(
                         reply(writer, &format!("ERR snapshot write failed: {e}"))?;
                     }
                 }
+            }
+            Request::Replicate(start_lsn) => {
+                flush_pending(pending, backend, shared);
+                if shared.readonly() {
+                    shared.metrics.errors.inc();
+                    reply(writer, "ERR readonly replica cannot serve replication")?;
+                    continue;
+                }
+                let Some(source) = shared.repl.source.clone() else {
+                    shared.metrics.errors.inc();
+                    reply(writer, "ERR replication requires --wal")?;
+                    continue;
+                };
+                // This connection becomes a replication stream: this
+                // worker writes frames while a dedicated thread reads
+                // the replica's ACK lines off the same socket (reads
+                // and writes are independent directions). A write
+                // timeout bounds how long a stalled replica (full send
+                // window) can pin this worker — without it, a blocked
+                // write_all would never reach the stop check and
+                // graceful shutdown would hang. On timeout the stream
+                // errors out and the replica reconnects and resumes.
+                writer
+                    .get_ref()
+                    .set_write_timeout(Some(Duration::from_secs(5)))?;
+                let acks = AckState::new();
+                let ack_stream = writer.get_ref().try_clone()?;
+                // Hand any bytes this connection's reader has already
+                // buffered past the REPLICATE line (a replica may
+                // pipeline its first ACK) to the ack thread — a fresh
+                // BufReader over the cloned fd would lose them, or worse
+                // parse a line split across the boundary as junk.
+                let leftover = reader.buffer().to_vec();
+                reader.consume(leftover.len());
+                let ack_join = {
+                    let acks = Arc::clone(&acks);
+                    let shared = Arc::clone(shared);
+                    std::thread::Builder::new()
+                        .name("sprofile-repl-acks".into())
+                        .spawn(move || {
+                            let input = io::Cursor::new(leftover).chain(BufReader::new(ack_stream));
+                            read_acks(input, &acks, &|| shared.stopping() || acks.is_closed())
+                        })
+                        .expect("spawn ack reader")
+                };
+                let result = source.stream(start_lsn, writer, &acks, &|| shared.stopping());
+                // Unblock the ack thread (it also exits on stop/EOF) and
+                // close the connection: a stream never goes back to
+                // request/reply mode.
+                acks.close();
+                let _ = ack_join.join();
+                result?;
+                break;
+            }
+            Request::Promote => {
+                flush_pending(pending, backend, shared);
+                let Some(replica) = &shared.repl.replica else {
+                    shared.metrics.errors.inc();
+                    reply(writer, "ERR not a replica")?;
+                    continue;
+                };
+                // Stop pulling from the (possibly dead) primary, then
+                // open the write path. Idempotent: a second PROMOTE
+                // reports the same applied position.
+                replica.stop_applier();
+                replica.promoted.store(true, Ordering::Release);
+                shared.readonly.store(false, Ordering::Release);
+                reply(writer, &format!("OK {}", replica.stats.applied_lsn()))?;
             }
             Request::Quit => {
                 // Flush before BYE: a client that saw BYE may assume its

@@ -1,0 +1,234 @@
+//! Replica convergence, property-style (the PR's acceptance criterion):
+//! a random op stream — random batch shapes, both backend kinds on both
+//! sides — is driven into a primary while a live replica follows over
+//! TCP. The replica is stopped and restarted **mid-stream at a random
+//! point** (its own WAL carries its durable position across the
+//! restart, and the primary's checkpoint pruning may force it through a
+//! `CKPT` bootstrap on reconnect). After the stream drains, the
+//! replica's state must equal a single-profile oracle replay — every
+//! object, plus mode and median — and a **promoted** replica must
+//! accept writes and still match the oracle afterwards.
+
+use std::path::PathBuf;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sprofile::{SProfile, Tuple};
+use sprofile_server::{BackendKind, Client, DurabilityConfig, Server, ServerConfig};
+
+fn temp_base(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("sprofile-repl-prop-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    for _ in 0..1_000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Aggressive WAL knobs: tiny segments and frequent checkpoints, so the
+/// run actually exercises rotation, pruning, and (when the replica is
+/// down across a prune) checkpoint bootstrap.
+fn wal_config(dir: PathBuf) -> DurabilityConfig {
+    DurabilityConfig {
+        segment_bytes: 512,
+        checkpoint_every: 64,
+        ..DurabilityConfig::new(dir)
+    }
+}
+
+fn start_primary(m: u32, backend: BackendKind, dir: PathBuf) -> Server {
+    Server::start(
+        ServerConfig {
+            m,
+            backend,
+            accept_pool: 3,
+            flush_every: 4,
+            snapshot_dir: std::env::temp_dir(),
+            wal: Some(wal_config(dir)),
+            replica_of: None,
+        },
+        "127.0.0.1:0",
+    )
+    .expect("start primary")
+}
+
+fn start_replica(m: u32, backend: BackendKind, dir: PathBuf, primary: &Server) -> Server {
+    Server::start(
+        ServerConfig {
+            m,
+            backend,
+            accept_pool: 2,
+            flush_every: 4,
+            snapshot_dir: std::env::temp_dir(),
+            wal: Some(wal_config(dir)),
+            replica_of: Some(primary.local_addr().to_string()),
+        },
+        "127.0.0.1:0",
+    )
+    .expect("start replica")
+}
+
+/// Sends `ops` random tuples to the primary (random batch/single mix),
+/// mirroring them into the oracle.
+fn drive(rng: &mut StdRng, client: &mut Client, oracle: &mut SProfile, m: u32, ops: usize) {
+    let mut sent = 0;
+    while sent < ops {
+        let chunk = rng.gen_range(1usize..=24).min(ops - sent);
+        let tuples: Vec<Tuple> = (0..chunk)
+            .map(|_| Tuple {
+                object: rng.gen_range(0..m),
+                is_add: rng.gen_bool(0.7),
+            })
+            .collect();
+        if chunk == 1 && rng.gen_bool(0.5) {
+            let t = tuples[0];
+            if t.is_add {
+                client.add(t.object).unwrap();
+            } else {
+                client.remove(t.object).unwrap();
+            }
+        } else {
+            client.batch(&tuples).unwrap();
+        }
+        oracle.apply_batch(&tuples);
+        sent += chunk;
+    }
+}
+
+/// Blocks until the replica has applied everything the primary has
+/// committed (their STATS positions agree).
+fn drain(primary_client: &mut Client, replica_client: &mut Client) -> u64 {
+    // The read barrier flushes the primary connection's write buffer.
+    primary_client.freq(0).unwrap();
+    let stats = primary_client.stats().unwrap();
+    let head = Client::stats_field(&stats, "repl_head_lsn").expect("primary head");
+    wait_for("replica catch-up", || {
+        let stats = replica_client.stats().unwrap();
+        Client::stats_field(&stats, "repl_applied_lsn") == Some(head)
+    });
+    head
+}
+
+fn assert_matches_oracle(client: &mut Client, oracle: &SProfile, m: u32, ctx: &str) {
+    for x in 0..m {
+        assert_eq!(
+            client.freq(x).unwrap(),
+            oracle.frequency(x),
+            "{ctx}: object {x}"
+        );
+    }
+    let mode = client.mode().unwrap();
+    let oracle_mode = oracle.mode().map(|e| {
+        let obj = oracle.mode_objects().iter().copied().min().unwrap();
+        (obj, e.frequency)
+    });
+    assert_eq!(mode, oracle_mode, "{ctx}: mode");
+    assert_eq!(client.median().unwrap(), oracle.median(), "{ctx}: median");
+}
+
+#[test]
+fn random_stream_with_replica_restart_converges_and_promotes() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0005);
+    for (case, (primary_kind, replica_kind)) in [
+        (BackendKind::Sharded { shards: 3 }, BackendKind::Pipeline),
+        (BackendKind::Pipeline, BackendKind::Sharded { shards: 2 }),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let m: u32 = rng.gen_range(16..96);
+        let base = temp_base(&format!("case{case}"));
+        let primary = start_primary(m, primary_kind, base.join("primary"));
+        let mut replica = start_replica(m, replica_kind, base.join("replica"), &primary);
+        let mut pc = Client::connect(primary.local_addr()).unwrap();
+        let mut oracle = SProfile::new(m);
+
+        // Phase 1: stream ops with the replica live.
+        let phase1 = rng.gen_range(50..400);
+        drive(&mut rng, &mut pc, &mut oracle, m, phase1);
+
+        // Kill the replica mid-stream at a random point (its WAL holds
+        // whatever it durably applied)...
+        replica.shutdown();
+        // ...keep streaming into the primary while it is down. With the
+        // replica's registry slot gone, the primary's checkpoints prune
+        // freely — a long-enough gap forces a bootstrap on reconnect.
+        let phase2 = rng.gen_range(50..600);
+        drive(&mut rng, &mut pc, &mut oracle, m, phase2);
+
+        // Restart it from the same WAL directory; it resumes from its
+        // durable position (or bootstraps from the primary's checkpoint
+        // if that position is pruned).
+        replica = start_replica(m, replica_kind, base.join("replica"), &primary);
+        let phase3 = rng.gen_range(20..200);
+        drive(&mut rng, &mut pc, &mut oracle, m, phase3);
+
+        // Drain and compare the replica against the oracle.
+        let mut rc = Client::connect(replica.local_addr()).unwrap();
+        let head = drain(&mut pc, &mut rc);
+        assert_matches_oracle(&mut rc, &oracle, m, &format!("case {case} replica"));
+
+        // Promote: the replica accepts writes at its applied LSN and
+        // still matches the oracle after more random traffic.
+        let promoted_at = rc.promote().unwrap();
+        assert_eq!(
+            promoted_at, head,
+            "case {case}: promoted at the drained head"
+        );
+        let extra = rng.gen_range(20..200);
+        drive(&mut rng, &mut rc, &mut oracle, m, extra);
+        rc.freq(0).unwrap(); // flush the promoted node's write buffer
+        assert_matches_oracle(&mut rc, &oracle, m, &format!("case {case} promoted"));
+
+        pc.quit().unwrap();
+        rc.quit().unwrap();
+        primary.shutdown();
+        replica.shutdown();
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
+
+#[test]
+fn a_late_replica_bootstraps_from_a_pruned_primary_log() {
+    let mut rng = StdRng::seed_from_u64(0xB007);
+    let m = 48u32;
+    let base = temp_base("bootstrap");
+    let primary = start_primary(m, BackendKind::Sharded { shards: 4 }, base.join("primary"));
+    let mut pc = Client::connect(primary.local_addr()).unwrap();
+    let mut oracle = SProfile::new(m);
+    // Enough traffic that the 64-tuple checkpoint cadence has pruned the
+    // early segments long before the replica shows up.
+    drive(&mut rng, &mut pc, &mut oracle, m, 2_000);
+    pc.freq(0).unwrap();
+    wait_for("primary checkpoint", || {
+        let stats = pc.stats().unwrap();
+        Client::stats_field(&stats, "wal_checkpoints").unwrap_or(0) >= 1
+    });
+
+    // A brand-new replica must come up via CKPT bootstrap + live tail.
+    let replica = start_replica(m, BackendKind::Pipeline, base.join("replica"), &primary);
+    let mut rc = Client::connect(replica.local_addr()).unwrap();
+    drain(&mut pc, &mut rc);
+    assert_matches_oracle(&mut rc, &oracle, m, "bootstrapped replica");
+    // And its own WAL recorded the bootstrap: a restart needs no
+    // re-bootstrap and converges again.
+    replica.shutdown();
+    let replica = start_replica(m, BackendKind::Pipeline, base.join("replica"), &primary);
+    drive(&mut rng, &mut pc, &mut oracle, m, 100);
+    let mut rc = Client::connect(replica.local_addr()).unwrap();
+    drain(&mut pc, &mut rc);
+    assert_matches_oracle(&mut rc, &oracle, m, "restarted bootstrapped replica");
+
+    pc.quit().unwrap();
+    rc.quit().unwrap();
+    primary.shutdown();
+    replica.shutdown();
+    std::fs::remove_dir_all(&base).ok();
+}

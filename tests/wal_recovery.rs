@@ -61,6 +61,7 @@ fn crash_at_any_offset_recovers_exactly_the_durable_prefix() {
             // Small segments so many cases span several of them.
             segment_bytes: rng.gen_range(96..512),
             keep_checkpoints: 2,
+            ..WalOptions::default()
         };
         let mut wal = Wal::open(opts, 1).unwrap();
 
@@ -183,6 +184,7 @@ fn double_crash_then_resume_still_converges() {
         sync: SyncPolicy::Never,
         segment_bytes: 1 << 20,
         keep_checkpoints: 2,
+        ..WalOptions::default()
     };
     let mut wal = Wal::open(opts(), 1).unwrap();
     let mut oracle = SProfile::new(m);
