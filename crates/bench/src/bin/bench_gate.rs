@@ -1,0 +1,452 @@
+//! `bench_gate` — the bench-regression gate CI runs after the bench
+//! suite: compare freshly written `BENCH_*.json` summaries against the
+//! committed baselines and fail (exit 1) when a gated metric regressed
+//! by more than the threshold.
+//!
+//! ```text
+//! bench_gate <baseline-dir> <fresh-dir>
+//! ```
+//!
+//! Every `BENCH_*.json` present in **both** directories is flattened to
+//! its numeric leaves (`throughput_tuples_per_sec.sharded8.64`, …) and
+//! compared leaf by leaf:
+//!
+//! - keys containing `per_sec` are throughputs — **higher** is better;
+//!   a drop beyond the threshold fails the gate;
+//! - keys containing `ns_per_event` are latencies — **lower** is
+//!   better; a rise beyond the threshold fails the gate;
+//! - everything else (`m`, `threads`, `speedup_*`, …) is reported for
+//!   context but never gates.
+//!
+//! Knobs (documented in the README):
+//!
+//! - `BENCH_GATE_THRESHOLD` — allowed relative regression, default
+//!   `0.15` (15%); raise it for a knowingly-slower change.
+//! - `BENCH_GATE_SKIP=1` — skip the gate entirely (exit 0) — the
+//!   escape hatch when a PR intentionally trades throughput away.
+//!
+//! The parser is a tiny hand-rolled JSON reader (the workspace is
+//! offline and dependency-free by policy); it supports exactly what the
+//! bench summaries emit: objects, arrays, strings, numbers, booleans,
+//! and null.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Minimal JSON value — only what flattening needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(text: &'s str) -> Parser<'s> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The summaries never escape anything exotic; handle
+                    // the simple escapes and reject the rest loudly.
+                    let esc = self
+                        .bytes
+                        .get(self.pos + 1)
+                        .ok_or_else(|| self.error("dangling escape"))?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        _ => return Err(self.error("unsupported escape")),
+                    });
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("invalid number"))
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Flattens numeric leaves to `dotted.path -> value`.
+fn flatten(value: &Json, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    let join = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match value {
+        Json::Num(n) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        Json::Obj(fields) => {
+            for (key, v) in fields {
+                flatten(v, &join(key), out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(v, &join(&i.to_string()), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// What a metric's name says about it.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+    Ungated,
+}
+
+fn direction(key: &str) -> Direction {
+    if key.contains("per_sec") {
+        Direction::HigherIsBetter
+    } else if key.contains("ns_per_event") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Ungated
+    }
+}
+
+/// The relative regression of `fresh` against `base` under the metric's
+/// direction; positive means worse. `None` for ungated metrics or a
+/// zero baseline (nothing meaningful to compare against).
+fn regression(key: &str, base: f64, fresh: f64) -> Option<f64> {
+    if base == 0.0 {
+        return None;
+    }
+    match direction(key) {
+        Direction::HigherIsBetter => Some((base - fresh) / base),
+        Direction::LowerIsBetter => Some((fresh - base) / base),
+        Direction::Ungated => None,
+    }
+}
+
+fn load_flat(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut flat = BTreeMap::new();
+    flatten(&json, "", &mut flat);
+    Ok(flat)
+}
+
+fn bench_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .ok()
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+}
+
+fn run(baseline_dir: &Path, fresh_dir: &Path, threshold: f64) -> Result<u32, String> {
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    let baselines = bench_files(baseline_dir);
+    if baselines.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            baseline_dir.display()
+        ));
+    }
+    for name in baselines {
+        let fresh_path = fresh_dir.join(&name);
+        if !fresh_path.exists() {
+            println!("{name}: no fresh summary, skipped");
+            continue;
+        }
+        let base = load_flat(&baseline_dir.join(&name))?;
+        let fresh = load_flat(&fresh_path)?;
+        println!("{name}:");
+        for (key, base_v) in &base {
+            let Some(fresh_v) = fresh.get(key) else {
+                println!("  {key}: dropped from the fresh summary");
+                continue;
+            };
+            match regression(key, *base_v, *fresh_v) {
+                None => {}
+                Some(reg) => {
+                    compared += 1;
+                    let verdict = if reg > threshold {
+                        regressions += 1;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "  {key}: base {base_v:.2} fresh {fresh_v:.2} ({:+.1}%) {verdict}",
+                        -reg * 100.0
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "bench gate: {compared} gated metric(s), {regressions} regressed beyond {:.0}%",
+        threshold * 100.0
+    );
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    if std::env::var("BENCH_GATE_SKIP").as_deref() == Ok("1") {
+        println!("bench gate: skipped (BENCH_GATE_SKIP=1)");
+        return ExitCode::SUCCESS;
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_dir, fresh_dir] = args.as_slice() else {
+        eprintln!("usage: bench_gate <baseline-dir> <fresh-dir>");
+        return ExitCode::FAILURE;
+    };
+    let threshold = std::env::var("BENCH_GATE_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.15);
+    match run(
+        &PathBuf::from(baseline_dir),
+        &PathBuf::from(fresh_dir),
+        threshold,
+    ) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(n) => {
+            eprintln!(
+                "bench gate: FAILED — {n} metric(s) regressed beyond {:.0}% \
+                 (override: BENCH_GATE_THRESHOLD=<frac> or BENCH_GATE_SKIP=1)",
+                threshold * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(text: &str) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        flatten(&parse(text).unwrap(), "", &mut out);
+        out
+    }
+
+    #[test]
+    fn parses_and_flattens_a_real_summary_shape() {
+        let flat = flat(
+            r#"{"bench": "server", "m": 4096,
+                "throughput_tuples_per_sec": {"sharded8": {"64": 633187, "4096": 2042431}},
+                "nested": [1, {"x": 2.5}], "note": "text", "flag": true, "none": null}"#,
+        );
+        assert_eq!(flat["m"], 4096.0);
+        assert_eq!(flat["throughput_tuples_per_sec.sharded8.64"], 633187.0);
+        assert_eq!(flat["nested.0"], 1.0);
+        assert_eq!(flat["nested.1.x"], 2.5);
+        assert!(!flat.contains_key("note"), "strings are not metrics");
+    }
+
+    #[test]
+    fn direction_gates_per_sec_down_and_ns_up() {
+        // Throughput drop of 20% regresses; a rise never does.
+        assert!(regression("a.tuples_per_sec", 100.0, 80.0).unwrap() > 0.15);
+        assert!(regression("a.tuples_per_sec", 100.0, 120.0).unwrap() < 0.0);
+        // Latency rise of 20% regresses; a drop never does.
+        assert!(regression("b.batched_ns_per_event.64", 10.0, 12.0).unwrap() > 0.15);
+        assert!(regression("b.batched_ns_per_event.64", 10.0, 8.0).unwrap() < 0.0);
+        // Context fields never gate.
+        assert_eq!(regression("m", 4096.0, 64.0), None);
+        assert_eq!(regression("speedup_at_4096", 7.0, 1.0), None);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("{\"a\": 1} trailing").is_err());
+        assert!(parse("{\"a\": 1").is_err());
+    }
+
+    #[test]
+    fn end_to_end_gate_over_temp_dirs() {
+        let base = std::env::temp_dir().join(format!("bench-gate-{}", std::process::id()));
+        let baseline = base.join("baseline");
+        let fresh = base.join("fresh");
+        std::fs::create_dir_all(&baseline).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+        std::fs::write(
+            baseline.join("BENCH_x.json"),
+            r#"{"t_per_sec": 1000, "lat_ns_per_event": 10, "m": 64}"#,
+        )
+        .unwrap();
+        // Within threshold: passes.
+        std::fs::write(
+            fresh.join("BENCH_x.json"),
+            r#"{"t_per_sec": 950, "lat_ns_per_event": 11, "m": 128}"#,
+        )
+        .unwrap();
+        assert_eq!(run(&baseline, &fresh, 0.15).unwrap(), 0);
+        // A >15% throughput drop: one regression.
+        std::fs::write(
+            fresh.join("BENCH_x.json"),
+            r#"{"t_per_sec": 700, "lat_ns_per_event": 10, "m": 64}"#,
+        )
+        .unwrap();
+        assert_eq!(run(&baseline, &fresh, 0.15).unwrap(), 1);
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -8,8 +8,8 @@ use std::path::Path;
 use sprofile::{SProfile, SnapshotError, Tuple};
 use sprofile_persist::PersistError;
 use sprofile_server::{
-    loadgen::thread_tuples, BackendKind, Client, DurabilityConfig, LoadgenConfig, Server,
-    ServerConfig,
+    loadgen::thread_tuples, BackendKind, Client, DurabilityConfig, FailoverConfig, LoadgenConfig,
+    Server, ServerConfig, SyncCommit,
 };
 use sprofile_streamgen::{Event, StreamConfig};
 
@@ -421,12 +421,33 @@ pub struct ServeOpts {
     /// Replica mode: follow this primary (`--replica-of HOST:PORT`),
     /// serving reads only until promoted.
     pub replica_of: Option<String>,
+    /// Synchronous commit: acknowledge writes only after this many
+    /// replicas confirmed them (`--sync-commit off|quorum|all`).
+    pub sync_commit: SyncCommit,
+    /// How long a synchronous commit waits before degrading to async
+    /// (`--sync-commit-timeout-ms`).
+    pub sync_commit_timeout_ms: u64,
+    /// Automatic failover: the peer replicas to hold elections with
+    /// (`--auto-failover PEER,PEER`). Replica mode only.
+    pub failover_peers: Option<Vec<String>>,
+    /// Primary liveness sampling cadence for the promoter
+    /// (`--heartbeat-ms`).
+    pub heartbeat_ms: u64,
+    /// Consecutive silent heartbeat samples before the primary is
+    /// suspected dead (`--failover-grace`).
+    pub failover_grace: u32,
 }
 
 /// `serve`: run the TCP server until a client sends `SHUTDOWN`. The
 /// listening line (with the resolved address) is flushed to `out` before
 /// blocking, so callers scripting against `:0` can scrape the port.
 pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError> {
+    let failover = opts.failover_peers.clone().map(|peers| {
+        let mut f = FailoverConfig::new(peers);
+        f.heartbeat = std::time::Duration::from_millis(opts.heartbeat_ms.max(1));
+        f.grace = opts.failover_grace.max(1);
+        f
+    });
     let server = Server::start(
         ServerConfig {
             m: opts.m,
@@ -436,6 +457,9 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
             snapshot_dir: opts.snapshot_dir.clone().into(),
             wal: opts.wal.clone(),
             replica_of: opts.replica_of.clone(),
+            sync_commit: opts.sync_commit,
+            sync_commit_timeout: std::time::Duration::from_millis(opts.sync_commit_timeout_ms),
+            failover,
         },
         opts.addr.as_str(),
     )?;
@@ -451,9 +475,18 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
         Some(primary) => format!(" replica-of={primary} (readonly until PROMOTE)"),
         None => String::new(),
     };
+    let sync = if opts.sync_commit.is_on() {
+        format!(" sync-commit={}", opts.sync_commit.name())
+    } else {
+        String::new()
+    };
+    let elect = match &opts.failover_peers {
+        Some(peers) => format!(" auto-failover={}", peers.join(",")),
+        None => String::new(),
+    };
     writeln!(
         out,
-        "listening on {} backend={backend} m={} pool={} flush={}{wal}{role}",
+        "listening on {} backend={backend} m={} pool={} flush={}{wal}{role}{sync}{elect}",
         server.local_addr(),
         opts.m,
         opts.pool,
@@ -499,11 +532,14 @@ pub fn loadgen<W: Write>(
 /// `repl_lag_lsn` in `STATS` if no acknowledged write may be lost).
 pub fn promote<W: Write>(addr: &str, out: &mut W) -> Result<(), CommandError> {
     let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
-    let lsn = client
+    let (lsn, epoch) = client
         .promote()
         .map_err(|e| CommandError::Server(e.to_string()))?;
     client.quit().ok();
-    writeln!(out, "promoted at lsn {lsn}: {addr} now accepts writes")?;
+    writeln!(
+        out,
+        "promoted at lsn {lsn} epoch {epoch}: {addr} now accepts writes"
+    )?;
     Ok(())
 }
 
@@ -1042,6 +1078,11 @@ mod tests {
             snapshot_dir: ".".into(),
             wal: None,
             replica_of: None,
+            sync_commit: SyncCommit::Off,
+            sync_commit_timeout_ms: 1_000,
+            failover_peers: None,
+            heartbeat_ms: 500,
+            failover_grace: 4,
         };
         let handle = {
             let mut out = buf.clone();
@@ -1229,7 +1270,7 @@ mod tests {
         let mut out = Vec::new();
         promote(&replica.local_addr().to_string(), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("promoted at lsn 1"), "{text}");
+        assert!(text.contains("promoted at lsn 1 epoch 2"), "{text}");
         rc.add(7).unwrap();
         assert_eq!(rc.freq(7).unwrap(), 2);
         // On a non-replica the CLI surfaces the server's refusal.

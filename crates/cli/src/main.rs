@@ -23,7 +23,7 @@ use commands::{
     recover_report, serve, verify_server, wal_dump, watch, GenerateOpts, HhOpts, PersistOpts,
     ProfileOpts, ServeOpts, StreamChoice,
 };
-use sprofile_server::{BackendKind, DurabilityConfig, LoadgenConfig, SyncPolicy};
+use sprofile_server::{BackendKind, DurabilityConfig, LoadgenConfig, SyncCommit, SyncPolicy};
 
 fn usage() -> &'static str {
     "usage:\n  \
@@ -36,7 +36,9 @@ fn usage() -> &'static str {
      [--shards <P>] [--pool <N>] [--flush <B>] [--snapshot-dir <DIR>]\n                    \
      [--wal <DIR>] [--sync <always|interval|never>] [--sync-interval-ms <MS>]\n                    \
      [--segment-bytes <B>] [--checkpoint-every <TUPLES>]\n                    \
-     [--max-retain-bytes <B>] [--replica-of <HOST:PORT>]\n  \
+     [--max-retain-bytes <B>] [--replica-of <HOST:PORT>]\n                    \
+     [--sync-commit <off|quorum|all>] [--sync-commit-timeout-ms <MS>]\n                    \
+     [--auto-failover <PEER,PEER>] [--heartbeat-ms <MS>] [--failover-grace <N>]\n  \
      sprofile promote  --addr <HOST:PORT>   (flip a replica writable)\n  \
      sprofile loadgen  --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
      [--batch <B>] [--seed <S>] [--shutdown]\n  \
@@ -51,7 +53,11 @@ fn usage() -> &'static str {
      (e.g. `sprofile loadgen --shutdown` or `printf 'SHUTDOWN\\n' | nc`);\n\
      with --wal it recovers its state from the WAL directory first.\n\
      With --replica-of it follows that primary read-only (writes get\n\
-     'ERR readonly') until `sprofile promote` flips it writable."
+     'ERR readonly') until `sprofile promote` flips it writable.\n\
+     --sync-commit makes a primary hold each OK until quorum/all attached\n\
+     replicas acknowledged the write (degrades to async after the\n\
+     timeout); --auto-failover lists the peer replicas a replica holds\n\
+     elections with when the primary stops heartbeating."
 }
 
 /// Tiny flag parser: collects `--key value` pairs plus positional args.
@@ -243,6 +249,29 @@ fn run() -> Result<(), String> {
                     })
                 }
             };
+            let replica_of = args.get("replica-of").map(str::to_string);
+            if replica_of.is_none() {
+                for key in ["auto-failover", "heartbeat-ms", "failover-grace"] {
+                    if args.has(key) {
+                        return Err(format!("--{key} requires --replica-of <HOST:PORT>"));
+                    }
+                }
+            }
+            let sync_commit = args.get("sync-commit").unwrap_or("off");
+            let sync_commit = SyncCommit::parse(sync_commit).ok_or_else(|| {
+                format!("unknown --sync-commit '{sync_commit}' (off, quorum, all)")
+            })?;
+            if sync_commit.is_on() && wal.is_none() {
+                return Err("--sync-commit requires --wal <DIR> (acks gate on the log)".into());
+            }
+            let failover_peers = args.get("auto-failover").map(|peers| {
+                peers
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            });
             let opts = ServeOpts {
                 addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
                 m: args.get_parsed_positive("m", 1_048_576u32)?,
@@ -251,7 +280,13 @@ fn run() -> Result<(), String> {
                 flush: args.get_parsed_positive("flush", 256usize)?,
                 snapshot_dir: args.get("snapshot-dir").unwrap_or(".").to_string(),
                 wal,
-                replica_of: args.get("replica-of").map(str::to_string),
+                replica_of,
+                sync_commit,
+                sync_commit_timeout_ms: args
+                    .get_parsed_positive("sync-commit-timeout-ms", 1_000u64)?,
+                failover_peers,
+                heartbeat_ms: args.get_parsed_positive("heartbeat-ms", 500u64)?,
+                failover_grace: args.get_parsed_positive("failover-grace", 4u32)?,
             };
             let stdout = io::stdout();
             let mut out = stdout.lock();

@@ -1,0 +1,117 @@
+//! The replication epoch (generation id) marker.
+//!
+//! Failover fencing needs one durable integer per WAL directory: the
+//! newest primary generation this node has ever written for (as a
+//! primary) or followed (as a replica). A node that crashes and comes
+//! back must remember it, or a restarted stale primary could quietly
+//! re-accept writes — so the epoch lives in its own tiny marker file
+//! (`epoch`), written with the same temp + rename + directory-fsync
+//! discipline as checkpoints.
+//!
+//! File format (20 bytes, little-endian):
+//!
+//! ```text
+//! magic  8 bytes  "SPEPOCH\x01"
+//! epoch  u64 LE
+//! crc    u32 LE   CRC-32 (IEEE) of the first 16 bytes
+//! ```
+//!
+//! A missing or corrupt marker reads as epoch 1 — the first generation.
+//! (Corrupt is safe to default: the epoch only ever moves up, and a
+//! fenced handshake fails loudly rather than losing data, so the worst
+//! a lost marker costs is one refused reconnect.)
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+use sprofile::crc32::crc32;
+
+use crate::segment::fsync_dir;
+use crate::PersistError;
+
+const EPOCH_MAGIC: [u8; 8] = *b"SPEPOCH\x01";
+const EPOCH_LEN: usize = 20;
+
+/// Name of the marker file inside a WAL directory.
+pub const EPOCH_FILE: &str = "epoch";
+
+/// Reads the durable epoch marker in `dir`. Missing, short, or corrupt
+/// markers read as `1` (the first generation).
+pub fn read_epoch(dir: &Path) -> u64 {
+    let Ok(bytes) = fs::read(dir.join(EPOCH_FILE)) else {
+        return 1;
+    };
+    if bytes.len() != EPOCH_LEN || bytes[..8] != EPOCH_MAGIC {
+        return 1;
+    }
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    if crc32(&bytes[..16]) != crc {
+        return 1;
+    }
+    u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")).max(1)
+}
+
+/// Durably writes the epoch marker for `dir` (created if absent):
+/// temp file + fsync + rename + directory fsync, so every crash point
+/// leaves either the old marker or the new one, never a torn mix.
+pub fn write_epoch(dir: &Path, epoch: u64) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    let mut bytes = [0u8; EPOCH_LEN];
+    bytes[..8].copy_from_slice(&EPOCH_MAGIC);
+    bytes[8..16].copy_from_slice(&epoch.to_le_bytes());
+    let crc = crc32(&bytes[..16]);
+    bytes[16..20].copy_from_slice(&crc.to_le_bytes());
+    let final_path = dir.join(EPOCH_FILE);
+    let tmp_path = dir.join("epoch.tmp");
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    fsync_dir(dir);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sprofile-epoch-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn missing_marker_reads_as_the_first_generation() {
+        let dir = temp_dir("missing");
+        assert_eq!(read_epoch(&dir), 1);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let dir = temp_dir("roundtrip");
+        write_epoch(&dir, 7).unwrap();
+        assert_eq!(read_epoch(&dir), 7);
+        write_epoch(&dir, 8).unwrap();
+        assert_eq!(read_epoch(&dir), 8);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_or_short_markers_fall_back_to_one() {
+        let dir = temp_dir("corrupt");
+        write_epoch(&dir, 42).unwrap();
+        let path = dir.join(EPOCH_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[10] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_epoch(&dir), 1, "bad crc");
+        fs::write(&path, b"short").unwrap();
+        assert_eq!(read_epoch(&dir), 1, "truncated");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

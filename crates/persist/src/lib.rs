@@ -64,6 +64,7 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+mod epoch;
 mod metrics;
 mod reader;
 mod record;
@@ -72,6 +73,7 @@ mod retention;
 mod segment;
 mod wal;
 
+pub use epoch::{read_epoch, write_epoch, EPOCH_FILE};
 pub use metrics::WalMetrics;
 pub use reader::SegmentReader;
 pub use record::MAX_RECORD_TUPLES;

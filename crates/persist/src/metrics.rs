@@ -16,6 +16,7 @@ pub struct WalMetrics {
     segments: AtomicU64,
     checkpoints: AtomicU64,
     head_lsn: AtomicU64,
+    epoch: AtomicU64,
 }
 
 macro_rules! counter {
@@ -65,6 +66,13 @@ impl WalMetrics {
         head_lsn,
         head_lsn
     );
+    counter!(
+        /// The replication epoch this log was last opened or bumped at
+        /// (gauge; 0 until the Wal sets it). Mirrored for the same
+        /// reason as `head_lsn`: `STATS` must not take the WAL mutex.
+        epoch,
+        epoch
+    );
 
     pub(crate) fn on_append(&self, tuples: u64, bytes: u64) {
         self.records.fetch_add(1, Ordering::Relaxed);
@@ -90,6 +98,10 @@ impl WalMetrics {
 
     pub(crate) fn set_head_lsn(&self, lsn: u64) {
         self.head_lsn.store(lsn, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
     }
 
     pub(crate) fn add_segments(&self, delta: i64) {

@@ -42,6 +42,8 @@ pub struct Recovered {
     pub next_lsn: u64,
     /// Whether the log ended in a torn/corrupt record (crash signature).
     pub torn_tail: bool,
+    /// The replication epoch from the durable marker (1 when absent).
+    pub epoch: u64,
 }
 
 /// One decoded WAL record, for `wal-dump`-style inspection.
@@ -176,8 +178,10 @@ pub fn recover(dir: &Path, m: u32) -> Result<Recovered, PersistError> {
             replayed_tuples: 0,
             next_lsn: 1,
             torn_tail: false,
+            epoch: 1,
         });
     }
+    let epoch = crate::epoch::read_epoch(dir);
     let mut checkpoints = list_checkpoints(dir)?;
     checkpoints.reverse(); // newest first
     let mut first_error: Option<PersistError> = None;
@@ -233,6 +237,7 @@ pub fn recover(dir: &Path, m: u32) -> Result<Recovered, PersistError> {
                     replayed_tuples: end.tuples,
                     next_lsn: end.next_lsn,
                     torn_tail: end.torn_tail,
+                    epoch,
                 });
             }
             Err(e) => {

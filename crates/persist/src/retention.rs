@@ -66,6 +66,17 @@ impl ReplicaRegistry {
         self.acked.lock().expect("registry lock poisoned").len()
     }
 
+    /// How many registered replicas have acknowledged every record up to
+    /// and including `lsn` — the synchronous-commit quorum check.
+    pub fn count_acked_at_least(&self, lsn: u64) -> usize {
+        self.acked
+            .lock()
+            .expect("registry lock poisoned")
+            .values()
+            .filter(|&&acked| acked >= lsn)
+            .count()
+    }
+
     /// Whether no replica is registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -131,6 +142,10 @@ mod tests {
         assert_eq!(b.acked(), 25);
         a.ack(12);
         assert_eq!(registry.floor(), Some(12));
+        // Quorum counting for sync commit.
+        assert_eq!(registry.count_acked_at_least(12), 2);
+        assert_eq!(registry.count_acked_at_least(13), 1);
+        assert_eq!(registry.count_acked_at_least(26), 0);
         // Dropping a slot deregisters it.
         drop(a);
         assert_eq!(registry.floor(), Some(25));

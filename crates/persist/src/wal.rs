@@ -10,6 +10,7 @@ use std::sync::mpsc::{self, sync_channel, Receiver, RecvTimeoutError, SyncSender
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::epoch::{read_epoch, write_epoch};
 use crate::metrics::WalMetrics;
 use crate::record::{encode_record, record_size};
 use crate::retention::ReplicaRegistry;
@@ -136,6 +137,9 @@ pub struct Wal {
     /// path.
     #[cfg(test)]
     inject_write_failures: u32,
+    /// The replication epoch (generation id) this log last wrote for or
+    /// followed; durable in the `epoch` marker file. Only ever moves up.
+    epoch: u64,
     /// Set after an append-path I/O error. A partial record may sit at
     /// the segment tail, and anything written after it would be
     /// unreachable to recovery (replay stops at the first bad record) —
@@ -186,6 +190,8 @@ impl Wal {
         metrics.on_fsync();
         metrics.set_segments(list_segments(&opts.dir)?.len() as u64);
         metrics.set_head_lsn(next_lsn - 1);
+        let epoch = read_epoch(&opts.dir);
+        metrics.set_epoch(epoch);
         Ok(Wal {
             opts,
             file,
@@ -195,6 +201,7 @@ impl Wal {
             metrics,
             record_buf: Vec::new(),
             subscribers: Vec::new(),
+            epoch,
             dirty: false,
             #[cfg(test)]
             inject_write_failures: 0,
@@ -216,6 +223,36 @@ impl Wal {
     /// Shared live counters (readable without holding the WAL lock).
     pub fn metrics(&self) -> Arc<WalMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The replication epoch (generation id) this log carries; read from
+    /// the durable `epoch` marker at open (1 for a marker-less log).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Durably advances the epoch to `max(local, floor) + 1` — the
+    /// promotion path. `floor` is the highest epoch observed anywhere in
+    /// the cluster (so a winner promoting over a peer that already saw a
+    /// later generation still lands above it). Returns the new epoch.
+    pub fn bump_epoch(&mut self, floor: u64) -> Result<u64, PersistError> {
+        let next = self.epoch.max(floor) + 1;
+        write_epoch(&self.opts.dir, next)?;
+        self.epoch = next;
+        self.metrics.set_epoch(next);
+        Ok(next)
+    }
+
+    /// Durably adopts `epoch` when a followed primary reports a newer
+    /// generation; a lower or equal epoch is a no-op (the marker only
+    /// moves up). Returns the (possibly unchanged) local epoch.
+    pub fn adopt_epoch(&mut self, epoch: u64) -> Result<u64, PersistError> {
+        if epoch > self.epoch {
+            write_epoch(&self.opts.dir, epoch)?;
+            self.epoch = epoch;
+            self.metrics.set_epoch(epoch);
+        }
+        Ok(self.epoch)
     }
 
     /// Appends one record holding `tuples` and commits it according to
@@ -1241,6 +1278,28 @@ mod tests {
             segments[0].0 > 1,
             "oldest segments must be gone: {segments:?}"
         );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_bumps_and_adoptions_survive_a_restart() {
+        let dir = temp_dir("epoch");
+        let mut wal = Wal::open(opts(&dir), 1).unwrap();
+        assert_eq!(wal.epoch(), 1, "fresh log starts at generation 1");
+        assert_eq!(wal.metrics().epoch(), 1);
+        // Promotion over a cluster that already saw epoch 4 lands at 5.
+        assert_eq!(wal.bump_epoch(4).unwrap(), 5);
+        assert_eq!(wal.epoch(), 5);
+        // Adoption only moves up.
+        assert_eq!(wal.adopt_epoch(3).unwrap(), 5);
+        assert_eq!(wal.adopt_epoch(9).unwrap(), 9);
+        assert_eq!(wal.metrics().epoch(), 9);
+        drop(wal);
+        // The marker is durable: reopen and recover both see it.
+        let wal = Wal::open(opts(&dir), 1).unwrap();
+        assert_eq!(wal.epoch(), 9);
+        drop(wal);
+        assert_eq!(recover(&dir, 8).unwrap().epoch, 9);
         fs::remove_dir_all(&dir).ok();
     }
 

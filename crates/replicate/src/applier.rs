@@ -3,12 +3,22 @@
 //! LSN order to an [`ApplySink`].
 //!
 //! The applier owns the whole session lifecycle: connect, handshake
-//! (`REPLICATE <lsn>`), bootstrap (`CKPT`) when the primary has pruned
-//! past our position, ordered record apply (`REC`), periodic
+//! (`REPLICATE <lsn> <epoch>`), bootstrap (`CKPT`) when the primary has
+//! pruned past our position, ordered record apply (`REC`), periodic
 //! acknowledgements (`ACK`), and reconnection with exponential backoff
 //! when anything goes wrong. The sink decides what "apply" means — the
 //! server's sink writes through its local WAL before the backend, so a
 //! restarted replica resumes from what it durably applied.
+//!
+//! Epoch fencing runs on both ends of the handshake. The replica sends
+//! the highest generation it has ever followed; a primary whose own
+//! epoch is older refuses with `ERR fenced: …` (it is a restarted stale
+//! head). Symmetrically, the primary greets (and periodically
+//! heartbeats) with `EPOCH <e>`; a replica that has followed a newer
+//! generation aborts the session — counted in
+//! [`ApplierStats::fenced`] — instead of re-following a zombie. Every
+//! received frame also bumps [`ApplierStats::beats`], the liveness
+//! signal the failover promoter watches.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -62,6 +72,9 @@ pub struct ApplierStats {
     records: AtomicU64,
     bytes: AtomicU64,
     errors: AtomicU64,
+    epoch: AtomicU64,
+    beats: AtomicU64,
+    fenced: AtomicU64,
 }
 
 impl ApplierStats {
@@ -104,6 +117,26 @@ impl ApplierStats {
     pub fn errors(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
     }
+
+    /// The highest primary generation followed (seeded from the sink's
+    /// durable epoch, advanced by `EPOCH` frames).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Frames received from the primary (lifetime) — the liveness
+    /// heartbeat counter the failover promoter samples: a primary that
+    /// is up keeps this advancing (idle streams still send `EPOCH`
+    /// heartbeats).
+    pub fn beats(&self) -> u64 {
+        self.beats.load(Ordering::Relaxed)
+    }
+
+    /// Sessions aborted because the primary's generation was older than
+    /// one this replica already followed (stale-primary fencing).
+    pub fn fenced(&self) -> u64 {
+        self.fenced.load(Ordering::Relaxed)
+    }
 }
 
 /// Where applied records land. Implemented by the server over its
@@ -113,6 +146,15 @@ pub trait ApplySink: Send {
     /// The next LSN this replica needs (everything below is durably
     /// applied locally). Re-read after every reconnect.
     fn position(&mut self) -> u64;
+
+    /// The highest primary generation this replica has followed (0 when
+    /// it has never seen one — e.g. a fresh non-durable replica).
+    fn epoch(&mut self) -> u64;
+
+    /// Records that the followed primary reports generation `epoch`
+    /// (durably, when the sink is backed by a WAL). Only ever called
+    /// with `epoch >= self.epoch()`.
+    fn adopt_epoch(&mut self, epoch: u64) -> Result<(), String>;
 
     /// Installs a checkpoint bootstrap: replace local state with
     /// `snapshot` (which covers records `1..=lsn`).
@@ -182,6 +224,7 @@ fn run(
     let durable = sink.position().saturating_sub(1);
     stats.applied_lsn.fetch_max(durable, Ordering::Relaxed);
     stats.head_lsn.fetch_max(durable, Ordering::Relaxed);
+    stats.epoch.fetch_max(sink.epoch(), Ordering::Relaxed);
     let stopped = || stop.load(Ordering::Acquire);
     let mut backoff = Duration::from_millis(100);
     while !stopped() {
@@ -229,7 +272,7 @@ fn session(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut expected = sink.position();
-    writer.write_all(format!("REPLICATE {expected}\n").as_bytes())?;
+    writer.write_all(format!("REPLICATE {expected} {}\n", sink.epoch()).as_bytes())?;
     writer.flush()?;
     stats.connected.store(1, Ordering::Relaxed);
 
@@ -245,8 +288,11 @@ fn session(
         match frame::read_line_step(&mut reader, &mut line, stopped)? {
             frame::LineStep::Eof | frame::LineStep::Stopped => return Ok(applied_any),
             frame::LineStep::Timeout => {
-                // Idle: refresh the primary's retention floor.
-                if applied_any && last_ack.elapsed() >= IDLE_ACK {
+                // Eager ack: a quiescent wire with unacked records means
+                // the primary may be blocked in a sync-commit wait —
+                // acknowledge immediately rather than batching further.
+                // An idle refresh also keeps the retention floor fresh.
+                if since_ack > 0 || (applied_any && last_ack.elapsed() >= IDLE_ACK) {
                     ack(&mut writer, stats.applied_lsn())?;
                     last_ack = Instant::now();
                     since_ack = 0;
@@ -259,11 +305,34 @@ fn session(
         let header = frame::parse_header(&String::from_utf8_lossy(&line))
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         line.clear();
+        stats.beats.fetch_add(1, Ordering::Relaxed);
         match header {
             FrameHeader::Err(msg) => {
-                // The primary refused (readonly, no WAL, …): back off
-                // and retry — it may get promoted or restarted.
+                // A fenced refusal means *we* carry the newer
+                // generation — count it so health checks can see a
+                // zombie primary being refused, then back off like any
+                // other refusal (the stale head must be wiped or
+                // re-pointed by an operator).
+                if msg.starts_with("fenced") {
+                    stats.fenced.fetch_add(1, Ordering::Relaxed);
+                }
                 return Err(io::Error::other(format!("primary refused: {msg}")));
+            }
+            FrameHeader::Epoch(e) => {
+                let local = sink.epoch();
+                if e < local {
+                    // The sender is a stale primary from a generation
+                    // this replica already moved past: fence it out.
+                    stats.fenced.fetch_add(1, Ordering::Relaxed);
+                    return Err(io::Error::other(format!(
+                        "fenced: primary at epoch {e}, this replica followed epoch {local}"
+                    )));
+                }
+                if e > local {
+                    sink.adopt_epoch(e).map_err(io::Error::other)?;
+                }
+                stats.epoch.fetch_max(e, Ordering::Relaxed);
+                stats.bytes.fetch_add(header_len, Ordering::Relaxed);
             }
             FrameHeader::Ckpt { lsn, nbytes } => {
                 let Some(snapshot) = frame::read_payload(&mut reader, nbytes as usize, stopped)?
@@ -332,11 +401,19 @@ mod tests {
         applied: Shared<Vec<Tuple>>,
         bootstraps: Shared<Vec<u8>>,
         position: Arc<AtomicU64>,
+        epoch: Arc<AtomicU64>,
     }
 
     impl ApplySink for RecordingSink {
         fn position(&mut self) -> u64 {
             self.position.load(Ordering::Relaxed).max(1)
+        }
+        fn epoch(&mut self) -> u64 {
+            self.epoch.load(Ordering::Relaxed)
+        }
+        fn adopt_epoch(&mut self, epoch: u64) -> Result<(), String> {
+            self.epoch.fetch_max(epoch, Ordering::Relaxed);
+            Ok(())
         }
         fn bootstrap(&mut self, lsn: u64, snapshot: &[u8]) -> Result<(), String> {
             self.bootstraps
@@ -378,7 +455,8 @@ mod tests {
             let mut writer = BufWriter::new(stream);
             let mut line = String::new();
             reader.read_line(&mut line).unwrap();
-            assert_eq!(line.trim(), "REPLICATE 1");
+            assert_eq!(line.trim(), "REPLICATE 1 0");
+            frame::write_epoch(&mut writer, 3).unwrap();
             frame::write_ckpt(&mut writer, 10, b"fake-snapshot").unwrap();
             for lsn in 11..14u64 {
                 frame::write_rec(
@@ -420,6 +498,9 @@ mod tests {
         assert_eq!(stats.records(), 3);
         assert_eq!(stats.head_lsn(), 13);
         assert_eq!(stats.lag_lsn(), 0);
+        assert_eq!(stats.epoch(), 3, "greeting epoch adopted");
+        assert_eq!(sink.epoch.load(Ordering::Relaxed), 3);
+        assert!(stats.beats() >= 5, "every frame beats: {}", stats.beats());
         assert_eq!(
             sink.bootstraps.lock().unwrap().as_slice(),
             &[(10, b"fake-snapshot".to_vec())]
@@ -448,7 +529,7 @@ mod tests {
             let mut writer = BufWriter::new(stream);
             let mut line = String::new();
             reader.read_line(&mut line).unwrap();
-            assert_eq!(line.trim(), "REPLICATE 1");
+            assert_eq!(line.trim(), "REPLICATE 1 0");
             frame::write_rec(&mut writer, 1, 2, &[Tuple::add(5)]).unwrap();
             writer.flush().unwrap();
             drop((reader, writer));
@@ -458,7 +539,7 @@ mod tests {
             let mut writer = BufWriter::new(stream);
             let mut line = String::new();
             reader.read_line(&mut line).unwrap();
-            assert_eq!(line.trim(), "REPLICATE 2");
+            assert_eq!(line.trim(), "REPLICATE 2 0");
             frame::write_rec(&mut writer, 2, 2, &[Tuple::add(6)]).unwrap();
             writer.flush().unwrap();
             // Hold the session open until the test stops the applier.
@@ -528,6 +609,69 @@ mod tests {
             Arc::clone(&stats),
         );
         wait_until("error counted", || stats.errors() >= 1);
+        applier.stop();
+        primary.join().unwrap();
+    }
+
+    #[test]
+    fn a_stale_primary_epoch_is_fenced_and_nothing_is_applied() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let primary = std::thread::spawn(move || {
+            // A restarted stale head: greets with epoch 2 and tries to
+            // stream a record anyway.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim(), "REPLICATE 1 5", "handshake carries the epoch");
+            frame::write_epoch(&mut writer, 2).unwrap();
+            frame::write_rec(&mut writer, 1, 1, &[Tuple::add(9)]).unwrap();
+            writer.flush().unwrap();
+            // Hold the socket open; the replica must hang up on us.
+            let mut buf = String::new();
+            while reader.read_line(&mut buf).unwrap_or(0) > 0 {
+                buf.clear();
+            }
+        });
+        let sink = RecordingSink::default();
+        sink.epoch.store(5, Ordering::Relaxed);
+        let stats = ApplierStats::new();
+        let applier = Applier::spawn(
+            ApplierOptions::new(addr.to_string()),
+            Box::new(sink.clone()),
+            Arc::clone(&stats),
+        );
+        wait_until("fenced", || stats.fenced() >= 1);
+        assert!(sink.applied.lock().unwrap().is_empty(), "nothing applied");
+        assert_eq!(stats.epoch(), 5, "local epoch untouched");
+        applier.stop();
+        primary.join().unwrap();
+    }
+
+    #[test]
+    fn a_fenced_err_refusal_is_counted_as_fenced() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let primary = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = BufWriter::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            BufReader::new(stream).read_line(&mut line).unwrap();
+            writer
+                .write_all(b"ERR fenced: stale primary at epoch 1; replica has followed epoch 2\n")
+                .unwrap();
+            writer.flush().unwrap();
+        });
+        let stats = ApplierStats::new();
+        let applier = Applier::spawn(
+            ApplierOptions::new(addr.to_string()),
+            Box::new(RecordingSink::default()),
+            Arc::clone(&stats),
+        );
+        wait_until("fenced refusal", || stats.fenced() >= 1);
+        assert!(stats.errors() >= 1);
         applier.stop();
         primary.join().unwrap();
     }

@@ -1,13 +1,20 @@
 //! The replication wire format.
 //!
 //! Replication rides the server's newline text protocol: a replica opens
-//! a normal connection and sends `REPLICATE <lsn>` (the first LSN it
-//! needs). From then on the primary streams *frames* — a text header
-//! line, optionally followed by a fixed-size binary payload — while the
-//! replica sends `ACK <lsn>` lines back on the same socket:
+//! a normal connection and sends `REPLICATE <lsn> [<epoch>]` (the first
+//! LSN it needs, plus the highest primary generation it has followed —
+//! omitted or 0 means "don't care", the pre-epoch handshake). From then
+//! on the primary streams *frames* — a text header line, optionally
+//! followed by a fixed-size binary payload — while the replica sends
+//! `ACK <lsn>` lines back on the same socket:
 //!
 //! ```text
 //! primary -> replica
+//!   EPOCH <e>\n
+//!       the primary's current generation; sent as the first frame of
+//!       every stream and repeated as an idle heartbeat. A replica that
+//!       has followed a *newer* generation aborts (the sender is a
+//!       fenced stale primary); otherwise it durably adopts `e`.
 //!   CKPT <lsn> <nbytes>\n  <nbytes raw snapshot bytes>
 //!       checkpoint bootstrap: install this snapshot (covers records
 //!       1..=lsn); sent when the requested LSN is already pruned.
@@ -16,13 +23,16 @@
 //!       time, so the replica can report its lag. `op` is 1 for add,
 //!       0 for remove — the WAL record payload encoding.
 //!   ERR <message>\n
-//!       refusal (not a primary, no WAL, readonly); the replica backs
-//!       off and retries.
+//!       refusal (not a primary, no WAL, readonly, or a fencing
+//!       rejection — the message starts with `fenced:` when the
+//!       *replica* has the newer generation); the replica backs off and
+//!       retries (fenced refusals are also counted separately).
 //!
 //! replica -> primary
 //!   ACK <lsn>\n
 //!       everything up to and including `lsn` is durably applied; feeds
-//!       the primary's segment-retention floor.
+//!       the primary's segment-retention floor and the sync-commit
+//!       quorum check.
 //! ```
 //!
 //! Record payloads are binary (the same 5-byte tuple layout as WAL
@@ -60,6 +70,9 @@ pub enum FrameHeader {
         /// The primary's newest LSN at send time (lag = head − applied).
         head: u64,
     },
+    /// `EPOCH <e>`: the primary's generation (stream greeting and idle
+    /// heartbeat).
+    Epoch(u64),
     /// `ERR <message>`: the primary refused the stream.
     Err(String),
 }
@@ -99,6 +112,7 @@ pub fn parse_header(line: &str) -> Result<FrameHeader, String> {
             }
             FrameHeader::Rec { lsn, count, head }
         }
+        "EPOCH" => FrameHeader::Epoch(num("epoch")?),
         other => return Err(format!("unknown replication frame '{other}'")),
     };
     if words.next().is_some() {
@@ -131,6 +145,14 @@ pub fn write_ckpt<W: Write>(w: &mut W, lsn: u64, snapshot: &[u8]) -> io::Result<
     w.write_all(header.as_bytes())?;
     w.write_all(snapshot)?;
     Ok((header.len() + snapshot.len()) as u64)
+}
+
+/// Writes an `EPOCH` frame (the stream greeting / idle heartbeat);
+/// returns the bytes written.
+pub fn write_epoch<W: Write>(w: &mut W, epoch: u64) -> io::Result<u64> {
+    let header = format!("EPOCH {epoch}\n");
+    w.write_all(header.as_bytes())?;
+    Ok(header.len() as u64)
 }
 
 /// Decodes a `REC` payload previously read off the wire.
@@ -315,6 +337,9 @@ mod tests {
             "REC x 1 1",                // junk lsn
             "FOO 1",                    // unknown frame
             "REC 1 1 1 junk",           // trailing fields
+            "EPOCH",                    // missing epoch
+            "EPOCH x",                  // junk epoch
+            "EPOCH 3 4",                // trailing fields
             "",                         // empty
         ] {
             assert!(parse_header(line).is_err(), "{line:?}");
@@ -324,6 +349,15 @@ mod tests {
             parse_header("ERR no wal").unwrap(),
             FrameHeader::Err("no wal".into())
         );
+    }
+
+    #[test]
+    fn epoch_frames_round_trip() {
+        let mut wire = Vec::new();
+        let n = write_epoch(&mut wire, 6).unwrap();
+        assert_eq!(n as usize, wire.len());
+        let line = std::str::from_utf8(&wire).unwrap().trim_end();
+        assert_eq!(parse_header(line).unwrap(), FrameHeader::Epoch(6));
     }
 
     #[test]

@@ -24,13 +24,24 @@
 //!   the replica's *own* WAL before its backend, so restarts resume from
 //!   the durable position), acknowledges periodically, and reconnects
 //!   with exponential backoff.
-//! * [`frame`] defines the wire format: text headers (`REC`/`CKPT`/
-//!   `ACK`/`ERR`) with binary record payloads.
+//! * [`frame`] defines the wire format: text headers (`EPOCH`/`REC`/
+//!   `CKPT`/`ACK`/`ERR`) with binary record payloads.
 //!
-//! Replication is asynchronous: an acknowledged write is durable on the
-//! primary but reaches replicas a channel-hop later. Promotion therefore
-//! serves exactly the *applied* prefix — wait for `repl_lag_lsn=0`
-//! before failing over if no write may be lost.
+//! Since PR 6 the plane carries an **epoch** (generation id, durable in
+//! the WAL directory): the handshake is `REPLICATE <lsn> <epoch>`, every
+//! stream opens with (and idles on) `EPOCH <e>` heartbeats, and fencing
+//! runs in both directions — a primary refuses a replica that followed a
+//! newer generation (`ERR fenced: …`, it is itself stale), and a replica
+//! aborts a stream whose generation is older than one it already
+//! followed. Heartbeats double as the liveness signal
+//! ([`ApplierStats::beats`]) a failover promoter samples.
+//!
+//! Replication is asynchronous by default: an acknowledged write is
+//! durable on the primary but reaches replicas a channel-hop later. The
+//! server layers opt-in synchronous commit on top (gating its write acks
+//! on replica `ACK`s); without it, promotion serves exactly the
+//! *applied* prefix — wait for `repl_lag_lsn=0` before failing over if
+//! no write may be lost.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -38,11 +38,18 @@ use crate::frame;
 /// re-checking the stop/ack state.
 const TAIL_POLL: Duration = Duration::from_millis(25);
 
-/// Shipping counters for `STATS` (`repl_records` / `repl_bytes`).
+/// How often an idle stream repeats its `EPOCH` heartbeat — the liveness
+/// signal replicas' failover promoters watch (measured in consecutive
+/// [`TAIL_POLL`] timeouts: 8 × 25 ms = 200 ms).
+const HEARTBEAT_TIMEOUTS: u32 = 8;
+
+/// Shipping counters for `STATS` (`repl_records` / `repl_bytes` /
+/// `fenced_rejects`).
 #[derive(Debug, Default)]
 pub struct SourceMetrics {
     records: AtomicU64,
     bytes: AtomicU64,
+    fenced_rejects: AtomicU64,
 }
 
 impl SourceMetrics {
@@ -57,9 +64,20 @@ impl SourceMetrics {
         self.bytes.load(Ordering::Relaxed)
     }
 
+    /// Streams refused because the replica had followed a newer epoch
+    /// than this primary's — each one is a fenced-out stale head being
+    /// told so.
+    pub fn fenced_rejects(&self) -> u64 {
+        self.fenced_rejects.load(Ordering::Relaxed)
+    }
+
     fn on_ship(&self, records: u64, bytes: u64) {
         self.records.fetch_add(records, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn on_fenced_reject(&self) {
+        self.fenced_rejects.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -182,19 +200,47 @@ impl ReplicationSource {
         self.wal_metrics.head_lsn()
     }
 
-    /// Serves one replica that requested records from `start_lsn`:
+    /// This primary's replication epoch (the WAL's durable generation
+    /// marker, mirrored lock-free).
+    pub fn epoch(&self) -> u64 {
+        self.wal_metrics.epoch()
+    }
+
+    /// Serves one replica that requested records from `start_lsn` and
+    /// has followed generations up to `replica_epoch` (0: don't care):
     /// catch-up from the segment files (or a `CKPT` bootstrap when the
     /// request predates the retained log), then live tailing, until the
     /// replica disconnects ([`AckState::is_closed`]) or `stopping`
     /// returns true. Registers the replica in the retention registry for
     /// the duration of the stream.
+    ///
+    /// A replica that has followed a *newer* epoch than ours proves this
+    /// node is a restarted stale primary: the stream is refused with an
+    /// `ERR fenced: …` frame (counted in
+    /// [`SourceMetrics::fenced_rejects`]). Otherwise the stream opens
+    /// with an `EPOCH` greeting and repeats it as an idle heartbeat so
+    /// followers can both adopt the generation and watch liveness.
     pub fn stream<W: Write>(
         &self,
         start_lsn: u64,
+        replica_epoch: u64,
         writer: &mut W,
         acks: &AckState,
         stopping: &dyn Fn() -> bool,
     ) -> io::Result<()> {
+        let my_epoch = self.epoch();
+        if replica_epoch > my_epoch {
+            self.metrics.on_fenced_reject();
+            let msg = format!(
+                "ERR fenced: stale primary at epoch {my_epoch}; \
+                 replica has followed epoch {replica_epoch}\n"
+            );
+            writer.write_all(msg.as_bytes())?;
+            writer.flush()?;
+            return Err(io::Error::other("fenced: replica followed a newer epoch"));
+        }
+        let bytes = frame::write_epoch(writer, my_epoch)?;
+        self.metrics.on_ship(0, bytes);
         let mut cursor = start_lsn.max(1);
         let slot = self.registry.register(cursor.saturating_sub(1));
         let reader = SegmentReader::new(&self.dir);
@@ -279,19 +325,39 @@ impl ReplicationSource {
             }
             writer.flush()?;
             // Live tailing. Records are written eagerly and flushed when
-            // the channel momentarily empties.
+            // the channel momentarily empties; an idle stream repeats
+            // its EPOCH heartbeat so followers can watch liveness.
+            let mut idle_timeouts = 0u32;
             loop {
                 slot.ack(acks.acked());
                 if done() {
                     return Ok(());
                 }
                 let step = match tail.try_recv() {
-                    Ok(rec) => self.ship(writer, &mut cursor, rec)?,
+                    Ok(rec) => {
+                        idle_timeouts = 0;
+                        self.ship(writer, &mut cursor, rec)?
+                    }
                     Err(TryRecvError::Empty) => {
                         writer.flush()?;
                         match tail.recv_timeout(TAIL_POLL) {
-                            Ok(rec) => self.ship(writer, &mut cursor, rec)?,
-                            Err(RecvTimeoutError::Timeout) => Step::Shipped,
+                            Ok(rec) => {
+                                idle_timeouts = 0;
+                                self.ship(writer, &mut cursor, rec)?
+                            }
+                            Err(RecvTimeoutError::Timeout) => {
+                                idle_timeouts += 1;
+                                if idle_timeouts >= HEARTBEAT_TIMEOUTS {
+                                    idle_timeouts = 0;
+                                    // Re-read the gauge each beat: a
+                                    // PROMOTE on this node mid-stream
+                                    // must surface its bumped epoch.
+                                    let bytes = frame::write_epoch(writer, self.epoch())?;
+                                    writer.flush()?;
+                                    self.metrics.on_ship(0, bytes);
+                                }
+                                Step::Shipped
+                            }
                             // Lagged past TAIL_CAPACITY (or the WAL went
                             // away): re-subscribe and catch up from the
                             // files.
@@ -361,7 +427,7 @@ mod tests {
             let payload = match &header {
                 FrameHeader::Ckpt { nbytes, .. } => *nbytes as usize,
                 FrameHeader::Rec { count, .. } => *count as usize * frame::TUPLE_BYTES,
-                FrameHeader::Err(_) => 0,
+                FrameHeader::Epoch(_) | FrameHeader::Err(_) => 0,
             };
             bytes = &bytes[payload..];
             out.push(header);
@@ -399,11 +465,12 @@ mod tests {
         let mut wire = Vec::new();
         let acks = AckState::new();
         source
-            .stream(5, &mut wire, &acks, &stop_after_records(&source, 8))
+            .stream(5, 0, &mut wire, &acks, &stop_after_records(&source, 8))
             .unwrap();
         let frames = decode_stream(&wire);
-        assert_eq!(frames.len(), 8, "{frames:?}");
-        for (i, f) in frames.iter().enumerate() {
+        assert_eq!(frames.len(), 9, "{frames:?}");
+        assert_eq!(frames[0], FrameHeader::Epoch(1), "greeting first");
+        for (i, f) in frames[1..].iter().enumerate() {
             assert_eq!(
                 *f,
                 FrameHeader::Rec {
@@ -453,17 +520,18 @@ mod tests {
         let mut wire = Vec::new();
         let acks = AckState::new();
         source
-            .stream(1, &mut wire, &acks, &stop_after_records(&source, 4))
+            .stream(1, 0, &mut wire, &acks, &stop_after_records(&source, 4))
             .unwrap();
         let frames = decode_stream(&wire);
-        match &frames[0] {
+        assert_eq!(frames[0], FrameHeader::Epoch(1));
+        match &frames[1] {
             FrameHeader::Ckpt { lsn, nbytes } => {
                 assert_eq!(*lsn, 30);
                 assert!(*nbytes > 0);
             }
-            other => panic!("expected CKPT first, got {other:?}"),
+            other => panic!("expected CKPT after the greeting, got {other:?}"),
         }
-        let recs: Vec<_> = frames[1..].to_vec();
+        let recs: Vec<_> = frames[2..].to_vec();
         assert_eq!(recs.len(), 4, "{recs:?}");
         assert!(matches!(recs[0], FrameHeader::Rec { lsn: 31, .. }));
         assert!(matches!(recs[3], FrameHeader::Rec { lsn: 34, .. }));
@@ -493,12 +561,44 @@ mod tests {
         let mut wire = Vec::new();
         let acks = AckState::new();
         let err = source
-            .stream(99, &mut wire, &acks, &|| false)
+            .stream(99, 0, &mut wire, &acks, &|| false)
             .expect_err("must refuse");
         assert!(err.to_string().contains("ahead"), "{err}");
         let text = String::from_utf8_lossy(&wire);
-        assert!(text.starts_with("ERR "), "{text}");
+        assert!(text.starts_with("EPOCH 1\nERR "), "{text}");
         assert!(text.contains("head 3"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_replica_from_a_newer_epoch_fences_this_stale_primary() {
+        let dir = temp_dir("fenced");
+        let mut wal = Wal::open(
+            WalOptions {
+                dir: dir.clone(),
+                sync: SyncPolicy::Never,
+                ..WalOptions::default()
+            },
+            1,
+        )
+        .unwrap();
+        wal.append(&[Tuple::add(0)]).unwrap();
+        assert_eq!(wal.epoch(), 1);
+        let source =
+            ReplicationSource::new(Arc::new(Mutex::new(wal)), &dir, ReplicaRegistry::new());
+        // The replica followed generation 3; we are a restarted epoch-1
+        // head. The stream must refuse with a fenced ERR, not ship.
+        let mut wire = Vec::new();
+        let acks = AckState::new();
+        let err = source
+            .stream(1, 3, &mut wire, &acks, &|| false)
+            .expect_err("must fence");
+        assert!(err.to_string().contains("fenced"), "{err}");
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.starts_with("ERR fenced:"), "{text}");
+        assert!(text.contains("epoch 3"), "{text}");
+        assert_eq!(source.metrics().fenced_rejects(), 1);
+        assert_eq!(source.metrics().records(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -522,8 +622,8 @@ mod tests {
         // folded the ack into the slot and then dropped it.
         acks.close();
         let mut wire = Vec::new();
-        source.stream(8, &mut wire, &acks, &|| false).unwrap();
-        assert!(wire.is_empty());
+        source.stream(8, 0, &mut wire, &acks, &|| false).unwrap();
+        assert_eq!(&wire, b"EPOCH 1\n", "only the greeting was written");
         assert_eq!(registry.len(), 0);
 
         // read_acks: ACK lines accumulate, junk closes.

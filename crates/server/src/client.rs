@@ -235,11 +235,16 @@ impl Client {
         parse_field(self.expect_prefix(&reply, "OK")?, &reply)
     }
 
-    /// `PROMOTE` → the LSN the (former) replica was promoted at. Errors
+    /// `PROMOTE` → the `(lsn, epoch)` the (former) replica was promoted
+    /// at — its applied LSN and the freshly bumped generation. Errors
     /// with `ERR not a replica` on other servers.
-    pub fn promote(&mut self) -> ClientResult<u64> {
+    pub fn promote(&mut self) -> ClientResult<(u64, u64)> {
         let reply = self.round_trip("PROMOTE")?;
-        parse_field(self.expect_prefix(&reply, "OK")?, &reply)
+        let rest = self.expect_prefix(&reply, "OK")?;
+        let (lsn, epoch) = rest
+            .split_once(' ')
+            .ok_or_else(|| ClientError::Protocol(format!("malformed PROMOTE reply '{reply}'")))?;
+        Ok((parse_field(lsn, &reply)?, parse_field(epoch, &reply)?))
     }
 
     /// `QUIT`: closes this connection politely.

@@ -151,6 +151,35 @@ impl Durability {
         self.wal.lock().expect("wal lock poisoned").next_lsn()
     }
 
+    /// The current replication epoch (generation id), from the WAL's
+    /// durable marker. Reads the lock-free gauge so `STATS` and the
+    /// failover promoter never contend with appends.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.metrics.epoch()
+    }
+
+    /// Durably bumps the epoch past `floor` (promotion: the new primary
+    /// starts a generation newer than anything it has seen). Returns the
+    /// new epoch.
+    pub(crate) fn bump_epoch(&self, floor: u64) -> Result<u64, String> {
+        self.wal
+            .lock()
+            .expect("wal lock poisoned")
+            .bump_epoch(floor)
+            .map_err(|e| format!("epoch bump failed: {e}"))
+    }
+
+    /// Durably adopts `epoch` if it is newer than the local one (a
+    /// replica following a freshly promoted primary). Returns the
+    /// resulting epoch.
+    pub(crate) fn adopt_epoch(&self, epoch: u64) -> Result<u64, String> {
+        self.wal
+            .lock()
+            .expect("wal lock poisoned")
+            .adopt_epoch(epoch)
+            .map_err(|e| format!("epoch adopt failed: {e}"))
+    }
+
     /// Logs `batch` then applies it to `backend`, atomically with
     /// respect to checkpoints. A failed append bumps `wal_errors`,
     /// marks the log [`failed`](Self::failed), and still applies the
@@ -159,13 +188,20 @@ impl Durability {
     /// What stops is *new* acknowledgements: the server refuses further
     /// writes once `failed` is set, bounding the divergence from the
     /// durable log (and from replicas) to the in-flight flush buffers.
-    pub(crate) fn log_and_apply(&self, batch: &[Tuple], backend: &Backend) {
+    /// Returns the appended record's LSN (`None` when the append
+    /// failed) so synchronous commit can wait for replica acks on it.
+    pub(crate) fn log_and_apply(&self, batch: &[Tuple], backend: &Backend) -> Option<u64> {
         let mut wal = self.wal.lock().expect("wal lock poisoned");
-        if wal.append(batch).is_err() {
-            self.errors.fetch_add(1, Ordering::Relaxed);
-            self.failed.store(true, Ordering::Release);
-        }
+        let lsn = match wal.append(batch) {
+            Ok(lsn) => Some(lsn),
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.failed.store(true, Ordering::Release);
+                None
+            }
+        };
         backend.apply_batch(batch);
+        lsn
     }
 
     /// The replica-side apply: logs one *shipped* record at exactly its

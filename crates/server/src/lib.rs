@@ -50,6 +50,7 @@
 mod backend;
 pub mod client;
 mod durability;
+mod failover;
 pub mod loadgen;
 mod metrics;
 pub mod protocol;
@@ -61,7 +62,7 @@ pub use client::{Client, ClientError, ClientResult};
 pub use durability::DurabilityConfig;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use metrics::{Counter, Metrics};
-pub use server::{Server, ServerConfig};
+pub use server::{FailoverConfig, Server, ServerConfig, SyncCommit};
 pub use sprofile_persist::SyncPolicy;
 pub use sprofile_replicate::ApplierStats;
 
@@ -79,8 +80,7 @@ mod crate_tests {
                 flush_every: 8,
                 // Wire SNAPSHOT paths are relative to this directory.
                 snapshot_dir: std::env::temp_dir(),
-                wal: None,
-                replica_of: None,
+                ..ServerConfig::default()
             },
             "127.0.0.1:0",
         )
@@ -273,7 +273,7 @@ mod crate_tests {
             flush_every: 4,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal.clone()),
-            replica_of: None,
+            ..ServerConfig::default()
         };
         // Run 1 (sharded): write, then stop gracefully.
         let server = Server::start(config(BackendKind::Sharded { shards: 4 }), "127.0.0.1:0")
@@ -375,7 +375,7 @@ mod crate_tests {
                 flush_every: 4,
                 snapshot_dir: std::env::temp_dir(),
                 wal: Some(wal_at("primary")),
-                replica_of: None,
+                ..ServerConfig::default()
             },
             "127.0.0.1:0",
         )
@@ -389,6 +389,7 @@ mod crate_tests {
                 snapshot_dir: std::env::temp_dir(),
                 wal: Some(wal_at("replica")),
                 replica_of: Some(primary.local_addr().to_string()),
+                ..ServerConfig::default()
             },
             "127.0.0.1:0",
         )
@@ -448,13 +449,16 @@ mod crate_tests {
             Err(ClientError::Server(msg)) => assert!(msg.contains("not a replica"), "{msg}"),
             other => panic!("expected ERR not a replica, got {other:?}"),
         }
-        assert_eq!(rc.promote().unwrap(), head);
+        // Promotion opens a fresh generation: epoch 1 → 2.
+        assert_eq!(rc.promote().unwrap(), (head, 2));
         rc.add(9).unwrap();
         assert_eq!(rc.freq(9).unwrap(), 6);
         let rstats = rc.stats().unwrap();
         assert!(rstats.contains("repl_role=promoted"), "{rstats}");
-        // Idempotent: a second PROMOTE reports the same position.
-        assert_eq!(rc.promote().unwrap(), head);
+        assert!(rstats.contains("repl_epoch=2"), "{rstats}");
+        // Idempotent: a second PROMOTE reports the same position and
+        // does not bump again.
+        assert_eq!(rc.promote().unwrap(), (head, 2));
 
         pc.quit().unwrap();
         rc.quit().unwrap();

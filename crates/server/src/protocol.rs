@@ -20,9 +20,10 @@
 //! STATS                STATS key=value ...
 //! SNAPSHOT <path>      OK <bytes>          (relative path, confined to the
 //!                                          server's snapshot directory)
-//! REPLICATE <lsn>      frame stream        (replication handshake; see below)
-//! PROMOTE              OK <lsn>            (flip a replica writable at its
-//!                                          applied LSN; ERR on non-replicas)
+//! REPLICATE <lsn> [<epoch>]  frame stream  (replication handshake; see below)
+//! PROMOTE              OK <lsn> <epoch>    (flip a replica writable at its
+//!                                          applied LSN, at a freshly bumped
+//!                                          epoch; ERR on non-replicas)
 //! QUIT                 BYE                 (connection closes)
 //! SHUTDOWN             BYE                 (whole server drains and stops)
 //! ```
@@ -38,12 +39,20 @@
 //! every read query works normally. `PROMOTE` stops the replica's
 //! applier and flips it writable at its applied LSN.
 //!
-//! `REPLICATE <lsn>` turns the connection into a replication stream: the
-//! server (which must run with `--wal`, and must not itself be an
-//! unpromoted replica) ships WAL records from `lsn` onwards as framed
-//! `CKPT`/`REC` messages while reading `ACK <lsn>` lines back — see
-//! `sprofile_replicate::frame` for the exact format. The connection
-//! stays in streaming mode until either side closes it.
+//! `REPLICATE <lsn> [<epoch>]` turns the connection into a replication
+//! stream: the server (which must run with `--wal`, and must not itself
+//! be an unpromoted replica) ships WAL records from `lsn` onwards as
+//! framed `CKPT`/`REC` messages while reading `ACK <lsn>` lines back —
+//! see `sprofile_replicate::frame` for the exact format. The optional
+//! `epoch` is the highest generation the replica has already followed
+//! (omitted/0: don't care): a primary whose own epoch is older refuses
+//! with `ERR fenced: …` instead of streaming — it is a stale head that
+//! restarted after a failover. In the other direction, every stream
+//! opens with an `EPOCH <e>` frame and repeats it as an idle heartbeat
+//! (~200 ms); a replica that sees a generation older than one it has
+//! followed aborts the stream. Streams run on dedicated threads, so
+//! they never occupy one of the bounded accept-pool slots. The
+//! connection stays in streaming mode until either side closes it.
 //!
 //! `STATS` always reports `wal=0|1`. When the server runs in `--wal`
 //! mode (`wal=1`) the payload additionally carries the durability
@@ -58,13 +67,20 @@
 //! log and from every replica tailing it.
 //!
 //! `STATS` also always reports the replication fields: `repl_role`
-//! (`none` | `primary` | `replica` | `promoted`), `repl_connected`
-//! (attached replicas on a primary; 0/1 primary-link state on a
-//! replica), `repl_head_lsn` (newest local LSN on a primary; newest
-//! *reported* primary LSN on a replica), `repl_applied_lsn` (slowest
-//! replica's acked LSN on a primary; locally applied LSN on a replica),
-//! `repl_lag_lsn` (`head − applied`), and `repl_records` / `repl_bytes`
-//! (shipped on a primary, applied on a replica).
+//! (`none` | `primary` | `replica` | `promoted`), `repl_epoch` (current
+//! replication generation; 0 when no replication plane exists),
+//! `repl_connected` (attached replicas on a primary; 0/1 primary-link
+//! state on a replica), `repl_head_lsn` (newest local LSN on a primary;
+//! newest *reported* primary LSN on a replica), `repl_applied_lsn`
+//! (slowest replica's acked LSN on a primary; locally applied LSN on a
+//! replica), `repl_lag_lsn` (`head − applied`), `repl_records` /
+//! `repl_bytes` (shipped on a primary, applied on a replica),
+//! `repl_beats` (frames received from the primary, heartbeats included
+//! — the liveness counter failover monitors sample; 0 on a primary),
+//! `fenced_rejects` (streams refused or aborted on epoch grounds), and
+//! `sync_commit` (`off` | `quorum` | `all` | `degraded`: synchronous
+//! commit has timed out waiting for replica acks and fallen back to
+//! asynchronous until replicas catch up).
 
 use sprofile::Tuple;
 
@@ -99,9 +115,17 @@ pub enum Request {
     /// only accepts relative paths without `..`, resolved inside its
     /// configured snapshot directory.
     Snapshot(String),
-    /// `REPLICATE <lsn>` — turn this connection into a replication
-    /// stream shipping WAL records from `lsn` onwards.
-    Replicate(u64),
+    /// `REPLICATE <lsn> [<epoch>]` — turn this connection into a
+    /// replication stream shipping WAL records from `lsn` onwards. The
+    /// optional epoch is the highest generation the replica has
+    /// followed (0: don't care); a primary older than it refuses the
+    /// stream with `ERR fenced: …`.
+    Replicate {
+        /// First LSN the replica wants shipped.
+        start_lsn: u64,
+        /// Highest epoch the replica has followed (0: don't care).
+        epoch: u64,
+    },
     /// `PROMOTE` — flip a replica writable at its applied LSN.
     Promote,
     /// `QUIT` — close this connection.
@@ -149,7 +173,23 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             let path = rest.filter(|r| !r.is_empty());
             Request::Snapshot(path.ok_or("SNAPSHOT needs a path")?.to_string())
         }
-        "REPLICATE" => Request::Replicate(parse_arg(&upper, rest)?),
+        "REPLICATE" => {
+            let rest = rest
+                .filter(|r| !r.is_empty())
+                .ok_or("REPLICATE needs an argument")?;
+            let mut parts = rest.split_whitespace();
+            let start_lsn = parse_arg(&upper, parts.next())?;
+            let epoch = match parts.next() {
+                Some(e) => e
+                    .parse()
+                    .map_err(|_| format!("invalid epoch '{e}' for REPLICATE"))?,
+                None => 0,
+            };
+            if parts.next().is_some() {
+                return Err("REPLICATE takes at most two arguments".into());
+            }
+            Request::Replicate { start_lsn, epoch }
+        }
         "PROMOTE" => Request::Promote,
         "QUIT" => Request::Quit,
         "SHUTDOWN" => Request::Shutdown,
@@ -225,8 +265,20 @@ mod tests {
                 "SNAPSHOT /tmp/x.snap",
                 Request::Snapshot("/tmp/x.snap".into()),
             ),
-            ("REPLICATE 512", Request::Replicate(512)),
-            ("replicate 1", Request::Replicate(1)),
+            (
+                "REPLICATE 512",
+                Request::Replicate {
+                    start_lsn: 512,
+                    epoch: 0,
+                },
+            ),
+            (
+                "replicate 1 7",
+                Request::Replicate {
+                    start_lsn: 1,
+                    epoch: 7,
+                },
+            ),
             ("PROMOTE", Request::Promote),
             ("QUIT", Request::Quit),
             ("SHUTDOWN", Request::Shutdown),
@@ -259,6 +311,8 @@ mod tests {
             "REPLICATE",
             "REPLICATE x",
             "REPLICATE -1",
+            "REPLICATE 1 x",
+            "REPLICATE 1 2 3",
             "PROMOTE 3",
             "frobnicate 1",
         ] {

@@ -48,7 +48,13 @@ impl ReplState {
     /// source side (attached replicas, shipped records) — exactly what
     /// failover monitoring needs to watch on the new head — rather than
     /// staying frozen at promotion-time applier values.
-    pub fn render(&self) -> String {
+    ///
+    /// Every role also reports the epoch plane: `repl_epoch` (current
+    /// generation), `repl_beats` (frames received from the primary —
+    /// the liveness signal failover monitors sample; 0 on a primary),
+    /// `fenced_rejects` (streams this node refused or aborted on epoch
+    /// grounds), and `sync_commit` (the caller-supplied mode string).
+    pub fn render(&self, sync_commit: &str) -> String {
         let promoted = self
             .replica
             .as_ref()
@@ -78,9 +84,24 @@ impl ReplState {
             (None, Some(s)) => source_side(s, "primary"),
             (None, None) => ("none", 0, 0, 0, 0, 0),
         };
+        let epoch = self
+            .source
+            .as_ref()
+            .map(|s| s.epoch())
+            .into_iter()
+            .chain(self.replica.as_ref().map(|r| r.stats.epoch()))
+            .max()
+            .unwrap_or(0);
+        let beats = self.replica.as_ref().map_or(0, |r| r.stats.beats());
+        let fenced = self.replica.as_ref().map_or(0, |r| r.stats.fenced())
+            + self
+                .source
+                .as_ref()
+                .map_or(0, |s| s.metrics().fenced_rejects());
         format!(
-            "repl_role={role} repl_connected={connected} repl_head_lsn={head} \
-             repl_applied_lsn={applied} repl_lag_lsn={} repl_records={records} repl_bytes={bytes}",
+            "repl_role={role} repl_epoch={epoch} repl_connected={connected} repl_head_lsn={head} \
+             repl_applied_lsn={applied} repl_lag_lsn={} repl_records={records} repl_bytes={bytes} \
+             repl_beats={beats} fenced_rejects={fenced} sync_commit={sync_commit}",
             head.saturating_sub(applied)
         )
     }
@@ -97,16 +118,22 @@ pub(crate) struct BackendSink {
     /// Resume position when running without a local WAL (volatile: a
     /// restarted non-durable replica re-syncs from scratch).
     next: u64,
+    /// Followed epoch when running without a local WAL (volatile, like
+    /// `next`: a restarted non-durable replica forgets its fencing
+    /// history along with its data).
+    epoch: u64,
 }
 
 impl BackendSink {
     pub fn new(backend: Backend, durability: Option<Arc<Durability>>, m: u32) -> BackendSink {
         let next = durability.as_ref().map_or(1, |d| d.next_lsn());
+        let epoch = durability.as_ref().map_or(1, |d| d.epoch());
         BackendSink {
             backend,
             durability,
             m,
             next,
+            epoch,
         }
     }
 
@@ -129,6 +156,23 @@ impl ApplySink for BackendSink {
             Some(d) => d.next_lsn(),
             None => self.next,
         }
+    }
+
+    fn epoch(&mut self) -> u64 {
+        match &self.durability {
+            Some(d) => d.epoch(),
+            None => self.epoch,
+        }
+    }
+
+    fn adopt_epoch(&mut self, epoch: u64) -> Result<(), String> {
+        match &self.durability {
+            Some(d) => {
+                d.adopt_epoch(epoch)?;
+            }
+            None => self.epoch = self.epoch.max(epoch),
+        }
+        Ok(())
     }
 
     fn bootstrap(&mut self, lsn: u64, snapshot: &[u8]) -> Result<(), String> {

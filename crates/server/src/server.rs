@@ -26,7 +26,7 @@ use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sprofile::Tuple;
 use sprofile_replicate::{
@@ -42,6 +42,84 @@ use crate::repl::{BackendSink, ReplState, ReplicaState};
 /// How long a worker waits in one poll of the listener or an idle
 /// connection before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Synchronous-commit mode (`serve --sync-commit`): how many replica
+/// acknowledgements a flushed batch waits for before the primary
+/// acknowledges the writes that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncCommit {
+    /// Asynchronous replication (the default): acks never wait.
+    Off,
+    /// Wait until a majority of the replication group (this primary
+    /// plus its attached replicas) holds the batch — `⌈R/2⌉` replica
+    /// acks for `R` attached replicas.
+    Quorum,
+    /// Wait for every attached replica.
+    All,
+}
+
+impl SyncCommit {
+    /// Parses a `--sync-commit` value (`off` | `quorum` | `all`).
+    pub fn parse(s: &str) -> Option<SyncCommit> {
+        match s {
+            "off" => Some(SyncCommit::Off),
+            "quorum" => Some(SyncCommit::Quorum),
+            "all" => Some(SyncCommit::All),
+            _ => None,
+        }
+    }
+
+    /// The wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncCommit::Off => "off",
+            SyncCommit::Quorum => "quorum",
+            SyncCommit::All => "all",
+        }
+    }
+
+    /// Whether acks gate on replicas at all.
+    pub fn is_on(self) -> bool {
+        self != SyncCommit::Off
+    }
+
+    /// Replica acks required for a batch, given `attached` replicas.
+    fn required(self, attached: usize) -> usize {
+        match self {
+            SyncCommit::Off => 0,
+            SyncCommit::Quorum => attached.div_ceil(2),
+            SyncCommit::All => attached,
+        }
+    }
+}
+
+/// Automatic-failover knobs (`serve --auto-failover`), for a replica
+/// that should monitor its primary and hold an election with its peer
+/// replicas when the primary goes silent.
+#[derive(Clone, Debug)]
+pub struct FailoverConfig {
+    /// The *other* replicas of the same primary (client addresses).
+    /// The election requires a majority of `peers ∪ {self}` reachable.
+    pub peers: Vec<String>,
+    /// Liveness sampling interval.
+    pub heartbeat: Duration,
+    /// Consecutive silent samples before an election is attempted. The
+    /// stream heartbeats every ~200 ms, so the detection window is
+    /// roughly `heartbeat × grace`.
+    pub grace: u32,
+}
+
+impl FailoverConfig {
+    /// Defaults for a peer set: sample every 500 ms, elect after 4
+    /// silent samples (~2 s detection).
+    pub fn new(peers: Vec<String>) -> FailoverConfig {
+        FailoverConfig {
+            peers,
+            heartbeat: Duration::from_millis(500),
+            grace: 4,
+        }
+    }
+}
 
 /// Server construction knobs.
 #[derive(Clone, Debug)]
@@ -71,6 +149,21 @@ pub struct ServerConfig {
     /// [`ServerConfig::wal`] is also set, so restarts resume from the
     /// durable position). `PROMOTE` flips it writable.
     pub replica_of: Option<String>,
+    /// Synchronous commit: when on, every write is logged, shipped, and
+    /// acknowledged by enough replicas *before* its `OK` goes out
+    /// (RPO = 0 for acknowledged writes) — which forces a flush per
+    /// write request, trading the batching throughput for the
+    /// guarantee. A batch that cannot gather its acks within
+    /// [`ServerConfig::sync_commit_timeout`] degrades to asynchronous
+    /// (and `STATS` reports `sync_commit=degraded`) instead of hanging
+    /// writers forever.
+    pub sync_commit: SyncCommit,
+    /// How long one batch waits for replica acks before degrading.
+    pub sync_commit_timeout: Duration,
+    /// Health-check-driven failover (replica side, requires
+    /// [`ServerConfig::replica_of`]): monitor the primary's frame
+    /// stream and, when it goes silent, elect a new head among `peers`.
+    pub failover: Option<FailoverConfig>,
 }
 
 impl Default for ServerConfig {
@@ -83,33 +176,46 @@ impl Default for ServerConfig {
             snapshot_dir: PathBuf::from("."),
             wal: None,
             replica_of: None,
+            sync_commit: SyncCommit::Off,
+            sync_commit_timeout: Duration::from_secs(1),
+            failover: None,
         }
     }
 }
 
 /// Shared state between the server handle and its workers.
-struct Shared {
-    metrics: Metrics,
+pub(crate) struct Shared {
+    pub(crate) metrics: Metrics,
     m: u32,
     flush_every: usize,
     snapshot_dir: PathBuf,
     backend_name: &'static str,
-    durability: Option<Arc<Durability>>,
-    repl: ReplState,
+    pub(crate) durability: Option<Arc<Durability>>,
+    pub(crate) repl: ReplState,
     /// Write requests answered `ERR readonly` while set (replica mode;
     /// cleared by `PROMOTE`).
-    readonly: AtomicBool,
+    pub(crate) readonly: AtomicBool,
+    sync_commit: SyncCommit,
+    sync_timeout: Duration,
+    /// Set when synchronous commit last timed out waiting for replica
+    /// acks (the batch was acknowledged asynchronously); cleared by the
+    /// next batch that gathers its acks in time.
+    sync_degraded: AtomicBool,
+    /// Dedicated replication-stream threads, joined on shutdown. They
+    /// hold no [`Backend`] clone, only `Arc`s, so backend teardown never
+    /// waits on a slow replica.
+    stream_threads: Mutex<Vec<JoinHandle<()>>>,
     stop: AtomicBool,
     stop_lock: Mutex<bool>,
     stop_cond: Condvar,
 }
 
 impl Shared {
-    fn stopping(&self) -> bool {
+    pub(crate) fn stopping(&self) -> bool {
         self.stop.load(Ordering::Acquire)
     }
 
-    fn readonly(&self) -> bool {
+    pub(crate) fn readonly(&self) -> bool {
         self.readonly.load(Ordering::Acquire)
     }
 
@@ -125,6 +231,53 @@ impl Shared {
         *self.stop_lock.lock().expect("stop lock poisoned") = true;
         self.stop_cond.notify_all();
     }
+
+    /// Sleeps up to `dur` on the stop condvar; `true` means the server
+    /// is stopping (wake up and exit).
+    pub(crate) fn sleep_or_stop(&self, dur: Duration) -> bool {
+        let stopped = self.stop_lock.lock().expect("stop lock poisoned");
+        if *stopped {
+            return true;
+        }
+        let (stopped, _) = self
+            .stop_cond
+            .wait_timeout(stopped, dur)
+            .expect("stop cond poisoned");
+        *stopped
+    }
+
+    /// The `sync_commit` STATS value.
+    fn sync_commit_state(&self) -> &'static str {
+        if self.sync_commit.is_on() && self.sync_degraded.load(Ordering::Relaxed) {
+            "degraded"
+        } else {
+            self.sync_commit.name()
+        }
+    }
+
+    /// The synchronous-commit gate: blocks until enough attached
+    /// replicas acknowledge `lsn`, the timeout degrades the batch to
+    /// asynchronous, or the server stops. The replica count is
+    /// re-sampled each poll, so a replica detaching mid-wait lowers the
+    /// requirement instead of stranding the writer.
+    fn sync_commit_wait(&self, d: &Durability, lsn: u64) {
+        if !self.sync_commit.is_on() || self.readonly() {
+            return;
+        }
+        let registry = d.registry();
+        let deadline = Instant::now() + self.sync_timeout;
+        loop {
+            if registry.count_acked_at_least(lsn) >= self.sync_commit.required(registry.len()) {
+                self.sync_degraded.store(false, Ordering::Relaxed);
+                return;
+            }
+            if self.stopping() || Instant::now() >= deadline {
+                self.sync_degraded.store(true, Ordering::Relaxed);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
 }
 
 /// A running server. Dropping it does **not** stop the workers; call
@@ -135,6 +288,7 @@ pub struct Server {
     addr: SocketAddr,
     workers: Vec<JoinHandle<()>>,
     checkpointer: Option<JoinHandle<()>>,
+    promoter: Option<JoinHandle<()>>,
     owner: Option<BackendOwner>,
 }
 
@@ -184,12 +338,23 @@ impl Server {
         let shared = Arc::new(Shared {
             metrics: Metrics::default(),
             m: config.m,
-            flush_every: config.flush_every.max(1),
+            // Sync commit acknowledges nothing it has not replicated,
+            // so the reply to each write request must sit behind its
+            // own flush: threshold 1.
+            flush_every: if config.sync_commit.is_on() {
+                1
+            } else {
+                config.flush_every.max(1)
+            },
             snapshot_dir: config.snapshot_dir.clone(),
             backend_name: owner.backend().name(),
             durability,
             readonly: AtomicBool::new(replica.is_some()),
             repl: ReplState { source, replica },
+            sync_commit: config.sync_commit,
+            sync_timeout: config.sync_commit_timeout,
+            sync_degraded: AtomicBool::new(false),
+            stream_threads: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
             stop_lock: Mutex::new(false),
             stop_cond: Condvar::new(),
@@ -216,11 +381,35 @@ impl Server {
                 .spawn(move || housekeeping_loop(d, backend, shared))
                 .expect("spawn wal housekeeping")
         });
+        // Health-check-driven failover: a replica with a peer set
+        // monitors the primary's heartbeat stream and runs elections.
+        let promoter = match (&config.failover, &config.replica_of) {
+            (Some(f), Some(primary)) => {
+                let ctx = crate::failover::FailoverCtx {
+                    shared: Arc::clone(&shared),
+                    backend: owner.backend(),
+                    m: config.m,
+                    primary: primary.clone(),
+                    self_addr: addr.to_string(),
+                    peers: f.peers.clone(),
+                    heartbeat: f.heartbeat.max(Duration::from_millis(10)),
+                    grace: f.grace.max(1),
+                };
+                Some(
+                    std::thread::Builder::new()
+                        .name("sprofile-failover".into())
+                        .spawn(move || crate::failover::promoter_loop(ctx))
+                        .expect("spawn failover promoter"),
+                )
+            }
+            _ => None,
+        };
         Ok(Server {
             shared,
             addr,
             workers,
             checkpointer,
+            promoter,
             owner: Some(owner),
         })
     }
@@ -256,17 +445,7 @@ impl Server {
                     .expect("stop cond poisoned");
             }
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-        if let Some(cp) = self.checkpointer.take() {
-            let _ = cp.join();
-        }
-        // Stop the replica applier (if any) before the final checkpoint
-        // and backend teardown, so everything it applied is captured.
-        if let Some(replica) = &self.shared.repl.replica {
-            replica.stop_applier();
-        }
+        self.join_threads();
         if let Some(owner) = self.owner.take() {
             // Seal the log with a final checkpoint so the next boot is
             // instant; a failure only costs restart-time replay.
@@ -281,10 +460,54 @@ impl Server {
         self.shared.metrics.applied.get()
     }
 
+    /// Joins every server thread after the stop flag is up: accept
+    /// workers, the housekeeping checkpointer, detached replication
+    /// streams, the failover promoter (which holds a backend clone),
+    /// and finally the replica applier.
+    fn join_threads(&mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(cp) = self.checkpointer.take() {
+            let _ = cp.join();
+        }
+        let streams: Vec<_> = self
+            .shared
+            .stream_threads
+            .lock()
+            .expect("stream threads lock poisoned")
+            .drain(..)
+            .collect();
+        for s in streams {
+            let _ = s.join();
+        }
+        if let Some(p) = self.promoter.take() {
+            let _ = p.join();
+        }
+        // Stop the replica applier (if any) before the final checkpoint
+        // and backend teardown, so everything it applied is captured.
+        if let Some(replica) = &self.shared.repl.replica {
+            replica.stop_applier();
+        }
+    }
+
     /// [`Self::request_shutdown`] + [`Self::wait`].
     pub fn shutdown(self) -> u64 {
         self.request_shutdown();
         self.wait()
+    }
+
+    /// Crash-stop, for failure testing: stops and joins every thread
+    /// like [`Self::shutdown`] but skips the final checkpoint, so the
+    /// WAL directory is left exactly as a `kill -9`'d process would
+    /// leave it — recovery must replay the log tail, and anything not
+    /// yet logged is lost.
+    pub fn kill(mut self) {
+        self.shared.trigger_stop();
+        self.join_threads();
+        if let Some(owner) = self.owner.take() {
+            owner.shutdown();
+        }
     }
 }
 
@@ -346,8 +569,13 @@ fn accept_loop(listener: TcpListener, backend: Backend, shared: Arc<Shared>) {
                 }
                 shared.metrics.connections_accepted.inc();
                 shared.metrics.connections_active.inc();
-                let _ = serve_connection(stream, &backend, &shared);
-                shared.metrics.connections_active.dec();
+                // A connection that turned into a replication stream was
+                // handed to a dedicated thread, which owns the active
+                // count from then on — this pool slot is free again.
+                let detached = serve_connection(stream, &backend, &shared).unwrap_or(false);
+                if !detached {
+                    shared.metrics.connections_active.dec();
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
@@ -441,7 +669,13 @@ fn flush_pending(pending: &mut Vec<Tuple>, backend: &Backend, shared: &Shared) {
         return;
     }
     match &shared.durability {
-        Some(d) => d.log_and_apply(pending, backend),
+        Some(d) => {
+            if let Some(lsn) = d.log_and_apply(pending, backend) {
+                // Synchronous commit: the batch's OKs (sent after this
+                // flush returns) are gated on replica acks for its LSN.
+                shared.sync_commit_wait(d, lsn);
+            }
+        }
         None => backend.apply_batch(pending),
     }
     shared.metrics.applied.add(pending.len() as u64);
@@ -449,7 +683,23 @@ fn flush_pending(pending: &mut Vec<Tuple>, backend: &Backend, shared: &Shared) {
     pending.clear();
 }
 
-fn serve_connection(stream: TcpStream, backend: &Backend, shared: &Arc<Shared>) -> io::Result<()> {
+/// What a finished [`connection_loop`] asks of its accept worker.
+enum ConnOutcome {
+    /// Plain request/reply connection; it has been fully served.
+    Done,
+    /// The connection issued a (validated) `REPLICATE` and must be
+    /// handed off to a dedicated stream thread, freeing this pool slot.
+    Stream { start_lsn: u64, epoch: u64 },
+}
+
+/// Serves one connection. Returns whether it was detached to a
+/// dedicated replication-stream thread (which then owns the active
+/// connection count).
+fn serve_connection(
+    stream: TcpStream,
+    backend: &Backend,
+    shared: &Arc<Shared>,
+) -> io::Result<bool> {
     // Accepted streams may inherit the listener's non-blocking mode on
     // some platforms; force blocking + a read timeout so idle reads poll
     // the shutdown flag.
@@ -467,7 +717,78 @@ fn serve_connection(stream: TcpStream, backend: &Backend, shared: &Arc<Shared>) 
     // the connection ended. Only an incomplete BATCH body is dropped
     // (it never made it into `pending`).
     flush_pending(&mut pending, backend, shared);
-    result
+    match result? {
+        ConnOutcome::Done => Ok(false),
+        ConnOutcome::Stream { start_lsn, epoch } => {
+            spawn_stream_thread(reader, writer, shared, start_lsn, epoch)?;
+            Ok(true)
+        }
+    }
+}
+
+/// Moves a replication stream onto its own named thread, so a replica
+/// tailing the log for hours never occupies one of the bounded
+/// accept-pool slots (a pool of N must still accept N client
+/// connections with N replicas attached). The thread holds only `Arc`s
+/// — no backend clone — and is joined on shutdown.
+fn spawn_stream_thread(
+    mut reader: BufReader<TcpStream>,
+    mut writer: BufWriter<TcpStream>,
+    shared: &Arc<Shared>,
+    start_lsn: u64,
+    epoch: u64,
+) -> io::Result<()> {
+    let source = shared
+        .repl
+        .source
+        .clone()
+        .expect("REPLICATE validated against a source");
+    // A write timeout bounds how long a stalled replica (full send
+    // window) can pin the stream thread — without it, a blocked
+    // write_all would never reach the stop check and graceful shutdown
+    // would hang. On timeout the stream errors out and the replica
+    // reconnects and resumes.
+    writer
+        .get_ref()
+        .set_write_timeout(Some(Duration::from_secs(5)))?;
+    let ack_stream = writer.get_ref().try_clone()?;
+    // Hand any bytes the request reader has already buffered past the
+    // REPLICATE line (a replica may pipeline its first ACK) to the ack
+    // thread — a fresh BufReader over the cloned fd would lose them, or
+    // worse parse a line split across the boundary as junk.
+    let leftover = reader.buffer().to_vec();
+    reader.consume(leftover.len());
+    let registrar = Arc::clone(shared);
+    let shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("sprofile-repl-stream".into())
+        .spawn(move || {
+            let acks = AckState::new();
+            let ack_join = {
+                let acks = Arc::clone(&acks);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("sprofile-repl-acks".into())
+                    .spawn(move || {
+                        let input = io::Cursor::new(leftover).chain(BufReader::new(ack_stream));
+                        read_acks(input, &acks, &|| shared.stopping() || acks.is_closed())
+                    })
+                    .expect("spawn ack reader")
+            };
+            let _ = source.stream(start_lsn, epoch, &mut writer, &acks, &|| shared.stopping());
+            // Unblock the ack thread (it also exits on stop/EOF) and
+            // close the connection: a stream never goes back to
+            // request/reply mode.
+            acks.close();
+            let _ = ack_join.join();
+            shared.metrics.connections_active.dec();
+        })?;
+    registrar
+        .stream_threads
+        .lock()
+        .expect("stream threads lock poisoned")
+        .push(handle);
+    Ok(())
 }
 
 fn connection_loop(
@@ -476,7 +797,7 @@ fn connection_loop(
     pending: &mut Vec<Tuple>,
     backend: &Backend,
     shared: &Arc<Shared>,
-) -> io::Result<()> {
+) -> io::Result<ConnOutcome> {
     let mut line: Vec<u8> = Vec::new();
     let mut body: Vec<u8> = Vec::new();
 
@@ -667,7 +988,7 @@ fn connection_loop(
                     Some(d) => format!(" wal=1 {}", d.render()),
                     None => " wal=0".to_string(),
                 };
-                let repl = shared.repl.render();
+                let repl = shared.repl.render(shared.sync_commit_state());
                 reply(
                     writer,
                     &format!(
@@ -710,58 +1031,21 @@ fn connection_loop(
                     }
                 }
             }
-            Request::Replicate(start_lsn) => {
+            Request::Replicate { start_lsn, epoch } => {
                 flush_pending(pending, backend, shared);
                 if shared.readonly() {
                     shared.metrics.errors.inc();
                     reply(writer, "ERR readonly replica cannot serve replication")?;
                     continue;
                 }
-                let Some(source) = shared.repl.source.clone() else {
+                if shared.repl.source.is_none() {
                     shared.metrics.errors.inc();
                     reply(writer, "ERR replication requires --wal")?;
                     continue;
-                };
-                // This connection becomes a replication stream: this
-                // worker writes frames while a dedicated thread reads
-                // the replica's ACK lines off the same socket (reads
-                // and writes are independent directions). A write
-                // timeout bounds how long a stalled replica (full send
-                // window) can pin this worker — without it, a blocked
-                // write_all would never reach the stop check and
-                // graceful shutdown would hang. On timeout the stream
-                // errors out and the replica reconnects and resumes.
-                writer
-                    .get_ref()
-                    .set_write_timeout(Some(Duration::from_secs(5)))?;
-                let acks = AckState::new();
-                let ack_stream = writer.get_ref().try_clone()?;
-                // Hand any bytes this connection's reader has already
-                // buffered past the REPLICATE line (a replica may
-                // pipeline its first ACK) to the ack thread — a fresh
-                // BufReader over the cloned fd would lose them, or worse
-                // parse a line split across the boundary as junk.
-                let leftover = reader.buffer().to_vec();
-                reader.consume(leftover.len());
-                let ack_join = {
-                    let acks = Arc::clone(&acks);
-                    let shared = Arc::clone(shared);
-                    std::thread::Builder::new()
-                        .name("sprofile-repl-acks".into())
-                        .spawn(move || {
-                            let input = io::Cursor::new(leftover).chain(BufReader::new(ack_stream));
-                            read_acks(input, &acks, &|| shared.stopping() || acks.is_closed())
-                        })
-                        .expect("spawn ack reader")
-                };
-                let result = source.stream(start_lsn, writer, &acks, &|| shared.stopping());
-                // Unblock the ack thread (it also exits on stop/EOF) and
-                // close the connection: a stream never goes back to
-                // request/reply mode.
-                acks.close();
-                let _ = ack_join.join();
-                result?;
-                break;
+                }
+                // The caller detaches this connection onto a dedicated
+                // stream thread; this pool slot goes back to accepting.
+                return Ok(ConnOutcome::Stream { start_lsn, epoch });
             }
             Request::Promote => {
                 flush_pending(pending, backend, shared);
@@ -770,13 +1054,33 @@ fn connection_loop(
                     reply(writer, "ERR not a replica")?;
                     continue;
                 };
-                // Stop pulling from the (possibly dead) primary, then
-                // open the write path. Idempotent: a second PROMOTE
-                // reports the same applied position.
+                // Stop pulling from the (possibly dead) primary, open a
+                // new generation, then open the write path. Idempotent:
+                // a second PROMOTE reports the same position and epoch
+                // (only the first one bumps).
+                let already = replica.promoted.load(Ordering::Acquire);
                 replica.stop_applier();
+                let epoch = match &shared.durability {
+                    Some(d) if already => d.epoch(),
+                    Some(d) => match d.bump_epoch(replica.stats.epoch()) {
+                        Ok(e) => e,
+                        Err(msg) => {
+                            // The marker write failed (disk): refuse the
+                            // promotion rather than open a generation
+                            // that a restart would forget.
+                            shared.metrics.errors.inc();
+                            reply(writer, &format!("ERR {msg}"))?;
+                            continue;
+                        }
+                    },
+                    None => replica.stats.epoch().max(1),
+                };
                 replica.promoted.store(true, Ordering::Release);
                 shared.readonly.store(false, Ordering::Release);
-                reply(writer, &format!("OK {}", replica.stats.applied_lsn()))?;
+                reply(
+                    writer,
+                    &format!("OK {} {epoch}", replica.stats.applied_lsn()),
+                )?;
             }
             Request::Quit => {
                 // Flush before BYE: a client that saw BYE may assume its
@@ -793,5 +1097,5 @@ fn connection_loop(
             }
         }
     }
-    Ok(())
+    Ok(ConnOutcome::Done)
 }

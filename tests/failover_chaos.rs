@@ -1,0 +1,297 @@
+//! Seeded failover chaos rounds (the CI harness): a 1-primary /
+//! 2-replica group with automatic failover enabled is driven with
+//! random acked traffic, the primary is crash-stopped (`kill`, no final
+//! checkpoint), and the round asserts the group converges to **exactly
+//! one writable head** — the election's winner at a bumped epoch — with
+//! the loser re-pointed at it, the revived stale primary **fenced
+//! loudly**, and every survivor (including the wiped-and-failed-back
+//! old primary) agreeing with a single-profile oracle.
+//!
+//! Rounds and seed come from the environment so CI can crank them and a
+//! failure is reproducible:
+//!
+//! - `CHAOS_ROUNDS` — rounds to run (default 2; CI runs 5)
+//! - `CHAOS_SEED`   — base seed (default fixed; printed per round, and
+//!   every panic message carries it)
+//!
+//! Each round builds a fresh cluster on fresh ports (ephemeral-port
+//! reuse across in-process restarts is not portable without
+//! `SO_REUSEADDR`, which std's `TcpListener` cannot set).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sprofile::{SProfile, Tuple};
+use sprofile_server::{
+    BackendKind, Client, DurabilityConfig, FailoverConfig, Server, ServerConfig, SyncCommit,
+};
+
+const DEFAULT_SEED: u64 = 0xC4A0_55EED;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn temp_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sprofile-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Grabs an ephemeral port and releases it, so a replica can be told
+/// its peer's address before the peer starts. The bind race is
+/// negligible in a test process that allocates a handful of ports.
+fn free_addr() -> String {
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+    addr
+}
+
+fn wal_config(dir: PathBuf) -> DurabilityConfig {
+    DurabilityConfig {
+        segment_bytes: 512,
+        checkpoint_every: 64,
+        ..DurabilityConfig::new(dir)
+    }
+}
+
+fn wait_for(what: &str, seed: u64, mut cond: impl FnMut() -> bool) {
+    for _ in 0..1_500 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("seed={seed:#x}: timed out waiting for {what}");
+}
+
+fn stat_str(stats: &str, key: &str) -> String {
+    stats
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+        .unwrap_or_default()
+        .to_string()
+}
+
+fn role(client: &mut Client) -> String {
+    stat_str(&client.stats().unwrap(), "repl_role")
+}
+
+/// Sends `ops` random acked tuples to the head, mirroring them into the
+/// oracle — under quorum commit, everything in the oracle reached at
+/// least one replica before the send returned.
+fn drive(rng: &mut StdRng, client: &mut Client, oracle: &mut SProfile, m: u32, ops: usize) {
+    let mut sent = 0;
+    while sent < ops {
+        let chunk = rng.gen_range(1usize..=16).min(ops - sent);
+        let tuples: Vec<Tuple> = (0..chunk)
+            .map(|_| Tuple {
+                object: rng.gen_range(0..m),
+                is_add: rng.gen_bool(0.7),
+            })
+            .collect();
+        client.batch(&tuples).unwrap();
+        oracle.apply_batch(&tuples);
+        sent += chunk;
+    }
+}
+
+fn assert_matches_oracle(client: &mut Client, oracle: &SProfile, m: u32, seed: u64, ctx: &str) {
+    for x in 0..m {
+        assert_eq!(
+            client.freq(x).unwrap(),
+            oracle.frequency(x),
+            "seed={seed:#x}: {ctx}: object {x}"
+        );
+    }
+    assert_eq!(
+        client.median().unwrap(),
+        oracle.median(),
+        "seed={seed:#x}: {ctx}: median"
+    );
+}
+
+fn start_replica(m: u32, dir: PathBuf, primary: &str, addr: &str, peers: Vec<String>) -> Server {
+    let mut failover = FailoverConfig::new(peers);
+    failover.heartbeat = Duration::from_millis(100);
+    failover.grace = 3;
+    Server::start(
+        ServerConfig {
+            m,
+            backend: BackendKind::Sharded { shards: 2 },
+            accept_pool: 3,
+            flush_every: 4,
+            snapshot_dir: std::env::temp_dir(),
+            wal: Some(wal_config(dir)),
+            replica_of: Some(primary.to_string()),
+            failover: Some(failover),
+            ..ServerConfig::default()
+        },
+        addr,
+    )
+    .expect("start replica")
+}
+
+fn chaos_round(base_seed: u64, round: u64) {
+    let seed = base_seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    eprintln!("chaos round {round}: seed={seed:#x} (CHAOS_SEED to reproduce)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m: u32 = rng.gen_range(16..64);
+    let base = temp_base(&format!("round{round}"));
+
+    // Fresh cluster: quorum-commit primary, two auto-failover replicas
+    // that know each other as election peers.
+    let primary = Server::start(
+        ServerConfig {
+            m,
+            backend: BackendKind::Sharded { shards: 2 },
+            accept_pool: 3,
+            flush_every: 4, // forced to 1 by sync commit
+            snapshot_dir: std::env::temp_dir(),
+            wal: Some(wal_config(base.join("primary"))),
+            sync_commit: SyncCommit::Quorum,
+            sync_commit_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("start primary");
+    let p_addr = primary.local_addr().to_string();
+    let a1 = free_addr();
+    let a2 = free_addr();
+    let r1 = start_replica(m, base.join("r1"), &p_addr, &a1, vec![a2.clone()]);
+    let r2 = start_replica(m, base.join("r2"), &p_addr, &a2, vec![a1.clone()]);
+
+    let mut oracle = SProfile::new(m);
+    let mut pc = Client::connect(p_addr.as_str()).unwrap();
+    let phase1 = rng.gen_range(60..250);
+    drive(&mut rng, &mut pc, &mut oracle, m, phase1);
+    drop(pc);
+
+    // Crash-stop the primary mid-flight: no drain, no final checkpoint.
+    primary.kill();
+
+    // The health checks must notice, elect, and promote exactly one of
+    // the replicas — the most caught-up one — at the bumped epoch.
+    let mut c1 = Client::connect(r1.local_addr()).unwrap();
+    let mut c2 = Client::connect(r2.local_addr()).unwrap();
+    wait_for("a self-promotion", seed, || {
+        role(&mut c1) == "promoted" || role(&mut c2) == "promoted"
+    });
+    let (mut wc, mut lc, winner, loser) = if role(&mut c1) == "promoted" {
+        (c1, c2, r1, r2)
+    } else {
+        (c2, c1, r2, r1)
+    };
+    let wstats = wc.stats().unwrap();
+    assert_eq!(
+        Client::stats_field(&wstats, "repl_epoch"),
+        Some(2),
+        "seed={seed:#x}: winner generation: {wstats}"
+    );
+
+    // The loser must re-point at the winner and converge; it must NOT
+    // also promote (exactly one writable head).
+    let head = Client::stats_field(&wstats, "repl_head_lsn").unwrap();
+    wait_for("loser convergence on the new head", seed, || {
+        let stats = lc.stats().unwrap();
+        stat_str(&stats, "repl_role") == "replica"
+            && Client::stats_field(&stats, "repl_applied_lsn") == Some(head)
+            && Client::stats_field(&stats, "repl_epoch") == Some(2)
+    });
+    let err = lc.add(0).unwrap_err();
+    assert!(
+        err.to_string().contains("readonly"),
+        "seed={seed:#x}: loser must stay read-only: {err}"
+    );
+    // Quorum commit made every acked write reach the election's winner.
+    assert_matches_oracle(&mut wc, &oracle, m, seed, "winner after failover");
+    assert_matches_oracle(&mut lc, &oracle, m, seed, "loser after re-point");
+
+    // Revive the stale primary from its own WAL (new port — see module
+    // doc): it comes back as an epoch-1 head and must be fenced when
+    // generation-2 members show up.
+    let stale = Server::start(
+        ServerConfig {
+            m,
+            backend: BackendKind::Sharded { shards: 2 },
+            accept_pool: 2,
+            flush_every: 4,
+            snapshot_dir: std::env::temp_dir(),
+            wal: Some(wal_config(base.join("primary"))),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("revive stale primary");
+    let mut sc = Client::connect(stale.local_addr()).unwrap();
+    sc.send_line("REPLICATE 1 2").unwrap();
+    let reply = sc.recv_line().unwrap();
+    assert!(
+        reply.starts_with("ERR fenced"),
+        "seed={seed:#x}: stale head must fence generation-2 followers: {reply}"
+    );
+    let mut sc = Client::connect(stale.local_addr()).unwrap();
+    let sstats = sc.stats().unwrap();
+    assert_eq!(
+        Client::stats_field(&sstats, "fenced_rejects"),
+        Some(1),
+        "seed={seed:#x}: {sstats}"
+    );
+    sc.quit().unwrap();
+    stale.shutdown();
+
+    // Failback: the old primary rejoins as a replica of the new head
+    // (same WAL dir — its log is a committed prefix of the winner's),
+    // adopts the new generation, and converges with fresh traffic.
+    let failback = Server::start(
+        ServerConfig {
+            m,
+            backend: BackendKind::Sharded { shards: 2 },
+            accept_pool: 2,
+            flush_every: 4,
+            snapshot_dir: std::env::temp_dir(),
+            wal: Some(wal_config(base.join("primary"))),
+            replica_of: Some(wc.stats().map(|_| winner.local_addr().to_string()).unwrap()),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("failback old primary");
+    let phase2 = rng.gen_range(30..120);
+    drive(&mut rng, &mut wc, &mut oracle, m, phase2);
+    wc.freq(0).unwrap();
+    let head = Client::stats_field(&wc.stats().unwrap(), "repl_head_lsn").unwrap();
+    let mut fc = Client::connect(failback.local_addr()).unwrap();
+    for (name, client) in [("failback", &mut fc), ("loser", &mut lc)] {
+        wait_for(&format!("{name} catch-up after failback"), seed, || {
+            let stats = client.stats().unwrap();
+            Client::stats_field(&stats, "repl_applied_lsn") == Some(head)
+                && Client::stats_field(&stats, "repl_epoch") == Some(2)
+        });
+        assert_matches_oracle(client, &oracle, m, seed, &format!("{name} final state"));
+    }
+    assert_matches_oracle(&mut wc, &oracle, m, seed, "winner final state");
+
+    wc.quit().unwrap();
+    lc.quit().unwrap();
+    fc.quit().unwrap();
+    winner.shutdown();
+    loser.shutdown();
+    failback.shutdown();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn seeded_failover_chaos_rounds_converge_on_one_writable_head() {
+    let seed = env_u64("CHAOS_SEED", DEFAULT_SEED);
+    let rounds = env_u64("CHAOS_ROUNDS", 2);
+    for round in 0..rounds {
+        chaos_round(seed, round);
+    }
+}

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use sprofile::{SProfile, Tuple};
-use sprofile_server::{BackendKind, Client, DurabilityConfig, Server, ServerConfig};
+use sprofile_server::{BackendKind, Client, DurabilityConfig, Server, ServerConfig, SyncCommit};
 
 fn temp_base(name: &str) -> PathBuf {
     let dir =
@@ -52,7 +52,7 @@ fn start_primary(m: u32, backend: BackendKind, dir: PathBuf) -> Server {
             flush_every: 4,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal_config(dir)),
-            replica_of: None,
+            ..ServerConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -60,6 +60,10 @@ fn start_primary(m: u32, backend: BackendKind, dir: PathBuf) -> Server {
 }
 
 fn start_replica(m: u32, backend: BackendKind, dir: PathBuf, primary: &Server) -> Server {
+    start_replica_of(m, backend, dir, &primary.local_addr().to_string())
+}
+
+fn start_replica_of(m: u32, backend: BackendKind, dir: PathBuf, primary: &str) -> Server {
     Server::start(
         ServerConfig {
             m,
@@ -68,7 +72,8 @@ fn start_replica(m: u32, backend: BackendKind, dir: PathBuf, primary: &Server) -
             flush_every: 4,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal_config(dir)),
-            replica_of: Some(primary.local_addr().to_string()),
+            replica_of: Some(primary.to_string()),
+            ..ServerConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -177,11 +182,12 @@ fn random_stream_with_replica_restart_converges_and_promotes() {
 
         // Promote: the replica accepts writes at its applied LSN and
         // still matches the oracle after more random traffic.
-        let promoted_at = rc.promote().unwrap();
+        let (promoted_lsn, promoted_epoch) = rc.promote().unwrap();
         assert_eq!(
-            promoted_at, head,
+            promoted_lsn, head,
             "case {case}: promoted at the drained head"
         );
+        assert_eq!(promoted_epoch, 2, "case {case}: promotion bumps the epoch");
         let extra = rng.gen_range(20..200);
         drive(&mut rng, &mut rc, &mut oracle, m, extra);
         rc.freq(0).unwrap(); // flush the promoted node's write buffer
@@ -230,5 +236,154 @@ fn a_late_replica_bootstraps_from_a_pruned_primary_log() {
     rc.quit().unwrap();
     primary.shutdown();
     replica.shutdown();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Epoch fencing, end to end: after a failover the old primary must be
+/// refused on both sides of the handshake — it rejects followers of the
+/// newer generation (handshake fencing, counted in `fenced_rejects`),
+/// and a replica that followed the newer generation refuses to follow
+/// the stale head after a failback re-point.
+#[test]
+fn a_stale_primary_is_fenced_after_failover() {
+    let mut rng = StdRng::seed_from_u64(0xFE2CE);
+    let m = 32u32;
+    let base = temp_base("fencing");
+    let primary = start_primary(m, BackendKind::Sharded { shards: 2 }, base.join("primary"));
+    let replica = start_replica(m, BackendKind::Pipeline, base.join("replica"), &primary);
+    let mut pc = Client::connect(primary.local_addr()).unwrap();
+    let mut oracle = SProfile::new(m);
+    drive(&mut rng, &mut pc, &mut oracle, m, 100);
+    let mut rc = Client::connect(replica.local_addr()).unwrap();
+    let head = drain(&mut pc, &mut rc);
+
+    // Failover: the replica takes over at a bumped generation.
+    assert_eq!(rc.promote().unwrap(), (head, 2));
+    let stats = rc.stats().unwrap();
+    assert_eq!(
+        Client::stats_field(&stats, "repl_epoch"),
+        Some(2),
+        "{stats}"
+    );
+
+    // Handshake fencing: the old primary (still at epoch 1) must refuse
+    // a follower of generation 2, loudly.
+    let mut raw = Client::connect(primary.local_addr()).unwrap();
+    raw.send_line(&format!("REPLICATE {} 2", head + 1)).unwrap();
+    let reply = raw.recv_line().unwrap();
+    assert!(reply.starts_with("ERR fenced"), "{reply}");
+    let stats = pc.stats().unwrap();
+    assert_eq!(
+        Client::stats_field(&stats, "fenced_rejects"),
+        Some(1),
+        "{stats}"
+    );
+
+    // A second replica follows the promoted head and durably adopts its
+    // generation (via the stream's EPOCH greeting).
+    let second = start_replica(m, BackendKind::Pipeline, base.join("second"), &replica);
+    let mut sc = Client::connect(second.local_addr()).unwrap();
+    drain(&mut rc, &mut sc);
+    let stats = sc.stats().unwrap();
+    assert_eq!(
+        Client::stats_field(&stats, "repl_epoch"),
+        Some(2),
+        "{stats}"
+    );
+    assert_matches_oracle(&mut sc, &oracle, m, "second replica");
+    sc.quit().unwrap();
+    second.shutdown();
+
+    // Failback fencing: re-pointed at the stale epoch-1 primary, it
+    // refuses the stream instead of silently re-following a zombie.
+    let second = start_replica_of(
+        m,
+        BackendKind::Pipeline,
+        base.join("second"),
+        &primary.local_addr().to_string(),
+    );
+    let mut sc = Client::connect(second.local_addr()).unwrap();
+    wait_for("failback fenced", || {
+        let stats = sc.stats().unwrap();
+        Client::stats_field(&stats, "fenced_rejects").unwrap_or(0) >= 1
+    });
+    let stats = sc.stats().unwrap();
+    assert_eq!(
+        Client::stats_field(&stats, "repl_epoch"),
+        Some(2),
+        "{stats}"
+    );
+
+    pc.quit().unwrap();
+    rc.quit().unwrap();
+    sc.quit().unwrap();
+    primary.shutdown();
+    replica.shutdown();
+    second.shutdown();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Synchronous commit gives RPO = 0: with `--sync-commit quorum` every
+/// acknowledged write has reached at least one replica, so killing the
+/// primary (crash-stop, no final checkpoint) and promoting the most
+/// caught-up replica loses nothing the client saw acknowledged.
+#[test]
+fn sync_commit_quorum_loses_no_acked_write_across_a_primary_kill() {
+    let mut rng = StdRng::seed_from_u64(0xAC0DE);
+    let m = 24u32;
+    let base = temp_base("sync-commit");
+    let primary = Server::start(
+        ServerConfig {
+            m,
+            backend: BackendKind::Sharded { shards: 2 },
+            accept_pool: 3,
+            flush_every: 4, // forced to 1 by sync commit
+            snapshot_dir: std::env::temp_dir(),
+            wal: Some(wal_config(base.join("primary"))),
+            sync_commit: SyncCommit::Quorum,
+            sync_commit_timeout: std::time::Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("start sync-commit primary");
+    let r1 = start_replica(
+        m,
+        BackendKind::Sharded { shards: 2 },
+        base.join("r1"),
+        &primary,
+    );
+    let r2 = start_replica(m, BackendKind::Pipeline, base.join("r2"), &primary);
+    let mut pc = Client::connect(primary.local_addr()).unwrap();
+    let mut oracle = SProfile::new(m);
+    // Every op `drive` mirrors into the oracle was OK'd by the primary,
+    // and with quorum commit an OK means >= 1 replica acked that LSN.
+    drive(&mut rng, &mut pc, &mut oracle, m, 150);
+    let stats = pc.stats().unwrap();
+    assert!(stats.contains("sync_commit=quorum"), "{stats}");
+    drop(pc);
+
+    // Crash-stop the primary: no drain, no final checkpoint.
+    primary.kill();
+
+    // The most caught-up replica holds every acked LSN (the log is
+    // sequential, so max(applied) covers all acked positions).
+    let mut c1 = Client::connect(r1.local_addr()).unwrap();
+    let mut c2 = Client::connect(r2.local_addr()).unwrap();
+    let a1 = Client::stats_field(&c1.stats().unwrap(), "repl_applied_lsn").unwrap();
+    let a2 = Client::stats_field(&c2.stats().unwrap(), "repl_applied_lsn").unwrap();
+    let (mut wc, lc, wsrv, lsrv) = if a1 >= a2 {
+        (c1, c2, r1, r2)
+    } else {
+        (c2, c1, r2, r1)
+    };
+    let (_, epoch) = wc.promote().unwrap();
+    assert_eq!(epoch, 2, "promotion after the kill bumps the generation");
+    assert_matches_oracle(&mut wc, &oracle, m, "sync-commit survivor");
+
+    wc.quit().unwrap();
+    lc.quit().unwrap();
+    wsrv.shutdown();
+    lsrv.shutdown();
     std::fs::remove_dir_all(&base).ok();
 }

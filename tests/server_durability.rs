@@ -29,7 +29,7 @@ fn start(kind: BackendKind, m: u32, wal_dir: &Path) -> Server {
                 checkpoint_every: 0,
                 ..DurabilityConfig::new(wal_dir)
             }),
-            replica_of: None,
+            ..ServerConfig::default()
         },
         "127.0.0.1:0",
     )
