@@ -13,7 +13,7 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use sprofile_server::{
-    loadgen, BackendKind, Client, DurabilityConfig, LoadgenConfig, Server, ServerConfig,
+    loadgen, BackendKind, Client, DurabilityConfig, LoadgenConfig, Server, ServerConfig, WireProto,
 };
 
 /// Universe size (hot-entity regime: stream dwarfs the universe).
@@ -38,7 +38,7 @@ fn primary_config(dir: PathBuf, pool: usize) -> ServerConfig {
     ServerConfig {
         m: M,
         backend: BackendKind::Sharded { shards: 8 },
-        accept_pool: pool,
+        workers: pool,
         flush_every: 512,
         wal: Some(DurabilityConfig {
             // Isolate shipping cost from checkpoint/fsync noise.
@@ -98,6 +98,7 @@ fn primary_run(replicas: usize, tag: &str) -> f64 {
         batch: BATCH,
         m: M,
         seed: 99,
+        proto: WireProto::Text,
     };
     let report = loadgen::run(&cfg).expect("loadgen");
     let applied = primary.shutdown();
@@ -123,6 +124,7 @@ fn replica_apply_run(tag: &str) -> f64 {
         batch: BATCH,
         m: M,
         seed: 7,
+        proto: WireProto::Text,
     };
     loadgen::run(&cfg).expect("preload");
     let mut probe = Client::connect(primary.local_addr()).unwrap();

@@ -1,18 +1,24 @@
 //! TCP server ingestion throughput: the full wire path (connect →
 //! `BATCH`/`ADD` frames → per-connection write batching → backend) at
-//! two batch sizes × two backends, via the real load generator.
+//! two batch sizes × two backends × both wire protocols, via the real
+//! load generator. The binary protocol pipelines `BATCH` frames, so at
+//! small batch sizes it is not round-trip-bound like text.
 //!
 //! Besides the criterion group, `record_json` re-times the matrix with a
 //! best-of-N wall clock and writes `BENCH_server.json` at the workspace
-//! root so CI uploads it next to `BENCH_batch.json`.
+//! root so CI uploads it next to `BENCH_batch.json`. The summary now
+//! carries a `latency_us` section (client-side p50/p99/p999/max per
+//! cell) so `bench_gate` catches tail-latency regressions, not just
+//! throughput drops.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use sprofile_server::{loadgen, BackendKind, LoadgenConfig, Server, ServerConfig};
+use sprofile_server::loadgen::LatencySummary;
+use sprofile_server::{loadgen, BackendKind, LoadgenConfig, Server, ServerConfig, WireProto};
 
 /// Universe size (hot-entity regime: stream dwarfs the universe).
 const M: u32 = 4_096;
-/// Concurrent loadgen connections (= server accept pool).
+/// Concurrent loadgen connections (= event-loop workers).
 const THREADS: usize = 4;
 /// Tuples per thread per measured run.
 const EVENTS_PER_THREAD: usize = 16_384;
@@ -24,13 +30,16 @@ const BACKENDS: [(&str, BackendKind); 2] = [
     ("pipeline", BackendKind::Pipeline),
 ];
 
-/// One full ingestion run over loopback TCP; returns tuples/second.
-fn run_once(kind: BackendKind, batch: usize) -> f64 {
+const PROTOS: [(&str, WireProto); 2] = [("text", WireProto::Text), ("bin", WireProto::Bin)];
+
+/// One full ingestion run over loopback TCP; returns tuples/second and
+/// the client-side latency summary.
+fn run_once(kind: BackendKind, batch: usize, proto: WireProto) -> (f64, LatencySummary) {
     let server = Server::start(
         ServerConfig {
             m: M,
             backend: kind,
-            accept_pool: THREADS,
+            workers: THREADS,
             flush_every: 512,
             ..ServerConfig::default()
         },
@@ -44,11 +53,12 @@ fn run_once(kind: BackendKind, batch: usize) -> f64 {
         batch,
         m: M,
         seed: 99,
+        proto,
     };
     let report = loadgen::run(&cfg).expect("loadgen");
     let applied = server.shutdown();
     assert_eq!(applied, (THREADS * EVENTS_PER_THREAD) as u64);
-    report.tuples_per_sec()
+    (report.tuples_per_sec(), report.latency)
 }
 
 fn bench_server(c: &mut Criterion) {
@@ -56,37 +66,59 @@ fn bench_server(c: &mut Criterion) {
     group.throughput(Throughput::Elements((THREADS * EVENTS_PER_THREAD) as u64));
     group.sample_size(5);
     for (name, kind) in BACKENDS {
-        for batch in BATCH_SIZES {
-            group.bench_with_input(BenchmarkId::new(name, batch), &batch, |b, &batch| {
-                b.iter(|| run_once(kind, batch));
-            });
+        for (pname, proto) in PROTOS {
+            for batch in BATCH_SIZES {
+                let id = BenchmarkId::new(format!("{name}_{pname}"), batch);
+                group.bench_with_input(id, &batch, |b, &batch| {
+                    b.iter(|| run_once(kind, batch, proto));
+                });
+            }
         }
     }
     group.finish();
 }
 
 /// Times the matrix (best of N) and writes `BENCH_server.json` (path
-/// overridable with `BENCH_SERVER_OUT`).
+/// overridable with `BENCH_SERVER_OUT`). Throughput keys keep the bare
+/// backend name for the text protocol — the committed baselines predate
+/// the binary protocol — and suffix `_bin` for binary. Latency cells
+/// come from the best-throughput run of each matrix point.
 fn record_json(_c: &mut Criterion) {
     const REPEATS: usize = 3;
     let mut sections = Vec::new();
+    let mut latencies = Vec::new();
     for (name, kind) in BACKENDS {
-        let cells: Vec<String> = BATCH_SIZES
-            .iter()
-            .map(|&batch| {
-                let best = (0..REPEATS)
-                    .map(|_| run_once(kind, batch))
-                    .fold(0.0f64, f64::max);
-                format!("\"{batch}\": {best:.0}")
-            })
-            .collect();
-        sections.push(format!("    \"{name}\": {{{}}}", cells.join(", ")));
+        for (pname, proto) in PROTOS {
+            let key = if proto == WireProto::Text {
+                name.to_string()
+            } else {
+                format!("{name}_{pname}")
+            };
+            let cells: Vec<String> = BATCH_SIZES
+                .iter()
+                .map(|&batch| {
+                    let (best, lat) = (0..REPEATS)
+                        .map(|_| run_once(kind, batch, proto))
+                        .max_by(|a, b| a.0.total_cmp(&b.0))
+                        .expect("non-empty repeats");
+                    latencies.push(format!(
+                        "    \"{name}_{pname}.{batch}\": {{\"p50\": {}, \"p99\": {}, \
+                         \"p999\": {}, \"max\": {}}}",
+                        lat.p50_us, lat.p99_us, lat.p999_us, lat.max_us
+                    ));
+                    format!("\"{batch}\": {best:.0}")
+                })
+                .collect();
+            sections.push(format!("    \"{key}\": {{{}}}", cells.join(", ")));
+        }
     }
     let json = format!(
         "{{\n  \"bench\": \"server\",\n  \"m\": {M},\n  \"threads\": {THREADS},\n  \
          \"events_per_thread\": {EVENTS_PER_THREAD},\n  \
-         \"throughput_tuples_per_sec\": {{\n{}\n  }}\n}}\n",
+         \"throughput_tuples_per_sec\": {{\n{}\n  }},\n  \
+         \"latency_us\": {{\n{}\n  }}\n}}\n",
         sections.join(",\n"),
+        latencies.join(",\n"),
     );
     let path = std::env::var("BENCH_SERVER_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").into());

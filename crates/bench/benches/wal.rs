@@ -12,6 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use sprofile_server::{
     loadgen, BackendKind, DurabilityConfig, LoadgenConfig, Server, ServerConfig, SyncPolicy,
+    WireProto,
 };
 
 /// Universe size (hot-entity regime: stream dwarfs the universe).
@@ -59,7 +60,7 @@ fn run_once(sync: Option<SyncPolicy>, batch: usize) -> f64 {
         ServerConfig {
             m: M,
             backend: BackendKind::Sharded { shards: 8 },
-            accept_pool: THREADS,
+            workers: THREADS,
             flush_every: 512,
             wal,
             ..ServerConfig::default()
@@ -74,6 +75,7 @@ fn run_once(sync: Option<SyncPolicy>, batch: usize) -> f64 {
         batch,
         m: M,
         seed: 99,
+        proto: WireProto::Text,
     };
     let report = loadgen::run(&cfg).expect("loadgen");
     let applied = server.shutdown();

@@ -15,6 +15,11 @@
 //!   a drop beyond the threshold fails the gate;
 //! - keys containing `ns_per_event` are latencies — **lower** is
 //!   better; a rise beyond the threshold fails the gate;
+//! - keys under `latency_us` (the server bench's client-side
+//!   p50/p99/p999 quantiles) are latencies too, but gate at a widened
+//!   threshold — `max(threshold, 0.5)` — because tail quantiles on
+//!   shared CI runners are far noisier than mean throughput; they catch
+//!   order-of-magnitude tail regressions without flapping;
 //! - everything else (`m`, `threads`, `speedup_*`, …) is reported for
 //!   context but never gates.
 //!
@@ -251,10 +256,21 @@ enum Direction {
 fn direction(key: &str) -> Direction {
     if key.contains("per_sec") {
         Direction::HigherIsBetter
-    } else if key.contains("ns_per_event") {
+    } else if key.contains("ns_per_event") || key.contains("latency_us") {
         Direction::LowerIsBetter
     } else {
         Direction::Ungated
+    }
+}
+
+/// The gate threshold for one metric: latency quantiles (client-side
+/// microsecond tails) use a widened floor because p99/p999 on shared
+/// runners jitter far more than throughput means.
+fn key_threshold(key: &str, threshold: f64) -> f64 {
+    if key.contains("latency_us") {
+        threshold.max(0.5)
+    } else {
+        threshold
     }
 }
 
@@ -321,7 +337,7 @@ fn run(baseline_dir: &Path, fresh_dir: &Path, threshold: f64) -> Result<u32, Str
                 None => {}
                 Some(reg) => {
                     compared += 1;
-                    let verdict = if reg > threshold {
+                    let verdict = if reg > key_threshold(key, threshold) {
                         regressions += 1;
                         "REGRESSED"
                     } else {
@@ -412,6 +428,13 @@ mod tests {
         // Context fields never gate.
         assert_eq!(regression("m", 4096.0, 64.0), None);
         assert_eq!(regression("speedup_at_4096", 7.0, 1.0), None);
+        // Latency quantiles gate lower-is-better, at a widened floor.
+        let key = "latency_us.sharded8_text.64.p99";
+        assert!(regression(key, 100.0, 200.0).unwrap() > 0.5);
+        assert!(regression(key, 100.0, 90.0).unwrap() < 0.0);
+        assert_eq!(key_threshold(key, 0.15), 0.5);
+        assert_eq!(key_threshold(key, 0.8), 0.8);
+        assert_eq!(key_threshold("t_per_sec", 0.15), 0.15);
     }
 
     #[test]

@@ -8,11 +8,11 @@
 //! cargo run -p sprofile-bench --release --bin flush_sweep [-- --repeats N]
 //! ```
 
-use sprofile_server::{loadgen, BackendKind, LoadgenConfig, Server, ServerConfig};
+use sprofile_server::{loadgen, BackendKind, LoadgenConfig, Server, ServerConfig, WireProto};
 
 /// Universe size (matches the `server`/`wal` benches).
 const M: u32 = 4_096;
-/// Concurrent loadgen connections (= server accept pool).
+/// Concurrent loadgen connections (= event-loop workers).
 const THREADS: usize = 4;
 /// Tuples per thread per measured run.
 const EVENTS_PER_THREAD: usize = 16_384;
@@ -28,7 +28,7 @@ fn run_once(kind: BackendKind, flush: usize) -> f64 {
         ServerConfig {
             m: M,
             backend: kind,
-            accept_pool: THREADS,
+            workers: THREADS,
             flush_every: flush,
             ..ServerConfig::default()
         },
@@ -42,6 +42,7 @@ fn run_once(kind: BackendKind, flush: usize) -> f64 {
         batch: BATCH,
         m: M,
         seed: 99,
+        proto: WireProto::Text,
     };
     let report = loadgen::run(&cfg).expect("loadgen");
     let applied = server.shutdown();

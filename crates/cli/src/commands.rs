@@ -9,7 +9,7 @@ use sprofile::{SProfile, SnapshotError, Tuple};
 use sprofile_persist::PersistError;
 use sprofile_server::{
     loadgen::thread_tuples, BackendKind, Client, DurabilityConfig, FailoverConfig, LoadgenConfig,
-    Server, ServerConfig, SyncCommit,
+    Server, ServerConfig, SyncCommit, WireProto,
 };
 use sprofile_streamgen::{Event, StreamConfig};
 
@@ -410,8 +410,12 @@ pub struct ServeOpts {
     pub m: u32,
     /// Engine behind the socket.
     pub backend: BackendKind,
-    /// Accept-pool size (max concurrent connections).
-    pub pool: usize,
+    /// Event-loop worker threads (`--workers`; `--pool` is an alias).
+    pub workers: usize,
+    /// Concurrent-connection cap before shedding (`--max-conns`).
+    pub max_conns: usize,
+    /// Protocol new connections start in (`--proto text|bin`).
+    pub proto: WireProto,
     /// Per-connection write-buffer flush threshold.
     pub flush: usize,
     /// Directory wire `SNAPSHOT` writes are confined to.
@@ -452,7 +456,9 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
         ServerConfig {
             m: opts.m,
             backend: opts.backend,
-            accept_pool: opts.pool,
+            workers: opts.workers,
+            max_conns: opts.max_conns,
+            proto: opts.proto,
             flush_every: opts.flush,
             snapshot_dir: opts.snapshot_dir.clone().into(),
             wal: opts.wal.clone(),
@@ -486,10 +492,13 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
     };
     writeln!(
         out,
-        "listening on {} backend={backend} m={} pool={} flush={}{wal}{role}{sync}{elect}",
+        "listening on {} backend={backend} m={} workers={} max-conns={} proto={} \
+         flush={}{wal}{role}{sync}{elect}",
         server.local_addr(),
         opts.m,
-        opts.pool,
+        opts.workers,
+        opts.max_conns,
+        opts.proto.name(),
         opts.flush
     )?;
     out.flush()?;
@@ -509,6 +518,7 @@ pub fn loadgen<W: Write>(
     let report =
         sprofile_server::loadgen::run(cfg).map_err(|e| CommandError::Server(e.to_string()))?;
     writeln!(out, "threads:     {}", cfg.threads)?;
+    writeln!(out, "proto:       {}", cfg.proto.name())?;
     writeln!(out, "tuples sent: {}", report.tuples_sent)?;
     writeln!(
         out,
@@ -517,9 +527,18 @@ pub fn loadgen<W: Write>(
     )?;
     writeln!(out, "elapsed:     {:.3} s", report.elapsed.as_secs_f64())?;
     writeln!(out, "throughput:  {:.0} tuples/s", report.tuples_per_sec())?;
+    writeln!(
+        out,
+        "latency:     p50={}us p99={}us p999={}us max={}us ({} requests)",
+        report.latency.p50_us,
+        report.latency.p99_us,
+        report.latency.p999_us,
+        report.latency.max_us,
+        report.latency.samples
+    )?;
     writeln!(out, "server:      {}", report.final_stats)?;
     if shutdown {
-        Client::connect(cfg.addr.as_str())
+        Client::connect_with(cfg.addr.as_str(), cfg.proto)
             .and_then(Client::shutdown_server)
             .map_err(|e| CommandError::Server(e.to_string()))?;
         writeln!(out, "sent SHUTDOWN")?;
@@ -654,8 +673,8 @@ pub fn verify_server<W: Write>(cfg: &LoadgenConfig, out: &mut W) -> Result<(), C
         .filter(|&x| oracle.frequency(x) == 0)
         .take(1024)
         .collect();
-    let mut client =
-        Client::connect(cfg.addr.as_str()).map_err(|e| CommandError::Server(e.to_string()))?;
+    let mut client = Client::connect_with(cfg.addr.as_str(), cfg.proto)
+        .map_err(|e| CommandError::Server(e.to_string()))?;
     let mut mismatches = 0u64;
     for &x in touched.iter().chain(&zeros) {
         let got = client
@@ -1028,7 +1047,7 @@ mod tests {
             ServerConfig {
                 m: 128,
                 backend: BackendKind::Sharded { shards: 4 },
-                accept_pool: 4,
+                workers: 4,
                 flush_every: 64,
                 ..ServerConfig::default()
             },
@@ -1042,13 +1061,45 @@ mod tests {
             batch: 100,
             m: 128,
             seed: 3,
+            proto: WireProto::Text,
         };
         let mut out = Vec::new();
         loadgen(&cfg, true, &mut out).unwrap();
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains("tuples sent: 2000"), "{out}");
         assert!(out.contains("applied=2000"), "{out}");
+        assert!(out.contains("latency:"), "{out}");
         assert!(out.contains("sent SHUTDOWN"), "{out}");
+        assert_eq!(server.wait(), 2_000);
+    }
+
+    #[test]
+    fn loadgen_in_binary_mode_applies_the_same_stream() {
+        let server = Server::start(
+            ServerConfig {
+                m: 128,
+                backend: BackendKind::Sharded { shards: 4 },
+                workers: 2,
+                flush_every: 64,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let cfg = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            threads: 2,
+            events_per_thread: 1_000,
+            batch: 100,
+            m: 128,
+            seed: 3,
+            proto: WireProto::Bin,
+        };
+        let mut out = Vec::new();
+        loadgen(&cfg, true, &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("proto:       bin"), "{out}");
+        assert!(out.contains("applied=2000"), "{out}");
         assert_eq!(server.wait(), 2_000);
     }
 
@@ -1073,7 +1124,9 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             m: 64,
             backend: BackendKind::Pipeline,
-            pool: 2,
+            workers: 2,
+            max_conns: 64,
+            proto: WireProto::Text,
             flush: 16,
             snapshot_dir: ".".into(),
             wal: None,
@@ -1197,7 +1250,7 @@ mod tests {
             ServerConfig {
                 m: 256,
                 backend: BackendKind::Sharded { shards: 4 },
-                accept_pool: 3,
+                workers: 3,
                 flush_every: 64,
                 ..ServerConfig::default()
             },
@@ -1211,6 +1264,7 @@ mod tests {
             batch: 128,
             m: 256,
             seed: 41,
+            proto: WireProto::Text,
         };
         sprofile_server::loadgen::run(&cfg).unwrap();
         let mut out = Vec::new();
@@ -1235,7 +1289,7 @@ mod tests {
         let primary = Server::start(
             ServerConfig {
                 m: 32,
-                accept_pool: 2,
+                workers: 2,
                 flush_every: 2,
                 wal: Some(DurabilityConfig::new(base.join("primary"))),
                 ..ServerConfig::default()
@@ -1246,7 +1300,7 @@ mod tests {
         let replica = Server::start(
             ServerConfig {
                 m: 32,
-                accept_pool: 2,
+                workers: 2,
                 wal: Some(DurabilityConfig::new(base.join("replica"))),
                 replica_of: Some(primary.local_addr().to_string()),
                 ..ServerConfig::default()

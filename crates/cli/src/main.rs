@@ -23,7 +23,9 @@ use commands::{
     recover_report, serve, verify_server, wal_dump, watch, GenerateOpts, HhOpts, PersistOpts,
     ProfileOpts, ServeOpts, StreamChoice,
 };
-use sprofile_server::{BackendKind, DurabilityConfig, LoadgenConfig, SyncCommit, SyncPolicy};
+use sprofile_server::{
+    BackendKind, DurabilityConfig, LoadgenConfig, SyncCommit, SyncPolicy, WireProto,
+};
 
 fn usage() -> &'static str {
     "usage:\n  \
@@ -33,7 +35,8 @@ fn usage() -> &'static str {
      sprofile watch    [FILE] --m <M> [--every <N>] [--top <K>]\n  \
      sprofile hh       [FILE] --m <M> [--counters <K>] [--phi <F>]\n  \
      sprofile serve    --addr <HOST:PORT> --m <M> [--backend <sharded|pipeline>]\n                    \
-     [--shards <P>] [--pool <N>] [--flush <B>] [--snapshot-dir <DIR>]\n                    \
+     [--shards <P>] [--workers <N>] [--max-conns <N>] [--proto <text|bin>]\n                    \
+     [--flush <B>] [--snapshot-dir <DIR>]\n                    \
      [--wal <DIR>] [--sync <always|interval|never>] [--sync-interval-ms <MS>]\n                    \
      [--segment-bytes <B>] [--checkpoint-every <TUPLES>]\n                    \
      [--max-retain-bytes <B>] [--replica-of <HOST:PORT>]\n                    \
@@ -41,9 +44,10 @@ fn usage() -> &'static str {
      [--auto-failover <PEER,PEER>] [--heartbeat-ms <MS>] [--failover-grace <N>]\n  \
      sprofile promote  --addr <HOST:PORT>   (flip a replica writable)\n  \
      sprofile loadgen  --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
-     [--batch <B>] [--seed <S>] [--shutdown]\n  \
+     [--batch <B>] [--seed <S>] [--proto <text|bin>] [--shutdown]\n  \
      sprofile verify   --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
-     [--batch <B>] [--seed <S>]   (loadgen's client-side oracle check)\n  \
+     [--batch <B>] [--seed <S>] [--proto <text|bin>]\n                    \
+     (loadgen's client-side oracle check)\n  \
      sprofile recover  --wal <DIR> --m <M> [--top <K>]\n  \
      sprofile wal-dump --wal <DIR> [--limit <N>]\n  \
      sprofile checkpoint --wal <DIR> --m <M>\n\n\
@@ -54,6 +58,9 @@ fn usage() -> &'static str {
      with --wal it recovers its state from the WAL directory first.\n\
      With --replica-of it follows that primary read-only (writes get\n\
      'ERR readonly') until `sprofile promote` flips it writable.\n\
+     --proto bin makes clients upgrade to the length-prefixed binary\n\
+     protocol (BIN) and pipeline BATCH frames; serve --proto bin starts\n\
+     connections in binary mode (--pool remains an alias for --workers).\n\
      --sync-commit makes a primary hold each OK until quorum/all attached\n\
      replicas acknowledged the write (degrades to async after the\n\
      timeout); --auto-failover lists the peer replicas a replica holds\n\
@@ -124,6 +131,11 @@ impl Args {
         }
         Ok(v)
     }
+}
+
+fn parse_proto(args: &Args) -> Result<WireProto, String> {
+    let s = args.get("proto").unwrap_or("text");
+    WireProto::parse(s).map_err(|e| format!("--proto: {e}"))
 }
 
 fn open_input(path: Option<&str>) -> io::Result<Box<dyn BufRead>> {
@@ -276,7 +288,12 @@ fn run() -> Result<(), String> {
                 addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
                 m: args.get_parsed_positive("m", 1_048_576u32)?,
                 backend,
-                pool: args.get_parsed_positive("pool", 4usize)?,
+                // --pool (the old accept-pool size) remains an alias
+                // for the event-loop worker count.
+                workers: args
+                    .get_parsed_positive("workers", args.get_parsed_positive("pool", 4usize)?)?,
+                max_conns: args.get_parsed_positive("max-conns", 1024usize)?,
+                proto: parse_proto(&args)?,
                 flush: args.get_parsed_positive("flush", 256usize)?,
                 snapshot_dir: args.get("snapshot-dir").unwrap_or(".").to_string(),
                 wal,
@@ -310,6 +327,7 @@ fn run() -> Result<(), String> {
                 batch: args.get_parsed_positive("batch", 512usize)?,
                 m: args.get_parsed_positive("m", 1_048_576u32)?,
                 seed: args.get_parsed("seed", 20190612u64)?,
+                proto: parse_proto(&args)?,
             };
             let stdout = io::stdout();
             let mut out = BufWriter::new(stdout.lock());
@@ -325,6 +343,7 @@ fn run() -> Result<(), String> {
                 batch: args.get_parsed_positive("batch", 512usize)?,
                 m: args.get_parsed_positive("m", 1_048_576u32)?,
                 seed: args.get_parsed("seed", 20190612u64)?,
+                proto: parse_proto(&args)?,
             };
             let stdout = io::stdout();
             let mut out = BufWriter::new(stdout.lock());
@@ -439,7 +458,17 @@ mod tests {
     fn degenerate_zero_flags_are_rejected_with_a_clear_message() {
         // `--m 0` used to reach `watch`'s `expect("m > 0")` and panic;
         // `--every 0`/`--chunk 0` used to be per-command ad-hoc checks.
-        for key in ["m", "chunk", "every", "pool", "flush", "threads", "batch"] {
+        for key in [
+            "m",
+            "chunk",
+            "every",
+            "pool",
+            "workers",
+            "max-conns",
+            "flush",
+            "threads",
+            "batch",
+        ] {
             let a = args(&[&format!("--{key}"), "0"]);
             let err = a.get_parsed_positive(key, 1u64).unwrap_err();
             assert!(err.contains(&format!("--{key}")), "{err}");

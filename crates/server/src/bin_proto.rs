@@ -1,0 +1,422 @@
+//! The length-prefixed binary wire protocol (opt-in via `BIN`).
+//!
+//! All integers are little-endian. A connection enters binary mode by
+//! sending the text line `BIN` (answered with the text line `OK BIN`);
+//! after that, both directions speak framed binary. Request frames:
+//!
+//! ```text
+//! opcode  name      layout after the opcode byte
+//! ------  ----      ----------------------------
+//! 0x01    BATCH     u32 count, then count × 5-byte tuples
+//!                   (op u8: 1=add 0=remove, object u32 — the exact
+//!                   layout of `replicate::frame`'s REC payload)
+//! 0x02    MODE      —
+//! 0x03    LEAST     —
+//! 0x04    MEDIAN    —
+//! 0x05    STATS     —
+//! 0x06    FREQ      u32 object
+//! 0x07    TOPK      u32 k
+//! 0x08    CAL       i64 threshold
+//! 0x09    QUIT      —
+//! 0x0A    SHUTDOWN  —
+//! ```
+//!
+//! Response frames (first byte is the tag):
+//!
+//! ```text
+//! tag     name      layout after the tag byte
+//! ---     ----      -------------------------
+//! 0x80    OK        u32 count          (tuples accepted; 0 for QUIT/SHUTDOWN)
+//! 0x81    ERR       u16 len, utf-8 message
+//! 0x82    PAIR      u8 present, u32 object, i64 freq   (MODE/LEAST; present=0 ⇒ NONE)
+//! 0x83    FREQ      u32 object, i64 freq
+//! 0x84    MEDIAN    u8 present, i64 freq
+//! 0x85    TOPK      u32 n, then n × (u32 object, i64 freq)
+//! 0x86    STATS     u32 len, utf-8 payload (same text as the STATS line)
+//! 0x87    CAL       u32 count
+//! ```
+//!
+//! Framing errors (unknown opcode, `BATCH` count over
+//! [`MAX_BATCH`](crate::protocol::MAX_BATCH)) are unrecoverable — the
+//! server answers with an `ERR` frame and closes. Semantic errors
+//! inside a well-framed `BATCH` (bad op byte, object outside the
+//! universe) consume the frame, answer `ERR`, and leave the
+//! connection usable, mirroring the text protocol.
+
+use std::io::{self, BufRead, Read};
+
+use sprofile::Tuple;
+use sprofile_replicate::frame::TUPLE_BYTES;
+
+/// `BATCH` request opcode.
+pub const REQ_BATCH: u8 = 0x01;
+/// `MODE` request opcode.
+pub const REQ_MODE: u8 = 0x02;
+/// `LEAST` request opcode.
+pub const REQ_LEAST: u8 = 0x03;
+/// `MEDIAN` request opcode.
+pub const REQ_MEDIAN: u8 = 0x04;
+/// `STATS` request opcode.
+pub const REQ_STATS: u8 = 0x05;
+/// `FREQ` request opcode.
+pub const REQ_FREQ: u8 = 0x06;
+/// `TOPK` request opcode.
+pub const REQ_TOPK: u8 = 0x07;
+/// `CAL` request opcode.
+pub const REQ_CAL: u8 = 0x08;
+/// `QUIT` request opcode.
+pub const REQ_QUIT: u8 = 0x09;
+/// `SHUTDOWN` request opcode.
+pub const REQ_SHUTDOWN: u8 = 0x0A;
+
+/// `OK` response tag.
+pub const TAG_OK: u8 = 0x80;
+/// `ERR` response tag.
+pub const TAG_ERR: u8 = 0x81;
+/// `PAIR` (MODE/LEAST) response tag.
+pub const TAG_PAIR: u8 = 0x82;
+/// `FREQ` response tag.
+pub const TAG_FREQ: u8 = 0x83;
+/// `MEDIAN` response tag.
+pub const TAG_MEDIAN: u8 = 0x84;
+/// `TOPK` response tag.
+pub const TAG_TOPK: u8 = 0x85;
+/// `STATS` response tag.
+pub const TAG_STATS: u8 = 0x86;
+/// `CAL` response tag.
+pub const TAG_CAL: u8 = 0x87;
+
+/// Encodes one tuple in the shared 5-byte replication layout.
+pub fn put_tuple(buf: &mut Vec<u8>, t: Tuple) {
+    buf.push(u8::from(t.is_add));
+    buf.extend_from_slice(&t.object.to_le_bytes());
+}
+
+/// Decodes one tuple from a 5-byte chunk, validating the op byte.
+pub fn get_tuple(chunk: &[u8]) -> Result<Tuple, String> {
+    debug_assert_eq!(chunk.len(), TUPLE_BYTES);
+    let is_add = match chunk[0] {
+        0 => false,
+        1 => true,
+        other => return Err(format!("bad tuple op byte 0x{other:02x}")),
+    };
+    let object = u32::from_le_bytes(chunk[1..5].try_into().expect("4 bytes"));
+    Ok(Tuple { object, is_add })
+}
+
+/// Appends a `BATCH` request frame for `tuples`.
+pub fn put_batch(buf: &mut Vec<u8>, tuples: &[Tuple]) {
+    buf.push(REQ_BATCH);
+    buf.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+    for &t in tuples {
+        put_tuple(buf, t);
+    }
+}
+
+/// Appends an argument-less request frame (`MODE`, `LEAST`, `MEDIAN`,
+/// `STATS`, `QUIT`, `SHUTDOWN`).
+pub fn put_simple(buf: &mut Vec<u8>, opcode: u8) {
+    buf.push(opcode);
+}
+
+/// Appends a `FREQ` request frame.
+pub fn put_freq(buf: &mut Vec<u8>, object: u32) {
+    buf.push(REQ_FREQ);
+    buf.extend_from_slice(&object.to_le_bytes());
+}
+
+/// Appends a `TOPK` request frame.
+pub fn put_topk(buf: &mut Vec<u8>, k: u32) {
+    buf.push(REQ_TOPK);
+    buf.extend_from_slice(&k.to_le_bytes());
+}
+
+/// Appends a `CAL` request frame.
+pub fn put_cal(buf: &mut Vec<u8>, threshold: i64) {
+    buf.push(REQ_CAL);
+    buf.extend_from_slice(&threshold.to_le_bytes());
+}
+
+/// Appends an `OK` response frame.
+pub fn put_ok(buf: &mut Vec<u8>, count: u32) {
+    buf.push(TAG_OK);
+    buf.extend_from_slice(&count.to_le_bytes());
+}
+
+/// Appends an `ERR` response frame (message truncated to 64 KiB).
+pub fn put_err(buf: &mut Vec<u8>, msg: &str) {
+    let bytes = msg.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    buf.push(TAG_ERR);
+    buf.extend_from_slice(&(len as u16).to_le_bytes());
+    buf.extend_from_slice(&bytes[..len]);
+}
+
+/// Appends a `PAIR` response frame (MODE/LEAST).
+pub fn put_pair(buf: &mut Vec<u8>, pair: Option<(u32, i64)>) {
+    buf.push(TAG_PAIR);
+    match pair {
+        Some((object, freq)) => {
+            buf.push(1);
+            buf.extend_from_slice(&object.to_le_bytes());
+            buf.extend_from_slice(&freq.to_le_bytes());
+        }
+        None => {
+            buf.push(0);
+            buf.extend_from_slice(&[0u8; 12]);
+        }
+    }
+}
+
+/// Appends a `FREQ` response frame.
+pub fn put_freq_reply(buf: &mut Vec<u8>, object: u32, freq: i64) {
+    buf.push(TAG_FREQ);
+    buf.extend_from_slice(&object.to_le_bytes());
+    buf.extend_from_slice(&freq.to_le_bytes());
+}
+
+/// Appends a `MEDIAN` response frame.
+pub fn put_median(buf: &mut Vec<u8>, median: Option<i64>) {
+    buf.push(TAG_MEDIAN);
+    match median {
+        Some(f) => {
+            buf.push(1);
+            buf.extend_from_slice(&f.to_le_bytes());
+        }
+        None => {
+            buf.push(0);
+            buf.extend_from_slice(&[0u8; 8]);
+        }
+    }
+}
+
+/// Appends a `TOPK` response frame.
+pub fn put_topk_reply(buf: &mut Vec<u8>, entries: &[(u32, i64)]) {
+    buf.push(TAG_TOPK);
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for &(object, freq) in entries {
+        buf.extend_from_slice(&object.to_le_bytes());
+        buf.extend_from_slice(&freq.to_le_bytes());
+    }
+}
+
+/// Appends a `STATS` response frame.
+pub fn put_stats(buf: &mut Vec<u8>, payload: &str) {
+    buf.push(TAG_STATS);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload.as_bytes());
+}
+
+/// Appends a `CAL` response frame.
+pub fn put_cal_reply(buf: &mut Vec<u8>, count: u32) {
+    buf.push(TAG_CAL);
+    buf.extend_from_slice(&count.to_le_bytes());
+}
+
+/// A decoded binary response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// `OK <count>`.
+    Ok(u32),
+    /// `ERR <message>`.
+    Err(String),
+    /// `MODE`/`LEAST` result (`None` ⇒ empty universe).
+    Pair(Option<(u32, i64)>),
+    /// `FREQ` result.
+    Freq(u32, i64),
+    /// `MEDIAN` result.
+    Median(Option<i64>),
+    /// `TOPK` result.
+    TopK(Vec<(u32, i64)>),
+    /// `STATS` payload (same text as the STATS line).
+    Stats(String),
+    /// `CAL` result.
+    Cal(u32),
+}
+
+fn read_exact_vec<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_i64<R: Read>(r: &mut R) -> io::Result<i64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads one response frame off a blocking reader (client side).
+pub fn read_reply<R: BufRead>(r: &mut R) -> io::Result<Reply> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    match tag[0] {
+        TAG_OK => Ok(Reply::Ok(read_u32(r)?)),
+        TAG_ERR => {
+            let mut len = [0u8; 2];
+            r.read_exact(&mut len)?;
+            let msg = read_exact_vec(r, u16::from_le_bytes(len) as usize)?;
+            Ok(Reply::Err(String::from_utf8_lossy(&msg).into_owned()))
+        }
+        TAG_PAIR => {
+            let mut present = [0u8; 1];
+            r.read_exact(&mut present)?;
+            let object = read_u32(r)?;
+            let freq = read_i64(r)?;
+            Ok(Reply::Pair((present[0] != 0).then_some((object, freq))))
+        }
+        TAG_FREQ => Ok(Reply::Freq(read_u32(r)?, read_i64(r)?)),
+        TAG_MEDIAN => {
+            let mut present = [0u8; 1];
+            r.read_exact(&mut present)?;
+            let freq = read_i64(r)?;
+            Ok(Reply::Median((present[0] != 0).then_some(freq)))
+        }
+        TAG_TOPK => {
+            let n = read_u32(r)? as usize;
+            // A hostile server can't make us allocate unboundedly.
+            if n > crate::protocol::MAX_BATCH {
+                return Err(bad_data(format!("TOPK reply count {n} is implausible")));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push((read_u32(r)?, read_i64(r)?));
+            }
+            Ok(Reply::TopK(entries))
+        }
+        TAG_STATS => {
+            let len = read_u32(r)? as usize;
+            if len > 1 << 24 {
+                return Err(bad_data(format!("STATS reply length {len} is implausible")));
+            }
+            let payload = read_exact_vec(r, len)?;
+            Ok(Reply::Stats(String::from_utf8_lossy(&payload).into_owned()))
+        }
+        TAG_CAL => Ok(Reply::Cal(read_u32(r)?)),
+        other => Err(bad_data(format!("unknown reply tag 0x{other:02x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: &[u8]) -> Reply {
+        let mut cursor = io::Cursor::new(frame.to_vec());
+        read_reply(&mut cursor).expect("decode")
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let mut buf = Vec::new();
+        put_ok(&mut buf, 42);
+        assert_eq!(round_trip(&buf), Reply::Ok(42));
+
+        buf.clear();
+        put_err(&mut buf, "tuple 2: bad");
+        assert_eq!(round_trip(&buf), Reply::Err("tuple 2: bad".into()));
+
+        buf.clear();
+        put_pair(&mut buf, Some((7, -3)));
+        assert_eq!(round_trip(&buf), Reply::Pair(Some((7, -3))));
+
+        buf.clear();
+        put_pair(&mut buf, None);
+        assert_eq!(round_trip(&buf), Reply::Pair(None));
+
+        buf.clear();
+        put_freq_reply(&mut buf, 9, 12);
+        assert_eq!(round_trip(&buf), Reply::Freq(9, 12));
+
+        buf.clear();
+        put_median(&mut buf, Some(5));
+        assert_eq!(round_trip(&buf), Reply::Median(Some(5)));
+
+        buf.clear();
+        put_median(&mut buf, None);
+        assert_eq!(round_trip(&buf), Reply::Median(None));
+
+        buf.clear();
+        put_topk_reply(&mut buf, &[(1, 10), (2, 5)]);
+        assert_eq!(round_trip(&buf), Reply::TopK(vec![(1, 10), (2, 5)]));
+
+        buf.clear();
+        put_stats(&mut buf, "backend=x m=4");
+        assert_eq!(round_trip(&buf), Reply::Stats("backend=x m=4".into()));
+
+        buf.clear();
+        put_cal_reply(&mut buf, 3);
+        assert_eq!(round_trip(&buf), Reply::Cal(3));
+    }
+
+    #[test]
+    fn tuples_use_the_replication_layout() {
+        let mut buf = Vec::new();
+        put_tuple(
+            &mut buf,
+            Tuple {
+                object: 0x01020304,
+                is_add: true,
+            },
+        );
+        assert_eq!(buf, [1, 0x04, 0x03, 0x02, 0x01]);
+        let t = get_tuple(&buf).expect("decode");
+        assert_eq!(
+            t,
+            Tuple {
+                object: 0x01020304,
+                is_add: true
+            }
+        );
+        // Agreement with replicate::frame's decoder.
+        let via_frame = sprofile_replicate::frame::decode_tuples(&buf).expect("frame decode");
+        assert_eq!(via_frame, vec![t]);
+        assert!(get_tuple(&[2, 0, 0, 0, 0]).is_err(), "op byte 2 is invalid");
+    }
+
+    #[test]
+    fn batch_frames_are_length_prefixed() {
+        let mut buf = Vec::new();
+        let tuples = [
+            Tuple {
+                object: 1,
+                is_add: true,
+            },
+            Tuple {
+                object: 2,
+                is_add: false,
+            },
+        ];
+        put_batch(&mut buf, &tuples);
+        assert_eq!(buf[0], REQ_BATCH);
+        assert_eq!(u32::from_le_bytes(buf[1..5].try_into().unwrap()), 2);
+        assert_eq!(buf.len(), 5 + 2 * TUPLE_BYTES);
+    }
+
+    #[test]
+    fn truncated_replies_are_io_errors() {
+        let mut buf = Vec::new();
+        put_topk_reply(&mut buf, &[(1, 10), (2, 5)]);
+        for cut in 1..buf.len() {
+            let mut cursor = io::Cursor::new(buf[..cut].to_vec());
+            assert!(read_reply(&mut cursor).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut cursor = io::Cursor::new(vec![0x7Fu8]);
+        let err = read_reply(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

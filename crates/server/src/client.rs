@@ -1,11 +1,24 @@
-//! A small synchronous client for the text protocol — the building
+//! A small synchronous client for both wire protocols — the building
 //! block of the load generator, the CLI front end, and the test suites.
+//!
+//! A client starts in the text protocol; [`Client::upgrade_bin`] (or
+//! [`Client::connect_with`] with [`WireProto::Bin`]) switches the
+//! connection to the length-prefixed binary protocol of [`bin_proto`].
+//! Every typed method works in either mode. Binary mode additionally
+//! supports windowed pipelining via [`Client::batch_send`] /
+//! [`Client::batch_recv`], which is how the load generator keeps many
+//! `BATCH` frames in flight per connection.
+//!
+//! [`bin_proto`]: crate::bin_proto
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use sprofile::Tuple;
+
+use crate::bin_proto::{self, Reply};
+use crate::protocol::WireProto;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -50,6 +63,7 @@ pub type ClientResult<T> = Result<T, ClientError>;
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    proto: WireProto,
 }
 
 fn parse_field<T: std::str::FromStr>(field: &str, reply: &str) -> ClientResult<T> {
@@ -59,14 +73,65 @@ fn parse_field<T: std::str::FromStr>(field: &str, reply: &str) -> ClientResult<T
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr` in text mode.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> ClientResult<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            proto: WireProto::Text,
         })
+    }
+
+    /// Connects and, for [`WireProto::Bin`], performs the `BIN` upgrade
+    /// handshake. Works against servers started in either protocol —
+    /// a binary-mode server recognises the `BIN\n` bytes as an upgrade
+    /// pseudo-frame, so the handshake is uniform.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, proto: WireProto) -> ClientResult<Client> {
+        let mut client = Client::connect(addr)?;
+        if proto == WireProto::Bin {
+            client.upgrade_bin()?;
+        }
+        Ok(client)
+    }
+
+    /// The protocol this connection currently speaks.
+    pub fn proto(&self) -> WireProto {
+        self.proto
+    }
+
+    /// Upgrades this connection to the binary protocol: sends the `BIN`
+    /// verb and expects the text `OK BIN` acknowledgement; every request
+    /// after that is a binary frame. There is no downgrade.
+    pub fn upgrade_bin(&mut self) -> ClientResult<()> {
+        let reply = self.round_trip("BIN")?;
+        if reply != "OK BIN" {
+            return Err(ClientError::Protocol(format!(
+                "expected OK BIN, got '{reply}'"
+            )));
+        }
+        self.proto = WireProto::Bin;
+        Ok(())
+    }
+
+    /// Sends one binary request and reads one reply, turning
+    /// [`Reply::Err`] into [`ClientError::Server`].
+    fn bin_round_trip(&mut self, encode: impl FnOnce(&mut Vec<u8>)) -> ClientResult<Reply> {
+        let mut frame = Vec::new();
+        encode(&mut frame);
+        self.writer.write_all(&frame)?;
+        self.writer.flush()?;
+        match bin_proto::read_reply(&mut self.reader)? {
+            Reply::Err(msg) => Err(ClientError::Server(msg)),
+            reply => Ok(reply),
+        }
+    }
+
+    fn bin_unexpected<T>(&self, what: &str, reply: &Reply) -> ClientResult<T> {
+        Err(ClientError::Protocol(format!(
+            "expected {what} reply, got {reply:?}"
+        )))
     }
 
     /// Sends one raw request line (no trailing newline) without reading
@@ -123,7 +188,13 @@ impl Client {
     }
 
     /// `ADD id` (buffered server-side until the next flush or query).
+    /// In binary mode this is a one-tuple `BATCH` frame — the binary
+    /// protocol has no single-tuple opcode.
     pub fn add(&mut self, id: u32) -> ClientResult<()> {
+        if self.proto == WireProto::Bin {
+            self.batch(&[Tuple::add(id)])?;
+            return Ok(());
+        }
         let reply = self.round_trip(&format!("ADD {id}"))?;
         if reply == "OK" {
             Ok(())
@@ -134,6 +205,10 @@ impl Client {
 
     /// `RM id`.
     pub fn remove(&mut self, id: u32) -> ClientResult<()> {
+        if self.proto == WireProto::Bin {
+            self.batch(&[Tuple::remove(id)])?;
+            return Ok(());
+        }
         let reply = self.round_trip(&format!("RM {id}"))?;
         if reply == "OK" {
             Ok(())
@@ -142,37 +217,95 @@ impl Client {
         }
     }
 
-    /// `BATCH n` + tuple lines, in one write; returns the acknowledged
-    /// tuple count.
+    /// `BATCH`: one frame of tuples in one write; returns the
+    /// acknowledged tuple count.
     pub fn batch(&mut self, tuples: &[Tuple]) -> ClientResult<u64> {
-        let mut frame = format!("BATCH {}\n", tuples.len());
-        for t in tuples {
-            frame.push(if t.is_add { 'a' } else { 'r' });
-            frame.push(' ');
-            frame.push_str(&t.object.to_string());
-            frame.push('\n');
-        }
-        self.writer.write_all(frame.as_bytes())?;
+        self.batch_send(tuples)?;
         self.writer.flush()?;
-        let reply = self.recv_ok()?;
-        let n = self.expect_prefix(&reply, "OK")?;
-        parse_field(n, &reply)
+        self.batch_recv()
+    }
+
+    /// Writes one `BATCH` frame into the connection's output buffer
+    /// **without flushing or reading the reply** — the pipelining half
+    /// of [`Client::batch`]. Callers keep a bounded window of frames in
+    /// flight and pair each with a later [`Client::batch_recv`]; call
+    /// [`Client::flush_out`] before draining replies.
+    pub fn batch_send(&mut self, tuples: &[Tuple]) -> ClientResult<()> {
+        match self.proto {
+            WireProto::Text => {
+                let mut frame = format!("BATCH {}\n", tuples.len());
+                for t in tuples {
+                    frame.push(if t.is_add { 'a' } else { 'r' });
+                    frame.push(' ');
+                    frame.push_str(&t.object.to_string());
+                    frame.push('\n');
+                }
+                self.writer.write_all(frame.as_bytes())?;
+            }
+            WireProto::Bin => {
+                let mut frame = Vec::with_capacity(5 + tuples.len() * 5);
+                bin_proto::put_batch(&mut frame, tuples);
+                self.writer.write_all(&frame)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one `BATCH` acknowledgement (the reply to one earlier
+    /// [`Client::batch_send`]): the acknowledged tuple count.
+    pub fn batch_recv(&mut self) -> ClientResult<u64> {
+        match self.proto {
+            WireProto::Text => {
+                let reply = self.recv_ok()?;
+                let n = self.expect_prefix(&reply, "OK")?;
+                parse_field(n, &reply)
+            }
+            WireProto::Bin => match bin_proto::read_reply(&mut self.reader)? {
+                Reply::Ok(n) => Ok(u64::from(n)),
+                Reply::Err(msg) => Err(ClientError::Server(msg)),
+                other => self.bin_unexpected("OK", &other),
+            },
+        }
+    }
+
+    /// Flushes buffered [`Client::batch_send`] frames to the socket.
+    pub fn flush_out(&mut self) -> ClientResult<()> {
+        self.writer.flush()?;
+        Ok(())
     }
 
     /// `MODE` → `(object, frequency)` or `None` on an empty universe.
     pub fn mode(&mut self) -> ClientResult<Option<(u32, i64)>> {
+        if self.proto == WireProto::Bin {
+            return match self.bin_round_trip(|b| bin_proto::put_simple(b, bin_proto::REQ_MODE))? {
+                Reply::Pair(p) => Ok(p),
+                other => self.bin_unexpected("PAIR", &other),
+            };
+        }
         let reply = self.round_trip("MODE")?;
         self.opt_pair(&reply, "MODE ")
     }
 
     /// `LEAST` → `(object, frequency)` or `None`.
     pub fn least(&mut self) -> ClientResult<Option<(u32, i64)>> {
+        if self.proto == WireProto::Bin {
+            return match self.bin_round_trip(|b| bin_proto::put_simple(b, bin_proto::REQ_LEAST))? {
+                Reply::Pair(p) => Ok(p),
+                other => self.bin_unexpected("PAIR", &other),
+            };
+        }
         let reply = self.round_trip("LEAST")?;
         self.opt_pair(&reply, "LEAST ")
     }
 
     /// `FREQ id` → the object's current frequency.
     pub fn freq(&mut self, id: u32) -> ClientResult<i64> {
+        if self.proto == WireProto::Bin {
+            return match self.bin_round_trip(|b| bin_proto::put_freq(b, id))? {
+                Reply::Freq(_, f) => Ok(f),
+                other => self.bin_unexpected("FREQ", &other),
+            };
+        }
         let reply = self.round_trip(&format!("FREQ {id}"))?;
         let rest = self.expect_prefix(&reply, "FREQ ")?;
         let (_, f) = rest
@@ -184,6 +317,12 @@ impl Client {
     /// `MEDIAN` → the lower median frequency, `None` on an empty
     /// universe.
     pub fn median(&mut self) -> ClientResult<Option<i64>> {
+        if self.proto == WireProto::Bin {
+            return match self.bin_round_trip(|b| bin_proto::put_simple(b, bin_proto::REQ_MEDIAN))? {
+                Reply::Median(m) => Ok(m),
+                other => self.bin_unexpected("MEDIAN", &other),
+            };
+        }
         let reply = self.round_trip("MEDIAN")?;
         if reply == "NONE" {
             return Ok(None);
@@ -195,6 +334,12 @@ impl Client {
     /// `TOPK k` → up to `k` `(object, frequency)` pairs, most frequent
     /// first.
     pub fn top_k(&mut self, k: u32) -> ClientResult<Vec<(u32, i64)>> {
+        if self.proto == WireProto::Bin {
+            return match self.bin_round_trip(|b| bin_proto::put_topk(b, k))? {
+                Reply::TopK(entries) => Ok(entries),
+                other => self.bin_unexpected("TOPK", &other),
+            };
+        }
         self.send_line(&format!("TOPK {k}"))?;
         let header = self.recv_ok()?;
         let n: usize = parse_field(self.expect_prefix(&header, "TOPK")?, &header)?;
@@ -211,12 +356,24 @@ impl Client {
 
     /// `CAL f` → count of objects with frequency ≥ `threshold`.
     pub fn count_at_least(&mut self, threshold: i64) -> ClientResult<u32> {
+        if self.proto == WireProto::Bin {
+            return match self.bin_round_trip(|b| bin_proto::put_cal(b, threshold))? {
+                Reply::Cal(n) => Ok(n),
+                other => self.bin_unexpected("CAL", &other),
+            };
+        }
         let reply = self.round_trip(&format!("CAL {threshold}"))?;
         parse_field(self.expect_prefix(&reply, "CAL")?, &reply)
     }
 
     /// `STATS` → the raw `key=value` payload (after `STATS `).
     pub fn stats(&mut self) -> ClientResult<String> {
+        if self.proto == WireProto::Bin {
+            return match self.bin_round_trip(|b| bin_proto::put_simple(b, bin_proto::REQ_STATS))? {
+                Reply::Stats(payload) => Ok(payload),
+                other => self.bin_unexpected("STATS", &other),
+            };
+        }
         let reply = self.round_trip("STATS")?;
         Ok(self.expect_prefix(&reply, "STATS")?.to_string())
     }
@@ -229,16 +386,23 @@ impl Client {
             .and_then(|v| v.parse().ok())
     }
 
-    /// `SNAPSHOT path` → bytes written server-side.
+    /// `SNAPSHOT path` → bytes written server-side. Text-protocol only
+    /// (admin commands stay on the text plane).
     pub fn snapshot(&mut self, path: &str) -> ClientResult<u64> {
+        if self.proto == WireProto::Bin {
+            return Err(ClientError::Protocol("SNAPSHOT is text-only".into()));
+        }
         let reply = self.round_trip(&format!("SNAPSHOT {path}"))?;
         parse_field(self.expect_prefix(&reply, "OK")?, &reply)
     }
 
     /// `PROMOTE` → the `(lsn, epoch)` the (former) replica was promoted
     /// at — its applied LSN and the freshly bumped generation. Errors
-    /// with `ERR not a replica` on other servers.
+    /// with `ERR not a replica` on other servers. Text-protocol only.
     pub fn promote(&mut self) -> ClientResult<(u64, u64)> {
+        if self.proto == WireProto::Bin {
+            return Err(ClientError::Protocol("PROMOTE is text-only".into()));
+        }
         let reply = self.round_trip("PROMOTE")?;
         let rest = self.expect_prefix(&reply, "OK")?;
         let (lsn, epoch) = rest
@@ -249,6 +413,12 @@ impl Client {
 
     /// `QUIT`: closes this connection politely.
     pub fn quit(mut self) -> ClientResult<()> {
+        if self.proto == WireProto::Bin {
+            return match self.bin_round_trip(|b| bin_proto::put_simple(b, bin_proto::REQ_QUIT))? {
+                Reply::Ok(_) => Ok(()),
+                other => self.bin_unexpected("OK", &other),
+            };
+        }
         let reply = self.round_trip("QUIT")?;
         if reply == "BYE" {
             Ok(())
@@ -261,6 +431,14 @@ impl Client {
 
     /// `SHUTDOWN`: asks the whole server to drain and stop.
     pub fn shutdown_server(mut self) -> ClientResult<()> {
+        if self.proto == WireProto::Bin {
+            return match self
+                .bin_round_trip(|b| bin_proto::put_simple(b, bin_proto::REQ_SHUTDOWN))?
+            {
+                Reply::Ok(_) => Ok(()),
+                other => self.bin_unexpected("OK", &other),
+            };
+        }
         let reply = self.round_trip("SHUTDOWN")?;
         if reply == "BYE" {
             Ok(())

@@ -1,0 +1,827 @@
+//! Per-connection non-blocking state machine: read buffer → frame
+//! parser → backend apply → write buffer.
+//!
+//! An event-loop worker owns many [`Conn`]s. Each tick it `fill`s the
+//! read buffer from the socket (bounded per tick for fairness),
+//! `process`es as many complete frames as the buffer holds — text
+//! lines or binary frames, switching on a `BIN` upgrade — and flushes
+//! the write buffer back out. Replies accumulate in the write buffer;
+//! when a slow reader lets it grow past [`WBUF_PAUSE`], the parser
+//! pauses (and the worker drops read interest) until the backlog
+//! drains — per-connection backpressure instead of unbounded memory.
+//!
+//! The request semantics are identical to the old thread-per-connection
+//! loop, and the protocol/agreement suites hold it to that: acked
+//! tuples always reach the backend (the worker drains `pending` however
+//! the connection ends), a `BATCH` cut off mid-body is dropped whole,
+//! `QUIT`/`SHUTDOWN` flush before `BYE`, and a validated `REPLICATE`
+//! detaches the raw stream (plus any pipelined leftover bytes) to a
+//! dedicated thread.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use sprofile::Tuple;
+use sprofile_replicate::frame::TUPLE_BYTES;
+
+use crate::backend::Backend;
+use crate::bin_proto;
+use crate::metrics::Metrics;
+use crate::protocol::{self, Request, WireProto};
+use crate::server::{flush_pending, resolve_snapshot_path, Shared};
+
+/// Pause parsing when the un-flushed write buffer exceeds this.
+pub(crate) const WBUF_PAUSE: usize = 1 << 20;
+/// Read at most this much per tick, so one firehose connection cannot
+/// starve its siblings on the same worker.
+const READ_BUDGET: usize = 256 * 1024;
+/// One socket read's size.
+const READ_CHUNK: usize = 16 * 1024;
+/// A frame (text line, or binary frame header + payload) that still
+/// isn't complete past this much buffered input is hostile — the
+/// protocol's own `MAX_BATCH` cap keeps every legitimate frame far
+/// smaller.
+const MAX_FRAME_BYTES: usize = 8 << 20;
+
+/// What `process` asks of the worker.
+pub(crate) enum Flow {
+    /// Keep the connection registered.
+    Continue,
+    /// Input side is finished (QUIT, EOF, fatal error): close once the
+    /// write buffer drains.
+    Done,
+    /// Validated `REPLICATE`: detach to a dedicated stream thread.
+    Stream {
+        /// First LSN the replica wants shipped.
+        start_lsn: u64,
+        /// Highest epoch the replica has followed.
+        epoch: u64,
+    },
+}
+
+/// One parser step.
+enum Step {
+    /// Consumed input and/or produced output; go again.
+    Progress,
+    /// The next frame is incomplete; wait for more bytes.
+    NeedMore,
+    /// Validated `REPLICATE`.
+    Stream { start_lsn: u64, epoch: u64 },
+}
+
+/// Mid-`BATCH` body state (text mode): the header was consumed, the
+/// body lines are still arriving.
+struct TextBatch {
+    want: usize,
+    seen: usize,
+    tuples: Vec<Tuple>,
+    error: Option<String>,
+    /// Sampled at header time, like the blocking loop did.
+    readonly: bool,
+    wal_failed: bool,
+}
+
+/// One client connection owned by an event-loop worker.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Acked-but-unflushed tuples; the worker drains these whenever and
+    /// however the connection ends.
+    pub(crate) pending: Vec<Tuple>,
+    proto: WireProto,
+    batch: Option<TextBatch>,
+    eof: bool,
+    done: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted (already non-blocking) stream.
+    pub(crate) fn new(stream: TcpStream, proto: WireProto, flush_every: usize) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: Vec::with_capacity(flush_every),
+            proto,
+            batch: None,
+            eof: false,
+            done: false,
+        }
+    }
+
+    /// Unsent reply bytes.
+    pub(crate) fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Backpressure: stop parsing (and reading) until the peer drains
+    /// some of the reply backlog.
+    pub(crate) fn paused(&self) -> bool {
+        self.wbuf.len() - self.wpos > WBUF_PAUSE
+    }
+
+    /// Input side finished; close once the write buffer drains.
+    pub(crate) fn finished(&self) -> bool {
+        self.done
+    }
+
+    /// Whether this connection has work to do even without a fresh
+    /// readiness event (buffered replies, unparsed input, or a close
+    /// waiting on the write buffer).
+    pub(crate) fn wants_step(&self) -> bool {
+        self.wants_write() || self.done || self.rpos < self.rbuf.len()
+    }
+
+    /// Reads whatever the socket has, up to the per-tick budget.
+    /// Transport errors mark EOF and propagate — the caller closes, and
+    /// the worker drains `pending` (those tuples were already acked).
+    pub(crate) fn fill(&mut self) -> io::Result<()> {
+        let mut total = 0usize;
+        while !self.eof && total < READ_BUDGET {
+            // Don't buffer unboundedly ahead of the parser.
+            if self.rbuf.len() - self.rpos > MAX_FRAME_BYTES {
+                break;
+            }
+            let old = self.rbuf.len();
+            self.rbuf.resize(old + READ_CHUNK, 0);
+            match self.stream.read(&mut self.rbuf[old..]) {
+                Ok(0) => {
+                    self.rbuf.truncate(old);
+                    self.eof = true;
+                }
+                Ok(n) => {
+                    self.rbuf.truncate(old + n);
+                    total += n;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    self.rbuf.truncate(old);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.rbuf.truncate(old);
+                }
+                Err(e) => {
+                    self.rbuf.truncate(old);
+                    self.eof = true;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes buffered replies until the socket would block.
+    pub(crate) fn flush_socket(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.wpos += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > 64 * 1024 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+
+    /// Best-effort synchronous flush of the remaining reply bytes, used
+    /// on shutdown so a final `BYE` still reaches the client.
+    pub(crate) fn blocking_flush(&mut self, timeout: std::time::Duration) {
+        if !self.wants_write() {
+            return;
+        }
+        if self.stream.set_nonblocking(false).is_err() {
+            return;
+        }
+        self.stream.set_write_timeout(Some(timeout)).ok();
+        let _ = self.stream.write_all(&self.wbuf[self.wpos..]);
+        let _ = self.stream.flush();
+        self.wbuf.clear();
+        self.wpos = 0;
+    }
+
+    /// Dismantles the connection for replication-stream handoff: the
+    /// raw stream, any bytes read past the `REPLICATE` line (a replica
+    /// may pipeline its first ACK), and any unsent reply bytes.
+    pub(crate) fn into_stream_parts(self) -> (TcpStream, Vec<u8>, Vec<u8>) {
+        let leftover = self.rbuf[self.rpos..].to_vec();
+        let unsent = self.wbuf[self.wpos..].to_vec();
+        (self.stream, leftover, unsent)
+    }
+
+    /// Parses and serves as many complete frames as the read buffer
+    /// holds. Never blocks; backend applies and queries run inline.
+    pub(crate) fn process(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Flow {
+        loop {
+            if self.done {
+                return Flow::Done;
+            }
+            if shared.stopping() {
+                // The worker is about to drain and exit; don't start
+                // serving fresh requests.
+                return Flow::Continue;
+            }
+            if self.paused() {
+                return Flow::Continue;
+            }
+            let step = match self.proto {
+                WireProto::Text => self.step_text(backend, shared),
+                WireProto::Bin => self.step_bin(backend, shared),
+            };
+            match step {
+                Step::Progress => self.compact_rbuf(),
+                Step::NeedMore => {
+                    if self.eof {
+                        // A partial trailing frame (including a BATCH
+                        // cut off mid-body) is dropped whole.
+                        return Flow::Done;
+                    }
+                    if self.rbuf.len() - self.rpos > MAX_FRAME_BYTES {
+                        self.error(shared, "frame too large");
+                        self.done = true;
+                        return Flow::Done;
+                    }
+                    return Flow::Continue;
+                }
+                Step::Stream { start_lsn, epoch } => return Flow::Stream { start_lsn, epoch },
+            }
+        }
+    }
+
+    fn compact_rbuf(&mut self) {
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        } else if self.rpos >= 1 << 16 {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+    }
+
+    /// The next complete line as `(start, end, next_rpos)`; at EOF a
+    /// partial trailing line is handed up as-is (like the blocking
+    /// loop's `read_until` did).
+    fn peek_line(&self) -> Option<(usize, usize, usize)> {
+        let buf = &self.rbuf[self.rpos..];
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => Some((self.rpos, self.rpos + i, self.rpos + i + 1)),
+            None if self.eof && !buf.is_empty() => {
+                Some((self.rpos, self.rbuf.len(), self.rbuf.len()))
+            }
+            None => None,
+        }
+    }
+
+    // ----- reply helpers ---------------------------------------------
+
+    fn metrics<'a>(&self, shared: &'a Shared) -> &'a Metrics {
+        &shared.metrics
+    }
+
+    fn out_line(&mut self, text: &str) {
+        self.wbuf.extend_from_slice(text.as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    /// Protocol-appropriate `ERR` reply (counted in `errors`).
+    fn error(&mut self, shared: &Shared, msg: &str) {
+        self.metrics(shared).errors.inc();
+        match self.proto {
+            WireProto::Text => {
+                self.wbuf.extend_from_slice(b"ERR ");
+                self.wbuf.extend_from_slice(msg.as_bytes());
+                self.wbuf.push(b'\n');
+            }
+            WireProto::Bin => bin_proto::put_err(&mut self.wbuf, msg),
+        }
+    }
+
+    fn flush_if_due(&mut self, backend: &Backend, shared: &Arc<Shared>) {
+        if self.pending.len() >= shared.flush_every {
+            flush_pending(&mut self.pending, backend, shared);
+        }
+    }
+
+    // ----- text mode -------------------------------------------------
+
+    fn step_text(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
+        if self.batch.is_some() {
+            return self.step_text_batch_body(backend, shared);
+        }
+        let Some((start, end, next)) = self.peek_line() else {
+            return Step::NeedMore;
+        };
+        let parsed = {
+            let text = String::from_utf8_lossy(&self.rbuf[start..end]);
+            protocol::parse_request(text.trim_end_matches(['\r', '\n']))
+        };
+        self.rpos = next;
+        match parsed {
+            Ok(None) => Step::Progress,
+            Err(msg) => {
+                self.error(shared, &msg);
+                Step::Progress
+            }
+            Ok(Some(req)) => self.dispatch_text(req, backend, shared),
+        }
+    }
+
+    fn step_text_batch_body(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
+        loop {
+            let state = self.batch.as_ref().expect("batch state present");
+            if state.seen == state.want {
+                break;
+            }
+            let Some((start, end, next)) = self.peek_line() else {
+                return Step::NeedMore;
+            };
+            let parsed = {
+                let text = String::from_utf8_lossy(&self.rbuf[start..end]);
+                protocol::parse_tuple_line(text.trim_end_matches(['\r', '\n']))
+            };
+            self.rpos = next;
+            let m = shared.m;
+            let state = self.batch.as_mut().expect("batch state present");
+            state.seen += 1;
+            if state.error.is_none() && !state.readonly && !state.wal_failed {
+                match parsed {
+                    Ok(t) if t.object >= m => {
+                        state.error = Some(format!(
+                            "tuple {}: object {} outside universe [0, {m})",
+                            state.seen, t.object
+                        ));
+                    }
+                    Ok(t) => state.tuples.push(t),
+                    Err(msg) => state.error = Some(format!("tuple {}: {msg}", state.seen)),
+                }
+            }
+        }
+        let state = self.batch.take().expect("batch state present");
+        self.finish_batch(
+            state.want,
+            state.tuples,
+            state.error,
+            state.readonly,
+            state.wal_failed,
+            backend,
+            shared,
+        );
+        Step::Progress
+    }
+
+    /// Shared `BATCH` finalisation (text and binary): reject or apply
+    /// the fully-consumed frame and send the one reply.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_batch(
+        &mut self,
+        want: usize,
+        tuples: Vec<Tuple>,
+        error: Option<String>,
+        readonly: bool,
+        wal_failed: bool,
+        backend: &Backend,
+        shared: &Arc<Shared>,
+    ) {
+        if readonly {
+            self.error(shared, "readonly");
+            return;
+        }
+        if wal_failed {
+            self.error(shared, "wal failed; writes refused (fail over or restart)");
+            return;
+        }
+        match error {
+            Some(msg) => self.error(shared, &msg),
+            None => {
+                self.metrics(shared).ops_batch.inc();
+                self.metrics(shared).batch_tuples.add(want as u64);
+                self.pending.extend_from_slice(&tuples);
+                self.flush_if_due(backend, shared);
+                match self.proto {
+                    WireProto::Text => self.out_line(&format!("OK {want}")),
+                    WireProto::Bin => bin_proto::put_ok(&mut self.wbuf, want as u32),
+                }
+            }
+        }
+    }
+
+    fn dispatch_text(&mut self, req: Request, backend: &Backend, shared: &Arc<Shared>) -> Step {
+        match req {
+            Request::Add(id) | Request::Remove(id) => {
+                if shared.readonly() {
+                    self.error(shared, "readonly");
+                    return Step::Progress;
+                }
+                if shared.wal_failed() {
+                    self.error(shared, "wal failed; writes refused (fail over or restart)");
+                    return Step::Progress;
+                }
+                if id >= shared.m {
+                    self.error(
+                        shared,
+                        &format!("object {id} outside universe [0, {})", shared.m),
+                    );
+                    return Step::Progress;
+                }
+                let is_add = matches!(req, Request::Add(_));
+                if is_add {
+                    self.metrics(shared).ops_add.inc();
+                } else {
+                    self.metrics(shared).ops_remove.inc();
+                }
+                self.pending.push(Tuple { object: id, is_add });
+                self.flush_if_due(backend, shared);
+                self.out_line("OK");
+            }
+            Request::Batch(n) => {
+                // Sample the write-path gates at header time, like the
+                // blocking loop did; the body is consumed either way so
+                // the connection stays in sync.
+                self.batch = Some(TextBatch {
+                    want: n,
+                    seen: 0,
+                    tuples: Vec::with_capacity(n.min(protocol::MAX_BATCH)),
+                    error: None,
+                    readonly: shared.readonly(),
+                    wal_failed: shared.wal_failed(),
+                });
+                return self.step_text_batch_body(backend, shared);
+            }
+            Request::Mode => {
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                match backend.mode() {
+                    Some((obj, f)) => self.out_line(&format!("MODE {obj} {f}")),
+                    None => self.out_line("NONE"),
+                }
+            }
+            Request::Least => {
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                match backend.least() {
+                    Some((obj, f)) => self.out_line(&format!("LEAST {obj} {f}")),
+                    None => self.out_line("NONE"),
+                }
+            }
+            Request::Freq(id) => {
+                if id >= shared.m {
+                    self.error(
+                        shared,
+                        &format!("object {id} outside universe [0, {})", shared.m),
+                    );
+                    return Step::Progress;
+                }
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                let f = backend.frequency(id);
+                self.out_line(&format!("FREQ {id} {f}"));
+            }
+            Request::Median => {
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                match backend.median() {
+                    Some(f) => self.out_line(&format!("MEDIAN {f}")),
+                    None => self.out_line("NONE"),
+                }
+            }
+            Request::TopK(k) => {
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                // Clamp so a hostile k cannot force an over-allocation
+                // in the per-shard merge.
+                let entries = backend.top_k(k.min(shared.m));
+                self.out_line(&format!("TOPK {}", entries.len()));
+                for (obj, f) in entries {
+                    self.out_line(&format!("{obj} {f}"));
+                }
+            }
+            Request::Cal(threshold) => {
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                let count = backend.count_at_least(threshold);
+                self.out_line(&format!("CAL {count}"));
+            }
+            Request::Stats => {
+                flush_pending(&mut self.pending, backend, shared);
+                let payload = shared.stats_payload();
+                self.out_line(&format!("STATS {payload}"));
+            }
+            Request::Snapshot(path) => {
+                let Some(target) = resolve_snapshot_path(&shared.snapshot_dir, &path) else {
+                    self.error(
+                        shared,
+                        "snapshot path must be relative, without '..' components",
+                    );
+                    return Step::Progress;
+                };
+                flush_pending(&mut self.pending, backend, shared);
+                backend.drain();
+                // Round-trip-validated: a backend bug producing corrupt
+                // bytes is a protocol ERR, not a worker-thread panic.
+                let bytes = match backend.validated_snapshot_bytes() {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        self.error(shared, &format!("snapshot validation failed: {e}"));
+                        return Step::Progress;
+                    }
+                };
+                match std::fs::write(&target, &bytes) {
+                    Ok(()) => {
+                        self.metrics(shared).snapshots.inc();
+                        self.out_line(&format!("OK {}", bytes.len()));
+                    }
+                    Err(e) => self.error(shared, &format!("snapshot write failed: {e}")),
+                }
+            }
+            Request::Replicate { start_lsn, epoch } => {
+                flush_pending(&mut self.pending, backend, shared);
+                if shared.readonly() {
+                    self.error(shared, "readonly replica cannot serve replication");
+                    return Step::Progress;
+                }
+                if shared.repl.source.is_none() {
+                    self.error(shared, "replication requires --wal");
+                    return Step::Progress;
+                }
+                return Step::Stream { start_lsn, epoch };
+            }
+            Request::Promote => {
+                flush_pending(&mut self.pending, backend, shared);
+                let Some(replica) = &shared.repl.replica else {
+                    self.error(shared, "not a replica");
+                    return Step::Progress;
+                };
+                // Stop pulling from the (possibly dead) primary, open a
+                // new generation, then open the write path. Idempotent:
+                // a second PROMOTE reports the same position and epoch
+                // (only the first one bumps).
+                let already = replica.promoted.load(Ordering::Acquire);
+                replica.stop_applier();
+                let epoch = match &shared.durability {
+                    Some(d) if already => d.epoch(),
+                    Some(d) => match d.bump_epoch(replica.stats.epoch()) {
+                        Ok(e) => e,
+                        Err(msg) => {
+                            // The marker write failed (disk): refuse the
+                            // promotion rather than open a generation
+                            // that a restart would forget.
+                            self.error(shared, &msg);
+                            return Step::Progress;
+                        }
+                    },
+                    None => replica.stats.epoch().max(1),
+                };
+                replica.promoted.store(true, Ordering::Release);
+                shared.readonly.store(false, Ordering::Release);
+                let applied = replica.stats.applied_lsn();
+                self.out_line(&format!("OK {applied} {epoch}"));
+            }
+            Request::BinUpgrade => {
+                // The acknowledgement is still a text line; everything
+                // after it (in either direction) is binary.
+                self.out_line("OK BIN");
+                self.proto = WireProto::Bin;
+            }
+            Request::Quit => {
+                // Flush before BYE: a client that saw BYE may assume its
+                // writes are applied (the agreement tests rely on it).
+                flush_pending(&mut self.pending, backend, shared);
+                self.out_line("BYE");
+                self.done = true;
+            }
+            Request::Shutdown => {
+                flush_pending(&mut self.pending, backend, shared);
+                self.out_line("BYE");
+                shared.trigger_stop();
+                self.done = true;
+            }
+        }
+        Step::Progress
+    }
+
+    // ----- binary mode -----------------------------------------------
+
+    fn step_bin(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
+        let Some(&op) = self.rbuf.get(self.rpos) else {
+            return Step::NeedMore;
+        };
+        match op {
+            bin_proto::REQ_BATCH => self.bin_batch(backend, shared),
+            bin_proto::REQ_MODE => {
+                self.rpos += 1;
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                let pair = backend.mode();
+                bin_proto::put_pair(&mut self.wbuf, pair);
+                Step::Progress
+            }
+            bin_proto::REQ_LEAST => {
+                self.rpos += 1;
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                let pair = backend.least();
+                bin_proto::put_pair(&mut self.wbuf, pair);
+                Step::Progress
+            }
+            bin_proto::REQ_MEDIAN => {
+                self.rpos += 1;
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                let median = backend.median();
+                bin_proto::put_median(&mut self.wbuf, median);
+                Step::Progress
+            }
+            bin_proto::REQ_STATS => {
+                self.rpos += 1;
+                flush_pending(&mut self.pending, backend, shared);
+                let payload = shared.stats_payload();
+                bin_proto::put_stats(&mut self.wbuf, &payload);
+                Step::Progress
+            }
+            bin_proto::REQ_FREQ => {
+                let Some(id) = self.bin_u32_arg() else {
+                    return Step::NeedMore;
+                };
+                self.rpos += 5;
+                if id >= shared.m {
+                    self.error(
+                        shared,
+                        &format!("object {id} outside universe [0, {})", shared.m),
+                    );
+                    return Step::Progress;
+                }
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                let f = backend.frequency(id);
+                bin_proto::put_freq_reply(&mut self.wbuf, id, f);
+                Step::Progress
+            }
+            bin_proto::REQ_TOPK => {
+                let Some(k) = self.bin_u32_arg() else {
+                    return Step::NeedMore;
+                };
+                self.rpos += 5;
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                let entries = backend.top_k(k.min(shared.m));
+                bin_proto::put_topk_reply(&mut self.wbuf, &entries);
+                Step::Progress
+            }
+            bin_proto::REQ_CAL => {
+                if self.rbuf.len() - self.rpos < 9 {
+                    return Step::NeedMore;
+                }
+                let threshold = i64::from_le_bytes(
+                    self.rbuf[self.rpos + 1..self.rpos + 9]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                self.rpos += 9;
+                flush_pending(&mut self.pending, backend, shared);
+                self.metrics(shared).queries.inc();
+                let count = backend.count_at_least(threshold);
+                bin_proto::put_cal_reply(&mut self.wbuf, count);
+                Step::Progress
+            }
+            bin_proto::REQ_QUIT => {
+                self.rpos += 1;
+                flush_pending(&mut self.pending, backend, shared);
+                bin_proto::put_ok(&mut self.wbuf, 0);
+                self.done = true;
+                Step::Progress
+            }
+            bin_proto::REQ_SHUTDOWN => {
+                self.rpos += 1;
+                flush_pending(&mut self.pending, backend, shared);
+                bin_proto::put_ok(&mut self.wbuf, 0);
+                shared.trigger_stop();
+                self.done = true;
+                Step::Progress
+            }
+            b'B' => self.bin_upgrade_line(shared),
+            other => {
+                // Unknown opcode: framing can no longer be trusted, so
+                // answer with a typed ERR and close.
+                self.error(shared, &format!("unknown binary opcode 0x{other:02x}"));
+                self.done = true;
+                Step::Progress
+            }
+        }
+    }
+
+    /// `opcode + u32` argument, or `None` when incomplete.
+    fn bin_u32_arg(&self) -> Option<u32> {
+        let buf = &self.rbuf[self.rpos..];
+        if buf.len() < 5 {
+            return None;
+        }
+        Some(u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")))
+    }
+
+    fn bin_batch(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
+        let count = {
+            let buf = &self.rbuf[self.rpos..];
+            if buf.len() < 5 {
+                return Step::NeedMore;
+            }
+            u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize
+        };
+        if count > protocol::MAX_BATCH {
+            // Refuse before buffering the payload; the length prefix
+            // itself is hostile, so the connection closes.
+            self.error(
+                shared,
+                &format!("BATCH size {count} exceeds maximum {}", protocol::MAX_BATCH),
+            );
+            self.done = true;
+            return Step::Progress;
+        }
+        let need = 5 + count * TUPLE_BYTES;
+        if self.rbuf.len() - self.rpos < need {
+            return Step::NeedMore;
+        }
+        let readonly = shared.readonly();
+        let wal_failed = shared.wal_failed();
+        let (tuples, error) = {
+            let body = &self.rbuf[self.rpos + 5..self.rpos + need];
+            let mut tuples: Vec<Tuple> = Vec::with_capacity(count);
+            let mut error: Option<String> = None;
+            if !readonly && !wal_failed {
+                for (i, chunk) in body.chunks_exact(TUPLE_BYTES).enumerate() {
+                    match bin_proto::get_tuple(chunk) {
+                        Ok(t) if t.object >= shared.m => {
+                            error = Some(format!(
+                                "tuple {}: object {} outside universe [0, {})",
+                                i + 1,
+                                t.object,
+                                shared.m
+                            ));
+                            break;
+                        }
+                        Ok(t) => tuples.push(t),
+                        Err(msg) => {
+                            error = Some(format!("tuple {}: {msg}", i + 1));
+                            break;
+                        }
+                    }
+                }
+            }
+            (tuples, error)
+        };
+        self.rpos += need;
+        self.finish_batch(count, tuples, error, readonly, wal_failed, backend, shared);
+        Step::Progress
+    }
+
+    /// A server running natively in binary mode still accepts the text
+    /// `BIN` upgrade line (first byte `0x42` = `'B'`) so clients can
+    /// speak one handshake regardless of the server's `--proto`.
+    fn bin_upgrade_line(&mut self, shared: &Shared) -> Step {
+        const LF: &[u8] = b"BIN\n";
+        const CRLF: &[u8] = b"BIN\r\n";
+        let buf = &self.rbuf[self.rpos..];
+        if buf.starts_with(LF) {
+            self.rpos += LF.len();
+            self.out_line("OK BIN");
+            Step::Progress
+        } else if buf.starts_with(CRLF) {
+            self.rpos += CRLF.len();
+            self.out_line("OK BIN");
+            Step::Progress
+        } else if CRLF.starts_with(buf) {
+            // Could still become the upgrade line (LF is a prefix-case
+            // of CRLF up to byte 3).
+            Step::NeedMore
+        } else {
+            self.error(shared, "unknown binary opcode 0x42 (stray 'B')");
+            self.done = true;
+            Step::Progress
+        }
+    }
+}

@@ -12,10 +12,14 @@
 //!   owner thread fed through a channel.
 //!
 //! Everything is std-only (the offline build has no async runtime): a
-//! **bounded accept pool** of worker threads serves one connection each,
+//! **readiness-driven event loop** of a few worker threads multiplexes
+//! non-blocking connection state machines over the `polling` shim,
+//! sheds connections past `--max-conns` with a typed `ERR overloaded`,
 //! **per-connection write batching** turns single `ADD`/`RM` requests
 //! into large [`Backend::apply_batch`] calls, and **graceful shutdown**
-//! drains every buffered batch before the backend is torn down.
+//! drains every buffered batch before the backend is torn down. Clients
+//! start in the newline-delimited text protocol and may upgrade to the
+//! length-prefixed binary protocol (see [`bin_proto`]) with `BIN`.
 //!
 //! A server running with a WAL ([`ServerConfig::wal`]) is durable *and*
 //! a replication **primary**: `REPLICATE <lsn>` connections stream its
@@ -48,9 +52,12 @@
 #![deny(unsafe_code)]
 
 mod backend;
+pub mod bin_proto;
 pub mod client;
+mod conn;
 mod durability;
 mod failover;
+pub mod hist;
 pub mod loadgen;
 mod metrics;
 pub mod protocol;
@@ -60,8 +67,10 @@ mod server;
 pub use backend::{Backend, BackendKind, BackendOwner};
 pub use client::{Client, ClientError, ClientResult};
 pub use durability::DurabilityConfig;
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use hist::LogHistogram;
+pub use loadgen::{LatencySummary, LoadgenConfig, LoadgenReport};
 pub use metrics::{Counter, Metrics};
+pub use protocol::WireProto;
 pub use server::{FailoverConfig, Server, ServerConfig, SyncCommit};
 pub use sprofile_persist::SyncPolicy;
 pub use sprofile_replicate::ApplierStats;
@@ -76,7 +85,7 @@ mod crate_tests {
             ServerConfig {
                 m,
                 backend: kind,
-                accept_pool: 3,
+                workers: 3,
                 flush_every: 8,
                 // Wire SNAPSHOT paths are relative to this directory.
                 snapshot_dir: std::env::temp_dir(),
@@ -269,7 +278,7 @@ mod crate_tests {
         let config = |backend| ServerConfig {
             m: 64,
             backend,
-            accept_pool: 2,
+            workers: 2,
             flush_every: 4,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal.clone()),
@@ -371,7 +380,7 @@ mod crate_tests {
             ServerConfig {
                 m: 64,
                 backend: BackendKind::Sharded { shards: 4 },
-                accept_pool: 3,
+                workers: 3,
                 flush_every: 4,
                 snapshot_dir: std::env::temp_dir(),
                 wal: Some(wal_at("primary")),
@@ -384,7 +393,7 @@ mod crate_tests {
             ServerConfig {
                 m: 64,
                 backend: BackendKind::Pipeline,
-                accept_pool: 2,
+                workers: 2,
                 flush_every: 4,
                 snapshot_dir: std::env::temp_dir(),
                 wal: Some(wal_at("replica")),
@@ -478,7 +487,7 @@ mod crate_tests {
         let server = Server::start(
             ServerConfig {
                 m: 16,
-                accept_pool: 2,
+                workers: 2,
                 wal: Some(DurabilityConfig::new(&dir)),
                 ..ServerConfig::default()
             },
@@ -527,7 +536,7 @@ mod crate_tests {
         let primary = Server::start(
             ServerConfig {
                 m: 32,
-                accept_pool: 2,
+                workers: 2,
                 flush_every: 2,
                 wal: Some(DurabilityConfig::new(base.join("primary"))),
                 ..ServerConfig::default()
@@ -538,7 +547,7 @@ mod crate_tests {
         let replica = Server::start(
             ServerConfig {
                 m: 32,
-                accept_pool: 2,
+                workers: 2,
                 replica_of: Some(primary.local_addr().to_string()),
                 ..ServerConfig::default()
             },
@@ -568,6 +577,7 @@ mod crate_tests {
             batch: 128,
             m: 256,
             seed: 7,
+            proto: WireProto::Text,
         };
         let report = loadgen::run(&cfg).unwrap();
         assert_eq!(report.tuples_sent, 6_000);

@@ -40,8 +40,15 @@ impl Counter {
 pub struct Metrics {
     /// Connections accepted over the server's lifetime.
     pub connections_accepted: Counter,
-    /// Connections currently open (gauge).
+    /// Connections currently open (gauge). Includes replication streams
+    /// that have been detached to dedicated threads.
     pub connections_active: Counter,
+    /// Connections currently owned by the event-loop workers (gauge).
+    /// Excludes detached replication streams.
+    pub conns: Counter,
+    /// Connections refused with `ERR overloaded` because the server was
+    /// at its `--max-conns` limit.
+    pub shed: Counter,
     /// `ADD` requests received.
     pub ops_add: Counter,
     /// `RM` requests received.
@@ -68,10 +75,12 @@ impl Metrics {
     /// a fixed order (stable for tests and scrapers).
     pub fn render(&self) -> String {
         format!(
-            "accepted={} active={} adds={} removes={} batches={} batch_tuples={} \
-             applied={} flushes={} queries={} snapshots={} errors={}",
+            "accepted={} active={} conns={} shed={} adds={} removes={} batches={} \
+             batch_tuples={} applied={} flushes={} queries={} snapshots={} errors={}",
             self.connections_accepted.get(),
             self.connections_active.get(),
+            self.conns.get(),
+            self.shed.get(),
             self.ops_add.get(),
             self.ops_remove.get(),
             self.ops_batch.get(),
@@ -114,6 +123,8 @@ mod tests {
         for key in [
             "accepted=",
             "active=",
+            "conns=",
+            "shed=",
             "adds=",
             "removes=",
             "batches=",

@@ -24,9 +24,28 @@
 //! PROMOTE              OK <lsn> <epoch>    (flip a replica writable at its
 //!                                          applied LSN, at a freshly bumped
 //!                                          epoch; ERR on non-replicas)
+//! BIN                  OK BIN              (switch this connection to the
+//!                                          binary protocol; see below)
 //! QUIT                 BYE                 (connection closes)
 //! SHUTDOWN             BYE                 (whole server drains and stops)
 //! ```
+//!
+//! # Binary mode
+//!
+//! `BIN` upgrades the connection to the length-prefixed binary
+//! protocol defined in [`crate::bin_proto`]: `BATCH` payloads reuse
+//! replication's 5-byte tuple encoding, and the read queries get
+//! compact fixed-layout request/response frames. The reply to `BIN`
+//! itself is still the text line `OK BIN`; everything after it is
+//! binary. A server started with `serve --proto bin` expects binary
+//! frames from the first byte, but still accepts the `BIN\n` upgrade
+//! line (recognised as a pseudo-frame) so clients can speak one
+//! handshake regardless of the server's native mode. Malformed binary
+//! input — an unknown opcode, or a `BATCH` count beyond the cap —
+//! gets a typed binary `ERR` frame and the connection closes, since
+//! framing can no longer be trusted; in-frame semantic errors (bad op
+//! byte, object outside the universe) consume the frame, answer `ERR`,
+//! and keep the connection usable, exactly like text `BATCH` bodies.
 //!
 //! Any malformed line gets an `ERR <reason>` reply and the connection
 //! stays usable. A `BATCH` whose tuple lines contain an error is
@@ -66,6 +85,15 @@
 //! that can never be logged would silently diverge from the durable
 //! log and from every replica tailing it.
 //!
+//! `STATS` reports the serving-core fields `conns` (connections
+//! currently owned by the event loops, replication streams excluded),
+//! `shed` (connections refused with `ERR overloaded` because the
+//! server was at `--max-conns`), and — when synchronous commit is
+//! enabled — a commit-wait histogram: `commit_waits` (acked flushes
+//! that waited), `commit_wait_p50_us` / `commit_wait_p99_us` /
+//! `commit_wait_max_us` (log-bucketed quantiles of the wait in
+//! microseconds).
+//!
 //! `STATS` also always reports the replication fields: `repl_role`
 //! (`none` | `primary` | `replica` | `promoted`), `repl_epoch` (current
 //! replication generation; 0 when no replication plane exists),
@@ -87,6 +115,35 @@ use sprofile::Tuple;
 /// Upper bound on a `BATCH` header, so a hostile `BATCH 99999999999`
 /// cannot make the server buffer unbounded memory.
 pub const MAX_BATCH: usize = 1 << 20;
+
+/// Which wire encoding a connection (or a whole server/loadgen) speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WireProto {
+    /// Newline-delimited text (the default; always accepted).
+    #[default]
+    Text,
+    /// Length-prefixed binary frames (see [`crate::bin_proto`]).
+    Bin,
+}
+
+impl WireProto {
+    /// Parses `text` / `bin` (case-insensitive).
+    pub fn parse(s: &str) -> Result<WireProto, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Ok(WireProto::Text),
+            "bin" | "binary" => Ok(WireProto::Bin),
+            other => Err(format!("unknown protocol '{other}' (use text or bin)")),
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireProto::Text => "text",
+            WireProto::Bin => "bin",
+        }
+    }
+}
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -128,6 +185,8 @@ pub enum Request {
     },
     /// `PROMOTE` — flip a replica writable at its applied LSN.
     Promote,
+    /// `BIN` — switch this connection to the binary protocol.
+    BinUpgrade,
     /// `QUIT` — close this connection.
     Quit,
     /// `SHUTDOWN` — drain and stop the whole server.
@@ -191,6 +250,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             Request::Replicate { start_lsn, epoch }
         }
         "PROMOTE" => Request::Promote,
+        "BIN" => Request::BinUpgrade,
         "QUIT" => Request::Quit,
         "SHUTDOWN" => Request::Shutdown,
         other => return Err(format!("unknown command '{other}'")),
@@ -203,6 +263,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             | Request::Median
             | Request::Stats
             | Request::Promote
+            | Request::BinUpgrade
             | Request::Quit
             | Request::Shutdown
     ) && rest.is_some_and(|r| !r.is_empty())
@@ -280,6 +341,8 @@ mod tests {
                 },
             ),
             ("PROMOTE", Request::Promote),
+            ("BIN", Request::BinUpgrade),
+            ("bin", Request::BinUpgrade),
             ("QUIT", Request::Quit),
             ("SHUTDOWN", Request::Shutdown),
         ] {
@@ -314,10 +377,22 @@ mod tests {
             "REPLICATE 1 x",
             "REPLICATE 1 2 3",
             "PROMOTE 3",
+            "BIN now",
             "frobnicate 1",
         ] {
             assert!(parse_request(line).is_err(), "{line:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn wire_proto_parses_and_names() {
+        assert_eq!(WireProto::parse("text").unwrap(), WireProto::Text);
+        assert_eq!(WireProto::parse("BIN").unwrap(), WireProto::Bin);
+        assert_eq!(WireProto::parse("binary").unwrap(), WireProto::Bin);
+        assert!(WireProto::parse("utf7").is_err());
+        assert_eq!(WireProto::Text.name(), "text");
+        assert_eq!(WireProto::Bin.name(), "bin");
+        assert_eq!(WireProto::default(), WireProto::Text);
     }
 
     #[test]

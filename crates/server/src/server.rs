@@ -1,26 +1,38 @@
-//! The TCP server: a bounded accept pool of worker threads, each serving
-//! one connection at a time (thread-per-connection, pool-bounded), over
-//! a shared [`Backend`].
+//! The TCP server: a readiness-driven event loop over a shared
+//! [`Backend`].
 //!
 //! Design notes:
 //!
-//! * **No async runtime.** The offline dependency set has no tokio; the
-//!   server is std-only. The listener runs non-blocking and workers poll
-//!   it with a short sleep, which doubles as the graceful-shutdown wake
-//!   mechanism (no self-connect tricks needed).
+//! * **No async runtime, no FFI.** The offline dependency set has no
+//!   tokio and the workspace forbids `unsafe`; the reactor is the
+//!   `polling` shim (`shims/polling`) — level-triggered readiness over
+//!   non-blocking `peek` probes with a condvar-backed `notify` for
+//!   wakeups. Each of the `workers` event-loop threads owns a
+//!   [`polling::Poller`] and a set of [`Conn`] state machines
+//!   (read buffer → frame parser → backend apply → write buffer), and
+//!   non-blockingly accepts from the shared listener each tick.
+//! * **Backpressure and shedding.** A connection whose reply backlog
+//!   outgrows its write buffer pauses parsing (and read interest) until
+//!   the peer drains it. A connection accepted beyond `max_conns` is
+//!   refused with `ERR overloaded` and counted in the `shed` metric —
+//!   explicit shedding instead of unbounded accept queueing.
 //! * **Per-connection write batching.** `ADD`/`RM` (and small `BATCH`
 //!   frames) accumulate in a per-connection buffer that is flushed into
-//!   [`Backend::apply_batch`] at `flush_every` tuples — so the backend
-//!   sees large batches (one lock round-trip per shard, or one channel
-//!   send) even when the client sends singles. Every read query flushes
-//!   first, so a connection always reads its own writes.
-//! * **Graceful shutdown.** `SHUTDOWN` (or [`Server::shutdown`]) flips a
-//!   flag; workers finish their current request, flush their pending
-//!   buffers (complete frames are never dropped; a `BATCH` cut off
-//!   mid-body is dropped whole), and exit. The pipeline backend is then
-//!   drained and joined.
+//!   [`Backend::apply_batch`] at `flush_every` tuples. Every read query
+//!   flushes first, so a connection always reads its own writes.
+//! * **Graceful shutdown.** `SHUTDOWN` (or [`Server::shutdown`]) flips
+//!   a flag and notifies every poller; workers drain each connection's
+//!   pending buffer (complete frames are never dropped; a `BATCH` cut
+//!   off mid-body is dropped whole), flush final replies, and exit. The
+//!   pipeline backend is then drained and joined.
+//! * **Replication streams stay on dedicated threads.** A validated
+//!   `REPLICATE` deregisters the connection from its event loop and
+//!   hands the raw stream (plus any pipelined leftover bytes) to a
+//!   blocking stream thread, so a replica tailing the log for hours
+//!   never occupies event-loop capacity.
 
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,20 +40,27 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use polling::{Event, Poller};
 use sprofile::Tuple;
 use sprofile_replicate::{
     read_acks, AckState, Applier, ApplierOptions, ApplierStats, ReplicationSource,
 };
 
 use crate::backend::{Backend, BackendKind, BackendOwner};
+use crate::conn::{Conn, Flow};
 use crate::durability::{Durability, DurabilityConfig};
+use crate::hist::AtomicLogHistogram;
 use crate::metrics::Metrics;
-use crate::protocol::{self, Request};
+use crate::protocol::WireProto;
 use crate::repl::{BackendSink, ReplState, ReplicaState};
 
-/// How long a worker waits in one poll of the listener or an idle
-/// connection before re-checking the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Poller wait when a worker has live connections.
+const ACTIVE_WAIT: Duration = Duration::from_millis(1);
+/// Poller wait when a worker is idle (accept latency bound).
+const IDLE_WAIT: Duration = Duration::from_millis(5);
+/// Read timeout for detached replication-stream ack readers, so they
+/// poll the stop flag.
+const STREAM_READ_TIMEOUT: Duration = Duration::from_millis(25);
 
 /// Synchronous-commit mode (`serve --sync-commit`): how many replica
 /// acknowledgements a flushed batch waits for before the primary
@@ -128,9 +147,18 @@ pub struct ServerConfig {
     pub m: u32,
     /// Which engine serves the profile.
     pub backend: BackendKind,
-    /// Worker threads in the accept pool — also the maximum number of
-    /// concurrently served connections.
-    pub accept_pool: usize,
+    /// Event-loop worker threads. Unlike the old accept pool, this does
+    /// **not** bound concurrent connections — each worker multiplexes
+    /// many; [`ServerConfig::max_conns`] is the connection bound.
+    pub workers: usize,
+    /// Connections served concurrently across all workers before new
+    /// ones are shed with `ERR overloaded` (and counted in `shed`).
+    pub max_conns: usize,
+    /// The protocol newly accepted connections start in. `Text` (the
+    /// default) always works and can upgrade per-connection via `BIN`;
+    /// `Bin` expects binary frames from the first byte (but still
+    /// recognises the `BIN\n` upgrade line).
+    pub proto: WireProto,
     /// Per-connection write-buffer flush threshold, in tuples.
     pub flush_every: usize,
     /// Directory `SNAPSHOT <path>` writes are confined to. Clients may
@@ -156,7 +184,8 @@ pub struct ServerConfig {
     /// guarantee. A batch that cannot gather its acks within
     /// [`ServerConfig::sync_commit_timeout`] degrades to asynchronous
     /// (and `STATS` reports `sync_commit=degraded`) instead of hanging
-    /// writers forever.
+    /// writers forever. Each wait's duration lands in the commit-wait
+    /// histogram surfaced by `STATS`.
     pub sync_commit: SyncCommit,
     /// How long one batch waits for replica acks before degrading.
     pub sync_commit_timeout: Duration,
@@ -171,7 +200,9 @@ impl Default for ServerConfig {
         Self {
             m: 1 << 20,
             backend: BackendKind::Sharded { shards: 8 },
-            accept_pool: 4,
+            workers: 4,
+            max_conns: 1024,
+            proto: WireProto::Text,
             flush_every: 256,
             snapshot_dir: PathBuf::from("."),
             wal: None,
@@ -186,10 +217,11 @@ impl Default for ServerConfig {
 /// Shared state between the server handle and its workers.
 pub(crate) struct Shared {
     pub(crate) metrics: Metrics,
-    m: u32,
-    flush_every: usize,
-    snapshot_dir: PathBuf,
+    pub(crate) m: u32,
+    pub(crate) flush_every: usize,
+    pub(crate) snapshot_dir: PathBuf,
     backend_name: &'static str,
+    pub(crate) proto: WireProto,
     pub(crate) durability: Option<Arc<Durability>>,
     pub(crate) repl: ReplState,
     /// Write requests answered `ERR readonly` while set (replica mode;
@@ -201,10 +233,15 @@ pub(crate) struct Shared {
     /// acks (the batch was acknowledged asynchronously); cleared by the
     /// next batch that gathers its acks in time.
     sync_degraded: AtomicBool,
+    /// Commit-wait observability: microseconds each synchronous commit
+    /// spent waiting for replica acks (degraded waits included).
+    commit_wait: AtomicLogHistogram,
     /// Dedicated replication-stream threads, joined on shutdown. They
     /// hold no [`Backend`] clone, only `Arc`s, so backend teardown never
     /// waits on a slow replica.
     stream_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Every worker's poller, so `trigger_stop` can wake parked waits.
+    pollers: Mutex<Vec<Arc<Poller>>>,
     stop: AtomicBool,
     stop_lock: Mutex<bool>,
     stop_cond: Condvar,
@@ -222,14 +259,18 @@ impl Shared {
     /// Whether the WAL has fail-stopped: new writes are refused rather
     /// than acknowledged into a state that can never be logged (and that
     /// replicas would silently diverge from while reporting zero lag).
-    fn wal_failed(&self) -> bool {
+    pub(crate) fn wal_failed(&self) -> bool {
         self.durability.as_ref().is_some_and(|d| d.failed())
     }
 
-    fn trigger_stop(&self) {
+    pub(crate) fn trigger_stop(&self) {
         self.stop.store(true, Ordering::Release);
         *self.stop_lock.lock().expect("stop lock poisoned") = true;
         self.stop_cond.notify_all();
+        // Wake every event loop parked in a poller wait.
+        for p in self.pollers.lock().expect("pollers lock poisoned").iter() {
+            p.notify();
+        }
     }
 
     /// Sleeps up to `dur` on the stop condvar; `true` means the server
@@ -255,28 +296,59 @@ impl Shared {
         }
     }
 
+    /// The full `STATS` payload (everything after `STATS `), shared by
+    /// the text and binary reply paths.
+    pub(crate) fn stats_payload(&self) -> String {
+        let wal = match &self.durability {
+            Some(d) => format!(" wal=1 {}", d.render()),
+            None => " wal=0".to_string(),
+        };
+        let repl = self.repl.render(self.sync_commit_state());
+        let commit_wait = if self.sync_commit.is_on() {
+            format!(
+                " commit_waits={} commit_wait_p50_us={} commit_wait_p99_us={} commit_wait_max_us={}",
+                self.commit_wait.count(),
+                self.commit_wait.quantile(0.5),
+                self.commit_wait.quantile(0.99),
+                self.commit_wait.max()
+            )
+        } else {
+            String::new()
+        };
+        format!(
+            "backend={} m={} {}{wal} {repl}{commit_wait}",
+            self.backend_name,
+            self.m,
+            self.metrics.render()
+        )
+    }
+
     /// The synchronous-commit gate: blocks until enough attached
     /// replicas acknowledge `lsn`, the timeout degrades the batch to
     /// asynchronous, or the server stops. The replica count is
     /// re-sampled each poll, so a replica detaching mid-wait lowers the
-    /// requirement instead of stranding the writer.
+    /// requirement instead of stranding the writer. Every wait's
+    /// duration is recorded in the commit-wait histogram.
     fn sync_commit_wait(&self, d: &Durability, lsn: u64) {
         if !self.sync_commit.is_on() || self.readonly() {
             return;
         }
         let registry = d.registry();
-        let deadline = Instant::now() + self.sync_timeout;
+        let start = Instant::now();
+        let deadline = start + self.sync_timeout;
         loop {
             if registry.count_acked_at_least(lsn) >= self.sync_commit.required(registry.len()) {
                 self.sync_degraded.store(false, Ordering::Relaxed);
-                return;
+                break;
             }
             if self.stopping() || Instant::now() >= deadline {
                 self.sync_degraded.store(true, Ordering::Relaxed);
-                return;
+                break;
             }
             std::thread::sleep(Duration::from_millis(1));
         }
+        self.commit_wait
+            .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
     }
 }
 
@@ -294,10 +366,10 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// spawns the accept pool. In WAL mode ([`ServerConfig::wal`]) the
-    /// backend first recovers the state persisted in the WAL directory
-    /// — a corrupt log fails startup here rather than serving wrong
-    /// answers.
+    /// spawns the event-loop workers. In WAL mode ([`ServerConfig::wal`])
+    /// the backend first recovers the state persisted in the WAL
+    /// directory — a corrupt log fails startup here rather than serving
+    /// wrong answers.
     pub fn start<A: ToSocketAddrs>(config: ServerConfig, addr: A) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -348,28 +420,40 @@ impl Server {
             },
             snapshot_dir: config.snapshot_dir.clone(),
             backend_name: owner.backend().name(),
+            proto: config.proto,
             durability,
             readonly: AtomicBool::new(replica.is_some()),
             repl: ReplState { source, replica },
             sync_commit: config.sync_commit,
             sync_timeout: config.sync_commit_timeout,
             sync_degraded: AtomicBool::new(false),
+            commit_wait: AtomicLogHistogram::new(),
             stream_threads: Mutex::new(Vec::new()),
+            pollers: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
             stop_lock: Mutex::new(false),
             stop_cond: Condvar::new(),
         });
-        let pool = config.accept_pool.max(1);
-        let mut workers = Vec::with_capacity(pool);
-        for i in 0..pool {
+        let worker_count = config.workers.max(1);
+        // The connection budget is split evenly; every worker accepts
+        // from the shared listener, so the global bound holds.
+        let per_worker = config.max_conns.max(1).div_ceil(worker_count);
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
             let listener = listener.try_clone()?;
             let backend = owner.backend();
-            let shared = Arc::clone(&shared);
+            let shared_w = Arc::clone(&shared);
+            let poller = Arc::new(Poller::new());
+            shared
+                .pollers
+                .lock()
+                .expect("pollers lock poisoned")
+                .push(Arc::clone(&poller));
             workers.push(
                 std::thread::Builder::new()
-                    .name(format!("sprofile-accept-{i}"))
-                    .spawn(move || accept_loop(listener, backend, shared))
-                    .expect("spawn accept worker"),
+                    .name(format!("sprofile-worker-{i}"))
+                    .spawn(move || event_worker(listener, backend, shared_w, poller, per_worker))
+                    .expect("spawn event worker"),
             );
         }
         let checkpointer = shared.durability.as_ref().map(|d| {
@@ -431,9 +515,9 @@ impl Server {
 
     /// Blocks until shutdown is requested (by [`Self::request_shutdown`]
     /// or a client's `SHUTDOWN`), then joins every worker — each drains
-    /// its pending write buffer first — and tears the backend down.
-    /// Returns the total number of tuples applied over the server's
-    /// lifetime.
+    /// its connections' pending write buffers first — and tears the
+    /// backend down. Returns the total number of tuples applied over
+    /// the server's lifetime.
     pub fn wait(mut self) -> u64 {
         {
             let mut stopped = self.shared.stop_lock.lock().expect("stop lock poisoned");
@@ -460,7 +544,7 @@ impl Server {
         self.shared.metrics.applied.get()
     }
 
-    /// Joins every server thread after the stop flag is up: accept
+    /// Joins every server thread after the stop flag is up: event-loop
     /// workers, the housekeeping checkpointer, detached replication
     /// streams, the failover promoter (which holds a backend clone),
     /// and finally the replica applier.
@@ -525,18 +609,8 @@ fn housekeeping_loop(d: Arc<Durability>, backend: Backend, shared: Arc<Shared>) 
     let mut failures: u32 = 0;
     let mut cooldown: u32 = 0;
     loop {
-        {
-            let stopped = shared.stop_lock.lock().expect("stop lock poisoned");
-            if *stopped {
-                return;
-            }
-            let (stopped, _) = shared
-                .stop_cond
-                .wait_timeout(stopped, CHECK_EVERY)
-                .expect("stop cond poisoned");
-            if *stopped {
-                return;
-            }
+        if shared.sleep_or_stop(CHECK_EVERY) {
+            return;
         }
         d.idle_sync();
         if !d.background_enabled() {
@@ -557,99 +631,12 @@ fn housekeeping_loop(d: Arc<Durability>, backend: Backend, shared: Arc<Shared>) 
     }
 }
 
-fn accept_loop(listener: TcpListener, backend: Backend, shared: Arc<Shared>) {
-    loop {
-        if shared.stopping() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.stopping() {
-                    break;
-                }
-                shared.metrics.connections_accepted.inc();
-                shared.metrics.connections_active.inc();
-                // A connection that turned into a replication stream was
-                // handed to a dedicated thread, which owns the active
-                // count from then on — this pool slot is free again.
-                let detached = serve_connection(stream, &backend, &shared).unwrap_or(false);
-                if !detached {
-                    shared.metrics.connections_active.dec();
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => {
-                // Transient accept failures (EMFILE under fd pressure,
-                // ECONNABORTED, …) must not kill the worker: a dead pool
-                // could never receive the SHUTDOWN that unblocks
-                // `Server::wait`. Back off and retry; the loop top still
-                // honours the stop flag.
-                std::thread::sleep(POLL_INTERVAL);
-            }
-        }
-    }
-}
-
-/// Outcome of one buffered line read.
-enum LineRead {
-    /// A (possibly EOF-terminated) line is in the buffer.
-    Line,
-    /// Clean end of stream.
-    Eof,
-    /// The server is shutting down.
-    Stop,
-}
-
-/// Reads one line into `buf` (which must be cleared by the caller after
-/// processing). Read timeouts poll the shutdown flag; a partial line
-/// survives timeouts because `read_until` appends across calls.
-fn read_line(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    shared: &Shared,
-) -> io::Result<LineRead> {
-    loop {
-        match reader.read_until(b'\n', buf) {
-            Ok(0) => {
-                return Ok(if buf.is_empty() {
-                    LineRead::Eof
-                } else {
-                    // EOF cut the final line short; hand it up as-is.
-                    LineRead::Line
-                });
-            }
-            Ok(_) => return Ok(LineRead::Line),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.stopping() {
-                    return Ok(LineRead::Stop);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-fn reply(writer: &mut BufWriter<TcpStream>, text: &str) -> io::Result<()> {
-    writer.write_all(text.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
-}
-
 /// Confines a client-supplied `SNAPSHOT` path to `dir`: only relative
 /// paths made of normal components (no `..`, no root, no drive prefix)
 /// are accepted, so a remote peer cannot write outside the configured
 /// snapshot directory. Returns the resolved target, or `None` when the
 /// path is rejected.
-fn resolve_snapshot_path(dir: &Path, client_path: &str) -> Option<PathBuf> {
+pub(crate) fn resolve_snapshot_path(dir: &Path, client_path: &str) -> Option<PathBuf> {
     let requested = Path::new(client_path);
     if requested.components().count() == 0
         || !requested
@@ -661,10 +648,10 @@ fn resolve_snapshot_path(dir: &Path, client_path: &str) -> Option<PathBuf> {
     Some(dir.join(requested))
 }
 
-/// Flushes the per-connection write buffer into the backend — through
+/// Flushes a per-connection write buffer into the backend — through
 /// the WAL first when durability is on (*log before apply*), so every
 /// tuple the backend ever sees is re-derivable from the log.
-fn flush_pending(pending: &mut Vec<Tuple>, backend: &Backend, shared: &Shared) {
+pub(crate) fn flush_pending(pending: &mut Vec<Tuple>, backend: &Backend, shared: &Shared) {
     if pending.is_empty() {
         return;
     }
@@ -683,57 +670,208 @@ fn flush_pending(pending: &mut Vec<Tuple>, backend: &Backend, shared: &Shared) {
     pending.clear();
 }
 
-/// What a finished [`connection_loop`] asks of its accept worker.
-enum ConnOutcome {
-    /// Plain request/reply connection; it has been fully served.
-    Done,
-    /// The connection issued a (validated) `REPLICATE` and must be
-    /// handed off to a dedicated stream thread, freeing this pool slot.
-    Stream { start_lsn: u64, epoch: u64 },
+/// One event-loop worker: non-blockingly accepts from the shared
+/// listener, then multiplexes its connections through the poller.
+fn event_worker(
+    listener: TcpListener,
+    backend: Backend,
+    shared: Arc<Shared>,
+    poller: Arc<Poller>,
+    max_conns: usize,
+) {
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut ready: Vec<usize> = Vec::new();
+    let mut next_key: usize = 0;
+    while !shared.stopping() {
+        accept_burst(
+            &listener,
+            &shared,
+            &poller,
+            &mut conns,
+            &mut next_key,
+            max_conns,
+        );
+        let timeout = if conns.is_empty() {
+            IDLE_WAIT
+        } else {
+            ACTIVE_WAIT
+        };
+        let _ = poller.wait(&mut events, Some(timeout));
+        if shared.stopping() {
+            break;
+        }
+        // Step every readable connection, plus any with leftover work
+        // (buffered replies, unparsed input, a deferred close).
+        ready.clear();
+        ready.extend(events.iter().map(|e| e.key));
+        ready.extend(
+            conns
+                .iter()
+                .filter(|(_, c)| c.wants_step())
+                .map(|(&k, _)| k),
+        );
+        ready.sort_unstable();
+        ready.dedup();
+        for key in ready.drain(..) {
+            let Some(conn) = conns.get_mut(&key) else {
+                continue;
+            };
+            match step_conn(conn, &backend, &shared) {
+                StepResult::Keep => {
+                    poller.modify(Event {
+                        key,
+                        readable: !conn.paused() && !conn.finished(),
+                    });
+                }
+                StepResult::Close => {
+                    poller.delete(key);
+                    let mut conn = conns.remove(&key).expect("conn present");
+                    flush_pending(&mut conn.pending, &backend, &shared);
+                    shared.metrics.conns.dec();
+                    shared.metrics.connections_active.dec();
+                }
+                StepResult::Detach { start_lsn, epoch } => {
+                    poller.delete(key);
+                    let conn = conns.remove(&key).expect("conn present");
+                    shared.metrics.conns.dec();
+                    // `pending` was flushed by the REPLICATE arm; the
+                    // stream thread owns the active count from here.
+                    if detach_stream(conn, &shared, start_lsn, epoch).is_err() {
+                        shared.metrics.connections_active.dec();
+                    }
+                }
+            }
+        }
+    }
+    // Drain: acked tuples always reach the backend, and buffered
+    // replies (e.g. the SHUTDOWN conn's BYE) get a best-effort
+    // synchronous flush.
+    for (key, mut conn) in conns.drain() {
+        poller.delete(key);
+        flush_pending(&mut conn.pending, &backend, &shared);
+        conn.blocking_flush(Duration::from_millis(500));
+        shared.metrics.conns.dec();
+        shared.metrics.connections_active.dec();
+    }
 }
 
-/// Serves one connection. Returns whether it was detached to a
-/// dedicated replication-stream thread (which then owns the active
-/// connection count).
-fn serve_connection(
-    stream: TcpStream,
-    backend: &Backend,
+/// Accepts every connection the listener has queued. Beyond the
+/// per-worker budget, connections are shed with `ERR overloaded`.
+fn accept_burst(
+    listener: &TcpListener,
     shared: &Arc<Shared>,
-) -> io::Result<bool> {
-    // Accepted streams may inherit the listener's non-blocking mode on
-    // some platforms; force blocking + a read timeout so idle reads poll
-    // the shutdown flag.
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut pending: Vec<Tuple> = Vec::with_capacity(shared.flush_every);
-
-    let result = connection_loop(&mut reader, &mut writer, &mut pending, backend, shared);
-    // Drain unconditionally — including when the transport died (RST on
-    // read, EPIPE on reply): every tuple in `pending` was already
-    // acknowledged with OK, so it must reach the backend no matter how
-    // the connection ended. Only an incomplete BATCH body is dropped
-    // (it never made it into `pending`).
-    flush_pending(&mut pending, backend, shared);
-    match result? {
-        ConnOutcome::Done => Ok(false),
-        ConnOutcome::Stream { start_lsn, epoch } => {
-            spawn_stream_thread(reader, writer, shared, start_lsn, epoch)?;
-            Ok(true)
+    poller: &Arc<Poller>,
+    conns: &mut HashMap<usize, Conn>,
+    next_key: &mut usize,
+    max_conns: usize,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.connections_accepted.inc();
+                if conns.len() >= max_conns {
+                    shed(stream, shared);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                stream.set_nodelay(true).ok();
+                let key = *next_key;
+                *next_key += 1;
+                if poller.add(&stream, Event::readable(key)).is_err() {
+                    continue;
+                }
+                shared.metrics.connections_active.inc();
+                shared.metrics.conns.inc();
+                conns.insert(key, Conn::new(stream, shared.proto, shared.flush_every));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient accept failures (EMFILE under fd pressure,
+            // ECONNABORTED, …) must not kill the worker: the next tick
+            // retries, and the loop top still honours the stop flag.
+            Err(_) => break,
         }
     }
 }
 
-/// Moves a replication stream onto its own named thread, so a replica
-/// tailing the log for hours never occupies one of the bounded
-/// accept-pool slots (a pool of N must still accept N client
-/// connections with N replicas attached). The thread holds only `Arc`s
-/// — no backend clone — and is joined on shutdown.
+/// Refuses a connection accepted over the budget: a short blocking
+/// write of the typed error, then close. The `shed` counter is the
+/// operator's overload signal.
+fn shed(stream: TcpStream, shared: &Shared) {
+    shared.metrics.shed.inc();
+    shared.metrics.errors.inc();
+    if stream.set_nonblocking(false).is_ok() {
+        stream
+            .set_write_timeout(Some(Duration::from_millis(100)))
+            .ok();
+        let mut stream = stream;
+        let _ = stream.write_all(b"ERR overloaded\n");
+    }
+}
+
+enum StepResult {
+    Keep,
+    Close,
+    Detach { start_lsn: u64, epoch: u64 },
+}
+
+/// One tick of one connection: read, parse/serve, write.
+fn step_conn(conn: &mut Conn, backend: &Backend, shared: &Arc<Shared>) -> StepResult {
+    let mut fatal = false;
+    if !conn.paused() && conn.fill().is_err() {
+        // Transport read error: `fill` marked EOF; whatever complete
+        // frames arrived still get served below, then the close path
+        // drains `pending` (those tuples were acked).
+        fatal = true;
+    }
+    let flow = conn.process(backend, shared);
+    if let Flow::Stream { start_lsn, epoch } = flow {
+        return StepResult::Detach { start_lsn, epoch };
+    }
+    if conn.flush_socket().is_err() {
+        fatal = true;
+    }
+    let done = matches!(flow, Flow::Done);
+    if fatal || (done && !conn.wants_write()) {
+        StepResult::Close
+    } else {
+        StepResult::Keep
+    }
+}
+
+/// Hands a validated `REPLICATE` connection to a dedicated blocking
+/// stream thread, so a replica tailing the log for hours never occupies
+/// event-loop capacity. The thread holds only `Arc`s — no backend clone
+/// — and is joined on shutdown.
+fn detach_stream(conn: Conn, shared: &Arc<Shared>, start_lsn: u64, epoch: u64) -> io::Result<()> {
+    let (stream, leftover, unsent) = conn.into_stream_parts();
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(STREAM_READ_TIMEOUT))?;
+    // A write timeout bounds how long a stalled replica (full send
+    // window) can pin the stream thread — without it, a blocked
+    // write_all would never reach the stop check and graceful shutdown
+    // would hang. On timeout the stream errors out and the replica
+    // reconnects and resumes.
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    // Replies queued before the REPLICATE line go out first, in order.
+    if !unsent.is_empty() {
+        writer.write_all(&unsent)?;
+    }
+    spawn_stream_thread(writer, stream, leftover, shared, start_lsn, epoch)
+}
+
+/// Spawns the named stream thread (plus its ack reader). Any bytes the
+/// event loop read past the `REPLICATE` line (a replica may pipeline
+/// its first ACK) are prepended to the ack input — dropping them, or
+/// parsing a line split across the boundary as junk, would lose acks.
 fn spawn_stream_thread(
-    mut reader: BufReader<TcpStream>,
     mut writer: BufWriter<TcpStream>,
+    ack_stream: TcpStream,
+    leftover: Vec<u8>,
     shared: &Arc<Shared>,
     start_lsn: u64,
     epoch: u64,
@@ -743,21 +881,6 @@ fn spawn_stream_thread(
         .source
         .clone()
         .expect("REPLICATE validated against a source");
-    // A write timeout bounds how long a stalled replica (full send
-    // window) can pin the stream thread — without it, a blocked
-    // write_all would never reach the stop check and graceful shutdown
-    // would hang. On timeout the stream errors out and the replica
-    // reconnects and resumes.
-    writer
-        .get_ref()
-        .set_write_timeout(Some(Duration::from_secs(5)))?;
-    let ack_stream = writer.get_ref().try_clone()?;
-    // Hand any bytes the request reader has already buffered past the
-    // REPLICATE line (a replica may pipeline its first ACK) to the ack
-    // thread — a fresh BufReader over the cloned fd would lose them, or
-    // worse parse a line split across the boundary as junk.
-    let leftover = reader.buffer().to_vec();
-    reader.consume(leftover.len());
     let registrar = Arc::clone(shared);
     let shared = Arc::clone(shared);
     let handle = std::thread::Builder::new()
@@ -789,313 +912,4 @@ fn spawn_stream_thread(
         .expect("stream threads lock poisoned")
         .push(handle);
     Ok(())
-}
-
-fn connection_loop(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
-    pending: &mut Vec<Tuple>,
-    backend: &Backend,
-    shared: &Arc<Shared>,
-) -> io::Result<ConnOutcome> {
-    let mut line: Vec<u8> = Vec::new();
-    let mut body: Vec<u8> = Vec::new();
-
-    'conn: loop {
-        if shared.stopping() {
-            break;
-        }
-        match read_line(reader, &mut line, shared)? {
-            LineRead::Eof | LineRead::Stop => break,
-            LineRead::Line => {}
-        }
-        // Borrow in place (no per-line heap copy on the ingest path);
-        // only genuinely invalid UTF-8 pays for the lossy conversion.
-        let text = String::from_utf8_lossy(&line);
-        let text = text.trim_end_matches(['\r', '\n']);
-        let req = match protocol::parse_request(text) {
-            Ok(None) => {
-                line.clear();
-                continue;
-            }
-            Ok(Some(req)) => req,
-            Err(msg) => {
-                shared.metrics.errors.inc();
-                reply(writer, &format!("ERR {msg}"))?;
-                line.clear();
-                continue;
-            }
-        };
-        line.clear();
-        match req {
-            Request::Add(id) | Request::Remove(id) => {
-                if shared.readonly() {
-                    shared.metrics.errors.inc();
-                    reply(writer, "ERR readonly")?;
-                    continue;
-                }
-                if shared.wal_failed() {
-                    shared.metrics.errors.inc();
-                    reply(
-                        writer,
-                        "ERR wal failed; writes refused (fail over or restart)",
-                    )?;
-                    continue;
-                }
-                if id >= shared.m {
-                    shared.metrics.errors.inc();
-                    reply(
-                        writer,
-                        &format!("ERR object {id} outside universe [0, {})", shared.m),
-                    )?;
-                    continue;
-                }
-                let is_add = matches!(req, Request::Add(_));
-                if is_add {
-                    shared.metrics.ops_add.inc();
-                } else {
-                    shared.metrics.ops_remove.inc();
-                }
-                pending.push(Tuple { object: id, is_add });
-                if pending.len() >= shared.flush_every {
-                    flush_pending(pending, backend, shared);
-                }
-                reply(writer, "OK")?;
-            }
-            Request::Batch(n) => {
-                // Read exactly n tuple lines, remembering the first
-                // error but consuming the whole body so the connection
-                // stays in sync; a body cut off by EOF/shutdown is
-                // dropped whole (nothing applied, no reply). A readonly
-                // replica (or a fail-stopped WAL) consumes the body too,
-                // then rejects the frame.
-                let readonly = shared.readonly();
-                let wal_failed = shared.wal_failed();
-                let mut tuples: Vec<Tuple> = Vec::with_capacity(n.min(protocol::MAX_BATCH));
-                let mut error: Option<String> = None;
-                for i in 0..n {
-                    body.clear();
-                    match read_line(reader, &mut body, shared)? {
-                        LineRead::Eof | LineRead::Stop => break 'conn,
-                        LineRead::Line => {}
-                    }
-                    let tline = String::from_utf8_lossy(&body);
-                    let tline = tline.trim_end_matches(['\r', '\n']);
-                    if error.is_some() || readonly || wal_failed {
-                        continue;
-                    }
-                    match protocol::parse_tuple_line(tline) {
-                        Ok(t) if t.object >= shared.m => {
-                            error = Some(format!(
-                                "tuple {}: object {} outside universe [0, {})",
-                                i + 1,
-                                t.object,
-                                shared.m
-                            ));
-                        }
-                        Ok(t) => tuples.push(t),
-                        Err(msg) => error = Some(format!("tuple {}: {msg}", i + 1)),
-                    }
-                }
-                if readonly {
-                    shared.metrics.errors.inc();
-                    reply(writer, "ERR readonly")?;
-                    continue;
-                }
-                if wal_failed {
-                    shared.metrics.errors.inc();
-                    reply(
-                        writer,
-                        "ERR wal failed; writes refused (fail over or restart)",
-                    )?;
-                    continue;
-                }
-                match error {
-                    Some(msg) => {
-                        shared.metrics.errors.inc();
-                        reply(writer, &format!("ERR {msg}"))?;
-                    }
-                    None => {
-                        shared.metrics.ops_batch.inc();
-                        shared.metrics.batch_tuples.add(n as u64);
-                        pending.extend_from_slice(&tuples);
-                        if pending.len() >= shared.flush_every {
-                            flush_pending(pending, backend, shared);
-                        }
-                        reply(writer, &format!("OK {n}"))?;
-                    }
-                }
-            }
-            Request::Mode => {
-                flush_pending(pending, backend, shared);
-                shared.metrics.queries.inc();
-                match backend.mode() {
-                    Some((obj, f)) => reply(writer, &format!("MODE {obj} {f}"))?,
-                    None => reply(writer, "NONE")?,
-                }
-            }
-            Request::Least => {
-                flush_pending(pending, backend, shared);
-                shared.metrics.queries.inc();
-                match backend.least() {
-                    Some((obj, f)) => reply(writer, &format!("LEAST {obj} {f}"))?,
-                    None => reply(writer, "NONE")?,
-                }
-            }
-            Request::Freq(id) => {
-                if id >= shared.m {
-                    shared.metrics.errors.inc();
-                    reply(
-                        writer,
-                        &format!("ERR object {id} outside universe [0, {})", shared.m),
-                    )?;
-                    continue;
-                }
-                flush_pending(pending, backend, shared);
-                shared.metrics.queries.inc();
-                let f = backend.frequency(id);
-                reply(writer, &format!("FREQ {id} {f}"))?;
-            }
-            Request::Median => {
-                flush_pending(pending, backend, shared);
-                shared.metrics.queries.inc();
-                match backend.median() {
-                    Some(f) => reply(writer, &format!("MEDIAN {f}"))?,
-                    None => reply(writer, "NONE")?,
-                }
-            }
-            Request::TopK(k) => {
-                flush_pending(pending, backend, shared);
-                shared.metrics.queries.inc();
-                // Clamp so a hostile k cannot force an over-allocation
-                // in the per-shard merge.
-                let entries = backend.top_k(k.min(shared.m));
-                writer.write_all(format!("TOPK {}\n", entries.len()).as_bytes())?;
-                for (obj, f) in entries {
-                    writer.write_all(format!("{obj} {f}\n").as_bytes())?;
-                }
-                writer.flush()?;
-            }
-            Request::Cal(threshold) => {
-                flush_pending(pending, backend, shared);
-                shared.metrics.queries.inc();
-                let count = backend.count_at_least(threshold);
-                reply(writer, &format!("CAL {count}"))?;
-            }
-            Request::Stats => {
-                flush_pending(pending, backend, shared);
-                let wal = match &shared.durability {
-                    Some(d) => format!(" wal=1 {}", d.render()),
-                    None => " wal=0".to_string(),
-                };
-                let repl = shared.repl.render(shared.sync_commit_state());
-                reply(
-                    writer,
-                    &format!(
-                        "STATS backend={} m={} {}{wal} {repl}",
-                        shared.backend_name,
-                        shared.m,
-                        shared.metrics.render()
-                    ),
-                )?;
-            }
-            Request::Snapshot(path) => {
-                let Some(target) = resolve_snapshot_path(&shared.snapshot_dir, &path) else {
-                    shared.metrics.errors.inc();
-                    reply(
-                        writer,
-                        "ERR snapshot path must be relative, without '..' components",
-                    )?;
-                    continue;
-                };
-                flush_pending(pending, backend, shared);
-                backend.drain();
-                // Round-trip-validated: a backend bug producing corrupt
-                // bytes is a protocol ERR, not a worker-thread panic.
-                let bytes = match backend.validated_snapshot_bytes() {
-                    Ok(bytes) => bytes,
-                    Err(e) => {
-                        shared.metrics.errors.inc();
-                        reply(writer, &format!("ERR snapshot validation failed: {e}"))?;
-                        continue;
-                    }
-                };
-                match std::fs::write(&target, &bytes) {
-                    Ok(()) => {
-                        shared.metrics.snapshots.inc();
-                        reply(writer, &format!("OK {}", bytes.len()))?;
-                    }
-                    Err(e) => {
-                        shared.metrics.errors.inc();
-                        reply(writer, &format!("ERR snapshot write failed: {e}"))?;
-                    }
-                }
-            }
-            Request::Replicate { start_lsn, epoch } => {
-                flush_pending(pending, backend, shared);
-                if shared.readonly() {
-                    shared.metrics.errors.inc();
-                    reply(writer, "ERR readonly replica cannot serve replication")?;
-                    continue;
-                }
-                if shared.repl.source.is_none() {
-                    shared.metrics.errors.inc();
-                    reply(writer, "ERR replication requires --wal")?;
-                    continue;
-                }
-                // The caller detaches this connection onto a dedicated
-                // stream thread; this pool slot goes back to accepting.
-                return Ok(ConnOutcome::Stream { start_lsn, epoch });
-            }
-            Request::Promote => {
-                flush_pending(pending, backend, shared);
-                let Some(replica) = &shared.repl.replica else {
-                    shared.metrics.errors.inc();
-                    reply(writer, "ERR not a replica")?;
-                    continue;
-                };
-                // Stop pulling from the (possibly dead) primary, open a
-                // new generation, then open the write path. Idempotent:
-                // a second PROMOTE reports the same position and epoch
-                // (only the first one bumps).
-                let already = replica.promoted.load(Ordering::Acquire);
-                replica.stop_applier();
-                let epoch = match &shared.durability {
-                    Some(d) if already => d.epoch(),
-                    Some(d) => match d.bump_epoch(replica.stats.epoch()) {
-                        Ok(e) => e,
-                        Err(msg) => {
-                            // The marker write failed (disk): refuse the
-                            // promotion rather than open a generation
-                            // that a restart would forget.
-                            shared.metrics.errors.inc();
-                            reply(writer, &format!("ERR {msg}"))?;
-                            continue;
-                        }
-                    },
-                    None => replica.stats.epoch().max(1),
-                };
-                replica.promoted.store(true, Ordering::Release);
-                shared.readonly.store(false, Ordering::Release);
-                reply(
-                    writer,
-                    &format!("OK {} {epoch}", replica.stats.applied_lsn()),
-                )?;
-            }
-            Request::Quit => {
-                // Flush before BYE: a client that saw BYE may assume its
-                // writes are applied (the agreement tests rely on it).
-                flush_pending(pending, backend, shared);
-                reply(writer, "BYE")?;
-                break;
-            }
-            Request::Shutdown => {
-                flush_pending(pending, backend, shared);
-                reply(writer, "BYE")?;
-                shared.trigger_stop();
-                break;
-            }
-        }
-    }
-    Ok(ConnOutcome::Done)
 }

@@ -1,0 +1,337 @@
+//! Offline stand-in for the [`polling`](https://docs.rs/polling) crate.
+//!
+//! The real crate wraps epoll/kqueue/IOCP. This build is offline and the
+//! workspace forbids `unsafe`/FFI, so we approximate level-triggered
+//! readiness with safe `std` primitives:
+//!
+//! - Each registered [`TcpStream`] is probed with a non-blocking
+//!   one-byte `peek`. `Ok(n)` (including `Ok(0)`, which signals EOF)
+//!   means the socket is readable; `WouldBlock` means it is not; any
+//!   other error is reported as readable so the owner observes the
+//!   failure on its next read.
+//! - [`Poller::wait`] sweeps the registered sources. When nothing is
+//!   ready it parks on a condvar with an adaptive backoff (spin a
+//!   couple of sweeps, then sleep 50 µs doubling to a 1 ms cap) so an
+//!   idle poller costs ~zero CPU while a busy one stays responsive.
+//! - [`Poller::notify`] wakes a parked `wait` immediately — the shim's
+//!   analogue of the self-pipe trick.
+//!
+//! Only the API subset used by `sprofile-server` is provided. Streams
+//! must already be in non-blocking mode when added; `peek` on a
+//! blocking stream would stall the sweep.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Readiness interest and event for one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source.
+    pub key: usize,
+    /// Whether the source is (interested in being) readable.
+    pub readable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+        }
+    }
+
+    /// No interest; the source stays registered but is never reported.
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+        }
+    }
+}
+
+struct Source {
+    stream: TcpStream,
+    interest: bool,
+}
+
+/// A level-triggered readiness poller over non-blocking TCP streams.
+pub struct Poller {
+    sources: Mutex<HashMap<usize, Source>>,
+    notified: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Default for Poller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Poller {
+    /// Creates an empty poller.
+    pub fn new() -> Poller {
+        Poller {
+            sources: Mutex::new(HashMap::new()),
+            notified: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Registers `stream` under `interest.key`. The stream must already
+    /// be non-blocking. Duplicate keys replace the previous source.
+    pub fn add(&self, stream: &TcpStream, interest: Event) -> io::Result<()> {
+        let clone = stream.try_clone()?;
+        let mut sources = self.sources.lock().expect("poller sources poisoned");
+        sources.insert(
+            interest.key,
+            Source {
+                stream: clone,
+                interest: interest.readable,
+            },
+        );
+        Ok(())
+    }
+
+    /// Updates the interest set for an existing key. Unknown keys are a
+    /// silent no-op (the source may have been deleted concurrently).
+    pub fn modify(&self, interest: Event) {
+        let mut sources = self.sources.lock().expect("poller sources poisoned");
+        if let Some(src) = sources.get_mut(&interest.key) {
+            src.interest = interest.readable;
+        }
+    }
+
+    /// Deregisters a key. Unknown keys are a no-op.
+    pub fn delete(&self, key: usize) {
+        let mut sources = self.sources.lock().expect("poller sources poisoned");
+        sources.remove(&key);
+    }
+
+    /// Wakes a concurrent or future [`Poller::wait`] immediately.
+    pub fn notify(&self) {
+        let mut flag = self.notified.lock().expect("poller notify poisoned");
+        *flag = true;
+        self.cond.notify_all();
+    }
+
+    /// Number of registered sources (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.sources.lock().expect("poller sources poisoned").len()
+    }
+
+    /// True when no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until at least one registered source is readable, a
+    /// `notify` arrives, or `timeout` elapses. Ready events are pushed
+    /// into `events` (cleared first); returns the number of events.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut backoff = 0u32;
+        loop {
+            if self.take_notification() {
+                return Ok(0);
+            }
+            self.sweep(events);
+            if !events.is_empty() {
+                return Ok(events.len());
+            }
+            let mut park = match backoff {
+                0 | 1 => Duration::ZERO,
+                2 => Duration::from_micros(50),
+                3 => Duration::from_micros(100),
+                4 => Duration::from_micros(250),
+                _ => Duration::from_millis(1),
+            };
+            if let Some(deadline) = deadline {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Ok(0);
+                }
+                park = park.min(deadline - now);
+            }
+            if park.is_zero() {
+                std::thread::yield_now();
+            } else {
+                let guard = self.notified.lock().expect("poller notify poisoned");
+                if *guard {
+                    drop(guard);
+                    continue;
+                }
+                let (mut guard, _timed_out) = self
+                    .cond
+                    .wait_timeout(guard, park)
+                    .expect("poller notify poisoned");
+                if *guard {
+                    *guard = false;
+                    return Ok(0);
+                }
+            }
+            backoff = backoff.saturating_add(1);
+        }
+    }
+
+    fn take_notification(&self) -> bool {
+        let mut flag = self.notified.lock().expect("poller notify poisoned");
+        std::mem::take(&mut *flag)
+    }
+
+    fn sweep(&self, events: &mut Vec<Event>) {
+        let sources = self.sources.lock().expect("poller sources poisoned");
+        let mut probe = [0u8; 1];
+        for (&key, src) in sources.iter() {
+            if !src.interest {
+                continue;
+            }
+            let readable = match src.stream.peek(&mut probe) {
+                Ok(_) => true, // data available, or Ok(0) = EOF
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::Interrupted =>
+                {
+                    false
+                }
+                // Report broken sockets as readable so the owner sees
+                // the error on its next read and can tear down.
+                Err(_) => true,
+            };
+            if readable {
+                events.push(Event::readable(key));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
+
+    #[test]
+    fn reports_readable_when_data_arrives() {
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).expect("nonblocking");
+        let poller = Poller::new();
+        poller.add(&server, Event::readable(7)).expect("add");
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0, "no data yet");
+
+        client.write_all(b"x").expect("write");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .expect("wait");
+            if !events.is_empty() || Instant::now() > deadline {
+                break;
+            }
+        }
+        assert_eq!(events, vec![Event::readable(7)]);
+    }
+
+    #[test]
+    fn eof_is_readable() {
+        let (client, server) = pair();
+        server.set_nonblocking(true).expect("nonblocking");
+        let poller = Poller::new();
+        poller.add(&server, Event::readable(1)).expect("add");
+        drop(client);
+
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .expect("wait");
+            if !events.is_empty() || Instant::now() > deadline {
+                break;
+            }
+        }
+        assert_eq!(events, vec![Event::readable(1)]);
+        // The owner's read now observes EOF.
+        let mut server = server;
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).expect("read"), 0);
+    }
+
+    #[test]
+    fn notify_wakes_a_parked_wait() {
+        let poller = std::sync::Arc::new(Poller::new());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.notify();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("wait");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "notify cut the wait short"
+        );
+        handle.join().expect("join");
+    }
+
+    #[test]
+    fn modify_and_delete_change_the_sweep() {
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).expect("nonblocking");
+        let poller = Poller::new();
+        poller.add(&server, Event::readable(3)).expect("add");
+        client.write_all(b"x").expect("write");
+
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .expect("wait");
+            if !events.is_empty() || Instant::now() > deadline {
+                break;
+            }
+        }
+        assert_eq!(events.len(), 1);
+
+        // Interest off: the same pending byte is no longer reported.
+        poller.modify(Event::none(3));
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert!(events.is_empty());
+
+        poller.modify(Event::readable(3));
+        poller
+            .wait(&mut events, Some(Duration::from_millis(500)))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+
+        poller.delete(3);
+        assert!(poller.is_empty());
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert!(events.is_empty());
+    }
+}

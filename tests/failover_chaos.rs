@@ -124,7 +124,7 @@ fn start_replica(m: u32, dir: PathBuf, primary: &str, addr: &str, peers: Vec<Str
         ServerConfig {
             m,
             backend: BackendKind::Sharded { shards: 2 },
-            accept_pool: 3,
+            workers: 3,
             flush_every: 4,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal_config(dir)),
@@ -150,7 +150,7 @@ fn chaos_round(base_seed: u64, round: u64) {
         ServerConfig {
             m,
             backend: BackendKind::Sharded { shards: 2 },
-            accept_pool: 3,
+            workers: 3,
             flush_every: 4, // forced to 1 by sync commit
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal_config(base.join("primary"))),
@@ -220,7 +220,7 @@ fn chaos_round(base_seed: u64, round: u64) {
         ServerConfig {
             m,
             backend: BackendKind::Sharded { shards: 2 },
-            accept_pool: 2,
+            workers: 2,
             flush_every: 4,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal_config(base.join("primary"))),
@@ -253,7 +253,7 @@ fn chaos_round(base_seed: u64, round: u64) {
         ServerConfig {
             m,
             backend: BackendKind::Sharded { shards: 2 },
-            accept_pool: 2,
+            workers: 2,
             flush_every: 4,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal_config(base.join("primary"))),

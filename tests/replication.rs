@@ -48,7 +48,7 @@ fn start_primary(m: u32, backend: BackendKind, dir: PathBuf) -> Server {
         ServerConfig {
             m,
             backend,
-            accept_pool: 3,
+            workers: 3,
             flush_every: 4,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal_config(dir)),
@@ -68,7 +68,7 @@ fn start_replica_of(m: u32, backend: BackendKind, dir: PathBuf, primary: &str) -
         ServerConfig {
             m,
             backend,
-            accept_pool: 2,
+            workers: 2,
             flush_every: 4,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal_config(dir)),
@@ -336,7 +336,7 @@ fn sync_commit_quorum_loses_no_acked_write_across_a_primary_kill() {
         ServerConfig {
             m,
             backend: BackendKind::Sharded { shards: 2 },
-            accept_pool: 3,
+            workers: 3,
             flush_every: 4, // forced to 1 by sync commit
             snapshot_dir: std::env::temp_dir(),
             wal: Some(wal_config(base.join("primary"))),

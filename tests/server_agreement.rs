@@ -12,18 +12,18 @@
 
 use sprofile::SProfile;
 use sprofile_server::loadgen::{self, thread_tuples};
-use sprofile_server::{BackendKind, Client, LoadgenConfig, Server, ServerConfig};
+use sprofile_server::{BackendKind, Client, LoadgenConfig, Server, ServerConfig, WireProto};
 
 const M: u32 = 256;
 const THREADS: usize = 4;
 const EVENTS_PER_THREAD: usize = 5_000;
 
-fn run_agreement(kind: BackendKind) {
+fn run_agreement(kind: BackendKind, proto: WireProto) {
     let server = Server::start(
         ServerConfig {
             m: M,
             backend: kind,
-            accept_pool: THREADS,
+            workers: THREADS,
             flush_every: 96,
             ..ServerConfig::default()
         },
@@ -38,6 +38,7 @@ fn run_agreement(kind: BackendKind) {
         batch: 256,
         m: M,
         seed: 20190612,
+        proto,
     };
     let report = loadgen::run(&cfg).expect("loadgen run");
     let total = (THREADS * EVENTS_PER_THREAD) as u64;
@@ -60,7 +61,7 @@ fn run_agreement(kind: BackendKind) {
         }
     }
 
-    let mut c = Client::connect(server.local_addr()).expect("connect probe");
+    let mut c = Client::connect_with(server.local_addr(), proto).expect("connect probe");
     for x in 0..M {
         assert_eq!(
             c.freq(x).expect("FREQ"),
@@ -93,10 +94,20 @@ fn run_agreement(kind: BackendKind) {
 
 #[test]
 fn concurrent_loadgen_agrees_with_oracle_sharded() {
-    run_agreement(BackendKind::Sharded { shards: 8 });
+    run_agreement(BackendKind::Sharded { shards: 8 }, WireProto::Text);
 }
 
 #[test]
 fn concurrent_loadgen_agrees_with_oracle_pipeline() {
-    run_agreement(BackendKind::Pipeline);
+    run_agreement(BackendKind::Pipeline, WireProto::Text);
+}
+
+#[test]
+fn concurrent_loadgen_agrees_with_oracle_sharded_bin() {
+    run_agreement(BackendKind::Sharded { shards: 8 }, WireProto::Bin);
+}
+
+#[test]
+fn concurrent_loadgen_agrees_with_oracle_pipeline_bin() {
+    run_agreement(BackendKind::Pipeline, WireProto::Bin);
 }

@@ -21,7 +21,7 @@ fn start(kind: BackendKind, m: u32, wal_dir: &Path) -> Server {
         ServerConfig {
             m,
             backend: kind,
-            accept_pool: 2,
+            workers: 2,
             flush_every: 8,
             snapshot_dir: std::env::temp_dir(),
             wal: Some(DurabilityConfig {

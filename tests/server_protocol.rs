@@ -39,7 +39,7 @@ fn ctx() -> MutexGuard<'static, Ctx> {
                     ServerConfig {
                         m: M,
                         backend: kind,
-                        accept_pool: 2,
+                        workers: 2,
                         // Tiny threshold so sessions cross flush
                         // boundaries constantly.
                         flush_every: 4,

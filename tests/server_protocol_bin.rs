@@ -1,0 +1,527 @@
+//! Binary-protocol property suite: the length-prefixed wire format
+//! negotiated with `BIN` must agree with the same offline [`SProfile`]
+//! oracle the text suite uses, and malformed binary input — hostile
+//! length prefixes, bad tuple bytes, unknown opcodes, connections
+//! dropped mid-frame — must yield a typed `ERR` frame (closing only
+//! when framing itself can no longer be trusted), never a hang, a
+//! panic, or a partially-applied batch.
+//!
+//! Mirrors `tests/server_protocol.rs`: one long-lived server per
+//! backend, state accumulating across proptest cases in lockstep with
+//! the oracles.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use sprofile::{SProfile, Tuple};
+use sprofile_server::bin_proto::{self, Reply};
+use sprofile_server::{
+    loadgen, BackendKind, Client, LoadgenConfig, Server, ServerConfig, WireProto,
+};
+
+/// Small universe so frequencies collide and tie-breaking matters.
+const M: u32 = 24;
+
+struct BackendUnderTest {
+    addr: String,
+    oracle: SProfile,
+    /// Keeps the event loop alive for the whole test process.
+    _server: Server,
+}
+
+struct Ctx {
+    backends: Vec<BackendUnderTest>,
+}
+
+fn ctx() -> MutexGuard<'static, Ctx> {
+    static CTX: OnceLock<Mutex<Ctx>> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let backends = [BackendKind::Sharded { shards: 5 }, BackendKind::Pipeline]
+            .into_iter()
+            .map(|kind| {
+                let server = Server::start(
+                    ServerConfig {
+                        m: M,
+                        backend: kind,
+                        workers: 2,
+                        // Tiny threshold so sessions cross flush
+                        // boundaries constantly.
+                        flush_every: 4,
+                        ..ServerConfig::default()
+                    },
+                    "127.0.0.1:0",
+                )
+                .expect("bind test server");
+                BackendUnderTest {
+                    addr: server.local_addr().to_string(),
+                    oracle: SProfile::new(M),
+                    _server: server,
+                }
+            })
+            .collect();
+        Mutex::new(Ctx { backends })
+    })
+    .lock()
+    .expect("ctx lock poisoned")
+}
+
+/// A raw socket speaking the binary protocol after the `BIN` upgrade,
+/// for crafting frames the [`Client`] refuses to produce. Read timeouts
+/// turn a would-be hang into a test failure.
+struct RawBin {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawBin {
+    /// Connects without upgrading (the first bytes are the test's).
+    fn connect_raw(addr: &str) -> RawBin {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        RawBin { stream, reader }
+    }
+
+    /// Connects and performs the text `BIN` handshake.
+    fn connect(addr: &str) -> RawBin {
+        let mut raw = RawBin::connect_raw(addr);
+        raw.write(b"BIN\n");
+        assert_eq!(raw.read_line(), "OK BIN");
+        raw
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write");
+        self.stream.flush().expect("flush");
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read line");
+        line.trim_end().to_string()
+    }
+
+    fn reply(&mut self) -> Reply {
+        bin_proto::read_reply(&mut self.reader).expect("read reply")
+    }
+
+    /// Asserts the server closed its side (EOF, not a hang or garbage).
+    fn assert_closed(&mut self) {
+        let mut byte = [0u8; 1];
+        match self.reader.read(&mut byte) {
+            Ok(0) => {}
+            Ok(_) => panic!("expected EOF, got more bytes"),
+            Err(e) => panic!("expected clean EOF, got {e}"),
+        }
+    }
+}
+
+/// One step of a well-formed session (same shape as the text suite).
+#[derive(Clone, Debug)]
+enum Op {
+    Add(u32),
+    Remove(u32),
+    Batch(Vec<(u32, bool)>),
+    Mode,
+    Least,
+    Freq(u32),
+    Median,
+    TopK(u32),
+    Cal(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..M).prop_map(Op::Add),
+        (0u32..M).prop_map(Op::Remove),
+        prop::collection::vec((0u32..M, any::<bool>()), 0..24).prop_map(Op::Batch),
+        Just(Op::Mode),
+        Just(Op::Least),
+        (0u32..M).prop_map(Op::Freq),
+        Just(Op::Median),
+        (0u32..12).prop_map(Op::TopK),
+        (-3i64..8).prop_map(Op::Cal),
+    ]
+}
+
+/// Deterministic extreme witness the server promises: smallest tied id.
+fn oracle_mode(oracle: &SProfile) -> Option<(u32, i64)> {
+    oracle.mode().map(|e| {
+        let obj = oracle.mode_objects().iter().copied().min().expect("tied");
+        (obj, e.frequency)
+    })
+}
+
+fn oracle_least(oracle: &SProfile) -> Option<(u32, i64)> {
+    oracle.least().map(|e| {
+        let obj = oracle.least_objects().iter().copied().min().expect("tied");
+        (obj, e.frequency)
+    })
+}
+
+fn apply_session(
+    client: &mut Client,
+    oracle: &mut SProfile,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    for op in ops {
+        match op {
+            Op::Add(x) => {
+                client.add(*x).expect("ADD");
+                oracle.add(*x);
+            }
+            Op::Remove(x) => {
+                client.remove(*x).expect("RM");
+                oracle.remove(*x);
+            }
+            Op::Batch(tuples) => {
+                let batch: Vec<Tuple> = tuples
+                    .iter()
+                    .map(|&(object, is_add)| Tuple { object, is_add })
+                    .collect();
+                let n = client.batch(&batch).expect("BATCH");
+                prop_assert_eq!(n as usize, batch.len());
+                for t in &batch {
+                    oracle.apply(*t);
+                }
+            }
+            Op::Mode => {
+                prop_assert_eq!(client.mode().expect("MODE"), oracle_mode(oracle));
+            }
+            Op::Least => {
+                prop_assert_eq!(client.least().expect("LEAST"), oracle_least(oracle));
+            }
+            Op::Freq(x) => {
+                prop_assert_eq!(client.freq(*x).expect("FREQ"), oracle.frequency(*x));
+            }
+            Op::Median => {
+                prop_assert_eq!(client.median().expect("MEDIAN"), oracle.median());
+            }
+            Op::TopK(k) => {
+                prop_assert_eq!(client.top_k(*k).expect("TOPK"), oracle.top_k(*k));
+            }
+            Op::Cal(f) => {
+                prop_assert_eq!(
+                    client.count_at_least(*f).expect("CAL"),
+                    oracle.count_at_least(*f)
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random well-formed sessions, each upgrading to binary on its own
+    /// connection, agree with the oracle on every query for both
+    /// backends — the exact property the text suite proves, over the
+    /// binary framing.
+    #[test]
+    fn random_bin_sessions_agree_with_the_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut ctx = ctx();
+        for but in &mut ctx.backends {
+            let mut client =
+                Client::connect_with(but.addr.as_str(), WireProto::Bin).expect("connect");
+            prop_assert_eq!(client.proto(), WireProto::Bin);
+            apply_session(&mut client, &mut but.oracle, &ops)?;
+            client.quit().expect("QUIT");
+        }
+    }
+}
+
+/// An unknown opcode means the framing can no longer be trusted: one
+/// typed `ERR` frame, then the server closes the connection.
+#[test]
+fn unknown_opcode_gets_a_typed_err_then_close() {
+    let ctx = ctx();
+    for but in &ctx.backends {
+        let mut raw = RawBin::connect(but.addr.as_str());
+        raw.write(&[0x7F]);
+        match raw.reply() {
+            Reply::Err(msg) => assert!(msg.contains("unknown binary opcode"), "{msg}"),
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        raw.assert_closed();
+    }
+}
+
+/// A hostile `BATCH` length prefix is refused before the payload is
+/// buffered: typed `ERR`, then close.
+#[test]
+fn hostile_batch_length_prefix_errs_then_closes() {
+    let ctx = ctx();
+    for but in &ctx.backends {
+        let mut raw = RawBin::connect(but.addr.as_str());
+        let mut frame = vec![bin_proto::REQ_BATCH];
+        let count = (sprofile_server::protocol::MAX_BATCH + 1) as u32;
+        frame.extend_from_slice(&count.to_le_bytes());
+        raw.write(&frame);
+        match raw.reply() {
+            Reply::Err(msg) => assert!(msg.contains("exceeds maximum"), "{msg}"),
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        raw.assert_closed();
+    }
+}
+
+/// Semantic errors inside a well-framed `BATCH` (bad op byte, object
+/// outside the universe) consume the frame, answer one typed `ERR`,
+/// apply nothing — and the connection stays usable, like the text
+/// protocol's bad-body behavior.
+#[test]
+fn bad_tuples_in_well_framed_batches_err_without_desync() {
+    let mut ctx = ctx();
+    for but in &mut ctx.backends {
+        let before: Vec<i64> = (0..M).map(|x| but.oracle.frequency(x)).collect();
+        let mut raw = RawBin::connect(but.addr.as_str());
+
+        // Tuple 2 has op byte 2 (neither add nor remove).
+        let mut frame = vec![bin_proto::REQ_BATCH];
+        frame.extend_from_slice(&2u32.to_le_bytes());
+        frame.extend_from_slice(&[1, 3, 0, 0, 0]); // add 3 (discarded with the frame)
+        frame.extend_from_slice(&[2, 4, 0, 0, 0]); // bad op byte
+        raw.write(&frame);
+        match raw.reply() {
+            Reply::Err(msg) => assert!(msg.contains("tuple 2"), "{msg}"),
+            other => panic!("expected ERR, got {other:?}"),
+        }
+
+        // Object outside the universe, well-framed.
+        let mut frame = vec![bin_proto::REQ_BATCH];
+        frame.extend_from_slice(&1u32.to_le_bytes());
+        bin_proto::put_tuple(
+            &mut frame,
+            Tuple {
+                object: 99_999,
+                is_add: true,
+            },
+        );
+        raw.write(&frame);
+        match raw.reply() {
+            Reply::Err(msg) => assert!(msg.contains("outside universe"), "{msg}"),
+            other => panic!("expected ERR, got {other:?}"),
+        }
+
+        // Still in sync: every frequency matches the oracle and nothing
+        // from the rejected frames landed.
+        for x in 0..M {
+            let mut q = Vec::new();
+            bin_proto::put_freq(&mut q, x);
+            raw.write(&q);
+            assert_eq!(
+                raw.reply(),
+                Reply::Freq(x, before[x as usize]),
+                "object {x}"
+            );
+        }
+        let mut q = Vec::new();
+        bin_proto::put_simple(&mut q, bin_proto::REQ_QUIT);
+        raw.write(&q);
+        assert_eq!(raw.reply(), Reply::Ok(0));
+    }
+}
+
+/// A connection dropped mid-frame (the length prefix promised far more
+/// tuples than were sent) discards the partial `BATCH` whole — no
+/// partial apply, no hang, no panic.
+#[test]
+fn mid_frame_disconnect_drops_the_batch_whole() {
+    let mut ctx = ctx();
+    for but in &mut ctx.backends {
+        let expect = but.oracle.frequency(3);
+        {
+            let mut raw = RawBin::connect(but.addr.as_str());
+            let mut frame = vec![bin_proto::REQ_BATCH];
+            frame.extend_from_slice(&1_000u32.to_le_bytes());
+            bin_proto::put_tuple(
+                &mut frame,
+                Tuple {
+                    object: 3,
+                    is_add: true,
+                },
+            );
+            bin_proto::put_tuple(
+                &mut frame,
+                Tuple {
+                    object: 3,
+                    is_add: true,
+                },
+            );
+            raw.write(&frame);
+            // Drop mid-body.
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        let mut client = Client::connect(but.addr.as_str()).expect("reconnect");
+        assert_eq!(
+            client.freq(3).expect("FREQ"),
+            expect,
+            "truncated binary batch must not apply"
+        );
+        client.quit().expect("QUIT");
+    }
+}
+
+/// The `BIN` upgrade pipelines: a client may send the upgrade line and
+/// binary frames in one write, and the replies come back in order —
+/// text `OK BIN` first, then binary frames.
+#[test]
+fn bin_upgrade_pipelines_with_binary_frames() {
+    let mut ctx = ctx();
+    for but in &mut ctx.backends {
+        let tuples = [
+            Tuple {
+                object: 5,
+                is_add: true,
+            },
+            Tuple {
+                object: 5,
+                is_add: true,
+            },
+            Tuple {
+                object: 7,
+                is_add: false,
+            },
+        ];
+        let mut wire = b"BIN\n".to_vec();
+        bin_proto::put_batch(&mut wire, &tuples);
+        bin_proto::put_freq(&mut wire, 5);
+        bin_proto::put_simple(&mut wire, bin_proto::REQ_QUIT);
+
+        let mut raw = RawBin::connect_raw(but.addr.as_str());
+        raw.write(&wire);
+        for t in tuples {
+            but.oracle.apply(t);
+        }
+        assert_eq!(raw.read_line(), "OK BIN");
+        assert_eq!(raw.reply(), Reply::Ok(3));
+        assert_eq!(raw.reply(), Reply::Freq(5, but.oracle.frequency(5)));
+        assert_eq!(raw.reply(), Reply::Ok(0));
+        raw.assert_closed();
+    }
+}
+
+/// A server running natively in binary mode (`--proto bin`) still
+/// accepts the text `BIN` upgrade line, so clients speak one handshake
+/// regardless of the server's proto; a stray `'B'` that is not the
+/// upgrade line is a framing error.
+#[test]
+fn native_bin_server_accepts_the_text_upgrade_line() {
+    let server = Server::start(
+        ServerConfig {
+            m: M,
+            backend: BackendKind::Sharded { shards: 4 },
+            workers: 2,
+            proto: WireProto::Bin,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind bin server");
+    let addr = server.local_addr().to_string();
+
+    // The uniform handshake works against a bin-native server.
+    let mut client = Client::connect_with(addr.as_str(), WireProto::Bin).expect("connect");
+    client.add(1).expect("ADD");
+    assert_eq!(client.freq(1).expect("FREQ"), 1);
+    client.quit().expect("QUIT");
+
+    // A stray 'B' that can no longer become "BIN\r\n" is a framing
+    // error: typed ERR, then close.
+    let mut raw = RawBin::connect_raw(addr.as_str());
+    raw.write(b"BXX");
+    match raw.reply() {
+        Reply::Err(msg) => assert!(msg.contains("stray 'B'"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    raw.assert_closed();
+
+    assert_eq!(server.shutdown(), 1);
+}
+
+/// Past `--max-conns` the server sheds instead of queueing: the shed
+/// connection gets a typed `ERR overloaded` line and a close, existing
+/// connections keep working, and the `shed` counter shows up in STATS.
+#[test]
+fn overflow_connections_are_shed_with_a_typed_err() {
+    let server = Server::start(
+        ServerConfig {
+            m: M,
+            backend: BackendKind::Sharded { shards: 4 },
+            workers: 1,
+            max_conns: 2,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind shed server");
+    let addr = server.local_addr().to_string();
+
+    // Fill the budget; the round trips guarantee both are registered
+    // before the overflow connection arrives.
+    let mut c1 = Client::connect(addr.as_str()).expect("conn 1");
+    let mut c2 = Client::connect(addr.as_str()).expect("conn 2");
+    c1.stats().expect("stats 1");
+    c2.stats().expect("stats 2");
+
+    let mut over = RawBin::connect_raw(addr.as_str());
+    assert_eq!(over.read_line(), "ERR overloaded");
+    over.assert_closed();
+
+    // Existing connections are unaffected and STATS records the shed.
+    let stats = c1.stats().expect("stats after shed");
+    assert_eq!(Client::stats_field(&stats, "shed"), Some(1), "{stats}");
+    assert_eq!(Client::stats_field(&stats, "conns"), Some(2), "{stats}");
+    c1.quit().expect("QUIT 1");
+    c2.quit().expect("QUIT 2");
+    assert_eq!(server.shutdown(), 0);
+}
+
+/// Acceptance floor from the event-loop rework: a 256-connection
+/// binary-protocol loadgen run completes against the default worker
+/// count, applying every tuple exactly once.
+#[test]
+fn loadgen_completes_with_256_connections() {
+    const THREADS: usize = 256;
+    const EVENTS_PER_THREAD: usize = 64;
+    let server = Server::start(
+        ServerConfig {
+            m: 256,
+            backend: BackendKind::Sharded { shards: 8 },
+            flush_every: 32,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind 256-conn server");
+    let cfg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        threads: THREADS,
+        events_per_thread: EVENTS_PER_THREAD,
+        batch: 16,
+        m: 256,
+        seed: 77,
+        proto: WireProto::Bin,
+    };
+    let report = loadgen::run(&cfg).expect("256-connection loadgen");
+    let total = (THREADS * EVENTS_PER_THREAD) as u64;
+    assert_eq!(report.tuples_sent, total);
+    assert_eq!(
+        Client::stats_field(&report.final_stats, "applied"),
+        Some(total),
+        "{}",
+        report.final_stats
+    );
+    assert!(report.latency.samples > 0, "latency histogram recorded");
+    assert_eq!(server.shutdown(), total);
+}
