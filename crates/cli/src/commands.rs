@@ -8,8 +8,8 @@ use std::path::Path;
 use sprofile::{SProfile, SnapshotError, Tuple};
 use sprofile_persist::PersistError;
 use sprofile_server::{
-    loadgen::thread_tuples, BackendKind, Client, DurabilityConfig, FailoverConfig, LoadgenConfig,
-    Server, ServerConfig, SyncCommit, WireProto,
+    loadgen::thread_tuples, BackendKind, Client, ClusterConfig, DurabilityConfig, FailoverConfig,
+    LoadgenConfig, Server, ServerConfig, SyncCommit, WireProto,
 };
 use sprofile_streamgen::{Event, StreamConfig};
 
@@ -440,6 +440,9 @@ pub struct ServeOpts {
     /// Consecutive silent heartbeat samples before the primary is
     /// suspected dead (`--failover-grace`).
     pub failover_grace: u32,
+    /// Cluster membership: this node's hash-partition identity
+    /// (`--cluster-slices`/`--cluster-node`/`--cluster-nodes`).
+    pub cluster: Option<ClusterConfig>,
 }
 
 /// `serve`: run the TCP server until a client sends `SHUTDOWN`. The
@@ -466,6 +469,7 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
             sync_commit: opts.sync_commit,
             sync_commit_timeout: std::time::Duration::from_millis(opts.sync_commit_timeout_ms),
             failover,
+            cluster: opts.cluster.clone(),
         },
         opts.addr.as_str(),
     )?;
@@ -490,10 +494,19 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
         Some(peers) => format!(" auto-failover={}", peers.join(",")),
         None => String::new(),
     };
+    let cluster = match &opts.cluster {
+        Some(c) => format!(
+            " cluster=node {}/{} slices={}",
+            c.node,
+            c.nodes.len(),
+            c.slices
+        ),
+        None => String::new(),
+    };
     writeln!(
         out,
         "listening on {} backend={backend} m={} workers={} max-conns={} proto={} \
-         flush={}{wal}{role}{sync}{elect}",
+         flush={}{wal}{role}{sync}{elect}{cluster}",
         server.local_addr(),
         opts.m,
         opts.workers,
@@ -562,6 +575,50 @@ pub fn promote<W: Write>(addr: &str, out: &mut W) -> Result<(), CommandError> {
     Ok(())
 }
 
+/// `migrate`: hand a hash slice from the node at `addr` (which must own
+/// it) to another cluster node — a live rebalance: the owner ships a
+/// key-filtered checkpoint plus catch-up deltas, bumps the partition
+/// map version, and stale-map clients redirect via `ERR moved`.
+pub fn migrate<W: Write>(
+    addr: &str,
+    slice: u32,
+    target: u32,
+    out: &mut W,
+) -> Result<(), CommandError> {
+    let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
+    let version = client
+        .migrate(slice, target)
+        .map_err(|e| CommandError::Server(e.to_string()))?;
+    client.quit().ok();
+    writeln!(
+        out,
+        "migrated slice {slice} to node {target}: partition map now version {version}"
+    )?;
+    Ok(())
+}
+
+/// `map`: print the partition map a cluster node is serving under.
+pub fn map_show<W: Write>(addr: &str, out: &mut W) -> Result<(), CommandError> {
+    let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
+    let map = client
+        .map()
+        .map_err(|e| CommandError::Server(e.to_string()))?;
+    client.quit().ok();
+    writeln!(out, "version: {}", map.version)?;
+    writeln!(out, "slices:  {}", map.slices)?;
+    for (i, addr) in map.nodes.iter().enumerate() {
+        let owned: Vec<String> = map
+            .owners
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o as usize == i)
+            .map(|(s, _)| s.to_string())
+            .collect();
+        writeln!(out, "node {i}: {addr} owns [{}]", owned.join(", "))?;
+    }
+    Ok(())
+}
+
 /// `recover`: rebuild the profile a WAL directory persists (newest valid
 /// checkpoint + record tail) and print the same statistics report as
 /// `profile` — the offline answer to "what state would a `serve --wal`
@@ -603,13 +660,20 @@ pub fn recover_report<W: Write>(
 }
 
 /// `wal-dump`: print every record still present in the WAL directory's
-/// segments, one line per record (`lsn`, tuple count, then the tuples in
-/// event-file notation, elided past eight).
+/// segments, one line per record (`lsn`, the replication epoch stamped
+/// into the record, tuple count, then the tuples in event-file
+/// notation, elided past eight).
 pub fn wal_dump<W: Write>(dir: &Path, limit: usize, out: &mut W) -> Result<(), CommandError> {
     let (records, torn) = sprofile_persist::dump_records(dir)?;
     let total = records.len();
     for r in records.into_iter().take(limit) {
-        write!(out, "{:>8}  {:>6} tuple(s) ", r.lsn, r.tuples.len())?;
+        write!(
+            out,
+            "{:>8}  e{:<4} {:>6} tuple(s) ",
+            r.lsn,
+            r.epoch,
+            r.tuples.len()
+        )?;
         for t in r.tuples.iter().take(8) {
             write!(out, " {}{}", if t.is_add { 'a' } else { 'r' }, t.object)?;
         }
@@ -1136,6 +1200,7 @@ mod tests {
             failover_peers: None,
             heartbeat_ms: 500,
             failover_grace: 4,
+            cluster: None,
         };
         let handle = {
             let mut out = buf.clone();
@@ -1219,6 +1284,7 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("a2 a2 a2"), "{text}");
         assert!(text.contains("r5"), "{text}");
+        assert!(text.contains("e1"), "epoch stamp column: {text}");
         assert!(text.contains("2 record(s)"), "{text}");
         let mut out = Vec::new();
         wal_dump(&dir, 1, &mut out).unwrap();

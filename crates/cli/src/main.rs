@@ -19,12 +19,12 @@ mod commands;
 mod textio;
 
 use commands::{
-    checkpoint_compact, generate, heavy_hitters, ingest, loadgen, profile_persist, promote,
-    recover_report, serve, verify_server, wal_dump, watch, GenerateOpts, HhOpts, PersistOpts,
-    ProfileOpts, ServeOpts, StreamChoice,
+    checkpoint_compact, generate, heavy_hitters, ingest, loadgen, map_show, migrate,
+    profile_persist, promote, recover_report, serve, verify_server, wal_dump, watch, GenerateOpts,
+    HhOpts, PersistOpts, ProfileOpts, ServeOpts, StreamChoice,
 };
 use sprofile_server::{
-    BackendKind, DurabilityConfig, LoadgenConfig, SyncCommit, SyncPolicy, WireProto,
+    BackendKind, ClusterConfig, DurabilityConfig, LoadgenConfig, SyncCommit, SyncPolicy, WireProto,
 };
 
 fn usage() -> &'static str {
@@ -41,8 +41,12 @@ fn usage() -> &'static str {
      [--segment-bytes <B>] [--checkpoint-every <TUPLES>]\n                    \
      [--max-retain-bytes <B>] [--replica-of <HOST:PORT>]\n                    \
      [--sync-commit <off|quorum|all>] [--sync-commit-timeout-ms <MS>]\n                    \
-     [--auto-failover <PEER,PEER>] [--heartbeat-ms <MS>] [--failover-grace <N>]\n  \
+     [--auto-failover <PEER,PEER>] [--heartbeat-ms <MS>] [--failover-grace <N>]\n                    \
+     [--cluster-slices <S> --cluster-node <I> --cluster-nodes <ADDR,ADDR,...>]\n  \
      sprofile promote  --addr <HOST:PORT>   (flip a replica writable)\n  \
+     sprofile migrate  --addr <HOST:PORT> --slice <S> --target <NODE>\n                    \
+     (live rebalance: hand a hash slice to another cluster node)\n  \
+     sprofile map      --addr <HOST:PORT>   (print a node's partition map)\n  \
      sprofile loadgen  --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
      [--batch <B>] [--seed <S>] [--proto <text|bin>] [--shutdown]\n  \
      sprofile verify   --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
@@ -64,7 +68,13 @@ fn usage() -> &'static str {
      --sync-commit makes a primary hold each OK until quorum/all attached\n\
      replicas acknowledged the write (degrades to async after the\n\
      timeout); --auto-failover lists the peer replicas a replica holds\n\
-     elections with when the primary stops heartbeating."
+     elections with when the primary stops heartbeating.\n\
+     The --cluster-* flags (all three together) make `serve` one node of\n\
+     a hash-partitioned cluster: it owns the slices `x % S` its partition\n\
+     map assigns it, refuses writes for foreign slices with 'ERR moved',\n\
+     and answers global queries over its slices only (cluster clients\n\
+     scatter-gather exact answers); cluster nodes default --flush to 1 so\n\
+     rebalance hand-offs lose no acknowledged write."
 }
 
 /// Tiny flag parser: collects `--key value` pairs plus positional args.
@@ -284,6 +294,32 @@ fn run() -> Result<(), String> {
                     .map(str::to_string)
                     .collect::<Vec<_>>()
             });
+            let cluster_keys = ["cluster-slices", "cluster-node", "cluster-nodes"];
+            let cluster = if cluster_keys.iter().any(|k| args.has(k)) {
+                if !cluster_keys.iter().all(|k| args.has(k)) {
+                    return Err(
+                        "--cluster-slices, --cluster-node, and --cluster-nodes go together".into(),
+                    );
+                }
+                let nodes: Vec<String> = args
+                    .get("cluster-nodes")
+                    .unwrap_or("")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                Some(ClusterConfig {
+                    slices: args.get_parsed_positive("cluster-slices", 16u32)?,
+                    node: args.get_parsed("cluster-node", 0u32)?,
+                    nodes,
+                })
+            } else {
+                None
+            };
+            // Cluster nodes default to per-write flushes: `MIGRATE`'s
+            // no-acked-write-lost hand-off relies on them.
+            let default_flush = if cluster.is_some() { 1usize } else { 256 };
             let opts = ServeOpts {
                 addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
                 m: args.get_parsed_positive("m", 1_048_576u32)?,
@@ -294,7 +330,7 @@ fn run() -> Result<(), String> {
                     .get_parsed_positive("workers", args.get_parsed_positive("pool", 4usize)?)?,
                 max_conns: args.get_parsed_positive("max-conns", 1024usize)?,
                 proto: parse_proto(&args)?,
-                flush: args.get_parsed_positive("flush", 256usize)?,
+                flush: args.get_parsed_positive("flush", default_flush)?,
                 snapshot_dir: args.get("snapshot-dir").unwrap_or(".").to_string(),
                 wal,
                 replica_of,
@@ -304,6 +340,7 @@ fn run() -> Result<(), String> {
                 failover_peers,
                 heartbeat_ms: args.get_parsed_positive("heartbeat-ms", 500u64)?,
                 failover_grace: args.get_parsed_positive("failover-grace", 4u32)?,
+                cluster,
             };
             let stdout = io::stdout();
             let mut out = stdout.lock();
@@ -316,6 +353,32 @@ fn run() -> Result<(), String> {
             let stdout = io::stdout();
             let mut out = BufWriter::new(stdout.lock());
             promote(addr, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "migrate" => {
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7979");
+            let slice = args
+                .get("slice")
+                .ok_or("migrate needs --slice <S>")?
+                .parse::<u32>()
+                .map_err(|_| "invalid value for --slice".to_string())?;
+            let target = args
+                .get("target")
+                .ok_or("migrate needs --target <NODE>")?
+                .parse::<u32>()
+                .map_err(|_| "invalid value for --target".to_string())?;
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            migrate(addr, slice, target, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "map" => {
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7979");
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            map_show(addr, &mut out).map_err(|e| e.to_string())?;
             out.flush().map_err(|e| e.to_string())?;
             Ok(())
         }

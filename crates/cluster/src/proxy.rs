@@ -1,0 +1,210 @@
+//! A network-partition injection proxy for the chaos suites.
+//!
+//! [`ChaosProxy`] listens on an ephemeral local port and relays every
+//! accepted connection to one upstream address, byte for byte, in both
+//! directions. Flipping [`ChaosProxy::split`] simulates a network
+//! partition: established relays are torn down within one poll
+//! interval and new connections are accepted then immediately dropped
+//! (the TCP connect succeeds, the first read sees EOF — the same shape
+//! a mid-stream cable pull gives a client). [`ChaosProxy::heal`]
+//! restores service for *new* connections; victims of the split must
+//! reconnect, as they would in production.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How often relay loops and the acceptor re-check their kill switches.
+const POLL: Duration = Duration::from_millis(10);
+
+/// A TCP forwarder with a partition switch.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    split: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts relaying `127.0.0.1:<ephemeral>` → `upstream`.
+    pub fn start(upstream: &str) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let split = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        let upstream = upstream.to_string();
+        let (cut, halt) = (Arc::clone(&split), Arc::clone(&stop));
+        let acceptor = thread::spawn(move || {
+            while !halt.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((down, _)) => {
+                        if cut.load(Ordering::Relaxed) {
+                            let _ = down.shutdown(Shutdown::Both);
+                            continue;
+                        }
+                        match TcpStream::connect(&upstream) {
+                            Ok(up) => spawn_relay(down, up, &cut, &halt),
+                            Err(_) => {
+                                let _ = down.shutdown(Shutdown::Both);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL),
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            split,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients should dial instead of the upstream.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Cuts the link: established relays die, new connections are
+    /// dropped on accept.
+    pub fn split(&self) {
+        self.split.store(true, Ordering::Relaxed);
+    }
+
+    /// Restores the link for new connections.
+    pub fn heal(&self) {
+        self.split.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the proxy is currently partitioned.
+    pub fn is_split(&self) -> bool {
+        self.split.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Two detached half-duplex pumps per connection. Each polls the kill
+/// switches between reads, so a split tears the relay down within one
+/// [`POLL`] even when both sides are idle.
+fn spawn_relay(down: TcpStream, up: TcpStream, cut: &Arc<AtomicBool>, stop: &Arc<AtomicBool>) {
+    let (Ok(down2), Ok(up2)) = (down.try_clone(), up.try_clone()) else {
+        return;
+    };
+    pump(down, up2, Arc::clone(cut), Arc::clone(stop));
+    pump(up, down2, Arc::clone(cut), Arc::clone(stop));
+}
+
+fn pump(mut from: TcpStream, mut to: TcpStream, cut: Arc<AtomicBool>, stop: Arc<AtomicBool>) {
+    thread::spawn(move || {
+        let _ = from.set_read_timeout(Some(POLL));
+        let mut buf = [0u8; 8192];
+        loop {
+            if cut.load(Ordering::Relaxed) || stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match from.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    if to.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+        }
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    /// A one-connection echo upstream for exercising the proxy alone.
+    fn echo_upstream() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("addr");
+        let handle = thread::spawn(move || {
+            while let Ok((mut sock, _)) = listener.accept() {
+                let mut buf = [0u8; 1024];
+                loop {
+                    match sock.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            if sock.write_all(&buf[..n]).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn relays_until_split_then_serves_again_after_heal() {
+        let (upstream, _echo) = echo_upstream();
+        let proxy = ChaosProxy::start(&upstream.to_string()).expect("proxy");
+
+        let mut conn = TcpStream::connect(proxy.addr()).expect("dial");
+        conn.write_all(b"ping\n").expect("write");
+        let mut reader = io::BufReader::new(conn.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert_eq!(line, "ping\n");
+
+        // Split: the established relay dies (EOF or reset downstream).
+        proxy.split();
+        assert!(proxy.is_split());
+        let mut got_cut = false;
+        for _ in 0..200 {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    got_cut = true;
+                    break;
+                }
+                Ok(_) => {}
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(got_cut, "established relay survived the split");
+        // New connections die on first use while split.
+        let mut refused = TcpStream::connect(proxy.addr()).expect("dial during split");
+        let mut byte = [0u8; 1];
+        refused
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        assert!(
+            !matches!(refused.read(&mut byte), Ok(1)),
+            "split proxy delivered data"
+        );
+
+        // Heal: a fresh connection round-trips again.
+        proxy.heal();
+        let mut conn = TcpStream::connect(proxy.addr()).expect("redial");
+        conn.write_all(b"pong\n").expect("write");
+        let mut reader = io::BufReader::new(conn);
+        line.clear();
+        reader.read_line(&mut line).expect("read after heal");
+        assert_eq!(line, "pong\n");
+    }
+}

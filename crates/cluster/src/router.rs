@@ -1,0 +1,389 @@
+//! The cluster-aware client: write routing, moved-retry, and exact
+//! scatter-gather merges.
+//!
+//! # Exactness
+//!
+//! Every node answers queries over its owned slices only (the server's
+//! masked query path), and this router merges those partial answers
+//! with the same tie-breaks the single-node profile uses:
+//!
+//! - `MODE`: maximum frequency, ties to the smallest object id.
+//! - `LEAST`: minimum frequency, ties to the smallest object id.
+//! - `TOPK k`: each node over-fetches its top `k` *with ties at the
+//!   cut*; the union provably contains the global top `k` under the
+//!   total order (frequency descending, id ascending), so sorting the
+//!   union by that order and truncating reproduces the single-profile
+//!   list exactly.
+//! - `CAL f`: partitions are disjoint, so the global count is the sum.
+//! - `MEDIAN`: the lower median is recovered by bisecting on `CAL`:
+//!   with `r = m − (m−1)/2`, the median is the largest value `v` with
+//!   `CAL(v) ≥ r`, bracketed by the merged least and mode frequencies.
+//!
+//! # Moved retries
+//!
+//! A write whose frame touches a slice the receiving node no longer
+//! owns is rejected wholesale with `ERR moved <ver>`. The router then
+//! refreshes its map (adopting only strictly newer versions), waits
+//! [`MOVED_BACKOFF`], and resends *only the rejected frames* — acked
+//! frames are never replayed. `MIGRATE` is a barrier for global
+//! queries: during the short hand-off window neither node claims the
+//! migrating slice, so queries issued mid-migration may be routed with
+//! a stale map; the retry loop covers `FREQ`, and tests validate
+//! global queries after `MIGRATE` returns.
+
+use std::thread;
+use std::time::Duration;
+
+use sprofile::Tuple;
+use sprofile_persist::PartitionMap;
+use sprofile_server::protocol::MAX_BATCH;
+use sprofile_server::{Client, ClientError, ClientResult, WireProto};
+
+/// How many times a moved-rejected operation is retried against a
+/// refreshed map before giving up.
+pub const MAX_MOVED_RETRIES: usize = 100;
+
+/// Pause between moved retries, giving an in-flight `MIGRATE` time to
+/// finish its hand-off.
+pub const MOVED_BACKOFF: Duration = Duration::from_millis(5);
+
+/// Picks the better of two per-node `MODE` answers: higher frequency
+/// wins, ties to the smaller id.
+pub fn merge_mode(a: (u32, i64), b: (u32, i64)) -> (u32, i64) {
+    if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Picks the better of two per-node `LEAST` answers: lower frequency
+/// wins, ties to the smaller id.
+pub fn merge_least(a: (u32, i64), b: (u32, i64)) -> (u32, i64) {
+    if b.1 < a.1 || (b.1 == a.1 && b.0 < a.0) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Merges per-node `TOPK` over-fetches into the global top `k`:
+/// frequency descending, id ascending, truncated to `k`.
+pub fn merge_top_k(mut union: Vec<(u32, i64)>, k: u32) -> Vec<(u32, i64)> {
+    union.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    union.truncate(k as usize);
+    union
+}
+
+fn parse_moved(msg: &str) -> Option<u64> {
+    msg.strip_prefix("moved ")
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn exhausted<T>(what: &str) -> ClientResult<T> {
+    Err(ClientError::Server(format!(
+        "{what}: moved retries exhausted after {MAX_MOVED_RETRIES} attempts"
+    )))
+}
+
+/// One logical connection to a whole cluster: a binary-mode data
+/// connection per node plus a cached partition map.
+pub struct ClusterClient {
+    map: PartitionMap,
+    m: u32,
+    nodes: Vec<Client>,
+}
+
+impl ClusterClient {
+    /// Connects via any one node: fetches its partition map and the
+    /// universe size, then opens a binary-mode connection to every node
+    /// the map names.
+    pub fn connect(seed: &str) -> ClientResult<ClusterClient> {
+        let mut admin = Client::connect(seed)?;
+        let map = admin.map()?;
+        let stats = admin.stats()?;
+        let m = Client::stats_field(&stats, "m")
+            .ok_or_else(|| ClientError::Protocol(format!("no m field in STATS '{stats}'")))?
+            as u32;
+        admin.quit()?;
+        let mut nodes = Vec::with_capacity(map.nodes.len());
+        for addr in &map.nodes {
+            nodes.push(Client::connect_with(addr, WireProto::Bin)?);
+        }
+        Ok(ClusterClient { map, m, nodes })
+    }
+
+    /// The partition map this client is currently routing with.
+    pub fn map(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// The universe size the cluster was started with.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Re-fetches the map from every reachable node and adopts the
+    /// newest strictly-newer version. Returns whether the map changed.
+    pub fn refresh_map(&mut self) -> ClientResult<bool> {
+        let mut newest: Option<PartitionMap> = None;
+        for addr in self.map.nodes.clone() {
+            let Ok(mut c) = Client::connect(&addr) else {
+                continue; // a dead node can't have the newest map
+            };
+            if let Ok(map) = c.map() {
+                let best = newest.as_ref().map_or(self.map.version, |n| n.version);
+                if map.version > best {
+                    newest = Some(map);
+                }
+            }
+            let _ = c.quit();
+        }
+        match newest {
+            Some(map) => {
+                self.map = map;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Replaces the data connection for `node` — used after a failover
+    /// re-points a map slot at a promoted replica's address.
+    fn reconnect(&mut self, node: usize) -> ClientResult<()> {
+        self.nodes[node] = Client::connect_with(&self.map.nodes[node], WireProto::Bin)?;
+        Ok(())
+    }
+
+    /// Adopts `map` (e.g. after a failover re-pointed a slot at a
+    /// promoted replica), reconnecting any node whose address changed.
+    pub fn install_map(&mut self, map: PartitionMap) -> ClientResult<()> {
+        map.validate().map_err(ClientError::Protocol)?;
+        if map.nodes.len() != self.nodes.len() {
+            return Err(ClientError::Protocol(format!(
+                "map names {} nodes, cluster has {}",
+                map.nodes.len(),
+                self.nodes.len()
+            )));
+        }
+        let old = std::mem::replace(&mut self.map, map);
+        for i in 0..self.nodes.len() {
+            if self.map.nodes[i] != old.nodes[i] {
+                self.reconnect(i)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes one batch of tuples: partitions them per owning node,
+    /// pipelines one binary `BATCH` frame per node (splitting at
+    /// [`MAX_BATCH`]), and returns the total acknowledged tuple count.
+    /// Frames rejected with `ERR moved` are re-partitioned against a
+    /// refreshed map and resent; acked frames are never replayed.
+    pub fn batch(&mut self, tuples: &[Tuple]) -> ClientResult<u64> {
+        let mut pending: Vec<Tuple> = tuples.to_vec();
+        let mut acked = 0u64;
+        for attempt in 0..MAX_MOVED_RETRIES {
+            if pending.is_empty() {
+                return Ok(acked);
+            }
+            let mut per_node: Vec<Vec<Tuple>> = vec![Vec::new(); self.nodes.len()];
+            for &t in &pending {
+                per_node[self.map.owner_of(t.object) as usize].push(t);
+            }
+            // (node, frame) in send order; replies are FIFO per
+            // connection, so receiving in the same order pairs up.
+            let mut frames: Vec<(usize, &[Tuple])> = Vec::new();
+            for (i, chunk) in per_node.iter().enumerate() {
+                for sub in chunk.chunks(MAX_BATCH) {
+                    frames.push((i, sub));
+                }
+            }
+            for &(i, frame) in &frames {
+                self.nodes[i].batch_send(frame)?;
+            }
+            // Flush only the nodes this round touched: an unreachable
+            // node's connection (stale bytes from a failed flush) must
+            // not fail batches that never route to it.
+            let mut touched = vec![false; self.nodes.len()];
+            for &(i, _) in &frames {
+                touched[i] = true;
+            }
+            for (i, hit) in touched.into_iter().enumerate() {
+                if hit {
+                    self.nodes[i].flush_out()?;
+                }
+            }
+            let mut rejected: Vec<Tuple> = Vec::new();
+            for &(i, frame) in &frames {
+                match self.nodes[i].batch_recv() {
+                    Ok(n) => acked += n,
+                    Err(ClientError::Server(msg)) if parse_moved(&msg).is_some() => {
+                        rejected.extend_from_slice(frame);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            pending = rejected;
+            if !pending.is_empty() && attempt + 1 < MAX_MOVED_RETRIES {
+                self.refresh_map()?;
+                thread::sleep(MOVED_BACKOFF);
+            }
+        }
+        exhausted("batch")
+    }
+
+    /// Global `MODE`: max frequency, ties to the smallest id — exactly
+    /// the single-profile answer.
+    pub fn mode(&mut self) -> ClientResult<Option<(u32, i64)>> {
+        let mut best: Option<(u32, i64)> = None;
+        for node in &mut self.nodes {
+            if let Some(p) = node.mode()? {
+                best = Some(match best {
+                    Some(b) => merge_mode(b, p),
+                    None => p,
+                });
+            }
+        }
+        Ok(best)
+    }
+
+    /// Global `LEAST`: min frequency, ties to the smallest id.
+    pub fn least(&mut self) -> ClientResult<Option<(u32, i64)>> {
+        let mut best: Option<(u32, i64)> = None;
+        for node in &mut self.nodes {
+            if let Some(p) = node.least()? {
+                best = Some(match best {
+                    Some(b) => merge_least(b, p),
+                    None => p,
+                });
+            }
+        }
+        Ok(best)
+    }
+
+    /// Global `TOPK`: merges each node's with-ties over-fetch.
+    pub fn top_k(&mut self, k: u32) -> ClientResult<Vec<(u32, i64)>> {
+        let mut union = Vec::new();
+        for node in &mut self.nodes {
+            union.extend(node.top_k(k)?);
+        }
+        Ok(merge_top_k(union, k))
+    }
+
+    /// Global `CAL`: the sum over disjoint partitions.
+    pub fn count_at_least(&mut self, threshold: i64) -> ClientResult<u32> {
+        let mut total = 0u32;
+        for node in &mut self.nodes {
+            total += node.count_at_least(threshold)?;
+        }
+        Ok(total)
+    }
+
+    /// Global lower median, recovered by bisecting on `CAL` between the
+    /// merged least and mode frequencies.
+    pub fn median(&mut self) -> ClientResult<Option<i64>> {
+        if self.m == 0 {
+            return Ok(None);
+        }
+        let Some((_, mut lo)) = self.least()? else {
+            return Ok(None);
+        };
+        let Some((_, mut hi)) = self.mode()? else {
+            return Ok(None);
+        };
+        // Number of frequencies ≥ the lower median.
+        let rank = u64::from(self.m) - u64::from(self.m - 1) / 2;
+        while lo < hi {
+            let mid = lo + (((i128::from(hi) - i128::from(lo) + 1) / 2) as i64);
+            if u64::from(self.count_at_least(mid)?) >= rank {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        Ok(Some(lo))
+    }
+
+    /// Per-object frequency, routed to the slice owner with moved
+    /// retries.
+    pub fn freq(&mut self, id: u32) -> ClientResult<i64> {
+        for _ in 0..MAX_MOVED_RETRIES {
+            let owner = self.map.owner_of(id) as usize;
+            match self.nodes[owner].freq(id) {
+                Ok(f) => return Ok(f),
+                Err(ClientError::Server(msg)) if parse_moved(&msg).is_some() => {
+                    self.refresh_map()?;
+                    thread::sleep(MOVED_BACKOFF);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        exhausted("freq")
+    }
+
+    /// One node's raw `STATS` payload.
+    pub fn node_stats(&mut self, node: usize) -> ClientResult<String> {
+        self.nodes[node].stats()
+    }
+
+    /// Closes every data connection politely.
+    pub fn close(self) -> ClientResult<()> {
+        for node in self.nodes {
+            node.quit()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprofile::SProfile;
+
+    #[test]
+    fn pair_merges_follow_the_profile_tie_breaks() {
+        // Higher frequency wins regardless of order…
+        assert_eq!(merge_mode((3, 5), (9, 4)), (3, 5));
+        assert_eq!(merge_mode((9, 4), (3, 5)), (3, 5));
+        // …ties go to the smaller id.
+        assert_eq!(merge_mode((7, 5), (2, 5)), (2, 5));
+        assert_eq!(merge_mode((2, 5), (7, 5)), (2, 5));
+        assert_eq!(merge_least((3, -2), (9, 4)), (3, -2));
+        assert_eq!(merge_least((9, 4), (3, -2)), (3, -2));
+        assert_eq!(merge_least((7, 1), (2, 1)), (2, 1));
+    }
+
+    #[test]
+    fn top_k_union_merge_matches_the_oracle() {
+        // Partition a tie-heavy profile by `x % 3` and check that
+        // merging per-partition with-ties over-fetches reproduces the
+        // oracle's list for every k.
+        let m = 32u32;
+        let mut oracle = SProfile::new(m);
+        for x in 0..m {
+            for _ in 0..(x % 5) {
+                oracle.add(x);
+            }
+        }
+        for k in [1u32, 2, 3, 7, 16, 32] {
+            let mut union = Vec::new();
+            for part in 0..3u32 {
+                // The node-side over-fetch: top k of the partition,
+                // extended through ties at the cut.
+                let mut owned: Vec<(u32, i64)> = (0..m)
+                    .filter(|x| x % 3 == part)
+                    .map(|x| (x, oracle.frequency(x)))
+                    .collect();
+                owned.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                if owned.len() > k as usize {
+                    let cut = owned[k as usize - 1].1;
+                    let end = owned.partition_point(|&(_, f)| f >= cut);
+                    owned.truncate(end);
+                }
+                union.extend(owned);
+            }
+            assert_eq!(merge_top_k(union, k), oracle.top_k(k), "k={k}");
+        }
+    }
+}

@@ -66,6 +66,7 @@
 
 mod epoch;
 mod metrics;
+mod partition;
 mod reader;
 mod record;
 mod recover;
@@ -75,6 +76,9 @@ mod wal;
 
 pub use epoch::{read_epoch, write_epoch, EPOCH_FILE};
 pub use metrics::WalMetrics;
+pub use partition::{
+    read_partition_map, slice_snapshot_bytes, write_partition_map, PartitionMap, PARTITION_FILE,
+};
 pub use reader::SegmentReader;
 pub use record::MAX_RECORD_TUPLES;
 pub use recover::{dump_records, newest_checkpoint, recover, RecordInfo, Recovered};

@@ -40,16 +40,17 @@ impl SegmentReader {
         Ok(list_segments(&self.dir)?.first().map(|&(lsn, _)| lsn))
     }
 
-    /// Invokes `apply` for every record with `from <= lsn < upto`, in
-    /// LSN order. Nothing at or past `upto` is decoded, so an `upto`
-    /// taken under the WAL lock makes the read race-free against
-    /// concurrent appends. A torn or missing record *below* `upto` is an
-    /// error — those records were durably appended and must exist.
+    /// Invokes `apply(lsn, epoch, tuples)` for every record with
+    /// `from <= lsn < upto`, in LSN order. Nothing at or past `upto` is
+    /// decoded, so an `upto` taken under the WAL lock makes the read
+    /// race-free against concurrent appends. A torn or missing record
+    /// *below* `upto` is an error — those records were durably appended
+    /// and must exist.
     pub fn read_range(
         &self,
         from: u64,
         upto: u64,
-        mut apply: impl FnMut(u64, Vec<Tuple>) -> Result<(), PersistError>,
+        mut apply: impl FnMut(u64, u64, Vec<Tuple>) -> Result<(), PersistError>,
     ) -> Result<(), PersistError> {
         if from >= upto {
             return Ok(());
@@ -101,10 +102,14 @@ impl SegmentReader {
                             _ => return Err(PersistError::corrupt(why, Some(path))),
                         }
                     }
-                    Decoded::Record { tuples, consumed } => {
+                    Decoded::Record {
+                        epoch,
+                        tuples,
+                        consumed,
+                    } => {
                         rest = &rest[consumed..];
                         if lsn >= from {
-                            apply(lsn, tuples)?;
+                            apply(lsn, epoch, tuples)?;
                         }
                         lsn += 1;
                     }
@@ -131,8 +136,8 @@ impl SegmentReader {
         upto: u64,
     ) -> Result<Vec<crate::RecordInfo>, PersistError> {
         let mut out = Vec::new();
-        self.read_range(from, upto, |lsn, tuples| {
-            out.push(crate::RecordInfo { lsn, tuples });
+        self.read_range(from, upto, |lsn, epoch, tuples| {
+            out.push(crate::RecordInfo { lsn, epoch, tuples });
             Ok(())
         })?;
         Ok(out)

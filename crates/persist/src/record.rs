@@ -4,9 +4,17 @@
 //! len      u32 LE    payload length in bytes
 //! crc      u32 LE    CRC-32 (IEEE) of the payload
 //! payload  len bytes:
+//!   epoch  u64 LE    replication epoch the record was written under
 //!   count  u32 LE    number of tuples
 //!   tuple  count × { op: u8 (1 = add, 0 = remove), object: u32 LE }
 //! ```
+//!
+//! The epoch stamp (PR 8) turns the directory-level epoch marker into
+//! per-record provenance: forensics can tell exactly which promotion a
+//! record predates, and filtered catch-up across ownership changes can
+//! reason per record instead of per directory. Records written before
+//! the stamp existed fail the count/length cross-check and read as
+//! corruption — the format is not backward compatible.
 //!
 //! The checksum covers the payload only; a corrupt `len` either fails
 //! the tuple-count cross-check, runs past the end of the segment
@@ -26,20 +34,25 @@ pub const MAX_RECORD_TUPLES: usize = 1 << 22;
 /// Record header size: `len` + `crc`.
 pub(crate) const RECORD_HEADER: usize = 8;
 
+/// Fixed payload prefix: `epoch` + `count`.
+pub(crate) const PAYLOAD_FIXED: usize = 12;
+
 /// Bytes one tuple occupies in a payload.
 pub(crate) const TUPLE_BYTES: usize = 5;
 
 /// Serialised size of a record holding `n` tuples.
 pub(crate) fn record_size(n: usize) -> usize {
-    RECORD_HEADER + 4 + n * TUPLE_BYTES
+    RECORD_HEADER + PAYLOAD_FIXED + n * TUPLE_BYTES
 }
 
-/// Appends the encoded record for `tuples` to `out`.
-pub(crate) fn encode_record(tuples: &[Tuple], out: &mut Vec<u8>) {
-    let payload_len = 4 + tuples.len() * TUPLE_BYTES;
+/// Appends the encoded record for `tuples`, stamped with `epoch`, to
+/// `out`.
+pub(crate) fn encode_record(epoch: u64, tuples: &[Tuple], out: &mut Vec<u8>) {
+    let payload_len = PAYLOAD_FIXED + tuples.len() * TUPLE_BYTES;
     out.reserve(RECORD_HEADER + payload_len);
     let header_at = out.len();
     out.extend_from_slice(&[0u8; RECORD_HEADER]); // patched below
+    out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
     for t in tuples {
         out.push(u8::from(t.is_add));
@@ -54,9 +67,11 @@ pub(crate) fn encode_record(tuples: &[Tuple], out: &mut Vec<u8>) {
 
 /// Outcome of decoding one record at the head of `bytes`.
 pub(crate) enum Decoded {
-    /// A complete, checksum-valid record: the tuples and the total bytes
-    /// consumed.
+    /// A complete, checksum-valid record: the epoch it was written
+    /// under, the tuples, and the total bytes consumed.
     Record {
+        /// Replication epoch stamped at append time.
+        epoch: u64,
         /// Decoded tuples.
         tuples: Vec<Tuple>,
         /// Bytes the record occupied (header + payload).
@@ -80,7 +95,7 @@ pub(crate) fn decode_record(bytes: &[u8]) -> Decoded {
     }
     let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
     let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if !(4..=4 + MAX_RECORD_TUPLES * TUPLE_BYTES).contains(&len) {
+    if !(PAYLOAD_FIXED..=PAYLOAD_FIXED + MAX_RECORD_TUPLES * TUPLE_BYTES).contains(&len) {
         return Decoded::Torn("record length out of range");
     }
     let Some(payload) = bytes.get(RECORD_HEADER..RECORD_HEADER + len) else {
@@ -89,18 +104,20 @@ pub(crate) fn decode_record(bytes: &[u8]) -> Decoded {
     if crc32(payload) != crc {
         return Decoded::Torn("record checksum mismatch");
     }
-    let count = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
-    if payload.len() != 4 + count * TUPLE_BYTES {
+    let epoch = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let count = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
+    if payload.len() != PAYLOAD_FIXED + count * TUPLE_BYTES {
         return Decoded::Torn("record tuple count disagrees with length");
     }
     let mut tuples = Vec::with_capacity(count);
-    for chunk in payload[4..].chunks_exact(TUPLE_BYTES) {
+    for chunk in payload[PAYLOAD_FIXED..].chunks_exact(TUPLE_BYTES) {
         tuples.push(Tuple {
             object: u32::from_le_bytes(chunk[1..5].try_into().expect("4 bytes")),
             is_add: chunk[0] != 0,
         });
     }
     Decoded::Record {
+        epoch,
         tuples,
         consumed: RECORD_HEADER + len,
     }
@@ -117,10 +134,15 @@ mod tests {
     #[test]
     fn roundtrip() {
         let mut buf = Vec::new();
-        encode_record(&sample(), &mut buf);
+        encode_record(42, &sample(), &mut buf);
         assert_eq!(buf.len(), record_size(3));
         match decode_record(&buf) {
-            Decoded::Record { tuples, consumed } => {
+            Decoded::Record {
+                epoch,
+                tuples,
+                consumed,
+            } => {
+                assert_eq!(epoch, 42);
                 assert_eq!(tuples, sample());
                 assert_eq!(consumed, buf.len());
             }
@@ -131,9 +153,14 @@ mod tests {
     #[test]
     fn empty_batch_roundtrips() {
         let mut buf = Vec::new();
-        encode_record(&[], &mut buf);
+        encode_record(u64::MAX, &[], &mut buf);
         match decode_record(&buf) {
-            Decoded::Record { tuples, consumed } => {
+            Decoded::Record {
+                epoch,
+                tuples,
+                consumed,
+            } => {
+                assert_eq!(epoch, u64::MAX);
                 assert!(tuples.is_empty());
                 assert_eq!(consumed, buf.len());
             }
@@ -144,7 +171,7 @@ mod tests {
     #[test]
     fn every_truncation_is_torn_not_panic() {
         let mut buf = Vec::new();
-        encode_record(&sample(), &mut buf);
+        encode_record(3, &sample(), &mut buf);
         for cut in 1..buf.len() {
             match decode_record(&buf[..cut]) {
                 Decoded::Torn(_) => {}
@@ -158,7 +185,7 @@ mod tests {
     #[test]
     fn every_bit_flip_is_detected() {
         let mut buf = Vec::new();
-        encode_record(&sample(), &mut buf);
+        encode_record(7, &sample(), &mut buf);
         for byte in 0..buf.len() {
             for bit in 0..8 {
                 buf[byte] ^= 1 << bit;
@@ -174,19 +201,27 @@ mod tests {
     #[test]
     fn back_to_back_records_decode_in_sequence() {
         let mut buf = Vec::new();
-        encode_record(&[Tuple::add(1)], &mut buf);
-        encode_record(&[Tuple::remove(2), Tuple::add(3)], &mut buf);
-        let Decoded::Record { tuples, consumed } = decode_record(&buf) else {
+        encode_record(1, &[Tuple::add(1)], &mut buf);
+        encode_record(2, &[Tuple::remove(2), Tuple::add(3)], &mut buf);
+        let Decoded::Record {
+            epoch,
+            tuples,
+            consumed,
+        } = decode_record(&buf)
+        else {
             panic!("first record");
         };
+        assert_eq!(epoch, 1);
         assert_eq!(tuples, vec![Tuple::add(1)]);
         let Decoded::Record {
+            epoch,
             tuples,
             consumed: c2,
         } = decode_record(&buf[consumed..])
         else {
             panic!("second record");
         };
+        assert_eq!(epoch, 2);
         assert_eq!(tuples, vec![Tuple::remove(2), Tuple::add(3)]);
         assert!(matches!(decode_record(&buf[consumed + c2..]), Decoded::End));
     }

@@ -51,6 +51,8 @@ pub struct Recovered {
 pub struct RecordInfo {
     /// The record's log sequence number.
     pub lsn: u64,
+    /// The replication epoch stamped into the record at append time.
+    pub epoch: u64,
     /// Its tuples.
     pub tuples: Vec<Tuple>,
 }
@@ -75,7 +77,7 @@ pub(crate) struct ScanEnd {
 pub(crate) fn scan_records(
     dir: &Path,
     skip_upto: u64,
-    mut apply: impl FnMut(u64, Vec<Tuple>) -> Result<(), PersistError>,
+    mut apply: impl FnMut(u64, u64, Vec<Tuple>) -> Result<(), PersistError>,
 ) -> Result<ScanEnd, PersistError> {
     let segments = list_segments(dir)?;
     let mut end = ScanEnd {
@@ -135,12 +137,16 @@ pub(crate) fn scan_records(
                     torn = Some(why);
                     break;
                 }
-                Decoded::Record { tuples, consumed } => {
+                Decoded::Record {
+                    epoch,
+                    tuples,
+                    consumed,
+                } => {
                     rest = &rest[consumed..];
                     if lsn > skip_upto {
                         end.records += 1;
                         end.tuples += tuples.len() as u64;
-                        apply(lsn, tuples)?;
+                        apply(lsn, epoch, tuples)?;
                     }
                     lsn += 1;
                 }
@@ -217,7 +223,7 @@ pub fn recover(dir: &Path, m: u32) -> Result<Recovered, PersistError> {
         // reaches back far enough; a gap error here tries the next
         // candidate rather than failing outright.
         let mut p = profile;
-        match scan_records(dir, skip, |_lsn, tuples| {
+        match scan_records(dir, skip, |_lsn, _epoch, tuples| {
             for t in &tuples {
                 if t.object >= m {
                     return Err(PersistError::corrupt(
@@ -285,8 +291,8 @@ pub fn dump_records(dir: &Path) -> Result<(Vec<RecordInfo>, bool), PersistError>
         None => return Ok((Vec::new(), false)),
     };
     let mut out = Vec::new();
-    let end = scan_records(dir, start, |lsn, tuples| {
-        out.push(RecordInfo { lsn, tuples });
+    let end = scan_records(dir, start, |lsn, epoch, tuples| {
+        out.push(RecordInfo { lsn, epoch, tuples });
         Ok(())
     })?;
     Ok((out, end.torn_tail))

@@ -305,7 +305,7 @@ impl Wal {
             self.rotate().map_err(AppendError::fatal)?;
         }
         self.record_buf.clear();
-        encode_record(tuples, &mut self.record_buf);
+        encode_record(self.epoch, tuples, &mut self.record_buf);
         #[cfg(test)]
         if self.inject_write_failures > 0 {
             self.inject_write_failures -= 1;
@@ -752,6 +752,7 @@ mod tests {
         assert!(!torn);
         assert_eq!(records[0].lsn, 1);
         assert_eq!(records[39].lsn, 40);
+        assert!(records.iter().all(|r| r.epoch == 1), "epoch-1 stamps");
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -1294,12 +1295,24 @@ mod tests {
         assert_eq!(wal.adopt_epoch(3).unwrap(), 5);
         assert_eq!(wal.adopt_epoch(9).unwrap(), 9);
         assert_eq!(wal.metrics().epoch(), 9);
+        // Records appended from here on carry the live epoch stamp.
+        wal.append(&[Tuple::add(1)]).unwrap();
+        wal.sync().unwrap();
         drop(wal);
         // The marker is durable: reopen and recover both see it.
-        let wal = Wal::open(opts(&dir), 1).unwrap();
+        let mut wal = Wal::open(opts(&dir), 2).unwrap();
         assert_eq!(wal.epoch(), 9);
+        assert_eq!(wal.bump_epoch(0).unwrap(), 10);
+        wal.append(&[Tuple::add(2)]).unwrap();
+        wal.sync().unwrap();
         drop(wal);
-        assert_eq!(recover(&dir, 8).unwrap().epoch, 9);
+        assert_eq!(recover(&dir, 8).unwrap().epoch, 10);
+        // Per-record stamps expose which generation wrote what.
+        let (records, _) = dump_records(&dir).unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![9, 10]
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

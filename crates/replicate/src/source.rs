@@ -297,7 +297,7 @@ impl ReplicationSource {
             // (the abort is surfaced as an `Interrupted` sentinel that
             // unwinds the whole scan).
             if cursor < sub_next {
-                let result = reader.read_range(cursor, sub_next, |lsn, tuples| {
+                let result = reader.read_range(cursor, sub_next, |lsn, _epoch, tuples| {
                     if done() {
                         return Err(PersistError::Io(io::Error::new(
                             io::ErrorKind::Interrupted,

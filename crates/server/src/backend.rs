@@ -184,6 +184,22 @@ impl Backend {
         }
     }
 
+    /// Frequencies of all `m` objects in id order — the merge point the
+    /// cluster layer masks with slice ownership. O(m); a global read for
+    /// occasional queries, not the hot path (the sharded backend walks
+    /// every shard, the pipeline drains and snapshots).
+    pub fn frequencies(&self) -> Vec<i64> {
+        match self {
+            Backend::Sharded(p) => p.merged_frequencies(),
+            Backend::Pipeline(h) => {
+                h.flush();
+                let snap = SProfile::from_snapshot_bytes(&h.snapshot_bytes())
+                    .expect("pipeline snapshot round-trips");
+                (0..snap.num_objects()).map(|x| snap.frequency(x)).collect()
+            }
+        }
+    }
+
     /// Replaces the live state wholesale with `profile` — the replica
     /// checkpoint-bootstrap hook. O(m log m) (sharded per-shard rebuild)
     /// or O(1) beyond the move (pipeline swap); never proportional to
@@ -259,6 +275,9 @@ mod tests {
             assert_eq!(b.median(), Some(0), "{kind:?}");
             assert_eq!(b.top_k(2), vec![(5, 3), (9, 1)], "{kind:?}");
             assert_eq!(b.count_at_least(1), 2, "{kind:?}");
+            let freqs = b.frequencies();
+            assert_eq!(freqs.len(), 20, "{kind:?}");
+            assert_eq!((freqs[5], freqs[9], freqs[1]), (3, 1, -1), "{kind:?}");
             // Regression: the snapshot round-trip is a fallible
             // validation step now, not an `unwrap()` that could panic a
             // worker thread.

@@ -19,6 +19,7 @@
 //! 0x08    CAL       i64 threshold
 //! 0x09    QUIT      —
 //! 0x0A    SHUTDOWN  —
+//! 0x0B    SNAPSHOT  —
 //! ```
 //!
 //! Response frames (first byte is the tag):
@@ -34,6 +35,8 @@
 //! 0x85    TOPK      u32 n, then n × (u32 object, i64 freq)
 //! 0x86    STATS     u32 len, utf-8 payload (same text as the STATS line)
 //! 0x87    CAL       u32 count
+//! 0x88    SNAPSHOT  u32 len, raw checkpoint bytes (the same format
+//!                   `SNAPSHOT <path>` writes to disk)
 //! ```
 //!
 //! Framing errors (unknown opcode, `BATCH` count over
@@ -68,6 +71,8 @@ pub const REQ_CAL: u8 = 0x08;
 pub const REQ_QUIT: u8 = 0x09;
 /// `SHUTDOWN` request opcode.
 pub const REQ_SHUTDOWN: u8 = 0x0A;
+/// `SNAPSHOT` request opcode (fetch a checkpoint inline).
+pub const REQ_SNAPSHOT: u8 = 0x0B;
 
 /// `OK` response tag.
 pub const TAG_OK: u8 = 0x80;
@@ -85,6 +90,8 @@ pub const TAG_TOPK: u8 = 0x85;
 pub const TAG_STATS: u8 = 0x86;
 /// `CAL` response tag.
 pub const TAG_CAL: u8 = 0x87;
+/// `SNAPSHOT` response tag.
+pub const TAG_SNAPSHOT: u8 = 0x88;
 
 /// Encodes one tuple in the shared 5-byte replication layout.
 pub fn put_tuple(buf: &mut Vec<u8>, t: Tuple) {
@@ -213,6 +220,13 @@ pub fn put_cal_reply(buf: &mut Vec<u8>, count: u32) {
     buf.extend_from_slice(&count.to_le_bytes());
 }
 
+/// Appends a `SNAPSHOT` response frame carrying raw checkpoint bytes.
+pub fn put_snapshot_reply(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.push(TAG_SNAPSHOT);
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
 /// A decoded binary response frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Reply {
@@ -232,6 +246,8 @@ pub enum Reply {
     Stats(String),
     /// `CAL` result.
     Cal(u32),
+    /// `SNAPSHOT` checkpoint bytes.
+    Snapshot(Vec<u8>),
 }
 
 fn read_exact_vec<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u8>> {
@@ -303,6 +319,15 @@ pub fn read_reply<R: BufRead>(r: &mut R) -> io::Result<Reply> {
             Ok(Reply::Stats(String::from_utf8_lossy(&payload).into_owned()))
         }
         TAG_CAL => Ok(Reply::Cal(read_u32(r)?)),
+        TAG_SNAPSHOT => {
+            let len = read_u32(r)? as usize;
+            if len > crate::protocol::MAX_ADOPT_BYTES {
+                return Err(bad_data(format!(
+                    "SNAPSHOT reply length {len} is implausible"
+                )));
+            }
+            Ok(Reply::Snapshot(read_exact_vec(r, len)?))
+        }
         other => Err(bad_data(format!("unknown reply tag 0x{other:02x}"))),
     }
 }
@@ -357,6 +382,10 @@ mod tests {
         buf.clear();
         put_cal_reply(&mut buf, 3);
         assert_eq!(round_trip(&buf), Reply::Cal(3));
+
+        buf.clear();
+        put_snapshot_reply(&mut buf, &[0xAA, 0xBB, 0xCC]);
+        assert_eq!(round_trip(&buf), Reply::Snapshot(vec![0xAA, 0xBB, 0xCC]));
     }
 
     #[test]

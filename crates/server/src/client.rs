@@ -16,6 +16,7 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use sprofile::Tuple;
+use sprofile_persist::PartitionMap;
 
 use crate::bin_proto::{self, Reply};
 use crate::protocol::WireProto;
@@ -393,6 +394,65 @@ impl Client {
             return Err(ClientError::Protocol("SNAPSHOT is text-only".into()));
         }
         let reply = self.round_trip(&format!("SNAPSHOT {path}"))?;
+        parse_field(self.expect_prefix(&reply, "OK")?, &reply)
+    }
+
+    /// Binary `SNAPSHOT` → the server's checkpoint bytes, fetched
+    /// inline over the wire. Binary-protocol only.
+    pub fn snapshot_fetch(&mut self) -> ClientResult<Vec<u8>> {
+        if self.proto != WireProto::Bin {
+            return Err(ClientError::Protocol(
+                "inline SNAPSHOT fetch is binary-only".into(),
+            ));
+        }
+        match self.bin_round_trip(|b| bin_proto::put_simple(b, bin_proto::REQ_SNAPSHOT))? {
+            Reply::Snapshot(bytes) => Ok(bytes),
+            other => self.bin_unexpected("SNAPSHOT", &other),
+        }
+    }
+
+    /// `MAP` → the node's current partition map. Text-protocol only.
+    pub fn map(&mut self) -> ClientResult<PartitionMap> {
+        if self.proto == WireProto::Bin {
+            return Err(ClientError::Protocol("MAP is text-only".into()));
+        }
+        let reply = self.round_trip("MAP")?;
+        let rest = self.expect_prefix(&reply, "MAP ")?;
+        PartitionMap::from_wire(rest).map_err(ClientError::Protocol)
+    }
+
+    /// `MAPSET` → pushes a partition map to the node; returns the
+    /// version it runs afterwards. Text-protocol only.
+    pub fn mapset(&mut self, map: &PartitionMap) -> ClientResult<u64> {
+        if self.proto == WireProto::Bin {
+            return Err(ClientError::Protocol("MAPSET is text-only".into()));
+        }
+        let reply = self.round_trip(&format!("MAPSET {}", map.to_wire()))?;
+        parse_field(self.expect_prefix(&reply, "OK")?, &reply)
+    }
+
+    /// `MIGRATE slice target` → hands a slice to another node; returns
+    /// the bumped map version. Text-protocol only.
+    pub fn migrate(&mut self, slice: u32, target: u32) -> ClientResult<u64> {
+        if self.proto == WireProto::Bin {
+            return Err(ClientError::Protocol("MIGRATE is text-only".into()));
+        }
+        let reply = self.round_trip(&format!("MIGRATE {slice} {target}"))?;
+        parse_field(self.expect_prefix(&reply, "OK")?, &reply)
+    }
+
+    /// `ADOPT` → ships `bytes` (a key-filtered checkpoint) for `slice`
+    /// to the node; returns the tuple count applied to converge. Text
+    /// header, raw binary body. Text-protocol only.
+    pub fn adopt(&mut self, slice: u32, version: u64, bytes: &[u8]) -> ClientResult<u64> {
+        if self.proto == WireProto::Bin {
+            return Err(ClientError::Protocol("ADOPT is text-only".into()));
+        }
+        self.writer
+            .write_all(format!("ADOPT {slice} {version} {}\n", bytes.len()).as_bytes())?;
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        let reply = self.recv_ok()?;
         parse_field(self.expect_prefix(&reply, "OK")?, &reply)
     }
 

@@ -1,0 +1,534 @@
+//! The server-side cluster layer: slice ownership, masked queries, and
+//! the migration source/sink plumbing.
+//!
+//! A cluster node is an ordinary full-universe server plus a
+//! [`ClusterState`]: the node's index, the current versioned
+//! [`PartitionMap`], and the `moved`/`migration` counters. Ownership is
+//! per *hash slice* (`slice_of(x) = x % slices`, the same modulo
+//! placement `ShardedProfile` uses across threads), so the object
+//! universe is partitioned exactly — every object has one owner, and
+//! the union of all nodes' owned sets is the whole universe.
+//!
+//! That partition is what makes scatter-gather exact: each query below
+//! masks the backend's full frequency vector to the owned objects with
+//! the same tie-breaking rules the single-profile code uses (mode/least
+//! ties break to the smallest id, top-k orders by frequency descending
+//! then id ascending with the cut-straddling tie class over-fetched),
+//! so a router merging per-node answers reproduces the single-profile
+//! answer bit for bit — the `ShardedProfile` merge argument, lifted to
+//! nodes.
+//!
+//! Writes for objects this node does not own are refused whole-frame
+//! with the typed redirect `ERR moved <ver>`; a router that sees it
+//! refetches the map and retries, so a rebalance needs no client
+//! coordination beyond the version bump.
+
+use std::path::PathBuf;
+use std::sync::RwLock;
+
+use sprofile_persist::{read_partition_map, write_partition_map, PartitionMap};
+
+use crate::backend::Backend;
+use crate::metrics::Counter;
+
+/// Cluster membership knobs (`cluster-serve`): the shared topology every
+/// node and router derives the bootstrap map from.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Hash slices the universe is split into (finer than the node
+    /// count, so a rebalance can move less than a whole node's share).
+    pub slices: u32,
+    /// This node's index into `nodes`.
+    pub node: u32,
+    /// Every node's client address, in index order.
+    pub nodes: Vec<String>,
+}
+
+/// Live cluster state hung off the server's `Shared`.
+pub(crate) struct ClusterState {
+    node: u32,
+    map: RwLock<PartitionMap>,
+    /// WAL directory the map marker persists in (`None`: map survives
+    /// only as long as the process).
+    dir: Option<PathBuf>,
+    /// Write frames refused with `ERR moved <ver>`.
+    pub(crate) moved_rejects: Counter,
+    /// Slice migrations completed with this node as the source.
+    pub(crate) migrations: Counter,
+}
+
+/// An immutable ownership snapshot, taken once per request so a map
+/// flip mid-request cannot split one frame's view of ownership.
+pub(crate) struct Mask {
+    slices: u32,
+    owners: Vec<u32>,
+    node: u32,
+}
+
+impl Mask {
+    /// Whether this node owns object `x`.
+    #[inline]
+    pub(crate) fn owned(&self, x: u32) -> bool {
+        self.owners[(x % self.slices) as usize] == self.node
+    }
+}
+
+impl ClusterState {
+    /// Builds the state for `cfg`, preferring a persisted map marker in
+    /// `dir` (same topology only) over the canonical bootstrap map.
+    pub(crate) fn new(cfg: &ClusterConfig, dir: Option<PathBuf>) -> Result<ClusterState, String> {
+        if (cfg.node as usize) >= cfg.nodes.len() {
+            return Err(format!(
+                "cluster node index {} out of range ({} node(s))",
+                cfg.node,
+                cfg.nodes.len()
+            ));
+        }
+        let bootstrap = PartitionMap::round_robin(cfg.slices, cfg.nodes.clone());
+        bootstrap.validate()?;
+        let map = match dir.as_ref().and_then(|d| read_partition_map(d)) {
+            // A persisted map only wins when it describes the same
+            // topology; changing `--cluster` flags resets to bootstrap.
+            Some(m) if m.slices == bootstrap.slices && m.nodes.len() == bootstrap.nodes.len() => m,
+            _ => bootstrap,
+        };
+        Ok(ClusterState {
+            node: cfg.node,
+            map: RwLock::new(map),
+            dir,
+            moved_rejects: Counter::default(),
+            migrations: Counter::default(),
+        })
+    }
+
+    /// This node's index.
+    pub(crate) fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// The current map version.
+    pub(crate) fn version(&self) -> u64 {
+        self.map.read().expect("map lock poisoned").version
+    }
+
+    /// The current map's wire encoding (the `MAP` reply payload).
+    pub(crate) fn wire(&self) -> String {
+        self.map.read().expect("map lock poisoned").to_wire()
+    }
+
+    /// A clone of the current map (the `MAPSET` payload a migration
+    /// source pushes to the target after the flip).
+    pub(crate) fn current_map(&self) -> PartitionMap {
+        self.map.read().expect("map lock poisoned").clone()
+    }
+
+    /// A point-in-time ownership snapshot.
+    pub(crate) fn mask(&self) -> Mask {
+        let map = self.map.read().expect("map lock poisoned");
+        Mask {
+            slices: map.slices,
+            owners: map.owners.clone(),
+            node: self.node,
+        }
+    }
+
+    /// The slice count.
+    pub(crate) fn slices(&self) -> u32 {
+        self.map.read().expect("map lock poisoned").slices
+    }
+
+    /// The client address of node `index` under the current map.
+    pub(crate) fn node_addr(&self, index: u32) -> Option<String> {
+        let map = self.map.read().expect("map lock poisoned");
+        map.nodes.get(index as usize).cloned()
+    }
+
+    /// The owner of `slice` under the current map.
+    pub(crate) fn owner_of_slice(&self, slice: u32) -> Option<u32> {
+        let map = self.map.read().expect("map lock poisoned");
+        map.owners.get(slice as usize).copied()
+    }
+
+    /// The `ERR moved <ver>` body for the current map version.
+    pub(crate) fn moved_msg(&self) -> String {
+        format!("moved {}", self.version())
+    }
+
+    /// Installs `new` if it is strictly newer and describes the same
+    /// topology shape; an older or equal version is an idempotent no-op.
+    /// Returns the version now in effect.
+    pub(crate) fn install(&self, new: PartitionMap) -> Result<u64, String> {
+        new.validate()?;
+        let mut map = self.map.write().expect("map lock poisoned");
+        if new.slices != map.slices || new.nodes.len() != map.nodes.len() {
+            return Err(format!(
+                "map shape mismatch: have {} slice(s) x {} node(s), got {} x {}",
+                map.slices,
+                map.nodes.len(),
+                new.slices,
+                new.nodes.len()
+            ));
+        }
+        if new.version <= map.version {
+            return Ok(map.version);
+        }
+        self.persist(&new);
+        *map = new;
+        Ok(map.version)
+    }
+
+    /// The migration flip: reassigns `slice` from this node to `target`
+    /// and bumps the version. From the moment this returns, writes for
+    /// the slice are refused with the *new* version.
+    pub(crate) fn flip_owner(&self, slice: u32, target: u32) -> Result<u64, String> {
+        let mut map = self.map.write().expect("map lock poisoned");
+        let Some(owner) = map.owners.get(slice as usize).copied() else {
+            return Err(format!("slice {slice} out of range ({})", map.slices));
+        };
+        if owner != self.node {
+            return Err(format!(
+                "slice {slice} is owned by node {owner}, not this node"
+            ));
+        }
+        if target as usize >= map.nodes.len() {
+            return Err(format!(
+                "target node {target} out of range ({} node(s))",
+                map.nodes.len()
+            ));
+        }
+        map.owners[slice as usize] = target;
+        map.version += 1;
+        let snapshot = map.clone();
+        self.persist(&snapshot);
+        Ok(map.version)
+    }
+
+    /// Best-effort durable write of the map marker. A failed write only
+    /// costs a restart falling back to an older (or bootstrap) map —
+    /// routers re-learn the truth from `ERR moved` redirects.
+    fn persist(&self, map: &PartitionMap) {
+        if let Some(dir) = &self.dir {
+            let _ = write_partition_map(dir, map);
+        }
+    }
+
+    /// The `STATS` fragment (leading space included).
+    pub(crate) fn stats_frag(&self) -> String {
+        let map = self.map.read().expect("map lock poisoned");
+        let owned = map.owners.iter().filter(|&&o| o == self.node).count();
+        format!(
+            " cluster_slices={} cluster_node={} cluster_owned={} map_version={} moved_rejects={} migrations={}",
+            map.slices,
+            self.node,
+            owned,
+            map.version,
+            self.moved_rejects.get(),
+            self.migrations.get()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Masked queries: the single-node half of exact scatter-gather.
+// ---------------------------------------------------------------------
+
+/// Masked mode: the most frequent *owned* object, ties to the smallest
+/// id (the [`ShardedProfile::mode`] rule). `None` when this node owns
+/// nothing.
+pub(crate) fn masked_mode(mask: &Mask, backend: &Backend) -> Option<(u32, i64)> {
+    masked_extreme(mask, backend, |cand, best| cand > best)
+}
+
+/// Masked least-frequent counterpart of [`masked_mode`].
+pub(crate) fn masked_least(mask: &Mask, backend: &Backend) -> Option<(u32, i64)> {
+    masked_extreme(mask, backend, |cand, best| cand < best)
+}
+
+fn masked_extreme(
+    mask: &Mask,
+    backend: &Backend,
+    beats: impl Fn(i64, i64) -> bool,
+) -> Option<(u32, i64)> {
+    let freqs = backend.frequencies();
+    let mut best: Option<(u32, i64)> = None;
+    // Ascending id order, strict comparison: the first owned object at
+    // the winning frequency is the smallest id holding it.
+    for (x, &f) in freqs.iter().enumerate() {
+        if !mask.owned(x as u32) {
+            continue;
+        }
+        match best {
+            Some((_, bf)) if !beats(f, bf) => {}
+            _ => best = Some((x as u32, f)),
+        }
+    }
+    best
+}
+
+/// Masked lower median: position `⌊(n−1)/2⌋` of the sorted frequencies
+/// of the *owned* objects only. Well-defined per node, but per-node
+/// medians do not merge — the router derives the global median from
+/// masked `CAL` instead.
+pub(crate) fn masked_median(mask: &Mask, backend: &Backend) -> Option<i64> {
+    let freqs = backend.frequencies();
+    let mut owned: Vec<i64> = freqs
+        .iter()
+        .enumerate()
+        .filter(|&(x, _)| mask.owned(x as u32))
+        .map(|(_, &f)| f)
+        .collect();
+    if owned.is_empty() {
+        return None;
+    }
+    let mid = (owned.len() - 1) / 2;
+    let (_, median, _) = owned.select_nth_unstable(mid);
+    Some(*median)
+}
+
+/// Masked top-k **with ties over-fetched at the cut**, mirroring
+/// [`SProfile::top_k_with_ties`]: frequency descending, ids ascending
+/// within a frequency, every class above the cut whole, and the class
+/// straddling the cut truncated to its `k` smallest ids (so at most
+/// `2k − 1` entries). Arbitrarily truncating at `k` could drop a
+/// small-id tied object while another node's larger-id tied object
+/// survived the merge — the same argument as the sharded top-k.
+pub(crate) fn masked_top_k(mask: &Mask, backend: &Backend, k: u32) -> Vec<(u32, i64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let freqs = backend.frequencies();
+    let mut owned: Vec<(u32, i64)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|&(x, _)| mask.owned(x as u32))
+        .map(|(x, &f)| (x as u32, f))
+        .collect();
+    owned.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let k = k as usize;
+    if owned.len() <= k {
+        return owned;
+    }
+    let cut = owned[k - 1].1;
+    let class_start = owned.partition_point(|&(_, f)| f > cut);
+    let class_len = owned[class_start..].partition_point(|&(_, f)| f == cut);
+    owned.truncate(class_start + class_len.min(k));
+    owned
+}
+
+/// Masked `CAL`: owned objects with frequency ≥ `threshold`. Summing
+/// this across nodes gives the exact global count (ownership is a
+/// partition of the universe), which is also how the router bisects
+/// for the global median.
+pub(crate) fn masked_count_at_least(mask: &Mask, backend: &Backend, threshold: i64) -> u32 {
+    backend
+        .frequencies()
+        .iter()
+        .enumerate()
+        .filter(|&(x, &f)| mask.owned(x as u32) && f >= threshold)
+        .count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendKind, BackendOwner};
+    use sprofile::{SProfile, Tuple};
+
+    fn state(slices: u32, node: u32, nodes: usize) -> ClusterState {
+        let cfg = ClusterConfig {
+            slices,
+            node,
+            nodes: (0..nodes)
+                .map(|i| format!("127.0.0.1:{}", 7979 + i))
+                .collect(),
+        };
+        ClusterState::new(&cfg, None).unwrap()
+    }
+
+    fn seeded_backend(m: u32, tuples: &[Tuple]) -> (BackendOwner, Backend) {
+        let owner = BackendOwner::build(BackendKind::Sharded { shards: 2 }, m);
+        let b = owner.backend();
+        b.apply_batch(tuples);
+        b.drain();
+        (owner, b)
+    }
+
+    #[test]
+    fn config_validation() {
+        let cfg = ClusterConfig {
+            slices: 4,
+            node: 3,
+            nodes: vec!["a:1".into(), "b:2".into()],
+        };
+        assert!(ClusterState::new(&cfg, None).is_err(), "node out of range");
+    }
+
+    #[test]
+    fn masks_follow_the_round_robin_map() {
+        let cs = state(6, 1, 3);
+        let mask = cs.mask();
+        for x in 0..24u32 {
+            assert_eq!(mask.owned(x), (x % 6) % 3 == 1, "object {x}");
+        }
+        assert_eq!(cs.version(), 1);
+        assert!(cs.moved_msg().starts_with("moved 1"));
+    }
+
+    #[test]
+    fn flip_owner_bumps_version_and_refuses_bad_flips() {
+        let cs = state(4, 0, 2);
+        assert!(cs.flip_owner(1, 0).is_err(), "slice 1 owned by node 1");
+        assert!(cs.flip_owner(9, 1).is_err(), "slice out of range");
+        assert!(cs.flip_owner(0, 7).is_err(), "target out of range");
+        assert_eq!(cs.flip_owner(0, 1).unwrap(), 2);
+        assert!(!cs.mask().owned(0), "slice 0 moved away");
+        assert_eq!(cs.owner_of_slice(0), Some(1));
+        assert_eq!(cs.version(), 2);
+    }
+
+    #[test]
+    fn install_is_newer_wins_and_shape_checked() {
+        let cs = state(4, 0, 2);
+        let mut newer = PartitionMap::from_wire(&cs.wire()).unwrap();
+        newer.version = 5;
+        newer.owners[2] = 1;
+        assert_eq!(cs.install(newer.clone()).unwrap(), 5);
+        // Equal or older: idempotent no-op at the current version.
+        assert_eq!(cs.install(newer.clone()).unwrap(), 5);
+        let mut bad = newer.clone();
+        bad.version = 9;
+        bad.slices = 8;
+        bad.owners = vec![0; 8];
+        assert!(cs.install(bad).is_err(), "shape mismatch");
+        assert!(!cs.mask().owned(2), "installed map took effect");
+    }
+
+    /// The load-bearing exactness property: per-node masked answers,
+    /// merged with the single-profile rules, equal the single-profile
+    /// answers — for every query, on an adversarial tie-heavy stream.
+    #[test]
+    fn masked_queries_merge_to_the_oracle() {
+        let m = 64u32;
+        let slices = 7u32;
+        let nodes = 3u32;
+        let mut tuples = Vec::new();
+        // Tie-heavy: frequencies collide across slice boundaries.
+        for x in 0..m {
+            for _ in 0..(x % 5) {
+                tuples.push(Tuple::add(x));
+            }
+            if x % 11 == 0 {
+                tuples.push(Tuple::remove(x));
+            }
+        }
+        let mut oracle = SProfile::new(m);
+        for &t in &tuples {
+            oracle.apply(t);
+        }
+        let (_owners, backends): (Vec<_>, Vec<_>) =
+            (0..nodes).map(|_| seeded_backend(m, &tuples)).unzip();
+        let states: Vec<ClusterState> = (0..nodes)
+            .map(|n| state(slices, n, nodes as usize))
+            .collect();
+
+        // MODE / LEAST merge with the same comparator chain.
+        let mode = states
+            .iter()
+            .zip(&backends)
+            .filter_map(|(cs, b)| masked_mode(&cs.mask(), b))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .unwrap();
+        let oracle_mode = oracle.mode().unwrap();
+        let oracle_mode_obj = oracle.mode_objects().iter().copied().min().unwrap();
+        assert_eq!(mode, (oracle_mode_obj, oracle_mode.frequency));
+        let least = states
+            .iter()
+            .zip(&backends)
+            .filter_map(|(cs, b)| masked_least(&cs.mask(), b))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+            .unwrap();
+        let oracle_least = oracle.least().unwrap();
+        let oracle_least_obj = oracle.least_objects().iter().copied().min().unwrap();
+        assert_eq!(least, (oracle_least_obj, oracle_least.frequency));
+
+        // TOPK: concat over-fetched lists, one sort, truncate.
+        for k in [1u32, 3, 5, 16, 64] {
+            let mut all: Vec<(u32, i64)> = states
+                .iter()
+                .zip(&backends)
+                .flat_map(|(cs, b)| masked_top_k(&cs.mask(), b, k))
+                .collect();
+            all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            all.truncate(k as usize);
+            assert_eq!(all, oracle.top_k(k), "k={k}");
+        }
+
+        // CAL sums exactly; the median bisection rides on it.
+        for t in -2..=6 {
+            let total: u32 = states
+                .iter()
+                .zip(&backends)
+                .map(|(cs, b)| masked_count_at_least(&cs.mask(), b, t))
+                .sum();
+            assert_eq!(total, oracle.count_at_least(t), "threshold {t}");
+        }
+        let rank = m as u64 - (m as u64 - 1) / 2;
+        let cal = |v: i64| -> u64 {
+            states
+                .iter()
+                .zip(&backends)
+                .map(|(cs, b)| masked_count_at_least(&cs.mask(), b, v) as u64)
+                .sum()
+        };
+        let (mut lo, mut hi) = (least.1, mode.1);
+        while lo < hi {
+            let mid = lo + (hi - lo + 1) / 2;
+            if cal(mid) >= rank {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        assert_eq!(Some(lo), oracle.median(), "bisected global median");
+
+        // Node-local median is still well-defined over the owned set.
+        let owned: Vec<i64> = (0..m)
+            .filter(|&x| states[0].mask().owned(x))
+            .map(|x| oracle.frequency(x))
+            .collect();
+        let mut sorted = owned.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            masked_median(&states[0].mask(), &backends[0]),
+            Some(sorted[(sorted.len() - 1) / 2])
+        );
+    }
+
+    #[test]
+    fn persisted_map_survives_a_restart_only_for_the_same_topology() {
+        let dir =
+            std::env::temp_dir().join(format!("sprofile-cluster-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ClusterConfig {
+            slices: 4,
+            node: 0,
+            nodes: vec!["a:1".into(), "b:2".into()],
+        };
+        let cs = ClusterState::new(&cfg, Some(dir.clone())).unwrap();
+        assert_eq!(cs.flip_owner(0, 1).unwrap(), 2);
+        drop(cs);
+        let cs = ClusterState::new(&cfg, Some(dir.clone())).unwrap();
+        assert_eq!(cs.version(), 2, "flip persisted across restart");
+        assert!(!cs.mask().owned(0));
+        // A topology change falls back to bootstrap.
+        let wider = ClusterConfig {
+            slices: 8,
+            node: 0,
+            nodes: cfg.nodes.clone(),
+        };
+        let cs = ClusterState::new(&wider, Some(dir.clone())).unwrap();
+        assert_eq!(cs.version(), 1, "different topology resets");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -23,11 +23,14 @@ use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use sprofile::Tuple;
+use sprofile::{SProfile, Tuple};
+use sprofile_persist::slice_snapshot_bytes;
 use sprofile_replicate::frame::TUPLE_BYTES;
 
 use crate::backend::Backend;
 use crate::bin_proto;
+use crate::client::Client;
+use crate::cluster;
 use crate::metrics::Metrics;
 use crate::protocol::{self, Request, WireProto};
 use crate::server::{flush_pending, resolve_snapshot_path, Shared};
@@ -71,6 +74,21 @@ enum Step {
     Stream { start_lsn: u64, epoch: u64 },
 }
 
+/// Mid-`ADOPT` body state: the header line was consumed, the raw
+/// snapshot bytes are still arriving. The body is consumed into its own
+/// buffer incrementally (not held in `rbuf`), so a snapshot larger than
+/// [`MAX_FRAME_BYTES`] still fits — the header's `nbytes` is bounded by
+/// [`protocol::MAX_ADOPT_BYTES`].
+struct AdoptBody {
+    slice: u32,
+    want: usize,
+    buf: Vec<u8>,
+    /// Refusal sampled at header time (no cluster, readonly, WAL
+    /// failed…); the body is consumed regardless so the connection
+    /// stays in sync.
+    refuse: Option<String>,
+}
+
 /// Mid-`BATCH` body state (text mode): the header was consumed, the
 /// body lines are still arriving.
 struct TextBatch {
@@ -95,6 +113,7 @@ pub(crate) struct Conn {
     pub(crate) pending: Vec<Tuple>,
     proto: WireProto,
     batch: Option<TextBatch>,
+    adopt: Option<AdoptBody>,
     eof: bool,
     done: bool,
 }
@@ -111,6 +130,7 @@ impl Conn {
             pending: Vec::with_capacity(flush_every),
             proto,
             batch: None,
+            adopt: None,
             eof: false,
             done: false,
         }
@@ -331,6 +351,9 @@ impl Conn {
     // ----- text mode -------------------------------------------------
 
     fn step_text(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
+        if self.adopt.is_some() {
+            return self.step_adopt_body(backend, shared);
+        }
         if self.batch.is_some() {
             return self.step_text_batch_body(backend, shared);
         }
@@ -416,6 +439,19 @@ impl Conn {
             self.error(shared, "wal failed; writes refused (fail over or restart)");
             return;
         }
+        // Cluster ownership gate: a frame touching any non-owned object
+        // is refused whole with the typed `ERR moved <ver>` redirect —
+        // partially applying a frame would make retries non-idempotent.
+        if error.is_none() {
+            if let Some(cs) = &shared.cluster {
+                let mask = cs.mask();
+                if tuples.iter().any(|t| !mask.owned(t.object)) {
+                    cs.moved_rejects.inc();
+                    self.error(shared, &cs.moved_msg());
+                    return;
+                }
+            }
+        }
         match error {
             Some(msg) => self.error(shared, &msg),
             None => {
@@ -429,6 +465,155 @@ impl Conn {
                 }
             }
         }
+    }
+
+    /// Consumes `ADOPT` body bytes into the adopt buffer; finalises once
+    /// the full snapshot has arrived.
+    fn step_adopt_body(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
+        let state = self.adopt.as_mut().expect("adopt state present");
+        let take = (state.want - state.buf.len()).min(self.rbuf.len() - self.rpos);
+        state
+            .buf
+            .extend_from_slice(&self.rbuf[self.rpos..self.rpos + take]);
+        let complete = state.buf.len() == state.want;
+        self.rpos += take;
+        if !complete {
+            return Step::NeedMore;
+        }
+        let state = self.adopt.take().expect("adopt state present");
+        self.finish_adopt(state, backend, shared);
+        Step::Progress
+    }
+
+    /// The migration sink: turns a shipped key-filtered snapshot into a
+    /// per-object delta against the local state and applies it through
+    /// the normal write path — WAL-logged and auto-replicated to this
+    /// node's replicas, exactly like client writes. Idempotent: adopting
+    /// the same snapshot twice produces an empty second delta, which is
+    /// what lets the migration source re-ship until convergence.
+    fn finish_adopt(&mut self, state: AdoptBody, backend: &Backend, shared: &Arc<Shared>) {
+        if let Some(msg) = state.refuse {
+            self.error(shared, &msg);
+            return;
+        }
+        let Some(cs) = &shared.cluster else {
+            self.error(shared, "not a cluster node");
+            return;
+        };
+        let shipped = match SProfile::from_snapshot_bytes(&state.buf) {
+            Ok(p) => p,
+            Err(e) => {
+                self.error(shared, &format!("ADOPT snapshot invalid: {e}"));
+                return;
+            }
+        };
+        if shipped.num_objects() != shared.m {
+            self.error(
+                shared,
+                &format!(
+                    "ADOPT universe mismatch: snapshot m={}, server m={}",
+                    shipped.num_objects(),
+                    shared.m
+                ),
+            );
+            return;
+        }
+        // Settle local state before diffing against it.
+        flush_pending(&mut self.pending, backend, shared);
+        backend.drain();
+        let current = backend.frequencies();
+        let slices = cs.slices();
+        let mut delta: Vec<Tuple> = Vec::new();
+        for x in (state.slice..shared.m).step_by(slices.max(1) as usize) {
+            let have = current[x as usize];
+            let want = shipped.frequency(x);
+            let is_add = want > have;
+            for _ in 0..want.abs_diff(have) {
+                delta.push(Tuple { object: x, is_add });
+            }
+        }
+        let applied = delta.len();
+        for chunk in delta.chunks(protocol::MAX_BATCH) {
+            self.pending.extend_from_slice(chunk);
+            flush_pending(&mut self.pending, backend, shared);
+        }
+        self.out_line(&format!("OK {applied}"));
+    }
+
+    /// The migration source: ships `slice` to `target` (bulk `ADOPT`),
+    /// flips the local map (new writes for the slice are refused with
+    /// the bumped version from that point), re-ships until the slice is
+    /// stable, and finally pushes the new map to the target. Runs
+    /// inline on the event-loop worker — an admin operation, not a data
+    /// path. Global queries racing the window between the flip and the
+    /// target's `MAPSET` may exclude the migrating slice; routers treat
+    /// `MIGRATE` as a barrier.
+    fn do_migrate(
+        &mut self,
+        slice: u32,
+        target: u32,
+        backend: &Backend,
+        shared: &Arc<Shared>,
+    ) -> Result<u64, String> {
+        let Some(cs) = &shared.cluster else {
+            return Err("not a cluster node".into());
+        };
+        if shared.readonly() {
+            return Err("readonly".into());
+        }
+        if shared.wal_failed() {
+            return Err("wal failed; writes refused (fail over or restart)".into());
+        }
+        let owner = cs
+            .owner_of_slice(slice)
+            .ok_or_else(|| format!("slice {slice} out of range ({})", cs.slices()))?;
+        if owner != cs.node() {
+            return Err(format!(
+                "slice {slice} is owned by node {owner}, not this node"
+            ));
+        }
+        if target == cs.node() {
+            return Err("target is this node".into());
+        }
+        let addr = cs
+            .node_addr(target)
+            .ok_or_else(|| format!("target node {target} out of range"))?;
+        flush_pending(&mut self.pending, backend, shared);
+        backend.drain();
+        let slices = cs.slices();
+        let mut client = Client::connect(&addr).map_err(|e| format!("connect to {addr}: {e}"))?;
+        // Bulk ship while still owning the slice (writes keep flowing).
+        let mut shipped = slice_snapshot_bytes(&backend.frequencies(), slices, slice);
+        client
+            .adopt(slice, cs.version(), &shipped)
+            .map_err(|e| format!("bulk ADOPT: {e}"))?;
+        // Flip: from here, writes for the slice get `ERR moved <v+1>`.
+        let new_version = cs.flip_owner(slice, target)?;
+        // Catch-up: frames accepted before the flip may still land after
+        // the bulk read; re-ship (idempotent deltas) until stable. With
+        // `flush_every` 1 every acked tuple is visible by the time its
+        // OK went out, so a stable re-read means nothing acked is
+        // missing.
+        for _ in 0..100 {
+            backend.drain();
+            let now = slice_snapshot_bytes(&backend.frequencies(), slices, slice);
+            if now == shipped {
+                break;
+            }
+            client
+                .adopt(slice, new_version, &now)
+                .map_err(|e| format!("catch-up ADOPT: {e}"))?;
+            shipped = now;
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // Hand the flipped map to the new owner; everyone else learns
+        // from `ERR moved` redirects.
+        client
+            .mapset(&cs.current_map())
+            .map_err(|e| format!("MAPSET on target: {e}"))?;
+        let _ = client.quit();
+        cs.migrations.inc();
+        Ok(new_version)
     }
 
     fn dispatch_text(&mut self, req: Request, backend: &Backend, shared: &Arc<Shared>) -> Step {
@@ -448,6 +633,13 @@ impl Conn {
                         &format!("object {id} outside universe [0, {})", shared.m),
                     );
                     return Step::Progress;
+                }
+                if let Some(cs) = &shared.cluster {
+                    if !cs.mask().owned(id) {
+                        cs.moved_rejects.inc();
+                        self.error(shared, &cs.moved_msg());
+                        return Step::Progress;
+                    }
                 }
                 let is_add = matches!(req, Request::Add(_));
                 if is_add {
@@ -476,7 +668,11 @@ impl Conn {
             Request::Mode => {
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
-                match backend.mode() {
+                let pair = match &shared.cluster {
+                    Some(cs) => cluster::masked_mode(&cs.mask(), backend),
+                    None => backend.mode(),
+                };
+                match pair {
                     Some((obj, f)) => self.out_line(&format!("MODE {obj} {f}")),
                     None => self.out_line("NONE"),
                 }
@@ -484,7 +680,11 @@ impl Conn {
             Request::Least => {
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
-                match backend.least() {
+                let pair = match &shared.cluster {
+                    Some(cs) => cluster::masked_least(&cs.mask(), backend),
+                    None => backend.least(),
+                };
+                match pair {
                     Some((obj, f)) => self.out_line(&format!("LEAST {obj} {f}")),
                     None => self.out_line("NONE"),
                 }
@@ -497,6 +697,12 @@ impl Conn {
                     );
                     return Step::Progress;
                 }
+                if let Some(cs) = &shared.cluster {
+                    if !cs.mask().owned(id) {
+                        self.error(shared, &cs.moved_msg());
+                        return Step::Progress;
+                    }
+                }
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
                 let f = backend.frequency(id);
@@ -505,7 +711,11 @@ impl Conn {
             Request::Median => {
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
-                match backend.median() {
+                let median = match &shared.cluster {
+                    Some(cs) => cluster::masked_median(&cs.mask(), backend),
+                    None => backend.median(),
+                };
+                match median {
                     Some(f) => self.out_line(&format!("MEDIAN {f}")),
                     None => self.out_line("NONE"),
                 }
@@ -515,7 +725,10 @@ impl Conn {
                 self.metrics(shared).queries.inc();
                 // Clamp so a hostile k cannot force an over-allocation
                 // in the per-shard merge.
-                let entries = backend.top_k(k.min(shared.m));
+                let entries = match &shared.cluster {
+                    Some(cs) => cluster::masked_top_k(&cs.mask(), backend, k.min(shared.m)),
+                    None => backend.top_k(k.min(shared.m)),
+                };
                 self.out_line(&format!("TOPK {}", entries.len()));
                 for (obj, f) in entries {
                     self.out_line(&format!("{obj} {f}"));
@@ -524,7 +737,10 @@ impl Conn {
             Request::Cal(threshold) => {
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
-                let count = backend.count_at_least(threshold);
+                let count = match &shared.cluster {
+                    Some(cs) => cluster::masked_count_at_least(&cs.mask(), backend, threshold),
+                    None => backend.count_at_least(threshold),
+                };
                 self.out_line(&format!("CAL {count}"));
             }
             Request::Stats => {
@@ -602,6 +818,60 @@ impl Conn {
                 let applied = replica.stats.applied_lsn();
                 self.out_line(&format!("OK {applied} {epoch}"));
             }
+            Request::Map => {
+                let Some(cs) = &shared.cluster else {
+                    self.error(shared, "not a cluster node");
+                    return Step::Progress;
+                };
+                self.out_line(&format!("MAP {}", cs.wire()));
+            }
+            Request::MapSet(map) => {
+                let Some(cs) = &shared.cluster else {
+                    self.error(shared, "not a cluster node");
+                    return Step::Progress;
+                };
+                match cs.install(map) {
+                    Ok(v) => self.out_line(&format!("OK {v}")),
+                    Err(msg) => self.error(shared, &msg),
+                }
+            }
+            Request::Migrate { slice, target } => {
+                match self.do_migrate(slice, target, backend, shared) {
+                    Ok(v) => self.out_line(&format!("OK {v}")),
+                    Err(msg) => self.error(shared, &msg),
+                }
+            }
+            Request::Adopt {
+                slice,
+                version: _,
+                nbytes,
+            } => {
+                // Refusal is sampled here (like BATCH's write gates) but
+                // the raw body is consumed either way so the connection
+                // stays in sync.
+                let refuse = if shared.cluster.is_none() {
+                    Some("not a cluster node".to_string())
+                } else if shared.readonly() {
+                    Some("readonly".to_string())
+                } else if shared.wal_failed() {
+                    Some("wal failed; writes refused (fail over or restart)".to_string())
+                } else if shared
+                    .cluster
+                    .as_ref()
+                    .is_some_and(|cs| slice >= cs.slices())
+                {
+                    Some(format!("slice {slice} out of range"))
+                } else {
+                    None
+                };
+                self.adopt = Some(AdoptBody {
+                    slice,
+                    want: nbytes,
+                    buf: Vec::with_capacity(nbytes.min(MAX_FRAME_BYTES)),
+                    refuse,
+                });
+                return self.step_adopt_body(backend, shared);
+            }
             Request::BinUpgrade => {
                 // The acknowledgement is still a text line; everything
                 // after it (in either direction) is binary.
@@ -637,7 +907,10 @@ impl Conn {
                 self.rpos += 1;
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
-                let pair = backend.mode();
+                let pair = match &shared.cluster {
+                    Some(cs) => cluster::masked_mode(&cs.mask(), backend),
+                    None => backend.mode(),
+                };
                 bin_proto::put_pair(&mut self.wbuf, pair);
                 Step::Progress
             }
@@ -645,7 +918,10 @@ impl Conn {
                 self.rpos += 1;
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
-                let pair = backend.least();
+                let pair = match &shared.cluster {
+                    Some(cs) => cluster::masked_least(&cs.mask(), backend),
+                    None => backend.least(),
+                };
                 bin_proto::put_pair(&mut self.wbuf, pair);
                 Step::Progress
             }
@@ -653,7 +929,10 @@ impl Conn {
                 self.rpos += 1;
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
-                let median = backend.median();
+                let median = match &shared.cluster {
+                    Some(cs) => cluster::masked_median(&cs.mask(), backend),
+                    None => backend.median(),
+                };
                 bin_proto::put_median(&mut self.wbuf, median);
                 Step::Progress
             }
@@ -676,6 +955,12 @@ impl Conn {
                     );
                     return Step::Progress;
                 }
+                if let Some(cs) = &shared.cluster {
+                    if !cs.mask().owned(id) {
+                        self.error(shared, &cs.moved_msg());
+                        return Step::Progress;
+                    }
+                }
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
                 let f = backend.frequency(id);
@@ -689,7 +974,10 @@ impl Conn {
                 self.rpos += 5;
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
-                let entries = backend.top_k(k.min(shared.m));
+                let entries = match &shared.cluster {
+                    Some(cs) => cluster::masked_top_k(&cs.mask(), backend, k.min(shared.m)),
+                    None => backend.top_k(k.min(shared.m)),
+                };
                 bin_proto::put_topk_reply(&mut self.wbuf, &entries);
                 Step::Progress
             }
@@ -705,8 +993,26 @@ impl Conn {
                 self.rpos += 9;
                 flush_pending(&mut self.pending, backend, shared);
                 self.metrics(shared).queries.inc();
-                let count = backend.count_at_least(threshold);
+                let count = match &shared.cluster {
+                    Some(cs) => cluster::masked_count_at_least(&cs.mask(), backend, threshold),
+                    None => backend.count_at_least(threshold),
+                };
                 bin_proto::put_cal_reply(&mut self.wbuf, count);
+                Step::Progress
+            }
+            bin_proto::REQ_SNAPSHOT => {
+                self.rpos += 1;
+                flush_pending(&mut self.pending, backend, shared);
+                backend.drain();
+                match backend.validated_snapshot_bytes() {
+                    Ok(bytes) => {
+                        self.metrics(shared).snapshots.inc();
+                        bin_proto::put_snapshot_reply(&mut self.wbuf, &bytes);
+                    }
+                    Err(e) => {
+                        self.error(shared, &format!("snapshot validation failed: {e}"));
+                    }
+                }
                 Step::Progress
             }
             bin_proto::REQ_QUIT => {

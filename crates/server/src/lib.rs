@@ -54,6 +54,7 @@
 mod backend;
 pub mod bin_proto;
 pub mod client;
+mod cluster;
 mod conn;
 mod durability;
 mod failover;
@@ -66,6 +67,7 @@ mod server;
 
 pub use backend::{Backend, BackendKind, BackendOwner};
 pub use client::{Client, ClientError, ClientResult};
+pub use cluster::ClusterConfig;
 pub use durability::DurabilityConfig;
 pub use hist::LogHistogram;
 pub use loadgen::{LatencySummary, LoadgenConfig, LoadgenReport};

@@ -30,6 +30,19 @@
 //! SHUTDOWN             BYE                 (whole server drains and stops)
 //! ```
 //!
+//! Cluster verbs (meaningful only on a node started with `--cluster`;
+//! other servers answer `ERR not a cluster node`):
+//!
+//! ```text
+//! request                        reply
+//! -------                        -----
+//! MAP                            MAP <ver> <slices> <nodes,> <owners,>
+//! MAPSET <ver> <slices> <n,> <o,>  OK <ver>   (install a strictly newer map)
+//! MIGRATE <slice> <target>       OK <ver>     (ship the slice, flip the map)
+//! ADOPT <slice> <ver> <nbytes>   OK <applied> (migration sink; nbytes of raw
+//!                                             snapshot body follow the line)
+//! ```
+//!
 //! # Binary mode
 //!
 //! `BIN` upgrades the connection to the length-prefixed binary
@@ -109,12 +122,50 @@
 //! `sync_commit` (`off` | `quorum` | `all` | `degraded`: synchronous
 //! commit has timed out waiting for replica acks and fallen back to
 //! asynchronous until replicas catch up).
+//!
+//! # Cluster mode
+//!
+//! A node started with `--cluster` owns a subset of the hash *slices*
+//! (`slice = id % slices`) under a versioned partition map shared by
+//! the whole cluster. Writes (`ADD`/`RM`, and any `BATCH` containing a
+//! tuple) for objects whose slice this node does not own are refused
+//! **whole-frame** with the typed redirect `ERR moved <ver>`, where
+//! `<ver>` is the node's current map version — a cluster router that
+//! sees it refetches the map with `MAP`, repartitions, and retries.
+//! `FREQ` for a non-owned object is `ERR moved <ver>` too. The global
+//! queries `MODE` / `LEAST` / `MEDIAN` / `TOPK` / `CAL` answer over the
+//! *owned* objects only (`TOPK` over-fetches the tie class straddling
+//! the cut, at most `2k − 1` entries), with the same deterministic tie
+//! order as a single server — so a router merging per-node answers
+//! reproduces the single-profile answer exactly.
+//!
+//! `MIGRATE <slice> <target>` (sent to the slice's current owner) ships
+//! a key-filtered snapshot of the slice to node index `target` via
+//! `ADOPT`, flips the local map to `version + 1` (new writes for the
+//! slice now get `ERR moved`), re-ships until the slice has converged,
+//! and finally pushes the new map to the target with `MAPSET`. `ADOPT`
+//! carries `<nbytes>` of raw snapshot body immediately after the
+//! request line; the sink applies the per-object delta through its
+//! normal write path (durable, replicated) and answers `OK <applied>`.
+//!
+//! On a cluster node `STATS` additionally reports `cluster_slices`
+//! (total hash slices), `cluster_node` (this node's index),
+//! `cluster_owned` (slices currently owned), `map_version` (partition
+//! map version in effect), `moved_rejects` (write frames refused with
+//! `ERR moved`), and `migrations` (slice migrations completed with this
+//! node as the source).
 
 use sprofile::Tuple;
+use sprofile_persist::PartitionMap;
 
 /// Upper bound on a `BATCH` header, so a hostile `BATCH 99999999999`
 /// cannot make the server buffer unbounded memory.
 pub const MAX_BATCH: usize = 1 << 20;
+
+/// Upper bound on an `ADOPT` body, so a hostile header cannot make the
+/// sink buffer unbounded memory. Generous: a full-universe snapshot at
+/// the largest supported `m` stays far below this.
+pub const MAX_ADOPT_BYTES: usize = 1 << 28;
 
 /// Which wire encoding a connection (or a whole server/loadgen) speaks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -185,6 +236,29 @@ pub enum Request {
     },
     /// `PROMOTE` — flip a replica writable at its applied LSN.
     Promote,
+    /// `MAP` — the node's current partition map, wire-encoded.
+    Map,
+    /// `MAPSET <ver> <slices> <nodes,> <owners,>` — install a strictly
+    /// newer partition map (older/equal versions are a no-op).
+    MapSet(PartitionMap),
+    /// `MIGRATE <slice> <target>` — ship `slice` to node index `target`
+    /// and flip the map.
+    Migrate {
+        /// The hash slice to move (this node must own it).
+        slice: u32,
+        /// The receiving node's index in the map.
+        target: u32,
+    },
+    /// `ADOPT <slice> <version> <nbytes>` — migration sink: `nbytes` of
+    /// raw snapshot body follow this line.
+    Adopt {
+        /// The hash slice being shipped.
+        slice: u32,
+        /// The sender's map version at ship time (diagnostic).
+        version: u64,
+        /// Raw snapshot bytes that follow the request line.
+        nbytes: usize,
+    },
     /// `BIN` — switch this connection to the binary protocol.
     BinUpgrade,
     /// `QUIT` — close this connection.
@@ -250,6 +324,47 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             Request::Replicate { start_lsn, epoch }
         }
         "PROMOTE" => Request::Promote,
+        "MAP" => Request::Map,
+        "MAPSET" => {
+            let rest = rest
+                .filter(|r| !r.is_empty())
+                .ok_or("MAPSET needs a wire-encoded map")?;
+            Request::MapSet(PartitionMap::from_wire(rest)?)
+        }
+        "MIGRATE" => {
+            let rest = rest
+                .filter(|r| !r.is_empty())
+                .ok_or("MIGRATE needs <slice> <target>")?;
+            let mut parts = rest.split_whitespace();
+            let slice = parse_arg(&upper, parts.next())?;
+            let target = parse_arg(&upper, parts.next())?;
+            if parts.next().is_some() {
+                return Err("MIGRATE takes exactly two arguments".into());
+            }
+            Request::Migrate { slice, target }
+        }
+        "ADOPT" => {
+            let rest = rest
+                .filter(|r| !r.is_empty())
+                .ok_or("ADOPT needs <slice> <version> <nbytes>")?;
+            let mut parts = rest.split_whitespace();
+            let slice = parse_arg(&upper, parts.next())?;
+            let version = parse_arg(&upper, parts.next())?;
+            let nbytes: usize = parse_arg(&upper, parts.next())?;
+            if parts.next().is_some() {
+                return Err("ADOPT takes exactly three arguments".into());
+            }
+            if nbytes > MAX_ADOPT_BYTES {
+                return Err(format!(
+                    "ADOPT body {nbytes} exceeds maximum {MAX_ADOPT_BYTES}"
+                ));
+            }
+            Request::Adopt {
+                slice,
+                version,
+                nbytes,
+            }
+        }
         "BIN" => Request::BinUpgrade,
         "QUIT" => Request::Quit,
         "SHUTDOWN" => Request::Shutdown,
@@ -262,6 +377,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             | Request::Least
             | Request::Median
             | Request::Stats
+            | Request::Map
             | Request::Promote
             | Request::BinUpgrade
             | Request::Quit
@@ -341,6 +457,31 @@ mod tests {
                 },
             ),
             ("PROMOTE", Request::Promote),
+            ("MAP", Request::Map),
+            (
+                "MAPSET 3 4 a:1,b:2 0,1,0,1",
+                Request::MapSet(PartitionMap {
+                    version: 3,
+                    slices: 4,
+                    nodes: vec!["a:1".into(), "b:2".into()],
+                    owners: vec![0, 1, 0, 1],
+                }),
+            ),
+            (
+                "MIGRATE 2 1",
+                Request::Migrate {
+                    slice: 2,
+                    target: 1,
+                },
+            ),
+            (
+                "adopt 3 7 1024",
+                Request::Adopt {
+                    slice: 3,
+                    version: 7,
+                    nbytes: 1024,
+                },
+            ),
             ("BIN", Request::BinUpgrade),
             ("bin", Request::BinUpgrade),
             ("QUIT", Request::Quit),
@@ -378,6 +519,19 @@ mod tests {
             "REPLICATE 1 2 3",
             "PROMOTE 3",
             "BIN now",
+            "MAP 1",
+            "MAPSET",
+            "MAPSET 1 2 a:1",     // missing owners
+            "MAPSET 1 0 a:1 0",   // zero slices
+            "MAPSET 1 2 a:1 0,5", // owner index out of range
+            "MIGRATE",
+            "MIGRATE 1",
+            "MIGRATE 1 2 3",
+            "MIGRATE x 1",
+            "ADOPT",
+            "ADOPT 1 2",
+            "ADOPT 1 2 3 4",
+            "ADOPT 1 2 999999999999",
             "frobnicate 1",
         ] {
             assert!(parse_request(line).is_err(), "{line:?} should be rejected");

@@ -47,6 +47,7 @@ use sprofile_replicate::{
 };
 
 use crate::backend::{Backend, BackendKind, BackendOwner};
+use crate::cluster::{ClusterConfig, ClusterState};
 use crate::conn::{Conn, Flow};
 use crate::durability::{Durability, DurabilityConfig};
 use crate::hist::AtomicLogHistogram;
@@ -193,6 +194,16 @@ pub struct ServerConfig {
     /// [`ServerConfig::replica_of`]): monitor the primary's frame
     /// stream and, when it goes silent, elect a new head among `peers`.
     pub failover: Option<FailoverConfig>,
+    /// Cluster membership: when set, this server is one primary of a
+    /// hash-partitioned cluster — it owns a subset of the slices under
+    /// a versioned partition map (persisted in the WAL directory when
+    /// [`ServerConfig::wal`] is set), refuses writes for non-owned
+    /// objects with `ERR moved <ver>`, masks global queries to its
+    /// owned objects, and serves the `MAP`/`MAPSET`/`MIGRATE`/`ADOPT`
+    /// verbs. Cluster exactness relies on per-write durability ordering,
+    /// so pair it with `flush_every: 1` when acked-write loss across a
+    /// migration matters.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -210,6 +221,7 @@ impl Default for ServerConfig {
             sync_commit: SyncCommit::Off,
             sync_commit_timeout: Duration::from_secs(1),
             failover: None,
+            cluster: None,
         }
     }
 }
@@ -224,6 +236,9 @@ pub(crate) struct Shared {
     pub(crate) proto: WireProto,
     pub(crate) durability: Option<Arc<Durability>>,
     pub(crate) repl: ReplState,
+    /// Cluster layer (slice ownership, partition map, moved counters);
+    /// `None` on a standalone server.
+    pub(crate) cluster: Option<ClusterState>,
     /// Write requests answered `ERR readonly` while set (replica mode;
     /// cleared by `PROMOTE`).
     pub(crate) readonly: AtomicBool,
@@ -315,8 +330,13 @@ impl Shared {
         } else {
             String::new()
         };
+        let cluster = self
+            .cluster
+            .as_ref()
+            .map(|c| c.stats_frag())
+            .unwrap_or_default();
         format!(
-            "backend={} m={} {}{wal} {repl}{commit_wait}",
+            "backend={} m={} {}{wal} {repl}{commit_wait}{cluster}",
             self.backend_name,
             self.m,
             self.metrics.render()
@@ -407,6 +427,15 @@ impl Server {
                 promoted: AtomicBool::new(false),
             }
         });
+        // The cluster map marker persists next to the WAL; a memory-only
+        // node rebuilds the bootstrap map each boot.
+        let cluster = match &config.cluster {
+            Some(cfg) => Some(
+                ClusterState::new(cfg, config.wal.as_ref().map(|w| w.dir.clone()))
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
+            ),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             metrics: Metrics::default(),
             m: config.m,
@@ -424,6 +453,7 @@ impl Server {
             durability,
             readonly: AtomicBool::new(replica.is_some()),
             repl: ReplState { source, replica },
+            cluster,
             sync_commit: config.sync_commit,
             sync_timeout: config.sync_commit_timeout,
             sync_degraded: AtomicBool::new(false),

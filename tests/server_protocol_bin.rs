@@ -525,3 +525,48 @@ fn loadgen_completes_with_256_connections() {
     assert!(report.latency.samples > 0, "latency histogram recorded");
     assert_eq!(server.shutdown(), total);
 }
+
+/// The binary `SNAPSHOT` verb ships the server's checkpoint inline: the
+/// returned bytes decode to exactly the oracle's state, and text-mode
+/// connections are refused client-side (the verb has no text form).
+#[test]
+fn snapshot_fetch_returns_the_full_state_inline() {
+    let server = Server::start(
+        ServerConfig {
+            m: M,
+            backend: BackendKind::Sharded { shards: 3 },
+            workers: 2,
+            flush_every: 4,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind snapshot server");
+    let mut client = Client::connect_with(server.local_addr(), WireProto::Bin).expect("connect");
+    let mut oracle = SProfile::new(M);
+    let tuples: Vec<Tuple> = (0..200u32)
+        .map(|i| Tuple {
+            object: (i * 7) % M,
+            is_add: i % 3 != 0,
+        })
+        .collect();
+    client.batch(&tuples).expect("batch");
+    oracle.apply_batch(&tuples);
+
+    let bytes = client.snapshot_fetch().expect("inline snapshot");
+    let got = SProfile::from_snapshot_bytes(&bytes).expect("decode snapshot");
+    for x in 0..M {
+        assert_eq!(got.frequency(x), oracle.frequency(x), "object {x}");
+    }
+    // The connection stays usable after the bulk reply.
+    assert_eq!(client.freq(0).expect("freq"), oracle.frequency(0));
+    client.quit().expect("quit");
+
+    let mut text = Client::connect(server.local_addr()).expect("text connect");
+    assert!(
+        text.snapshot_fetch().is_err(),
+        "inline snapshot must be refused on a text connection"
+    );
+    text.quit().expect("quit");
+    server.shutdown();
+}
