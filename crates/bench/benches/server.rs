@@ -14,7 +14,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use sprofile_server::loadgen::LatencySummary;
-use sprofile_server::{loadgen, BackendKind, LoadgenConfig, Server, ServerConfig, WireProto};
+use sprofile_server::{
+    loadgen, BackendKind, LoadgenConfig, ObsConfig, Server, ServerConfig, WireProto,
+};
 
 /// Universe size (hot-entity regime: stream dwarfs the universe).
 const M: u32 = 4_096;
@@ -34,13 +36,27 @@ const PROTOS: [(&str, WireProto); 2] = [("text", WireProto::Text), ("bin", WireP
 
 /// One full ingestion run over loopback TCP; returns tuples/second and
 /// the client-side latency summary.
-fn run_once(kind: BackendKind, batch: usize, proto: WireProto) -> (f64, LatencySummary) {
+fn run_once(
+    kind: BackendKind,
+    batch: usize,
+    proto: WireProto,
+    obs_off: bool,
+) -> (f64, LatencySummary) {
+    let obs = if obs_off {
+        ObsConfig {
+            level: None,
+            ..ObsConfig::default()
+        }
+    } else {
+        ObsConfig::default()
+    };
     let server = Server::start(
         ServerConfig {
             m: M,
             backend: kind,
             workers: THREADS,
             flush_every: 512,
+            obs,
             ..ServerConfig::default()
         },
         "127.0.0.1:0",
@@ -70,12 +86,64 @@ fn bench_server(c: &mut Criterion) {
             for batch in BATCH_SIZES {
                 let id = BenchmarkId::new(format!("{name}_{pname}"), batch);
                 group.bench_with_input(id, &batch, |b, &batch| {
-                    b.iter(|| run_once(kind, batch, proto));
+                    b.iter(|| run_once(kind, batch, proto, false));
                 });
             }
         }
     }
     group.finish();
+}
+
+/// Accumulates one matrix's worth of summary fragments and renders the
+/// same JSON shape as the committed baselines.
+#[derive(Default)]
+struct Summary {
+    sections: Vec<String>,
+    latencies: Vec<String>,
+}
+
+impl Summary {
+    fn push_cell(
+        &mut self,
+        name: &str,
+        pname: &str,
+        batch: usize,
+        best: f64,
+        lat: &LatencySummary,
+    ) {
+        self.latencies.push(format!(
+            "    \"{name}_{pname}.{batch}\": {{\"p50\": {}, \"p99\": {}, \
+             \"p999\": {}, \"max\": {}}}",
+            lat.p50_us, lat.p99_us, lat.p999_us, lat.max_us
+        ));
+        self.sections.push(format!("\"{batch}\": {best:.0}"));
+    }
+
+    fn close_key(&mut self, key: &str, cells: usize) {
+        let start = self.sections.len() - cells;
+        let joined = self.sections.split_off(start).join(", ");
+        self.sections.push(format!("    \"{key}\": {{{joined}}}"));
+    }
+
+    fn write(&self, path: &str) {
+        let json = format!(
+            "{{\n  \"bench\": \"server\",\n  \"m\": {M},\n  \"threads\": {THREADS},\n  \
+             \"events_per_thread\": {EVENTS_PER_THREAD},\n  \
+             \"throughput_tuples_per_sec\": {{\n{}\n  }},\n  \
+             \"latency_us\": {{\n{}\n  }}\n}}\n",
+            self.sections.join(",\n"),
+            self.latencies.join(",\n"),
+        );
+        std::fs::write(path, &json).expect("write bench server summary");
+        println!("bench server summary written to {path}");
+        println!("{json}");
+    }
+}
+
+fn best_of(runs: Vec<(f64, LatencySummary)>) -> (f64, LatencySummary) {
+    runs.into_iter()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("non-empty repeats")
 }
 
 /// Times the matrix (best of N) and writes `BENCH_server.json` (path
@@ -84,9 +152,23 @@ fn bench_server(c: &mut Criterion) {
 /// the binary protocol — and suffix `_bin` for binary. Latency cells
 /// come from the best-throughput run of each matrix point.
 fn record_json(_c: &mut Criterion) {
-    const REPEATS: usize = 3;
-    let mut sections = Vec::new();
-    let mut latencies = Vec::new();
+    // Best-of-N absorbs scheduler noise; the obs-overhead CI gate bumps
+    // this (`SPROFILE_BENCH_REPEATS=7`) because its 2% bar is much
+    // tighter than the 15% regression gate.
+    let repeats: usize = std::env::var("SPROFILE_BENCH_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    // With `SPROFILE_BENCH_OBS_OFF_OUT` set, every repeat also measures
+    // an observability-disabled twin right next to the real run,
+    // alternating which side goes first so slow machine drift cancels
+    // instead of biasing one side. The twin summary lands at that path;
+    // `bench_gate <twin-dir> .` is then a paired same-window A/B of obs
+    // overhead.
+    let obs_off_out = std::env::var("SPROFILE_BENCH_OBS_OFF_OUT").ok();
+    let mut on = Summary::default();
+    let mut off = Summary::default();
     for (name, kind) in BACKENDS {
         for (pname, proto) in PROTOS {
             let key = if proto == WireProto::Text {
@@ -94,37 +176,38 @@ fn record_json(_c: &mut Criterion) {
             } else {
                 format!("{name}_{pname}")
             };
-            let cells: Vec<String> = BATCH_SIZES
-                .iter()
-                .map(|&batch| {
-                    let (best, lat) = (0..REPEATS)
-                        .map(|_| run_once(kind, batch, proto))
-                        .max_by(|a, b| a.0.total_cmp(&b.0))
-                        .expect("non-empty repeats");
-                    latencies.push(format!(
-                        "    \"{name}_{pname}.{batch}\": {{\"p50\": {}, \"p99\": {}, \
-                         \"p999\": {}, \"max\": {}}}",
-                        lat.p50_us, lat.p99_us, lat.p999_us, lat.max_us
-                    ));
-                    format!("\"{batch}\": {best:.0}")
-                })
-                .collect();
-            sections.push(format!("    \"{key}\": {{{}}}", cells.join(", ")));
+            for &batch in BATCH_SIZES.iter() {
+                let mut on_runs = Vec::with_capacity(repeats);
+                let mut off_runs = Vec::with_capacity(repeats);
+                for i in 0..repeats {
+                    let off_first = obs_off_out.is_some() && i % 2 == 0;
+                    if off_first {
+                        off_runs.push(run_once(kind, batch, proto, true));
+                    }
+                    on_runs.push(run_once(kind, batch, proto, false));
+                    if obs_off_out.is_some() && !off_first {
+                        off_runs.push(run_once(kind, batch, proto, true));
+                    }
+                }
+                let (best, lat) = best_of(on_runs);
+                on.push_cell(name, pname, batch, best, &lat);
+                if obs_off_out.is_some() {
+                    let (best, lat) = best_of(off_runs);
+                    off.push_cell(name, pname, batch, best, &lat);
+                }
+            }
+            on.close_key(&key, BATCH_SIZES.len());
+            if obs_off_out.is_some() {
+                off.close_key(&key, BATCH_SIZES.len());
+            }
         }
     }
-    let json = format!(
-        "{{\n  \"bench\": \"server\",\n  \"m\": {M},\n  \"threads\": {THREADS},\n  \
-         \"events_per_thread\": {EVENTS_PER_THREAD},\n  \
-         \"throughput_tuples_per_sec\": {{\n{}\n  }},\n  \
-         \"latency_us\": {{\n{}\n  }}\n}}\n",
-        sections.join(",\n"),
-        latencies.join(",\n"),
-    );
     let path = std::env::var("BENCH_SERVER_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").into());
-    std::fs::write(&path, &json).expect("write BENCH_server.json");
-    println!("bench server summary written to {path}");
-    println!("{json}");
+    on.write(&path);
+    if let Some(path) = obs_off_out {
+        off.write(&path);
+    }
 }
 
 criterion_group!(benches, bench_server, record_json);

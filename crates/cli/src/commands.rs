@@ -9,7 +9,8 @@ use sprofile::{SProfile, SnapshotError, Tuple};
 use sprofile_persist::PersistError;
 use sprofile_server::{
     loadgen::thread_tuples, BackendKind, Client, ClusterConfig, DurabilityConfig, FailoverConfig,
-    LoadgenConfig, Server, ServerConfig, SyncCommit, WireProto,
+    Level, LoadgenConfig, LogFormat, LogSink, ObsConfig, Server, ServerConfig, SyncCommit,
+    WireProto,
 };
 use sprofile_streamgen::{Event, StreamConfig};
 
@@ -443,6 +444,17 @@ pub struct ServeOpts {
     /// Cluster membership: this node's hash-partition identity
     /// (`--cluster-slices`/`--cluster-node`/`--cluster-nodes`).
     pub cluster: Option<ClusterConfig>,
+    /// Structured-log severity (`--log-level`); `None` turns emission
+    /// off entirely (the ring and `LOGTAIL` then stay empty too).
+    pub log_level: Option<Level>,
+    /// Rendered log-line format (`--log-format logfmt|json`).
+    pub log_format: LogFormat,
+    /// Log lines go to this file instead of stderr (`--log-file`).
+    pub log_file: Option<String>,
+    /// Slow-op threshold (`--slow-ms`); `None` disables the check.
+    pub slow_ms: Option<u64>,
+    /// Plain-HTTP `GET /metrics` listener address (`--metrics-addr`).
+    pub metrics_addr: Option<String>,
 }
 
 /// `serve`: run the TCP server until a client sends `SHUTDOWN`. The
@@ -455,6 +467,18 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
         f.grace = opts.failover_grace.max(1);
         f
     });
+    let obs = ObsConfig {
+        level: opts.log_level,
+        format: opts.log_format,
+        // The CLI default is stderr lines (an embedded server defaults
+        // to ring-only); a crashing `serve` also dumps its ring there.
+        sink: match &opts.log_file {
+            Some(path) => LogSink::File(path.clone().into()),
+            None => LogSink::Stderr,
+        },
+        dump_on_panic: true,
+        ..ObsConfig::default()
+    };
     let server = Server::start(
         ServerConfig {
             m: opts.m,
@@ -470,6 +494,9 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
             sync_commit_timeout: std::time::Duration::from_millis(opts.sync_commit_timeout_ms),
             failover,
             cluster: opts.cluster.clone(),
+            obs,
+            slow_ms: opts.slow_ms,
+            metrics_addr: opts.metrics_addr.clone(),
         },
         opts.addr.as_str(),
     )?;
@@ -503,10 +530,18 @@ pub fn serve<W: Write>(opts: &ServeOpts, out: &mut W) -> Result<(), CommandError
         ),
         None => String::new(),
     };
+    let log = match opts.log_level {
+        Some(l) => format!(" log={}/{}", l.name(), opts.log_format.name()),
+        None => " log=off".to_string(),
+    };
+    let metrics = match &opts.metrics_addr {
+        Some(addr) => format!(" metrics=http://{addr}/metrics"),
+        None => String::new(),
+    };
     writeln!(
         out,
         "listening on {} backend={backend} m={} workers={} max-conns={} proto={} \
-         flush={}{wal}{role}{sync}{elect}{cluster}",
+         flush={}{wal}{role}{sync}{elect}{cluster}{log}{metrics}",
         server.local_addr(),
         opts.m,
         opts.workers,
@@ -579,13 +614,22 @@ pub fn promote<W: Write>(addr: &str, out: &mut W) -> Result<(), CommandError> {
 /// it) to another cluster node — a live rebalance: the owner ships a
 /// key-filtered checkpoint plus catch-up deltas, bumps the partition
 /// map version, and stale-map clients redirect via `ERR moved`.
+/// With `trace != 0` the connection is tagged first, so the hand-off's
+/// events land in every involved node's ring under that id (recover
+/// them with `sprofile logtail`).
 pub fn migrate<W: Write>(
     addr: &str,
     slice: u32,
     target: u32,
+    trace: u64,
     out: &mut W,
 ) -> Result<(), CommandError> {
     let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
+    if trace != 0 {
+        client
+            .trace(trace)
+            .map_err(|e| CommandError::Server(e.to_string()))?;
+    }
     let version = client
         .migrate(slice, target)
         .map_err(|e| CommandError::Server(e.to_string()))?;
@@ -616,6 +660,94 @@ pub fn map_show<W: Write>(addr: &str, out: &mut W) -> Result<(), CommandError> {
             .collect();
         writeln!(out, "node {i}: {addr} owns [{}]", owned.join(", "))?;
     }
+    Ok(())
+}
+
+/// `stats`: print a server's `STATS` line once.
+pub fn stats_show<W: Write>(addr: &str, out: &mut W) -> Result<(), CommandError> {
+    let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
+    let stats = client
+        .stats()
+        .map_err(|e| CommandError::Server(e.to_string()))?;
+    client.quit().ok();
+    writeln!(out, "{stats}")?;
+    Ok(())
+}
+
+/// `stats --watch`: poll `STATS` every `every_ms` and print the *deltas*
+/// of the numeric fields — a poor man's top for a live server. Stops
+/// after `count` samples when given (the CLI default runs until the
+/// server goes away or the user interrupts).
+pub fn stats_watch<W: Write>(
+    addr: &str,
+    every_ms: u64,
+    count: Option<u64>,
+    out: &mut W,
+) -> Result<(), CommandError> {
+    let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
+    let mut prev: Vec<(String, i64)> = Vec::new();
+    let mut sample = 0u64;
+    loop {
+        let stats = client
+            .stats()
+            .map_err(|e| CommandError::Server(e.to_string()))?;
+        let fields: Vec<(String, i64)> = stats
+            .split_whitespace()
+            .filter_map(|kv| kv.split_once('='))
+            .filter_map(|(k, v)| v.parse::<i64>().ok().map(|n| (k.to_string(), n)))
+            .collect();
+        sample += 1;
+        if prev.is_empty() {
+            // First sample: the absolute line, as a baseline.
+            writeln!(out, "[{sample}] {stats}")?;
+        } else {
+            let mut deltas = String::new();
+            for (k, now) in &fields {
+                let Some((_, was)) = prev.iter().find(|(pk, _)| pk == k) else {
+                    continue;
+                };
+                if now != was {
+                    deltas.push_str(&format!(" {k}{:+}", now - was));
+                }
+            }
+            if deltas.is_empty() {
+                writeln!(out, "[{sample}] (idle)")?;
+            } else {
+                writeln!(out, "[{sample}]{deltas}")?;
+            }
+        }
+        out.flush()?;
+        prev = fields;
+        if count.is_some_and(|c| sample >= c) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(every_ms.max(1)));
+    }
+    client.quit().ok();
+    Ok(())
+}
+
+/// `logtail`: print the last `n` events of a server's in-memory log
+/// ring — post-incident forensics without any log file configured.
+pub fn logtail_show<W: Write>(addr: &str, n: usize, out: &mut W) -> Result<(), CommandError> {
+    let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
+    let tail = client
+        .logtail(n)
+        .map_err(|e| CommandError::Server(e.to_string()))?;
+    client.quit().ok();
+    write!(out, "{tail}")?;
+    Ok(())
+}
+
+/// `metrics`: print a server's Prometheus text exposition (the same
+/// payload `GET /metrics` serves when `--metrics-addr` is set).
+pub fn metrics_show<W: Write>(addr: &str, out: &mut W) -> Result<(), CommandError> {
+    let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
+    let payload = client
+        .metrics()
+        .map_err(|e| CommandError::Server(e.to_string()))?;
+    client.quit().ok();
+    write!(out, "{payload}")?;
     Ok(())
 }
 
@@ -1201,6 +1333,13 @@ mod tests {
             heartbeat_ms: 500,
             failover_grace: 4,
             cluster: None,
+            // `serve` sinks log lines to stderr by default; keep the
+            // test run quiet by turning emission off.
+            log_level: None,
+            log_format: LogFormat::Logfmt,
+            log_file: None,
+            slow_ms: None,
+            metrics_addr: None,
         };
         let handle = {
             let mut out = buf.clone();
@@ -1345,6 +1484,59 @@ mod tests {
             .shutdown_server()
             .unwrap();
         server.wait();
+    }
+
+    #[test]
+    fn stats_logtail_and_metrics_commands_round_trip() {
+        let server = Server::start(
+            ServerConfig {
+                m: 32,
+                workers: 2,
+                flush_every: 1,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut c = Client::connect(addr.as_str()).unwrap();
+        c.add(3).unwrap();
+        assert_eq!(c.freq(3).unwrap(), 1);
+
+        let mut out = Vec::new();
+        stats_show(&addr, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("applied=1"), "{text}");
+        assert!(text.contains("uptime_s="), "{text}");
+
+        // Two instant samples: the first is the absolute baseline, the
+        // second reports the +1 connection the watcher itself opened
+        // (stats_show's client has quit by now, so conns_active nets
+        // out; accepted only ever grows).
+        let mut out = Vec::new();
+        stats_watch(&addr, 1, Some(2), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].starts_with("[1] "), "{text}");
+        assert!(lines[1].starts_with("[2]"), "{text}");
+
+        let mut out = Vec::new();
+        logtail_show(&addr, 64, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("target=server"), "{text}");
+
+        let mut out = Vec::new();
+        metrics_show(&addr, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("# TYPE sprofile_adds_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("sprofile_adds_total 1"), "{text}");
+
+        c.quit().unwrap();
+        server.shutdown();
     }
 
     #[test]

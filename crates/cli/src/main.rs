@@ -19,12 +19,14 @@ mod commands;
 mod textio;
 
 use commands::{
-    checkpoint_compact, generate, heavy_hitters, ingest, loadgen, map_show, migrate,
-    profile_persist, promote, recover_report, serve, verify_server, wal_dump, watch, GenerateOpts,
-    HhOpts, PersistOpts, ProfileOpts, ServeOpts, StreamChoice,
+    checkpoint_compact, generate, heavy_hitters, ingest, loadgen, logtail_show, map_show,
+    metrics_show, migrate, profile_persist, promote, recover_report, serve, stats_show,
+    stats_watch, verify_server, wal_dump, watch, GenerateOpts, HhOpts, PersistOpts, ProfileOpts,
+    ServeOpts, StreamChoice,
 };
 use sprofile_server::{
-    BackendKind, ClusterConfig, DurabilityConfig, LoadgenConfig, SyncCommit, SyncPolicy, WireProto,
+    BackendKind, ClusterConfig, DurabilityConfig, Level, LoadgenConfig, LogFormat, SyncCommit,
+    SyncPolicy, WireProto,
 };
 
 fn usage() -> &'static str {
@@ -42,11 +44,16 @@ fn usage() -> &'static str {
      [--max-retain-bytes <B>] [--replica-of <HOST:PORT>]\n                    \
      [--sync-commit <off|quorum|all>] [--sync-commit-timeout-ms <MS>]\n                    \
      [--auto-failover <PEER,PEER>] [--heartbeat-ms <MS>] [--failover-grace <N>]\n                    \
-     [--cluster-slices <S> --cluster-node <I> --cluster-nodes <ADDR,ADDR,...>]\n  \
+     [--cluster-slices <S> --cluster-node <I> --cluster-nodes <ADDR,ADDR,...>]\n                    \
+     [--log-level <off|error|warn|info|debug|trace>] [--log-format <logfmt|json>]\n                    \
+     [--log-file <PATH>] [--slow-ms <MS>] [--metrics-addr <HOST:PORT>]\n  \
      sprofile promote  --addr <HOST:PORT>   (flip a replica writable)\n  \
-     sprofile migrate  --addr <HOST:PORT> --slice <S> --target <NODE>\n                    \
+     sprofile migrate  --addr <HOST:PORT> --slice <S> --target <NODE> [--trace <ID>]\n                    \
      (live rebalance: hand a hash slice to another cluster node)\n  \
      sprofile map      --addr <HOST:PORT>   (print a node's partition map)\n  \
+     sprofile stats    --addr <HOST:PORT> [--watch] [--every-ms <MS>] [--count <N>]\n  \
+     sprofile logtail  --addr <HOST:PORT> [--n <N>]   (dump the server's log ring)\n  \
+     sprofile metrics  --addr <HOST:PORT>   (print the Prometheus exposition)\n  \
      sprofile loadgen  --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
      [--batch <B>] [--seed <S>] [--proto <text|bin>] [--shutdown]\n  \
      sprofile verify   --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
@@ -74,7 +81,14 @@ fn usage() -> &'static str {
      map assigns it, refuses writes for foreign slices with 'ERR moved',\n\
      and answers global queries over its slices only (cluster clients\n\
      scatter-gather exact answers); cluster nodes default --flush to 1 so\n\
-     rebalance hand-offs lose no acknowledged write."
+     rebalance hand-offs lose no acknowledged write.\n\
+     Observability: `serve` logs structured lines to stderr (--log-file\n\
+     redirects, --log-level off silences) and always keeps the newest\n\
+     events in an in-memory ring (`sprofile logtail`); --slow-ms logs any\n\
+     request served slower than the threshold; --metrics-addr exposes\n\
+     Prometheus text on plain-HTTP GET /metrics (same payload as\n\
+     `sprofile metrics`); `migrate --trace <ID>` tags the rebalance so\n\
+     its events carry trace=<ID> in every involved node's logtail."
 }
 
 /// Tiny flag parser: collects `--key value` pairs plus positional args.
@@ -91,7 +105,7 @@ impl Args {
         while i < raw.len() {
             if let Some(key) = raw[i].strip_prefix("--") {
                 // Boolean flags take no value; detect by peeking.
-                let takes_value = !matches!(key, "histogram" | "help" | "shutdown");
+                let takes_value = !matches!(key, "histogram" | "help" | "shutdown" | "watch");
                 if takes_value && i + 1 < raw.len() {
                     flags.push((key.to_string(), Some(raw[i + 1].clone())));
                     i += 2;
@@ -317,6 +331,22 @@ fn run() -> Result<(), String> {
             } else {
                 None
             };
+            let log_level = match args.get("log-level") {
+                None => Some(Level::Info),
+                Some(s) => Level::parse(s).ok_or_else(|| {
+                    format!("unknown --log-level '{s}' (off, error, warn, info, debug, trace)")
+                })?,
+            };
+            let log_format = {
+                let s = args.get("log-format").unwrap_or("logfmt");
+                LogFormat::parse(s)
+                    .ok_or_else(|| format!("unknown --log-format '{s}' (logfmt, json)"))?
+            };
+            let slow_ms = if args.has("slow-ms") {
+                Some(args.get_parsed_positive("slow-ms", 100u64)?)
+            } else {
+                None
+            };
             // Cluster nodes default to per-write flushes: `MIGRATE`'s
             // no-acked-write-lost hand-off relies on them.
             let default_flush = if cluster.is_some() { 1usize } else { 256 };
@@ -341,6 +371,11 @@ fn run() -> Result<(), String> {
                 heartbeat_ms: args.get_parsed_positive("heartbeat-ms", 500u64)?,
                 failover_grace: args.get_parsed_positive("failover-grace", 4u32)?,
                 cluster,
+                log_level,
+                log_format,
+                log_file: args.get("log-file").map(str::to_string),
+                slow_ms,
+                metrics_addr: args.get("metrics-addr").map(str::to_string),
             };
             let stdout = io::stdout();
             let mut out = stdout.lock();
@@ -368,9 +403,10 @@ fn run() -> Result<(), String> {
                 .ok_or("migrate needs --target <NODE>")?
                 .parse::<u32>()
                 .map_err(|_| "invalid value for --target".to_string())?;
+            let trace = args.get_parsed("trace", 0u64)?;
             let stdout = io::stdout();
             let mut out = BufWriter::new(stdout.lock());
-            migrate(addr, slice, target, &mut out).map_err(|e| e.to_string())?;
+            migrate(addr, slice, target, trace, &mut out).map_err(|e| e.to_string())?;
             out.flush().map_err(|e| e.to_string())?;
             Ok(())
         }
@@ -379,6 +415,41 @@ fn run() -> Result<(), String> {
             let stdout = io::stdout();
             let mut out = BufWriter::new(stdout.lock());
             map_show(addr, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "stats" => {
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7979");
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            if args.has("watch") {
+                let every_ms = args.get_parsed_positive("every-ms", 1_000u64)?;
+                let count = if args.has("count") {
+                    Some(args.get_parsed_positive("count", 10u64)?)
+                } else {
+                    None
+                };
+                stats_watch(addr, every_ms, count, &mut out).map_err(|e| e.to_string())?;
+            } else {
+                stats_show(addr, &mut out).map_err(|e| e.to_string())?;
+            }
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "logtail" => {
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7979");
+            let n = args.get_parsed_positive("n", 100usize)?;
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            logtail_show(addr, n, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "metrics" => {
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7979");
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            metrics_show(addr, &mut out).map_err(|e| e.to_string())?;
             out.flush().map_err(|e| e.to_string())?;
             Ok(())
         }

@@ -92,6 +92,11 @@ pub struct ClusterClient {
     map: PartitionMap,
     m: u32,
     nodes: Vec<Client>,
+    /// Trace id every data connection is tagged with (0: untraced).
+    /// Kept so reconnects after failover/migration re-tag the fresh
+    /// connection — the trace must survive the very events it exists
+    /// to explain.
+    trace: u64,
 }
 
 impl ClusterClient {
@@ -110,7 +115,24 @@ impl ClusterClient {
         for addr in &map.nodes {
             nodes.push(Client::connect_with(addr, WireProto::Bin)?);
         }
-        Ok(ClusterClient { map, m, nodes })
+        Ok(ClusterClient {
+            map,
+            m,
+            nodes,
+            trace: 0,
+        })
+    }
+
+    /// Tags every data connection with `id` (0 clears): each node logs
+    /// the requests this client fans out to it under that trace id, so
+    /// one scatter-gather query or routed batch is correlatable across
+    /// every node's `LOGTAIL` ring. The id survives reconnects.
+    pub fn trace(&mut self, id: u64) -> ClientResult<()> {
+        for node in &mut self.nodes {
+            node.trace(id)?;
+        }
+        self.trace = id;
+        Ok(())
     }
 
     /// The partition map this client is currently routing with.
@@ -152,6 +174,9 @@ impl ClusterClient {
     /// re-points a map slot at a promoted replica's address.
     fn reconnect(&mut self, node: usize) -> ClientResult<()> {
         self.nodes[node] = Client::connect_with(&self.map.nodes[node], WireProto::Bin)?;
+        if self.trace != 0 {
+            self.nodes[node].trace(self.trace)?;
+        }
         Ok(())
     }
 

@@ -1,0 +1,379 @@
+//! Hand-rolled log-linear histogram for latency tracking.
+//!
+//! hdrhistogram-style bucketing: values below 32 get exact unit
+//! buckets; above that, each power-of-two octave is split into 32
+//! linear sub-buckets, so the relative quantile error is bounded by
+//! ~3% across the whole `u64` range. Two flavours are provided:
+//! [`LogHistogram`] for single-threaded recording with cheap merging
+//! (loadgen worker threads), and [`AtomicLogHistogram`] for lock-free
+//! concurrent recording (the server's per-verb latency and commit-wait
+//! tracking).
+//!
+//! Both flavours track the exact sample sum alongside the bucketised
+//! distribution and expose [`LogHistogram::count_below`] /
+//! [`AtomicLogHistogram::count_below`], which is exact whenever the
+//! probe is a bucket boundary (any value `< 32`, or any power of two) —
+//! the Prometheus `_bucket`/`_sum`/`_count` exposition rides on these.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave (32 → ≤ 1/32 relative bucket width).
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count covering all of `u64`.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Maps a value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        SUB + (shift as usize) * SUB + ((v >> shift) as usize & (SUB - 1))
+    }
+}
+
+/// Representative (midpoint) value for a bucket index.
+fn bucket_value(index: usize) -> u64 {
+    if index < SUB {
+        index as u64
+    } else {
+        let octave = (index - SUB) / SUB;
+        let sub = ((index - SUB) % SUB) as u64;
+        let shift = octave as u32;
+        let low = (SUB as u64 + sub) << shift;
+        let width = 1u64 << shift;
+        low + width / 2
+    }
+}
+
+macro_rules! compact_debug {
+    ($ty:ident) => {
+        impl std::fmt::Debug for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($ty))
+                    .field("count", &self.count())
+                    .field("sum", &self.sum())
+                    .field("max", &self.max())
+                    .finish_non_exhaustive()
+            }
+        }
+    };
+}
+compact_debug!(LogHistogram);
+compact_debug!(AtomicLogHistogram);
+
+/// Single-threaded log-linear histogram.
+#[derive(Clone)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded exactly (not bucket-quantised).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples strictly below `bound`. Exact whenever `bound` falls on
+    /// a bucket boundary: any value `< 32`, or any power of two (the
+    /// log-linear octave edges); otherwise samples sharing `bound`'s
+    /// bucket are excluded (an under-count bounded by one bucket).
+    pub fn count_below(&self, bound: u64) -> u64 {
+        self.buckets[..bucket_index(bound)].iter().sum()
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`); 0 when empty. The
+    /// result is the representative value of the bucket containing the
+    /// `ceil(q·count)`-th sample, clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self`. Merging is
+    /// commutative and associative — per-thread histograms summed in
+    /// any order produce the same distribution.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Lock-free concurrent log-linear histogram.
+pub struct AtomicLogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicLogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicLogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> AtomicLogHistogram {
+        AtomicLogHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (relaxed; quantile reads are approximate
+    /// under concurrency, which is fine for observability).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all recorded samples (wrapping at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Samples strictly below `bound`; see
+    /// [`LogHistogram::count_below`] for the exactness contract.
+    pub fn count_below(&self, bound: u64) -> u64 {
+        self.buckets[..bucket_index(bound)]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Approximate quantile; see [`LogHistogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_value(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.sum(), (0..32).sum::<u64>());
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = LogHistogram::new();
+        // Log-uniform-ish sweep across six orders of magnitude.
+        let mut v = 1u64;
+        let mut exact = Vec::new();
+        while v < 10_000_000 {
+            h.record(v);
+            exact.push(v);
+            v += 1 + v / 7;
+        }
+        for &q in &[0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let truth = exact[rank - 1] as f64;
+            let got = h.quantile(q) as f64;
+            let rel = (got - truth).abs() / truth;
+            assert!(rel <= 0.04, "q={q}: got {got}, truth {truth}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 7919;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.max(), all.max());
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    /// The loadgen shape: per-thread histograms folded into one. The
+    /// fold must be order-independent — any permutation of the same
+    /// parts yields identical counts, sums, maxima, and quantiles.
+    #[test]
+    fn merge_is_order_independent() {
+        let parts: Vec<LogHistogram> = (0..5u64)
+            .map(|t| {
+                let mut h = LogHistogram::new();
+                for i in 0..400u64 {
+                    h.record((i * 31 + t * 7877) % 250_000);
+                }
+                h
+            })
+            .collect();
+        let fold = |order: &[usize]| {
+            let mut merged = LogHistogram::new();
+            for &i in order {
+                merged.merge(&parts[i]);
+            }
+            merged
+        };
+        let forward = fold(&[0, 1, 2, 3, 4]);
+        for order in [[4, 3, 2, 1, 0], [2, 0, 4, 1, 3], [1, 4, 0, 3, 2]] {
+            let h = fold(&order);
+            assert_eq!(h.count(), forward.count(), "{order:?}");
+            assert_eq!(h.sum(), forward.sum(), "{order:?}");
+            assert_eq!(h.max(), forward.max(), "{order:?}");
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), forward.quantile(q), "{order:?} q={q}");
+            }
+            for bound in [1u64, 32, 1024, 65536, 1 << 20] {
+                assert_eq!(h.count_below(bound), forward.count_below(bound));
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_agrees_with_plain() {
+        let mut plain = LogHistogram::new();
+        let atomic = AtomicLogHistogram::new();
+        for i in 0..5000u64 {
+            let v = (i * 37) % 100_000;
+            plain.record(v);
+            atomic.record(v);
+        }
+        assert_eq!(plain.count(), atomic.count());
+        assert_eq!(plain.sum(), atomic.sum());
+        assert_eq!(plain.max(), atomic.max());
+        for &q in &[0.5, 0.99, 0.999] {
+            assert_eq!(plain.quantile(q), atomic.quantile(q));
+        }
+        for bound in [16u64, 32, 4096, 65536] {
+            assert_eq!(plain.count_below(bound), atomic.count_below(bound));
+        }
+    }
+
+    #[test]
+    fn count_below_is_exact_at_bucket_boundaries() {
+        let mut h = LogHistogram::new();
+        for v in 0..100_000u64 {
+            h.record(v % 3000);
+        }
+        for bound in [1u64, 16, 32, 64, 256, 1024, 2048, 4096] {
+            let truth = (0..100_000u64).filter(|v| v % 3000 < bound).count() as u64;
+            assert_eq!(h.count_below(bound), truth, "bound {bound}");
+        }
+        // +Inf-style probe: everything is below a huge boundary.
+        assert_eq!(h.count_below(1 << 62), h.count());
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut prev = 0usize;
+        let mut v = 0u64;
+        while v < u64::MAX / 2 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index regressed at {v}");
+            assert!(i < BUCKETS);
+            // Representative value stays within the bucket's octave.
+            if v >= 32 {
+                let rep = bucket_value(i);
+                let rel = (rep as f64 - v as f64).abs() / v as f64;
+                assert!(rel <= 0.05, "v={v} rep={rep}");
+            }
+            prev = i;
+            v = v * 2 + 1;
+        }
+    }
+}

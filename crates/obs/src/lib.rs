@@ -1,0 +1,732 @@
+//! `sprofile-obs`: std-only observability primitives shared by every
+//! layer of the stack.
+//!
+//! Four pieces, all allocation-light and safe under `unsafe_code =
+//! "deny"`:
+//!
+//! - **Structured, leveled, per-target logging** — the [`log!`] macro
+//!   emits events with static targets/messages plus `key = value`
+//!   fields, rendered as logfmt or JSON ([`LogFormat`]). The level
+//!   check happens *before* any field is formatted, so a disabled
+//!   event costs one relaxed atomic load.
+//! - **A bounded event ring** — every [`Obs`] retains its last N
+//!   events in a fixed ring (slot claim is a lock-free `fetch_add`;
+//!   each slot swap holds a per-slot mutex only for the store), so a
+//!   `LOGTAIL` verb or a panic dump can reconstruct recent history
+//!   without any log file configured.
+//! - **Log-linear histograms** ([`hist`]) — moved here from the server
+//!   crate so `persist` (WAL fsync/checkpoint timing) and `server`
+//!   (per-verb latency) share one implementation.
+//! - **Rate meters** ([`Meter`]) — scrape-time per-second rates with a
+//!   10 s EWMA over monotonically increasing counters, for the
+//!   `METRICS` exposition.
+//!
+//! Events carry an optional **trace id** (`0` = untraced): a request
+//! tagged by `TRACE <id>` produces ring events with that id on every
+//! node it touches (router fan-out, migration, replication), which is
+//! what makes one request's path through a cluster reconstructible.
+
+pub mod hist;
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::Instant;
+
+/// Log severity, ordered from most to least severe. The numeric values
+/// are load-bearing: a level is enabled when `level as u8 <=
+/// configured`, and `0` is reserved for "off".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-affecting conditions.
+    Error = 1,
+    /// Degraded-but-running conditions (failover, fencing, shedding).
+    Warn = 2,
+    /// Lifecycle events and traced requests (the default).
+    Info = 3,
+    /// Per-operation detail (slow-op events always use at least this).
+    Debug = 4,
+    /// Everything, including per-frame chatter.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses `error|warn|info|debug|trace` (plus `off` → `None`).
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => None,
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => return None,
+        })
+    }
+
+    /// The lowercase name (`"info"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Rendered line format for sinks and `LOGTAIL`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogFormat {
+    /// `ts_us=12 level=info target=conn msg=accepted conn=4`
+    Logfmt,
+    /// One JSON object per line.
+    Json,
+}
+
+impl LogFormat {
+    /// Parses `logfmt|json`.
+    pub fn parse(s: &str) -> Option<LogFormat> {
+        match s.to_ascii_lowercase().as_str() {
+            "logfmt" => Some(LogFormat::Logfmt),
+            "json" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LogFormat::Logfmt => "logfmt",
+            LogFormat::Json => "json",
+        }
+    }
+}
+
+/// One structured event. Targets and messages are static strings (they
+/// come from [`log!`] literals); fields are formatted eagerly only
+/// when the event's level is enabled.
+#[derive(Clone, Debug)]
+pub struct LogEvent {
+    /// Monotonic per-[`Obs`] sequence number (also the ring cursor).
+    pub seq: u64,
+    /// Microseconds since the owning [`Obs`] was created.
+    pub ts_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Subsystem tag (`"conn"`, `"repl"`, `"wal"`, `"cluster"`, …).
+    pub target: &'static str,
+    /// What happened.
+    pub msg: &'static str,
+    /// Request trace id; `0` = untraced.
+    pub trace: u64,
+    /// `key = value` pairs, in emission order.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+fn logfmt_value(out: &mut String, v: &str) {
+    let plain = !v.is_empty()
+        && v.bytes()
+            .all(|b| b.is_ascii_graphic() && b != b'"' && b != b'=' && b != b'\\');
+    if plain {
+        out.push_str(v);
+        return;
+    }
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_string(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl LogEvent {
+    /// Renders the event as one line (no trailing newline) in `format`.
+    pub fn render(&self, format: LogFormat, out: &mut String) {
+        match format {
+            LogFormat::Logfmt => {
+                let _ = write!(
+                    out,
+                    "ts_us={} level={} target={} msg=",
+                    self.ts_us,
+                    self.level.name(),
+                    self.target
+                );
+                logfmt_value(out, self.msg);
+                if self.trace != 0 {
+                    let _ = write!(out, " trace={}", self.trace);
+                }
+                for (k, v) in &self.fields {
+                    let _ = write!(out, " {k}=");
+                    logfmt_value(out, v);
+                }
+            }
+            LogFormat::Json => {
+                let _ = write!(
+                    out,
+                    "{{\"ts_us\":{},\"level\":\"{}\",\"target\":\"{}\",\"msg\":",
+                    self.ts_us,
+                    self.level.name(),
+                    self.target
+                );
+                json_string(out, self.msg);
+                if self.trace != 0 {
+                    let _ = write!(out, ",\"trace\":{}", self.trace);
+                }
+                for (k, v) in &self.fields {
+                    let _ = write!(out, ",\"{k}\":");
+                    json_string(out, v);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Bounded event ring retaining the last `capacity` events. The write
+/// path claims a slot with one `fetch_add` (lock-free — writers never
+/// wait on each other for ordering) and holds that slot's mutex only
+/// for the `Option` store; readers snapshot by cloning the live slots.
+struct Ring {
+    slots: Vec<Mutex<Option<LogEvent>>>,
+    cursor: AtomicU64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores `ev`, assigning its sequence number; overwrites the
+    /// oldest event once the ring is full.
+    fn push(&self, mut ev: LogEvent) -> u64 {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        ev.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        // A poisoned slot (a panicking writer mid-store) must not kill
+        // the panic-hook dump that runs right after it.
+        let mut guard = self.slots[slot]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Concurrent writers can race slot stores; keep the newer seq.
+        if guard.as_ref().is_none_or(|old| old.seq < seq) {
+            *guard = Some(ev);
+        }
+        seq
+    }
+
+    /// The retained events, oldest first.
+    fn snapshot(&self) -> Vec<LogEvent> {
+        let mut events: Vec<LogEvent> = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                slot.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .clone()
+            })
+            .collect();
+        events.sort_unstable_by_key(|e| e.seq);
+        events
+    }
+}
+
+/// Where rendered log lines go (the ring always records regardless).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum LogSink {
+    /// Ring only — the embedded/test default: no output stream.
+    #[default]
+    None,
+    /// Lines to stderr (the CLI `serve` default).
+    Stderr,
+    /// Lines appended to a file.
+    File(PathBuf),
+}
+
+/// [`Obs`] construction knobs.
+#[derive(Clone, Debug)]
+pub struct ObsConfig {
+    /// Enabled severity; `None` disables emission entirely.
+    pub level: Option<Level>,
+    /// Rendered line format (sinks and `LOGTAIL`).
+    pub format: LogFormat,
+    /// Output stream for rendered lines.
+    pub sink: LogSink,
+    /// Events retained in the ring.
+    pub ring: usize,
+    /// Whether to dump this ring to stderr on panic (the CLI opts in;
+    /// embedded/test servers stay quiet).
+    pub dump_on_panic: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            level: Some(Level::Info),
+            format: LogFormat::Logfmt,
+            sink: LogSink::None,
+            ring: 1024,
+            dump_on_panic: false,
+        }
+    }
+}
+
+/// A process can host many [`Obs`] instances (tests spawn many servers
+/// in one process); the panic hook walks the registered ones.
+fn panic_registry() -> &'static Mutex<Vec<Weak<Obs>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Weak<Obs>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn install_panic_hook() {
+    static INSTALL: OnceLock<()> = OnceLock::new();
+    INSTALL.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            let Ok(mut registry) = panic_registry().lock() else {
+                return;
+            };
+            registry.retain(|w| w.strong_count() > 0);
+            for obs in registry.iter().filter_map(Weak::upgrade) {
+                let tail = obs.tail(64);
+                if !tail.is_empty() {
+                    let mut err = io::stderr().lock();
+                    let _ = writeln!(err, "--- obs ring tail (panic) ---");
+                    let _ = err.write_all(tail.as_bytes());
+                }
+            }
+        }));
+    });
+}
+
+/// One observability domain: a level gate, an event ring, and an
+/// optional rendered-line sink. Each server owns one (`Arc`-shared
+/// with its workers); the CLI builds one from `serve` flags.
+pub struct Obs {
+    /// Enabled level; 0 = off. Atomic so it is runtime-adjustable.
+    level: AtomicU8,
+    format: LogFormat,
+    sink: Option<Mutex<Box<dyn Write + Send>>>,
+    ring: Ring,
+    start: Instant,
+}
+
+impl Obs {
+    /// Builds an `Obs` from `cfg`. Opening the file sink is the only
+    /// fallible step.
+    pub fn new(cfg: ObsConfig) -> io::Result<Arc<Obs>> {
+        let sink: Option<Box<dyn Write + Send>> = match cfg.sink {
+            LogSink::None => None,
+            LogSink::Stderr => Some(Box::new(io::stderr())),
+            LogSink::File(path) => Some(Box::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+        };
+        let obs = Arc::new(Obs {
+            level: AtomicU8::new(cfg.level.map_or(0, |l| l as u8)),
+            format: cfg.format,
+            sink: sink.map(Mutex::new),
+            ring: Ring::new(cfg.ring),
+            start: Instant::now(),
+        });
+        if cfg.dump_on_panic {
+            install_panic_hook();
+            if let Ok(mut registry) = panic_registry().lock() {
+                registry.retain(|w| w.strong_count() > 0);
+                registry.push(Arc::downgrade(&obs));
+            }
+        }
+        Ok(obs)
+    }
+
+    /// An `Obs` that records nothing (level off, minimal ring) — the
+    /// zero-cost stand-in where observability is not wired up.
+    pub fn disabled() -> Arc<Obs> {
+        Obs::new(ObsConfig {
+            level: None,
+            ring: 1,
+            ..ObsConfig::default()
+        })
+        .expect("no sink to open")
+    }
+
+    /// Whether events at `level` are currently emitted. One relaxed
+    /// load — this is the gate [`log!`] checks before formatting
+    /// anything.
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        level as u8 <= self.level.load(Ordering::Relaxed)
+    }
+
+    /// Adjusts the enabled level at runtime (`None` = off).
+    pub fn set_level(&self, level: Option<Level>) {
+        self.level
+            .store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+    }
+
+    /// The configured line format.
+    pub fn format(&self) -> LogFormat {
+        self.format
+    }
+
+    /// Records one event: into the ring always, and rendered to the
+    /// sink when one is configured. Callers go through [`log!`], which
+    /// performs the level check first.
+    pub fn emit(
+        &self,
+        level: Level,
+        target: &'static str,
+        msg: &'static str,
+        trace: u64,
+        fields: Vec<(&'static str, String)>,
+    ) {
+        let ev = LogEvent {
+            seq: 0,
+            ts_us: self.start.elapsed().as_micros() as u64,
+            level,
+            target,
+            msg,
+            trace,
+            fields,
+        };
+        if let Some(sink) = &self.sink {
+            let mut line = String::with_capacity(96);
+            ev.render(self.format, &mut line);
+            line.push('\n');
+            // A full disk or closed stderr must not take the server
+            // down with it; the ring still has the event.
+            if let Ok(mut w) = sink.lock() {
+                let _ = w.write_all(line.as_bytes());
+            }
+        }
+        self.ring.push(ev);
+    }
+
+    /// The last `n` retained events, oldest first (all of them when
+    /// `n` is 0 or exceeds the retention).
+    pub fn tail_events(&self, n: usize) -> Vec<LogEvent> {
+        let mut events = self.ring.snapshot();
+        if n > 0 && events.len() > n {
+            events.drain(..events.len() - n);
+        }
+        events
+    }
+
+    /// The last `n` events rendered in the configured format, one line
+    /// each (the `LOGTAIL` payload).
+    pub fn tail(&self, n: usize) -> String {
+        let mut out = String::new();
+        for ev in self.tail_events(n) {
+            ev.render(self.format, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Retained events carrying `trace` (0 matches nothing).
+    pub fn trace_events(&self, trace: u64) -> Vec<LogEvent> {
+        if trace == 0 {
+            return Vec::new();
+        }
+        self.ring
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.trace == trace)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("level", &self.level.load(Ordering::Relaxed))
+            .field("format", &self.format)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Emits a structured event through an [`Obs`] handle.
+///
+/// ```
+/// use sprofile_obs::{log, Level, Obs};
+/// let obs = Obs::disabled();
+/// log!(obs, Level::Info, "conn", "accepted", conn = 7, peer = "1.2.3.4");
+/// // Traced form: the id lands in `LogEvent::trace`.
+/// log!(obs, Level::Info, "conn", "batch"; trace = 42, tuples = 8);
+/// ```
+///
+/// The level gate runs before any field expression is evaluated or
+/// formatted, so disabled events cost one atomic load.
+#[macro_export]
+macro_rules! log {
+    ($obs:expr, $level:expr, $target:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::log!($obs, $level, $target, $msg; trace = 0u64 $(, $key = $val)*)
+    };
+    ($obs:expr, $level:expr, $target:expr, $msg:expr; trace = $trace:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        let obs: &$crate::Obs = &$obs;
+        let level: $crate::Level = $level;
+        if obs.enabled(level) {
+            let fields: Vec<(&'static str, String)> =
+                vec![$( (stringify!($key), format!("{}", $val)) ),*];
+            obs.emit(level, $target, $msg, $trace, fields);
+        }
+    }};
+}
+
+/// Scrape-time rate meter over a monotonically increasing counter:
+/// feeds each observation the counter's current total and gets back
+/// the per-second rate since the previous observation plus a 10 s
+/// EWMA. State updates only on observation (scrapes), so an unscraped
+/// meter costs nothing on the hot path.
+#[derive(Debug, Default)]
+pub struct Meter {
+    inner: Mutex<MeterInner>,
+}
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    last: Option<(Instant, u64)>,
+    rate: f64,
+    ewma: f64,
+}
+
+/// EWMA window: `alpha = 1 - exp(-dt / 10s)` per observation.
+const EWMA_WINDOW_S: f64 = 10.0;
+
+/// One [`Meter`] observation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MeterReading {
+    /// Events per second since the previous observation.
+    pub rate: f64,
+    /// 10 s exponentially weighted moving average of the rate.
+    pub ewma: f64,
+}
+
+impl Meter {
+    /// A fresh meter (first observation reads 0).
+    pub fn new() -> Meter {
+        Meter::default()
+    }
+
+    /// Folds the counter's current `total` in and returns the reading.
+    pub fn observe(&self, total: u64) -> MeterReading {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("meter lock poisoned");
+        if let Some((then, prev)) = inner.last {
+            let dt = now.duration_since(then).as_secs_f64();
+            if dt > 0.0 {
+                // Counters are monotone; a reset (restarted source)
+                // reads as a 0 rate rather than a huge negative one.
+                inner.rate = total.saturating_sub(prev) as f64 / dt;
+                let alpha = 1.0 - (-dt / EWMA_WINDOW_S).exp();
+                inner.ewma += alpha * (inner.rate - inner.ewma);
+            }
+        }
+        inner.last = Some((now, total));
+        MeterReading {
+            rate: inner.rate,
+            ewma: inner.ewma,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn ring_obs(capacity: usize) -> Arc<Obs> {
+        Obs::new(ObsConfig {
+            level: Some(Level::Trace),
+            ring: capacity,
+            ..ObsConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("info"), Some(Some(Level::Info)));
+        assert_eq!(Level::parse("WARN"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("loud"), None);
+        assert!(Level::Error < Level::Trace);
+        let obs = ring_obs(4);
+        obs.set_level(Some(Level::Warn));
+        assert!(obs.enabled(Level::Error));
+        assert!(obs.enabled(Level::Warn));
+        assert!(!obs.enabled(Level::Info));
+        obs.set_level(None);
+        assert!(!obs.enabled(Level::Error));
+    }
+
+    #[test]
+    fn logfmt_and_json_render_and_escape() {
+        let obs = ring_obs(8);
+        log!(
+            obs,
+            Level::Info,
+            "conn",
+            "accepted",
+            conn = 7,
+            peer = "a b\"c"
+        );
+        let ev = obs.tail_events(1).pop().unwrap();
+        let mut line = String::new();
+        ev.render(LogFormat::Logfmt, &mut line);
+        assert!(
+            line.contains("level=info target=conn msg=accepted"),
+            "{line}"
+        );
+        assert!(line.contains("conn=7"), "{line}");
+        assert!(line.contains(r#"peer="a b\"c""#), "{line}");
+        assert!(
+            !line.contains("trace="),
+            "untraced events omit trace: {line}"
+        );
+        let mut json = String::new();
+        ev.render(LogFormat::Json, &mut json);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains(r#""msg":"accepted""#), "{json}");
+        assert!(json.contains(r#""peer":"a b\"c""#), "{json}");
+
+        log!(obs, Level::Warn, "repl", "fenced"; trace = 99, epoch = 3);
+        let ev = obs.tail_events(1).pop().unwrap();
+        assert_eq!(ev.trace, 99);
+        let mut line = String::new();
+        ev.render(LogFormat::Logfmt, &mut line);
+        assert!(line.contains("trace=99"), "{line}");
+        assert_eq!(obs.trace_events(99).len(), 1);
+        assert!(obs.trace_events(0).is_empty());
+    }
+
+    #[test]
+    fn disabled_levels_do_not_evaluate_fields() {
+        let obs = ring_obs(4);
+        obs.set_level(Some(Level::Info));
+        let evaluated = AtomicUsize::new(0);
+        let expensive = || {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            "x"
+        };
+        log!(obs, Level::Debug, "t", "skipped", v = expensive());
+        assert_eq!(evaluated.load(Ordering::Relaxed), 0, "gated before eval");
+        log!(obs, Level::Info, "t", "kept", v = expensive());
+        assert_eq!(evaluated.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_newest_events() {
+        let obs = ring_obs(8);
+        for i in 0..30u64 {
+            log!(obs, Level::Info, "t", "e", i = i);
+        }
+        let events = obs.tail_events(0);
+        assert_eq!(events.len(), 8, "capacity bounds retention");
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (22..30).collect::<Vec<_>>(), "newest 8, in order");
+        // tail(n) trims from the old end.
+        let tail = obs.tail(3);
+        assert_eq!(tail.lines().count(), 3);
+        assert!(tail.contains("i=29"), "{tail}");
+        assert!(!tail.contains("i=26"), "{tail}");
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_but_the_overwritten() {
+        let obs = ring_obs(256);
+        let writers = 8usize;
+        let per = 200u64;
+        std::thread::scope(|s| {
+            for w in 0..writers as u64 {
+                let obs = Arc::clone(&obs);
+                s.spawn(move || {
+                    for i in 0..per {
+                        log!(obs, Level::Info, "t", "e", w = w, i = i);
+                    }
+                });
+            }
+        });
+        let events = obs.tail_events(0);
+        assert_eq!(events.len(), 256, "ring full");
+        // Sequence numbers are unique and form the final window of the
+        // global counter: total writes - capacity .. total writes.
+        let total = writers as u64 * per;
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 256, "no duplicate seq survived");
+        assert!(seqs.iter().all(|&s| s < total));
+        assert!(
+            seqs.iter().filter(|&&s| s >= total - 256).count() >= 128,
+            "retention is dominated by the newest window"
+        );
+    }
+
+    #[test]
+    fn file_sink_appends_rendered_lines() {
+        let path = std::env::temp_dir().join(format!("sprofile-obs-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let obs = Obs::new(ObsConfig {
+            level: Some(Level::Info),
+            format: LogFormat::Json,
+            sink: LogSink::File(path.clone()),
+            ..ObsConfig::default()
+        })
+        .unwrap();
+        log!(obs, Level::Info, "t", "hello", n = 1);
+        log!(obs, Level::Debug, "t", "filtered");
+        drop(obs);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(text.contains(r#""msg":"hello""#), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn meter_tracks_rates_and_ewma_converges() {
+        let meter = Meter::new();
+        assert_eq!(meter.observe(0), MeterReading::default());
+        std::thread::sleep(Duration::from_millis(40));
+        let r = meter.observe(100);
+        assert!(r.rate > 100.0, "~2500/s: {r:?}");
+        assert!(r.ewma > 0.0 && r.ewma <= r.rate, "{r:?}");
+        // A counter reset reads as zero rate, not negative.
+        std::thread::sleep(Duration::from_millis(10));
+        let r = meter.observe(0);
+        assert_eq!(r.rate, 0.0);
+    }
+}

@@ -3,6 +3,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use sprofile_obs::hist::AtomicLogHistogram;
+
 /// Counters describing a [`Wal`](crate::Wal)'s lifetime activity. One
 /// instance is shared (`Arc`) between the writer and any observers; all
 /// loads/stores are relaxed — these are diagnostics, not
@@ -17,6 +19,8 @@ pub struct WalMetrics {
     checkpoints: AtomicU64,
     head_lsn: AtomicU64,
     epoch: AtomicU64,
+    fsync_us: AtomicLogHistogram,
+    checkpoint_us: AtomicLogHistogram,
 }
 
 macro_rules! counter {
@@ -74,6 +78,17 @@ impl WalMetrics {
         epoch
     );
 
+    /// Wall-clock latency of each `fsync` issued, in microseconds.
+    pub fn fsync_us(&self) -> &AtomicLogHistogram {
+        &self.fsync_us
+    }
+
+    /// Wall-clock latency of each durable checkpoint write (temp file +
+    /// fsync + rename + directory fsync), in microseconds.
+    pub fn checkpoint_us(&self) -> &AtomicLogHistogram {
+        &self.checkpoint_us
+    }
+
     pub(crate) fn on_append(&self, tuples: u64, bytes: u64) {
         self.records.fetch_add(1, Ordering::Relaxed);
         self.tuples.fetch_add(tuples, Ordering::Relaxed);
@@ -84,12 +99,14 @@ impl WalMetrics {
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_fsync(&self) {
+    pub(crate) fn on_fsync(&self, us: u64) {
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.fsync_us.record(us);
     }
 
-    pub(crate) fn on_checkpoint(&self) {
+    pub(crate) fn on_checkpoint(&self, us: u64) {
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_us.record(us);
     }
 
     pub(crate) fn set_segments(&self, n: u64) {
@@ -123,8 +140,8 @@ mod tests {
         m.on_append(5, 33);
         m.on_append(2, 18);
         m.on_header(16);
-        m.on_fsync();
-        m.on_checkpoint();
+        m.on_fsync(120);
+        m.on_checkpoint(4500);
         m.set_segments(3);
         m.add_segments(-2);
         assert_eq!(m.records(), 2);
@@ -133,5 +150,9 @@ mod tests {
         assert_eq!(m.fsyncs(), 1);
         assert_eq!(m.segments(), 1);
         assert_eq!(m.checkpoints(), 1);
+        assert_eq!(m.fsync_us().count(), 1);
+        assert_eq!(m.fsync_us().max(), 120);
+        assert_eq!(m.checkpoint_us().count(), 1);
+        assert_eq!(m.checkpoint_us().max(), 4500);
     }
 }

@@ -184,10 +184,11 @@ impl Wal {
         let mut file = BufWriter::new(File::create(&path)?);
         file.write_all(&encode_segment_header(next_lsn))?;
         file.flush()?;
+        let t = Instant::now();
         file.get_ref().sync_all()?;
         fsync_dir(&opts.dir);
         metrics.on_header(SEG_HEADER as u64);
-        metrics.on_fsync();
+        metrics.on_fsync(t.elapsed().as_micros() as u64);
         metrics.set_segments(list_segments(&opts.dir)?.len() as u64);
         metrics.set_head_lsn(next_lsn - 1);
         let epoch = read_epoch(&opts.dir);
@@ -461,8 +462,9 @@ impl Wal {
     }
 
     fn fsync(&mut self) -> Result<(), PersistError> {
+        let t = Instant::now();
         self.file.get_ref().sync_data()?;
-        self.metrics.on_fsync();
+        self.metrics.on_fsync(t.elapsed().as_micros() as u64);
         self.last_sync = Instant::now();
         self.dirty = false;
         Ok(())
@@ -477,10 +479,11 @@ impl Wal {
         let mut file = BufWriter::new(File::create(&path)?);
         file.write_all(&encode_segment_header(self.next_lsn))?;
         file.flush()?;
+        let t = Instant::now();
         file.get_ref().sync_all()?;
         fsync_dir(&self.opts.dir);
         self.metrics.on_header(SEG_HEADER as u64);
-        self.metrics.on_fsync();
+        self.metrics.on_fsync(t.elapsed().as_micros() as u64);
         self.file = file;
         self.seg_bytes = SEG_HEADER as u64;
         self.last_sync = Instant::now();
@@ -490,8 +493,9 @@ impl Wal {
     /// Closes the current segment (fully synced) and starts the next one.
     fn rotate(&mut self) -> Result<(), PersistError> {
         self.file.flush()?;
+        let t = Instant::now();
         self.file.get_ref().sync_data()?;
-        self.metrics.on_fsync();
+        self.metrics.on_fsync(t.elapsed().as_micros() as u64);
         self.dirty = false;
         self.start_segment()?;
         self.metrics.add_segments(1);
@@ -514,8 +518,9 @@ impl Wal {
         // tear. If this sync also fails, the interval loss window for
         // those records widens; the record that triggered the retry is
         // still protected by its own append-path sync.
+        let t = Instant::now();
         if let Ok(()) = self.file.get_ref().sync_data() {
-            self.metrics.on_fsync();
+            self.metrics.on_fsync(t.elapsed().as_micros() as u64);
         }
         let new_path = self.seg_bytes > SEG_HEADER as u64;
         self.start_segment()?;
@@ -547,6 +552,7 @@ impl Wal {
     /// Durably writes the checkpoint file for `lsn` (temp + rename +
     /// directory fsync).
     fn write_checkpoint_file(&mut self, lsn: u64, snapshot: &[u8]) -> Result<(), PersistError> {
+        let t = Instant::now();
         let final_path = checkpoint_path(&self.opts.dir, lsn);
         let tmp_path = final_path.with_extension("ck.tmp");
         {
@@ -558,7 +564,7 @@ impl Wal {
         }
         fs::rename(&tmp_path, &final_path)?;
         fsync_dir(&self.opts.dir);
-        self.metrics.on_checkpoint();
+        self.metrics.on_checkpoint(t.elapsed().as_micros() as u64);
         Ok(())
     }
 

@@ -162,6 +162,14 @@ pub trait ApplySink: Send {
 
     /// Applies one record (already validated to be the next in order).
     fn apply(&mut self, lsn: u64, tuples: &[Tuple]) -> Result<(), String>;
+
+    /// Observes a `TRC` annotation: the record at `lsn` was written by
+    /// a request carrying `trace`. Purely observational (the server's
+    /// sink logs it into its ring so cross-node tracing works); the
+    /// default ignores it.
+    fn trace(&mut self, lsn: u64, trace: u64) {
+        let _ = (lsn, trace);
+    }
 }
 
 /// A running applier thread. Stop it with [`Applier::stop`] (promotion,
@@ -318,6 +326,10 @@ fn session(
                 }
                 return Err(io::Error::other(format!("primary refused: {msg}")));
             }
+            FrameHeader::Trace { lsn, trace } => {
+                sink.trace(lsn, trace);
+                stats.bytes.fetch_add(header_len, Ordering::Relaxed);
+            }
             FrameHeader::Epoch(e) => {
                 let local = sink.epoch();
                 if e < local {
@@ -400,6 +412,7 @@ mod tests {
     struct RecordingSink {
         applied: Shared<Vec<Tuple>>,
         bootstraps: Shared<Vec<u8>>,
+        traces: Shared<u64>,
         position: Arc<AtomicU64>,
         epoch: Arc<AtomicU64>,
     }
@@ -427,6 +440,9 @@ mod tests {
             self.applied.lock().unwrap().push((lsn, tuples.to_vec()));
             self.position.store(lsn + 1, Ordering::Relaxed);
             Ok(())
+        }
+        fn trace(&mut self, lsn: u64, trace: u64) {
+            self.traces.lock().unwrap().push((lsn, trace));
         }
     }
 
@@ -466,6 +482,9 @@ mod tests {
                     &[Tuple::add(lsn as u32), Tuple::remove(0)],
                 )
                 .unwrap();
+                if lsn == 12 {
+                    frame::write_trace(&mut writer, lsn, 4242).unwrap();
+                }
             }
             writer.flush().unwrap();
             // The CKPT triggers an immediate ack; 3 records with
@@ -511,6 +530,11 @@ mod tests {
             vec![11, 12, 13]
         );
         assert_eq!(applied[0].1, vec![Tuple::add(11), Tuple::remove(0)]);
+        assert_eq!(
+            sink.traces.lock().unwrap().as_slice(),
+            &[(12, 4242)],
+            "TRC annotation reached the sink"
+        );
         let acks = primary.join().unwrap();
         assert!(acks.contains(&10), "{acks:?}");
         assert!(acks.contains(&13), "{acks:?}");

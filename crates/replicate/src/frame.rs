@@ -22,6 +22,13 @@
 //!       one WAL record; `head` is the primary's newest LSN at send
 //!       time, so the replica can report its lag. `op` is 1 for add,
 //!       0 for remove — the WAL record payload encoding.
+//!   TRC <lsn> <trace>\n
+//!       request-tracing annotation: the record at `lsn` was written by
+//!       a client request carrying trace id `trace`. Sent immediately
+//!       after that record's `REC` frame (no payload); replicas log it
+//!       into their observability ring so one trace id correlates
+//!       events across the whole primary+replica topology. A replica
+//!       that does not care simply ignores it.
 //!   ERR <message>\n
 //!       refusal (not a primary, no WAL, readonly, or a fencing
 //!       rejection — the message starts with `fenced:` when the
@@ -70,6 +77,14 @@ pub enum FrameHeader {
         /// The primary's newest LSN at send time (lag = head − applied).
         head: u64,
     },
+    /// `TRC <lsn> <trace>`: the record at `lsn` carried a request
+    /// trace id (no payload; purely observational).
+    Trace {
+        /// The traced record's LSN.
+        lsn: u64,
+        /// The request trace id (never 0 on the wire).
+        trace: u64,
+    },
     /// `EPOCH <e>`: the primary's generation (stream greeting and idle
     /// heartbeat).
     Epoch(u64),
@@ -112,6 +127,11 @@ pub fn parse_header(line: &str) -> Result<FrameHeader, String> {
             }
             FrameHeader::Rec { lsn, count, head }
         }
+        "TRC" => {
+            let lsn = num("lsn")?;
+            let trace = num("trace")?;
+            FrameHeader::Trace { lsn, trace }
+        }
         "EPOCH" => FrameHeader::Epoch(num("epoch")?),
         other => return Err(format!("unknown replication frame '{other}'")),
     };
@@ -145,6 +165,14 @@ pub fn write_ckpt<W: Write>(w: &mut W, lsn: u64, snapshot: &[u8]) -> io::Result<
     w.write_all(header.as_bytes())?;
     w.write_all(snapshot)?;
     Ok((header.len() + snapshot.len()) as u64)
+}
+
+/// Writes a `TRC` frame (request-tracing annotation for the record at
+/// `lsn`); returns the bytes written.
+pub fn write_trace<W: Write>(w: &mut W, lsn: u64, trace: u64) -> io::Result<u64> {
+    let header = format!("TRC {lsn} {trace}\n");
+    w.write_all(header.as_bytes())?;
+    Ok(header.len() as u64)
 }
 
 /// Writes an `EPOCH` frame (the stream greeting / idle heartbeat);
@@ -349,6 +377,24 @@ mod tests {
             parse_header("ERR no wal").unwrap(),
             FrameHeader::Err("no wal".into())
         );
+    }
+
+    #[test]
+    fn trace_frames_round_trip() {
+        let mut wire = Vec::new();
+        let n = write_trace(&mut wire, 42, 0xDEAD_BEEF).unwrap();
+        assert_eq!(n as usize, wire.len());
+        let line = std::str::from_utf8(&wire).unwrap().trim_end();
+        assert_eq!(
+            parse_header(line).unwrap(),
+            FrameHeader::Trace {
+                lsn: 42,
+                trace: 0xDEAD_BEEF
+            }
+        );
+        for junk in ["TRC 1", "TRC x 2", "TRC 1 2 3"] {
+            assert!(parse_header(junk).is_err(), "{junk:?}");
+        }
     }
 
     #[test]

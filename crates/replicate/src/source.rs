@@ -21,6 +21,7 @@
 //! [`ReplicaRegistry`] so checkpoint pruning never deletes segments the
 //! slowest replica still needs.
 
+use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,6 +43,12 @@ const TAIL_POLL: Duration = Duration::from_millis(25);
 /// signal replicas' failover promoters watch (measured in consecutive
 /// [`TAIL_POLL`] timeouts: 8 × 25 ms = 200 ms).
 const HEARTBEAT_TIMEOUTS: u32 = 8;
+
+/// Most recent LSN→trace annotations retained for shipping. Traces are
+/// best-effort observability: an annotation evicted before its record
+/// ships (a replica catching up from far behind) is simply not
+/// propagated, never an error.
+const TRACE_TABLE_CAPACITY: usize = 512;
 
 /// Shipping counters for `STATS` (`repl_records` / `repl_bytes` /
 /// `fenced_rejects`).
@@ -151,6 +158,9 @@ pub struct ReplicationSource {
     dir: PathBuf,
     registry: Arc<ReplicaRegistry>,
     metrics: SourceMetrics,
+    /// Recent LSN→trace-id annotations ([`Self::note_trace`]), shipped
+    /// as `TRC` frames right after the matching `REC`.
+    traces: Mutex<VecDeque<(u64, u64)>>,
 }
 
 fn to_io(e: PersistError) -> io::Error {
@@ -176,7 +186,42 @@ impl ReplicationSource {
             dir: dir.into(),
             registry,
             metrics: SourceMetrics::default(),
+            traces: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Annotates the record at `lsn` with a request `trace` id, to be
+    /// shipped as a `TRC` frame alongside its `REC` on every stream.
+    /// Bounded ([`TRACE_TABLE_CAPACITY`]); a 0 trace is a no-op.
+    pub fn note_trace(&self, lsn: u64, trace: u64) {
+        if trace == 0 {
+            return;
+        }
+        let mut traces = self.traces.lock().expect("trace table poisoned");
+        if traces.len() >= TRACE_TABLE_CAPACITY {
+            traces.pop_front();
+        }
+        traces.push_back((lsn, trace));
+    }
+
+    /// The trace annotation for `lsn`, if still retained.
+    fn trace_for(&self, lsn: u64) -> Option<u64> {
+        self.traces
+            .lock()
+            .expect("trace table poisoned")
+            .iter()
+            .rev()
+            .find(|&&(l, _)| l == lsn)
+            .map(|&(_, t)| t)
+    }
+
+    /// Ships the `TRC` annotation for `lsn`, when one is retained.
+    fn ship_trace<W: Write>(&self, writer: &mut W, lsn: u64) -> io::Result<()> {
+        if let Some(trace) = self.trace_for(lsn) {
+            let bytes = frame::write_trace(writer, lsn, trace)?;
+            self.metrics.on_ship(0, bytes);
+        }
+        Ok(())
     }
 
     /// Shipping counters.
@@ -313,6 +358,7 @@ impl ReplicationSource {
                     let bytes = frame::write_rec(writer, lsn, self.head_lsn(), &tuples)
                         .map_err(PersistError::Io)?;
                     self.metrics.on_ship(1, bytes);
+                    self.ship_trace(writer, lsn).map_err(PersistError::Io)?;
                     Ok(())
                 });
                 match result {
@@ -392,6 +438,7 @@ impl ReplicationSource {
         // replica's lag must read as the real gap, not zero.
         let bytes = frame::write_rec(writer, rec.lsn, self.head_lsn(), &rec.tuples)?;
         self.metrics.on_ship(1, bytes);
+        self.ship_trace(writer, rec.lsn)?;
         *cursor = rec.lsn + 1;
         Ok(Step::Shipped)
     }
@@ -427,7 +474,7 @@ mod tests {
             let payload = match &header {
                 FrameHeader::Ckpt { nbytes, .. } => *nbytes as usize,
                 FrameHeader::Rec { count, .. } => *count as usize * frame::TUPLE_BYTES,
-                FrameHeader::Epoch(_) | FrameHeader::Err(_) => 0,
+                FrameHeader::Trace { .. } | FrameHeader::Epoch(_) | FrameHeader::Err(_) => 0,
             };
             bytes = &bytes[payload..];
             out.push(header);
@@ -484,6 +531,53 @@ mod tests {
         assert!(source.metrics().bytes() > 0);
         // The registry slot was dropped when the stream ended.
         assert_eq!(source.replicas(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn noted_traces_ship_as_trc_frames_after_their_rec() {
+        let dir = temp_dir("traces");
+        let mut wal = Wal::open(
+            WalOptions {
+                dir: dir.clone(),
+                sync: SyncPolicy::Never,
+                ..WalOptions::default()
+            },
+            1,
+        )
+        .unwrap();
+        for i in 0..6u32 {
+            wal.append(&[Tuple::add(i)]).unwrap();
+        }
+        wal.sync().unwrap();
+        let source =
+            ReplicationSource::new(Arc::new(Mutex::new(wal)), &dir, ReplicaRegistry::new());
+        source.note_trace(3, 0); // 0 = untraced, dropped
+        source.note_trace(3, 777);
+        source.note_trace(5, 888);
+        let mut wire = Vec::new();
+        let acks = AckState::new();
+        source
+            .stream(1, 0, &mut wire, &acks, &stop_after_records(&source, 6))
+            .unwrap();
+        let frames = decode_stream(&wire);
+        let pos = |f: &FrameHeader| frames.iter().position(|g| g == f);
+        let trc3 = pos(&FrameHeader::Trace { lsn: 3, trace: 777 }).expect("TRC 3 shipped");
+        let trc5 = pos(&FrameHeader::Trace { lsn: 5, trace: 888 }).expect("TRC 5 shipped");
+        let rec3 = frames
+            .iter()
+            .position(|f| matches!(f, FrameHeader::Rec { lsn: 3, .. }))
+            .unwrap();
+        assert_eq!(trc3, rec3 + 1, "TRC rides right behind its REC");
+        assert!(trc5 > trc3);
+        assert_eq!(
+            frames
+                .iter()
+                .filter(|f| matches!(f, FrameHeader::Trace { .. }))
+                .count(),
+            2,
+            "untraced records ship no TRC: {frames:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

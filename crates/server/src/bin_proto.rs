@@ -20,6 +20,7 @@
 //! 0x09    QUIT      —
 //! 0x0A    SHUTDOWN  —
 //! 0x0B    SNAPSHOT  —
+//! 0x0C    TRACE     u64 trace id (0 clears; answered with OK 0)
 //! ```
 //!
 //! Response frames (first byte is the tag):
@@ -73,6 +74,8 @@ pub const REQ_QUIT: u8 = 0x09;
 pub const REQ_SHUTDOWN: u8 = 0x0A;
 /// `SNAPSHOT` request opcode (fetch a checkpoint inline).
 pub const REQ_SNAPSHOT: u8 = 0x0B;
+/// `TRACE` request opcode (set/clear the connection's trace id).
+pub const REQ_TRACE: u8 = 0x0C;
 
 /// `OK` response tag.
 pub const TAG_OK: u8 = 0x80;
@@ -142,6 +145,15 @@ pub fn put_topk(buf: &mut Vec<u8>, k: u32) {
 pub fn put_cal(buf: &mut Vec<u8>, threshold: i64) {
     buf.push(REQ_CAL);
     buf.extend_from_slice(&threshold.to_le_bytes());
+}
+
+/// Appends a `TRACE` request frame. `trace = 0` clears the
+/// connection's trace id; anything else tags every subsequent request
+/// on this connection until changed. Answered with an `OK 0` frame so
+/// the FIFO request/reply pairing is preserved.
+pub fn put_trace(buf: &mut Vec<u8>, trace: u64) {
+    buf.push(REQ_TRACE);
+    buf.extend_from_slice(&trace.to_le_bytes());
 }
 
 /// Appends an `OK` response frame.

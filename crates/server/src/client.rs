@@ -387,6 +387,63 @@ impl Client {
             .and_then(|v| v.parse().ok())
     }
 
+    /// Reads a `<PREFIX> <nbytes>\n` header then exactly `nbytes` of
+    /// raw payload — the length-prefixed framing `METRICS` and
+    /// `LOGTAIL` replies use so arbitrary text can ride the line
+    /// protocol without desyncing it.
+    fn recv_sized_payload(&mut self, prefix: &str) -> ClientResult<String> {
+        let header = self.recv_ok()?;
+        let n: usize = parse_field(self.expect_prefix(&header, prefix)?, &header)?;
+        if n > 1 << 24 {
+            return Err(ClientError::Protocol(format!(
+                "{prefix} payload length {n} is implausible"
+            )));
+        }
+        let mut payload = vec![0u8; n];
+        io::Read::read_exact(&mut self.reader, &mut payload)?;
+        String::from_utf8(payload)
+            .map_err(|_| ClientError::Protocol(format!("{prefix} payload is not utf-8")))
+    }
+
+    /// `METRICS` → the Prometheus text-exposition payload. Text-protocol
+    /// only.
+    pub fn metrics(&mut self) -> ClientResult<String> {
+        if self.proto == WireProto::Bin {
+            return Err(ClientError::Protocol("METRICS is text-only".into()));
+        }
+        self.send_line("METRICS")?;
+        self.recv_sized_payload("METRICS")
+    }
+
+    /// `LOGTAIL n` → the last `n` buffered log events, rendered in the
+    /// server's configured format (`n = 0`: the whole ring buffer).
+    /// Text-protocol only.
+    pub fn logtail(&mut self, n: usize) -> ClientResult<String> {
+        if self.proto == WireProto::Bin {
+            return Err(ClientError::Protocol("LOGTAIL is text-only".into()));
+        }
+        self.send_line(&format!("LOGTAIL {n}"))?;
+        self.recv_sized_payload("LOGTAIL")
+    }
+
+    /// `TRACE id` → tags every subsequent request on this connection
+    /// with `id` in the server's log ring (0 clears). Works in both
+    /// protocols.
+    pub fn trace(&mut self, id: u64) -> ClientResult<()> {
+        if self.proto == WireProto::Bin {
+            return match self.bin_round_trip(|b| bin_proto::put_trace(b, id))? {
+                Reply::Ok(_) => Ok(()),
+                other => self.bin_unexpected("OK", &other),
+            };
+        }
+        let reply = self.round_trip(&format!("TRACE {id}"))?;
+        if reply == "OK" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!("expected OK, got '{reply}'")))
+        }
+    }
+
     /// `SNAPSHOT path` → bytes written server-side. Text-protocol only
     /// (admin commands stay on the text plane).
     pub fn snapshot(&mut self, path: &str) -> ClientResult<u64> {

@@ -213,6 +213,13 @@ impl ClusterState {
     }
 
     /// The `STATS` fragment (leading space included).
+    /// `(slices this node owns, total slices)` under the current map.
+    pub(crate) fn ownership(&self) -> (u64, u64) {
+        let map = self.map.read().expect("map lock poisoned");
+        let owned = map.owners.iter().filter(|&&o| o == self.node).count();
+        (owned as u64, u64::from(map.slices))
+    }
+
     pub(crate) fn stats_frag(&self) -> String {
         let map = self.map.read().expect("map lock poisoned");
         let owned = map.owners.iter().filter(|&&o| o == self.node).count();

@@ -22,8 +22,10 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use sprofile::{SProfile, Tuple};
+use sprofile_obs::{log, Level};
 use sprofile_persist::slice_snapshot_bytes;
 use sprofile_replicate::frame::TUPLE_BYTES;
 
@@ -31,7 +33,7 @@ use crate::backend::Backend;
 use crate::bin_proto;
 use crate::client::Client;
 use crate::cluster;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Verb};
 use crate::protocol::{self, Request, WireProto};
 use crate::server::{flush_pending, resolve_snapshot_path, Shared};
 
@@ -47,6 +49,25 @@ const READ_CHUNK: usize = 16 * 1024;
 /// protocol's own `MAX_BATCH` cap keeps every legitimate frame far
 /// smaller.
 const MAX_FRAME_BYTES: usize = 8 << 20;
+
+/// Classifies a binary opcode for the per-verb latency histograms.
+/// `None` for lifecycle frames (`QUIT`/`SHUTDOWN`, the `BIN` upgrade
+/// pseudo-frame) and unknown opcodes.
+fn bin_verb(op: u8) -> Option<Verb> {
+    Some(match op {
+        bin_proto::REQ_BATCH => Verb::Batch,
+        bin_proto::REQ_MODE => Verb::Mode,
+        bin_proto::REQ_LEAST => Verb::Least,
+        bin_proto::REQ_MEDIAN => Verb::Median,
+        bin_proto::REQ_STATS => Verb::Stats,
+        bin_proto::REQ_FREQ => Verb::Freq,
+        bin_proto::REQ_TOPK => Verb::TopK,
+        bin_proto::REQ_CAL => Verb::Cal,
+        bin_proto::REQ_SNAPSHOT => Verb::Snapshot,
+        bin_proto::REQ_TRACE => Verb::Trace,
+        _ => return None,
+    })
+}
 
 /// What `process` asks of the worker.
 pub(crate) enum Flow {
@@ -101,6 +122,20 @@ struct TextBatch {
     wal_failed: bool,
 }
 
+/// A request whose reply has not been finished yet: the verb, its
+/// start instant, and the parse-phase duration. Requests served within
+/// one parser step live here only momentarily; `BATCH`/`ADOPT` bodies
+/// carry it across ticks so the recorded latency covers the whole
+/// frame, not just its last fragment.
+struct Inflight {
+    verb: Verb,
+    t0: Instant,
+    parse_us: u64,
+    /// Frame size (batch tuple count / adopt body bytes; 0 otherwise),
+    /// for the slow-op event.
+    items: u64,
+}
+
 /// One client connection owned by an event-loop worker.
 pub(crate) struct Conn {
     stream: TcpStream,
@@ -114,13 +149,20 @@ pub(crate) struct Conn {
     proto: WireProto,
     batch: Option<TextBatch>,
     adopt: Option<AdoptBody>,
+    /// Server-unique connection id, for log correlation.
+    pub(crate) id: u64,
+    /// Sticky trace id set by `TRACE <id>` (0 = untraced). Stamped on
+    /// every event this connection's requests emit, noted with the
+    /// replication source on flush, and forwarded on `MIGRATE` hops.
+    pub(crate) trace: u64,
+    inflight: Option<Inflight>,
     eof: bool,
     done: bool,
 }
 
 impl Conn {
     /// Wraps an accepted (already non-blocking) stream.
-    pub(crate) fn new(stream: TcpStream, proto: WireProto, flush_every: usize) -> Conn {
+    pub(crate) fn new(stream: TcpStream, proto: WireProto, flush_every: usize, id: u64) -> Conn {
         Conn {
             stream,
             rbuf: Vec::new(),
@@ -131,6 +173,9 @@ impl Conn {
             proto,
             batch: None,
             adopt: None,
+            id,
+            trace: 0,
+            inflight: None,
             eof: false,
             done: false,
         }
@@ -342,9 +387,56 @@ impl Conn {
         }
     }
 
+    /// [`flush_pending`] with this connection's trace id attached.
+    fn flush_now(&mut self, backend: &Backend, shared: &Shared) {
+        flush_pending(&mut self.pending, backend, shared, self.trace);
+    }
+
     fn flush_if_due(&mut self, backend: &Backend, shared: &Arc<Shared>) {
         if self.pending.len() >= shared.flush_every {
-            flush_pending(&mut self.pending, backend, shared);
+            self.flush_now(backend, shared);
+        }
+    }
+
+    /// Closes out the in-flight request's timing: per-verb and phase
+    /// histograms, the slow-op check, and (when this connection is
+    /// traced) a `trace`-target event. No-op when nothing is in flight.
+    fn finish_request(&mut self, shared: &Shared) {
+        let Some(inf) = self.inflight.take() else {
+            return;
+        };
+        let total_us = inf.t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        shared.verb_us.record(inf.verb, total_us);
+        shared.phase_us.parse_us.record(inf.parse_us);
+        shared
+            .phase_us
+            .apply_us
+            .record(total_us.saturating_sub(inf.parse_us));
+        if shared.slow_us.is_some_and(|slow| total_us >= slow) {
+            log!(
+                shared.obs,
+                Level::Warn,
+                "slow",
+                "slow op";
+                trace = self.trace,
+                verb = inf.verb.name(),
+                total_us = total_us,
+                parse_us = inf.parse_us,
+                items = inf.items,
+                conn = self.id,
+            );
+        }
+        if self.trace != 0 {
+            log!(
+                shared.obs,
+                Level::Info,
+                "trace",
+                "request";
+                trace = self.trace,
+                verb = inf.verb.name(),
+                total_us = total_us,
+                conn = self.id,
+            );
         }
     }
 
@@ -352,11 +444,20 @@ impl Conn {
 
     fn step_text(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
         if self.adopt.is_some() {
-            return self.step_adopt_body(backend, shared);
+            let step = self.step_adopt_body(backend, shared);
+            if self.adopt.is_none() {
+                self.finish_request(shared);
+            }
+            return step;
         }
         if self.batch.is_some() {
-            return self.step_text_batch_body(backend, shared);
+            let step = self.step_text_batch_body(backend, shared);
+            if self.batch.is_none() {
+                self.finish_request(shared);
+            }
+            return step;
         }
+        let t0 = Instant::now();
         let Some((start, end, next)) = self.peek_line() else {
             return Step::NeedMore;
         };
@@ -371,7 +472,28 @@ impl Conn {
                 self.error(shared, &msg);
                 Step::Progress
             }
-            Ok(Some(req)) => self.dispatch_text(req, backend, shared),
+            Ok(Some(req)) => {
+                if let Some(verb) = Verb::of(&req) {
+                    self.inflight = Some(Inflight {
+                        verb,
+                        t0,
+                        parse_us: t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                        items: match &req {
+                            Request::Batch(n) => *n as u64,
+                            Request::Adopt { nbytes, .. } => *nbytes as u64,
+                            _ => 0,
+                        },
+                    });
+                }
+                let step = self.dispatch_text(req, backend, shared);
+                // Requests served within this step finish here; a
+                // BATCH/ADOPT body still arriving keeps its inflight
+                // record until the body completes.
+                if self.batch.is_none() && self.adopt.is_none() {
+                    self.finish_request(shared);
+                }
+                step
+            }
         }
     }
 
@@ -519,7 +641,7 @@ impl Conn {
             return;
         }
         // Settle local state before diffing against it.
-        flush_pending(&mut self.pending, backend, shared);
+        self.flush_now(backend, shared);
         backend.drain();
         let current = backend.frequencies();
         let slices = cs.slices();
@@ -535,7 +657,7 @@ impl Conn {
         let applied = delta.len();
         for chunk in delta.chunks(protocol::MAX_BATCH) {
             self.pending.extend_from_slice(chunk);
-            flush_pending(&mut self.pending, backend, shared);
+            self.flush_now(backend, shared);
         }
         self.out_line(&format!("OK {applied}"));
     }
@@ -578,10 +700,26 @@ impl Conn {
         let addr = cs
             .node_addr(target)
             .ok_or_else(|| format!("target node {target} out of range"))?;
-        flush_pending(&mut self.pending, backend, shared);
+        self.flush_now(backend, shared);
         backend.drain();
         let slices = cs.slices();
         let mut client = Client::connect(&addr).map_err(|e| format!("connect to {addr}: {e}"))?;
+        // Propagate this connection's trace id across the migration hop,
+        // so the target's ring records the ADOPTs under the same id.
+        if self.trace != 0 {
+            client
+                .trace(self.trace)
+                .map_err(|e| format!("TRACE on {addr}: {e}"))?;
+            log!(
+                shared.obs,
+                Level::Info,
+                "trace",
+                "migrate";
+                trace = self.trace,
+                slice = slice,
+                target = addr,
+            );
+        }
         // Bulk ship while still owning the slice (writes keep flowing).
         let mut shipped = slice_snapshot_bytes(&backend.frequencies(), slices, slice);
         client
@@ -666,7 +804,7 @@ impl Conn {
                 return self.step_text_batch_body(backend, shared);
             }
             Request::Mode => {
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let pair = match &shared.cluster {
                     Some(cs) => cluster::masked_mode(&cs.mask(), backend),
@@ -678,7 +816,7 @@ impl Conn {
                 }
             }
             Request::Least => {
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let pair = match &shared.cluster {
                     Some(cs) => cluster::masked_least(&cs.mask(), backend),
@@ -703,13 +841,13 @@ impl Conn {
                         return Step::Progress;
                     }
                 }
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let f = backend.frequency(id);
                 self.out_line(&format!("FREQ {id} {f}"));
             }
             Request::Median => {
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let median = match &shared.cluster {
                     Some(cs) => cluster::masked_median(&cs.mask(), backend),
@@ -721,7 +859,7 @@ impl Conn {
                 }
             }
             Request::TopK(k) => {
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 // Clamp so a hostile k cannot force an over-allocation
                 // in the per-shard merge.
@@ -735,7 +873,7 @@ impl Conn {
                 }
             }
             Request::Cal(threshold) => {
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let count = match &shared.cluster {
                     Some(cs) => cluster::masked_count_at_least(&cs.mask(), backend, threshold),
@@ -744,9 +882,36 @@ impl Conn {
                 self.out_line(&format!("CAL {count}"));
             }
             Request::Stats => {
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 let payload = shared.stats_payload();
                 self.out_line(&format!("STATS {payload}"));
+            }
+            Request::Metrics => {
+                // Flush first, like STATS, so the exposition and a STATS
+                // taken in the same quiesced instant agree.
+                self.flush_now(backend, shared);
+                let payload = crate::prom::render(shared);
+                self.out_line(&format!("METRICS {}", payload.len()));
+                self.wbuf.extend_from_slice(payload.as_bytes());
+            }
+            Request::Logtail(n) => {
+                let payload = shared.obs.tail(n);
+                self.out_line(&format!("LOGTAIL {}", payload.len()));
+                self.wbuf.extend_from_slice(payload.as_bytes());
+            }
+            Request::Trace(id) => {
+                self.trace = id;
+                if id != 0 {
+                    log!(
+                        shared.obs,
+                        Level::Info,
+                        "trace",
+                        "begin";
+                        trace = id,
+                        conn = self.id,
+                    );
+                }
+                self.out_line("OK");
             }
             Request::Snapshot(path) => {
                 let Some(target) = resolve_snapshot_path(&shared.snapshot_dir, &path) else {
@@ -756,7 +921,7 @@ impl Conn {
                     );
                     return Step::Progress;
                 };
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 backend.drain();
                 // Round-trip-validated: a backend bug producing corrupt
                 // bytes is a protocol ERR, not a worker-thread panic.
@@ -776,7 +941,7 @@ impl Conn {
                 }
             }
             Request::Replicate { start_lsn, epoch } => {
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 if shared.readonly() {
                     self.error(shared, "readonly replica cannot serve replication");
                     return Step::Progress;
@@ -788,7 +953,7 @@ impl Conn {
                 return Step::Stream { start_lsn, epoch };
             }
             Request::Promote => {
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 let Some(replica) = &shared.repl.replica else {
                     self.error(shared, "not a replica");
                     return Step::Progress;
@@ -881,12 +1046,12 @@ impl Conn {
             Request::Quit => {
                 // Flush before BYE: a client that saw BYE may assume its
                 // writes are applied (the agreement tests rely on it).
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.out_line("BYE");
                 self.done = true;
             }
             Request::Shutdown => {
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.out_line("BYE");
                 shared.trigger_stop();
                 self.done = true;
@@ -897,7 +1062,31 @@ impl Conn {
 
     // ----- binary mode -----------------------------------------------
 
+    /// Timing wrapper around the binary dispatcher: a frame served to
+    /// completion in this step records its verb latency. Binary framing
+    /// has no meaningful parse phase (fixed layouts), so `parse_us` is
+    /// recorded as 0.
     fn step_bin(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
+        let Some(&op) = self.rbuf.get(self.rpos) else {
+            return Step::NeedMore;
+        };
+        let t0 = Instant::now();
+        let step = self.step_bin_inner(backend, shared);
+        if matches!(step, Step::Progress) {
+            if let Some(verb) = bin_verb(op) {
+                self.inflight = Some(Inflight {
+                    verb,
+                    t0,
+                    parse_us: 0,
+                    items: 0,
+                });
+                self.finish_request(shared);
+            }
+        }
+        step
+    }
+
+    fn step_bin_inner(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
         let Some(&op) = self.rbuf.get(self.rpos) else {
             return Step::NeedMore;
         };
@@ -905,7 +1094,7 @@ impl Conn {
             bin_proto::REQ_BATCH => self.bin_batch(backend, shared),
             bin_proto::REQ_MODE => {
                 self.rpos += 1;
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let pair = match &shared.cluster {
                     Some(cs) => cluster::masked_mode(&cs.mask(), backend),
@@ -916,7 +1105,7 @@ impl Conn {
             }
             bin_proto::REQ_LEAST => {
                 self.rpos += 1;
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let pair = match &shared.cluster {
                     Some(cs) => cluster::masked_least(&cs.mask(), backend),
@@ -927,7 +1116,7 @@ impl Conn {
             }
             bin_proto::REQ_MEDIAN => {
                 self.rpos += 1;
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let median = match &shared.cluster {
                     Some(cs) => cluster::masked_median(&cs.mask(), backend),
@@ -938,7 +1127,7 @@ impl Conn {
             }
             bin_proto::REQ_STATS => {
                 self.rpos += 1;
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 let payload = shared.stats_payload();
                 bin_proto::put_stats(&mut self.wbuf, &payload);
                 Step::Progress
@@ -961,7 +1150,7 @@ impl Conn {
                         return Step::Progress;
                     }
                 }
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let f = backend.frequency(id);
                 bin_proto::put_freq_reply(&mut self.wbuf, id, f);
@@ -972,7 +1161,7 @@ impl Conn {
                     return Step::NeedMore;
                 };
                 self.rpos += 5;
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let entries = match &shared.cluster {
                     Some(cs) => cluster::masked_top_k(&cs.mask(), backend, k.min(shared.m)),
@@ -991,7 +1180,7 @@ impl Conn {
                         .expect("8 bytes"),
                 );
                 self.rpos += 9;
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 self.metrics(shared).queries.inc();
                 let count = match &shared.cluster {
                     Some(cs) => cluster::masked_count_at_least(&cs.mask(), backend, threshold),
@@ -1002,7 +1191,7 @@ impl Conn {
             }
             bin_proto::REQ_SNAPSHOT => {
                 self.rpos += 1;
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 backend.drain();
                 match backend.validated_snapshot_bytes() {
                     Ok(bytes) => {
@@ -1015,16 +1204,40 @@ impl Conn {
                 }
                 Step::Progress
             }
+            bin_proto::REQ_TRACE => {
+                if self.rbuf.len() - self.rpos < 9 {
+                    return Step::NeedMore;
+                }
+                let id = u64::from_le_bytes(
+                    self.rbuf[self.rpos + 1..self.rpos + 9]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                self.rpos += 9;
+                self.trace = id;
+                if id != 0 {
+                    log!(
+                        shared.obs,
+                        Level::Info,
+                        "trace",
+                        "begin";
+                        trace = id,
+                        conn = self.id,
+                    );
+                }
+                bin_proto::put_ok(&mut self.wbuf, 0);
+                Step::Progress
+            }
             bin_proto::REQ_QUIT => {
                 self.rpos += 1;
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 bin_proto::put_ok(&mut self.wbuf, 0);
                 self.done = true;
                 Step::Progress
             }
             bin_proto::REQ_SHUTDOWN => {
                 self.rpos += 1;
-                flush_pending(&mut self.pending, backend, shared);
+                self.flush_now(backend, shared);
                 bin_proto::put_ok(&mut self.wbuf, 0);
                 shared.trigger_stop();
                 self.done = true;

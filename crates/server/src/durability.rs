@@ -328,6 +328,17 @@ impl Durability {
         }
     }
 
+    /// The WAL's lock-free metrics block (counters plus the fsync /
+    /// checkpoint duration histograms), for `METRICS` rendering.
+    pub(crate) fn wal_metrics(&self) -> &WalMetrics {
+        &self.metrics
+    }
+
+    /// WAL append/checkpoint failures so far (the `wal_errors` stat).
+    pub(crate) fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
     /// The `STATS` fragment for WAL mode.
     pub(crate) fn render(&self) -> String {
         format!(

@@ -32,6 +32,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use sprofile_obs::{log, Level};
 use sprofile_replicate::{Applier, ApplierOptions};
 
 use crate::backend::Backend;
@@ -210,6 +211,15 @@ fn run_election(ctx: &FailoverCtx) -> bool {
     };
     replica.promoted.store(true, Ordering::Release);
     ctx.shared.readonly.store(false, Ordering::Release);
+    log!(
+        ctx.shared.obs,
+        Level::Warn,
+        "failover",
+        "promoted self",
+        addr = ctx.self_addr,
+        epoch = epoch,
+        applied_lsn = my_applied,
+    );
     eprintln!(
         "sprofile failover: promoted self ({}) at epoch {epoch}, applied lsn {my_applied}",
         ctx.self_addr
@@ -224,7 +234,8 @@ fn run_election(ctx: &FailoverCtx) -> bool {
 fn repoint(ctx: &FailoverCtx, head: &str) {
     let replica = ctx.replica();
     replica.stop_applier();
-    let sink = BackendSink::new(ctx.backend.clone(), ctx.shared.durability.clone(), ctx.m);
+    let sink = BackendSink::new(ctx.backend.clone(), ctx.shared.durability.clone(), ctx.m)
+        .with_obs(Arc::clone(&ctx.shared.obs));
     let applier = Applier::spawn(
         ApplierOptions::new(head.to_string()),
         Box::new(sink),

@@ -1,264 +1,9 @@
-//! Hand-rolled log-linear histogram for latency tracking.
+//! Latency histograms — re-exported from [`sprofile_obs::hist`].
 //!
-//! hdrhistogram-style bucketing: values below 32 get exact unit
-//! buckets; above that, each power-of-two octave is split into 32
-//! linear sub-buckets, so the relative quantile error is bounded by
-//! ~3% across the whole `u64` range. Two flavours are provided:
-//! [`LogHistogram`] for single-threaded recording with cheap merging
-//! (loadgen worker threads), and [`AtomicLogHistogram`] for lock-free
-//! concurrent recording (the server's commit-wait tracking).
+//! The log-linear histogram implementation moved to the `sprofile-obs`
+//! crate so the WAL (`sprofile-persist`) can time fsyncs/checkpoints
+//! with the same buckets the server uses for per-verb latency, without
+//! a dependency cycle. This module keeps the historical paths
+//! (`sprofile_server::hist::LogHistogram`, …) working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Sub-buckets per octave (32 → ≤ 1/32 relative bucket width).
-const SUB_BITS: u32 = 5;
-const SUB: usize = 1 << SUB_BITS;
-/// Total bucket count covering all of `u64`.
-const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
-
-/// Maps a value to its bucket index.
-fn bucket_index(v: u64) -> usize {
-    if v < SUB as u64 {
-        v as usize
-    } else {
-        let msb = 63 - v.leading_zeros();
-        let shift = msb - SUB_BITS;
-        SUB + (shift as usize) * SUB + ((v >> shift) as usize & (SUB - 1))
-    }
-}
-
-/// Representative (midpoint) value for a bucket index.
-fn bucket_value(index: usize) -> u64 {
-    if index < SUB {
-        index as u64
-    } else {
-        let octave = (index - SUB) / SUB;
-        let sub = ((index - SUB) % SUB) as u64;
-        let shift = octave as u32;
-        let low = (SUB as u64 + sub) << shift;
-        let width = 1u64 << shift;
-        low + width / 2
-    }
-}
-
-/// Single-threaded log-linear histogram.
-#[derive(Clone)]
-pub struct LogHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    max: u64,
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LogHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> LogHistogram {
-        LogHistogram {
-            buckets: vec![0; BUCKETS],
-            count: 0,
-            max: 0,
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, v: u64) {
-        self.buckets[bucket_index(v)] += 1;
-        self.count += 1;
-        self.max = self.max.max(v);
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest sample recorded exactly (not bucket-quantised).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Approximate quantile (`q` in `[0, 1]`); 0 when empty. The
-    /// result is the representative value of the bucket containing the
-    /// `ceil(q·count)`-th sample, clamped to the observed max.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_value(i).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Adds every sample of `other` into `self`.
-    pub fn merge(&mut self, other: &LogHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.max = self.max.max(other.max);
-    }
-}
-
-/// Lock-free concurrent log-linear histogram.
-pub struct AtomicLogHistogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    max: AtomicU64,
-}
-
-impl Default for AtomicLogHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl AtomicLogHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> AtomicLogHistogram {
-        AtomicLogHistogram {
-            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one sample (relaxed; quantile reads are approximate
-    /// under concurrency, which is fine for observability).
-    pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Largest sample recorded.
-    pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
-    }
-
-    /// Approximate quantile; see [`LogHistogram::quantile`].
-    pub fn quantile(&self, q: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return bucket_value(i).min(self.max());
-            }
-        }
-        self.max()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = LogHistogram::new();
-        for v in 0..32u64 {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 32);
-        assert_eq!(h.quantile(0.0), 0);
-        assert_eq!(h.quantile(1.0), 31);
-        assert_eq!(h.max(), 31);
-    }
-
-    #[test]
-    fn quantiles_have_bounded_relative_error() {
-        let mut h = LogHistogram::new();
-        // Log-uniform-ish sweep across six orders of magnitude.
-        let mut v = 1u64;
-        let mut exact = Vec::new();
-        while v < 10_000_000 {
-            h.record(v);
-            exact.push(v);
-            v += 1 + v / 7;
-        }
-        for &q in &[0.5, 0.9, 0.99, 0.999] {
-            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
-            let truth = exact[rank - 1] as f64;
-            let got = h.quantile(q) as f64;
-            let rel = (got - truth).abs() / truth;
-            assert!(rel <= 0.04, "q={q}: got {got}, truth {truth}, rel {rel}");
-        }
-    }
-
-    #[test]
-    fn merge_equals_combined_recording() {
-        let mut a = LogHistogram::new();
-        let mut b = LogHistogram::new();
-        let mut all = LogHistogram::new();
-        for i in 0..1000u64 {
-            let v = i * i % 7919;
-            if i % 2 == 0 {
-                a.record(v);
-            } else {
-                b.record(v);
-            }
-            all.record(v);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), all.count());
-        assert_eq!(a.max(), all.max());
-        for &q in &[0.1, 0.5, 0.9, 0.99] {
-            assert_eq!(a.quantile(q), all.quantile(q));
-        }
-    }
-
-    #[test]
-    fn atomic_agrees_with_plain() {
-        let mut plain = LogHistogram::new();
-        let atomic = AtomicLogHistogram::new();
-        for i in 0..5000u64 {
-            let v = (i * 37) % 100_000;
-            plain.record(v);
-            atomic.record(v);
-        }
-        assert_eq!(plain.count(), atomic.count());
-        assert_eq!(plain.max(), atomic.max());
-        for &q in &[0.5, 0.99, 0.999] {
-            assert_eq!(plain.quantile(q), atomic.quantile(q));
-        }
-    }
-
-    #[test]
-    fn bucket_index_is_monotone_and_in_range() {
-        let mut prev = 0usize;
-        let mut v = 0u64;
-        while v < u64::MAX / 2 {
-            let i = bucket_index(v);
-            assert!(i >= prev, "index regressed at {v}");
-            assert!(i < BUCKETS);
-            // Representative value stays within the bucket's octave.
-            if v >= 32 {
-                let rep = bucket_value(i);
-                let rel = (rep as f64 - v as f64).abs() / v as f64;
-                assert!(rel <= 0.05, "v={v} rep={rep}");
-            }
-            prev = i;
-            v = v * 2 + 1;
-        }
-    }
-}
+pub use sprofile_obs::hist::{AtomicLogHistogram, LogHistogram};

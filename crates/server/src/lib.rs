@@ -61,6 +61,7 @@ mod failover;
 pub mod hist;
 pub mod loadgen;
 mod metrics;
+mod prom;
 pub mod protocol;
 mod repl;
 mod server;
@@ -74,6 +75,7 @@ pub use loadgen::{LatencySummary, LoadgenConfig, LoadgenReport};
 pub use metrics::{Counter, Metrics};
 pub use protocol::WireProto;
 pub use server::{FailoverConfig, Server, ServerConfig, SyncCommit};
+pub use sprofile_obs::{Level, LogFormat, LogSink, Obs, ObsConfig};
 pub use sprofile_persist::SyncPolicy;
 pub use sprofile_replicate::ApplierStats;
 

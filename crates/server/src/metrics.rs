@@ -1,7 +1,11 @@
 //! Server-wide metrics: lock-free `AtomicU64` counters, rendered as the
-//! `STATS` reply's `key=value` list.
+//! `STATS` reply's `key=value` list, plus the per-verb and per-phase
+//! latency histograms behind `METRICS`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hist::AtomicLogHistogram;
+use crate::protocol::Request;
 
 /// One monotonically increasing counter (relaxed ordering — counters are
 /// diagnostics, not synchronisation).
@@ -27,10 +31,18 @@ impl Counter {
         self.0.load(Ordering::Relaxed)
     }
 
-    /// Decrement by one (for gauges like active connections).
+    /// Decrement by one.
+    ///
+    /// **Gauge-only.** `Counter` doubles as a gauge for values like
+    /// active connections; `dec` exists solely for that use. Never call
+    /// it on a monotonic counter — Prometheus-style scrapers treat any
+    /// decrease as a process restart and mis-compute rates. Debug
+    /// builds assert the value was nonzero, since a wrap to
+    /// `u64::MAX` would otherwise poison every later reading.
     #[inline]
     pub fn dec(&self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
+        let prev = self.0.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev != 0, "Counter::dec underflow: gauge was already 0");
     }
 }
 
@@ -94,6 +106,169 @@ impl Metrics {
     }
 }
 
+/// Every request verb that gets a server-side latency histogram. The
+/// connection state machines classify each parsed request once; the
+/// discriminant indexes [`VerbHists`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verb {
+    /// `ADD`
+    Add,
+    /// `RM`
+    Remove,
+    /// `BATCH` (text body or binary frame)
+    Batch,
+    /// `MODE`
+    Mode,
+    /// `LEAST`
+    Least,
+    /// `FREQ`
+    Freq,
+    /// `MEDIAN`
+    Median,
+    /// `TOPK`
+    TopK,
+    /// `CAL`
+    Cal,
+    /// `STATS`
+    Stats,
+    /// `SNAPSHOT`
+    Snapshot,
+    /// `MAP` / `MAPSET`
+    Map,
+    /// `MIGRATE`
+    Migrate,
+    /// `ADOPT`
+    Adopt,
+    /// `METRICS`
+    Metrics,
+    /// `LOGTAIL`
+    Logtail,
+    /// `TRACE`
+    Trace,
+    /// `PROMOTE`
+    Promote,
+}
+
+impl Verb {
+    /// All verbs, in rendering order.
+    pub const ALL: [Verb; 18] = [
+        Verb::Add,
+        Verb::Remove,
+        Verb::Batch,
+        Verb::Mode,
+        Verb::Least,
+        Verb::Freq,
+        Verb::Median,
+        Verb::TopK,
+        Verb::Cal,
+        Verb::Stats,
+        Verb::Snapshot,
+        Verb::Map,
+        Verb::Migrate,
+        Verb::Adopt,
+        Verb::Metrics,
+        Verb::Logtail,
+        Verb::Trace,
+        Verb::Promote,
+    ];
+
+    /// Lowercase name, used as the `verb` label value in `METRICS`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verb::Add => "add",
+            Verb::Remove => "rm",
+            Verb::Batch => "batch",
+            Verb::Mode => "mode",
+            Verb::Least => "least",
+            Verb::Freq => "freq",
+            Verb::Median => "median",
+            Verb::TopK => "topk",
+            Verb::Cal => "cal",
+            Verb::Stats => "stats",
+            Verb::Snapshot => "snapshot",
+            Verb::Map => "map",
+            Verb::Migrate => "migrate",
+            Verb::Adopt => "adopt",
+            Verb::Metrics => "metrics",
+            Verb::Logtail => "logtail",
+            Verb::Trace => "trace",
+            Verb::Promote => "promote",
+        }
+    }
+
+    /// Classifies a parsed request. `None` for the verbs that leave the
+    /// request/reply regime (`QUIT`, `SHUTDOWN`, `BIN`, `REPLICATE`) —
+    /// their "latency" is connection lifetime, not service time.
+    pub fn of(req: &Request) -> Option<Verb> {
+        Some(match req {
+            Request::Add(_) => Verb::Add,
+            Request::Remove(_) => Verb::Remove,
+            Request::Batch(_) => Verb::Batch,
+            Request::Mode => Verb::Mode,
+            Request::Least => Verb::Least,
+            Request::Freq(_) => Verb::Freq,
+            Request::Median => Verb::Median,
+            Request::TopK(_) => Verb::TopK,
+            Request::Cal(_) => Verb::Cal,
+            Request::Stats => Verb::Stats,
+            Request::Snapshot(_) => Verb::Snapshot,
+            Request::Map | Request::MapSet(_) => Verb::Map,
+            Request::Migrate { .. } => Verb::Migrate,
+            Request::Adopt { .. } => Verb::Adopt,
+            Request::Metrics => Verb::Metrics,
+            Request::Logtail(_) => Verb::Logtail,
+            Request::Trace(_) => Verb::Trace,
+            Request::Promote => Verb::Promote,
+            Request::Replicate { .. } | Request::BinUpgrade | Request::Quit | Request::Shutdown => {
+                return None
+            }
+        })
+    }
+}
+
+/// Per-verb server-side request latency histograms (microseconds,
+/// request fully parsed → reply queued). Shared lock-free across all
+/// event-loop workers.
+#[derive(Debug)]
+pub struct VerbHists {
+    hists: [AtomicLogHistogram; Verb::ALL.len()],
+}
+
+impl Default for VerbHists {
+    fn default() -> Self {
+        VerbHists {
+            hists: std::array::from_fn(|_| AtomicLogHistogram::new()),
+        }
+    }
+}
+
+impl VerbHists {
+    /// Record one served request of `verb` taking `us` microseconds.
+    #[inline]
+    pub fn record(&self, verb: Verb, us: u64) {
+        self.hists[verb as usize].record(us);
+    }
+
+    /// The histogram for one verb.
+    pub fn get(&self, verb: Verb) -> &AtomicLogHistogram {
+        &self.hists[verb as usize]
+    }
+}
+
+/// Cross-verb phase timing histograms (microseconds): how long requests
+/// spend being parsed, applied against the backend, and flushed through
+/// the durability path.
+#[derive(Debug, Default)]
+pub struct PhaseHists {
+    /// Wire bytes → parsed request (text line or binary frame).
+    pub parse_us: AtomicLogHistogram,
+    /// Parsed request → backend answer computed / tuples buffered.
+    pub apply_us: AtomicLogHistogram,
+    /// Write-buffer flush: WAL append + fsync + backend apply (+
+    /// synchronous-commit wait when enabled).
+    pub flush_us: AtomicLogHistogram,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +312,35 @@ mod tests {
         ] {
             assert_eq!(s.matches(key).count(), 1, "{key} in {s}");
         }
+    }
+
+    #[test]
+    fn every_verb_is_classified_and_named_uniquely() {
+        let mut names: Vec<&str> = Verb::ALL.iter().map(|v| v.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Verb::ALL.len());
+        assert_eq!(Verb::of(&Request::Batch(3)), Some(Verb::Batch));
+        assert_eq!(Verb::of(&Request::Metrics), Some(Verb::Metrics));
+        assert_eq!(Verb::of(&Request::Quit), None);
+        assert_eq!(
+            Verb::of(&Request::Replicate {
+                start_lsn: 0,
+                epoch: 0
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn verb_hists_record_independently() {
+        let h = VerbHists::default();
+        h.record(Verb::Add, 10);
+        h.record(Verb::Add, 20);
+        h.record(Verb::TopK, 500);
+        assert_eq!(h.get(Verb::Add).count(), 2);
+        assert_eq!(h.get(Verb::TopK).count(), 1);
+        assert_eq!(h.get(Verb::Mode).count(), 0);
+        assert_eq!(h.get(Verb::Add).sum(), 30);
     }
 }

@@ -18,6 +18,13 @@
 //! TOPK <k>             TOPK <n>  then n lines "<obj> <freq>"
 //! CAL <f>              CAL <count>         (count of objects with freq ≥ f)
 //! STATS                STATS key=value ...
+//! METRICS              METRICS <nbytes>    (nbytes of Prometheus text
+//!                                          exposition follow the line)
+//! LOGTAIL [n]          LOGTAIL <nbytes>    (nbytes of rendered log lines —
+//!                                          the newest n ring-buffer events,
+//!                                          or all retained when n is omitted)
+//! TRACE <id>           OK                  (tag subsequent requests on this
+//!                                          connection with trace id; 0 clears)
 //! SNAPSHOT <path>      OK <bytes>          (relative path, confined to the
 //!                                          server's snapshot directory)
 //! REPLICATE <lsn> [<epoch>]  frame stream  (replication handshake; see below)
@@ -154,6 +161,29 @@
 //! map version in effect), `moved_rejects` (write frames refused with
 //! `ERR moved`), and `migrations` (slice migrations completed with this
 //! node as the source).
+//!
+//! # Observability verbs
+//!
+//! `METRICS` renders the full metrics surface — every `STATS` counter,
+//! per-verb server-side latency histograms (`parse`/`apply`/`flush`
+//! phases included), WAL fsync/checkpoint latency histograms, and
+//! per-second meters — in the Prometheus text exposition format
+//! (version 0.0.4). The reply is length-prefixed (`METRICS <nbytes>`
+//! followed by exactly `nbytes` of payload) so the connection never
+//! desyncs on the multi-line body. The same payload is served as plain
+//! HTTP on `GET /metrics` when the server runs with `--metrics-addr`.
+//!
+//! `LOGTAIL [n]` dumps the newest `n` events retained in the in-memory
+//! structured-log ring buffer (all retained events when `n` is omitted
+//! or 0), rendered in the server's configured log format, with the same
+//! length-prefixed framing as `METRICS`.
+//!
+//! `TRACE <id>` sets a sticky trace id on this connection: subsequent
+//! requests are stamped with it in the structured log (target `trace`)
+//! and the id propagates across hops — into WAL replication frames
+//! (`TRC`, so replicas log it too) and into `MIGRATE`'s connection to
+//! the adopting node. `TRACE 0` clears it. The binary protocol carries
+//! the same thing as a `REQ_TRACE` frame (see [`crate::bin_proto`]).
 
 use sprofile::Tuple;
 use sprofile_persist::PartitionMap;
@@ -219,6 +249,12 @@ pub enum Request {
     Cal(i64),
     /// `STATS` — server metrics.
     Stats,
+    /// `METRICS` — Prometheus text exposition, length-prefixed.
+    Metrics,
+    /// `LOGTAIL [n]` — newest `n` ring-buffer log events (0: all).
+    Logtail(usize),
+    /// `TRACE <id>` — set this connection's sticky trace id (0 clears).
+    Trace(u64),
     /// `SNAPSHOT <path>` — persist a snapshot server-side. The server
     /// only accepts relative paths without `..`, resolved inside its
     /// configured snapshot directory.
@@ -302,6 +338,12 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         "TOPK" => Request::TopK(parse_arg(&upper, rest)?),
         "CAL" => Request::Cal(parse_arg(&upper, rest)?),
         "STATS" => Request::Stats,
+        "METRICS" => Request::Metrics,
+        "LOGTAIL" => match rest.filter(|r| !r.is_empty()) {
+            Some(_) => Request::Logtail(parse_arg(&upper, rest)?),
+            None => Request::Logtail(0),
+        },
+        "TRACE" => Request::Trace(parse_arg(&upper, rest)?),
         "SNAPSHOT" => {
             let path = rest.filter(|r| !r.is_empty());
             Request::Snapshot(path.ok_or("SNAPSHOT needs a path")?.to_string())
@@ -377,6 +419,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             | Request::Least
             | Request::Median
             | Request::Stats
+            | Request::Metrics
             | Request::Map
             | Request::Promote
             | Request::BinUpgrade
@@ -438,6 +481,12 @@ mod tests {
             ("TOPK 5", Request::TopK(5)),
             ("CAL -2", Request::Cal(-2)),
             ("STATS", Request::Stats),
+            ("METRICS", Request::Metrics),
+            ("metrics", Request::Metrics),
+            ("LOGTAIL", Request::Logtail(0)),
+            ("LOGTAIL 25", Request::Logtail(25)),
+            ("TRACE 987654321", Request::Trace(987654321)),
+            ("TRACE 0", Request::Trace(0)),
             (
                 "SNAPSHOT /tmp/x.snap",
                 Request::Snapshot("/tmp/x.snap".into()),
@@ -511,6 +560,12 @@ mod tests {
             "BATCH -3",
             "SNAPSHOT",
             "MODE 3",
+            "METRICS 1",
+            "LOGTAIL x",
+            "LOGTAIL -1",
+            "TRACE",
+            "TRACE abc",
+            "TRACE -1",
             "QUIT now",
             "REPLICATE",
             "REPLICATE x",

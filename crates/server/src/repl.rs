@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sprofile::{SProfile, Tuple};
+use sprofile_obs::{log, Level, Obs};
 use sprofile_replicate::{Applier, ApplierStats, ApplySink, ReplicationSource};
 
 use crate::backend::Backend;
@@ -39,8 +40,30 @@ impl ReplicaState {
     }
 }
 
+/// A point-in-time reading of the replication plane, shared by the
+/// `STATS` fragment and the `METRICS` exposition so the two can never
+/// disagree about how the counters are derived.
+pub(crate) struct ReplSnapshot {
+    pub role: &'static str,
+    pub epoch: u64,
+    pub connected: u64,
+    pub head: u64,
+    pub applied: u64,
+    pub records: u64,
+    pub bytes: u64,
+    pub beats: u64,
+    pub fenced: u64,
+}
+
+impl ReplSnapshot {
+    /// LSNs the replica side still has to apply (0 on a primary).
+    pub fn lag(&self) -> u64 {
+        self.head.saturating_sub(self.applied)
+    }
+}
+
 impl ReplState {
-    /// The `STATS` fragment: `repl_role` plus the replication counters.
+    /// Reads the replication counters for the node's current role.
     /// Roles: `none` (no WAL, no primary), `primary` (durable, can feed
     /// replicas), `replica` (read-only, applying a primary's log),
     /// `promoted` (was a replica, now writable). A promoted node with a
@@ -48,13 +71,7 @@ impl ReplState {
     /// source side (attached replicas, shipped records) — exactly what
     /// failover monitoring needs to watch on the new head — rather than
     /// staying frozen at promotion-time applier values.
-    ///
-    /// Every role also reports the epoch plane: `repl_epoch` (current
-    /// generation), `repl_beats` (frames received from the primary —
-    /// the liveness signal failover monitors sample; 0 on a primary),
-    /// `fenced_rejects` (streams this node refused or aborted on epoch
-    /// grounds), and `sync_commit` (the caller-supplied mode string).
-    pub fn render(&self, sync_commit: &str) -> String {
+    pub fn snapshot(&self) -> ReplSnapshot {
         let promoted = self
             .replica
             .as_ref()
@@ -98,11 +115,43 @@ impl ReplState {
                 .source
                 .as_ref()
                 .map_or(0, |s| s.metrics().fenced_rejects());
+        ReplSnapshot {
+            role,
+            epoch,
+            connected,
+            head,
+            applied,
+            records,
+            bytes,
+            beats,
+            fenced,
+        }
+    }
+
+    /// The `STATS` fragment: `repl_role` plus the replication counters
+    /// from [`ReplState::snapshot`].
+    ///
+    /// Every role also reports the epoch plane: `repl_epoch` (current
+    /// generation), `repl_beats` (frames received from the primary —
+    /// the liveness signal failover monitors sample; 0 on a primary),
+    /// `fenced_rejects` (streams this node refused or aborted on epoch
+    /// grounds), and `sync_commit` (the caller-supplied mode string).
+    pub fn render(&self, sync_commit: &str) -> String {
+        let s = self.snapshot();
         format!(
-            "repl_role={role} repl_epoch={epoch} repl_connected={connected} repl_head_lsn={head} \
-             repl_applied_lsn={applied} repl_lag_lsn={} repl_records={records} repl_bytes={bytes} \
-             repl_beats={beats} fenced_rejects={fenced} sync_commit={sync_commit}",
-            head.saturating_sub(applied)
+            "repl_role={} repl_epoch={} repl_connected={} repl_head_lsn={} \
+             repl_applied_lsn={} repl_lag_lsn={} repl_records={} repl_bytes={} \
+             repl_beats={} fenced_rejects={} sync_commit={sync_commit}",
+            s.role,
+            s.epoch,
+            s.connected,
+            s.head,
+            s.applied,
+            s.lag(),
+            s.records,
+            s.bytes,
+            s.beats,
+            s.fenced,
         )
     }
 }
@@ -122,6 +171,10 @@ pub(crate) struct BackendSink {
     /// `next`: a restarted non-durable replica forgets its fencing
     /// history along with its data).
     epoch: u64,
+    /// This replica's observability handle: shipped `TRC` frames land
+    /// in its event ring, correlating a traced primary write with every
+    /// replica that applied it.
+    obs: Arc<Obs>,
 }
 
 impl BackendSink {
@@ -134,7 +187,15 @@ impl BackendSink {
             m,
             next,
             epoch,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches the server's observability handle (the default is a
+    /// disabled stand-in, which keeps unit tests quiet).
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> BackendSink {
+        self.obs = obs;
+        self
     }
 
     fn check_universe(&self, tuples: &[Tuple]) -> Result<(), String> {
@@ -211,6 +272,17 @@ impl ApplySink for BackendSink {
         }
         self.next = lsn + 1;
         Ok(())
+    }
+
+    fn trace(&mut self, lsn: u64, trace: u64) {
+        log!(
+            self.obs,
+            Level::Info,
+            "trace",
+            "replicated";
+            trace = trace,
+            lsn = lsn,
+        );
     }
 }
 

@@ -35,13 +35,14 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Component, Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use polling::{Event, Poller};
 use sprofile::Tuple;
+use sprofile_obs::{log, Level, Meter, Obs, ObsConfig};
 use sprofile_replicate::{
     read_acks, AckState, Applier, ApplierOptions, ApplierStats, ReplicationSource,
 };
@@ -51,7 +52,7 @@ use crate::cluster::{ClusterConfig, ClusterState};
 use crate::conn::{Conn, Flow};
 use crate::durability::{Durability, DurabilityConfig};
 use crate::hist::AtomicLogHistogram;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, PhaseHists, VerbHists};
 use crate::protocol::WireProto;
 use crate::repl::{BackendSink, ReplState, ReplicaState};
 
@@ -204,6 +205,19 @@ pub struct ServerConfig {
     /// so pair it with `flush_every: 1` when acked-write loss across a
     /// migration matters.
     pub cluster: Option<ClusterConfig>,
+    /// Observability: structured-log level/format/sink and ring-buffer
+    /// retention. The default records `info`-level events into the ring
+    /// (for `LOGTAIL` and panic dumps) with no output stream.
+    pub obs: ObsConfig,
+    /// Slow-op threshold in milliseconds: a served request whose total
+    /// service time reaches it gets a structured `slow` event with its
+    /// verb, phase timings, and connection id. `None` (the default)
+    /// disables the check entirely.
+    pub slow_ms: Option<u64>,
+    /// When set, a plain-HTTP listener on this address serves the same
+    /// Prometheus text exposition as the `METRICS` verb on `GET
+    /// /metrics` — for scrapers that speak HTTP, not sprofile.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -222,8 +236,24 @@ impl Default for ServerConfig {
             sync_commit_timeout: Duration::from_secs(1),
             failover: None,
             cluster: None,
+            obs: ObsConfig::default(),
+            slow_ms: None,
+            metrics_addr: None,
         }
     }
+}
+
+/// Per-second meters rendered by `METRICS`: rejection-class counters
+/// whose *rate* is the operational signal (a nonzero total is history;
+/// a nonzero rate is a live problem).
+#[derive(Default)]
+pub(crate) struct Meters {
+    /// Connections shed at `--max-conns`.
+    pub(crate) shed: Meter,
+    /// Replication streams refused/aborted on epoch grounds.
+    pub(crate) fenced_rejects: Meter,
+    /// Write frames refused with `ERR moved`.
+    pub(crate) moved_rejects: Meter,
 }
 
 /// Shared state between the server handle and its workers.
@@ -232,8 +262,24 @@ pub(crate) struct Shared {
     pub(crate) m: u32,
     pub(crate) flush_every: usize,
     pub(crate) snapshot_dir: PathBuf,
-    backend_name: &'static str,
+    pub(crate) backend_name: &'static str,
     pub(crate) proto: WireProto,
+    /// Structured logging + event ring (always present; level may be
+    /// off). Workers log through it, `LOGTAIL` dumps it.
+    pub(crate) obs: Arc<Obs>,
+    /// Per-verb service-time histograms (µs).
+    pub(crate) verb_us: VerbHists,
+    /// Cross-verb phase histograms (parse/apply/flush, µs).
+    pub(crate) phase_us: PhaseHists,
+    /// Slow-op threshold in µs; `None` = check disabled.
+    pub(crate) slow_us: Option<u64>,
+    /// Monotonic connection-id source (per-worker poller keys repeat
+    /// across workers; log events need a server-unique id).
+    pub(crate) conn_ids: AtomicU64,
+    /// Scrape-time per-second meters (see [`Meters`]).
+    pub(crate) meters: Meters,
+    /// Server start, for `uptime_s`.
+    pub(crate) start: Instant,
     pub(crate) durability: Option<Arc<Durability>>,
     pub(crate) repl: ReplState,
     /// Cluster layer (slice ownership, partition map, moved counters);
@@ -242,7 +288,7 @@ pub(crate) struct Shared {
     /// Write requests answered `ERR readonly` while set (replica mode;
     /// cleared by `PROMOTE`).
     pub(crate) readonly: AtomicBool,
-    sync_commit: SyncCommit,
+    pub(crate) sync_commit: SyncCommit,
     sync_timeout: Duration,
     /// Set when synchronous commit last timed out waiting for replica
     /// acks (the batch was acknowledged asynchronously); cleared by the
@@ -250,7 +296,7 @@ pub(crate) struct Shared {
     sync_degraded: AtomicBool,
     /// Commit-wait observability: microseconds each synchronous commit
     /// spent waiting for replica acks (degraded waits included).
-    commit_wait: AtomicLogHistogram,
+    pub(crate) commit_wait: AtomicLogHistogram,
     /// Dedicated replication-stream threads, joined on shutdown. They
     /// hold no [`Backend`] clone, only `Arc`s, so backend teardown never
     /// waits on a slow replica.
@@ -303,7 +349,7 @@ impl Shared {
     }
 
     /// The `sync_commit` STATS value.
-    fn sync_commit_state(&self) -> &'static str {
+    pub(crate) fn sync_commit_state(&self) -> &'static str {
         if self.sync_commit.is_on() && self.sync_degraded.load(Ordering::Relaxed) {
             "degraded"
         } else {
@@ -336,9 +382,13 @@ impl Shared {
             .map(|c| c.stats_frag())
             .unwrap_or_default();
         format!(
-            "backend={} m={} {}{wal} {repl}{commit_wait}{cluster}",
+            "backend={} m={} uptime_s={} version={} build_profile={} {}{wal} \
+             {repl}{commit_wait}{cluster}",
             self.backend_name,
             self.m,
+            self.start.elapsed().as_secs(),
+            env!("CARGO_PKG_VERSION"),
+            build_profile(),
             self.metrics.render()
         )
     }
@@ -370,6 +420,20 @@ impl Shared {
         self.commit_wait
             .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
     }
+
+    /// A fresh server-unique connection id (1-based; 0 is "no conn").
+    pub(crate) fn next_conn_id(&self) -> u64 {
+        self.conn_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// The compile profile, for `STATS` and `sprofile_build_info`.
+pub(crate) fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
 }
 
 /// A running server. Dropping it does **not** stop the workers; call
@@ -381,6 +445,7 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     checkpointer: Option<JoinHandle<()>>,
     promoter: Option<JoinHandle<()>>,
+    metrics_http: Option<JoinHandle<()>>,
     owner: Option<BackendOwner>,
 }
 
@@ -394,6 +459,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let obs = Obs::new(config.obs.clone())?;
         let (durability, owner) = match &config.wal {
             Some(wal_cfg) => {
                 let (d, recovered) = Durability::open(wal_cfg, config.m)?;
@@ -415,7 +481,8 @@ impl Server {
         });
         let replica = config.replica_of.as_ref().map(|primary| {
             let stats = ApplierStats::new();
-            let sink = BackendSink::new(owner.backend(), durability.clone(), config.m);
+            let sink = BackendSink::new(owner.backend(), durability.clone(), config.m)
+                .with_obs(Arc::clone(&obs));
             let applier = Applier::spawn(
                 ApplierOptions::new(primary.clone()),
                 Box::new(sink),
@@ -450,6 +517,13 @@ impl Server {
             snapshot_dir: config.snapshot_dir.clone(),
             backend_name: owner.backend().name(),
             proto: config.proto,
+            obs,
+            verb_us: VerbHists::default(),
+            phase_us: PhaseHists::default(),
+            slow_us: config.slow_ms.map(|ms| ms.saturating_mul(1000)),
+            conn_ids: AtomicU64::new(0),
+            meters: Meters::default(),
+            start: Instant::now(),
             durability,
             readonly: AtomicBool::new(replica.is_some()),
             repl: ReplState { source, replica },
@@ -465,6 +539,41 @@ impl Server {
             stop_cond: Condvar::new(),
         });
         let worker_count = config.workers.max(1);
+        log!(
+            shared.obs,
+            Level::Info,
+            "server",
+            "listening",
+            addr = addr,
+            backend = shared.backend_name,
+            proto = config.proto.name(),
+            workers = worker_count,
+        );
+        // Optional plain-HTTP metrics endpoint; a bad address is a
+        // startup error (the operator asked for it explicitly).
+        let metrics_http = match &config.metrics_addr {
+            Some(a) => {
+                let http = TcpListener::bind(a)?;
+                http.set_nonblocking(true)?;
+                log!(
+                    shared.obs,
+                    Level::Info,
+                    "server",
+                    "metrics http listening",
+                    addr = http
+                        .local_addr()
+                        .map_or_else(|_| a.clone(), |v| v.to_string()),
+                );
+                let shared_m = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("sprofile-metrics-http".into())
+                        .spawn(move || metrics_http_loop(http, shared_m))
+                        .expect("spawn metrics http"),
+                )
+            }
+            None => None,
+        };
         // The connection budget is split evenly; every worker accepts
         // from the shared listener, so the global bound holds.
         let per_worker = config.max_conns.max(1).div_ceil(worker_count);
@@ -524,6 +633,7 @@ impl Server {
             workers,
             checkpointer,
             promoter,
+            metrics_http,
             owner: Some(owner),
         })
     }
@@ -536,6 +646,12 @@ impl Server {
     /// The server's metrics (live view).
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// The server's observability handle (live view): the event ring
+    /// behind `LOGTAIL`, usable directly by embedding tests.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.shared.obs
     }
 
     /// Asks the workers to stop (idempotent, non-blocking).
@@ -584,6 +700,9 @@ impl Server {
         }
         if let Some(cp) = self.checkpointer.take() {
             let _ = cp.join();
+        }
+        if let Some(http) = self.metrics_http.take() {
+            let _ = http.join();
         }
         let streams: Vec<_> = self
             .shared
@@ -680,14 +799,31 @@ pub(crate) fn resolve_snapshot_path(dir: &Path, client_path: &str) -> Option<Pat
 
 /// Flushes a per-connection write buffer into the backend — through
 /// the WAL first when durability is on (*log before apply*), so every
-/// tuple the backend ever sees is re-derivable from the log.
-pub(crate) fn flush_pending(pending: &mut Vec<Tuple>, backend: &Backend, shared: &Shared) {
+/// tuple the backend ever sees is re-derivable from the log. A nonzero
+/// `trace` tags the flush: the appended LSN is noted with the
+/// replication source (so the record ships with a `TRC` frame and every
+/// replica's ring sees the id) and a `trace`-target event lands in this
+/// node's own ring.
+pub(crate) fn flush_pending(
+    pending: &mut Vec<Tuple>,
+    backend: &Backend,
+    shared: &Shared,
+    trace: u64,
+) {
     if pending.is_empty() {
         return;
     }
+    let t0 = Instant::now();
+    let mut flushed_lsn = 0u64;
     match &shared.durability {
         Some(d) => {
             if let Some(lsn) = d.log_and_apply(pending, backend) {
+                flushed_lsn = lsn;
+                if trace != 0 {
+                    if let Some(source) = &shared.repl.source {
+                        source.note_trace(lsn, trace);
+                    }
+                }
                 // Synchronous commit: the batch's OKs (sent after this
                 // flush returns) are gated on replica acks for its LSN.
                 shared.sync_commit_wait(d, lsn);
@@ -695,9 +831,95 @@ pub(crate) fn flush_pending(pending: &mut Vec<Tuple>, backend: &Backend, shared:
         }
         None => backend.apply_batch(pending),
     }
+    shared
+        .phase_us
+        .flush_us
+        .record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    if trace != 0 {
+        log!(
+            shared.obs,
+            Level::Info,
+            "trace",
+            "flush";
+            trace = trace,
+            tuples = pending.len(),
+            lsn = flushed_lsn,
+        );
+    }
     shared.metrics.applied.add(pending.len() as u64);
     shared.metrics.flushes.inc();
     pending.clear();
+}
+
+/// The `--metrics-addr` accept loop: one scrape per connection, served
+/// synchronously (the payload is a point-in-time render; scrapers poll
+/// at second granularity, so this thread never needs to multiplex).
+fn metrics_http_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_metrics_http(stream, &shared),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.sleep_or_stop(Duration::from_millis(25)) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                if shared.sleep_or_stop(Duration::from_millis(100)) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Answers one HTTP request: `GET /metrics` (or `/`) gets the
+/// Prometheus text exposition, anything else a 404. Minimal by design —
+/// this is a scrape endpoint, not a web server.
+fn serve_metrics_http(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    stream
+        .set_write_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    // Read up to the end of the request head; only the request line
+    // matters.
+    let mut head: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let line = head.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+        ("200 OK", crate::prom::render(shared))
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
 }
 
 /// One event-loop worker: non-blockingly accepts from the shared
@@ -757,7 +979,8 @@ fn event_worker(
                 StepResult::Close => {
                     poller.delete(key);
                     let mut conn = conns.remove(&key).expect("conn present");
-                    flush_pending(&mut conn.pending, &backend, &shared);
+                    flush_pending(&mut conn.pending, &backend, &shared, conn.trace);
+                    log!(shared.obs, Level::Debug, "conn", "closed", conn = conn.id);
                     shared.metrics.conns.dec();
                     shared.metrics.connections_active.dec();
                 }
@@ -779,7 +1002,7 @@ fn event_worker(
     // synchronous flush.
     for (key, mut conn) in conns.drain() {
         poller.delete(key);
-        flush_pending(&mut conn.pending, &backend, &shared);
+        flush_pending(&mut conn.pending, &backend, &shared, conn.trace);
         conn.blocking_flush(Duration::from_millis(500));
         shared.metrics.conns.dec();
         shared.metrics.connections_active.dec();
@@ -815,7 +1038,9 @@ fn accept_burst(
                 }
                 shared.metrics.connections_active.inc();
                 shared.metrics.conns.inc();
-                conns.insert(key, Conn::new(stream, shared.proto, shared.flush_every));
+                let id = shared.next_conn_id();
+                log!(shared.obs, Level::Debug, "conn", "accepted", conn = id);
+                conns.insert(key, Conn::new(stream, shared.proto, shared.flush_every, id));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -833,6 +1058,7 @@ fn accept_burst(
 fn shed(stream: TcpStream, shared: &Shared) {
     shared.metrics.shed.inc();
     shared.metrics.errors.inc();
+    log!(shared.obs, Level::Warn, "server", "connection shed");
     if stream.set_nonblocking(false).is_ok() {
         stream
             .set_write_timeout(Some(Duration::from_millis(100)))

@@ -242,6 +242,67 @@ fn push_map(map: &PartitionMap) {
 }
 
 #[test]
+fn a_trace_id_is_recoverable_from_every_node_it_crossed() {
+    // The observability acceptance check: tag one routing client with a
+    // trace id, drive writes and a scatter-gather query through it, and
+    // recover that id from the log ring of *every* node — the events of
+    // one logical request correlate across the whole cluster.
+    let m = 96u32;
+    let slices = 3u32;
+    let addrs = reserve_addrs(3);
+    let servers: Vec<Server> = (0..3u32)
+        .map(|node| {
+            Server::start(
+                ServerConfig {
+                    m,
+                    backend: BackendKind::Sharded { shards: 2 },
+                    workers: 2,
+                    flush_every: 1,
+                    snapshot_dir: std::env::temp_dir(),
+                    cluster: Some(ClusterConfig {
+                        slices,
+                        node,
+                        nodes: addrs.clone(),
+                    }),
+                    ..ServerConfig::default()
+                },
+                &addrs[node as usize],
+            )
+            .expect("start trace-test node")
+        })
+        .collect();
+
+    let mut router = ClusterClient::connect(&addrs[0]).expect("router");
+    const TRACE: u64 = 48879;
+    router.trace(TRACE).expect("tag the router");
+    // One write per object covers every slice (so every node applies
+    // traced writes); MODE scatter-gathers reads across all of them.
+    let tuples: Vec<Tuple> = (0..m)
+        .map(|object| Tuple {
+            object,
+            is_add: true,
+        })
+        .collect();
+    assert_eq!(router.batch(&tuples).expect("traced batch"), m as u64);
+    assert!(router.mode().expect("traced mode").is_some());
+
+    for (i, addr) in addrs.iter().enumerate() {
+        let mut admin = Client::connect(addr).expect("admin");
+        let tail = admin.logtail(512).expect("logtail");
+        assert!(
+            tail.contains("trace=48879"),
+            "node {i}'s ring is missing the trace id:\n{tail}"
+        );
+        admin.quit().expect("quit");
+    }
+
+    router.close().expect("close");
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+#[test]
 fn a_network_split_fails_dark_writes_and_heals_clean() {
     let mut rng = StdRng::seed_from_u64(0x5117);
     let m = 64u32;
