@@ -11,8 +11,8 @@ use std::path::PathBuf;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use sprofile_server::{
-    loadgen, BackendKind, DurabilityConfig, LoadgenConfig, Server, ServerConfig, SyncPolicy,
-    WireProto,
+    loadgen, BackendKind, Client, DurabilityConfig, LoadgenConfig, Server, ServerConfig,
+    SyncPolicy, WireProto,
 };
 
 /// Universe size (hot-entity regime: stream dwarfs the universe).
@@ -44,6 +44,13 @@ fn wal_dir(tag: &str) -> PathBuf {
 
 /// One full ingestion run over loopback TCP; returns tuples/second.
 fn run_once(sync: Option<SyncPolicy>, batch: usize) -> f64 {
+    run_instrumented(sync, batch, false).0
+}
+
+/// Like [`run_once`], but optionally scrapes the METRICS phase
+/// histograms before shutdown so the caller can attribute request time
+/// to pipeline phases.
+fn run_instrumented(sync: Option<SyncPolicy>, batch: usize, scrape: bool) -> (f64, String) {
     let wal = sync.map(|sync| {
         let dir = wal_dir(&format!("{}-{batch}", sync.name()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -78,12 +85,58 @@ fn run_once(sync: Option<SyncPolicy>, batch: usize) -> f64 {
         proto: WireProto::Text,
     };
     let report = loadgen::run(&cfg).expect("loadgen");
+    let metrics = if scrape {
+        let mut c = Client::connect(server.local_addr()).expect("metrics client");
+        c.metrics().expect("scrape METRICS")
+    } else {
+        String::new()
+    };
     let applied = server.shutdown();
     assert_eq!(applied, (THREADS * EVENTS_PER_THREAD) as u64);
     if let Some(dir) = cleanup {
         let _ = std::fs::remove_dir_all(&dir);
     }
-    report.tuples_per_sec()
+    (report.tuples_per_sec(), metrics)
+}
+
+/// Phases reported in the JSON attribution table, pipeline order.
+/// Complete — the span layer partitions each request into exactly
+/// these, so the shares sum to 1.
+const ATTRIBUTED_PHASES: [&str; 9] = [
+    "queue",
+    "parse",
+    "apply",
+    "wal_lock_wait",
+    "wal_append",
+    "fsync",
+    "commit_wait",
+    "fanout",
+    "reply",
+];
+
+/// Share of total request time per phase, from one instrumented run.
+/// Shares are fractions of the summed per-phase time (the span layer
+/// partitions each request exactly, so the denominator equals the
+/// per-verb total).
+fn phase_shares(sync: Option<SyncPolicy>, batch: usize) -> Vec<(&'static str, f64)> {
+    let (_, metrics) = run_instrumented(sync, batch, true);
+    let sum_of = |phase: &str| -> f64 {
+        let needle = format!("sprofile_phase_duration_us_sum{{phase=\"{phase}\"}} ");
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(needle.as_str()))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .unwrap_or(0.0)
+    };
+    let total: f64 = ATTRIBUTED_PHASES
+        .iter()
+        .map(|p| sum_of(p))
+        .sum::<f64>()
+        .max(1.0);
+    ATTRIBUTED_PHASES
+        .iter()
+        .map(|&p| (p, sum_of(p) / total))
+        .collect()
 }
 
 fn bench_wal(c: &mut Criterion) {
@@ -117,11 +170,30 @@ fn record_json(_c: &mut Criterion) {
             .collect();
         sections.push(format!("    \"{name}\": {{{}}}", cells.join(", ")));
     }
+    // Phase attribution: one instrumented pass per corner of the
+    // matrix that brackets the durability cost (WAL off vs fsync every
+    // commit, small vs large frames).
+    let mut attribution = Vec::new();
+    for (name, sync) in [("nowal", None), ("wal_always", Some(SyncPolicy::Always))] {
+        let cells: Vec<String> = BATCH_SIZES
+            .iter()
+            .map(|&batch| {
+                let shares: Vec<String> = phase_shares(sync, batch)
+                    .into_iter()
+                    .map(|(phase, share)| format!("\"{phase}\": {share:.3}"))
+                    .collect();
+                format!("\"{batch}\": {{{}}}", shares.join(", "))
+            })
+            .collect();
+        attribution.push(format!("    \"{name}\": {{{}}}", cells.join(", ")));
+    }
     let json = format!(
         "{{\n  \"bench\": \"wal\",\n  \"m\": {M},\n  \"threads\": {THREADS},\n  \
          \"events_per_thread\": {EVENTS_PER_THREAD},\n  \"backend\": \"sharded8\",\n  \
-         \"throughput_tuples_per_sec\": {{\n{}\n  }}\n}}\n",
+         \"throughput_tuples_per_sec\": {{\n{}\n  }},\n  \
+         \"phase_attribution\": {{\n{}\n  }}\n}}\n",
         sections.join(",\n"),
+        attribution.join(",\n"),
     );
     let path = std::env::var("BENCH_WAL_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json").into());

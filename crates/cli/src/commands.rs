@@ -751,6 +751,204 @@ pub fn metrics_show<W: Write>(addr: &str, out: &mut W) -> Result<(), CommandErro
     Ok(())
 }
 
+/// `spans`: dump a server's span flight recorder — the slowest recent
+/// requests, one logfmt line each, with their per-phase timings.
+pub fn spans_show<W: Write>(addr: &str, n: usize, out: &mut W) -> Result<(), CommandError> {
+    let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
+    let payload = client
+        .spans(n)
+        .map_err(|e| CommandError::Server(e.to_string()))?;
+    client.quit().ok();
+    write!(out, "{payload}")?;
+    Ok(())
+}
+
+/// One scrape's worth of per-verb and per-phase histogram readings,
+/// parsed out of the `METRICS` exposition for [`top_watch`]'s deltas.
+#[derive(Clone, Debug, Default)]
+struct TopSample {
+    /// `(verb, count, sum_us)` per `sprofile_request_duration_us` series.
+    verbs: Vec<(String, u64, u64)>,
+    /// `(phase, sum_us)` per `sprofile_phase_duration_us` series.
+    phases: Vec<(String, u64)>,
+}
+
+/// Parses one `name{key="label"} value` exposition line.
+fn prom_labelled(line: &str, name: &str, key: &str) -> Option<(String, u64)> {
+    let rest = line.strip_prefix(name)?.strip_prefix('{')?;
+    let (labels, value) = rest.split_once("} ")?;
+    let label = labels
+        .strip_prefix(key)?
+        .strip_prefix("=\"")?
+        .strip_suffix('"')?;
+    Some((label.to_string(), value.trim().parse().ok()?))
+}
+
+impl TopSample {
+    /// Scrapes the per-verb counts/sums and per-phase sums out of one
+    /// `METRICS` payload. Verbs and phases are discovered from the
+    /// payload itself, so the view never goes stale against the server.
+    fn parse(payload: &str) -> TopSample {
+        let mut counts = Vec::new();
+        let mut sums = Vec::new();
+        let mut phases = Vec::new();
+        for line in payload.lines() {
+            if let Some(kv) = prom_labelled(line, "sprofile_request_duration_us_count", "verb") {
+                counts.push(kv);
+            } else if let Some(kv) = prom_labelled(line, "sprofile_request_duration_us_sum", "verb")
+            {
+                sums.push(kv);
+            } else if let Some(kv) = prom_labelled(line, "sprofile_phase_duration_us_sum", "phase")
+            {
+                phases.push(kv);
+            }
+        }
+        let verbs = counts
+            .into_iter()
+            .map(|(verb, count)| {
+                let sum = sums.iter().find(|(v, _)| *v == verb).map_or(0, |&(_, s)| s);
+                (verb, count, sum)
+            })
+            .collect();
+        TopSample { verbs, phases }
+    }
+}
+
+/// Renders one `top` frame: the interval's per-verb throughput and
+/// mean latency, the phase breakdown of where that time went, and the
+/// WAL percentile gauges from `STATS`.
+fn render_top<W: Write>(
+    out: &mut W,
+    addr: &str,
+    sample: u64,
+    every_ms: u64,
+    prev: &TopSample,
+    cur: &TopSample,
+    stats: &str,
+) -> Result<(), CommandError> {
+    writeln!(
+        out,
+        "sprofile top — {addr} — sample {sample} ({every_ms} ms interval)"
+    )?;
+    let secs = (every_ms.max(1) as f64) / 1000.0;
+    writeln!(
+        out,
+        "  {:<10} {:>8} {:>10} {:>10}",
+        "verb", "ops", "ops/s", "avg_us"
+    )?;
+    let mut any = false;
+    for (verb, count, sum) in &cur.verbs {
+        let (was_count, was_sum) = prev
+            .verbs
+            .iter()
+            .find(|(v, _, _)| v == verb)
+            .map_or((0, 0), |&(_, c, s)| (c, s));
+        let ops = count.saturating_sub(was_count);
+        if ops == 0 {
+            continue;
+        }
+        any = true;
+        let us = sum.saturating_sub(was_sum);
+        writeln!(
+            out,
+            "  {:<10} {:>8} {:>10.0} {:>10.0}",
+            verb,
+            ops,
+            ops as f64 / secs,
+            us as f64 / ops as f64
+        )?;
+    }
+    if !any {
+        writeln!(out, "  (idle)")?;
+    }
+    // Phase breakdown: each phase's share of the interval's total
+    // request time. The `flush` series is a composite of the WAL
+    // phases and would double-count, so it is left out.
+    let deltas: Vec<(&str, u64)> = cur
+        .phases
+        .iter()
+        .filter(|(phase, _)| phase != "flush")
+        .map(|(phase, sum)| {
+            let was = prev
+                .phases
+                .iter()
+                .find(|(p, _)| p == phase)
+                .map_or(0, |&(_, s)| s);
+            (phase.as_str(), sum.saturating_sub(was))
+        })
+        .collect();
+    let total: u64 = deltas.iter().map(|&(_, d)| d).sum();
+    if total > 0 {
+        writeln!(out, "  {:<14} {:>10} {:>7}", "phase", "time_us", "share")?;
+        for (phase, d) in deltas {
+            if d == 0 {
+                continue;
+            }
+            writeln!(
+                out,
+                "  {:<14} {:>10} {:>6.1}%",
+                phase,
+                d,
+                100.0 * d as f64 / total as f64
+            )?;
+        }
+    }
+    let wal: Vec<&str> = stats
+        .split_whitespace()
+        .filter(|kv| {
+            kv.starts_with("wal_fsync_")
+                || kv.starts_with("wal_lock_wait_")
+                || kv.starts_with("wal_group_batch_")
+        })
+        .collect();
+    if !wal.is_empty() {
+        writeln!(out, "  wal: {}", wal.join(" "))?;
+    }
+    Ok(())
+}
+
+/// `top`: a live per-verb / per-phase view of a running server, built
+/// from interval deltas of the `METRICS` histograms (plus the WAL
+/// percentile gauges out of `STATS`). `clear` redraws in place with
+/// ANSI clears (set when stdout is a terminal); otherwise frames
+/// append, which keeps the output pipeable.
+pub fn top_watch<W: Write>(
+    addr: &str,
+    every_ms: u64,
+    count: Option<u64>,
+    clear: bool,
+    out: &mut W,
+) -> Result<(), CommandError> {
+    let mut client = Client::connect(addr).map_err(|e| CommandError::Server(e.to_string()))?;
+    let mut prev: Option<TopSample> = None;
+    let mut sample = 0u64;
+    loop {
+        let metrics = client
+            .metrics()
+            .map_err(|e| CommandError::Server(e.to_string()))?;
+        let stats = client
+            .stats()
+            .map_err(|e| CommandError::Server(e.to_string()))?;
+        let cur = TopSample::parse(&metrics);
+        sample += 1;
+        if clear {
+            write!(out, "\x1b[2J\x1b[H")?;
+        }
+        match &prev {
+            Some(prev) => render_top(out, addr, sample, every_ms, prev, &cur, &stats)?,
+            None => writeln!(out, "sprofile top — {addr} — collecting baseline…")?,
+        }
+        out.flush()?;
+        prev = Some(cur);
+        if count.is_some_and(|c| sample >= c) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(every_ms.max(1)));
+    }
+    client.quit().ok();
+    Ok(())
+}
+
 /// `recover`: rebuild the profile a WAL directory persists (newest valid
 /// checkpoint + record tail) and print the same statistics report as
 /// `profile` — the offline answer to "what state would a `serve --wal`
@@ -959,6 +1157,77 @@ mod tests {
         assert_eq!(StreamChoice::parse("zipf:1.0"), None);
         assert_eq!(StreamChoice::parse("zipf:x"), None);
         assert_eq!(StreamChoice::parse("4"), None);
+    }
+
+    #[test]
+    fn top_sample_parses_verb_and_phase_series() {
+        let payload = "\
+sprofile_request_duration_us_bucket{verb=\"add\",le=\"16\"} 1\n\
+sprofile_request_duration_us_sum{verb=\"add\"} 900\n\
+sprofile_request_duration_us_count{verb=\"add\"} 10\n\
+sprofile_request_duration_us_sum{verb=\"mode\"} 40\n\
+sprofile_request_duration_us_count{verb=\"mode\"} 2\n\
+sprofile_phase_duration_us_sum{phase=\"parse\"} 300\n\
+sprofile_phase_duration_us_count{phase=\"parse\"} 12\n\
+sprofile_phase_duration_us_sum{phase=\"fsync\"} 600\n\
+sprofile_phase_duration_us_sum{phase=\"flush\"} 600\n\
+sprofile_uptime_seconds 3\n";
+        let s = TopSample::parse(payload);
+        assert_eq!(s.verbs.len(), 2, "{:?}", s.verbs);
+        assert!(s.verbs.contains(&("add".into(), 10, 900)));
+        assert!(s.verbs.contains(&("mode".into(), 2, 40)));
+        assert_eq!(s.phases.len(), 3, "{:?}", s.phases);
+        assert!(s.phases.contains(&("fsync".into(), 600)));
+    }
+
+    #[test]
+    fn render_top_shows_interval_deltas_and_phase_shares() {
+        let prev = TopSample {
+            verbs: vec![("add".into(), 10, 900), ("mode".into(), 2, 40)],
+            phases: vec![
+                ("parse".into(), 300),
+                ("fsync".into(), 600),
+                ("flush".into(), 600),
+            ],
+        };
+        let cur = TopSample {
+            verbs: vec![("add".into(), 30, 2900), ("mode".into(), 2, 40)],
+            phases: vec![
+                ("parse".into(), 800),
+                ("fsync".into(), 2100),
+                ("flush".into(), 2100),
+            ],
+        };
+        let mut out = Vec::new();
+        render_top(
+            &mut out,
+            "addr:1",
+            2,
+            1000,
+            &prev,
+            &cur,
+            "m=8 wal_fsync_p99_us=120 wal_group_batch_avg=3",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // 20 adds in 1 s at (2900-900)/20 = 100 µs mean.
+        assert!(
+            text.contains("add              20         20        100"),
+            "{text}"
+        );
+        // An idle verb renders no row.
+        assert!(!text.contains("mode"), "{text}");
+        // Phase deltas: parse 500 of 2000 total = 25%, fsync 75%; the
+        // flush composite is excluded from the share table.
+        assert!(text.contains("parse"), "{text}");
+        assert!(text.contains("25.0%"), "{text}");
+        assert!(text.contains("75.0%"), "{text}");
+        assert!(!text.contains("flush"), "{text}");
+        // The WAL gauges ride along from STATS.
+        assert!(
+            text.contains("wal: wal_fsync_p99_us=120 wal_group_batch_avg=3"),
+            "{text}"
+        );
     }
 
     #[test]

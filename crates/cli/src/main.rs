@@ -20,9 +20,9 @@ mod textio;
 
 use commands::{
     checkpoint_compact, generate, heavy_hitters, ingest, loadgen, logtail_show, map_show,
-    metrics_show, migrate, profile_persist, promote, recover_report, serve, stats_show,
-    stats_watch, verify_server, wal_dump, watch, GenerateOpts, HhOpts, PersistOpts, ProfileOpts,
-    ServeOpts, StreamChoice,
+    metrics_show, migrate, profile_persist, promote, recover_report, serve, spans_show, stats_show,
+    stats_watch, top_watch, verify_server, wal_dump, watch, GenerateOpts, HhOpts, PersistOpts,
+    ProfileOpts, ServeOpts, StreamChoice,
 };
 use sprofile_server::{
     BackendKind, ClusterConfig, DurabilityConfig, Level, LoadgenConfig, LogFormat, SyncCommit,
@@ -54,6 +54,10 @@ fn usage() -> &'static str {
      sprofile stats    --addr <HOST:PORT> [--watch] [--every-ms <MS>] [--count <N>]\n  \
      sprofile logtail  --addr <HOST:PORT> [--n <N>]   (dump the server's log ring)\n  \
      sprofile metrics  --addr <HOST:PORT>   (print the Prometheus exposition)\n  \
+     sprofile spans    --addr <HOST:PORT> [--n <N>]   (slowest recent requests,\n                    \
+     per-phase timings; n=0 dumps the whole flight recorder)\n  \
+     sprofile top      --addr <HOST:PORT> [--every-ms <MS>] [--count <N>]\n                    \
+     (live per-verb/per-phase view from METRICS interval deltas)\n  \
      sprofile loadgen  --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
      [--batch <B>] [--seed <S>] [--proto <text|bin>] [--shutdown]\n  \
      sprofile verify   --addr <HOST:PORT> --m <M> [--threads <T>] [--n <N>]\n                    \
@@ -88,7 +92,11 @@ fn usage() -> &'static str {
      request served slower than the threshold; --metrics-addr exposes\n\
      Prometheus text on plain-HTTP GET /metrics (same payload as\n\
      `sprofile metrics`); `migrate --trace <ID>` tags the rebalance so\n\
-     its events carry trace=<ID> in every involved node's logtail."
+     its events carry trace=<ID> in every involved node's logtail.\n\
+     Profiling: every request is timed per phase (queue/parse/apply/\n\
+     wal_lock_wait/wal_append/fsync/commit_wait/fanout/reply); `sprofile\n\
+     spans` dumps the slowest recent requests with that breakdown, and\n\
+     `sprofile top` renders a live per-verb/per-phase view."
 }
 
 /// Tiny flag parser: collects `--key value` pairs plus positional args.
@@ -450,6 +458,31 @@ fn run() -> Result<(), String> {
             let stdout = io::stdout();
             let mut out = BufWriter::new(stdout.lock());
             metrics_show(addr, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "spans" => {
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7979");
+            // 0 (the default) dumps the whole flight recorder.
+            let n = args.get_parsed("n", 0usize)?;
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            spans_show(addr, n, &mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "top" => {
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7979");
+            let every_ms = args.get_parsed_positive("every-ms", 1_000u64)?;
+            let count = if args.has("count") {
+                Some(args.get_parsed_positive("count", 10u64)?)
+            } else {
+                None
+            };
+            let clear = io::IsTerminal::is_terminal(&io::stdout());
+            let stdout = io::stdout();
+            let mut out = stdout.lock();
+            top_watch(addr, every_ms, count, clear, &mut out).map_err(|e| e.to_string())?;
             out.flush().map_err(|e| e.to_string())?;
             Ok(())
         }

@@ -32,9 +32,10 @@
 //! global queries after `MIGRATE` returns.
 
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sprofile::Tuple;
+use sprofile_obs::hist::LogHistogram;
 use sprofile_persist::PartitionMap;
 use sprofile_server::protocol::MAX_BATCH;
 use sprofile_server::{Client, ClientError, ClientResult, WireProto};
@@ -97,6 +98,10 @@ pub struct ClusterClient {
     /// connection — the trace must survive the very events it exists
     /// to explain.
     trace: u64,
+    /// Per-node round-trip latency (microseconds), index-aligned with
+    /// the map's node list: which node each scatter-gather query or
+    /// routed batch spent its time waiting on.
+    node_us: Vec<LogHistogram>,
 }
 
 impl ClusterClient {
@@ -115,12 +120,36 @@ impl ClusterClient {
         for addr in &map.nodes {
             nodes.push(Client::connect_with(addr, WireProto::Bin)?);
         }
+        let node_us = (0..nodes.len()).map(|_| LogHistogram::new()).collect();
         Ok(ClusterClient {
             map,
             m,
             nodes,
             trace: 0,
+            node_us,
         })
+    }
+
+    /// Runs one call against node `i`, recording its round-trip
+    /// latency in that node's histogram.
+    fn timed<T>(
+        &mut self,
+        i: usize,
+        f: impl FnOnce(&mut Client) -> ClientResult<T>,
+    ) -> ClientResult<T> {
+        let t0 = Instant::now();
+        let result = f(&mut self.nodes[i]);
+        let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.node_us[i].record(us);
+        result
+    }
+
+    /// Per-node call latency histograms (microseconds), index-aligned
+    /// with [`Self::map`]'s node list. For scatter-gather queries each
+    /// sample is one node's share of one fan-out; for batches it is
+    /// the wait for one frame's acknowledgement.
+    pub fn node_latency_us(&self) -> &[LogHistogram] {
+        &self.node_us
     }
 
     /// Tags every data connection with `id` (0 clears): each node logs
@@ -241,7 +270,7 @@ impl ClusterClient {
             }
             let mut rejected: Vec<Tuple> = Vec::new();
             for &(i, frame) in &frames {
-                match self.nodes[i].batch_recv() {
+                match self.timed(i, |n| n.batch_recv()) {
                     Ok(n) => acked += n,
                     Err(ClientError::Server(msg)) if parse_moved(&msg).is_some() => {
                         rejected.extend_from_slice(frame);
@@ -262,8 +291,8 @@ impl ClusterClient {
     /// the single-profile answer.
     pub fn mode(&mut self) -> ClientResult<Option<(u32, i64)>> {
         let mut best: Option<(u32, i64)> = None;
-        for node in &mut self.nodes {
-            if let Some(p) = node.mode()? {
+        for i in 0..self.nodes.len() {
+            if let Some(p) = self.timed(i, |n| n.mode())? {
                 best = Some(match best {
                     Some(b) => merge_mode(b, p),
                     None => p,
@@ -276,8 +305,8 @@ impl ClusterClient {
     /// Global `LEAST`: min frequency, ties to the smallest id.
     pub fn least(&mut self) -> ClientResult<Option<(u32, i64)>> {
         let mut best: Option<(u32, i64)> = None;
-        for node in &mut self.nodes {
-            if let Some(p) = node.least()? {
+        for i in 0..self.nodes.len() {
+            if let Some(p) = self.timed(i, |n| n.least())? {
                 best = Some(match best {
                     Some(b) => merge_least(b, p),
                     None => p,
@@ -290,8 +319,8 @@ impl ClusterClient {
     /// Global `TOPK`: merges each node's with-ties over-fetch.
     pub fn top_k(&mut self, k: u32) -> ClientResult<Vec<(u32, i64)>> {
         let mut union = Vec::new();
-        for node in &mut self.nodes {
-            union.extend(node.top_k(k)?);
+        for i in 0..self.nodes.len() {
+            union.extend(self.timed(i, |n| n.top_k(k))?);
         }
         Ok(merge_top_k(union, k))
     }
@@ -299,8 +328,8 @@ impl ClusterClient {
     /// Global `CAL`: the sum over disjoint partitions.
     pub fn count_at_least(&mut self, threshold: i64) -> ClientResult<u32> {
         let mut total = 0u32;
-        for node in &mut self.nodes {
-            total += node.count_at_least(threshold)?;
+        for i in 0..self.nodes.len() {
+            total += self.timed(i, |n| n.count_at_least(threshold))?;
         }
         Ok(total)
     }
@@ -335,7 +364,7 @@ impl ClusterClient {
     pub fn freq(&mut self, id: u32) -> ClientResult<i64> {
         for _ in 0..MAX_MOVED_RETRIES {
             let owner = self.map.owner_of(id) as usize;
-            match self.nodes[owner].freq(id) {
+            match self.timed(owner, |n| n.freq(id)) {
                 Ok(f) => return Ok(f),
                 Err(ClientError::Server(msg)) if parse_moved(&msg).is_some() => {
                     self.refresh_map()?;

@@ -150,6 +150,68 @@ impl LogHistogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
+
+    /// Serializes the histogram as one text line: `h1 <count> <sum>
+    /// <max>` followed by sparse `index:count` pairs for the nonzero
+    /// buckets. Round-trips exactly through [`LogHistogram::from_wire`]
+    /// — merging deserialized parts equals merging the originals.
+    pub fn to_wire(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("h1 {} {} {}", self.count, self.sum, self.max);
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                let _ = write!(out, " {i}:{c}");
+            }
+        }
+        out
+    }
+
+    /// Parses a [`LogHistogram::to_wire`] line, validating the version
+    /// tag, bucket indices, and that the bucket counts sum to the
+    /// declared total.
+    pub fn from_wire(s: &str) -> Result<LogHistogram, String> {
+        let mut parts = s.split_whitespace();
+        if parts.next() != Some("h1") {
+            return Err("histogram wire format: missing 'h1' tag".into());
+        }
+        let mut scalar = |name: &str| -> Result<u64, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("histogram wire format: missing {name}"))?
+                .parse()
+                .map_err(|_| format!("histogram wire format: unparseable {name}"))
+        };
+        let count = scalar("count")?;
+        let sum = scalar("sum")?;
+        let max = scalar("max")?;
+        let mut h = LogHistogram::new();
+        let mut bucket_total = 0u64;
+        for pair in parts {
+            let (i, c) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("histogram wire format: bad pair '{pair}'"))?;
+            let i: usize = i
+                .parse()
+                .map_err(|_| format!("histogram wire format: bad index '{i}'"))?;
+            let c: u64 = c
+                .parse()
+                .map_err(|_| format!("histogram wire format: bad count '{c}'"))?;
+            if i >= BUCKETS {
+                return Err(format!("histogram wire format: index {i} out of range"));
+            }
+            h.buckets[i] += c;
+            bucket_total += c;
+        }
+        if bucket_total != count {
+            return Err(format!(
+                "histogram wire format: buckets sum to {bucket_total}, header says {count}"
+            ));
+        }
+        h.count = count;
+        h.sum = sum;
+        h.max = max;
+        Ok(h)
+    }
 }
 
 /// Lock-free concurrent log-linear histogram.
@@ -356,6 +418,82 @@ mod tests {
         }
         // +Inf-style probe: everything is below a huge boundary.
         assert_eq!(h.count_below(1 << 62), h.count());
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let mut h = LogHistogram::new();
+        for i in 0..5000u64 {
+            h.record((i * 37) % 1_000_000);
+        }
+        let back = LogHistogram::from_wire(&h.to_wire()).unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        assert_eq!(back.max(), h.max());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(back.quantile(q), h.quantile(q));
+        }
+        // Empty round-trips too.
+        let empty = LogHistogram::from_wire(&LogHistogram::new().to_wire()).unwrap();
+        assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    fn merging_reparsed_wire_forms_equals_merging_the_originals() {
+        // Property check over pseudo-random recording patterns: a
+        // histogram that crossed the wire must merge indistinguishably
+        // from the original — counts, sums, maxima, exact bucket
+        // boundaries, and quantiles all agree.
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut direct = LogHistogram::new();
+        let mut via_wire = LogHistogram::new();
+        for _ in 0..64 {
+            let mut h = LogHistogram::new();
+            for _ in 0..(rng() % 256) {
+                // Shifted draws spread samples across all octaves.
+                h.record(rng() >> (rng() % 64));
+            }
+            direct.merge(&h);
+            via_wire.merge(&LogHistogram::from_wire(&h.to_wire()).unwrap());
+        }
+        assert!(direct.count() > 0, "degenerate property run");
+        assert_eq!(via_wire.count(), direct.count());
+        assert_eq!(via_wire.sum(), direct.sum());
+        assert_eq!(via_wire.max(), direct.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(via_wire.quantile(q), direct.quantile(q), "q={q}");
+        }
+        for shift in (0..64).step_by(4) {
+            let bound = 1u64 << shift;
+            assert_eq!(
+                via_wire.count_below(bound),
+                direct.count_below(bound),
+                "bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_wire_is_rejected() {
+        for s in [
+            "",
+            "h2 0 0 0",
+            "h1",
+            "h1 1 2",
+            "h1 x 2 3",
+            "h1 0 0 0 nope",
+            "h1 0 0 0 1:x",
+            "h1 0 0 0 999999:1",
+            "h1 5 0 0 1:2", // bucket total != count
+        ] {
+            assert!(LogHistogram::from_wire(s).is_err(), "{s:?}");
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! - **Rate meters** ([`Meter`]) — scrape-time per-second rates with a
 //!   10 s EWMA over monotonically increasing counters, for the
 //!   `METRICS` exposition.
+//! - **Request spans** ([`span`]) — per-phase latency decomposition
+//!   (`queue → parse → apply → wal_lock_wait → wal_append → fsync →
+//!   commit_wait → fanout → reply`) plus a flight recorder retaining
+//!   the slowest recent spans for the `SPANS` verb and panic dumps.
 //!
 //! Events carry an optional **trace id** (`0` = untraced): a request
 //! tagged by `TRACE <id>` produces ring events with that id on every
@@ -27,6 +31,7 @@
 //! what makes one request's path through a cluster reconstructible.
 
 pub mod hist;
+pub mod span;
 
 use std::fmt::Write as _;
 use std::io::{self, Write};

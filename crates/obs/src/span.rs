@@ -1,0 +1,471 @@
+//! Span-based request profiling: per-phase duration accumulators and a
+//! flight recorder retaining the slowest recent spans.
+//!
+//! A [`Span`] rides one request through the server: each pipeline stage
+//! stamps its elapsed microseconds into the span's [`Phase`] slot, so a
+//! finished span decomposes the request's total latency into
+//! `queue → parse → apply → wal_lock_wait → wal_append → fsync →
+//! commit_wait → fanout → reply`. Phases that a request never enters
+//! stay 0, which keeps every span's phase vector the same shape — the
+//! per-phase histograms in `METRICS` all carry the same count.
+//!
+//! Finished spans feed a [`FlightRecorder`]: a bounded set of the N
+//! slowest recent spans, readable by the `SPANS` verb and dumped to
+//! stderr on panic next to the log ring (see [`register_panic_dump`]).
+//! Recording is cheap on the fast path — one relaxed atomic load
+//! rejects any span faster than the current slowest retained one, so
+//! the mutex is only touched by genuinely slow requests.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// One pipeline stage of a request. The discriminant indexes the phase
+/// vector of a [`Span`] and the per-phase histogram array the server
+/// renders in `METRICS`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Bytes sat in the read buffer / socket before parsing started
+    /// (event-loop queueing and mid-frame network waits).
+    Queue,
+    /// Wire bytes → parsed request (text line or binary frame).
+    Parse,
+    /// Parsed request → backend answer computed / tuples buffered,
+    /// excluding the durability sub-phases below.
+    Apply,
+    /// Waiting to acquire the WAL mutex.
+    WalLockWait,
+    /// Encoding + writing the WAL record (fsync excluded).
+    WalAppend,
+    /// fsync of the WAL segment.
+    Fsync,
+    /// Synchronous-commit wait for replica acks.
+    CommitWait,
+    /// Cluster scatter-gather / migration fan-out to other nodes.
+    Fanout,
+    /// Residual: reply rendering and everything not covered above.
+    Reply,
+}
+
+impl Phase {
+    /// Number of phases (the span vector length).
+    pub const COUNT: usize = 9;
+
+    /// All phases, in pipeline order (also the rendering order).
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Queue,
+        Phase::Parse,
+        Phase::Apply,
+        Phase::WalLockWait,
+        Phase::WalAppend,
+        Phase::Fsync,
+        Phase::CommitWait,
+        Phase::Fanout,
+        Phase::Reply,
+    ];
+
+    /// Lowercase name, used as the `phase` label value in `METRICS`
+    /// and as the `<phase>_us` field key in slow-op logs and `SPANS`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Queue => "queue",
+            Phase::Parse => "parse",
+            Phase::Apply => "apply",
+            Phase::WalLockWait => "wal_lock_wait",
+            Phase::WalAppend => "wal_append",
+            Phase::Fsync => "fsync",
+            Phase::CommitWait => "commit_wait",
+            Phase::Fanout => "fanout",
+            Phase::Reply => "reply",
+        }
+    }
+}
+
+/// Per-request phase accumulator. Owned by one connection state
+/// machine, so plain (non-atomic) adds; stages accumulate (a request
+/// that re-enters a phase — a multi-tick `BATCH` body, say — sums its
+/// visits).
+#[derive(Clone, Debug)]
+pub struct Span {
+    label: &'static str,
+    trace: u64,
+    conn: u64,
+    phases: [u64; Phase::COUNT],
+}
+
+impl Span {
+    /// Starts an empty span for one request on connection `conn`.
+    pub fn new(label: &'static str, trace: u64, conn: u64) -> Span {
+        Span {
+            label,
+            trace,
+            conn,
+            phases: [0; Phase::COUNT],
+        }
+    }
+
+    /// Adds `us` microseconds to `phase` (saturating).
+    #[inline]
+    pub fn add(&mut self, phase: Phase, us: u64) {
+        let slot = &mut self.phases[phase as usize];
+        *slot = slot.saturating_add(us);
+    }
+
+    /// The microseconds accumulated in `phase` so far.
+    #[inline]
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.phases[phase as usize]
+    }
+
+    /// Sum of every phase recorded so far.
+    pub fn phase_total(&self) -> u64 {
+        self.phases.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Re-labels the span (a verb classified after the span started).
+    pub fn set_label(&mut self, label: &'static str) {
+        self.label = label;
+    }
+
+    /// Tags the span with a trace id (0 = untraced).
+    pub fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+
+    /// Seals the span against the externally measured request total:
+    /// whatever `total_us` the phase stamps did not account for becomes
+    /// the [`Phase::Reply`] residual (reply rendering, scheduling
+    /// slop). Returns the finished record.
+    pub fn finish(mut self, total_us: u64) -> SpanRecord {
+        let accounted = self.phase_total();
+        self.add(Phase::Reply, total_us.saturating_sub(accounted));
+        SpanRecord {
+            label: self.label,
+            trace: self.trace,
+            conn: self.conn,
+            total_us,
+            phases: self.phases,
+        }
+    }
+}
+
+/// One finished span: a request's total latency and its per-phase
+/// decomposition.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// The request verb (`"batch"`, `"mode"`, …).
+    pub label: &'static str,
+    /// Trace id the request carried (0 = untraced).
+    pub trace: u64,
+    /// Connection id the request arrived on.
+    pub conn: u64,
+    /// Total service time in microseconds.
+    pub total_us: u64,
+    /// Microseconds per [`Phase`], indexed by discriminant. The phases
+    /// sum to `total_us` (the reply residual absorbs the remainder).
+    pub phases: [u64; Phase::COUNT],
+}
+
+impl SpanRecord {
+    /// Renders the span as one logfmt-style line (no trailing
+    /// newline): total, verb, trace/conn, then every nonzero phase as
+    /// `<phase>_us=<n>`.
+    pub fn render(&self, out: &mut String) {
+        let _ = write!(out, "total_us={} verb={}", self.total_us, self.label);
+        if self.trace != 0 {
+            let _ = write!(out, " trace={}", self.trace);
+        }
+        let _ = write!(out, " conn={}", self.conn);
+        for phase in Phase::ALL {
+            let us = self.phases[phase as usize];
+            if us != 0 {
+                let _ = write!(out, " {}_us={}", phase.name(), us);
+            }
+        }
+    }
+
+    /// Only the nonzero `<phase>_us=<n>` fields, space-separated — the
+    /// slow-op log event's `phases` field.
+    pub fn render_phases(&self) -> String {
+        let mut out = String::new();
+        for phase in Phase::ALL {
+            let us = self.phases[phase as usize];
+            if us != 0 {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{}_us={}", phase.name(), us);
+            }
+        }
+        out
+    }
+}
+
+/// Bounded set of the N slowest recently finished spans — the
+/// profiling analogue of the log ring. Shared (`Arc`) between every
+/// event-loop worker; the `SPANS` verb snapshots it.
+pub struct FlightRecorder {
+    capacity: usize,
+    /// Total of the fastest retained span once the recorder is full; a
+    /// span below this floor cannot displace anything, so the hot path
+    /// rejects it with one relaxed load and never touches the mutex.
+    floor: AtomicU64,
+    slots: Mutex<Vec<SpanRecord>>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the `capacity` slowest spans.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            floor: AtomicU64::new(0),
+            slots: Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Offers one finished span. Kept only if the recorder is not yet
+    /// full or the span is slower than the current fastest retained
+    /// one.
+    pub fn record(&self, rec: SpanRecord) {
+        if rec.total_us < self.floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if slots.len() < self.capacity {
+            slots.push(rec);
+        } else {
+            // Replace the fastest retained span (ties: the oldest).
+            let (min_i, min) = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.total_us)
+                .map(|(i, r)| (i, r.total_us))
+                .expect("capacity >= 1");
+            if rec.total_us <= min {
+                return;
+            }
+            slots[min_i] = rec;
+        }
+        if slots.len() == self.capacity {
+            let new_floor = slots
+                .iter()
+                .map(|r| r.total_us)
+                .min()
+                .expect("capacity >= 1");
+            self.floor.store(new_floor, Ordering::Relaxed);
+        }
+    }
+
+    /// The retained spans, slowest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut spans = self
+            .slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone();
+        spans.sort_by_key(|s| std::cmp::Reverse(s.total_us));
+        spans
+    }
+
+    /// Renders the `n` slowest retained spans, one line each (`n = 0`:
+    /// all of them) — the `SPANS` verb payload.
+    pub fn render(&self, n: usize) -> String {
+        let mut spans = self.snapshot();
+        if n > 0 && spans.len() > n {
+            spans.truncate(n);
+        }
+        let mut out = String::new();
+        for span in &spans {
+            span.render(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Retained span count.
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A process can host many recorders (tests spawn many servers); the
+/// panic hook walks the registered ones, mirroring the log-ring dump.
+fn span_panic_registry() -> &'static Mutex<Vec<Weak<FlightRecorder>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Weak<FlightRecorder>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers `recorder` for a stderr dump if the process panics: the
+/// retained slowest spans print next to the obs ring tail, so a crash
+/// report carries the latency decomposition of the requests in flight
+/// around it. Idempotent hook installation; dead recorders are pruned
+/// on each registration and panic.
+pub fn register_panic_dump(recorder: &Arc<FlightRecorder>) {
+    static INSTALL: OnceLock<()> = OnceLock::new();
+    INSTALL.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            let Ok(mut registry) = span_panic_registry().lock() else {
+                return;
+            };
+            registry.retain(|w| w.strong_count() > 0);
+            for recorder in registry.iter().filter_map(Weak::upgrade) {
+                let dump = recorder.render(0);
+                if !dump.is_empty() {
+                    use std::io::Write;
+                    let mut err = std::io::stderr().lock();
+                    let _ = writeln!(err, "--- span flight recorder (panic) ---");
+                    let _ = err.write_all(dump.as_bytes());
+                }
+            }
+        }));
+    });
+    if let Ok(mut registry) = span_panic_registry().lock() {
+        registry.retain(|w| w.strong_count() > 0);
+        registry.push(Arc::downgrade(recorder));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_unique_and_ordered() {
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), Phase::COUNT);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::COUNT);
+        assert_eq!(Phase::ALL[0], Phase::Queue);
+        assert_eq!(Phase::ALL[Phase::COUNT - 1], Phase::Reply);
+    }
+
+    #[test]
+    fn span_accumulates_and_finish_adds_the_residual() {
+        let mut span = Span::new("batch", 42, 7);
+        span.add(Phase::Parse, 10);
+        span.add(Phase::Apply, 20);
+        span.add(Phase::Apply, 5); // re-entry sums
+        assert_eq!(span.get(Phase::Apply), 25);
+        assert_eq!(span.phase_total(), 35);
+        let rec = span.finish(100);
+        assert_eq!(rec.total_us, 100);
+        assert_eq!(rec.phases[Phase::Reply as usize], 65);
+        assert_eq!(rec.phases.iter().sum::<u64>(), 100);
+        assert_eq!(rec.trace, 42);
+        assert_eq!(rec.conn, 7);
+    }
+
+    #[test]
+    fn finish_saturates_when_phases_overshoot_the_total() {
+        let mut span = Span::new("add", 0, 1);
+        span.add(Phase::Apply, 500);
+        let rec = span.finish(100);
+        assert_eq!(rec.phases[Phase::Reply as usize], 0);
+    }
+
+    #[test]
+    fn render_carries_total_verb_trace_and_nonzero_phases() {
+        let mut span = Span::new("batch", 99, 3);
+        span.add(Phase::Fsync, 800);
+        let rec = span.finish(1000);
+        let mut line = String::new();
+        rec.render(&mut line);
+        assert!(line.contains("total_us=1000"), "{line}");
+        assert!(line.contains("verb=batch"), "{line}");
+        assert!(line.contains("trace=99"), "{line}");
+        assert!(line.contains("fsync_us=800"), "{line}");
+        assert!(line.contains("reply_us=200"), "{line}");
+        assert!(!line.contains("queue_us"), "zero phases omitted: {line}");
+    }
+
+    fn rec(total: u64, trace: u64) -> SpanRecord {
+        Span::new("t", trace, 0).finish(total)
+    }
+
+    #[test]
+    fn recorder_keeps_the_n_slowest_in_descending_order() {
+        let fr = FlightRecorder::new(4);
+        for total in [50, 10, 80, 30, 60, 5, 90, 70] {
+            fr.record(rec(total, 0));
+        }
+        let totals: Vec<u64> = fr.snapshot().iter().map(|r| r.total_us).collect();
+        assert_eq!(totals, vec![90, 80, 70, 60]);
+        assert_eq!(fr.len(), 4);
+    }
+
+    #[test]
+    fn floor_fast_path_rejects_without_losing_slow_spans() {
+        let fr = FlightRecorder::new(2);
+        fr.record(rec(100, 0));
+        fr.record(rec(200, 0));
+        // Below the floor: rejected on the fast path.
+        fr.record(rec(50, 0));
+        assert_eq!(
+            fr.snapshot().iter().map(|r| r.total_us).collect::<Vec<_>>(),
+            vec![200, 100]
+        );
+        // Slower than the floor: displaces the fastest.
+        fr.record(rec(150, 7));
+        let spans = fr.snapshot();
+        assert_eq!(
+            spans.iter().map(|r| r.total_us).collect::<Vec<_>>(),
+            vec![200, 150]
+        );
+        assert_eq!(spans[1].trace, 7, "trace id survives retention");
+    }
+
+    #[test]
+    fn render_truncates_to_n_and_recovers_trace_ids() {
+        let fr = FlightRecorder::new(8);
+        for (total, trace) in [(100, 1), (300, 3), (200, 2)] {
+            fr.record(rec(total, trace));
+        }
+        let all = fr.render(0);
+        assert_eq!(all.lines().count(), 3);
+        assert!(all.lines().next().unwrap().contains("trace=3"), "{all}");
+        let top1 = fr.render(1);
+        assert_eq!(top1.lines().count(), 1);
+        assert!(top1.contains("total_us=300"), "{top1}");
+    }
+
+    #[test]
+    fn concurrent_recording_retains_the_global_slowest() {
+        let fr = Arc::new(FlightRecorder::new(8));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let fr = Arc::clone(&fr);
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        fr.record(rec(t * 250 + i + 1, 0));
+                    }
+                });
+            }
+        });
+        let totals: Vec<u64> = fr.snapshot().iter().map(|r| r.total_us).collect();
+        assert_eq!(totals, (993..=1000).rev().collect::<Vec<_>>());
+    }
+}

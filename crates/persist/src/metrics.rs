@@ -21,6 +21,9 @@ pub struct WalMetrics {
     epoch: AtomicU64,
     fsync_us: AtomicLogHistogram,
     checkpoint_us: AtomicLogHistogram,
+    lock_wait_us: AtomicLogHistogram,
+    group_batch: AtomicLogHistogram,
+    checkpoint_pause_us: AtomicLogHistogram,
 }
 
 macro_rules! counter {
@@ -89,10 +92,48 @@ impl WalMetrics {
         &self.checkpoint_us
     }
 
+    /// Time spent waiting to acquire the WAL mutex, in microseconds.
+    /// Recorded by the mutex *holders* (the server's durability layer,
+    /// the checkpointer), not by the Wal itself — the Wal has no view
+    /// of its callers' lock acquisition.
+    pub fn lock_wait_us(&self) -> &AtomicLogHistogram {
+        &self.lock_wait_us
+    }
+
+    /// Group-commit batch size: tuples carried by each appended record.
+    /// `sum() / count()` is the average batch the log absorbs per
+    /// append — the number the group-commit work in ROADMAP item 4 is
+    /// meant to grow.
+    pub fn group_batch(&self) -> &AtomicLogHistogram {
+        &self.group_batch
+    }
+
+    /// Wall-clock duration the WAL mutex was held across a whole
+    /// checkpoint (drain + snapshot + durable write) — the pause every
+    /// concurrent writer observes as lock wait, in microseconds.
+    pub fn checkpoint_pause_us(&self) -> &AtomicLogHistogram {
+        &self.checkpoint_pause_us
+    }
+
+    /// Records one wait for the WAL mutex. Public: the lock lives
+    /// above the Wal (the server's `Arc<Mutex<Wal>>`), so its callers
+    /// time the acquisition and report it here.
+    pub fn on_lock_wait(&self, us: u64) {
+        self.lock_wait_us.record(us);
+    }
+
+    /// Records one full-pause checkpoint critical section. Public for
+    /// the same reason as [`WalMetrics::on_lock_wait`]: the caller owns
+    /// the critical section, not the Wal.
+    pub fn on_checkpoint_pause(&self, us: u64) {
+        self.checkpoint_pause_us.record(us);
+    }
+
     pub(crate) fn on_append(&self, tuples: u64, bytes: u64) {
         self.records.fetch_add(1, Ordering::Relaxed);
         self.tuples.fetch_add(tuples, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.group_batch.record(tuples);
     }
 
     pub(crate) fn on_header(&self, bytes: u64) {
@@ -142,6 +183,8 @@ mod tests {
         m.on_header(16);
         m.on_fsync(120);
         m.on_checkpoint(4500);
+        m.on_lock_wait(9);
+        m.on_checkpoint_pause(700);
         m.set_segments(3);
         m.add_segments(-2);
         assert_eq!(m.records(), 2);
@@ -154,5 +197,13 @@ mod tests {
         assert_eq!(m.fsync_us().max(), 120);
         assert_eq!(m.checkpoint_us().count(), 1);
         assert_eq!(m.checkpoint_us().max(), 4500);
+        assert_eq!(m.lock_wait_us().count(), 1);
+        assert_eq!(m.lock_wait_us().max(), 9);
+        assert_eq!(m.checkpoint_pause_us().max(), 700);
+        // Each append records its tuple count into the group-batch
+        // histogram: (5 + 2) / 2 appends.
+        assert_eq!(m.group_batch().count(), 2);
+        assert_eq!(m.group_batch().sum(), 7);
+        assert_eq!(m.group_batch().max(), 5);
     }
 }

@@ -27,8 +27,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, TryRecvError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use sprofile_obs::hist::AtomicLogHistogram;
 use sprofile_persist::{
     newest_checkpoint, PersistError, ReplicaRegistry, SegmentReader, TailRecord, Wal, WalMetrics,
 };
@@ -50,13 +51,20 @@ const HEARTBEAT_TIMEOUTS: u32 = 8;
 /// propagated, never an error.
 const TRACE_TABLE_CAPACITY: usize = 512;
 
+/// Most recent shipped-but-unacknowledged records tracked per stream
+/// for ack-latency sampling. When a replica falls further behind than
+/// this, the oldest samples are dropped (best-effort observability,
+/// never backpressure).
+const ACK_WINDOW_CAPACITY: usize = 1024;
+
 /// Shipping counters for `STATS` (`repl_records` / `repl_bytes` /
-/// `fenced_rejects`).
+/// `fenced_rejects`) plus the ship→ack round-trip histogram.
 #[derive(Debug, Default)]
 pub struct SourceMetrics {
     records: AtomicU64,
     bytes: AtomicU64,
     fenced_rejects: AtomicU64,
+    ack_latency_us: AtomicLogHistogram,
 }
 
 impl SourceMetrics {
@@ -76,6 +84,13 @@ impl SourceMetrics {
     /// told so.
     pub fn fenced_rejects(&self) -> u64 {
         self.fenced_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Per-record ship→acknowledge round-trip latency (microseconds),
+    /// sampled at ship time across all streams. Covers the socket,
+    /// the replica's apply, and its `ACK` write-back.
+    pub fn ack_latency_us(&self) -> &AtomicLogHistogram {
+        &self.ack_latency_us
     }
 
     fn on_ship(&self, records: u64, bytes: u64) {
@@ -290,6 +305,9 @@ impl ReplicationSource {
         let slot = self.registry.register(cursor.saturating_sub(1));
         let reader = SegmentReader::new(&self.dir);
         let done = || stopping() || acks.is_closed();
+        // Shipped-but-unacked records, oldest first, for ack-latency
+        // sampling ([`SourceMetrics::ack_latency_us`]).
+        let mut in_flight: VecDeque<(u64, Instant)> = VecDeque::new();
         'session: loop {
             if done() {
                 return Ok(());
@@ -355,9 +373,11 @@ impl ReplicationSource {
                     // pruning byte-budget, which would delete the very
                     // segments this scan is about to read.
                     slot.ack(acks.acked());
+                    self.drain_acked(&mut in_flight, acks.acked());
                     let bytes = frame::write_rec(writer, lsn, self.head_lsn(), &tuples)
                         .map_err(PersistError::Io)?;
                     self.metrics.on_ship(1, bytes);
+                    note_shipped(&mut in_flight, lsn);
                     self.ship_trace(writer, lsn).map_err(PersistError::Io)?;
                     Ok(())
                 });
@@ -376,20 +396,21 @@ impl ReplicationSource {
             let mut idle_timeouts = 0u32;
             loop {
                 slot.ack(acks.acked());
+                self.drain_acked(&mut in_flight, acks.acked());
                 if done() {
                     return Ok(());
                 }
                 let step = match tail.try_recv() {
                     Ok(rec) => {
                         idle_timeouts = 0;
-                        self.ship(writer, &mut cursor, rec)?
+                        self.ship(writer, &mut cursor, &mut in_flight, rec)?
                     }
                     Err(TryRecvError::Empty) => {
                         writer.flush()?;
                         match tail.recv_timeout(TAIL_POLL) {
                             Ok(rec) => {
                                 idle_timeouts = 0;
-                                self.ship(writer, &mut cursor, rec)?
+                                self.ship(writer, &mut cursor, &mut in_flight, rec)?
                             }
                             Err(RecvTimeoutError::Timeout) => {
                                 idle_timeouts += 1;
@@ -419,10 +440,21 @@ impl ReplicationSource {
         }
     }
 
+    /// Pops every in-flight record at or below `acked`, recording its
+    /// ship→ack round trip.
+    fn drain_acked(&self, in_flight: &mut VecDeque<(u64, Instant)>, acked: u64) {
+        while in_flight.front().is_some_and(|&(lsn, _)| lsn <= acked) {
+            let (_, shipped) = in_flight.pop_front().expect("front checked");
+            let us = shipped.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            self.metrics.ack_latency_us.record(us);
+        }
+    }
+
     fn ship<W: Write>(
         &self,
         writer: &mut W,
         cursor: &mut u64,
+        in_flight: &mut VecDeque<(u64, Instant)>,
         rec: TailRecord,
     ) -> io::Result<Step> {
         if rec.lsn < *cursor {
@@ -438,10 +470,20 @@ impl ReplicationSource {
         // replica's lag must read as the real gap, not zero.
         let bytes = frame::write_rec(writer, rec.lsn, self.head_lsn(), &rec.tuples)?;
         self.metrics.on_ship(1, bytes);
+        note_shipped(in_flight, rec.lsn);
         self.ship_trace(writer, rec.lsn)?;
         *cursor = rec.lsn + 1;
         Ok(Step::Shipped)
     }
+}
+
+/// Remembers when `lsn` was shipped, dropping the oldest sample past
+/// [`ACK_WINDOW_CAPACITY`].
+fn note_shipped(in_flight: &mut VecDeque<(u64, Instant)>, lsn: u64) {
+    if in_flight.len() >= ACK_WINDOW_CAPACITY {
+        in_flight.pop_front();
+    }
+    in_flight.push_back((lsn, Instant::now()));
 }
 
 enum Step {
@@ -511,6 +553,9 @@ mod tests {
         assert_eq!(source.head_lsn(), 12);
         let mut wire = Vec::new();
         let acks = AckState::new();
+        // Everything is pre-acked: each shipped record's latency sample
+        // drains on the next per-record poll.
+        acks.ack(12);
         source
             .stream(5, 0, &mut wire, &acks, &stop_after_records(&source, 8))
             .unwrap();
@@ -529,6 +574,11 @@ mod tests {
         }
         assert_eq!(source.metrics().records(), 8);
         assert!(source.metrics().bytes() > 0);
+        assert!(
+            source.metrics().ack_latency_us().count() >= 7,
+            "acked ship samples were drained: {}",
+            source.metrics().ack_latency_us().count()
+        );
         // The registry slot was dropped when the stream ended.
         assert_eq!(source.replicas(), 0);
         std::fs::remove_dir_all(&dir).ok();

@@ -426,6 +426,17 @@ impl Client {
         self.recv_sized_payload("LOGTAIL")
     }
 
+    /// `SPANS n` → the `n` slowest recent request spans with their
+    /// per-phase timings (`n = 0`: the whole flight recorder).
+    /// Text-protocol only.
+    pub fn spans(&mut self, n: usize) -> ClientResult<String> {
+        if self.proto == WireProto::Bin {
+            return Err(ClientError::Protocol("SPANS is text-only".into()));
+        }
+        self.send_line(&format!("SPANS {n}"))?;
+        self.recv_sized_payload("SPANS")
+    }
+
     /// `TRACE id` → tags every subsequent request on this connection
     /// with `id` in the server's log ring (0 clears). Works in both
     /// protocols.

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sprofile::{SProfile, Tuple};
+use sprofile_obs::span::{Phase, Span};
 use sprofile_obs::{log, Level};
 use sprofile_persist::slice_snapshot_bytes;
 use sprofile_replicate::frame::TUPLE_BYTES;
@@ -49,6 +50,23 @@ const READ_CHUNK: usize = 16 * 1024;
 /// protocol's own `MAX_BATCH` cap keeps every legitimate frame far
 /// smaller.
 const MAX_FRAME_BYTES: usize = 8 << 20;
+
+/// Saturating microseconds since `t0`.
+fn elapsed_us(t0: Instant) -> u64 {
+    t0.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// The span phases stamped *inside* the apply window (by
+/// [`flush_pending`] and the migration fan-out) — subtracted from the
+/// wall-clock dispatch time so [`Phase::Apply`] excludes them and the
+/// phases stay a partition of the total.
+const SUB_PHASES: [Phase; 5] = [
+    Phase::WalLockWait,
+    Phase::WalAppend,
+    Phase::Fsync,
+    Phase::CommitWait,
+    Phase::Fanout,
+];
 
 /// Classifies a binary opcode for the per-verb latency histograms.
 /// `None` for lifecycle frames (`QUIT`/`SHUTDOWN`, the `BIN` upgrade
@@ -123,14 +141,16 @@ struct TextBatch {
 }
 
 /// A request whose reply has not been finished yet: the verb, its
-/// start instant, and the parse-phase duration. Requests served within
-/// one parser step live here only momentarily; `BATCH`/`ADOPT` bodies
-/// carry it across ticks so the recorded latency covers the whole
-/// frame, not just its last fragment.
+/// start instant, and the profiling span accumulating its per-phase
+/// timings. Requests served within one parser step live here only
+/// momentarily; `BATCH`/`ADOPT` bodies carry it across ticks so the
+/// recorded latency covers the whole frame, not just its last fragment.
 struct Inflight {
     verb: Verb,
     t0: Instant,
-    parse_us: u64,
+    /// Per-phase microsecond accumulator; sealed by `finish_request`
+    /// into the phase histograms and the flight recorder.
+    span: Span,
     /// Frame size (batch tuple count / adopt body bytes; 0 otherwise),
     /// for the slow-op event.
     items: u64,
@@ -156,6 +176,9 @@ pub(crate) struct Conn {
     /// replication source on flush, and forwarded on `MIGRATE` hops.
     pub(crate) trace: u64,
     inflight: Option<Inflight>,
+    /// When the oldest unparsed bytes arrived — the next request's
+    /// [`Phase::Queue`] wait. Set by `fill`, consumed at parse start.
+    queued_at: Option<Instant>,
     eof: bool,
     done: bool,
 }
@@ -176,6 +199,7 @@ impl Conn {
             id,
             trace: 0,
             inflight: None,
+            queued_at: None,
             eof: false,
             done: false,
         }
@@ -205,9 +229,11 @@ impl Conn {
     }
 
     /// Reads whatever the socket has, up to the per-tick budget.
-    /// Transport errors mark EOF and propagate — the caller closes, and
-    /// the worker drains `pending` (those tuples were already acked).
-    pub(crate) fn fill(&mut self) -> io::Result<()> {
+    /// Returns whether the budget was exhausted (the fairness throttle
+    /// engaged — the worker counts those ticks). Transport errors mark
+    /// EOF and propagate — the caller closes, and the worker drains
+    /// `pending` (those tuples were already acked).
+    pub(crate) fn fill(&mut self) -> io::Result<bool> {
         let mut total = 0usize;
         while !self.eof && total < READ_BUDGET {
             // Don't buffer unboundedly ahead of the parser.
@@ -224,6 +250,9 @@ impl Conn {
                 Ok(n) => {
                     self.rbuf.truncate(old + n);
                     total += n;
+                    // The queue clock starts when input lands, so the
+                    // next request's span sees its pre-parse wait.
+                    self.queued_at.get_or_insert_with(Instant::now);
                 }
                 Err(e)
                     if matches!(
@@ -244,7 +273,7 @@ impl Conn {
                 }
             }
         }
-        Ok(())
+        Ok(total >= READ_BUDGET)
     }
 
     /// Writes buffered replies until the socket would block.
@@ -387,9 +416,12 @@ impl Conn {
         }
     }
 
-    /// [`flush_pending`] with this connection's trace id attached.
+    /// [`flush_pending`] with this connection's trace id attached and
+    /// the in-flight request's span (if any) receiving the durability
+    /// sub-phase breakdown.
     fn flush_now(&mut self, backend: &Backend, shared: &Shared) {
-        flush_pending(&mut self.pending, backend, shared, self.trace);
+        let span = self.inflight.as_mut().map(|inf| &mut inf.span);
+        flush_pending(&mut self.pending, backend, shared, self.trace, span);
     }
 
     fn flush_if_due(&mut self, backend: &Backend, shared: &Arc<Shared>) {
@@ -398,20 +430,41 @@ impl Conn {
         }
     }
 
-    /// Closes out the in-flight request's timing: per-verb and phase
-    /// histograms, the slow-op check, and (when this connection is
-    /// traced) a `trace`-target event. No-op when nothing is in flight.
+    /// Microseconds the in-flight span has accumulated in the
+    /// [`SUB_PHASES`] so far; 0 when nothing is in flight.
+    fn sub_phase_us(&self) -> u64 {
+        self.inflight
+            .as_ref()
+            .map_or(0, |inf| SUB_PHASES.iter().map(|&p| inf.span.get(p)).sum())
+    }
+
+    /// Stamps one dispatch window into [`Phase::Apply`]: the wall
+    /// clock since `t0`, minus the sub-phase microseconds accrued
+    /// inside it (`sub_before` is [`Self::sub_phase_us`] sampled at
+    /// `t0`), so WAL/commit/fan-out time is not counted twice.
+    fn add_apply(&mut self, t0: Instant, sub_before: u64) {
+        let sub_delta = self.sub_phase_us().saturating_sub(sub_before);
+        if let Some(inf) = self.inflight.as_mut() {
+            inf.span
+                .add(Phase::Apply, elapsed_us(t0).saturating_sub(sub_delta));
+        }
+    }
+
+    /// Closes out the in-flight request's timing: the span is sealed
+    /// (reply residual absorbs unstamped time) and fed to the per-verb
+    /// and per-phase histograms plus the flight recorder; the slow-op
+    /// check logs the phase breakdown; a traced connection gets a
+    /// `trace`-target event. No-op when nothing is in flight.
     fn finish_request(&mut self, shared: &Shared) {
         let Some(inf) = self.inflight.take() else {
             return;
         };
-        let total_us = inf.t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        // The total covers queue wait too: the span's phases partition
+        // it exactly (queue accrued before `t0`, everything else after).
+        let total_us = elapsed_us(inf.t0).saturating_add(inf.span.get(Phase::Queue));
         shared.verb_us.record(inf.verb, total_us);
-        shared.phase_us.parse_us.record(inf.parse_us);
-        shared
-            .phase_us
-            .apply_us
-            .record(total_us.saturating_sub(inf.parse_us));
+        let rec = inf.span.finish(total_us);
+        shared.phase_us.record_span(&rec);
         if shared.slow_us.is_some_and(|slow| total_us >= slow) {
             log!(
                 shared.obs,
@@ -421,9 +474,9 @@ impl Conn {
                 trace = self.trace,
                 verb = inf.verb.name(),
                 total_us = total_us,
-                parse_us = inf.parse_us,
                 items = inf.items,
                 conn = self.id,
+                phases = rec.render_phases(),
             );
         }
         if self.trace != 0 {
@@ -438,20 +491,27 @@ impl Conn {
                 conn = self.id,
             );
         }
+        shared.spans.record(rec);
     }
 
     // ----- text mode -------------------------------------------------
 
     fn step_text(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
         if self.adopt.is_some() {
+            let t0 = Instant::now();
+            let sub0 = self.sub_phase_us();
             let step = self.step_adopt_body(backend, shared);
+            self.add_apply(t0, sub0);
             if self.adopt.is_none() {
                 self.finish_request(shared);
             }
             return step;
         }
         if self.batch.is_some() {
+            let t0 = Instant::now();
+            let sub0 = self.sub_phase_us();
             let step = self.step_text_batch_body(backend, shared);
+            self.add_apply(t0, sub0);
             if self.batch.is_none() {
                 self.finish_request(shared);
             }
@@ -466,6 +526,13 @@ impl Conn {
             protocol::parse_request(text.trim_end_matches(['\r', '\n']))
         };
         self.rpos = next;
+        // Queue wait ends where this frame's clock (`t0`) starts, so
+        // the phases stay disjoint.
+        let queue_us = self
+            .queued_at
+            .take()
+            .map_or(0, |q| t0.saturating_duration_since(q).as_micros())
+            .min(u64::MAX as u128) as u64;
         match parsed {
             Ok(None) => Step::Progress,
             Err(msg) => {
@@ -474,10 +541,13 @@ impl Conn {
             }
             Ok(Some(req)) => {
                 if let Some(verb) = Verb::of(&req) {
+                    let mut span = Span::new(verb.name(), self.trace, self.id);
+                    span.add(Phase::Queue, queue_us);
+                    span.add(Phase::Parse, elapsed_us(t0));
                     self.inflight = Some(Inflight {
                         verb,
                         t0,
-                        parse_us: t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                        span,
                         items: match &req {
                             Request::Batch(n) => *n as u64,
                             Request::Adopt { nbytes, .. } => *nbytes as u64,
@@ -485,7 +555,10 @@ impl Conn {
                         },
                     });
                 }
+                let t_apply = Instant::now();
+                let sub0 = self.sub_phase_us();
                 let step = self.dispatch_text(req, backend, shared);
+                self.add_apply(t_apply, sub0);
                 // Requests served within this step finish here; a
                 // BATCH/ADOPT body still arriving keeps its inflight
                 // record until the body completes.
@@ -703,6 +776,10 @@ impl Conn {
         self.flush_now(backend, shared);
         backend.drain();
         let slices = cs.slices();
+        // Everything from here to the map handoff is cross-node work:
+        // the window lands in the span's fan-out phase (success path;
+        // an error returns before the stamp and stays in apply).
+        let t_fanout = Instant::now();
         let mut client = Client::connect(&addr).map_err(|e| format!("connect to {addr}: {e}"))?;
         // Propagate this connection's trace id across the migration hop,
         // so the target's ring records the ADOPTs under the same id.
@@ -750,6 +827,9 @@ impl Conn {
             .mapset(&cs.current_map())
             .map_err(|e| format!("MAPSET on target: {e}"))?;
         let _ = client.quit();
+        if let Some(inf) = self.inflight.as_mut() {
+            inf.span.add(Phase::Fanout, elapsed_us(t_fanout));
+        }
         cs.migrations.inc();
         Ok(new_version)
     }
@@ -897,6 +977,11 @@ impl Conn {
             Request::Logtail(n) => {
                 let payload = shared.obs.tail(n);
                 self.out_line(&format!("LOGTAIL {}", payload.len()));
+                self.wbuf.extend_from_slice(payload.as_bytes());
+            }
+            Request::Spans(n) => {
+                let payload = shared.spans.render(n);
+                self.out_line(&format!("SPANS {}", payload.len()));
                 self.wbuf.extend_from_slice(payload.as_bytes());
             }
             Request::Trace(id) => {
@@ -1063,25 +1148,39 @@ impl Conn {
     // ----- binary mode -----------------------------------------------
 
     /// Timing wrapper around the binary dispatcher: a frame served to
-    /// completion in this step records its verb latency. Binary framing
-    /// has no meaningful parse phase (fixed layouts), so `parse_us` is
-    /// recorded as 0.
+    /// completion in this step records its verb latency and span.
+    /// Binary framing has no meaningful parse phase (fixed layouts), so
+    /// the parse slot stays 0 and dispatch time lands in apply. The
+    /// provisional inflight record is dropped on `NeedMore` — an
+    /// incomplete frame restarts its clock next tick, like before.
     fn step_bin(&mut self, backend: &Backend, shared: &Arc<Shared>) -> Step {
         let Some(&op) = self.rbuf.get(self.rpos) else {
             return Step::NeedMore;
         };
         let t0 = Instant::now();
+        let queued_at = self.queued_at;
+        if let Some(verb) = bin_verb(op) {
+            self.inflight = Some(Inflight {
+                verb,
+                t0,
+                span: Span::new(verb.name(), self.trace, self.id),
+                items: 0,
+            });
+        }
+        let sub0 = self.sub_phase_us();
         let step = self.step_bin_inner(backend, shared);
         if matches!(step, Step::Progress) {
-            if let Some(verb) = bin_verb(op) {
-                self.inflight = Some(Inflight {
-                    verb,
-                    t0,
-                    parse_us: 0,
-                    items: 0,
-                });
-                self.finish_request(shared);
+            self.queued_at = None;
+            if let Some(inf) = self.inflight.as_mut() {
+                let queue_us = queued_at
+                    .map_or(0, |q| t0.saturating_duration_since(q).as_micros())
+                    .min(u64::MAX as u128) as u64;
+                inf.span.add(Phase::Queue, queue_us);
             }
+            self.add_apply(t0, sub0);
+            self.finish_request(shared);
+        } else {
+            self.inflight = None;
         }
         step
     }

@@ -13,8 +13,8 @@
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use sprofile::Tuple;
 use sprofile_persist::{
@@ -81,11 +81,31 @@ pub(crate) struct Durability {
     tuples_at_last_checkpoint: AtomicU64,
 }
 
+fn elapsed_us(t0: Instant) -> u64 {
+    t0.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
 fn to_io(e: PersistError) -> io::Error {
     match e {
         PersistError::Io(e) => e,
         other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
     }
+}
+
+/// Where the time of one [`Durability::log_and_apply`] call went, so
+/// the caller can stamp its request span without the WAL growing a
+/// span dependency. All values in microseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FlushBreakdown {
+    /// The appended record's LSN (`None`: the append failed).
+    pub lsn: Option<u64>,
+    /// Waiting to acquire the WAL mutex.
+    pub lock_wait_us: u64,
+    /// Encoding + writing the record (fsync excluded).
+    pub append_us: u64,
+    /// fsync issued by this append, per the sync policy (0 when the
+    /// policy skipped it).
+    pub fsync_us: u64,
 }
 
 impl Durability {
@@ -127,6 +147,17 @@ impl Durability {
     /// rotate-retry); the server refuses new writes from then on.
     pub(crate) fn failed(&self) -> bool {
         self.failed.load(Ordering::Acquire)
+    }
+
+    /// Locks the WAL, timing the acquisition: the wait lands in the
+    /// shared lock-wait histogram and is returned (µs) for the
+    /// caller's request span.
+    fn lock_wal(&self) -> (MutexGuard<'_, Wal>, u64) {
+        let t0 = Instant::now();
+        let wal = self.wal.lock().expect("wal lock poisoned");
+        let us = elapsed_us(t0);
+        self.metrics.on_lock_wait(us);
+        (wal, us)
     }
 
     /// The WAL mutex itself, for the replication source (which
@@ -188,10 +219,19 @@ impl Durability {
     /// What stops is *new* acknowledgements: the server refuses further
     /// writes once `failed` is set, bounding the divergence from the
     /// durable log (and from replicas) to the in-flight flush buffers.
-    /// Returns the appended record's LSN (`None` when the append
-    /// failed) so synchronous commit can wait for replica acks on it.
-    pub(crate) fn log_and_apply(&self, batch: &[Tuple], backend: &Backend) -> Option<u64> {
-        let mut wal = self.wal.lock().expect("wal lock poisoned");
+    /// Returns a [`FlushBreakdown`]: the appended record's LSN (`None`
+    /// when the append failed) so synchronous commit can wait for
+    /// replica acks on it, plus where the call's time went (lock wait /
+    /// append / fsync) for the caller's request span.
+    pub(crate) fn log_and_apply(&self, batch: &[Tuple], backend: &Backend) -> FlushBreakdown {
+        let (mut wal, lock_wait_us) = self.lock_wal();
+        // The fsync the sync policy issues happens inside `append`;
+        // the fsync-histogram sum delta across the call is exactly
+        // this append's share, because every other fsync site
+        // (idle sync, checkpoint, rotation) also runs under the WAL
+        // mutex we are holding.
+        let fsync_sum_before = self.metrics.fsync_us().sum();
+        let t0 = Instant::now();
         let lsn = match wal.append(batch) {
             Ok(lsn) => Some(lsn),
             Err(_) => {
@@ -200,8 +240,15 @@ impl Durability {
                 None
             }
         };
+        let append_total_us = elapsed_us(t0);
+        let fsync_us = self.metrics.fsync_us().sum().wrapping_sub(fsync_sum_before);
         backend.apply_batch(batch);
-        lsn
+        FlushBreakdown {
+            lsn,
+            lock_wait_us,
+            append_us: append_total_us.saturating_sub(fsync_us),
+            fsync_us,
+        }
     }
 
     /// The replica-side apply: logs one *shipped* record at exactly its
@@ -215,7 +262,7 @@ impl Durability {
         batch: &[Tuple],
         backend: &Backend,
     ) -> Result<(), String> {
-        let mut wal = self.wal.lock().expect("wal lock poisoned");
+        let (mut wal, _) = self.lock_wal();
         if wal.next_lsn() != lsn {
             return Err(format!(
                 "replica log at lsn {}, record arrived at {lsn}",
@@ -277,7 +324,7 @@ impl Durability {
     /// bounding the crash-loss window of a quiescent server. Called by
     /// the housekeeping thread.
     pub(crate) fn idle_sync(&self) {
-        let mut wal = self.wal.lock().expect("wal lock poisoned");
+        let (mut wal, _) = self.lock_wal();
         if wal.sync_if_stale().is_err() {
             // A failed idle fsync fail-stops the log (the dirty pages'
             // fate is unknowable) — same contract as the append path.
@@ -304,13 +351,21 @@ impl Durability {
     /// it with round-trip validation, writes the checkpoint, and prunes
     /// covered segments. Errors bump `wal_errors` at the caller.
     pub(crate) fn checkpoint_now(&self, backend: &Backend) -> Result<u64, PersistError> {
-        let mut wal = self.wal.lock().expect("wal lock poisoned");
-        backend.drain();
-        let bytes = backend.validated_snapshot_bytes()?;
-        let lsn = wal.checkpoint(&bytes)?;
-        self.tuples_at_last_checkpoint
-            .store(self.metrics.tuples(), Ordering::Relaxed);
-        Ok(lsn)
+        let (mut wal, _) = self.lock_wal();
+        // The whole critical section is the pause concurrent writers
+        // observe as lock wait; record it even when the checkpoint
+        // fails partway — the pause happened either way.
+        let t0 = Instant::now();
+        let result = (|| {
+            backend.drain();
+            let bytes = backend.validated_snapshot_bytes()?;
+            let lsn = wal.checkpoint(&bytes)?;
+            self.tuples_at_last_checkpoint
+                .store(self.metrics.tuples(), Ordering::Relaxed);
+            Ok(lsn)
+        })();
+        self.metrics.on_checkpoint_pause(elapsed_us(t0));
+        result
     }
 
     /// [`Self::checkpoint_now`], with failures counted instead of
@@ -341,9 +396,18 @@ impl Durability {
 
     /// The `STATS` fragment for WAL mode.
     pub(crate) fn render(&self) -> String {
+        let fsync = self.metrics.fsync_us();
+        let batch = self.metrics.group_batch();
+        let batch_avg = if batch.count() == 0 {
+            0
+        } else {
+            batch.sum() / batch.count()
+        };
         format!(
             "wal_records={} wal_tuples={} wal_bytes={} wal_segments={} wal_fsyncs={} \
-             wal_checkpoints={} wal_errors={} wal_failed={}",
+             wal_checkpoints={} wal_errors={} wal_failed={} wal_fsync_p50_us={} \
+             wal_fsync_p99_us={} wal_fsync_max_us={} wal_lock_wait_p99_us={} \
+             wal_group_batch_avg={}",
             self.metrics.records(),
             self.metrics.tuples(),
             self.metrics.bytes(),
@@ -352,6 +416,11 @@ impl Durability {
             self.metrics.checkpoints(),
             self.errors.load(Ordering::Relaxed),
             u8::from(self.failed()),
+            fsync.quantile(0.5),
+            fsync.quantile(0.99),
+            fsync.max(),
+            self.metrics.lock_wait_us().quantile(0.99),
+            batch_avg,
         )
     }
 }
@@ -386,7 +455,11 @@ mod tests {
                 let owner = BackendOwner::build_recovered(kind, recovered.profile);
                 let b = owner.backend();
                 d.log_and_apply(&[Tuple::add(2), Tuple::add(2)], &b);
-                d.log_and_apply(&[Tuple::remove(5)], &b);
+                let fb = d.log_and_apply(&[Tuple::remove(5)], &b);
+                assert!(fb.lsn.is_some(), "{kind:?}");
+                assert!(d.wal_metrics().group_batch().count() >= 2, "{kind:?}");
+                assert_eq!(d.wal_metrics().group_batch().max(), 2, "{kind:?}");
+                assert!(d.wal_metrics().lock_wait_us().count() >= 2, "{kind:?}");
                 b.drain();
                 assert_eq!(b.frequency(2), 2, "{kind:?}");
                 d.checkpoint_now(&b).unwrap();
@@ -406,6 +479,11 @@ mod tests {
                 "wal_fsyncs=",
                 "wal_checkpoints=",
                 "wal_errors=",
+                "wal_fsync_p50_us=",
+                "wal_fsync_p99_us=",
+                "wal_fsync_max_us=",
+                "wal_lock_wait_p99_us=",
+                "wal_group_batch_avg=",
             ] {
                 assert_eq!(stats.matches(key).count(), 1, "{key} in {stats}");
             }

@@ -4,6 +4,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use sprofile_obs::span::{Phase, SpanRecord};
+
 use crate::hist::AtomicLogHistogram;
 use crate::protocol::Request;
 
@@ -147,11 +149,13 @@ pub enum Verb {
     Trace,
     /// `PROMOTE`
     Promote,
+    /// `SPANS`
+    Spans,
 }
 
 impl Verb {
     /// All verbs, in rendering order.
-    pub const ALL: [Verb; 18] = [
+    pub const ALL: [Verb; 19] = [
         Verb::Add,
         Verb::Remove,
         Verb::Batch,
@@ -170,6 +174,7 @@ impl Verb {
         Verb::Logtail,
         Verb::Trace,
         Verb::Promote,
+        Verb::Spans,
     ];
 
     /// Lowercase name, used as the `verb` label value in `METRICS`.
@@ -193,6 +198,7 @@ impl Verb {
             Verb::Logtail => "logtail",
             Verb::Trace => "trace",
             Verb::Promote => "promote",
+            Verb::Spans => "spans",
         }
     }
 
@@ -217,6 +223,7 @@ impl Verb {
             Request::Adopt { .. } => Verb::Adopt,
             Request::Metrics => Verb::Metrics,
             Request::Logtail(_) => Verb::Logtail,
+            Request::Spans(_) => Verb::Spans,
             Request::Trace(_) => Verb::Trace,
             Request::Promote => Verb::Promote,
             Request::Replicate { .. } | Request::BinUpgrade | Request::Quit | Request::Shutdown => {
@@ -227,8 +234,8 @@ impl Verb {
 }
 
 /// Per-verb server-side request latency histograms (microseconds,
-/// request fully parsed → reply queued). Shared lock-free across all
-/// event-loop workers.
+/// request bytes buffered → reply queued, queue wait included). Shared
+/// lock-free across all event-loop workers.
 #[derive(Debug)]
 pub struct VerbHists {
     hists: [AtomicLogHistogram; Verb::ALL.len()],
@@ -255,18 +262,61 @@ impl VerbHists {
     }
 }
 
-/// Cross-verb phase timing histograms (microseconds): how long requests
-/// spend being parsed, applied against the backend, and flushed through
-/// the durability path.
-#[derive(Debug, Default)]
+/// Cross-verb phase timing histograms (microseconds): one histogram
+/// per request [`Phase`], fed by every finished request span, plus the
+/// whole-flush composite. Because [`PhaseHists::record_span`] records
+/// *every* phase of *every* span — zeros included — all per-phase
+/// counts are equal (to the number of requests served), and the
+/// per-phase sums partition the per-verb totals exactly.
+#[derive(Debug)]
 pub struct PhaseHists {
-    /// Wire bytes → parsed request (text line or binary frame).
-    pub parse_us: AtomicLogHistogram,
-    /// Parsed request → backend answer computed / tuples buffered.
-    pub apply_us: AtomicLogHistogram,
+    phases: [AtomicLogHistogram; Phase::COUNT],
     /// Write-buffer flush: WAL append + fsync + backend apply (+
-    /// synchronous-commit wait when enabled).
+    /// synchronous-commit wait when enabled). A composite over the
+    /// `wal_lock_wait`/`wal_append`/`fsync`/`commit_wait` phases, kept
+    /// for continuity with the pre-span exposition.
     pub flush_us: AtomicLogHistogram,
+}
+
+impl Default for PhaseHists {
+    fn default() -> Self {
+        PhaseHists {
+            phases: std::array::from_fn(|_| AtomicLogHistogram::new()),
+            flush_us: AtomicLogHistogram::default(),
+        }
+    }
+}
+
+impl PhaseHists {
+    /// Folds one finished span in: every phase recorded, zeros
+    /// included, so the phase histograms stay count-aligned.
+    pub fn record_span(&self, rec: &SpanRecord) {
+        for phase in Phase::ALL {
+            self.phases[phase as usize].record(rec.phases[phase as usize]);
+        }
+    }
+
+    /// The histogram for one phase.
+    pub fn get(&self, phase: Phase) -> &AtomicLogHistogram {
+        &self.phases[phase as usize]
+    }
+}
+
+/// Per-event-loop instrumentation, aggregated across workers: how long
+/// the poller slept per tick, how many connections each tick serviced,
+/// and how often a connection exhausted its per-tick read budget (a
+/// fairness signal: sustained exhaustion means one connection's input
+/// keeps outpacing the budget).
+#[derive(Debug, Default)]
+pub struct TickHists {
+    /// Poller wait per event-loop tick, in microseconds.
+    pub poll_wait_us: AtomicLogHistogram,
+    /// Connections serviced per tick (recorded only for non-idle
+    /// ticks, so an idle server does not drown the distribution in
+    /// zeros).
+    pub conns_per_tick: AtomicLogHistogram,
+    /// Ticks on which a connection hit its per-tick read budget.
+    pub read_budget_exhausted: Counter,
 }
 
 #[cfg(test)]
@@ -322,6 +372,7 @@ mod tests {
         assert_eq!(names.len(), Verb::ALL.len());
         assert_eq!(Verb::of(&Request::Batch(3)), Some(Verb::Batch));
         assert_eq!(Verb::of(&Request::Metrics), Some(Verb::Metrics));
+        assert_eq!(Verb::of(&Request::Spans(5)), Some(Verb::Spans));
         assert_eq!(Verb::of(&Request::Quit), None);
         assert_eq!(
             Verb::of(&Request::Replicate {
@@ -330,6 +381,28 @@ mod tests {
             }),
             None
         );
+    }
+
+    #[test]
+    fn phase_hists_stay_count_aligned_across_spans() {
+        use sprofile_obs::span::Span;
+        let h = PhaseHists::default();
+        let mut span = Span::new("batch", 0, 1);
+        span.add(Phase::Parse, 5);
+        span.add(Phase::Fsync, 90);
+        h.record_span(&span.finish(100));
+        let mut span = Span::new("mode", 0, 2);
+        span.add(Phase::Parse, 2);
+        h.record_span(&span.finish(10));
+        for phase in Phase::ALL {
+            assert_eq!(h.get(phase).count(), 2, "{phase:?}");
+        }
+        assert_eq!(h.get(Phase::Parse).sum(), 7);
+        assert_eq!(h.get(Phase::Fsync).sum(), 90);
+        // Residuals land in Reply: (100-95) + (10-2).
+        assert_eq!(h.get(Phase::Reply).sum(), 13);
+        let phase_sum: u64 = Phase::ALL.iter().map(|&p| h.get(p).sum()).sum();
+        assert_eq!(phase_sum, 110, "phases partition the totals");
     }
 
     #[test]

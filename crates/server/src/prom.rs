@@ -25,6 +25,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 
 use sprofile_obs::hist::AtomicLogHistogram;
+use sprofile_obs::span::Phase;
 use sprofile_obs::MeterReading;
 
 use crate::metrics::Verb;
@@ -215,7 +216,7 @@ pub(crate) fn render(shared: &Shared) -> String {
         &mut out,
         "sprofile_request_duration_us",
         "histogram",
-        "Server-side service time per verb, microseconds (request fully parsed to reply queued).",
+        "Server-side service time per verb, microseconds (bytes buffered to reply queued).",
     );
     for verb in Verb::ALL {
         hist_series(
@@ -226,25 +227,53 @@ pub(crate) fn render(shared: &Shared) -> String {
         );
     }
 
-    // Cross-verb phase timings.
+    // Cross-verb phase timings: one series per span phase (every
+    // finished request records all of them, zeros included, so the
+    // counts stay aligned and the sums partition the verb totals),
+    // plus the whole-flush composite kept from the pre-span exposition.
     head(
         &mut out,
         "sprofile_phase_duration_us",
         "histogram",
         "Time requests spend in each processing phase, microseconds.",
     );
-    for (phase, h) in [
-        ("parse", &shared.phase_us.parse_us),
-        ("apply", &shared.phase_us.apply_us),
-        ("flush", &shared.phase_us.flush_us),
-    ] {
+    for phase in Phase::ALL {
         hist_series(
             &mut out,
             "sprofile_phase_duration_us",
-            &format!("phase=\"{phase}\""),
-            h,
+            &format!("phase=\"{}\"", phase.name()),
+            shared.phase_us.get(phase),
         );
     }
+    hist_series(
+        &mut out,
+        "sprofile_phase_duration_us",
+        "phase=\"flush\"",
+        &shared.phase_us.flush_us,
+    );
+
+    // Event-loop health: how long each tick slept in the poller, how
+    // many connections a non-idle tick serviced, and how often the
+    // per-connection read budget (the fairness throttle) was hit.
+    hist(
+        &mut out,
+        "sprofile_tick_poll_wait_us",
+        "Poller wait per event-loop tick, microseconds (all workers).",
+        &shared.ticks.poll_wait_us,
+    );
+    hist(
+        &mut out,
+        "sprofile_conns_per_tick",
+        "Connections serviced per non-idle event-loop tick.",
+        &shared.ticks.conns_per_tick,
+    );
+    scalar(
+        &mut out,
+        "sprofile_read_budget_exhausted_total",
+        "counter",
+        "Ticks on which a connection exhausted its per-tick read budget.",
+        shared.ticks.read_budget_exhausted.get(),
+    );
 
     // Durability plane.
     if let Some(d) = &shared.durability {
@@ -318,6 +347,24 @@ pub(crate) fn render(shared: &Shared) -> String {
             "sprofile_wal_checkpoint_duration_us",
             "Wall-clock latency of each durable checkpoint write, microseconds.",
             wm.checkpoint_us(),
+        );
+        hist(
+            &mut out,
+            "sprofile_wal_lock_wait_us",
+            "Time spent waiting to acquire the WAL mutex, microseconds.",
+            wm.lock_wait_us(),
+        );
+        hist(
+            &mut out,
+            "sprofile_wal_group_batch_tuples",
+            "Tuples carried by each appended WAL record (group-commit batch size).",
+            wm.group_batch(),
+        );
+        hist(
+            &mut out,
+            "sprofile_wal_checkpoint_pause_us",
+            "WAL-lock hold time across each full checkpoint (the pause writers observe), microseconds.",
+            wm.checkpoint_pause_us(),
         );
     }
 
@@ -398,6 +445,14 @@ pub(crate) fn render(shared: &Shared) -> String {
         ),
     ] {
         scalar(&mut out, name, kind, help, value);
+    }
+    if let Some(source) = &shared.repl.source {
+        hist(
+            &mut out,
+            "sprofile_repl_ack_latency_us",
+            "Ship-to-acknowledge round trip per replicated record, microseconds.",
+            source.metrics().ack_latency_us(),
+        );
     }
     if shared.sync_commit.is_on() {
         hist(

@@ -23,6 +23,10 @@
 //! LOGTAIL [n]          LOGTAIL <nbytes>    (nbytes of rendered log lines —
 //!                                          the newest n ring-buffer events,
 //!                                          or all retained when n is omitted)
+//! SPANS [n]            SPANS <nbytes>      (nbytes of span lines: the n
+//!                                          slowest recent requests with
+//!                                          per-phase timings; all retained
+//!                                          when n is omitted)
 //! TRACE <id>           OK                  (tag subsequent requests on this
 //!                                          connection with trace id; 0 clears)
 //! SNAPSHOT <path>      OK <bytes>          (relative path, confined to the
@@ -100,7 +104,12 @@
 //! `wal_segments` (live segment files), `wal_fsyncs` (fsyncs issued),
 //! `wal_checkpoints` (checkpoints written this run), `wal_errors`
 //! (append/checkpoint failures), and `wal_failed` (0/1: the log has
-//! fail-stopped). After a fail-stop the server keeps serving reads but
+//! fail-stopped), plus the WAL latency summary `wal_fsync_p50_us` /
+//! `wal_fsync_p99_us` / `wal_fsync_max_us` (log-bucketed quantiles of
+//! per-fsync duration in microseconds), `wal_lock_wait_p99_us` (p99
+//! wait for the WAL mutex across every acquirer — appends, idle syncs,
+//! checkpoints), and `wal_group_batch_avg` (mean tuples per appended
+//! record: the group-commit batch the log is absorbing). After a fail-stop the server keeps serving reads but
 //! answers new writes with `ERR wal failed…` — acknowledging writes
 //! that can never be logged would silently diverge from the durable
 //! log and from every replica tailing it.
@@ -184,6 +193,14 @@
 //! (`TRC`, so replicas log it too) and into `MIGRATE`'s connection to
 //! the adopting node. `TRACE 0` clears it. The binary protocol carries
 //! the same thing as a `REQ_TRACE` frame (see [`crate::bin_proto`]).
+//!
+//! `SPANS [n]` dumps the `n` slowest recent requests retained by the
+//! span flight recorder (all of them when `n` is omitted or 0), one
+//! logfmt line per request: `total_us=… verb=… [trace=…] conn=…`
+//! followed by the nonzero per-phase timings (`queue_us`, `parse_us`,
+//! `apply_us`, `wal_lock_wait_us`, `wal_append_us`, `fsync_us`,
+//! `commit_wait_us`, `fanout_us`, `reply_us`). Slowest first, with the
+//! same length-prefixed framing as `METRICS`.
 
 use sprofile::Tuple;
 use sprofile_persist::PartitionMap;
@@ -253,6 +270,8 @@ pub enum Request {
     Metrics,
     /// `LOGTAIL [n]` — newest `n` ring-buffer log events (0: all).
     Logtail(usize),
+    /// `SPANS [n]` — the `n` slowest recent request spans (0: all).
+    Spans(usize),
     /// `TRACE <id>` — set this connection's sticky trace id (0 clears).
     Trace(u64),
     /// `SNAPSHOT <path>` — persist a snapshot server-side. The server
@@ -342,6 +361,10 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         "LOGTAIL" => match rest.filter(|r| !r.is_empty()) {
             Some(_) => Request::Logtail(parse_arg(&upper, rest)?),
             None => Request::Logtail(0),
+        },
+        "SPANS" => match rest.filter(|r| !r.is_empty()) {
+            Some(_) => Request::Spans(parse_arg(&upper, rest)?),
+            None => Request::Spans(0),
         },
         "TRACE" => Request::Trace(parse_arg(&upper, rest)?),
         "SNAPSHOT" => {
@@ -485,6 +508,9 @@ mod tests {
             ("metrics", Request::Metrics),
             ("LOGTAIL", Request::Logtail(0)),
             ("LOGTAIL 25", Request::Logtail(25)),
+            ("SPANS", Request::Spans(0)),
+            ("SPANS 10", Request::Spans(10)),
+            ("spans 3", Request::Spans(3)),
             ("TRACE 987654321", Request::Trace(987654321)),
             ("TRACE 0", Request::Trace(0)),
             (
@@ -563,6 +589,8 @@ mod tests {
             "METRICS 1",
             "LOGTAIL x",
             "LOGTAIL -1",
+            "SPANS x",
+            "SPANS -1",
             "TRACE",
             "TRACE abc",
             "TRACE -1",

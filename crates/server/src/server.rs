@@ -42,6 +42,7 @@ use std::time::{Duration, Instant};
 
 use polling::{Event, Poller};
 use sprofile::Tuple;
+use sprofile_obs::span::{register_panic_dump, FlightRecorder, Phase, Span};
 use sprofile_obs::{log, Level, Meter, Obs, ObsConfig};
 use sprofile_replicate::{
     read_acks, AckState, Applier, ApplierOptions, ApplierStats, ReplicationSource,
@@ -52,7 +53,7 @@ use crate::cluster::{ClusterConfig, ClusterState};
 use crate::conn::{Conn, Flow};
 use crate::durability::{Durability, DurabilityConfig};
 use crate::hist::AtomicLogHistogram;
-use crate::metrics::{Metrics, PhaseHists, VerbHists};
+use crate::metrics::{Metrics, PhaseHists, TickHists, VerbHists};
 use crate::protocol::WireProto;
 use crate::repl::{BackendSink, ReplState, ReplicaState};
 
@@ -63,6 +64,8 @@ const IDLE_WAIT: Duration = Duration::from_millis(5);
 /// Read timeout for detached replication-stream ack readers, so they
 /// poll the stop flag.
 const STREAM_READ_TIMEOUT: Duration = Duration::from_millis(25);
+/// Slowest spans the flight recorder retains (the `SPANS` verb's pool).
+const FLIGHT_RECORDER_SPANS: usize = 32;
 
 /// Synchronous-commit mode (`serve --sync-commit`): how many replica
 /// acknowledgements a flushed batch waits for before the primary
@@ -269,8 +272,15 @@ pub(crate) struct Shared {
     pub(crate) obs: Arc<Obs>,
     /// Per-verb service-time histograms (µs).
     pub(crate) verb_us: VerbHists,
-    /// Cross-verb phase histograms (parse/apply/flush, µs).
+    /// Cross-verb phase histograms (one per request [`Phase`], plus the
+    /// whole-flush composite), fed by every finished request span.
     pub(crate) phase_us: PhaseHists,
+    /// Per-event-loop tick instrumentation (poll wait, conns serviced
+    /// per tick, read-budget exhaustion), aggregated across workers.
+    pub(crate) ticks: TickHists,
+    /// Flight recorder retaining the slowest recent request spans —
+    /// the `SPANS` verb reads it; panics dump it next to the log ring.
+    pub(crate) spans: Arc<FlightRecorder>,
     /// Slow-op threshold in µs; `None` = check disabled.
     pub(crate) slow_us: Option<u64>,
     /// Monotonic connection-id source (per-worker poller keys repeat
@@ -398,10 +408,11 @@ impl Shared {
     /// asynchronous, or the server stops. The replica count is
     /// re-sampled each poll, so a replica detaching mid-wait lowers the
     /// requirement instead of stranding the writer. Every wait's
-    /// duration is recorded in the commit-wait histogram.
-    fn sync_commit_wait(&self, d: &Durability, lsn: u64) {
+    /// duration is recorded in the commit-wait histogram and returned
+    /// (µs) for the flushing request's span.
+    fn sync_commit_wait(&self, d: &Durability, lsn: u64) -> u64 {
         if !self.sync_commit.is_on() || self.readonly() {
-            return;
+            return 0;
         }
         let registry = d.registry();
         let start = Instant::now();
@@ -417,8 +428,9 @@ impl Shared {
             }
             std::thread::sleep(Duration::from_millis(1));
         }
-        self.commit_wait
-            .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        let waited = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.commit_wait.record(waited);
+        waited
     }
 
     /// A fresh server-unique connection id (1-based; 0 is "no conn").
@@ -520,6 +532,8 @@ impl Server {
             obs,
             verb_us: VerbHists::default(),
             phase_us: PhaseHists::default(),
+            ticks: TickHists::default(),
+            spans: Arc::new(FlightRecorder::new(FLIGHT_RECORDER_SPANS)),
             slow_us: config.slow_ms.map(|ms| ms.saturating_mul(1000)),
             conn_ids: AtomicU64::new(0),
             meters: Meters::default(),
@@ -538,6 +552,12 @@ impl Server {
             stop_lock: Mutex::new(false),
             stop_cond: Condvar::new(),
         });
+        if config.obs.dump_on_panic {
+            // The span recorder dumps next to the log ring on panic, so
+            // a crash report carries the latency decomposition of the
+            // slowest requests around it.
+            register_panic_dump(&shared.spans);
+        }
         let worker_count = config.workers.max(1);
         log!(
             shared.obs,
@@ -803,12 +823,16 @@ pub(crate) fn resolve_snapshot_path(dir: &Path, client_path: &str) -> Option<Pat
 /// `trace` tags the flush: the appended LSN is noted with the
 /// replication source (so the record ships with a `TRC` frame and every
 /// replica's ring sees the id) and a `trace`-target event lands in this
-/// node's own ring.
+/// node's own ring. When the flush happens on behalf of an in-flight
+/// request, `span` receives the durability sub-phase breakdown (WAL
+/// lock wait / append / fsync / commit wait); worker drain paths pass
+/// `None` and only the composite flush histogram records.
 pub(crate) fn flush_pending(
     pending: &mut Vec<Tuple>,
     backend: &Backend,
     shared: &Shared,
     trace: u64,
+    span: Option<&mut Span>,
 ) {
     if pending.is_empty() {
         return;
@@ -817,7 +841,9 @@ pub(crate) fn flush_pending(
     let mut flushed_lsn = 0u64;
     match &shared.durability {
         Some(d) => {
-            if let Some(lsn) = d.log_and_apply(pending, backend) {
+            let fb = d.log_and_apply(pending, backend);
+            let mut commit_wait_us = 0;
+            if let Some(lsn) = fb.lsn {
                 flushed_lsn = lsn;
                 if trace != 0 {
                     if let Some(source) = &shared.repl.source {
@@ -826,7 +852,13 @@ pub(crate) fn flush_pending(
                 }
                 // Synchronous commit: the batch's OKs (sent after this
                 // flush returns) are gated on replica acks for its LSN.
-                shared.sync_commit_wait(d, lsn);
+                commit_wait_us = shared.sync_commit_wait(d, lsn);
+            }
+            if let Some(span) = span {
+                span.add(Phase::WalLockWait, fb.lock_wait_us);
+                span.add(Phase::WalAppend, fb.append_us);
+                span.add(Phase::Fsync, fb.fsync_us);
+                span.add(Phase::CommitWait, commit_wait_us);
             }
         }
         None => backend.apply_batch(pending),
@@ -949,7 +981,12 @@ fn event_worker(
         } else {
             ACTIVE_WAIT
         };
+        let t_wait = Instant::now();
         let _ = poller.wait(&mut events, Some(timeout));
+        shared
+            .ticks
+            .poll_wait_us
+            .record(t_wait.elapsed().as_micros().min(u64::MAX as u128) as u64);
         if shared.stopping() {
             break;
         }
@@ -965,6 +1002,9 @@ fn event_worker(
         );
         ready.sort_unstable();
         ready.dedup();
+        if !ready.is_empty() {
+            shared.ticks.conns_per_tick.record(ready.len() as u64);
+        }
         for key in ready.drain(..) {
             let Some(conn) = conns.get_mut(&key) else {
                 continue;
@@ -979,7 +1019,7 @@ fn event_worker(
                 StepResult::Close => {
                     poller.delete(key);
                     let mut conn = conns.remove(&key).expect("conn present");
-                    flush_pending(&mut conn.pending, &backend, &shared, conn.trace);
+                    flush_pending(&mut conn.pending, &backend, &shared, conn.trace, None);
                     log!(shared.obs, Level::Debug, "conn", "closed", conn = conn.id);
                     shared.metrics.conns.dec();
                     shared.metrics.connections_active.dec();
@@ -1002,7 +1042,7 @@ fn event_worker(
     // synchronous flush.
     for (key, mut conn) in conns.drain() {
         poller.delete(key);
-        flush_pending(&mut conn.pending, &backend, &shared, conn.trace);
+        flush_pending(&mut conn.pending, &backend, &shared, conn.trace, None);
         conn.blocking_flush(Duration::from_millis(500));
         shared.metrics.conns.dec();
         shared.metrics.connections_active.dec();
@@ -1077,11 +1117,21 @@ enum StepResult {
 /// One tick of one connection: read, parse/serve, write.
 fn step_conn(conn: &mut Conn, backend: &Backend, shared: &Arc<Shared>) -> StepResult {
     let mut fatal = false;
-    if !conn.paused() && conn.fill().is_err() {
-        // Transport read error: `fill` marked EOF; whatever complete
-        // frames arrived still get served below, then the close path
-        // drains `pending` (those tuples were acked).
-        fatal = true;
+    if !conn.paused() {
+        match conn.fill() {
+            Ok(exhausted) => {
+                if exhausted {
+                    // The connection hit its per-tick read budget — the
+                    // fairness throttle engaged. A sustained rate here
+                    // means some connection's input keeps outpacing it.
+                    shared.ticks.read_budget_exhausted.inc();
+                }
+            }
+            // Transport read error: `fill` marked EOF; whatever
+            // complete frames arrived still get served below, then the
+            // close path drains `pending` (those tuples were acked).
+            Err(_) => fatal = true,
+        }
     }
     let flow = conn.process(backend, shared);
     if let Flow::Stream { start_lsn, epoch } = flow {

@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 
 use sprofile_server::{
-    BackendKind, Client, DurabilityConfig, Server, ServerConfig, SyncCommit, WireProto,
+    BackendKind, Client, DurabilityConfig, Server, ServerConfig, SyncCommit, SyncPolicy, WireProto,
 };
 
 // ---------------------------------------------------------------------
@@ -517,6 +517,170 @@ fn every_replication_role_exposes_a_valid_exposition() {
     primary.shutdown();
     replica.shutdown();
     std::fs::remove_dir_all(&base).ok();
+}
+
+/// Every span phase the server times, in pipeline order — must match
+/// the `phase` label values the exposition renders.
+const PHASES: [&str; 9] = [
+    "queue",
+    "parse",
+    "apply",
+    "wal_lock_wait",
+    "wal_append",
+    "fsync",
+    "commit_wait",
+    "fanout",
+    "reply",
+];
+
+#[test]
+fn phase_histograms_are_count_aligned_and_partition_verb_totals() {
+    let dir = std::env::temp_dir().join(format!("sprofile-obs-phases-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(
+        ServerConfig {
+            m: 64,
+            workers: 2,
+            flush_every: 1,
+            wal: Some(DurabilityConfig {
+                sync: SyncPolicy::Always,
+                ..DurabilityConfig::new(&dir)
+            }),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    for i in 0..12 {
+        c.add(i % 8).unwrap();
+    }
+    c.remove(3).unwrap();
+    c.batch(&[sprofile::Tuple::add(1); 5]).unwrap();
+    c.freq(1).unwrap();
+    c.mode().unwrap();
+    let stats = c.stats().unwrap();
+
+    let e = parse_exposition(&c.metrics().unwrap()).expect("exposition parses");
+    // Every finished request records *all* phases (zeros included), so
+    // the per-phase counts are identical and equal the total number of
+    // requests served — which is the sum of the per-verb counts.
+    let verb_requests: f64 = e
+        .samples
+        .iter()
+        .filter(|s| s.name == "sprofile_request_duration_us_count")
+        .map(|s| s.value)
+        .sum();
+    assert!(verb_requests >= 17.0, "{verb_requests}");
+    for phase in PHASES {
+        assert_eq!(
+            e.labelled("sprofile_phase_duration_us_count", &[("phase", phase)]),
+            Some(verb_requests),
+            "phase {phase} count-aligned"
+        );
+    }
+    // The phases partition each request's total exactly (the residual
+    // lands in `reply`), so the per-phase sums add up to the per-verb
+    // sums — not ≤, equal.
+    let verb_total: f64 = e
+        .samples
+        .iter()
+        .filter(|s| s.name == "sprofile_request_duration_us_sum")
+        .map(|s| s.value)
+        .sum();
+    let phase_total: f64 = PHASES
+        .iter()
+        .map(|p| {
+            e.labelled("sprofile_phase_duration_us_sum", &[("phase", p)])
+                .unwrap_or_else(|| panic!("phase {p} missing"))
+        })
+        .sum();
+    assert_eq!(phase_total, verb_total, "phase sums partition verb sums");
+    // --sync always + flush-every-1 writes: the fsync phase saw real
+    // time, and so did the WAL's own fsync histogram.
+    assert!(
+        e.labelled("sprofile_phase_duration_us_sum", &[("phase", "fsync")]) > Some(0.0),
+        "fsync phase accrued time"
+    );
+    assert!(e.value("sprofile_wal_fsync_duration_us_count") >= 1.0);
+    assert!(e.value("sprofile_wal_lock_wait_us_count") >= 1.0);
+    assert!(e.value("sprofile_wal_group_batch_tuples_count") >= 1.0);
+    // The STATS WAL percentile satellite keys ride along.
+    for key in [
+        "wal_fsync_p50_us",
+        "wal_fsync_p99_us",
+        "wal_fsync_max_us",
+        "wal_lock_wait_p99_us",
+        "wal_group_batch_avg",
+    ] {
+        assert!(stats.contains(&format!("{key}=")), "{key} in {stats}");
+    }
+    // Event-loop tick instrumentation renders and has seen ticks.
+    assert!(e.value("sprofile_tick_poll_wait_us_count") >= 1.0);
+    assert!(e.value("sprofile_conns_per_tick_count") >= 1.0);
+
+    c.quit().unwrap();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spans_returns_the_slowest_requests_with_phase_breakdowns() {
+    let server = Server::start(
+        ServerConfig {
+            m: 64,
+            workers: 2,
+            flush_every: 1,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.trace(4242).unwrap();
+    for i in 0..20 {
+        c.add(i % 16).unwrap();
+    }
+    c.mode().unwrap();
+
+    let payload = c.spans(0).unwrap();
+    assert!(!payload.is_empty(), "flight recorder captured spans");
+    let totals: Vec<u64> = payload
+        .lines()
+        .map(|l| {
+            l.split_whitespace()
+                .find_map(|kv| kv.strip_prefix("total_us="))
+                .unwrap_or_else(|| panic!("span line without total_us: {l}"))
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        totals.windows(2).all(|w| w[0] >= w[1]),
+        "spans come slowest-first: {totals:?}"
+    );
+    for line in payload.lines() {
+        assert!(line.contains("verb="), "{line}");
+        assert!(line.contains("conn="), "{line}");
+    }
+    // Requests issued after TRACE carry the id — one slow query is
+    // recoverable by its trace straight from the flight recorder.
+    assert!(payload.contains("trace=4242"), "{payload}");
+    // `SPANS n` keeps only the n slowest — and those spans are still
+    // present in a later full dump (the recorder is nowhere near its
+    // capacity, so nothing has been evicted in between).
+    let top = c.spans(2).unwrap();
+    assert_eq!(top.lines().count(), 2, "{top}");
+    let full = c.spans(0).unwrap();
+    for line in top.lines() {
+        assert!(
+            full.lines().any(|l| l == line),
+            "top span survives in the full dump: {line}"
+        );
+    }
+
+    c.quit().unwrap();
+    server.shutdown();
 }
 
 #[test]
